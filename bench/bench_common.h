@@ -1,0 +1,71 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every binary reproduces one table or figure of the paper at full scale
+// (325 sites, 3 vantage points) and prints the measured rows next to the
+// paper-reported values. Scale can be adjusted via environment variables:
+//   H3CDN_BENCH_SITES   (default 325)
+//   H3CDN_BENCH_PROBES  (default 1 probe per vantage; the paper used 3)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.h"
+#include "core/report.h"
+#include "core/study.h"
+
+namespace h3cdn::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Full-scale study configuration mirroring the paper's §III setup.
+inline core::StudyConfig standard_config() {
+  core::StudyConfig cfg;
+  cfg.workload.site_count = 325;
+  cfg.max_sites = env_size("H3CDN_BENCH_SITES", 325);
+  cfg.probes_per_vantage = static_cast<int>(env_size("H3CDN_BENCH_PROBES", 1));
+  return cfg;
+}
+
+inline core::StudyConfig consecutive_config() {
+  core::StudyConfig cfg = standard_config();
+  cfg.consecutive = true;
+  return cfg;
+}
+
+/// Tiny study used by the google-benchmark timing loops inside each binary.
+inline core::StudyConfig micro_config(std::size_t sites = 8) {
+  core::StudyConfig cfg;
+  cfg.workload.site_count = sites;
+  cfg.max_sites = sites;
+  cfg.probes_per_vantage = 1;
+  cfg.vantages = {browser::default_vantage_points()[0]};
+  return cfg;
+}
+
+/// Runs the registered google-benchmark timing loops (unless --notiming),
+/// then invokes `reproduce` to print the paper table at full scale.
+template <typename Fn>
+int run_bench_main(int argc, char** argv, const char* title, Fn&& reproduce) {
+  bool timing = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--notiming") timing = false;
+  }
+  if (timing) {
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+  }
+  std::cout << "\n=== Reproduction: " << title << " ===\n";
+  reproduce(std::cout);
+  return 0;
+}
+
+}  // namespace h3cdn::bench

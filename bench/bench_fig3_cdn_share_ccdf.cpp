@@ -1,0 +1,35 @@
+// Fig. 3 — CCDF of the percentage of CDN resources on each webpage
+// (paper: 75% of webpages exceed 50% CDN resources).
+#include "bench_common.h"
+
+#include "web/workload.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_GenerateWorkload325(benchmark::State& state) {
+  for (auto _ : state) {
+    auto workload = web::generate_workload();
+    benchmark::DoNotOptimize(workload.total_requests());
+  }
+}
+BENCHMARK(BM_GenerateWorkload325)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeFig3(benchmark::State& state) {
+  const auto study = core::MeasurementStudy(bench::micro_config(16)).run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_fig3(study).fraction_above_50pct);
+  }
+}
+BENCHMARK(BM_ComputeFig3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 3 (CCDF of per-page CDN resource share)", [](std::ostream& os) {
+        const auto study = core::MeasurementStudy(bench::standard_config()).run();
+        core::print_fig3(os, core::compute_fig3(study));
+      });
+}

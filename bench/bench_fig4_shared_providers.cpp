@@ -1,0 +1,26 @@
+// Fig. 4 — (a) probability of each CDN provider appearing on a webpage
+// (paper: top four exceed 50%); (b) number of webpages using k providers
+// (paper: 94.8% of pages use at least two — the shared-provider phenomenon).
+#include "bench_common.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_ComputeFig4(benchmark::State& state) {
+  const auto study = core::MeasurementStudy(bench::micro_config(16)).run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_fig4(study).fraction_pages_ge2_providers);
+  }
+}
+BENCHMARK(BM_ComputeFig4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 4 (shared giant providers across webpages)", [](std::ostream& os) {
+        const auto study = core::MeasurementStudy(bench::standard_config()).run();
+        core::print_fig4(os, core::compute_fig4(study));
+      });
+}

@@ -1,0 +1,26 @@
+// Fig. 5 — CCDF of the number of CDN resources per webpage hosted by Amazon,
+// Cloudflare, Google and Fastly (paper: ~50% of pages using Cloudflare or
+// Google contain more than 10 of their resources).
+#include "bench_common.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_ComputeFig5(benchmark::State& state) {
+  const auto study = core::MeasurementStudy(bench::micro_config(16)).run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_fig5(study).ccdf.size());
+  }
+}
+BENCHMARK(BM_ComputeFig5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 5 (per-provider CDN resource counts per page)", [](std::ostream& os) {
+        const auto study = core::MeasurementStudy(bench::standard_config()).run();
+        core::print_fig5(os, core::compute_fig5(study));
+      });
+}

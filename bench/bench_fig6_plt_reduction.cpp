@@ -1,0 +1,30 @@
+// Fig. 6 — (a) PLT reduction for the four quartile groups of H3-enabled CDN
+// resource counts (paper: all positive, Low ~60ms, Medium groups peak, High
+// smallest); (b) CDF of per-entry connection/wait/receive reductions
+// (paper medians: connection > 0, wait < 0, receive ~ 0).
+#include "bench_common.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_ComputeFig6(benchmark::State& state) {
+  const auto study = core::MeasurementStudy(bench::micro_config(16)).run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_fig6(study).groups.size());
+  }
+}
+BENCHMARK(BM_ComputeFig6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 6 (PLT reduction by group; phase reductions)", [](std::ostream& os) {
+        auto cfg = h3cdn::bench::standard_config();
+        // Group means are noise-sensitive; use the paper's probe multiplicity.
+        cfg.probes_per_vantage = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 3));
+        const auto study = core::MeasurementStudy(cfg).run();
+        core::print_fig6(os, core::compute_fig6(study));
+      });
+}

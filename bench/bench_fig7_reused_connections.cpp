@@ -1,0 +1,29 @@
+// Fig. 7 — (a) reused HTTP connections with H3 and H2 per quartile group,
+// (b) the reused-connection difference (H2 − H3), (c) PLT reduction versus
+// that difference (paper: reuse rises with group level; H2 reuses more than
+// H3, most in High; larger differences come with smaller reductions).
+#include "bench_common.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_ComputeFig7(benchmark::State& state) {
+  const auto study = core::MeasurementStudy(bench::micro_config(16)).run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_fig7(study).groups.size());
+  }
+}
+BENCHMARK(BM_ComputeFig7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 7 (reused connections vs. H3 benefit)", [](std::ostream& os) {
+        auto cfg = h3cdn::bench::standard_config();
+        cfg.probes_per_vantage = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 3));
+        const auto study = core::MeasurementStudy(cfg).run();
+        core::print_fig7(os, core::compute_fig7(study));
+      });
+}

@@ -1,0 +1,31 @@
+// Fig. 8 — consecutive visits with the session-ticket store preserved:
+// (a) PLT reduction and (b) number of resumed connections versus the number
+// of CDN providers used (paper: both grow with the provider count — the
+// shared-provider phenomenon pays off through 0-RTT resumption).
+#include "bench_common.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_ConsecutiveStudy(benchmark::State& state) {
+  auto cfg = bench::micro_config(12);
+  cfg.consecutive = true;
+  for (auto _ : state) {
+    auto result = core::MeasurementStudy(cfg).run();
+    benchmark::DoNotOptimize(result.visits.size());
+  }
+}
+BENCHMARK(BM_ConsecutiveStudy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 8 (shared providers under consecutive visits)", [](std::ostream& os) {
+        auto cfg = h3cdn::bench::consecutive_config();
+        cfg.probes_per_vantage = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 3));
+        const auto study = core::MeasurementStudy(cfg).run();
+        core::print_fig8(os, core::compute_fig8(study));
+      });
+}

@@ -1,0 +1,32 @@
+// Fig. 9 — PLT reduction versus the number of CDN resources per page under
+// injected netem-style loss (paper: fitted slopes 0.80 / 1.42 / 2.15
+// ms-per-resource for 0% / 0.5% / 1% loss — increasing with the loss rate,
+// because H3's stream multiplexing and per-stream loss recovery sidestep
+// TCP's head-of-line blocking).
+#include "bench_common.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_LossyPageVisit(benchmark::State& state) {
+  auto cfg = bench::micro_config(6);
+  cfg.loss_rate = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    auto result = core::MeasurementStudy(cfg).run();
+    benchmark::DoNotOptimize(result.visits.size());
+  }
+}
+BENCHMARK(BM_LossyPageVisit)->Arg(0)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fig. 9 (loss sweep: reduction vs. CDN resource count)", [](std::ostream& os) {
+        auto cfg = h3cdn::bench::standard_config();
+        cfg.probes_per_vantage = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 2));
+        const auto fig9 = core::compute_fig9(cfg, {0.0, 0.005, 0.01});
+        core::print_fig9(os, fig9);
+      });
+}

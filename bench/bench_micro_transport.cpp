@@ -1,0 +1,104 @@
+// Micro-benchmarks of the simulator substrate itself: event-loop throughput,
+// link transmission, transport transfers, and a full page visit. These bound
+// how fast full-scale studies can run and catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "browser/browser.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "transport/connection.h"
+#include "web/workload.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_EventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10000; ++i) sim.schedule_at(usec(i), [] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventLoop)->Unit(benchmark::kMillisecond);
+
+void BM_LinkTransmit(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    net::Link link(sim, cfg, util::Rng(1));
+    int delivered = 0;
+    for (int i = 0; i < 5000; ++i) link.transmit(1400, [&] { ++delivered; });
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_LinkTransmit)->Unit(benchmark::kMillisecond);
+
+void transfer_benchmark(benchmark::State& state, tls::TransportKind kind, double loss) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::PathConfig pc;
+    pc.rtt = msec(20);
+    pc.bandwidth_bps = 200e6;
+    pc.loss_rate = loss;
+    net::NetPath path(sim, pc, util::Rng(7));
+    auto conn = transport::Connection::create(sim, path, kind, tls::TlsVersion::Tls13,
+                                              tls::HandshakeMode::Fresh, util::Rng(9), {});
+    conn->connect([](TimePoint) {});
+    int done = 0;
+    for (int s = 0; s < 16; ++s) {
+      transport::FetchCallbacks cbs;
+      cbs.on_complete = [&](TimePoint) { ++done; };
+      conn->fetch(500, 20'000, msec(3), std::move(cbs));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+    bytes += 16 * 20'000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+void BM_TcpTransfer(benchmark::State& state) {
+  transfer_benchmark(state, tls::TransportKind::Tcp, 0.0);
+}
+void BM_QuicTransfer(benchmark::State& state) {
+  transfer_benchmark(state, tls::TransportKind::Quic, 0.0);
+}
+void BM_TcpTransferLossy(benchmark::State& state) {
+  transfer_benchmark(state, tls::TransportKind::Tcp, 0.01);
+}
+void BM_QuicTransferLossy(benchmark::State& state) {
+  transfer_benchmark(state, tls::TransportKind::Quic, 0.01);
+}
+BENCHMARK(BM_TcpTransfer)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QuicTransfer)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TcpTransferLossy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QuicTransferLossy)->Unit(benchmark::kMillisecond);
+
+void BM_FullPageVisit(benchmark::State& state) {
+  web::WorkloadConfig cfg;
+  cfg.site_count = 4;
+  const auto workload = web::generate_workload(cfg);
+  std::size_t entries = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    browser::Environment env(sim, workload.universe, browser::VantageConfig{}, util::Rng(3));
+    env.warm_page(workload.sites[0].page);
+    browser::BrowserConfig bc;
+    browser::Browser browser(sim, env, nullptr, bc, util::Rng(5));
+    auto result = browser.visit_and_run(workload.sites[0].page);
+    entries += result.har.entries.size();
+    benchmark::DoNotOptimize(result.har.page_load_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(entries));
+}
+BENCHMARK(BM_FullPageVisit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table I — release year of H3 support in various CDNs and their
+// corresponding performance reports (static registry data), plus timing of
+// the LocEdge-substitute classifier that attributes requests to providers.
+#include "bench_common.h"
+
+#include "locedge/classifier.h"
+#include "web/headers.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void BM_ClassifyCdnHeaders(benchmark::State& state) {
+  util::Rng rng(1);
+  locedge::Classifier classifier;
+  std::vector<std::pair<std::string, std::vector<web::Header>>> samples;
+  for (const auto& t : cdn::ProviderRegistry::all()) {
+    for (int i = 0; i < 8; ++i) {
+      samples.emplace_back("res.host" + std::to_string(i) + ".example",
+                           web::make_cdn_headers(t.id, rng));
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [domain, headers] = samples[i++ % samples.size()];
+    benchmark::DoNotOptimize(classifier.classify(domain, headers));
+  }
+}
+BENCHMARK(BM_ClassifyCdnHeaders);
+
+void BM_ClassifyByDomainOnly(benchmark::State& state) {
+  locedge::Classifier classifier;
+  const std::vector<web::Header> empty;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify("fonts.gstatic.com", empty));
+    benchmark::DoNotOptimize(classifier.classify("www.first-party.example", empty));
+  }
+}
+BENCHMARK(BM_ClassifyByDomainOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(argc, argv, "Table I (H3 adoption timeline)",
+                                      [](std::ostream& os) {
+                                        h3cdn::core::print_table1(os, h3cdn::core::compute_table1());
+                                      });
+}

@@ -1,0 +1,73 @@
+// Stream multiplexing under loss (paper §VI-E / Fig. 9): load one
+// resource-heavy page across a sweep of injected netem-style loss rates and
+// watch H3's advantage grow — QUIC's independent streams and rtt-scale loss
+// recovery sidestep TCP's head-of-line blocking and its 200 ms RTO floor.
+//
+//   ./build/examples/lossy_network [site_index]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "browser/browser.h"
+#include "web/workload.h"
+
+using namespace h3cdn;
+
+namespace {
+
+double load_ms(const web::Workload& workload, std::size_t site, bool h3, double loss,
+               std::uint64_t seed) {
+  sim::Simulator sim;
+  browser::VantageConfig vantage;
+  vantage.loss_rate = loss;
+  vantage.server_noise_salt = seed * 2 + (h3 ? 1 : 0);
+  browser::Environment env(sim, workload.universe, vantage, util::Rng(1000 + seed));
+  env.warm_page(workload.sites[site].page);
+  browser::BrowserConfig config;
+  config.h3_enabled = h3;
+  browser::Browser chrome(sim, env, nullptr, config, util::Rng(55));
+  return to_ms(chrome.visit_and_run(workload.sites[site].page).har.page_load_time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  web::Workload workload = web::generate_workload();
+
+  // Pick a CDN-heavy page (the congestion-prone case the paper highlights).
+  std::size_t site = 0;
+  if (argc > 1) {
+    site = static_cast<std::size_t>(std::atoi(argv[1]));
+  } else {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < workload.sites.size(); ++i) {
+      const auto count = workload.sites[i].page.cdn_resource_count();
+      if (count > best) {
+        best = count;
+        site = i;
+      }
+    }
+  }
+  const auto& page = workload.sites[site].page;
+  std::printf("Page %s: %zu requests, %zu CDN resources across %zu providers\n\n",
+              page.site.c_str(), page.total_requests(), page.cdn_resource_count(),
+              page.cdn_providers().size());
+
+  std::printf("%10s %14s %14s %16s\n", "loss rate", "H2 PLT (ms)", "H3 PLT (ms)",
+              "reduction (ms)");
+  const int kRepeats = 5;
+  for (double loss : {0.0, 0.0025, 0.005, 0.01, 0.02}) {
+    double h2 = 0, h3 = 0;
+    for (std::uint64_t seed = 1; seed <= kRepeats; ++seed) {
+      h2 += load_ms(workload, site, false, loss, seed);
+      h3 += load_ms(workload, site, true, loss, seed);
+    }
+    h2 /= kRepeats;
+    h3 /= kRepeats;
+    std::printf("%9.2f%% %14.1f %14.1f %16.1f\n", loss * 100, h2, h3, h2 - h3);
+  }
+  std::printf("\nAs the paper's Fig. 9 shows, the PLT reduction rises with the loss rate:\n"
+              "a lost TCP segment blocks every H2 stream behind it, while QUIC streams\n"
+              "are logically independent.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "analysis/bootstrap.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace h3cdn::analysis {
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& sample, double confidence,
+                              std::size_t resamples, util::Rng rng) {
+  H3CDN_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  H3CDN_EXPECTS(resamples >= 10);
+  BootstrapCi ci;
+  ci.confidence = confidence;
+  if (sample.empty()) return ci;
+  ci.mean = util::mean(sample);
+  if (sample.size() == 1) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sum += sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = util::quantile_sorted(means, alpha);
+  ci.hi = util::quantile_sorted(means, 1.0 - alpha);
+  return ci;
+}
+
+}  // namespace h3cdn::analysis

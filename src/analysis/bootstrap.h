@@ -1,0 +1,26 @@
+// Nonparametric bootstrap confidence intervals for the study's group means.
+// The paper reports point estimates only; a reproduction should quantify how
+// stable its own group means are (Fig. 6a/8a group means ride on heavy-tailed
+// per-page reductions).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace h3cdn::analysis {
+
+struct BootstrapCi {
+  double mean = 0.0;
+  double lo = 0.0;      // lower percentile bound
+  double hi = 0.0;      // upper percentile bound
+  double confidence = 0.95;
+};
+
+/// Percentile bootstrap CI of the sample mean. Deterministic given `rng`.
+/// An empty sample yields a zeroed interval; a singleton collapses to the
+/// point estimate.
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& sample, double confidence,
+                              std::size_t resamples, util::Rng rng);
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,46 @@
+#include "analysis/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace h3cdn::analysis {
+
+const char* to_string(QuartileGroup g) {
+  switch (g) {
+    case QuartileGroup::Low: return "Low";
+    case QuartileGroup::MediumLow: return "Medium-Low";
+    case QuartileGroup::MediumHigh: return "Medium-High";
+    case QuartileGroup::High: return "High";
+  }
+  return "?";
+}
+
+std::vector<QuartileGroup> quartile_groups(const std::vector<double>& keys) {
+  const std::size_t n = keys.size();
+  std::vector<QuartileGroup> out(n, QuartileGroup::Low);
+  if (n == 0) return out;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const auto g = std::min<std::size_t>(3, rank * 4 / n);
+    out[order[rank]] = static_cast<QuartileGroup>(g);
+  }
+  return out;
+}
+
+std::vector<int> fixed_width_bins(const std::vector<double>& values, double width) {
+  H3CDN_EXPECTS(width > 0.0);
+  std::vector<int> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(static_cast<int>(std::floor(v / width)));
+  return out;
+}
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,26 @@
+// Quartile grouping, as used by Fig. 6a/7: "webpages are categorized into
+// four groups based on quartiles of the number of H3-enabled CDN resources,
+// namely Low, Medium-Low, Medium-High, and High. Each group has an equal
+// number of pages."
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace h3cdn::analysis {
+
+enum class QuartileGroup { Low = 0, MediumLow = 1, MediumHigh = 2, High = 3 };
+
+const char* to_string(QuartileGroup g);
+
+/// Assigns each item to a quartile group by its key value, with equal group
+/// sizes (ties broken by original index, like a stable sort by key).
+std::vector<QuartileGroup> quartile_groups(const std::vector<double>& keys);
+
+/// Bins values into equal-width integer bins of `width`, returning the bin
+/// index for each value: floor(v / width). Negative values map to negative
+/// bins. Used for Fig. 7c's reused-connection-difference bins.
+std::vector<int> fixed_width_bins(const std::vector<double>& values, double width);
+
+}  // namespace h3cdn::analysis

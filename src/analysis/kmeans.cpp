@@ -1,0 +1,122 @@
+#include "analysis/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace h3cdn::analysis {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  H3CDN_EXPECTS(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return d;
+}
+
+namespace {
+
+std::vector<std::vector<double>> seed_plusplus(const std::vector<std::vector<double>>& points,
+                                               std::size_t k, util::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(points[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) best = std::min(best, squared_distance(points[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[0]);
+      continue;
+    }
+    double u = rng.uniform() * total;
+    std::size_t pick = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      u -= d2[i];
+      if (u <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+KMeansResult run_once(const std::vector<std::vector<double>>& points, const KMeansConfig& config,
+                      util::Rng& rng) {
+  const std::size_t n = points.size();
+  const std::size_t dim = points[0].size();
+  KMeansResult r;
+  r.centroids = seed_plusplus(points, config.k, rng);
+  r.assignment.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < config.k; ++c) {
+        const double d = squared_distance(points[i], r.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (r.assignment[i] != best_c) {
+        r.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    // Recompute centroids; empty clusters keep their previous position.
+    std::vector<std::vector<double>> sums(config.k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(config.k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[r.assignment[i]];
+      for (std::size_t d = 0; d < dim; ++d) sums[r.assignment[i]][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        r.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    r.iterations = iter + 1;
+    if (!changed) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  r.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r.inertia += squared_distance(points[i], r.centroids[r.assignment[i]]);
+  }
+  return r;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, KMeansConfig config,
+                    util::Rng rng) {
+  H3CDN_EXPECTS(config.k >= 1);
+  H3CDN_EXPECTS(points.size() >= config.k);
+  for (const auto& p : points) H3CDN_EXPECTS(p.size() == points[0].size());
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (std::size_t restart = 0; restart < std::max<std::size_t>(1, config.restarts); ++restart) {
+    util::Rng run_rng = rng.fork(restart);
+    KMeansResult r = run_once(points, config, run_rng);
+    if (r.inertia < best.inertia) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,35 @@
+// Lloyd's k-means, as used by the paper's Table III case study: webpages are
+// embedded as 58-dimensional binary vectors (which shared CDN domains appear
+// on the page) and clustered with k = 2 into high-/low-sharing groups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace h3cdn::analysis {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;        // point index -> cluster id
+  std::vector<std::vector<double>> centroids; // k centroids
+  double inertia = 0.0;                       // sum of squared distances
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct KMeansConfig {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 5;  // keep the best-inertia run
+};
+
+/// Clusters `points` (all the same dimension). Requires points.size() >= k.
+/// k-means++ seeding; deterministic given `rng`.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, KMeansConfig config,
+                    util::Rng rng);
+
+/// Squared Euclidean distance (exposed for tests).
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,70 @@
+#include "analysis/page_metrics.h"
+
+#include <unordered_map>
+
+namespace h3cdn::analysis {
+
+PageMetrics compute_page_metrics(const browser::HarPage& page,
+                                 const locedge::Classifier& classifier) {
+  PageMetrics m;
+  m.site = page.site;
+  m.h3_enabled = page.h3_enabled;
+  m.plt_ms = to_ms(page.page_load_time);
+  m.total_entries = page.entries.size();
+  m.resumed_connections = page.resumed_connections;
+  m.connections_created = page.connections_created;
+
+  for (const auto& e : page.entries) {
+    const auto cls = classifier.classify(e.domain, e.response_headers);
+    const bool is_cdn = cls.is_cdn;
+    if (is_cdn) {
+      ++m.cdn_entries;
+      ++m.provider_counts[cls.provider];
+      m.cdn_domains.insert(e.domain);
+    }
+    switch (e.timings.version) {
+      case http::HttpVersion::H2:
+        ++m.h2_entries;
+        if (is_cdn) ++m.h2_cdn_entries;
+        break;
+      case http::HttpVersion::H3:
+        ++m.h3_entries;
+        if (is_cdn) {
+          ++m.h3_cdn_entries;
+          ++m.provider_h3_counts[cls.provider];
+        }
+        break;
+      case http::HttpVersion::H1_1:
+        ++m.other_entries;
+        if (is_cdn) ++m.other_cdn_entries;
+        break;
+    }
+    if (e.is_reused_connection()) ++m.reused_connections;
+  }
+  return m;
+}
+
+std::vector<PhaseReduction> entry_phase_reductions(const browser::HarPage& h2_page,
+                                                   const browser::HarPage& h3_page) {
+  std::unordered_map<std::uint32_t, const browser::HarEntry*> h3_by_id;
+  h3_by_id.reserve(h3_page.entries.size());
+  for (const auto& e : h3_page.entries) h3_by_id.emplace(e.resource_id, &e);
+
+  std::vector<PhaseReduction> out;
+  out.reserve(h2_page.entries.size());
+  for (const auto& e2 : h2_page.entries) {
+    auto it = h3_by_id.find(e2.resource_id);
+    if (it == h3_by_id.end()) continue;
+    const auto& e3 = *it->second;
+    PhaseReduction r;
+    r.connect_ms = to_ms(e2.timings.connect) - to_ms(e3.timings.connect);
+    r.connect_valid = e2.timings.connect > Duration::zero() &&
+                      e3.timings.connect > Duration::zero();
+    r.wait_ms = to_ms(e2.timings.wait) - to_ms(e3.timings.wait);
+    r.receive_ms = to_ms(e2.timings.receive) - to_ms(e3.timings.receive);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,87 @@
+// Per-page metric extraction from HAR archives, with provider attribution
+// done by the LocEdge-substitute classifier (as in the paper's pipeline) —
+// analysis never reads workload ground truth.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "browser/har.h"
+#include "cdn/provider.h"
+#include "locedge/classifier.h"
+
+namespace h3cdn::analysis {
+
+struct PageMetrics {
+  std::string site;
+  bool h3_enabled = false;
+  double plt_ms = 0.0;
+
+  std::size_t total_entries = 0;
+  std::size_t cdn_entries = 0;
+  std::size_t h2_entries = 0;
+  std::size_t h3_entries = 0;
+  std::size_t other_entries = 0;  // HTTP/1.x
+  std::size_t h2_cdn_entries = 0;
+  std::size_t h3_cdn_entries = 0;
+  std::size_t other_cdn_entries = 0;
+
+  std::size_t reused_connections = 0;   // entries with HAR connect == 0
+  std::uint64_t resumed_connections = 0;  // ticket-based connections this visit
+  std::uint64_t connections_created = 0;
+
+  std::map<cdn::ProviderId, std::size_t> provider_counts;     // CDN entries
+  std::map<cdn::ProviderId, std::size_t> provider_h3_counts;  // fetched via H3
+  std::set<std::string> cdn_domains;
+
+  [[nodiscard]] double cdn_fraction() const {
+    return total_entries == 0 ? 0.0
+                              : static_cast<double>(cdn_entries) /
+                                    static_cast<double>(total_entries);
+  }
+  [[nodiscard]] std::size_t provider_count() const { return provider_counts.size(); }
+
+  /// Distinct providers among the six giants the paper's §VI-D analysis
+  /// counts (Amazon, Akamai, Cloudflare, Fastly, Google, Microsoft).
+  [[nodiscard]] std::size_t giant_provider_count() const {
+    std::size_t n = 0;
+    for (auto id : cdn::ProviderRegistry::fig8_providers()) n += provider_counts.count(id);
+    return n;
+  }
+};
+
+PageMetrics compute_page_metrics(const browser::HarPage& page,
+                                 const locedge::Classifier& classifier);
+
+/// A paired H2-mode / H3-mode observation of the same page from the same
+/// probe; the unit of every X_reduction statistic (§III-C).
+struct PagePair {
+  PageMetrics h2;
+  PageMetrics h3;
+
+  [[nodiscard]] double plt_reduction_ms() const { return h2.plt_ms - h3.plt_ms; }
+  /// Fig. 7b's metric: reused connections with H2 minus with H3.
+  [[nodiscard]] double reused_connection_diff() const {
+    return static_cast<double>(h2.reused_connections) -
+           static_cast<double>(h3.reused_connections);
+  }
+};
+
+/// Per-entry phase reductions (connection/wait/receive), matching entries of
+/// the two archives by resource id — the basis of Fig. 6b.
+struct PhaseReduction {
+  double connect_ms = 0.0;
+  double wait_ms = 0.0;
+  double receive_ms = 0.0;
+  // The connect comparison is only meaningful for entries that initiated a
+  // connection in BOTH visits (the same first-request-to-a-host both times);
+  // reused entries report connect == 0 by HAR convention in either mode.
+  bool connect_valid = false;
+};
+
+std::vector<PhaseReduction> entry_phase_reductions(const browser::HarPage& h2_page,
+                                                   const browser::HarPage& h3_page);
+
+}  // namespace h3cdn::analysis

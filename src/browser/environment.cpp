@@ -1,0 +1,126 @@
+#include "browser/environment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace h3cdn::browser {
+
+std::vector<VantageConfig> default_vantage_points() {
+  // Three CloudLab sites (§III-B). The scale factors encode geography:
+  // Utah/Wisconsin/Clemson see slightly different path lengths to the same
+  // anycast edges and origins.
+  VantageConfig utah{.name = "utah", .rtt_scale = 1.00};
+  VantageConfig wisconsin{.name = "wisconsin", .rtt_scale = 1.12};
+  VantageConfig clemson{.name = "clemson", .rtt_scale = 1.25};
+  return {utah, wisconsin, clemson};
+}
+
+std::vector<VantageConfig> global_vantage_points() {
+  auto points = default_vantage_points();
+  points.push_back({.name = "frankfurt", .rtt_scale = 2.6});
+  points.push_back({.name = "saopaulo", .rtt_scale = 3.4});
+  points.push_back({.name = "singapore", .rtt_scale = 4.2});
+  return points;
+}
+
+Environment::Environment(sim::Simulator& sim, const web::DomainUniverse& universe,
+                         VantageConfig vantage, util::Rng rng)
+    : sim_(sim), universe_(universe), vantage_(std::move(vantage)), rng_(rng) {
+  net::LinkConfig access;
+  access.latency = from_ms(vantage_.access_latency_ms);
+  access.bandwidth_bps = vantage_.access_bandwidth_bps;
+  access.loss_rate = 0.0;  // loss is applied per path with paired seeds
+  access.jitter_max = Duration::zero();
+  access_up_ = std::make_unique<net::Link>(sim_, access, rng_.fork("access-up"));
+  access_down_ = std::make_unique<net::Link>(sim_, access, rng_.fork("access-down"));
+  resolver_ = std::make_unique<dns::Resolver>(sim_, vantage_.dns, rng_.fork("dns"));
+}
+
+Environment::Host& Environment::host(const std::string& domain) {
+  auto it = hosts_.find(domain);
+  if (it != hosts_.end()) return it->second;
+
+  const web::DomainInfo& dinfo = universe_.get(domain);
+  const cdn::ProviderTraits& traits = cdn::ProviderRegistry::get(dinfo.provider);
+  util::Rng host_rng = rng_.fork(domain);
+
+  net::PathConfig pc;
+  const double base_ms = to_ms(traits.edge_rtt_base) +
+                         host_rng.uniform(0.0, to_ms(traits.edge_rtt_spread));
+  pc.rtt = from_ms(base_ms * vantage_.rtt_scale);
+  pc.bandwidth_bps = std::min(vantage_.probe_bandwidth_bps, traits.edge_bandwidth_bps);
+  // The injected netem-style loss is applied per path with a seed shared by
+  // the paired H2/H3 runs: statistically identical to NIC-level Bernoulli
+  // loss, but identical traffic sees identical drops, so paired reductions
+  // measure the protocol effect rather than loss-realization noise.
+  pc.loss_rate = std::min(1.0, vantage_.baseline_loss_rate + vantage_.loss_rate);
+  pc.jitter_max = from_ms(vantage_.jitter_ms);
+
+  Host h;
+  h.path = std::make_unique<net::NetPath>(sim_, pc, host_rng.fork("path"));
+  // Per-packet jitter IS per-visit noise (the two visits happen at different
+  // times in the paper), hence the salt.
+  h.path->reseed_jitter(vantage_.server_noise_salt);
+  h.path->attach_access(access_up_.get(), access_down_.get());
+  util::Rng server_rng = host_rng.fork("server").fork(vantage_.server_noise_salt);
+  if (dinfo.is_cdn) {
+    h.edge = std::make_unique<cdn::EdgeServer>(traits, server_rng);
+  } else {
+    h.origin = std::make_unique<cdn::OriginServer>(traits, server_rng);
+  }
+  h.info.path = h.path.get();
+  h.info.supports_h2 = dinfo.supports_h2;
+  h.info.supports_h3 = dinfo.supports_h3;
+  h.info.tls_version = dinfo.tls_version;
+  // Coalescing requires the shared certificate to cover the hostname AND the
+  // resolver to land both names on the same front end; in the wild that
+  // holds for roughly two-thirds of a giant provider's hostname pairs
+  // ("Respect the ORIGIN!", paper ref [40]). Membership is a stable property
+  // of the hostname, identical across the paired H2/H3 runs (pre-salt rng).
+  if (vantage_.h2_coalescing_enabled && dinfo.is_cdn && traits.h2_coalescing &&
+      host_rng.fork("coalesce").bernoulli(0.65)) {
+    h.info.coalesce_key = "h2-coalesce:" + traits.name;
+  }
+
+  auto [ins, ok] = hosts_.emplace(domain, std::move(h));
+  H3CDN_ASSERT(ok);
+  return ins->second;
+}
+
+http::OriginInfo Environment::resolve(const std::string& domain) { return host(domain).info; }
+
+Duration Environment::think(const http::Request& request, http::HttpVersion version) {
+  Host& h = host(request.domain);
+  const std::string key = request.domain + request.path;
+  if (h.edge) return h.edge->think_time(key, version);
+  return h.origin->think_time(key, version);
+}
+
+void Environment::warm_page(const web::WebPage& page) {
+  resolver_->prewarm(page.origin_domain);
+  for (const auto& r : page.resources) {
+    resolver_->prewarm(r.domain);
+    if (!r.is_cdn) continue;
+    Host& h = host(r.domain);
+    if (h.edge) h.edge->warm(r.domain + r.path);
+  }
+}
+
+void Environment::set_loss_rate(double loss_rate) {
+  vantage_.loss_rate = loss_rate;
+  const double total = std::min(1.0, vantage_.baseline_loss_rate + loss_rate);
+  for (auto& [domain, h] : hosts_) h.path->set_loss_rate(total);
+}
+
+http::Resolver Environment::resolver() {
+  return [this](const std::string& domain) { return resolve(domain); };
+}
+
+http::ThinkTimeFn Environment::think_fn() {
+  return [this](const http::Request& request, http::HttpVersion version) {
+    return think(request, version);
+  };
+}
+
+}  // namespace h3cdn::browser

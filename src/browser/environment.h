@@ -1,0 +1,111 @@
+// Per-probe network environment: one NetPath + server model per domain.
+//
+// Mirrors the paper's measurement setup (Fig. 1): a probe at a vantage point
+// reaches each CDN provider's nearby edge over a short path, and each
+// first-party origin over a longer one. A netem-style loss rate can be
+// applied uniformly (the Fig. 9 sweeps), exactly like the paper's use of
+// Linux Traffic Control on the probes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cdn/edge_server.h"
+#include "cdn/origin_server.h"
+#include "dns/resolver.h"
+#include "http/pool.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "web/domains.h"
+#include "web/resource.h"
+
+namespace h3cdn::browser {
+
+/// One of the paper's three CloudLab sites.
+struct VantageConfig {
+  std::string name = "utah";
+  double rtt_scale = 1.0;       // geography: scales every path RTT
+  double loss_rate = 0.0;       // injected tc/netem-style loss (on the probe NIC)
+  double baseline_loss_rate = 0.0005;  // residual real-Internet loss; netem adds on top
+  double jitter_ms = 1.2;       // per-packet jitter bound (FIFO, no reordering)
+  double probe_bandwidth_bps = 1e9;  // probe NIC; per-path bw is min(this, server)
+  // The probe's shared access link: every connection's traffic serializes
+  // through it (and the netem loss is applied there, as `tc` on the probe
+  // interface would). This couples concurrent connections like a real NIC.
+  double access_bandwidth_bps = 400e6;
+  double access_latency_ms = 1.0;
+  // Stub resolver setup for this probe (cold-path behaviour; measured visits
+  // run against a pre-warmed cache, matching the paper's second-visit
+  // methodology).
+  dns::ResolverConfig dns;
+  // Ablation switch: when false, H2 connections never coalesce across a
+  // provider's hostnames (isolates the paper's §VI-C reuse mechanism).
+  bool h2_coalescing_enabled = true;
+  // Salt for server-side timing randomness. Paired H2/H3 runs share path
+  // seeds (so RTTs align) but use different salts here: the two protocol
+  // visits happen at different wall times in the paper, so server service
+  // times are independent noise, not common random numbers.
+  std::uint64_t server_noise_salt = 0;
+};
+
+/// Standard three-site deployment from §III-B.
+std::vector<VantageConfig> default_vantage_points();
+
+/// Globally distributed probes — the paper's future-work item 3 ("it is
+/// useful to conduct measurements from geographically diverse vantage
+/// locations"): the US sites plus Europe, South America and Asia, with
+/// correspondingly longer paths to the (US-calibrated) edges and origins.
+std::vector<VantageConfig> global_vantage_points();
+
+class Environment {
+ public:
+  Environment(sim::Simulator& sim, const web::DomainUniverse& universe, VantageConfig vantage,
+              util::Rng rng);
+
+  /// Lazily materializes the path + server for a domain.
+  http::OriginInfo resolve(const std::string& domain);
+
+  /// Server processing time for a request (routes to edge or origin model).
+  Duration think(const http::Request& request, http::HttpVersion version);
+
+  /// Pre-warms edge caches for every CDN resource of a page and the stub
+  /// DNS cache for every domain on it (the paper's first visit, which exists
+  /// to ensure edge-served measurements).
+  void warm_page(const web::WebPage& page);
+
+  /// The probe's stub resolver.
+  [[nodiscard]] dns::Resolver& dns() { return *resolver_; }
+
+  /// Changes the injected loss rate on all existing and future paths.
+  void set_loss_rate(double loss_rate);
+
+  [[nodiscard]] const VantageConfig& vantage() const { return vantage_; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Adapters for http::ConnectionPool.
+  [[nodiscard]] http::Resolver resolver();
+  [[nodiscard]] http::ThinkTimeFn think_fn();
+
+ private:
+  struct Host {
+    std::unique_ptr<net::NetPath> path;
+    std::unique_ptr<cdn::EdgeServer> edge;      // CDN domains
+    std::unique_ptr<cdn::OriginServer> origin;  // non-CDN domains
+    http::OriginInfo info;
+  };
+
+  Host& host(const std::string& domain);
+
+  sim::Simulator& sim_;
+  const web::DomainUniverse& universe_;
+  VantageConfig vantage_;
+  util::Rng rng_;
+  std::unique_ptr<net::Link> access_up_;    // shared probe NIC, client->net
+  std::unique_ptr<net::Link> access_down_;  // shared probe NIC, net->client
+  std::unique_ptr<dns::Resolver> resolver_;
+  std::unordered_map<std::string, Host> hosts_;
+};
+
+}  // namespace h3cdn::browser

@@ -1,0 +1,88 @@
+#include "browser/har.h"
+
+#include "util/json.h"
+
+namespace h3cdn::browser {
+
+std::size_t HarPage::reused_connection_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries)
+    if (e.is_reused_connection()) ++n;
+  return n;
+}
+
+std::size_t HarPage::count_version(http::HttpVersion v) const {
+  std::size_t n = 0;
+  for (const auto& e : entries)
+    if (e.timings.version == v) ++n;
+  return n;
+}
+
+std::string to_har_json(const HarPage& page) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("log").begin_object();
+  w.kv("version", "1.2");
+  w.key("creator").begin_object();
+  w.kv("name", "h3cdn-simulated-browser");
+  w.kv("version", "1.0");
+  w.end_object();
+
+  w.key("pages").begin_array();
+  w.begin_object();
+  w.kv("id", page.site);
+  w.kv("title", page.site);
+  w.key("pageTimings").begin_object();
+  w.kv("onLoad", to_ms(page.page_load_time));
+  w.end_object();
+  w.kv("_h3Enabled", page.h3_enabled);
+  w.kv("_connectionsCreated", page.connections_created);
+  w.kv("_resumedConnections", page.resumed_connections);
+  w.kv("_zeroRttConnections", page.zero_rtt_connections);
+  w.end_object();
+  w.end_array();
+
+  w.key("entries").begin_array();
+  for (const auto& e : page.entries) {
+    w.begin_object();
+    w.kv("pageref", page.site);
+    w.kv("startedDateTime", to_ms(e.timings.started));
+    w.kv("time", to_ms(e.timings.total()));
+    w.key("request").begin_object();
+    w.kv("method", "GET");
+    w.kv("url", e.url);
+    w.kv("httpVersion", http::to_string(e.timings.version));
+    w.end_object();
+    w.key("response").begin_object();
+    w.kv("status", 200);
+    w.kv("bodySize", e.response_bytes);
+    w.key("headers").begin_array();
+    for (const auto& [k, v] : e.response_headers) {
+      w.begin_object();
+      w.kv("name", k);
+      w.kv("value", v);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("timings").begin_object();
+    w.kv("blocked", to_ms(e.timings.blocked));
+    w.kv("dns", to_ms(e.timings.dns));
+    w.kv("connect", to_ms(e.timings.connect));
+    w.kv("send", to_ms(e.timings.send));
+    w.kv("wait", to_ms(e.timings.wait));
+    w.kv("receive", to_ms(e.timings.receive));
+    w.end_object();
+    w.kv("_resourceId", static_cast<std::uint64_t>(e.resource_id));
+    w.kv("_resourceType", web::to_string(e.type));
+    w.kv("_reusedConnection", e.is_reused_connection());
+    w.kv("_handshakeMode", tls::to_string(e.timings.handshake_mode));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace h3cdn::browser

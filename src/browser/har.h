@@ -1,0 +1,57 @@
+// HAR-equivalent archive: the raw measurement artifact.
+//
+// The paper's pipeline is Chrome -> HAR file -> analysis. Our pipeline is
+// Browser -> HarPage -> analysis. Entries carry the HAR timing phases the
+// paper uses (connect/wait/receive, §III-C), the response headers (so the
+// LocEdge-substitute classifier works from the archive, not from ground
+// truth), and the connection-reuse signal (connect == 0, §VI-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/types.h"
+#include "util/types.h"
+#include "web/resource.h"
+
+namespace h3cdn::browser {
+
+struct HarEntry {
+  std::uint32_t resource_id = 0;
+  std::string url;
+  std::string domain;
+  web::ResourceType type = web::ResourceType::Other;
+  std::size_t response_bytes = 0;
+  bool from_cache = false;  // served by the browser HTTP cache (repeat view)
+  http::EntryTimings timings;
+  std::vector<web::Header> response_headers;
+
+  /// The paper's reused-connection predicate: HAR connect time of zero.
+  [[nodiscard]] bool is_reused_connection() const {
+    return timings.connect == Duration::zero();
+  }
+};
+
+struct HarPage {
+  std::string site;
+  bool h3_enabled = false;  // browser protocol mode of this visit
+  TimePoint started{0};
+  Duration page_load_time{0};  // onLoad: all resources finished (§III-C PLT)
+  std::vector<HarEntry> entries;
+
+  // Pool-level connection accounting for this visit.
+  std::uint64_t connections_created = 0;
+  std::uint64_t resumed_connections = 0;  // ticket-based (Resumed/ZeroRtt)
+  std::uint64_t zero_rtt_connections = 0;
+
+  [[nodiscard]] std::size_t reused_connection_count() const;
+
+  /// Entries fetched over a given HTTP version.
+  [[nodiscard]] std::size_t count_version(http::HttpVersion v) const;
+};
+
+/// Serializes a page archive to HAR-flavoured JSON (log/entries layout with
+/// the standard timings object), for interoperability and the quickstart.
+std::string to_har_json(const HarPage& page);
+
+}  // namespace h3cdn::browser

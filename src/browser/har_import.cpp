@@ -1,0 +1,126 @@
+#include "browser/har_import.h"
+
+#include "util/json_parse.h"
+
+namespace h3cdn::browser {
+
+namespace {
+
+http::HttpVersion parse_version(const std::string& s) {
+  if (s == "h3") return http::HttpVersion::H3;
+  if (s == "h2") return http::HttpVersion::H2;
+  return http::HttpVersion::H1_1;
+}
+
+tls::HandshakeMode parse_mode(const std::string& s) {
+  if (s == "resumed") return tls::HandshakeMode::Resumed;
+  if (s == "0-rtt") return tls::HandshakeMode::ZeroRtt;
+  return tls::HandshakeMode::Fresh;
+}
+
+web::ResourceType parse_type(const std::string& s) {
+  if (s == "html") return web::ResourceType::Html;
+  if (s == "css") return web::ResourceType::Css;
+  if (s == "script") return web::ResourceType::Script;
+  if (s == "image") return web::ResourceType::Image;
+  if (s == "font") return web::ResourceType::Font;
+  if (s == "media") return web::ResourceType::Media;
+  return web::ResourceType::Other;
+}
+
+std::string domain_of_url(const std::string& url) {
+  const auto scheme = url.find("://");
+  if (scheme == std::string::npos) return url;
+  const auto host_start = scheme + 3;
+  const auto slash = url.find('/', host_start);
+  return url.substr(host_start, slash == std::string::npos ? std::string::npos
+                                                           : slash - host_start);
+}
+
+bool fail(HarImportError* error, const std::string& message) {
+  if (error != nullptr) error->message = message;
+  return false;
+}
+
+bool import_entries(const util::JsonValue& log, HarPage& page, HarImportError* error) {
+  const util::JsonValue* entries = log.find("entries");
+  if (entries == nullptr || !entries->is_array()) return fail(error, "missing log.entries");
+
+  for (const auto& e : entries->as_array()) {
+    if (!e.is_object()) return fail(error, "entry is not an object");
+    HarEntry out;
+    out.resource_id = static_cast<std::uint32_t>(e.number_or("_resourceId", 0));
+    out.type = parse_type(e.string_or("_resourceType", "other"));
+
+    if (const util::JsonValue* req = e.find("request")) {
+      out.url = req->string_or("url", "");
+      out.timings.version = parse_version(req->string_or("httpVersion", "h2"));
+    }
+    out.domain = domain_of_url(out.url);
+
+    if (const util::JsonValue* resp = e.find("response")) {
+      out.response_bytes = static_cast<std::size_t>(resp->number_or("bodySize", 0));
+      if (const util::JsonValue* headers = resp->find("headers");
+          headers != nullptr && headers->is_array()) {
+        for (const auto& h : headers->as_array()) {
+          out.response_headers.emplace_back(h.string_or("name", ""), h.string_or("value", ""));
+        }
+      }
+    }
+
+    if (const util::JsonValue* t = e.find("timings")) {
+      out.timings.blocked = from_ms(t->number_or("blocked", 0));
+      out.timings.connect = from_ms(t->number_or("connect", 0));
+      out.timings.send = from_ms(t->number_or("send", 0));
+      out.timings.wait = from_ms(t->number_or("wait", 0));
+      out.timings.receive = from_ms(t->number_or("receive", 0));
+    }
+    out.timings.started = from_ms(e.number_or("startedDateTime", 0));
+    out.timings.finished = out.timings.started + from_ms(e.number_or("time", 0));
+    out.timings.handshake_mode = parse_mode(e.string_or("_handshakeMode", "fresh"));
+    out.timings.reused_connection = e.bool_or("_reusedConnection", false);
+    page.entries.push_back(std::move(out));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<HarPage> from_har_json(std::string_view json, HarImportError* error) {
+  util::JsonParseError parse_error;
+  const auto doc = util::parse_json(json, &parse_error);
+  if (!doc) {
+    if (error != nullptr) error->message = "JSON parse error: " + parse_error.message;
+    return std::nullopt;
+  }
+  const util::JsonValue* log = doc->find("log");
+  if (log == nullptr || !log->is_object()) {
+    if (error != nullptr) error->message = "missing top-level 'log' object";
+    return std::nullopt;
+  }
+
+  HarPage page;
+  if (const util::JsonValue* pages = log->find("pages");
+      pages != nullptr && pages->is_array() && !pages->as_array().empty()) {
+    const auto& p = pages->as_array().front();
+    page.site = p.string_or("id", "");
+    page.h3_enabled = p.bool_or("_h3Enabled", false);
+    page.connections_created =
+        static_cast<std::uint64_t>(p.number_or("_connectionsCreated", 0));
+    page.resumed_connections =
+        static_cast<std::uint64_t>(p.number_or("_resumedConnections", 0));
+    page.zero_rtt_connections =
+        static_cast<std::uint64_t>(p.number_or("_zeroRttConnections", 0));
+    if (const util::JsonValue* pt = p.find("pageTimings")) {
+      page.page_load_time = from_ms(pt->number_or("onLoad", 0));
+    }
+  } else {
+    if (error != nullptr) error->message = "missing log.pages";
+    return std::nullopt;
+  }
+
+  if (!import_entries(*log, page, error)) return std::nullopt;
+  return page;
+}
+
+}  // namespace h3cdn::browser

@@ -1,0 +1,22 @@
+// HAR import: parses archives produced by to_har_json() (and tolerates
+// HAR-1.2-shaped documents generally) back into HarPage, closing the
+// export/import round trip the paper's Chrome->HAR->analysis pipeline has.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "browser/har.h"
+
+namespace h3cdn::browser {
+
+struct HarImportError {
+  std::string message;
+};
+
+/// Parses one exported archive. Returns nullopt (and fills `error`) when the
+/// document is not parseable as a single-page HAR.
+std::optional<HarPage> from_har_json(std::string_view json, HarImportError* error = nullptr);
+
+}  // namespace h3cdn::browser

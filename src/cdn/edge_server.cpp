@@ -1,0 +1,27 @@
+#include "cdn/edge_server.h"
+
+namespace h3cdn::cdn {
+
+EdgeServer::EdgeServer(const ProviderTraits& traits, util::Rng rng, std::size_t cache_capacity)
+    : traits_(traits), rng_(rng), cache_(cache_capacity) {}
+
+void EdgeServer::warm(const std::string& key) {
+  if (rng_.bernoulli(traits_.cache_hit_ratio)) cache_.insert(key);
+}
+
+Duration EdgeServer::think_time(const std::string& key, http::HttpVersion version) {
+  double ms = rng_.lognormal_median(to_ms(traits_.service_time_median),
+                                    traits_.service_time_sigma);
+  if (version == http::HttpVersion::H3) {
+    // Userspace QUIC stack + per-packet crypto; see paper §VI-B.
+    ms += to_ms(traits_.h3_extra_service) * rng_.uniform(0.6, 1.4);
+  }
+  if (!cache_.touch(key)) {
+    // Cache miss: fetch from the customer's origin before responding.
+    ms += to_ms(traits_.origin_fetch_penalty) * rng_.uniform(0.8, 1.5);
+    cache_.insert(key);
+  }
+  return from_ms(ms);
+}
+
+}  // namespace h3cdn::cdn

@@ -1,0 +1,43 @@
+// Edge server processing-time model.
+//
+// Produces the per-request "think time" (the server-side component of the
+// HAR Wait phase). Components:
+//   * base service time: lognormal around the provider's median (cache
+//     lookup, response assembly);
+//   * protocol overhead: H3's userspace QUIC + encryption costs extra CPU —
+//     this is what makes the paper's median wait-reduction negative
+//     (Fig. 6b, §VI-B, citing [37][38]);
+//   * cache misses: an extra round trip to the origin.
+#pragma once
+
+#include <string>
+
+#include "cdn/lru_cache.h"
+#include "cdn/provider.h"
+#include "http/types.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace h3cdn::cdn {
+
+class EdgeServer {
+ public:
+  EdgeServer(const ProviderTraits& traits, util::Rng rng, std::size_t cache_capacity = 65536);
+
+  /// Pre-populates the cache for a resource key with the provider's hit
+  /// probability (models the paper's warm-up visit plus natural churn).
+  void warm(const std::string& key);
+
+  /// Server think time for one request.
+  Duration think_time(const std::string& key, http::HttpVersion version);
+
+  [[nodiscard]] const LruCache& cache() const { return cache_; }
+  [[nodiscard]] const ProviderTraits& traits() const { return traits_; }
+
+ private:
+  ProviderTraits traits_;
+  util::Rng rng_;
+  LruCache cache_;
+};
+
+}  // namespace h3cdn::cdn

@@ -1,0 +1,44 @@
+#include "cdn/lru_cache.h"
+
+#include "util/check.h"
+
+namespace h3cdn::cdn {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  H3CDN_EXPECTS(capacity > 0);
+}
+
+bool LruCache::touch(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+  ++hits_;
+  return true;
+}
+
+void LruCache::insert(const std::string& key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+    ++evictions_;
+  }
+  order_.push_front(key);
+  map_[key] = order_.begin();
+}
+
+bool LruCache::contains(const std::string& key) const { return map_.count(key) > 0; }
+
+void LruCache::clear() {
+  order_.clear();
+  map_.clear();
+}
+
+}  // namespace h3cdn::cdn

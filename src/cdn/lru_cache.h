@@ -1,0 +1,45 @@
+// Least-recently-used cache of resource keys, used by EdgeServer to decide
+// whether a request is served from the edge or must be fetched from the
+// origin. The paper warms each page once so that "CDN resources are served
+// from the edge CDN server rather than fetched from the origin server"
+// (§III-B); the study pre-warms these caches the same way.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace h3cdn::cdn {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  /// True if present; refreshes recency.
+  bool touch(const std::string& key);
+
+  /// Inserts (or refreshes) a key, evicting the LRU entry if full.
+  void insert(const std::string& key);
+
+  /// Presence check without recency update.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::list<std::string> order_;  // front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace h3cdn::cdn

@@ -1,0 +1,20 @@
+#include "cdn/origin_server.h"
+
+namespace h3cdn::cdn {
+
+OriginServer::OriginServer(util::Rng rng)
+    : OriginServer(ProviderRegistry::get(ProviderId::None), rng) {}
+
+OriginServer::OriginServer(const ProviderTraits& traits, util::Rng rng)
+    : traits_(traits), rng_(rng) {}
+
+Duration OriginServer::think_time(const std::string& /*key*/, http::HttpVersion version) {
+  double ms = rng_.lognormal_median(to_ms(traits_.service_time_median),
+                                    traits_.service_time_sigma);
+  if (version == http::HttpVersion::H3) {
+    ms += to_ms(traits_.h3_extra_service) * rng_.uniform(0.6, 1.4);
+  }
+  return from_ms(ms);
+}
+
+}  // namespace h3cdn::cdn

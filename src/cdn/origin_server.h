@@ -1,0 +1,29 @@
+// First-party (non-CDN) web service model. Unlike edge servers, origins run
+// dynamic workloads: slower, higher-variance service times and no edge cache.
+#pragma once
+
+#include <string>
+
+#include "cdn/provider.h"
+#include "http/types.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace h3cdn::cdn {
+
+class OriginServer {
+ public:
+  explicit OriginServer(util::Rng rng);
+  OriginServer(const ProviderTraits& traits, util::Rng rng);
+
+  /// Server think time for one request (dynamic content generation).
+  Duration think_time(const std::string& key, http::HttpVersion version);
+
+  [[nodiscard]] const ProviderTraits& traits() const { return traits_; }
+
+ private:
+  ProviderTraits traits_;
+  util::Rng rng_;
+};
+
+}  // namespace h3cdn::cdn

@@ -1,0 +1,96 @@
+// CDN provider registry.
+//
+// Encodes the seven providers the paper measures (Table I, Fig. 2) plus an
+// aggregate "Other" bucket and the calibration constants that reproduce the
+// paper's dataset-level aggregates:
+//   * market_share      — fraction of all CDN requests served (Fig. 2)
+//   * h3_adoption       — fraction of the provider's traffic that is
+//                         H3-enabled (Fig. 2: Google almost fully shifted,
+//                         Cloudflare roughly half, others marginal)
+//   * page_presence     — probability the provider appears on a page
+//                         (Fig. 4a: top-4 exceed 50%)
+//   * resources_median/sigma — per-page resource count, given presence
+//                         (Fig. 5: ~50% of Cloudflare/Google pages >10)
+// plus the Table I metadata (release year, published performance report) and
+// the network/server model parameters used by the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tls/handshake.h"
+#include "util/types.h"
+
+namespace h3cdn::cdn {
+
+enum class ProviderId {
+  Google,
+  Cloudflare,
+  Amazon,
+  Akamai,
+  Fastly,
+  Microsoft,
+  QuicCloud,
+  Other,    // long tail of smaller CDNs, aggregated
+  None,     // not a CDN (first-party web service)
+};
+
+struct ProviderTraits {
+  ProviderId id = ProviderId::None;
+  std::string name;
+
+  // --- Table I metadata ---
+  int h3_release_year = 0;
+  std::string performance_report;
+
+  // --- dataset calibration (see DESIGN.md §3) ---
+  double market_share = 0.0;      // of CDN requests
+  double h3_adoption = 0.0;       // of this provider's requests
+  double page_presence = 0.0;     // P(appears on a webpage)
+  double resources_median = 0.0;  // per-page count median, given presence
+  double resources_sigma = 0.0;   // lognormal sigma of that count
+  int domain_count = 0;           // global CDN hostnames owned (sum == 58)
+
+  // --- network model ---
+  Duration edge_rtt_base = msec(20);   // anycast edge is close to the client
+  Duration edge_rtt_spread = msec(10); // uniform spread across vantages
+
+  // H2 connection coalescing (RFC 7540 §9.1.1): giant providers serve many
+  // hostnames from shared certificates/IPs, so a browser reuses ONE TCP+TLS
+  // connection across them ("Respect the ORIGIN!", the paper's ref [40]).
+  // QUIC deployments in the measurement window did not coalesce, which is
+  // the root of the paper's §VI-C reused-connection asymmetry.
+  bool h2_coalescing = false;
+
+  // --- server model ---
+  tls::TlsVersion tls_version = tls::TlsVersion::Tls13;
+  Duration service_time_median = msec(6);
+  double service_time_sigma = 0.5;
+  Duration h3_extra_service = msec(3);  // H3 compute overhead (paper §VI-B)
+  double cache_hit_ratio = 0.95;
+  Duration origin_fetch_penalty = msec(80);  // edge->origin on cache miss
+  double edge_bandwidth_bps = 300e6;
+};
+
+class ProviderRegistry {
+ public:
+  /// All CDN providers (excludes ProviderId::None).
+  static const std::vector<ProviderTraits>& all();
+
+  /// Lookup by id; `None` returns a synthetic non-CDN traits entry.
+  static const ProviderTraits& get(ProviderId id);
+
+  /// Name -> id (exact match); ProviderId::None when unknown.
+  static ProviderId by_name(const std::string& name);
+
+  /// The four giants examined in Fig. 5.
+  static std::vector<ProviderId> fig5_providers();
+
+  /// Providers counted in the Fig. 8 shared-provider analysis (§VI-D lists
+  /// Amazon, Akamai, Cloudflare, Fastly, Google, Microsoft).
+  static std::vector<ProviderId> fig8_providers();
+};
+
+const char* to_string(ProviderId id);
+
+}  // namespace h3cdn::cdn

@@ -1,0 +1,217 @@
+// Experiment drivers: one compute_* function per table/figure of the paper's
+// evaluation. Each returns a plain result struct; report.h renders them in
+// the paper's layout. See DESIGN.md §3 for the experiment index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/grouping.h"
+#include "analysis/page_metrics.h"
+#include "cdn/provider.h"
+#include "core/study.h"
+#include "util/fit.h"
+#include "util/stats.h"
+
+namespace h3cdn::core {
+
+// ---------------------------------------------------------------------------
+// Table I — H3 support metadata per provider (static registry data).
+// ---------------------------------------------------------------------------
+struct Table1Row {
+  std::string provider;
+  int release_year = 0;
+  std::string performance_report;
+};
+std::vector<Table1Row> compute_table1();
+
+// ---------------------------------------------------------------------------
+// Table II — requests by HTTP version, split CDN / non-CDN.
+// Computed over all H3-enabled-mode visits, with CDN attribution by the
+// LocEdge-substitute classifier (as in the paper).
+// ---------------------------------------------------------------------------
+struct Table2Result {
+  std::size_t cdn_h2 = 0, cdn_h3 = 0, cdn_other = 0;
+  std::size_t noncdn_h2 = 0, noncdn_h3 = 0, noncdn_other = 0;
+
+  [[nodiscard]] std::size_t cdn_total() const { return cdn_h2 + cdn_h3 + cdn_other; }
+  [[nodiscard]] std::size_t noncdn_total() const {
+    return noncdn_h2 + noncdn_h3 + noncdn_other;
+  }
+  [[nodiscard]] std::size_t total() const { return cdn_total() + noncdn_total(); }
+  [[nodiscard]] double pct(std::size_t n) const {
+    return total() == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(total());
+  }
+};
+Table2Result compute_table2(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — H3 adoption by provider and market share.
+// ---------------------------------------------------------------------------
+struct Fig2Row {
+  cdn::ProviderId provider = cdn::ProviderId::Other;
+  std::size_t h3_requests = 0;
+  std::size_t h2_requests = 0;
+  double h3_share_within_provider = 0.0;  // h3 / (h2 + h3)
+  double share_of_all_h3_cdn = 0.0;       // provider h3 / total h3 CDN requests
+  double market_share = 0.0;              // provider total / all CDN requests
+};
+std::vector<Fig2Row> compute_fig2(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — CCDF of the CDN-resource percentage per webpage.
+// ---------------------------------------------------------------------------
+struct Fig3Result {
+  std::vector<util::DistPoint> ccdf;  // x: CDN percentage [0,100]
+  double fraction_above_50pct = 0.0;  // paper: 75% of pages exceed 50%
+};
+Fig3Result compute_fig3(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — provider page-presence probabilities (a) and the distribution of
+// providers-per-page (b).
+// ---------------------------------------------------------------------------
+struct Fig4Result {
+  std::vector<std::pair<cdn::ProviderId, double>> presence;      // (a), desc
+  std::vector<std::pair<std::size_t, std::size_t>> pages_by_provider_count;  // (b)
+  double fraction_pages_ge2_providers = 0.0;  // paper: 94.8%
+};
+Fig4Result compute_fig4(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — CCDF of per-page CDN resource counts for the four giants.
+// ---------------------------------------------------------------------------
+struct Fig5Result {
+  std::map<cdn::ProviderId, std::vector<util::DistPoint>> ccdf;
+  std::map<cdn::ProviderId, double> fraction_pages_gt10;  // CF/Google ~ 0.5
+};
+Fig5Result compute_fig5(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — (a) PLT reduction per quartile group of H3-enabled CDN resource
+// counts; (b) CDF of per-entry connection/wait/receive reductions.
+// ---------------------------------------------------------------------------
+struct Fig6GroupRow {
+  analysis::QuartileGroup group = analysis::QuartileGroup::Low;
+  std::size_t pages = 0;
+  double mean_h3_cdn_resources = 0.0;
+  double mean_plt_reduction_ms = 0.0;
+  double median_plt_reduction_ms = 0.0;
+  // 95% bootstrap CI of the group mean (stability of the point estimate).
+  double ci_lo_ms = 0.0;
+  double ci_hi_ms = 0.0;
+};
+struct Fig6Result {
+  std::vector<Fig6GroupRow> groups;  // Low..High
+  std::vector<util::DistPoint> connect_reduction_cdf;
+  std::vector<util::DistPoint> wait_reduction_cdf;
+  std::vector<util::DistPoint> receive_reduction_cdf;
+  double median_connect_reduction_ms = 0.0;  // paper: > 0
+  double median_wait_reduction_ms = 0.0;     // paper: < 0
+  double median_receive_reduction_ms = 0.0;  // paper: ~ 0
+};
+Fig6Result compute_fig6(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — reused HTTP connections vs. the H3 benefit.
+// ---------------------------------------------------------------------------
+struct Fig7GroupRow {
+  analysis::QuartileGroup group = analysis::QuartileGroup::Low;
+  double mean_reused_h2 = 0.0;  // (a)
+  double mean_reused_h3 = 0.0;  // (a)
+  double mean_reused_diff = 0.0;  // (b): H2 - H3
+};
+struct Fig7DiffBin {
+  double diff_bin_center = 0.0;
+  double mean_plt_reduction_ms = 0.0;
+  std::size_t pages = 0;
+};
+struct Fig7Result {
+  std::vector<Fig7GroupRow> groups;
+  std::vector<Fig7DiffBin> reduction_by_diff;  // (c)
+  double correlation_diff_vs_reduction = 0.0;  // paper: negative
+};
+Fig7Result compute_fig7(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — consecutive visits: PLT reduction (a) and resumed connections (b)
+// vs. number of CDN providers used. Requires a consecutive-mode study.
+// ---------------------------------------------------------------------------
+struct Fig8Row {
+  std::size_t providers = 0;
+  std::size_t pages = 0;
+  double mean_plt_reduction_ms = 0.0;
+  double mean_resumed_connections = 0.0;
+};
+struct Fig8Result {
+  std::vector<Fig8Row> by_provider_count;
+  double correlation_providers_vs_reduction = 0.0;  // paper: positive
+  double correlation_providers_vs_resumed = 0.0;    // paper: positive
+  // Decomposition: the per-page reduction is dominated by whether the site's
+  // own origin negotiates H3 (a property orthogonal to CDN-provider count).
+  // Conditioning on it exposes the CDN-side shared-provider trend.
+  double corr_reduction_origin_h3_pages = 0.0;
+  double corr_reduction_origin_h2_pages = 0.0;
+  double mean_reduction_origin_h3_pages = 0.0;
+  double mean_reduction_origin_h2_pages = 0.0;
+};
+Fig8Result compute_fig8(const StudyResult& consecutive_study);
+
+// ---------------------------------------------------------------------------
+// Table III — k-means (k=2) sharing-degree case study on domain vectors.
+// Requires a consecutive-mode study.
+// ---------------------------------------------------------------------------
+struct Table3Group {
+  std::string name;  // "C_H" / "C_L"
+  std::size_t pages = 0;
+  double avg_providers = 0.0;           // paper: 4.16 vs 2.58
+  double avg_resumed_connections = 0.0; // paper: 101.64 vs 73.74
+  double plt_reduction_ms = 0.0;        // paper: 109.3 vs 54.35
+};
+struct Table3Result {
+  Table3Group high;
+  Table3Group low;
+  std::size_t vector_dimension = 0;  // paper: 58 shared domains
+  std::size_t outliers_removed = 0;
+};
+Table3Result compute_table3(const StudyResult& consecutive_study, std::uint64_t seed = 17);
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — PLT reduction vs. #CDN resources under loss; fitted slopes
+// increase with the loss rate (paper: 0.80 / 1.42 / 2.15 for 0/0.5/1%).
+// ---------------------------------------------------------------------------
+struct Fig9Series {
+  double loss_rate = 0.0;
+  std::vector<std::pair<double, double>> points;  // (cdn resources, reduction ms)
+  util::LinearFit fit;
+};
+struct Fig9Result {
+  std::vector<Fig9Series> series;
+};
+/// Runs one sub-study per loss rate (sharing the base config's workload).
+Fig9Result compute_fig9(const StudyConfig& base, const std::vector<double>& loss_rates);
+/// Analyzes an already-run study as one Fig. 9 series.
+Fig9Series compute_fig9_series(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Per-pair metrics (LocEdge-classified), averaged over probes per site.
+struct SitePairMetrics {
+  std::size_t site_index = 0;
+  double plt_reduction_ms = 0.0;
+  double h3_cdn_resources = 0.0;      // mean count of CDN entries fetched via H3
+  double cdn_resources = 0.0;         // mean CDN entry count (H3-mode visit)
+  double reused_h2 = 0.0;
+  double reused_h3 = 0.0;
+  double providers = 0.0;  // mean distinct giant providers (§VI-D's six), H3-mode visit
+  double resumed_connections = 0.0;   // mean (H3-mode visit)
+  std::set<std::string> cdn_domains;  // union across probes
+};
+std::vector<SitePairMetrics> site_pair_metrics(const StudyResult& study);
+
+}  // namespace h3cdn::core

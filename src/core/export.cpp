@@ -1,0 +1,187 @@
+#include "core/export.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace h3cdn::core {
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string table2_to_csv(const Table2Result& r) {
+  std::ostringstream os;
+  os << "protocol,cdn_requests,cdn_pct,noncdn_requests,noncdn_pct,all_requests,all_pct\n";
+  auto row = [&](const char* name, std::size_t c, std::size_t n) {
+    os << name << ',' << c << ',' << r.pct(c) << ',' << n << ',' << r.pct(n) << ',' << (c + n)
+       << ',' << r.pct(c + n) << '\n';
+  };
+  row("h2", r.cdn_h2, r.noncdn_h2);
+  row("h3", r.cdn_h3, r.noncdn_h3);
+  row("others", r.cdn_other, r.noncdn_other);
+  return os.str();
+}
+
+std::string fig2_to_csv(const std::vector<Fig2Row>& rows) {
+  std::ostringstream os;
+  os << "provider,h3_requests,h2_requests,h3_share_within,share_of_h3_cdn,market_share\n";
+  for (const auto& r : rows) {
+    os << csv_escape(cdn::to_string(r.provider)) << ',' << r.h3_requests << ',' << r.h2_requests
+       << ',' << r.h3_share_within_provider << ',' << r.share_of_all_h3_cdn << ','
+       << r.market_share << '\n';
+  }
+  return os.str();
+}
+
+std::string fig3_to_csv(const Fig3Result& r) {
+  std::ostringstream os;
+  os << "cdn_pct,ccdf\n";
+  for (const auto& p : r.ccdf) os << p.x << ',' << p.y << '\n';
+  return os.str();
+}
+
+std::string fig4_to_csv(const Fig4Result& r) {
+  std::ostringstream os;
+  os << "provider,presence\n";
+  for (const auto& [provider, p] : r.presence) {
+    os << csv_escape(cdn::to_string(provider)) << ',' << p << '\n';
+  }
+  os << "\nproviders_per_page,pages\n";
+  for (const auto& [k, n] : r.pages_by_provider_count) os << k << ',' << n << '\n';
+  return os.str();
+}
+
+std::string fig5_to_csv(const Fig5Result& r) {
+  std::ostringstream os;
+  os << "provider,resources,ccdf\n";
+  for (const auto& [provider, series] : r.ccdf) {
+    for (const auto& p : series) {
+      os << csv_escape(cdn::to_string(provider)) << ',' << p.x << ',' << p.y << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string fig6_to_csv(const Fig6Result& r) {
+  std::ostringstream os;
+  os << "group,pages,mean_h3_cdn_resources,mean_plt_reduction_ms,median_plt_reduction_ms\n";
+  for (const auto& g : r.groups) {
+    os << analysis::to_string(g.group) << ',' << g.pages << ',' << g.mean_h3_cdn_resources << ','
+       << g.mean_plt_reduction_ms << ',' << g.median_plt_reduction_ms << '\n';
+  }
+  os << "\nphase,median_reduction_ms\n";
+  os << "connection," << r.median_connect_reduction_ms << '\n';
+  os << "wait," << r.median_wait_reduction_ms << '\n';
+  os << "receive," << r.median_receive_reduction_ms << '\n';
+  return os.str();
+}
+
+std::string fig7_to_csv(const Fig7Result& r) {
+  std::ostringstream os;
+  os << "group,mean_reused_h2,mean_reused_h3,mean_diff\n";
+  for (const auto& g : r.groups) {
+    os << analysis::to_string(g.group) << ',' << g.mean_reused_h2 << ',' << g.mean_reused_h3
+       << ',' << g.mean_reused_diff << '\n';
+  }
+  os << "\ndiff_bin_center,pages,mean_plt_reduction_ms\n";
+  for (const auto& b : r.reduction_by_diff) {
+    os << b.diff_bin_center << ',' << b.pages << ',' << b.mean_plt_reduction_ms << '\n';
+  }
+  return os.str();
+}
+
+std::string fig8_to_csv(const Fig8Result& r) {
+  std::ostringstream os;
+  os << "providers,pages,mean_plt_reduction_ms,mean_resumed_connections\n";
+  for (const auto& row : r.by_provider_count) {
+    os << row.providers << ',' << row.pages << ',' << row.mean_plt_reduction_ms << ','
+       << row.mean_resumed_connections << '\n';
+  }
+  return os.str();
+}
+
+std::string table3_to_csv(const Table3Result& r) {
+  std::ostringstream os;
+  os << "group,pages,avg_providers,avg_resumed_connections,plt_reduction_ms\n";
+  os << "C_H," << r.high.pages << ',' << r.high.avg_providers << ','
+     << r.high.avg_resumed_connections << ',' << r.high.plt_reduction_ms << '\n';
+  os << "C_L," << r.low.pages << ',' << r.low.avg_providers << ','
+     << r.low.avg_resumed_connections << ',' << r.low.plt_reduction_ms << '\n';
+  return os.str();
+}
+
+std::string fig9_to_csv(const Fig9Result& r) {
+  std::ostringstream os;
+  os << "loss_rate,cdn_resources,plt_reduction_ms\n";
+  for (const auto& s : r.series) {
+    for (const auto& [x, y] : s.points) os << s.loss_rate << ',' << x << ',' << y << '\n';
+  }
+  os << "\nloss_rate,fit_slope,fit_intercept,r2\n";
+  for (const auto& s : r.series) {
+    os << s.loss_rate << ',' << s.fit.slope << ',' << s.fit.intercept << ',' << s.fit.r2 << '\n';
+  }
+  return os.str();
+}
+
+std::string summary_to_json(const StudyResult& study) {
+  const auto t2 = compute_table2(study);
+  const auto f2 = compute_fig2(study);
+  const auto f3 = compute_fig3(study);
+  const auto f4 = compute_fig4(study);
+  const auto f6 = compute_fig6(study);
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("sites", study.site_count());
+  w.kv("visits", study.visits.size());
+  w.kv("consecutive", study.config.consecutive);
+  w.kv("loss_rate", study.config.loss_rate);
+
+  w.key("table2").begin_object();
+  w.kv("total_requests", t2.total());
+  w.kv("cdn_share", static_cast<double>(t2.cdn_total()) / static_cast<double>(t2.total()));
+  w.kv("h3_share",
+       static_cast<double>(t2.cdn_h3 + t2.noncdn_h3) / static_cast<double>(t2.total()));
+  w.kv("cdn_h3_share_of_all", static_cast<double>(t2.cdn_h3) / static_cast<double>(t2.total()));
+  w.end_object();
+
+  w.key("fig2").begin_array();
+  for (const auto& row : f2) {
+    w.begin_object();
+    w.kv("provider", cdn::to_string(row.provider));
+    w.kv("share_of_h3_cdn", row.share_of_all_h3_cdn);
+    w.kv("h3_within_provider", row.h3_share_within_provider);
+    w.kv("market_share", row.market_share);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.kv("fig3_pages_above_50pct_cdn", f3.fraction_above_50pct);
+  w.kv("fig4_pages_with_2plus_providers", f4.fraction_pages_ge2_providers);
+
+  w.key("fig6").begin_object();
+  w.key("group_mean_reduction_ms").begin_array();
+  for (const auto& g : f6.groups) w.value(g.mean_plt_reduction_ms);
+  w.end_array();
+  w.kv("median_connect_reduction_ms", f6.median_connect_reduction_ms);
+  w.kv("median_wait_reduction_ms", f6.median_wait_reduction_ms);
+  w.kv("median_receive_reduction_ms", f6.median_receive_reduction_ms);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace h3cdn::core

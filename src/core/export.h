@@ -1,0 +1,27 @@
+// Machine-readable exports of experiment results (CSV series suitable for
+// gnuplot/matplotlib, and a JSON summary), so the reproduction's figures can
+// be re-plotted outside the library.
+#pragma once
+
+#include <string>
+
+#include "core/experiments.h"
+
+namespace h3cdn::core {
+
+std::string table2_to_csv(const Table2Result& r);
+std::string fig2_to_csv(const std::vector<Fig2Row>& rows);
+std::string fig3_to_csv(const Fig3Result& r);
+std::string fig4_to_csv(const Fig4Result& r);
+std::string fig5_to_csv(const Fig5Result& r);
+std::string fig6_to_csv(const Fig6Result& r);
+std::string fig7_to_csv(const Fig7Result& r);
+std::string fig8_to_csv(const Fig8Result& r);
+std::string table3_to_csv(const Table3Result& r);
+std::string fig9_to_csv(const Fig9Result& r);
+
+/// One JSON document summarizing every headline number of a full study
+/// (Table II shares, Fig. 2 shares, Fig. 3/4 fractions, Fig. 6 medians, ...).
+std::string summary_to_json(const StudyResult& study);
+
+}  // namespace h3cdn::core

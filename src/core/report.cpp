@@ -1,0 +1,189 @@
+#include "core/report.h"
+
+#include "util/table.h"
+
+namespace h3cdn::core {
+
+using util::AsciiTable;
+using util::fmt;
+using util::fmt_pct;
+
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
+  os << "Table I: Release year of H3 support in various CDNs\n";
+  AsciiTable t({"Provider", "Release Year", "Performance Report"});
+  for (const auto& r : rows) {
+    t.add_row({r.provider, std::to_string(r.release_year), r.performance_report});
+  }
+  os << t.to_string(2);
+}
+
+void print_table2(std::ostream& os, const Table2Result& r) {
+  os << "Table II: requests and percentage of total requests by HTTP version\n";
+  os << "  (paper: CDN H2 41.2% / H3 25.8%; non-CDN H2 20.0% / H3 6.8%; CDN share 67.0%;"
+        " H3 total 32.6%)\n";
+  AsciiTable t({"Protocol", "CDN #Req", "CDN %", "NonCDN #Req", "NonCDN %", "All #Req", "All %"});
+  auto row = [&](const char* name, std::size_t c, std::size_t n) {
+    t.add_row({name, std::to_string(c), fmt(r.pct(c), 1), std::to_string(n), fmt(r.pct(n), 1),
+               std::to_string(c + n), fmt(r.pct(c + n), 1)});
+  };
+  row("HTTP/2", r.cdn_h2, r.noncdn_h2);
+  row("HTTP/3", r.cdn_h3, r.noncdn_h3);
+  row("Others", r.cdn_other, r.noncdn_other);
+  row("All", r.cdn_total(), r.noncdn_total());
+  os << t.to_string(2);
+}
+
+void print_fig2(std::ostream& os, const std::vector<Fig2Row>& rows) {
+  os << "Fig. 2: H3 adoption by CDN provider and market share\n";
+  os << "  (paper: Google ~50% of H3 CDN requests, nearly fully H3; Cloudflare 45.2%,"
+        " H3~H2 comparable; others limited)\n";
+  AsciiTable t({"Provider", "H3 req", "H2 req", "H3 within provider", "Share of H3 CDN",
+                "Market share"});
+  for (const auto& r : rows) {
+    t.add_row({cdn::to_string(r.provider), std::to_string(r.h3_requests),
+               std::to_string(r.h2_requests), fmt_pct(r.h3_share_within_provider),
+               fmt_pct(r.share_of_all_h3_cdn), fmt_pct(r.market_share)});
+  }
+  os << t.to_string(2);
+}
+
+void print_fig3(std::ostream& os, const Fig3Result& r) {
+  os << "Fig. 3: CCDF of the percentage of CDN resources per webpage\n";
+  os << "  (paper: 75% of webpages exceed 50% CDN resources)\n";
+  os << "  measured: P(CDN% > 50) = " << fmt_pct(r.fraction_above_50pct) << "\n";
+  AsciiTable t({"CDN% >", "fraction of pages"});
+  for (double x : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+    double y = 0.0;
+    for (const auto& p : r.ccdf) {
+      if (p.x <= x) y = p.y;
+    }
+    t.add_row({fmt(x, 0), fmt_pct(y)});
+  }
+  os << t.to_string(2);
+}
+
+void print_fig4(std::ostream& os, const Fig4Result& r) {
+  os << "Fig. 4(a): probability of CDN providers appearing on webpages\n";
+  os << "  (paper: top four providers exceed 50%)\n";
+  AsciiTable a({"Provider", "P(appears)"});
+  for (const auto& [provider, p] : r.presence) a.add_row({cdn::to_string(provider), fmt_pct(p)});
+  os << a.to_string(2);
+  os << "Fig. 4(b): webpages by number of CDN providers used\n";
+  os << "  (paper: 94.8% of webpages use at least two providers; measured "
+     << fmt_pct(r.fraction_pages_ge2_providers) << ")\n";
+  AsciiTable b({"#Providers", "#Pages"});
+  for (const auto& [k, n] : r.pages_by_provider_count) {
+    b.add_row({std::to_string(k), std::to_string(n)});
+  }
+  os << b.to_string(2);
+}
+
+void print_fig5(std::ostream& os, const Fig5Result& r) {
+  os << "Fig. 5: CCDF of per-page CDN resource counts (pages using the provider)\n";
+  os << "  (paper: ~50% of pages using Cloudflare/Google contain more than 10)\n";
+  AsciiTable t({"Provider", "P(count > 5)", "P(count > 10)", "P(count > 20)", "P(count > 50)"});
+  for (const auto& [provider, ccdf] : r.ccdf) {
+    auto at = [&](double x) {
+      double y = 1.0;
+      bool any = false;
+      for (const auto& p : ccdf) {
+        if (p.x <= x) {
+          y = p.y;
+          any = true;
+        }
+      }
+      return any ? y : 1.0;
+    };
+    t.add_row({cdn::to_string(provider), fmt_pct(at(5)), fmt_pct(at(10)), fmt_pct(at(20)),
+               fmt_pct(at(50))});
+  }
+  os << t.to_string(2);
+}
+
+void print_fig6(std::ostream& os, const Fig6Result& r) {
+  os << "Fig. 6(a): PLT reduction by H3-enabled-CDN-resource quartile group\n";
+  os << "  (paper: all positive; Low ~60ms; Medium groups peak; High smallest)\n";
+  AsciiTable a({"Group", "Pages", "Mean #H3 CDN res", "Mean PLT reduction (ms)",
+                "95% CI", "Median PLT reduction (ms)"});
+  for (const auto& g : r.groups) {
+    a.add_row({analysis::to_string(g.group), std::to_string(g.pages),
+               fmt(g.mean_h3_cdn_resources, 1), fmt(g.mean_plt_reduction_ms, 1),
+               "[" + fmt(g.ci_lo_ms, 1) + ", " + fmt(g.ci_hi_ms, 1) + "]",
+               fmt(g.median_plt_reduction_ms, 1)});
+  }
+  os << a.to_string(2);
+  os << "Fig. 6(b): per-entry phase reduction medians (ms)\n";
+  os << "  (paper: connection > 0, wait < 0, receive ~ 0)\n";
+  AsciiTable b({"Phase", "Median reduction (ms)"});
+  b.add_row({"connection", fmt(r.median_connect_reduction_ms, 3)});
+  b.add_row({"wait", fmt(r.median_wait_reduction_ms, 3)});
+  b.add_row({"receive", fmt(r.median_receive_reduction_ms, 3)});
+  os << b.to_string(2);
+}
+
+void print_fig7(std::ostream& os, const Fig7Result& r) {
+  os << "Fig. 7(a/b): reused HTTP connections per group\n";
+  os << "  (paper: reuse rises with group level; H2 reuses more than H3, most in High)\n";
+  AsciiTable a({"Group", "Mean reused (H2)", "Mean reused (H3)", "Mean diff (H2-H3)"});
+  for (const auto& g : r.groups) {
+    a.add_row({analysis::to_string(g.group), fmt(g.mean_reused_h2, 1), fmt(g.mean_reused_h3, 1),
+               fmt(g.mean_reused_diff, 1)});
+  }
+  os << a.to_string(2);
+  os << "Fig. 7(c): PLT reduction vs. reused-connection difference\n";
+  os << "  (paper: reduction shrinks as the difference grows; corr = "
+     << fmt(r.correlation_diff_vs_reduction, 3) << ")\n";
+  AsciiTable c({"Diff bin center", "Pages", "Mean PLT reduction (ms)"});
+  for (const auto& b : r.reduction_by_diff) {
+    c.add_row({fmt(b.diff_bin_center, 1), std::to_string(b.pages),
+               fmt(b.mean_plt_reduction_ms, 1)});
+  }
+  os << c.to_string(2);
+}
+
+void print_fig8(std::ostream& os, const Fig8Result& r) {
+  os << "Fig. 8: consecutive visits — shared providers and resumption\n";
+  os << "  (paper: PLT reduction and resumed connections both grow with #providers)\n";
+  os << "  corr(providers, reduction) = " << fmt(r.correlation_providers_vs_reduction, 3)
+     << ", corr(providers, resumed) = " << fmt(r.correlation_providers_vs_resumed, 3) << "\n";
+  AsciiTable t({"#Providers", "Pages", "Mean PLT reduction (ms)", "Mean resumed connections"});
+  for (const auto& row : r.by_provider_count) {
+    t.add_row({std::to_string(row.providers), std::to_string(row.pages),
+               fmt(row.mean_plt_reduction_ms, 1), fmt(row.mean_resumed_connections, 1)});
+  }
+  os << t.to_string(2);
+  os << "  conditioned on the origin protocol (CDN-side view): H3-origin pages mean "
+     << fmt(r.mean_reduction_origin_h3_pages, 1) << " ms (corr "
+     << fmt(r.corr_reduction_origin_h3_pages, 3) << "); H2-origin pages mean "
+     << fmt(r.mean_reduction_origin_h2_pages, 1) << " ms (corr "
+     << fmt(r.corr_reduction_origin_h2_pages, 3) << ")\n";
+}
+
+void print_table3(std::ostream& os, const Table3Result& r) {
+  os << "Table III: PLT reduction of two sharing-degree groups (k-means, k=2, "
+     << r.vector_dimension << "-dim domain vectors, " << r.outliers_removed
+     << " outliers removed)\n";
+  os << "  (paper: C_H 4.16 providers / 101.64 resumed / 109.3ms; C_L 2.58 / 73.74 / 54.35ms)\n";
+  AsciiTable t({"Metric", r.high.name, r.low.name});
+  t.add_row({"Pages", std::to_string(r.high.pages), std::to_string(r.low.pages)});
+  t.add_row({"Avg num. of shared providers", fmt(r.high.avg_providers, 2),
+             fmt(r.low.avg_providers, 2)});
+  t.add_row({"Avg num. of resumed connections", fmt(r.high.avg_resumed_connections, 2),
+             fmt(r.low.avg_resumed_connections, 2)});
+  t.add_row({"PLT reduction (ms)", fmt(r.high.plt_reduction_ms, 2),
+             fmt(r.low.plt_reduction_ms, 2)});
+  os << t.to_string(2);
+}
+
+void print_fig9(std::ostream& os, const Fig9Result& r) {
+  os << "Fig. 9: PLT reduction vs. #CDN resources under loss\n";
+  os << "  (paper slopes: 0.80 @ 0% loss, 1.42 @ 0.5%, 2.15 @ 1% — increasing)\n";
+  AsciiTable t({"Loss rate", "Pages", "Fit slope (ms/resource)", "Fit intercept (ms)", "R^2"});
+  for (const auto& s : r.series) {
+    t.add_row({fmt_pct(s.loss_rate, 1), std::to_string(s.points.size()), fmt(s.fit.slope, 2),
+               fmt(s.fit.intercept, 1), fmt(s.fit.r2, 3)});
+  }
+  os << t.to_string(2);
+}
+
+}  // namespace h3cdn::core

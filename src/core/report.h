@@ -1,0 +1,23 @@
+// Rendering of experiment results in the paper's table/figure layouts, with
+// the paper-reported values printed alongside for easy shape comparison.
+#pragma once
+
+#include <ostream>
+
+#include "core/experiments.h"
+
+namespace h3cdn::core {
+
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows);
+void print_table2(std::ostream& os, const Table2Result& r);
+void print_fig2(std::ostream& os, const std::vector<Fig2Row>& rows);
+void print_fig3(std::ostream& os, const Fig3Result& r);
+void print_fig4(std::ostream& os, const Fig4Result& r);
+void print_fig5(std::ostream& os, const Fig5Result& r);
+void print_fig6(std::ostream& os, const Fig6Result& r);
+void print_fig7(std::ostream& os, const Fig7Result& r);
+void print_fig8(std::ostream& os, const Fig8Result& r);
+void print_table3(std::ostream& os, const Table3Result& r);
+void print_fig9(std::ostream& os, const Fig9Result& r);
+
+}  // namespace h3cdn::core

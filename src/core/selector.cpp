@@ -1,0 +1,80 @@
+#include "core/selector.h"
+
+#include "util/check.h"
+
+namespace h3cdn::core {
+
+AdaptiveProtocolSelector::AdaptiveProtocolSelector(SelectorConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  H3CDN_EXPECTS(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+  H3CDN_EXPECTS(config_.explore_rate >= 0.0 && config_.explore_rate < 1.0);
+  H3CDN_EXPECTS(config_.switch_margin >= 1.0);
+}
+
+AdaptiveProtocolSelector::Arm& AdaptiveProtocolSelector::arm(OriginState& s,
+                                                             http::HttpVersion v) {
+  return v == http::HttpVersion::H3 ? s.h3 : s.h2;
+}
+
+const AdaptiveProtocolSelector::Arm& AdaptiveProtocolSelector::arm(const OriginState& s,
+                                                                   http::HttpVersion v) {
+  return v == http::HttpVersion::H3 ? s.h3 : s.h2;
+}
+
+void AdaptiveProtocolSelector::observe(const std::string& origin, http::HttpVersion version,
+                                       double total_ms) {
+  if (version == http::HttpVersion::H1_1) return;  // no H1/H3 arbitrage
+  Arm& a = arm(origins_[origin], version);
+  a.ewma_ms = a.n == 0 ? total_ms
+                       : config_.ewma_alpha * total_ms + (1.0 - config_.ewma_alpha) * a.ewma_ms;
+  ++a.n;
+}
+
+std::optional<http::HttpVersion> AdaptiveProtocolSelector::recommend(
+    const std::string& origin) {
+  auto it = origins_.find(origin);
+  if (it == origins_.end()) return std::nullopt;
+  const OriginState& s = it->second;
+  ++decisions_;
+
+  // Not enough evidence on one arm: explore it (bounded by explore_rate once
+  // both arms have some data, unconditionally while one arm is empty).
+  if (s.h3.n < config_.min_observations && s.h2.n >= config_.min_observations) {
+    ++explorations_;
+    return http::HttpVersion::H3;
+  }
+  if (s.h2.n < config_.min_observations && s.h3.n >= config_.min_observations) {
+    ++explorations_;
+    return http::HttpVersion::H2;
+  }
+  if (s.h2.n < config_.min_observations || s.h3.n < config_.min_observations) {
+    return std::nullopt;  // both arms immature: pool default
+  }
+
+  if (rng_.bernoulli(config_.explore_rate)) {
+    ++explorations_;
+    return s.h2.ewma_ms <= s.h3.ewma_ms ? http::HttpVersion::H3 : http::HttpVersion::H2;
+  }
+
+  // Exploit with hysteresis: prefer H3 unless H2 is better by the margin
+  // (the paper recommends H3 by default; switching needs evidence).
+  if (s.h2.ewma_ms * config_.switch_margin < s.h3.ewma_ms) return http::HttpVersion::H2;
+  return http::HttpVersion::H3;
+}
+
+std::optional<double> AdaptiveProtocolSelector::estimate(const std::string& origin,
+                                                         http::HttpVersion version) const {
+  auto it = origins_.find(origin);
+  if (it == origins_.end()) return std::nullopt;
+  const Arm& a = arm(it->second, version);
+  if (a.n == 0) return std::nullopt;
+  return a.ewma_ms;
+}
+
+void AdaptiveProtocolSelector::reset() {
+  origins_.clear();
+  decisions_ = 0;
+  explorations_ = 0;
+}
+
+}  // namespace h3cdn::core

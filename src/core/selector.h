@@ -1,0 +1,70 @@
+// Adaptive per-origin protocol selection — the tool the paper's §VII asks
+// researchers to build ("an adaptive protocol selection tool that adjusts
+// flexibly based on different conditions"), in the spirit of the authors'
+// own FlexHTTP (ref [43]).
+//
+// The selector keeps an exponentially-weighted latency estimate per
+// (origin, protocol) and recommends the faster one, exploring the
+// non-preferred protocol at a configurable rate so estimates stay fresh.
+// It plugs into http::ConnectionPool via PoolConfig::protocol_hint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "http/types.h"
+#include "util/rng.h"
+
+namespace h3cdn::core {
+
+struct SelectorConfig {
+  double ewma_alpha = 0.3;        // weight of the newest observation
+  double explore_rate = 0.05;     // probability of probing the other protocol
+  std::size_t min_observations = 3;  // per protocol before trusting estimates
+  double switch_margin = 1.05;    // required advantage ratio to switch away
+};
+
+class AdaptiveProtocolSelector {
+ public:
+  explicit AdaptiveProtocolSelector(SelectorConfig config, util::Rng rng);
+  AdaptiveProtocolSelector() : AdaptiveProtocolSelector({}, util::Rng(1)) {}
+
+  /// Feeds one completed entry's total latency.
+  void observe(const std::string& origin, http::HttpVersion version, double total_ms);
+
+  /// The protocol the selector would use for this origin right now, or
+  /// nullopt to defer to the pool's default policy (insufficient data).
+  [[nodiscard]] std::optional<http::HttpVersion> recommend(const std::string& origin);
+
+  /// Current latency estimate (EWMA ms) for one arm; nullopt if unobserved.
+  [[nodiscard]] std::optional<double> estimate(const std::string& origin,
+                                               http::HttpVersion version) const;
+
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+  [[nodiscard]] std::uint64_t explorations() const { return explorations_; }
+
+  void reset();
+
+ private:
+  struct Arm {
+    double ewma_ms = 0.0;
+    std::size_t n = 0;
+  };
+  struct OriginState {
+    Arm h2;
+    Arm h3;
+  };
+
+  static Arm& arm(OriginState& s, http::HttpVersion v);
+  static const Arm& arm(const OriginState& s, http::HttpVersion v);
+
+  SelectorConfig config_;
+  util::Rng rng_;
+  std::map<std::string, OriginState> origins_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t explorations_ = 0;
+};
+
+}  // namespace h3cdn::core

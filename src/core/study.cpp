@@ -1,0 +1,108 @@
+#include "core/study.h"
+
+#include <map>
+
+#include "sim/simulator.h"
+#include "tls/ticket_store.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace h3cdn::core {
+
+MeasurementStudy::MeasurementStudy(StudyConfig config) : config_(std::move(config)) {
+  H3CDN_EXPECTS(!config_.vantages.empty());
+  H3CDN_EXPECTS(config_.probes_per_vantage >= 1);
+}
+
+StudyResult MeasurementStudy::run() const {
+  auto workload = std::make_shared<web::Workload>(web::generate_workload(config_.workload));
+  return run(workload);
+}
+
+StudyResult MeasurementStudy::run(std::shared_ptr<const web::Workload> workload) const {
+  H3CDN_EXPECTS(workload != nullptr);
+  StudyResult result;
+  result.config = config_;
+  result.workload = workload;
+
+  std::size_t site_count = workload->sites.size();
+  if (config_.max_sites > 0) site_count = std::min(site_count, config_.max_sites);
+
+  util::Rng root(util::derive_seed({config_.seed, 0x57011dULL}));
+
+  for (const auto& vantage_base : config_.vantages) {
+    for (int probe = 0; probe < config_.probes_per_vantage; ++probe) {
+      // Same environment seed for the H2 and H3 runs of a probe: paths and
+      // server-time draws align, so reductions isolate the protocol effect.
+      util::Rng probe_rng = root.fork(vantage_base.name).fork(static_cast<std::uint64_t>(probe));
+
+      for (const bool h3_enabled : {false, true}) {
+        browser::VantageConfig vantage = vantage_base;
+        vantage.loss_rate = config_.loss_rate;
+        // Path seeds are shared across the two modes (same probe, same
+        // geography); server timing noise is independent (separate visits).
+        vantage.server_noise_salt = h3_enabled ? 0x113 : 0x112;
+
+        sim::Simulator sim;
+        browser::Environment env(sim, workload->universe, vantage, probe_rng.fork("env"));
+
+        // The ticket store is what survives page transitions in consecutive
+        // mode; the base study clears all client state between pages.
+        tls::SessionTicketStore tickets;
+        tls::SessionTicketStore* tickets_ptr = config_.consecutive ? &tickets : nullptr;
+
+        browser::BrowserConfig bc = config_.browser;
+        bc.h3_enabled = h3_enabled;
+        browser::Browser browser(sim, env, tickets_ptr, bc,
+                                 probe_rng.fork(h3_enabled ? "browser-h3" : "browser-h2"));
+
+        // Fixed visiting order (§III-B): sequential over the target list.
+        for (std::size_t si = 0; si < site_count; ++si) {
+          const web::WebPage& page = workload->sites[si].page;
+          if (config_.warm_caches) env.warm_page(page);
+
+          browser::PageLoadResult load = browser.visit_and_run(page);
+
+          PageVisitRecord rec;
+          rec.site_index = si;
+          rec.vantage = vantage.name;
+          rec.probe = probe;
+          rec.h3_enabled = h3_enabled;
+          rec.har = std::move(load.har);
+          result.visits.push_back(std::move(rec));
+
+          // Small think-time gap between consecutive page visits.
+          sim.schedule_in(msec(100), [] {});
+          sim.run();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<VisitPair> StudyResult::pairs() const {
+  // Key: (site, vantage, probe) -> the two mode visits.
+  std::map<std::tuple<std::size_t, std::string, int>, VisitPair> by_key;
+  for (const auto& v : visits) {
+    auto& pair = by_key[{v.site_index, v.vantage, v.probe}];
+    pair.site_index = v.site_index;
+    pair.vantage = v.vantage;
+    pair.probe = v.probe;
+    (v.h3_enabled ? pair.h3 : pair.h2) = &v.har;
+  }
+  std::vector<VisitPair> out;
+  out.reserve(by_key.size());
+  for (auto& [key, pair] : by_key) {
+    if (pair.h2 != nullptr && pair.h3 != nullptr) out.push_back(pair);
+  }
+  return out;
+}
+
+std::size_t StudyResult::site_count() const {
+  std::size_t n = workload->sites.size();
+  if (config.max_sites > 0) n = std::min(n, config.max_sites);
+  return n;
+}
+
+}  // namespace h3cdn::core

@@ -1,0 +1,79 @@
+// The measurement study driver: the paper's methodology (§III) as a library.
+//
+// A study visits every target page from every probe twice — once with an
+// H2-only browser and once with an H3-enabled browser (separate "Chrome
+// instances") — warming CDN edge caches first, terminating connections and
+// clearing caches between pages, and collecting a HAR archive per visit.
+// The consecutive mode (§VI-D) additionally keeps the TLS session-ticket
+// store alive across pages within a probe run, enabling resumption.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/page_metrics.h"
+#include "browser/browser.h"
+#include "browser/environment.h"
+#include "browser/har.h"
+#include "web/workload.h"
+
+namespace h3cdn::core {
+
+struct StudyConfig {
+  web::WorkloadConfig workload;
+  std::vector<browser::VantageConfig> vantages = browser::default_vantage_points();
+  int probes_per_vantage = 1;  // paper deploys 3 per site
+  double loss_rate = 0.0;      // injected tc/netem loss (Fig. 9 sweeps)
+  bool consecutive = false;    // keep session tickets across pages (§VI-D)
+  bool warm_caches = true;     // the paper's cache-warming first visit
+  std::size_t max_sites = 0;   // 0 = all workload sites; else truncate
+  std::uint64_t seed = 7;
+  browser::BrowserConfig browser;  // h3_enabled is overridden per mode
+};
+
+struct PageVisitRecord {
+  std::size_t site_index = 0;
+  std::string vantage;
+  int probe = 0;
+  bool h3_enabled = false;
+  browser::HarPage har;
+};
+
+/// One probe's paired observation of one site.
+struct VisitPair {
+  std::size_t site_index = 0;
+  std::string vantage;
+  int probe = 0;
+  const browser::HarPage* h2 = nullptr;
+  const browser::HarPage* h3 = nullptr;
+};
+
+struct StudyResult {
+  StudyConfig config;
+  std::shared_ptr<const web::Workload> workload;
+  std::vector<PageVisitRecord> visits;
+
+  /// All (site, vantage, probe) H2/H3 pairings.
+  [[nodiscard]] std::vector<VisitPair> pairs() const;
+
+  /// Number of sites actually measured (after max_sites truncation).
+  [[nodiscard]] std::size_t site_count() const;
+};
+
+class MeasurementStudy {
+ public:
+  explicit MeasurementStudy(StudyConfig config);
+
+  /// Runs the whole study. Deterministic: same config => identical result.
+  [[nodiscard]] StudyResult run() const;
+
+  /// Runs against an externally generated workload (lets several experiments
+  /// share one workload instance).
+  [[nodiscard]] StudyResult run(std::shared_ptr<const web::Workload> workload) const;
+
+ private:
+  StudyConfig config_;
+};
+
+}  // namespace h3cdn::core

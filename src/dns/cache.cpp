@@ -1,0 +1,29 @@
+#include "dns/cache.h"
+
+namespace h3cdn::dns {
+
+std::optional<DnsRecord> DnsCache::lookup(const std::string& name, TimePoint now) {
+  auto it = records_.find(name);
+  if (it == records_.end() || !it->second.valid_at(now)) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void DnsCache::insert(DnsRecord record) { records_[record.name] = std::move(record); }
+
+void DnsCache::clear() { records_.clear(); }
+
+void DnsCache::remove_expired(TimePoint now) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (!it->second.valid_at(now)) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace h3cdn::dns

@@ -1,0 +1,45 @@
+// Client-side (stub) DNS cache with TTL expiry.
+//
+// In the measurement pipeline the cache is pre-warmed by the paper's first
+// (cache-warming) visit, so measured page loads mostly see hits; the
+// cold-resolution path matters for the DoQ/DoH extension experiments
+// (paper §VIII-B, refs [38][44][45]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace h3cdn::dns {
+
+struct DnsRecord {
+  std::string name;
+  TimePoint resolved_at{0};
+  Duration ttl = sec(300);
+
+  [[nodiscard]] bool valid_at(TimePoint now) const { return now < resolved_at + ttl; }
+};
+
+class DnsCache {
+ public:
+  /// Returns the record if present and unexpired.
+  [[nodiscard]] std::optional<DnsRecord> lookup(const std::string& name, TimePoint now);
+
+  void insert(DnsRecord record);
+  void clear();
+  void remove_expired(TimePoint now);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, DnsRecord> records_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace h3cdn::dns

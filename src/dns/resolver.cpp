@@ -1,0 +1,104 @@
+#include "dns/resolver.h"
+
+#include "util/check.h"
+
+namespace h3cdn::dns {
+
+const char* to_string(DnsTransport t) {
+  switch (t) {
+    case DnsTransport::Do53: return "Do53";
+    case DnsTransport::DoT: return "DoT";
+    case DnsTransport::DoH: return "DoH";
+    case DnsTransport::DoQ: return "DoQ";
+  }
+  return "?";
+}
+
+Resolver::Resolver(sim::Simulator& sim, ResolverConfig config, util::Rng rng)
+    : sim_(sim), config_(config), rng_(rng) {
+  H3CDN_EXPECTS(config_.resolver_rtt >= Duration::zero());
+  H3CDN_EXPECTS(config_.query_loss_rate >= 0.0 && config_.query_loss_rate < 1.0);
+}
+
+int Resolver::channel_setup_rtts() {
+  if (config_.transport == DnsTransport::Do53) return 0;  // connectionless
+  if (channel_open_) return 0;
+  channel_open_ = true;
+  ++stats_.channels_established;
+  switch (config_.transport) {
+    case DnsTransport::DoT:
+    case DnsTransport::DoH:
+      // TCP + TLS 1.3 (browsers/stubs do not use early data here either).
+      return tls::handshake_rtts(tls::TransportKind::Tcp, tls::TlsVersion::Tls13,
+                                 tls::HandshakeMode::Fresh);
+    case DnsTransport::DoQ: {
+      const bool zero_rtt = config_.channel_resumption && had_channel_before_;
+      had_channel_before_ = true;
+      return tls::handshake_rtts(tls::TransportKind::Quic, tls::TlsVersion::Tls13,
+                                 zero_rtt ? tls::HandshakeMode::ZeroRtt
+                                          : tls::HandshakeMode::Fresh);
+    }
+    case DnsTransport::Do53: break;
+  }
+  return 0;
+}
+
+Duration Resolver::recursive_work() {
+  if (rng_.bernoulli(config_.recursive_cache_hit)) {
+    ++stats_.recursive_cache_hits;
+    return usec(200);  // cached at the recursive: lookup only
+  }
+  return from_ms(rng_.lognormal_median(to_ms(config_.auth_lookup_median),
+                                       config_.auth_lookup_sigma));
+}
+
+void Resolver::issue_query(const std::string& name, std::function<void(TimePoint)> done,
+                           int attempt) {
+  // Query message loss: encrypted transports recover via their reliable
+  // channel (~1 extra RTT); plain UDP waits for the stub's retry timer.
+  if (rng_.bernoulli(config_.query_loss_rate)) {
+    ++stats_.retries;
+    const Duration penalty = config_.transport == DnsTransport::Do53
+                                 ? config_.udp_timeout
+                                 : config_.resolver_rtt;
+    sim_.schedule_in(penalty, [this, name, done = std::move(done), attempt]() mutable {
+      issue_query(name, std::move(done), attempt + 1);
+    });
+    return;
+  }
+
+  const Duration setup =
+      Duration{config_.resolver_rtt.count() * channel_setup_rtts()};
+  const Duration total = setup + config_.resolver_rtt + recursive_work();
+  sim_.schedule_in(total, [this, name, done = std::move(done)] {
+    DnsRecord record;
+    record.name = name;
+    record.resolved_at = sim_.now();
+    record.ttl = config_.record_ttl;
+    cache_.insert(record);
+    done(sim_.now());
+  });
+}
+
+void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> done) {
+  H3CDN_EXPECTS(done != nullptr);
+  ++stats_.queries;
+  if (cache_.lookup(name, sim_.now())) {
+    ++stats_.stub_cache_hits;
+    sim_.schedule_in(Duration::zero(), [this, done = std::move(done)] { done(sim_.now()); });
+    return;
+  }
+  issue_query(name, std::move(done), 0);
+}
+
+void Resolver::prewarm(const std::string& name) {
+  DnsRecord record;
+  record.name = name;
+  record.resolved_at = sim_.now();
+  record.ttl = config_.record_ttl;
+  cache_.insert(record);
+}
+
+void Resolver::drop_channel() { channel_open_ = false; }
+
+}  // namespace h3cdn::dns

@@ -1,0 +1,82 @@
+// Stub resolver model with pluggable transports.
+//
+// Latency model per query:
+//   * stub cache hit: free;
+//   * otherwise one query round trip to the recursive resolver over the
+//     configured transport, plus (on a recursive-cache miss) the recursive's
+//     authoritative lookup work;
+//   * encrypted transports pay a channel-establishment cost on first use:
+//     DoT/DoH ride TCP+TLS1.3 (2 RTT), DoQ rides QUIC (1 RTT, and 0-RTT on
+//     resumption) — the asymmetry studied by Kosek et al. (paper ref [38]).
+//   * plain UDP (Do53) queries are retried after a timeout when lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dns/cache.h"
+#include "sim/simulator.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+
+namespace h3cdn::dns {
+
+enum class DnsTransport { Do53, DoT, DoH, DoQ };
+
+const char* to_string(DnsTransport t);
+
+struct ResolverConfig {
+  DnsTransport transport = DnsTransport::Do53;
+  Duration resolver_rtt = msec(12);        // stub <-> recursive resolver
+  double recursive_cache_hit = 0.85;       // popular names cached recursively
+  Duration auth_lookup_median = msec(24);  // recursive -> authoritative chain
+  double auth_lookup_sigma = 0.8;
+  Duration record_ttl = sec(300);
+  double query_loss_rate = 0.0;            // per query message
+  Duration udp_timeout = msec(400);        // Do53 retry timer
+  bool channel_resumption = true;          // DoQ 0-RTT on later channels
+};
+
+struct ResolverStats {
+  std::uint64_t queries = 0;
+  std::uint64_t stub_cache_hits = 0;
+  std::uint64_t recursive_cache_hits = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t channels_established = 0;
+};
+
+class Resolver {
+ public:
+  Resolver(sim::Simulator& sim, ResolverConfig config, util::Rng rng);
+
+  /// Resolves `name`; `done` fires at the simulated completion time.
+  void resolve(const std::string& name, std::function<void(TimePoint)> done);
+
+  /// Inserts a record directly (cache pre-warming).
+  void prewarm(const std::string& name);
+
+  /// Drops the encrypted channel (e.g. after idle); the next query pays the
+  /// re-establishment cost (0-RTT for DoQ when resumption is on).
+  void drop_channel();
+
+  [[nodiscard]] DnsCache& cache() { return cache_; }
+  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
+  [[nodiscard]] const ResolverConfig& config() const { return config_; }
+
+ private:
+  /// Round trips to establish the query channel right now (0 if open).
+  int channel_setup_rtts();
+  Duration recursive_work();
+  void issue_query(const std::string& name, std::function<void(TimePoint)> done, int attempt);
+
+  sim::Simulator& sim_;
+  ResolverConfig config_;
+  util::Rng rng_;
+  DnsCache cache_;
+  ResolverStats stats_;
+  bool channel_open_ = false;
+  bool had_channel_before_ = false;  // enables DoQ 0-RTT resumption
+};
+
+}  // namespace h3cdn::dns

@@ -1,0 +1,155 @@
+#include "http/pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace h3cdn::http {
+
+ConnectionPool::ConnectionPool(sim::Simulator& sim, PoolConfig config, Resolver resolver,
+                               tls::SessionTicketStore* tickets, util::Rng rng)
+    : sim_(sim),
+      config_(std::move(config)),
+      resolver_(std::move(resolver)),
+      tickets_(tickets),
+      rng_(rng) {
+  H3CDN_EXPECTS(resolver_ != nullptr);
+  H3CDN_EXPECTS(config_.h1_max_connections_per_origin >= 1);
+}
+
+HttpVersion ConnectionPool::protocol_for(const OriginInfo& origin) const {
+  if (!origin.supports_h2) return HttpVersion::H1_1;
+  if (config_.h3_enabled && origin.supports_h3) return HttpVersion::H3;
+  return HttpVersion::H2;
+}
+
+ConnectionPool::OriginState& ConnectionPool::origin_state(const std::string& domain) {
+  auto& state = origins_[domain];
+  if (!state.info) {
+    state.info = resolver_(domain);
+    H3CDN_ENSURES(state.info->path != nullptr);
+  }
+  return state;
+}
+
+std::shared_ptr<Session> ConnectionPool::make_session(const std::string& domain,
+                                                      const OriginInfo& origin,
+                                                      HttpVersion version) {
+  const tls::TransportKind kind =
+      version == HttpVersion::H3 ? tls::TransportKind::Quic : tls::TransportKind::Tcp;
+  const tls::TlsVersion tls_version =
+      kind == tls::TransportKind::Quic ? tls::TlsVersion::Tls13 : origin.tls_version;
+
+  tls::HandshakeMode mode = tls::HandshakeMode::Fresh;
+  if (tickets_ != nullptr) mode = tickets_->best_mode(domain, sim_.now(), kind);
+  if (!config_.allow_zero_rtt && mode == tls::HandshakeMode::ZeroRtt) {
+    mode = tls::HandshakeMode::Resumed;
+  }
+
+  transport::TransportConfig tconfig = config_.transport;
+  tconfig.domain = domain;
+  // Mature H2 stacks schedule by the browser's fine-grained priority
+  // signals; 2022-era H3 stacks supported at best coarse RFC 9218 urgency.
+  tconfig.respect_priorities = true;
+  tconfig.priority_coarseness = version == HttpVersion::H3 ? 3 : 1;
+  auto conn = transport::Connection::create(sim_, *origin.path, kind, tls_version, mode,
+                                            rng_.fork(domain).fork(stats_.connections_created),
+                                            std::move(tconfig));
+  if (tickets_ != nullptr) {
+    conn->set_ticket_sink([store = tickets_](tls::SessionTicket t) { store->store(std::move(t)); });
+  }
+
+  ++stats_.connections_created;
+  switch (version) {
+    case HttpVersion::H1_1: ++stats_.h1_connections; break;
+    case HttpVersion::H2: ++stats_.h2_connections; break;
+    case HttpVersion::H3: ++stats_.h3_connections; break;
+  }
+  if (mode != tls::HandshakeMode::Fresh) ++stats_.resumed_connections;
+  if (mode == tls::HandshakeMode::ZeroRtt) ++stats_.zero_rtt_connections;
+
+  auto session = Session::create(sim_, std::move(conn), version, config_.session);
+  session->start();
+  return session;
+}
+
+std::shared_ptr<Session> ConnectionPool::h1_session(const std::string& domain,
+                                                    OriginState& state) {
+  // Prefer a fully idle keep-alive connection; otherwise open a new one up to
+  // the browser's per-origin cap; otherwise queue on the least-loaded one.
+  for (auto& s : state.h1) {
+    if (s->in_flight() == 0 && s->queued() == 0) return s;
+  }
+  if (state.h1.size() < config_.h1_max_connections_per_origin) {
+    state.h1.push_back(make_session(domain, *state.info, HttpVersion::H1_1));
+    return state.h1.back();
+  }
+  std::shared_ptr<Session> best;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (auto& s : state.h1) {
+    const std::size_t load = s->in_flight() + s->queued();
+    if (load < best_load) {
+      best_load = load;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void ConnectionPool::fetch(const Request& request, FetchDone done) {
+  H3CDN_EXPECTS(!request.domain.empty());
+  ++stats_.entries_submitted;
+  auto& state = origin_state(request.domain);
+  HttpVersion version = protocol_for(*state.info);
+  if (config_.protocol_hint && state.info->supports_h2) {
+    const auto hint = config_.protocol_hint(request.domain);
+    if (hint == HttpVersion::H2) version = HttpVersion::H2;
+    if (hint == HttpVersion::H3 && config_.h3_enabled && state.info->supports_h3) {
+      version = HttpVersion::H3;
+    }
+  }
+
+  std::shared_ptr<Session> session;
+  switch (version) {
+    case HttpVersion::H1_1:
+      session = h1_session(request.domain, state);
+      break;
+    case HttpVersion::H2: {
+      const std::string& key =
+          state.info->coalesce_key.empty() ? request.domain : state.info->coalesce_key;
+      auto& slot = h2_sessions_[key];
+      if (!slot) slot = make_session(request.domain, *state.info, HttpVersion::H2);
+      session = slot;
+      break;
+    }
+    case HttpVersion::H3:
+      if (!state.h3) state.h3 = make_session(request.domain, *state.info, HttpVersion::H3);
+      session = state.h3;
+      break;
+  }
+
+  Request routed = request;
+  if (config_.think_time) routed.server_think = config_.think_time(routed, version);
+  session->submit(routed, std::move(done));
+}
+
+void ConnectionPool::close_all() {
+  for (auto& [key, session] : h2_sessions_) session->close();
+  for (auto& [domain, state] : origins_) {
+    if (state.h3) state.h3->close();
+    for (auto& s : state.h1) s->close();
+  }
+  h2_sessions_.clear();
+  origins_.clear();
+}
+
+std::size_t ConnectionPool::session_count() const {
+  std::size_t n = h2_sessions_.size();
+  for (const auto& [domain, state] : origins_) {
+    n += (state.h3 ? 1 : 0) + state.h1.size();
+  }
+  return n;
+}
+
+}  // namespace h3cdn::http

@@ -1,0 +1,120 @@
+// Browser-style connection pool.
+//
+// Reproduces the connection-management rules that drive the paper's Fig. 7
+// (connection reuse) and Fig. 8 (resumption):
+//   * one multiplexed H2 connection per origin, one H3 connection per origin;
+//   * up to 6 parallel H1.1 keep-alive connections per origin;
+//   * protocol choice per request: H3 when the browser has QUIC enabled AND
+//     the origin advertises H3 (Alt-Svc), otherwise H2, or H1.1 for legacy
+//     origins — so with partial H3 adoption a provider's traffic splits
+//     across an H3 and an H2 connection, exactly the reuse-dilution effect
+//     the paper identifies in §VI-C;
+//   * handshake mode chosen from the shared SessionTicketStore, so tickets
+//     from earlier visits turn into resumed/0-RTT connections (§VI-D).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "http/session.h"
+#include "http/types.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "tls/ticket_store.h"
+#include "transport/connection.h"
+#include "util/rng.h"
+
+namespace h3cdn::http {
+
+/// What the "network + server" side reports about an origin at dial time.
+struct OriginInfo {
+  net::NetPath* path = nullptr;      // must outlive the pool
+  bool supports_h2 = true;           // false => HTTP/1.1-only legacy origin
+  bool supports_h3 = false;          // advertises Alt-Svc h3
+  tls::TlsVersion tls_version = tls::TlsVersion::Tls13;  // for TCP connections
+  // H2 connection-coalescing group (RFC 7540 §9.1.1): origins sharing a
+  // certificate/IP (a giant CDN's hostnames) report the same non-empty key
+  // and share one H2 connection. Empty => the domain itself is the key.
+  // QUIC connections never coalesce here (matching 2022 deployments).
+  std::string coalesce_key;
+};
+
+using Resolver = std::function<OriginInfo(const std::string& domain)>;
+
+/// Computes server processing ("think") time once the protocol is known.
+/// Wired to the CDN edge-server model; may be empty (use Request's value).
+using ThinkTimeFn = std::function<Duration(const Request&, HttpVersion)>;
+
+struct PoolConfig {
+  bool h3_enabled = true;  // Chrome's --enable-quic switch
+  // Optional per-origin protocol override (e.g. core::AdaptiveProtocolSelector).
+  // Consulted after capability checks; incompatible hints are ignored.
+  std::function<std::optional<HttpVersion>(const std::string& domain)> protocol_hint;
+  // Ablation switch: when false, resumed QUIC connections never send 0-RTT
+  // early data (isolates the paper's §VI-D resumption mechanism).
+  bool allow_zero_rtt = true;
+  std::size_t h1_max_connections_per_origin = 6;
+  SessionConfig session;
+  transport::TransportConfig transport;
+  ThinkTimeFn think_time;
+};
+
+struct PoolStats {
+  std::uint64_t entries_submitted = 0;
+  std::uint64_t connections_created = 0;
+  std::uint64_t h1_connections = 0;
+  std::uint64_t h2_connections = 0;
+  std::uint64_t h3_connections = 0;
+  std::uint64_t resumed_connections = 0;   // Resumed or ZeroRtt handshakes
+  std::uint64_t zero_rtt_connections = 0;
+};
+
+class ConnectionPool {
+ public:
+  /// `tickets` may be null (no resumption state, every handshake fresh).
+  ConnectionPool(sim::Simulator& sim, PoolConfig config, Resolver resolver,
+                 tls::SessionTicketStore* tickets, util::Rng rng);
+
+  /// Routes a request to the right session (creating connections on demand).
+  void fetch(const Request& request, FetchDone done);
+
+  /// Terminates every connection (the paper terminates all connections after
+  /// each page visit).
+  void close_all();
+
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t session_count() const;
+
+  /// Protocol the pool would pick for this origin right now (exposed for the
+  /// adaptive-selection example and for tests).
+  [[nodiscard]] HttpVersion protocol_for(const OriginInfo& origin) const;
+
+ private:
+  struct OriginState {
+    std::optional<OriginInfo> info;
+    std::shared_ptr<Session> h3;
+    std::vector<std::shared_ptr<Session>> h1;
+  };
+
+  OriginState& origin_state(const std::string& domain);
+  std::shared_ptr<Session> make_session(const std::string& domain, const OriginInfo& origin,
+                                        HttpVersion version);
+  std::shared_ptr<Session> h1_session(const std::string& domain, OriginState& state);
+
+  sim::Simulator& sim_;
+  PoolConfig config_;
+  Resolver resolver_;
+  tls::SessionTicketStore* tickets_;
+  util::Rng rng_;
+  std::unordered_map<std::string, OriginState> origins_;
+  // H2 sessions keyed by coalescing group (or domain when not coalescable).
+  std::unordered_map<std::string, std::shared_ptr<Session>> h2_sessions_;
+  PoolStats stats_;
+};
+
+}  // namespace h3cdn::http

@@ -1,0 +1,127 @@
+#include "http/session.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace h3cdn::http {
+
+namespace {
+Duration clamp_nonneg(Duration d) { return std::max(d, Duration::zero()); }
+}  // namespace
+
+std::shared_ptr<Session> Session::create(sim::Simulator& sim,
+                                         std::shared_ptr<transport::Connection> conn,
+                                         HttpVersion version, SessionConfig config) {
+  H3CDN_EXPECTS(conn != nullptr);
+  // Transport/version pairing: H3 runs on QUIC, H1.1/H2 on TCP.
+  if (version == HttpVersion::H3) {
+    H3CDN_EXPECTS(conn->kind() == tls::TransportKind::Quic);
+  } else {
+    H3CDN_EXPECTS(conn->kind() == tls::TransportKind::Tcp);
+  }
+  return std::shared_ptr<Session>(new Session(sim, std::move(conn), version, config));
+}
+
+Session::Session(sim::Simulator& sim, std::shared_ptr<transport::Connection> conn,
+                 HttpVersion version, SessionConfig config)
+    : sim_(sim), conn_(std::move(conn)), version_(version), config_(config) {
+  if (version_ == HttpVersion::H1_1) config_.max_concurrent_streams = 1;
+}
+
+void Session::start() {
+  H3CDN_EXPECTS(!started_);
+  started_ = true;
+  auto self = shared_from_this();
+  conn_->connect([self](TimePoint) { self->maybe_dispatch(); });
+}
+
+void Session::submit(const Request& request, FetchDone done) {
+  H3CDN_EXPECTS(!closed_);
+  H3CDN_EXPECTS(done != nullptr);
+  queue_.push_back(PendingEntry{request, std::move(done), sim_.now()});
+  maybe_dispatch();
+}
+
+void Session::maybe_dispatch() {
+  if (closed_) return;
+  // Dispatch is allowed while the handshake is still running: the transport
+  // queues streams and flushes them at readiness (and immediately for 0-RTT).
+  // Gating on the stream limit is what distinguishes H1 (serial) from H2/H3.
+  while (!queue_.empty() && in_flight_ < config_.max_concurrent_streams) {
+    PendingEntry entry = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(std::move(entry));
+  }
+}
+
+void Session::dispatch(PendingEntry pending) {
+  auto entry = std::make_shared<ActiveEntry>();
+  entry->submitted = pending.submitted;
+  entry->dispatched = sim_.now();
+  entry->request = std::move(pending.request);
+  entry->done = std::move(pending.done);
+  if (!initiator_assigned_) {
+    // The first entry on a session is charged the handshake in its HAR
+    // "connect" phase; every later entry reports connect == 0, which is the
+    // paper's definition of a *reused HTTP connection* (§VI-C).
+    initiator_assigned_ = true;
+    entry->initiator = true;
+  }
+  ++in_flight_;
+
+  auto self = shared_from_this();
+  transport::FetchCallbacks cbs;
+  cbs.on_request_sent = [entry](TimePoint t) { entry->request_sent = t; };
+  cbs.on_first_byte = [entry](TimePoint t) { entry->first_byte = t; };
+  cbs.on_complete = [self, entry](TimePoint t) { self->finalize(entry, t); };
+
+  const std::size_t wire_request =
+      entry->request.request_bytes + config_.per_stream_header_overhead;
+  const std::size_t wire_response =
+      entry->request.response_bytes + config_.per_stream_header_overhead;
+  conn_->fetch(wire_request, wire_response, entry->request.server_think, std::move(cbs),
+               entry->request.priority);
+}
+
+void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) {
+  if (closed_) return;
+  H3CDN_ASSERT(entry->request_sent >= TimePoint{0});
+  H3CDN_ASSERT(entry->first_byte >= entry->request_sent);
+
+  const auto& cstats = conn_->stats();
+  EntryTimings t;
+  t.started = entry->submitted;
+  t.finished = completed;
+  t.version = version_;
+  t.handshake_mode = cstats.mode;
+  t.new_connection_initiator = entry->initiator;
+  t.reused_connection = !entry->initiator;
+  t.resumed = entry->initiator && cstats.mode != tls::HandshakeMode::Fresh;
+  t.connect = entry->initiator ? clamp_nonneg(cstats.connect_time) : Duration::zero();
+
+  // The request starts flowing once both the stream was dispatched and the
+  // connection became ready.
+  const TimePoint send_start = std::max(entry->dispatched, cstats.ready_at);
+  t.send = clamp_nonneg(entry->request_sent - send_start);
+  t.wait = clamp_nonneg(entry->first_byte - entry->request_sent);
+  t.receive = clamp_nonneg(completed - entry->first_byte);
+  // Whatever is not handshake or data movement was queueing.
+  t.blocked = clamp_nonneg((t.finished - t.started) - t.connect - t.send - t.wait - t.receive);
+
+  H3CDN_ASSERT(in_flight_ > 0);
+  --in_flight_;
+  ++entries_completed_;
+  auto done = entry->done;
+  maybe_dispatch();
+  done(t);
+}
+
+void Session::close() {
+  if (closed_) return;
+  closed_ = true;
+  queue_.clear();
+  conn_->close();
+}
+
+}  // namespace h3cdn::http

@@ -1,0 +1,14 @@
+#include "http/types.h"
+
+namespace h3cdn::http {
+
+const char* to_string(HttpVersion v) {
+  switch (v) {
+    case HttpVersion::H1_1: return "http/1.1";
+    case HttpVersion::H2: return "h2";
+    case HttpVersion::H3: return "h3";
+  }
+  return "?";
+}
+
+}  // namespace h3cdn::http

@@ -1,0 +1,53 @@
+// HTTP-level request/response vocabulary shared by sessions, the pool, the
+// browser, and the analysis pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "tls/handshake.h"
+#include "util/types.h"
+
+namespace h3cdn::http {
+
+enum class HttpVersion { H1_1, H2, H3 };
+
+/// HAR-style protocol strings ("http/1.1", "h2", "h3").
+const char* to_string(HttpVersion v);
+
+/// One HTTP exchange as submitted by the browser.
+struct Request {
+  std::string domain;                     // connection key (SNI / origin host)
+  std::string path;                       // for HAR output only
+  std::size_t request_bytes = 500;        // serialized request incl. headers
+  std::size_t response_bytes = 10'000;    // response body + headers on the wire
+  Duration server_think{0};               // server processing time (cdn model)
+  int priority = 3;                       // 0 = most urgent (browser sets by type)
+};
+
+/// HAR-equivalent per-entry phase timings (the paper's §III-C metrics:
+/// Connection, Wait, Receive; plus the rest of the HAR phases for
+/// completeness). Times are client-side simulated durations.
+struct EntryTimings {
+  TimePoint started{0};       // request submitted to the pool
+  TimePoint finished{0};      // last response byte delivered
+  Duration dns{0};            // name resolution (0 when cached; set by the browser)
+  Duration blocked{0};        // queueing for a connection/stream slot
+  Duration connect{0};        // handshake time charged to this entry; 0 = reused
+  Duration send{0};           // writing the request
+  Duration wait{0};           // request written -> first response byte
+  Duration receive{0};        // first -> last response byte
+  HttpVersion version = HttpVersion::H2;
+  tls::HandshakeMode handshake_mode = tls::HandshakeMode::Fresh;
+  bool reused_connection = false;  // rode an already-established connection
+  bool resumed = false;            // new connection, but via session ticket
+  bool new_connection_initiator = false;
+
+  /// Total entry latency.
+  [[nodiscard]] Duration total() const { return finished - started; }
+};
+
+using FetchDone = std::function<void(const EntryTimings&)>;
+
+}  // namespace h3cdn::http

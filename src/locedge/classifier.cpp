@@ -1,0 +1,131 @@
+#include "locedge/classifier.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace h3cdn::locedge {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+const std::string* find_header(const std::vector<web::Header>& headers, std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (lower(k) == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<cdn::ProviderId> Classifier::from_headers(
+    const std::vector<web::Header>& headers) const {
+  using P = cdn::ProviderId;
+
+  // Provider-unique headers first (strongest evidence).
+  if (find_header(headers, "cf-ray") != nullptr) return P::Cloudflare;
+  if (find_header(headers, "x-amz-cf-pop") != nullptr ||
+      find_header(headers, "x-amz-cf-id") != nullptr) {
+    return P::Amazon;
+  }
+  if (find_header(headers, "x-akamai-transformed") != nullptr) return P::Akamai;
+  if (find_header(headers, "x-azure-ref") != nullptr) return P::Microsoft;
+  if (find_header(headers, "x-qc-pop") != nullptr) return P::QuicCloud;
+  if (find_header(headers, "x-served-by") != nullptr) {
+    const std::string* v = find_header(headers, "x-served-by");
+    if (contains(lower(*v), "cache-")) return P::Fastly;
+  }
+
+  // Server / Via banners.
+  if (const std::string* server = find_header(headers, "server")) {
+    const std::string s = lower(*server);
+    if (contains(s, "cloudflare")) return P::Cloudflare;
+    if (contains(s, "akamaighost")) return P::Akamai;
+    if (contains(s, "gws") || contains(s, "sffe") || contains(s, "esf")) return P::Google;
+    if (contains(s, "cdn-cache")) return P::Other;
+  }
+  if (const std::string* via = find_header(headers, "via")) {
+    const std::string v = lower(*via);
+    if (contains(v, "google")) return P::Google;
+    if (contains(v, "cloudfront")) return P::Amazon;
+    if (contains(v, "varnish")) return P::Fastly;
+  }
+  if (find_header(headers, "x-cdn") != nullptr) return P::Other;
+  return std::nullopt;
+}
+
+std::optional<cdn::ProviderId> Classifier::from_domain(std::string_view domain) const {
+  using P = cdn::ProviderId;
+  const std::string d = lower(domain);
+  if (ends_with(d, ".gstatic.com") || ends_with(d, ".googleapis.com") ||
+      ends_with(d, ".googleusercontent.com") || ends_with(d, ".ytimg.com") ||
+      ends_with(d, ".ampproject.org") || ends_with(d, ".googletagmanager.com") ||
+      ends_with(d, ".google-analytics.com") || d == "apis.google.com") {
+    return P::Google;
+  }
+  if (ends_with(d, ".cloudflare.com") || ends_with(d, ".cloudflareinsights.com") ||
+      ends_with(d, ".cf-static.net") || ends_with(d, ".cf-cache.net") ||
+      ends_with(d, ".cf-edge.net") || ends_with(d, ".cf-stream.net") ||
+      d == "cdn.jsdelivr.net" || d == "unpkg.com") {
+    return P::Cloudflare;
+  }
+  if (ends_with(d, ".cloudfront.net") || ends_with(d, ".ssl-images-amazon.com") ||
+      ends_with(d, ".media-amazon.com") || ends_with(d, ".amazonaws.com")) {
+    return P::Amazon;
+  }
+  if (ends_with(d, ".akamaized.net") || ends_with(d, ".akamaihd.net") ||
+      ends_with(d, ".akamai-edge.net") || ends_with(d, ".akamai-cdn.net")) {
+    return P::Akamai;
+  }
+  if (ends_with(d, ".fastly-edge.net") || ends_with(d, ".fastly-cache.net") ||
+      ends_with(d, ".fastly-insights.com") || ends_with(d, ".githubassets.com")) {
+    return P::Fastly;
+  }
+  if (ends_with(d, ".aspnetcdn.com") || ends_with(d, ".azureedge.net") ||
+      ends_with(d, ".sharepointonline.com") || ends_with(d, ".monitor.azure.com")) {
+    return P::Microsoft;
+  }
+  if (ends_with(d, ".quic.cloud")) return P::QuicCloud;
+  if (ends_with(d, ".sstatic.net") || ends_with(d, ".onenet-cdn.com") ||
+      ends_with(d, ".bunny-edge.net") || ends_with(d, ".kxcdn.com")) {
+    return P::Other;
+  }
+  return std::nullopt;
+}
+
+Classification Classifier::classify(const std::string& domain,
+                                    const std::vector<web::Header>& headers) const {
+  Classification c;
+  if (auto p = from_headers(headers)) {
+    c.is_cdn = true;
+    c.provider = *p;
+    c.evidence = Classification::Evidence::HeaderFingerprint;
+    return c;
+  }
+  if (auto p = from_domain(domain)) {
+    c.is_cdn = true;
+    c.provider = *p;
+    c.evidence = Classification::Evidence::DomainPattern;
+    return c;
+  }
+  return c;
+}
+
+Classification Classifier::classify(const web::Resource& resource) const {
+  return classify(resource.domain, resource.response_headers);
+}
+
+}  // namespace h3cdn::locedge

@@ -1,0 +1,44 @@
+// LocEdge-style CDN resource classifier.
+//
+// The paper uses LocEdge ("Locating CDN Edge Servers with HTTP Responses",
+// SIGCOMM'22 demo) to (a) decide whether a response was served by a CDN and
+// (b) attribute it to a provider. LocEdge works from response-header
+// fingerprints and hostname patterns; this classifier implements the same
+// two signal classes over our synthesized headers, so provider attribution
+// in the analysis pipeline is *inferred*, exactly as in the paper, rather
+// than read from workload ground truth.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdn/provider.h"
+#include "web/resource.h"
+
+namespace h3cdn::locedge {
+
+struct Classification {
+  bool is_cdn = false;
+  cdn::ProviderId provider = cdn::ProviderId::None;
+  /// Which signal produced the verdict (for diagnostics/tests).
+  enum class Evidence { None, HeaderFingerprint, DomainPattern } evidence = Evidence::None;
+};
+
+class Classifier {
+ public:
+  /// Classifies one response from its hostname + response headers.
+  [[nodiscard]] Classification classify(const std::string& domain,
+                                        const std::vector<web::Header>& headers) const;
+
+  /// Convenience: classify a workload resource.
+  [[nodiscard]] Classification classify(const web::Resource& resource) const;
+
+ private:
+  [[nodiscard]] std::optional<cdn::ProviderId> from_headers(
+      const std::vector<web::Header>& headers) const;
+  [[nodiscard]] std::optional<cdn::ProviderId> from_domain(std::string_view domain) const;
+};
+
+}  // namespace h3cdn::locedge

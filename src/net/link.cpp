@@ -1,0 +1,57 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::net {
+
+Link::Link(sim::Simulator& sim, LinkConfig config, util::Rng rng)
+    : sim_(sim), config_(config), loss_rng_(rng.fork("loss")), jitter_rng_(rng.fork("jitter")) {
+  H3CDN_EXPECTS(config_.loss_rate >= 0.0 && config_.loss_rate <= 1.0);
+  H3CDN_EXPECTS(config_.latency >= Duration::zero());
+}
+
+void Link::reseed_jitter(std::uint64_t salt) { jitter_rng_ = jitter_rng_.fork(salt); }
+
+void Link::transmit(std::size_t size_bytes, std::function<void()> on_deliver, bool lossless) {
+  H3CDN_EXPECTS(on_deliver != nullptr);
+  ++stats_.packets_offered;
+  stats_.bytes_offered += size_bytes;
+
+  // Serialization: the link transmits packets back to back at bandwidth_bps.
+  Duration tx_time{0};
+  if (config_.bandwidth_bps > 0.0) {
+    tx_time = from_sec(static_cast<double>(size_bytes) * 8.0 / config_.bandwidth_bps);
+  }
+  const TimePoint start = std::max(sim_.now(), next_free_);
+  next_free_ = start + tx_time;
+
+  // Loss is decided at enqueue so the RNG draw order is deterministic, but a
+  // dropped packet still occupies the serializer (it left the sender).
+  const bool dropped = !lossless && loss_rng_.bernoulli(config_.loss_rate);
+  if (dropped) {
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  Duration jitter{0};
+  if (config_.jitter_max > Duration::zero()) {
+    jitter = Duration{jitter_rng_.uniform_int(0, config_.jitter_max.count())};
+  }
+  // FIFO: a store-and-forward queue cannot reorder, so jitter delays but
+  // never lets a later packet overtake an earlier one. (Without this, jitter
+  // fakes reordering and triggers spurious packet-threshold "losses".)
+  const TimePoint arrival = std::max(next_free_ + config_.latency + jitter, last_arrival_);
+  last_arrival_ = arrival;
+  ++stats_.packets_delivered;
+  sim_.schedule_at(arrival, std::move(on_deliver));
+}
+
+void Link::set_loss_rate(double loss_rate) {
+  H3CDN_EXPECTS(loss_rate >= 0.0 && loss_rate <= 1.0);
+  config_.loss_rate = loss_rate;
+}
+
+}  // namespace h3cdn::net

@@ -1,0 +1,69 @@
+// Unidirectional network link with propagation delay, serialization
+// (bandwidth), optional jitter, and i.i.d. Bernoulli packet loss.
+//
+// The paper injects loss with Linux Traffic Control (tc/netem) on the probe
+// machines; netem's default loss model is exactly i.i.d. Bernoulli per packet,
+// which is what this class implements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace h3cdn::net {
+
+struct LinkConfig {
+  Duration latency = msec(10);       // one-way propagation delay
+  double bandwidth_bps = 100e6;      // serialization rate; <=0 means infinite
+  double loss_rate = 0.0;            // per-packet drop probability in [0,1]
+  Duration jitter_max = usec(0);     // uniform extra delay in [0, jitter_max]
+};
+
+/// Per-link counters, exposed for tests and telemetry.
+struct LinkStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_offered = 0;
+};
+
+/// One direction of a network path. Delivery callbacks fire on the owning
+/// Simulator at (serialization end + latency + jitter); drops simply never
+/// deliver. FIFO is preserved when jitter is zero because serialization
+/// completion times are monotone.
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkConfig config, util::Rng rng);
+
+  /// Re-derives the jitter stream with a salt, leaving the loss stream
+  /// untouched. Paired A/B experiments share loss realizations (so identical
+  /// traffic sees identical drops and cancels exactly) while per-visit jitter
+  /// stays independent noise.
+  void reseed_jitter(std::uint64_t salt);
+
+  /// Queues one packet of `size_bytes`. If `lossless` is true the Bernoulli
+  /// drop is skipped (used for modelling reliable out-of-band signals only;
+  /// all data and handshake packets go through the lossy path).
+  void transmit(std::size_t size_bytes, std::function<void()> on_deliver,
+                bool lossless = false);
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+  /// Replaces the loss rate mid-run (used by loss-sweep experiments).
+  void set_loss_rate(double loss_rate);
+
+ private:
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  util::Rng loss_rng_;
+  util::Rng jitter_rng_;
+  TimePoint next_free_{0};      // when the serializer becomes idle
+  TimePoint last_arrival_{0};   // FIFO guarantee: deliveries never reorder
+  LinkStats stats_;
+};
+
+}  // namespace h3cdn::net

@@ -1,0 +1,64 @@
+#include "net/path.h"
+
+#include "util/check.h"
+
+namespace h3cdn::net {
+
+NetPath::NetPath(sim::Simulator& sim, PathConfig config, util::Rng rng) : config_(config) {
+  H3CDN_EXPECTS(config.rtt >= Duration::zero());
+  LinkConfig link;
+  link.latency = Duration{config.rtt.count() / 2};
+  link.bandwidth_bps = config.bandwidth_bps;
+  link.loss_rate = config.loss_rate;
+  link.jitter_max = config.jitter_max;
+  up_ = std::make_unique<Link>(sim, link, rng.fork("up"));
+  // Keep total propagation equal to rtt even when rtt is odd.
+  link.latency = config.rtt - link.latency;
+  down_ = std::make_unique<Link>(sim, link, rng.fork("down"));
+}
+
+void NetPath::attach_access(Link* access_up, Link* access_down) {
+  access_up_ = access_up;
+  access_down_ = access_down;
+}
+
+void NetPath::send_up(std::size_t size_bytes, std::function<void()> on_deliver, bool lossless) {
+  if (access_up_ == nullptr) {
+    up_->transmit(size_bytes, std::move(on_deliver), lossless);
+    return;
+  }
+  // Client NIC first, then the wide-area path.
+  access_up_->transmit(
+      size_bytes,
+      [this, size_bytes, cb = std::move(on_deliver), lossless]() mutable {
+        up_->transmit(size_bytes, std::move(cb), lossless);
+      },
+      lossless);
+}
+
+void NetPath::send_down(std::size_t size_bytes, std::function<void()> on_deliver,
+                        bool lossless) {
+  if (access_down_ == nullptr) {
+    down_->transmit(size_bytes, std::move(on_deliver), lossless);
+    return;
+  }
+  down_->transmit(
+      size_bytes,
+      [this, size_bytes, cb = std::move(on_deliver), lossless]() mutable {
+        access_down_->transmit(size_bytes, std::move(cb), lossless);
+      },
+      lossless);
+}
+
+void NetPath::set_loss_rate(double loss_rate) {
+  config_.loss_rate = loss_rate;
+  up_->set_loss_rate(loss_rate);
+  down_->set_loss_rate(loss_rate);
+}
+
+void NetPath::reseed_jitter(std::uint64_t salt) {
+  up_->reseed_jitter(salt);
+  down_->reseed_jitter(salt);
+}
+
+}  // namespace h3cdn::net

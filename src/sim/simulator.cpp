@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace h3cdn::sim {
+
+EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  H3CDN_EXPECTS(at >= now_);
+  H3CDN_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_in(Duration delay, std::function<void()> fn) {
+  H3CDN_EXPECTS(delay >= Duration::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (pending_ids_.find(id) == pending_ids_.end()) return false;  // fired or unknown
+  return cancelled_.insert(id).second;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    pending_ids_.erase(ev.id);
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    H3CDN_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    ++executed_;
+    ++n;
+    ev.fn();
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    pending_ids_.erase(ev.id);
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ++n;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+bool Simulator::idle() const { return queue_.size() == cancelled_.size(); }
+
+}  // namespace h3cdn::sim

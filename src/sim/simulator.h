@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// One Simulator instance drives one simulated probe's page visits. Events are
+// ordered by (time, insertion sequence), so simultaneous events fire in the
+// order they were scheduled — this total order is what makes whole-study runs
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.h"
+
+namespace h3cdn::sim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+/// Deterministic event-queue simulator with a microsecond virtual clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (>= now()).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) after now().
+  EventId schedule_in(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled. Cancelling is O(1); cancelled entries are skipped on pop.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events with time <= until; leaves later events queued.
+  std::size_t run_until(TimePoint until);
+
+  /// True if no runnable (non-cancelled) events remain.
+  [[nodiscard]] bool idle() const;
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::size_t events_executed() const { return executed_; }
+
+  /// Number of currently pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace h3cdn::sim

@@ -1,0 +1,50 @@
+// Secure-connection establishment model.
+//
+// The paper (§II-A, §VI-D) reasons about connection setup purely in terms of
+// round trips:
+//   - H2 over TCP+TLS1.2:    3 RTT (1 TCP + 2 TLS)
+//   - H2 over TCP+TLS1.3:    2 RTT (1 TCP + 1 TLS)
+//   - H2 resumed (TLS1.3 PSK + early data): 1 RTT (TCP handshake remains)
+//   - H3 (QUIC, TLS1.3 integrated): 1 RTT fresh, 0 RTT resumed
+// This header encodes exactly that table, plus the crypto compute costs that
+// make resumption cheaper even at equal RTT counts.
+#pragma once
+
+#include "util/types.h"
+
+namespace h3cdn::tls {
+
+enum class TlsVersion { Tls12, Tls13 };
+
+/// The transport carrying TLS. QUIC implies TLS 1.3 (RFC 9001).
+enum class TransportKind { Tcp, Quic };
+
+/// How a handshake was (or would be) performed.
+enum class HandshakeMode {
+  Fresh,        // full handshake, certificate exchange
+  Resumed,      // PSK-based resumption (session ticket)
+  ZeroRtt,      // PSK resumption + early data: request flies in first packet
+};
+
+/// Number of round trips that must complete before the first byte of
+/// application data can be *sent* by the client.
+int handshake_rtts(TransportKind transport, TlsVersion version, HandshakeMode mode);
+
+/// Number of small control packets the client sends during the handshake
+/// (used to put handshake traffic through the lossy link).
+int handshake_client_flights(TransportKind transport, TlsVersion version, HandshakeMode mode);
+
+/// Approximate size in bytes of the server's handshake flight. Certificates
+/// dominate fresh handshakes (several KB); resumption skips them.
+std::size_t handshake_server_flight_bytes(TlsVersion version, HandshakeMode mode);
+
+/// CPU cost model for the asymmetric crypto on each side. Fresh handshakes
+/// pay signature verification; resumed ones only symmetric key derivation.
+Duration handshake_compute_cost(TlsVersion version, HandshakeMode mode);
+
+/// Printable names, for reports and HAR output.
+const char* to_string(TlsVersion v);
+const char* to_string(TransportKind t);
+const char* to_string(HandshakeMode m);
+
+}  // namespace h3cdn::tls

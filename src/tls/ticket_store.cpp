@@ -1,0 +1,56 @@
+#include "tls/ticket_store.h"
+
+namespace h3cdn::tls {
+
+void SessionTicketStore::store(SessionTicket ticket) {
+  tickets_[ticket.domain] = std::move(ticket);
+}
+
+std::optional<SessionTicket> SessionTicketStore::find(const std::string& domain,
+                                                      TimePoint now) const {
+  auto it = tickets_.find(domain);
+  if (it == tickets_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const SessionTicket& t = it->second;
+  if (now >= t.issued_at + t.lifetime) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return t;
+}
+
+HandshakeMode SessionTicketStore::best_mode(const std::string& domain, TimePoint now,
+                                            TransportKind transport) const {
+  const auto ticket = find(domain, now);
+  if (!ticket) return HandshakeMode::Fresh;
+  if (transport == TransportKind::Quic) {
+    // QUIC is TLS1.3-only; a TLS1.2 ticket (from an old H2 connection to a
+    // legacy stack) cannot seed it.
+    if (ticket->version != TlsVersion::Tls13) return HandshakeMode::Fresh;
+    return ticket->early_data_allowed ? HandshakeMode::ZeroRtt : HandshakeMode::Resumed;
+  }
+  // Over TCP, browsers resume the TLS session but do NOT send TLS 1.3 early
+  // data (Chrome ships with early data disabled), so a resumed H2 connection
+  // still pays the full TCP+TLS round trips — this asymmetry against H3's
+  // 0-RTT is exactly the paper's §VI-D argument.
+  return HandshakeMode::Resumed;
+}
+
+void SessionTicketStore::erase(const std::string& domain) { tickets_.erase(domain); }
+
+void SessionTicketStore::clear() { tickets_.clear(); }
+
+void SessionTicketStore::remove_expired(TimePoint now) {
+  for (auto it = tickets_.begin(); it != tickets_.end();) {
+    if (now >= it->second.issued_at + it->second.lifetime) {
+      it = tickets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace h3cdn::tls

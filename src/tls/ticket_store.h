@@ -1,0 +1,65 @@
+// Client-side TLS session ticket store.
+//
+// This is the piece of state that survives "close all connections, clear the
+// cache" between consecutive page visits in the paper's §VI-D experiment:
+// tickets allow the next connection to the same domain to resume (H2) or to
+// send 0-RTT early data (H3). The store is keyed by domain, mirroring how
+// browsers scope tickets to the SNI they were issued under.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "tls/handshake.h"
+#include "util/types.h"
+
+namespace h3cdn::tls {
+
+struct SessionTicket {
+  std::string domain;
+  TimePoint issued_at{0};
+  Duration lifetime = sec(7200);  // RFC 8446 caps ticket lifetime at 7 days; servers commonly use 2h
+  TlsVersion version = TlsVersion::Tls13;
+  bool early_data_allowed = true;  // server sent max_early_data_size > 0
+};
+
+class SessionTicketStore {
+ public:
+  /// Saves (or replaces) the ticket for its domain.
+  void store(SessionTicket ticket);
+
+  /// Returns the ticket for `domain` if present and unexpired at `now`.
+  [[nodiscard]] std::optional<SessionTicket> find(const std::string& domain, TimePoint now) const;
+
+  /// Best handshake mode available for `domain` at `now` on `transport`:
+  /// ZeroRtt if an early-data-capable TLS1.3 ticket exists, Resumed for other
+  /// valid tickets, Fresh otherwise. Over TCP, early data additionally
+  /// requires the ticket to be TLS 1.3.
+  [[nodiscard]] HandshakeMode best_mode(const std::string& domain, TimePoint now,
+                                        TransportKind transport) const;
+
+  /// Removes the ticket for one domain (e.g. server rejected resumption).
+  void erase(const std::string& domain);
+
+  /// Drops everything (a fresh browser profile).
+  void clear();
+
+  /// Drops expired tickets.
+  void remove_expired(TimePoint now);
+
+  [[nodiscard]] std::size_t size() const { return tickets_.size(); }
+
+  /// Counters: how many times find() succeeded/failed (used to report the
+  /// paper's "number of resumed connections").
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, SessionTicket> tickets_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace h3cdn::tls

@@ -1,0 +1,113 @@
+#include "trace/trace.h"
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace h3cdn::trace {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::HandshakeStarted: return "handshake_started";
+    case EventType::HandshakeFinished: return "handshake_finished";
+    case EventType::StreamOpened: return "stream_opened";
+    case EventType::StreamFinished: return "stream_finished";
+    case EventType::PacketSent: return "packet_sent";
+    case EventType::PacketReceived: return "packet_received";
+    case EventType::PacketAcked: return "packet_acked";
+    case EventType::PacketLost: return "packet_lost";
+    case EventType::Retransmission: return "packet_retransmitted";
+    case EventType::RtoFired: return "loss_timer_fired";
+    case EventType::CwndUpdated: return "congestion_window_updated";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* category_of(EventType t) {
+  switch (t) {
+    case EventType::HandshakeStarted:
+    case EventType::HandshakeFinished:
+      return "security";
+    case EventType::StreamOpened:
+    case EventType::StreamFinished:
+      return "http";
+    case EventType::PacketLost:
+    case EventType::Retransmission:
+    case EventType::RtoFired:
+    case EventType::CwndUpdated:
+      return "recovery";
+    default:
+      return "transport";
+  }
+}
+
+}  // namespace
+
+void ConnectionTrace::record(Event event) {
+  H3CDN_EXPECTS(events_.empty() || event.at >= events_.back().at);
+  events_.push_back(event);
+}
+
+std::size_t ConnectionTrace::count(EventType type) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.type == type;
+  return n;
+}
+
+std::string ConnectionTrace::to_qlog_json(const std::string& connection_label) const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("qlog_format", "JSON");
+  w.kv("qlog_version", "0.4");
+  w.key("traces").begin_array();
+  w.begin_object();
+  w.key("common_fields").begin_object();
+  w.kv("ODCID", connection_label);
+  w.kv("time_format", "relative");
+  w.end_object();
+  w.key("events").begin_array();
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.kv("time", to_ms(e.at));
+    w.kv("category", category_of(e.type));
+    w.kv("name", to_string(e.type));
+    w.key("data").begin_object();
+    switch (e.type) {
+      case EventType::PacketSent:
+      case EventType::PacketReceived:
+      case EventType::PacketAcked:
+      case EventType::PacketLost:
+      case EventType::Retransmission:
+        w.kv("packet_number", e.packet_number);
+        w.kv("stream_id", e.stream_id);
+        w.kv("payload_length", e.bytes);
+        w.kv("direction", e.is_client_to_server ? "client_to_server" : "server_to_client");
+        break;
+      case EventType::CwndUpdated:
+        w.kv("congestion_window_packets", e.cwnd);
+        w.kv("direction", e.is_client_to_server ? "client_to_server" : "server_to_client");
+        break;
+      case EventType::StreamOpened:
+      case EventType::StreamFinished:
+        w.kv("stream_id", e.stream_id);
+        w.kv("length", e.bytes);
+        break;
+      case EventType::HandshakeStarted:
+      case EventType::HandshakeFinished:
+        break;
+      case EventType::RtoFired:
+        w.kv("direction", e.is_client_to_server ? "client_to_server" : "server_to_client");
+        break;
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace h3cdn::trace

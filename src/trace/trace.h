@@ -1,0 +1,64 @@
+// Connection event tracing in the spirit of qlog (draft-ietf-quic-qlog):
+// every transport-level event (packet sent/received/acked/lost, recovery
+// timer fires, congestion-window updates, handshake milestones, stream
+// lifecycle) is recorded with its simulated timestamp and can be exported as
+// qlog-flavoured JSON for inspection or visualization.
+//
+// Tracing is opt-in per connection (Connection::set_trace) and costs nothing
+// when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace h3cdn::trace {
+
+enum class EventType {
+  HandshakeStarted,
+  HandshakeFinished,
+  StreamOpened,
+  StreamFinished,
+  PacketSent,
+  PacketReceived,
+  PacketAcked,
+  PacketLost,
+  Retransmission,
+  RtoFired,
+  CwndUpdated,
+};
+
+const char* to_string(EventType t);
+
+struct Event {
+  TimePoint at{0};
+  EventType type = EventType::PacketSent;
+  std::uint64_t packet_number = 0;  // when applicable
+  std::uint64_t stream_id = 0;      // when applicable
+  std::size_t bytes = 0;            // payload size, when applicable
+  double cwnd = 0.0;                // packets, for CwndUpdated
+  bool is_client_to_server = true;  // direction of the packet/stream data
+};
+
+/// One connection's event log.
+class ConnectionTrace {
+ public:
+  void record(Event event);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(EventType type) const;
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Serializes as a qlog-flavoured JSON document: one trace with a flat
+  /// event list of [time_ms, category, name, data] rows.
+  [[nodiscard]] std::string to_qlog_json(const std::string& connection_label) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace h3cdn::trace

@@ -1,0 +1,79 @@
+#include "transport/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::transport {
+
+namespace {
+constexpr double kCubicC = 0.4;
+constexpr double kCubicBeta = 0.7;
+constexpr double kRenoBeta = 0.5;
+}  // namespace
+
+CongestionController::CongestionController(CcConfig config)
+    : config_(config),
+      cwnd_(static_cast<double>(config.initial_cwnd)),
+      ssthresh_(static_cast<double>(config.max_cwnd)) {
+  H3CDN_EXPECTS(config.min_cwnd >= 1);
+  H3CDN_EXPECTS(config.initial_cwnd >= config.min_cwnd);
+  H3CDN_EXPECTS(config.max_cwnd >= config.initial_cwnd);
+}
+
+void CongestionController::on_ack(TimePoint now) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: one packet per ack
+  } else if (config_.algorithm == CcAlgorithm::NewReno) {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance: ~one packet per RTT
+  } else {
+    // Simplified CUBIC: W(t) = C*(t-K)^3 + W_max, clocked by wall time since
+    // the start of the current congestion-avoidance epoch.
+    if (epoch_start_ < TimePoint{0}) {
+      epoch_start_ = now;
+      if (w_max_ <= 0.0) w_max_ = cwnd_;
+    }
+    const double t = to_sec(now - epoch_start_);
+    const double k = std::cbrt(w_max_ * (1.0 - kCubicBeta) / kCubicC);
+    const double target = kCubicC * std::pow(t - k, 3.0) + w_max_;
+    if (target > cwnd_) {
+      cwnd_ += std::min(1.0, (target - cwnd_) / cwnd_);
+    } else {
+      cwnd_ += 0.01 / cwnd_;  // minimal growth while below the cubic curve
+    }
+  }
+  cwnd_ = std::min(cwnd_, static_cast<double>(config_.max_cwnd));
+}
+
+void CongestionController::reduce(TimePoint now, double factor) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * factor, static_cast<double>(config_.min_cwnd));
+  cwnd_ = ssthresh_;
+  recovery_start_ = now;
+  epoch_start_ = TimePoint{-1};
+  ++loss_episodes_;
+}
+
+void CongestionController::on_loss(TimePoint sent_time, TimePoint now) {
+  // NewReno-style: only one reduction per window of data. A packet sent
+  // before the current recovery episode began reflects the same congestion
+  // event that already triggered the reduction.
+  if (recovery_start_ >= TimePoint{0} && sent_time <= recovery_start_) return;
+  reduce(now, config_.algorithm == CcAlgorithm::Cubic ? kCubicBeta : kRenoBeta);
+}
+
+void CongestionController::on_rto(TimePoint now) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * kRenoBeta, static_cast<double>(config_.min_cwnd));
+  cwnd_ = static_cast<double>(config_.min_cwnd);
+  recovery_start_ = now;
+  epoch_start_ = TimePoint{-1};
+  ++loss_episodes_;
+}
+
+std::size_t CongestionController::cwnd() const {
+  return std::max<std::size_t>(static_cast<std::size_t>(cwnd_), config_.min_cwnd);
+}
+
+}  // namespace h3cdn::transport

@@ -1,0 +1,59 @@
+// Window-based congestion control.
+//
+// Both simulated transports use the same controller so that the H2-vs-H3
+// comparison isolates the paper's variables (handshake RTTs and head-of-line
+// blocking) rather than congestion-control differences — the paper itself
+// notes (§II-C, citing Yu & Benson) that production CC choices vary; our
+// ablation bench flips the algorithm to quantify that.
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.h"
+
+namespace h3cdn::transport {
+
+enum class CcAlgorithm { NewReno, Cubic };
+
+struct CcConfig {
+  CcAlgorithm algorithm = CcAlgorithm::NewReno;
+  std::size_t initial_cwnd = 10;   // packets (RFC 6928 IW10)
+  std::size_t min_cwnd = 2;        // packets
+  std::size_t max_cwnd = 4096;     // packets; caps simulator memory
+};
+
+/// Packet-granularity congestion window (NewReno or a simplified CUBIC).
+class CongestionController {
+ public:
+  explicit CongestionController(CcConfig config = {});
+
+  /// One packet newly acknowledged.
+  void on_ack(TimePoint now);
+
+  /// A packet sent at `sent_time` was declared lost. Window reduction happens
+  /// at most once per round trip ("recovery episode"), per NewReno.
+  void on_loss(TimePoint sent_time, TimePoint now);
+
+  /// Retransmission timeout: collapse to minimum window, re-enter slow start.
+  void on_rto(TimePoint now);
+
+  /// Current window, in packets.
+  [[nodiscard]] std::size_t cwnd() const;
+
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  [[nodiscard]] std::size_t loss_episodes() const { return loss_episodes_; }
+
+ private:
+  void reduce(TimePoint now, double factor);
+
+  CcConfig config_;
+  double cwnd_;                    // fractional packets for CA increments
+  double ssthresh_;
+  TimePoint recovery_start_{-1};   // packets sent before this don't re-reduce
+  std::size_t loss_episodes_ = 0;
+  // CUBIC state
+  double w_max_ = 0.0;
+  TimePoint epoch_start_{-1};
+};
+
+}  // namespace h3cdn::transport

@@ -1,0 +1,58 @@
+#include "transport/rtt_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace h3cdn::transport {
+
+namespace {
+// RFC 6298 clock granularity term G; 1 ms is the conventional modern value.
+constexpr Duration kGranularity = msec(1);
+}  // namespace
+
+RttEstimator::RttEstimator(Duration initial_rto, Duration min_rto, Duration max_rto,
+                           Duration extra)
+    : initial_rto_(initial_rto), min_rto_(min_rto), max_rto_(max_rto), extra_(extra) {
+  H3CDN_EXPECTS(initial_rto > Duration::zero());
+  H3CDN_EXPECTS(min_rto > Duration::zero() && min_rto <= max_rto);
+}
+
+void RttEstimator::sample(Duration rtt) {
+  H3CDN_EXPECTS(rtt >= Duration::zero());
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = Duration{rtt.count() / 2};
+    has_sample_ = true;
+    return;
+  }
+  const auto err = Duration{std::abs((srtt_ - rtt).count())};
+  rttvar_ = Duration{(3 * rttvar_.count() + err.count()) / 4};
+  srtt_ = Duration{(7 * srtt_.count() + rtt.count()) / 8};
+}
+
+Duration RttEstimator::rto() const {
+  Duration base = initial_rto_;
+  if (has_sample_) {
+    base = srtt_ + std::max(kGranularity, Duration{4 * rttvar_.count()}) + extra_;
+  }
+  base = std::clamp(base, min_rto_, max_rto_);
+  // Exponential backoff, saturating at max_rto_.
+  for (int i = 0; i < backoff_exp_ && base < max_rto_; ++i) {
+    base = std::min(Duration{base.count() * 2}, max_rto_);
+  }
+  return base;
+}
+
+Duration RttEstimator::srtt() const {
+  return has_sample_ ? srtt_ : Duration{initial_rto_.count() / 2};
+}
+
+void RttEstimator::backoff() {
+  if (backoff_exp_ < 16) ++backoff_exp_;
+}
+
+void RttEstimator::reset_backoff() { backoff_exp_ = 0; }
+
+}  // namespace h3cdn::transport

@@ -1,0 +1,48 @@
+// Smoothed RTT estimation and retransmission-timeout computation following
+// RFC 6298 (TCP) — which RFC 9002 (QUIC) also adopts nearly verbatim, so one
+// estimator serves both transports.
+#pragma once
+
+#include "util/types.h"
+
+namespace h3cdn::transport {
+
+class RttEstimator {
+ public:
+  /// `initial_rto` is used until the first sample arrives; pick it from the
+  /// configured path RTT rather than RFC 6298's 1 s to avoid absurd first-loss
+  /// penalties on short simulated paths. `extra` is an additive term applied
+  /// after a sample exists — QUIC's PTO adds max_ack_delay (RFC 9002 §6.2.1),
+  /// which is what keeps its low floor from firing spuriously under queueing.
+  explicit RttEstimator(Duration initial_rto, Duration min_rto = msec(50),
+                        Duration max_rto = sec(10), Duration extra = Duration::zero());
+
+  /// Feeds one RTT measurement (ack receipt minus send time).
+  void sample(Duration rtt);
+
+  /// Current retransmission timeout including exponential backoff.
+  [[nodiscard]] Duration rto() const;
+
+  /// Smoothed RTT (initial_rto/2 before any sample).
+  [[nodiscard]] Duration srtt() const;
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+
+  /// Doubles the timeout (called on each RTO expiry).
+  void backoff();
+
+  /// Resets the backoff multiplier (called when an ack arrives).
+  void reset_backoff();
+
+ private:
+  Duration initial_rto_;
+  Duration min_rto_;
+  Duration max_rto_;
+  Duration extra_;
+  Duration srtt_{0};
+  Duration rttvar_{0};
+  int backoff_exp_ = 0;
+  bool has_sample_ = false;
+};
+
+}  // namespace h3cdn::transport

@@ -1,0 +1,33 @@
+// Lightweight precondition / invariant checking, in the spirit of the
+// C++ Core Guidelines' Expects()/Ensures(). Violations abort with a message:
+// in a simulator, continuing past a broken invariant silently corrupts every
+// measurement derived afterwards, so fail fast is the only sane policy.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace h3cdn::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "h3cdn: %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace h3cdn::detail
+
+#define H3CDN_EXPECTS(cond)                                                      \
+  do {                                                                           \
+    if (!(cond)) ::h3cdn::detail::check_failed("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define H3CDN_ENSURES(cond)                                                      \
+  do {                                                                           \
+    if (!(cond)) ::h3cdn::detail::check_failed("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define H3CDN_ASSERT(cond)                                                       \
+  do {                                                                           \
+    if (!(cond)) ::h3cdn::detail::check_failed("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "util/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace h3cdn::util {
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  H3CDN_EXPECTS(xs.size() == ys.size());
+  LinearFit fit;
+  fit.n = xs.size();
+  if (xs.empty()) return fit;
+
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double pred = fit.slope * xs[i] + fit.intercept;
+      ss_res += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+LinearFit fit_line_binned(const std::vector<double>& xs, const std::vector<double>& ys,
+                          std::size_t bins) {
+  H3CDN_EXPECTS(xs.size() == ys.size());
+  H3CDN_EXPECTS(bins > 0);
+  if (xs.size() <= bins) return fit_line(xs, ys);
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> bx, by;
+  bx.reserve(bins);
+  by.reserve(bins);
+  const std::size_t per = xs.size() / bins;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t lo = b * per;
+    const std::size_t hi = (b + 1 == bins) ? xs.size() : (b + 1) * per;
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sx += xs[order[i]];
+      sy += ys[order[i]];
+    }
+    const auto n = static_cast<double>(hi - lo);
+    bx.push_back(sx / n);
+    by.push_back(sy / n);
+  }
+  auto fit = fit_line(bx, by);
+  fit.n = xs.size();
+  return fit;
+}
+
+}  // namespace h3cdn::util

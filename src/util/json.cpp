@@ -1,0 +1,132 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace h3cdn::util {
+
+void JsonWriter::pre_value() {
+  if (!stack_.empty() && !expecting_value_) {
+    H3CDN_EXPECTS(stack_.back() == Ctx::Array);  // bare value only valid in array
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+  expecting_value_ = false;
+}
+
+void JsonWriter::escape_into(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Ctx::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  H3CDN_EXPECTS(!stack_.empty() && stack_.back() == Ctx::Object && !expecting_value_);
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Ctx::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  H3CDN_EXPECTS(!stack_.empty() && stack_.back() == Ctx::Array && !expecting_value_);
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  H3CDN_EXPECTS(!stack_.empty() && stack_.back() == Ctx::Object && !expecting_value_);
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  escape_into(k);
+  out_ += ':';
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  escape_into(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string_view{v}); }
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  H3CDN_EXPECTS(stack_.empty());
+  return out_;
+}
+
+}  // namespace h3cdn::util

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer, used to export HAR-equivalent archives
+// (the paper's raw artifact is Chrome HAR files) without any third-party
+// dependency. Write-only by design: the library consumes its own in-memory
+// structures for analysis and emits JSON purely for interoperability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h3cdn::util {
+
+/// Builds a JSON document incrementally. Enforces well-formedness with
+/// an explicit context stack; misuse aborts (H3CDN_EXPECTS).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes a key inside an object; must be followed by a value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document. All containers must be closed.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Ctx { Object, Array };
+  void pre_value();
+  void escape_into(std::string_view s);
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool expecting_value_ = false; // a key was written, value must follow
+};
+
+}  // namespace h3cdn::util

@@ -1,0 +1,290 @@
+#include "util/json_parse.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace h3cdn::util {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(JsonParseError* error) {
+    skip_ws();
+    auto value = parse_value();
+    if (!value) {
+      fill(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      fill(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fill(JsonParseError* error) const {
+    if (error != nullptr) {
+      error->message = message_;
+      error->offset = error_pos_;
+    }
+  }
+
+  void fail(const std::string& message) {
+    if (message_.empty()) {
+      message_ = message;
+      error_pos_ = pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (eof()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue(std::move(*s));
+      }
+      case 't': return literal("true") ? std::optional<JsonValue>(JsonValue(true)) : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<JsonValue>(JsonValue(false)) : std::nullopt;
+      case 'n':
+        return literal("null") ? std::optional<JsonValue>(JsonValue(nullptr)) : std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!expect('{')) return std::nullopt;
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!expect(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      obj.emplace(std::move(*key), std::move(*value));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue(std::move(obj));
+      }
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!expect('[')) return std::nullopt;
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      arr.push_back(std::move(*value));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue(std::move(arr));
+      }
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) {
+        fail("dangling escape");
+        return std::nullopt;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("invalid \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogates pass through as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      fail("malformed number");
+      pos_ = start;
+      return std::nullopt;
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string message_;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, JsonParseError* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace h3cdn::util

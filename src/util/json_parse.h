@@ -1,0 +1,72 @@
+// Minimal recursive-descent JSON parser (RFC 8259 subset: UTF-8 text, no
+// surrogate-pair decoding beyond pass-through). Complements JsonWriter so HAR
+// archives exported by the library can be re-imported and inspected — the
+// same round trip the paper's pipeline performs on Chrome HAR files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace h3cdn::util {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A parsed JSON document node. Value-semantic; object members are kept in
+/// a sorted map (key order is not significant for our uses).
+class JsonValue {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+  [[nodiscard]] const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  [[nodiscard]] const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Convenience typed getters with defaults.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key, std::string fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+ private:
+  Storage value_;
+};
+
+struct JsonParseError {
+  std::string message;
+  std::size_t offset = 0;  // byte offset in the input
+};
+
+/// Parses a complete JSON document. Returns nullopt and fills `error` (if
+/// given) on malformed input. Trailing whitespace is allowed; trailing
+/// garbage is an error.
+std::optional<JsonValue> parse_json(std::string_view text, JsonParseError* error = nullptr);
+
+}  // namespace h3cdn::util

@@ -1,0 +1,173 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> parts) {
+  std::uint64_t state = 0x8f1bbcdcbfa53e0bULL;
+  std::uint64_t acc = 0;
+  for (std::uint64_t p : parts) {
+    state ^= p + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+    acc = splitmix64(state);
+  }
+  return acc;
+}
+
+std::uint64_t hash_component(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  H3CDN_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  H3CDN_EXPECTS(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Lemire's multiply-shift with rejection for unbiased bounded integers.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * range;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  H3CDN_EXPECTS(mean > 0.0);
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; one value per call keeps the generator stream position a
+  // deterministic function of the call count.
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(kTwoPi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::lognormal_median(double median, double sigma) {
+  H3CDN_EXPECTS(median > 0.0);
+  return lognormal(std::log(median), sigma);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  H3CDN_EXPECTS(x_m > 0.0 && alpha > 0.0);
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  H3CDN_EXPECTS(n > 0);
+  double norm = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  const double u = uniform() * norm;
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (u < acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    H3CDN_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  H3CDN_EXPECTS(total > 0.0);
+  const double u = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  H3CDN_EXPECTS(k <= n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher–Yates: after k swaps the first k entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::fork(std::uint64_t tag) const { return Rng{derive_seed({seed_, tag, 0x5eedf0c5ULL})}; }
+
+Rng Rng::fork(std::string_view tag) const { return fork(hash_component(tag)); }
+
+}  // namespace h3cdn::util

@@ -1,0 +1,104 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic decision in the study (packet loss draws, resource sizes,
+// provider assignment, server think times, ...) flows through an Rng seeded
+// from an explicit hierarchy of (study seed, site, probe, purpose). Two runs
+// with the same configuration therefore produce byte-identical results, which
+// is what makes the reproduction auditable. std::mt19937 and the standard
+// distributions are *not* used because their output is not guaranteed to be
+// identical across standard library implementations; xoshiro256++ plus our own
+// distribution transforms is.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+namespace h3cdn::util {
+
+/// SplitMix64 step; used for seeding and for hashing seed components.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Combines an arbitrary list of 64-bit components into one well-mixed seed.
+/// Deterministic and order-sensitive: derive_seed({a,b}) != derive_seed({b,a}).
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> parts);
+
+/// Hashes a string into a 64-bit seed component (FNV-1a).
+std::uint64_t hash_component(std::string_view s);
+
+/// xoshiro256++ engine with explicit, portable distribution transforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (stateless variant; uses two draws).
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Log-normal parameterized by the desired median and sigma:
+  /// median = exp(mu)  =>  mu = ln(median).
+  double lognormal_median(double median, double sigma);
+
+  /// Pareto (type I) with scale x_m and shape alpha.
+  double pareto(double x_m, double alpha);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s >= 0). Linear-time
+  /// inversion over precomputed weights is avoided; uses rejection-free CDF
+  /// walk which is fine for the small n (tens of providers) used here.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives a child generator; children with distinct tags are independent.
+  Rng fork(std::uint64_t tag) const;
+  Rng fork(std::string_view tag) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;  // retained for fork()
+};
+
+}  // namespace h3cdn::util

@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::util {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  s.p25 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.50);
+  s.p75 = quantile_sorted(values, 0.75);
+  s.p90 = quantile_sorted(values, 0.90);
+  s.p99 = quantile_sorted(values, 0.99);
+  return s;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  H3CDN_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+std::vector<DistPoint> cdf(std::vector<double> values) {
+  std::vector<DistPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Collapse runs of equal values to the last index of the run.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<DistPoint> ccdf(std::vector<double> values) {
+  auto points = cdf(std::move(values));
+  for (auto& p : points) p.y = 1.0 - p.y;
+  return points;
+}
+
+double fraction_above(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : values)
+    if (v > threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+double fraction_at_or_below(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  return 1.0 - fraction_above(values, threshold);
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& values, double lo, double hi,
+                                   std::size_t bins) {
+  H3CDN_EXPECTS(bins > 0 && lo < hi);
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : values) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  H3CDN_EXPECTS(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+}  // namespace h3cdn::util

@@ -1,0 +1,68 @@
+// Descriptive statistics and distribution-series builders used throughout the
+// analysis pipeline (Figs. 3, 5, 6b of the paper are CCDF/CDF plots; every
+// table reports means/medians).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace h3cdn::util {
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1); 0 for n < 2
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes a Summary. Returns a zeroed Summary for an empty sample.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolated quantile of a sample; q in [0,1]. Sorts a copy.
+double quantile(std::vector<double> values, double q);
+
+/// Quantile of an already-sorted sample (ascending); q in [0,1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// One point of an empirical distribution curve.
+struct DistPoint {
+  double x = 0.0;  // sample value
+  double y = 0.0;  // P(X <= x) for CDF, P(X > x) for CCDF
+};
+
+/// Empirical CDF: one point per distinct sorted sample value.
+std::vector<DistPoint> cdf(std::vector<double> values);
+
+/// Complementary CDF, as plotted in the paper's Figs. 3 and 5.
+std::vector<DistPoint> ccdf(std::vector<double> values);
+
+/// Fraction of samples strictly greater than `threshold` (a CCDF readout,
+/// e.g. "75% of webpages have exceeded 50% CDN resources").
+double fraction_above(const std::vector<double>& values, double threshold);
+
+/// Fraction of samples <= threshold.
+double fraction_at_or_below(const std::vector<double>& values, double threshold);
+
+/// Equal-width histogram over [lo, hi); values outside are clamped to the
+/// first/last bin. Returns per-bin counts.
+std::vector<std::size_t> histogram(const std::vector<double>& values, double lo, double hi,
+                                   std::size_t bins);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Mean of a sample (0 for empty).
+double mean(const std::vector<double>& values);
+
+/// Median of a sample (0 for empty). Sorts a copy.
+double median(std::vector<double> values);
+
+}  // namespace h3cdn::util

@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace h3cdn::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  H3CDN_EXPECTS(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  H3CDN_EXPECTS(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::to_string(int indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) line += std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += pad + std::string(total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace h3cdn::util

@@ -1,0 +1,37 @@
+// ASCII table rendering for the benchmark harness. Every bench binary prints
+// the paper's table/figure as aligned text via this helper so outputs are
+// uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h3cdn::util {
+
+/// A simple right-padded ASCII table with a header row and a separator line.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends one row; the row may have fewer cells than the header (missing
+  /// cells render empty) but not more.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column widths fitted to content. `indent` spaces prefix
+  /// each line.
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt(double v, int digits = 2);
+
+/// Formats a fraction as a percentage string with one decimal, e.g. "67.0%".
+std::string fmt_pct(double fraction, int digits = 1);
+
+}  // namespace h3cdn::util

@@ -1,0 +1,39 @@
+// Core time and identifier types shared across the h3cdn libraries.
+//
+// All simulated time is kept as integral microseconds. Integral time keeps
+// the discrete-event simulator deterministic across platforms (no FP drift in
+// the event queue) while microsecond resolution is far below the ~hundreds of
+// microseconds of the finest modelled effect (packet serialization).
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+namespace h3cdn {
+
+/// Length of a simulated interval, in integral microseconds.
+using Duration = std::chrono::duration<std::int64_t, std::micro>;
+
+/// Instant on the simulated clock: microseconds since simulation start.
+/// Kept as a Duration on purpose — the simulation epoch is always zero.
+using TimePoint = Duration;
+
+/// Convenience literal-style constructors.
+constexpr Duration usec(std::int64_t v) { return Duration{v}; }
+constexpr Duration msec(std::int64_t v) { return Duration{v * 1000}; }
+constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000}; }
+
+/// Converts a simulated duration to fractional milliseconds (for reporting).
+constexpr double to_ms(Duration d) { return static_cast<double>(d.count()) / 1000.0; }
+
+/// Converts a simulated duration to fractional seconds (for reporting).
+constexpr double to_sec(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+
+/// Builds a duration from fractional milliseconds, rounding to microseconds.
+inline Duration from_ms(double ms) { return Duration{std::llround(ms * 1000.0)}; }
+
+/// Builds a duration from fractional seconds, rounding to microseconds.
+inline Duration from_sec(double s) { return Duration{std::llround(s * 1e6)}; }
+
+}  // namespace h3cdn

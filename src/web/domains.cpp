@@ -1,0 +1,161 @@
+#include "web/domains.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::web {
+
+namespace {
+
+// Recognizable hostnames per provider; list lengths match (or exceed) each
+// provider's ProviderTraits::domain_count, from which the first N are taken.
+const std::vector<std::string>& name_pool(cdn::ProviderId id) {
+  using P = cdn::ProviderId;
+  static const std::unordered_map<int, std::vector<std::string>> pools = {
+      {static_cast<int>(P::Google),
+       {"fonts.gstatic.com", "www.gstatic.com", "fonts.googleapis.com", "ajax.googleapis.com",
+        "www.googletagmanager.com", "www.google-analytics.com", "apis.google.com",
+        "storage.googleapis.com", "lh3.googleusercontent.com", "i.ytimg.com",
+        "maps.googleapis.com", "cdn.ampproject.org"}},
+      {static_cast<int>(P::Cloudflare),
+       {"cdnjs.cloudflare.com", "static.cloudflareinsights.com", "cdn.jsdelivr.net",
+        "unpkg.com", "assets.cf-static.net", "media.cf-cache.net", "js.cf-edge.net",
+        "img.cf-edge.net", "embed.cf-stream.net", "fonts.cf-static.net"}},
+      {static_cast<int>(P::Amazon),
+       {"d1a2b3c4.cloudfront.net", "d2x9y8z7.cloudfront.net", "d3m4n5o6.cloudfront.net",
+        "d4q7r8s9.cloudfront.net", "d5t1u2v3.cloudfront.net", "m.media-amazon.com",
+        "images-na.ssl-images-amazon.com", "s3.amazonaws.com", "d6w4x5y6.cloudfront.net"}},
+      {static_cast<int>(P::Akamai),
+       {"static.akamaized.net", "media.akamaized.net", "s.akamaihd.net", "img.akamaihd.net",
+        "assets.akamai-edge.net", "scripts.akamai-edge.net", "dl.akamai-cdn.net",
+        "video.akamaized.net"}},
+      {static_cast<int>(P::Fastly),
+       {"github.githubassets.com", "assets.fastly-edge.net", "cdn.fastly-insights.com",
+        "static.fastly-cache.net", "img.fastly-cache.net", "js.fastly-edge.net",
+        "media.fastly-cache.net"}},
+      {static_cast<int>(P::Microsoft),
+       {"ajax.aspnetcdn.com", "static2.sharepointonline.com", "cdn.azureedge.net",
+        "assets.azureedge.net", "media.azureedge.net", "js.monitor.azure.com"}},
+      {static_cast<int>(P::QuicCloud), {"cdn.quic.cloud", "img.quic.cloud"}},
+      {static_cast<int>(P::Other),
+       {"cdn.sstatic.net", "cdn.onenet-cdn.com", "static.bunny-edge.net", "assets.kxcdn.com"}},
+  };
+  auto it = pools.find(static_cast<int>(id));
+  H3CDN_EXPECTS(it != pools.end());
+  return it->second;
+}
+
+}  // namespace
+
+DomainUniverse DomainUniverse::create(util::Rng rng) {
+  DomainUniverse u;
+  for (const auto& traits : cdn::ProviderRegistry::all()) {
+    const auto& pool = name_pool(traits.id);
+    H3CDN_EXPECTS(pool.size() >= static_cast<std::size_t>(traits.domain_count));
+
+    // Zipf-flavoured popularity with mild random perturbation: the first
+    // domains (fonts, analytics, the primary asset host) dominate traffic.
+    std::vector<DomainInfo> infos;
+    double total_weight = 0.0;
+    for (int i = 0; i < traits.domain_count; ++i) {
+      DomainInfo d;
+      d.name = pool[static_cast<std::size_t>(i)];
+      d.is_cdn = true;
+      d.provider = traits.id;
+      d.tls_version = traits.tls_version;
+      d.popularity = (1.0 / std::pow(i + 1.0, 0.9)) * rng.uniform(0.85, 1.15);
+      total_weight += d.popularity;
+      infos.push_back(std::move(d));
+    }
+
+    // Deterministic H3 flag assignment. Pages pick a provider's domains
+    // proportionally to popularity AND concentrate resources on the picked
+    // few, so a domain's *request* share is roughly its popularity squared
+    // (picking × within-page share). Greedily enable H3 on domains, most
+    // popular first, while the squared-popularity share stays near the
+    // provider's adoption target; this pins realized Table II / Fig. 2
+    // adoption to the calibration regardless of seed.
+    double eff_total = 0.0;
+    for (const auto& d : infos) eff_total += d.popularity * d.popularity;
+    std::vector<std::size_t> order(infos.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return infos[a].popularity > infos[b].popularity;
+    });
+    double cum = 0.0;
+    for (std::size_t idx : order) {
+      const double w = infos[idx].popularity * infos[idx].popularity / eff_total;
+      if (cum + w <= traits.h3_adoption + 0.04) {
+        infos[idx].supports_h3 = true;
+        cum += w;
+      }
+    }
+
+    auto& names = u.by_provider_[static_cast<int>(traits.id)];
+    for (auto& d : infos) {
+      names.push_back(d.name);
+      u.domains_.emplace(d.name, std::move(d));
+    }
+    // popularity-descending order for per-page domain selection
+    std::sort(names.begin(), names.end(), [&](const std::string& a, const std::string& b) {
+      return u.domains_.at(a).popularity > u.domains_.at(b).popularity;
+    });
+  }
+  return u;
+}
+
+const DomainInfo& DomainUniverse::add_site_domain(DomainInfo info) {
+  H3CDN_EXPECTS(!info.is_cdn);
+  return add_domain(std::move(info));
+}
+
+const DomainInfo& DomainUniverse::add_domain(DomainInfo info) {
+  const bool is_cdn = info.is_cdn;
+  const auto provider = info.provider;
+  const std::string name = info.name;
+  auto [it, inserted] = domains_.emplace(name, std::move(info));
+  H3CDN_EXPECTS(inserted);
+  if (is_cdn) by_provider_[static_cast<int>(provider)].push_back(name);
+  return it->second;
+}
+
+const DomainInfo& DomainUniverse::get(const std::string& name) const {
+  auto it = domains_.find(name);
+  H3CDN_EXPECTS(it != domains_.end());
+  return it->second;
+}
+
+bool DomainUniverse::contains(const std::string& name) const {
+  return domains_.count(name) > 0;
+}
+
+DomainInfo& DomainUniverse::mutable_get(const std::string& name) {
+  auto it = domains_.find(name);
+  H3CDN_EXPECTS(it != domains_.end());
+  return it->second;
+}
+
+std::vector<std::string> DomainUniverse::all_domain_names() const {
+  std::vector<std::string> out;
+  out.reserve(domains_.size());
+  for (const auto& [name, info] : domains_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<std::string>& DomainUniverse::cdn_domains(cdn::ProviderId id) const {
+  static const std::vector<std::string> empty;
+  auto it = by_provider_.find(static_cast<int>(id));
+  return it == by_provider_.end() ? empty : it->second;
+}
+
+std::vector<std::string> DomainUniverse::all_cdn_domains() const {
+  std::vector<std::string> out;
+  for (const auto& [id, names] : by_provider_) out.insert(out.end(), names.begin(), names.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace h3cdn::web

@@ -1,0 +1,70 @@
+// Domain universe: the global CDN hostnames shared across websites, plus
+// per-site first-party domains.
+//
+// The paper's Table III setup extracts 58 CDN domains that appear on more
+// than one webpage; our universe contains exactly 58 global CDN domains
+// (ProviderTraits::domain_count sums to 58), each with:
+//   * a popularity weight (resources are assigned Zipf-style, so a few
+//     domains — fonts/analytics/ad CDNs — dominate, as in the wild),
+//   * an H3-enabled flag, chosen deterministically so the *request-weighted*
+//     H3 share of each provider matches its ProviderTraits::h3_adoption.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/provider.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+
+namespace h3cdn::web {
+
+struct DomainInfo {
+  std::string name;
+  bool is_cdn = false;
+  cdn::ProviderId provider = cdn::ProviderId::None;
+  bool supports_h2 = true;   // false: HTTP/1.1-only legacy origin
+  bool supports_h3 = false;  // advertises Alt-Svc h3
+  tls::TlsVersion tls_version = tls::TlsVersion::Tls13;
+  double popularity = 1.0;   // resource-assignment weight within its provider
+};
+
+class DomainUniverse {
+ public:
+  /// Builds the global CDN domain set from the provider registry. `rng` only
+  /// perturbs popularity weights; H3 flags are deterministic given traits.
+  static DomainUniverse create(util::Rng rng);
+
+  /// Registers a per-site (non-CDN) domain. Returns the stored info.
+  const DomainInfo& add_site_domain(DomainInfo info);
+
+  /// Registers any domain (including externally authored CDN hostnames, used
+  /// by workload import). CDN domains join their provider's list.
+  const DomainInfo& add_domain(DomainInfo info);
+
+  [[nodiscard]] const DomainInfo& get(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Mutable lookup, for ablation studies that rewrite domain properties
+  /// (e.g. forcing TLS 1.2 everywhere) on a generated universe.
+  [[nodiscard]] DomainInfo& mutable_get(const std::string& name);
+
+  /// Every registered domain name (CDN and per-site).
+  [[nodiscard]] std::vector<std::string> all_domain_names() const;
+
+  /// All global CDN domains of one provider (popularity-descending).
+  [[nodiscard]] const std::vector<std::string>& cdn_domains(cdn::ProviderId id) const;
+
+  /// All 58 global CDN domain names.
+  [[nodiscard]] std::vector<std::string> all_cdn_domains() const;
+
+  [[nodiscard]] std::size_t size() const { return domains_.size(); }
+
+ private:
+  std::unordered_map<std::string, DomainInfo> domains_;
+  std::unordered_map<int, std::vector<std::string>> by_provider_;  // key: (int)ProviderId
+};
+
+}  // namespace h3cdn::web

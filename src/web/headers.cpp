@@ -1,0 +1,89 @@
+#include "web/headers.h"
+
+#include <cstdio>
+
+namespace h3cdn::web {
+
+namespace {
+
+std::string hex_token(util::Rng& rng, int len) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) s += digits[rng.uniform_int(0, 15)];
+  return s;
+}
+
+std::string pop_code(util::Rng& rng) {
+  static const char* pops[] = {"IAD", "ORD", "DFW", "LAX", "SEA", "ATL", "JFK", "SLC"};
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%s%lld-C%lld", pops[rng.uniform_int(0, 7)],
+                static_cast<long long>(rng.uniform_int(1, 99)),
+                static_cast<long long>(rng.uniform_int(1, 4)));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Header> make_cdn_headers(cdn::ProviderId provider, util::Rng& rng) {
+  using P = cdn::ProviderId;
+  const bool hit = rng.bernoulli(0.95);
+  switch (provider) {
+    case P::Google:
+      return {{"server", rng.bernoulli(0.5) ? "gws" : "sffe"},
+              {"x-goog-generation", std::to_string(rng.uniform_int(1, 1'000'000'000))},
+              {"via", "1.1 google"},
+              {"cache-control", "public, max-age=86400"}};
+    case P::Cloudflare:
+      return {{"server", "cloudflare"},
+              {"cf-ray", hex_token(rng, 16) + "-EWR"},
+              {"cf-cache-status", hit ? "HIT" : "MISS"},
+              {"cache-control", "public, max-age=14400"}};
+    case P::Amazon:
+      return {{"server", "AmazonS3"},
+              {"via", "1.1 " + hex_token(rng, 13) + ".cloudfront.net (CloudFront)"},
+              {"x-amz-cf-pop", pop_code(rng)},
+              {"x-amz-cf-id", hex_token(rng, 22)},
+              {"x-cache", hit ? "Hit from cloudfront" : "Miss from cloudfront"}};
+    case P::Akamai:
+      return {{"server", "AkamaiGHost"},
+              {"x-akamai-transformed", "9 - 0 pmb=mRUM,1"},
+              {"x-cache", (hit ? std::string("TCP_HIT") : std::string("TCP_MISS")) + " from a" +
+                              std::to_string(rng.uniform_int(10, 99)) +
+                              "-99.deploy.akamaitechnologies.com"},
+              {"cache-control", "public, max-age=604800"}};
+    case P::Fastly:
+      return {{"x-served-by", "cache-bur-" + hex_token(rng, 8)},
+              {"x-cache", hit ? "HIT" : "MISS"},
+              {"via", "1.1 varnish"},
+              {"x-timer", "S" + std::to_string(rng.uniform_int(1, 9'999'999)) + ".0,VS0,VE1"}};
+    case P::Microsoft:
+      return {{"x-azure-ref", hex_token(rng, 20)},
+              {"server", "ECAcc (" + pop_code(rng) + ")"},
+              {"x-cache", hit ? "HIT" : "MISS"},
+              {"cache-control", "public, max-age=31536000"}};
+    case P::QuicCloud:
+      return {{"server", "LiteSpeed"},
+              {"x-qc-pop", pop_code(rng)},
+              {"x-qc-cache", hit ? "hit" : "miss"},
+              {"alt-svc", "h3=\":443\"; ma=2592000"}};
+    case P::Other:
+      return {{"server", "cdn-cache/2.4"},
+              {"x-cdn", "Served-By-Edge"},
+              {"x-edge-location", pop_code(rng)},
+              {"cache-control", "public, max-age=3600"}};
+    case P::None:
+      break;
+  }
+  return make_origin_headers(rng);
+}
+
+std::vector<Header> make_origin_headers(util::Rng& rng) {
+  static const char* servers[] = {"nginx/1.22.1", "Apache/2.4.54", "openresty", "Microsoft-IIS/10.0",
+                                  "gunicorn", "Jetty(9.4.z)"};
+  return {{"server", servers[rng.uniform_int(0, 5)]},
+          {"cache-control", "no-cache"},
+          {"x-request-id", hex_token(rng, 16)}};
+}
+
+}  // namespace h3cdn::web

@@ -1,0 +1,25 @@
+// HTTP response-header synthesis.
+//
+// Real CDNs stamp identifying headers on every response (cf-ray,
+// x-amz-cf-pop, x-served-by, ...). The paper identifies CDN resources with
+// LocEdge, which classifies by exactly such fingerprints; we synthesize
+// provider-accurate headers here so that our locedge substitute performs the
+// same *inference* step instead of reading ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdn/provider.h"
+#include "util/rng.h"
+#include "web/resource.h"
+
+namespace h3cdn::web {
+
+/// Headers for a response served by `provider`'s edge.
+std::vector<Header> make_cdn_headers(cdn::ProviderId provider, util::Rng& rng);
+
+/// Headers for a first-party (non-CDN) server response.
+std::vector<Header> make_origin_headers(util::Rng& rng);
+
+}  // namespace h3cdn::web

@@ -1,0 +1,52 @@
+#include "web/resource.h"
+
+namespace h3cdn::web {
+
+const char* to_string(ResourceType t) {
+  switch (t) {
+    case ResourceType::Html: return "html";
+    case ResourceType::Css: return "css";
+    case ResourceType::Script: return "script";
+    case ResourceType::Image: return "image";
+    case ResourceType::Font: return "font";
+    case ResourceType::Media: return "media";
+    case ResourceType::Other: return "other";
+  }
+  return "?";
+}
+
+std::size_t WebPage::cdn_resource_count() const {
+  std::size_t n = html.is_cdn ? 1 : 0;
+  for (const auto& r : resources)
+    if (r.is_cdn) ++n;
+  return n;
+}
+
+double WebPage::cdn_fraction() const {
+  const std::size_t total = total_requests();
+  if (total == 0) return 0.0;
+  return static_cast<double>(cdn_resource_count()) / static_cast<double>(total);
+}
+
+std::set<cdn::ProviderId> WebPage::cdn_providers() const {
+  std::set<cdn::ProviderId> out;
+  for (const auto& r : resources)
+    if (r.is_cdn) out.insert(r.provider);
+  return out;
+}
+
+std::set<std::string> WebPage::cdn_domains() const {
+  std::set<std::string> out;
+  for (const auto& r : resources)
+    if (r.is_cdn) out.insert(r.domain);
+  return out;
+}
+
+std::size_t WebPage::provider_resource_count(cdn::ProviderId provider) const {
+  std::size_t n = 0;
+  for (const auto& r : resources)
+    if (r.is_cdn && r.provider == provider) ++n;
+  return n;
+}
+
+}  // namespace h3cdn::web

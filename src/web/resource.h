@@ -1,0 +1,68 @@
+// Webpage and resource model: the synthetic equivalent of the paper's 325
+// Alexa-Top landing pages.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdn/provider.h"
+
+namespace h3cdn::web {
+
+enum class ResourceType { Html, Css, Script, Image, Font, Media, Other };
+
+const char* to_string(ResourceType t);
+
+using Header = std::pair<std::string, std::string>;
+
+/// One fetchable web resource (a HAR entry to be).
+struct Resource {
+  std::uint32_t id = 0;
+  std::string domain;
+  std::string path;
+  ResourceType type = ResourceType::Other;
+  std::size_t size_bytes = 0;      // response body on the wire
+  std::size_t request_bytes = 500; // serialized request
+  bool is_cdn = false;
+  cdn::ProviderId provider = cdn::ProviderId::None;  // ground truth (LocEdge re-infers it)
+  int discovery_wave = 0;  // 0: found parsing HTML; 1: found after a wave-0 resource
+  std::vector<Header> response_headers;
+
+  [[nodiscard]] std::string url() const { return "https://" + domain + path; }
+};
+
+/// A landing page: the root HTML document plus its subresources.
+struct WebPage {
+  std::string site;           // e.g. "site042.example"
+  std::string origin_domain;  // serves the HTML
+  Resource html;
+  std::vector<Resource> resources;
+
+  /// Total request count including the HTML document.
+  [[nodiscard]] std::size_t total_requests() const { return resources.size() + 1; }
+
+  [[nodiscard]] std::size_t cdn_resource_count() const;
+
+  /// Fraction of requests (incl. HTML) that are CDN-hosted — Fig. 3's metric.
+  [[nodiscard]] double cdn_fraction() const;
+
+  /// Distinct CDN providers present on the page — Fig. 4's metric.
+  [[nodiscard]] std::set<cdn::ProviderId> cdn_providers() const;
+
+  /// Distinct CDN domains present on the page — Table III's vector basis.
+  [[nodiscard]] std::set<std::string> cdn_domains() const;
+
+  /// Number of this page's CDN resources hosted by `provider` — Fig. 5.
+  [[nodiscard]] std::size_t provider_resource_count(cdn::ProviderId provider) const;
+};
+
+struct Website {
+  std::string name;
+  int alexa_rank = 0;
+  WebPage page;
+};
+
+}  // namespace h3cdn::web

@@ -1,0 +1,239 @@
+#include "web/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "web/headers.h"
+
+namespace h3cdn::web {
+
+namespace {
+
+ResourceType draw_type(util::Rng& rng) {
+  // Rough mix of landing-page subresources (HTTP Archive-style).
+  const double u = rng.uniform();
+  if (u < 0.45) return ResourceType::Image;
+  if (u < 0.70) return ResourceType::Script;
+  if (u < 0.78) return ResourceType::Css;
+  if (u < 0.84) return ResourceType::Font;
+  if (u < 0.88) return ResourceType::Media;
+  return ResourceType::Other;
+}
+
+double type_size_multiplier(ResourceType t) {
+  switch (t) {
+    case ResourceType::Media: return 8.0;   // video/audio segments
+    case ResourceType::Font: return 3.0;
+    case ResourceType::Script: return 1.4;
+    case ResourceType::Image: return 1.0;
+    case ResourceType::Css: return 0.7;
+    case ResourceType::Html: return 1.0;
+    case ResourceType::Other: return 0.8;
+  }
+  return 1.0;
+}
+
+const char* type_extension(ResourceType t) {
+  switch (t) {
+    case ResourceType::Image: return "png";
+    case ResourceType::Script: return "js";
+    case ResourceType::Css: return "css";
+    case ResourceType::Font: return "woff2";
+    case ResourceType::Media: return "mp4";
+    case ResourceType::Html: return "html";
+    case ResourceType::Other: return "json";
+  }
+  return "bin";
+}
+
+std::size_t draw_size_bytes(util::Rng& rng, double median_kb, double sigma, double max_kb,
+                            ResourceType type) {
+  const double kb =
+      rng.lognormal_median(median_kb, sigma) * type_size_multiplier(type);
+  const double clamped = std::clamp(kb, 0.3, max_kb);
+  return static_cast<std::size_t>(clamped * 1024.0);
+}
+
+std::size_t draw_count(util::Rng& rng, double median, double sigma, std::size_t lo,
+                       std::size_t hi) {
+  const double v = rng.lognormal_median(median, sigma);
+  const auto n = static_cast<std::size_t>(std::llround(v));
+  return std::clamp(n, lo, hi);
+}
+
+}  // namespace
+
+std::size_t Workload::total_requests() const {
+  std::size_t n = 0;
+  for (const auto& s : sites) n += s.page.total_requests();
+  return n;
+}
+
+Workload generate_workload(const WorkloadConfig& config) {
+  H3CDN_EXPECTS(config.site_count > 0);
+  Workload w;
+  w.config = config;
+
+  util::Rng root(config.seed);
+  w.universe = DomainUniverse::create(root.fork("universe"));
+
+  const auto& providers = cdn::ProviderRegistry::all();
+  std::uint32_t next_resource_id = 1;
+
+  for (std::size_t si = 0; si < config.site_count; ++si) {
+    util::Rng rng = root.fork("site").fork(si);
+    Website site;
+    char name[64];
+    std::snprintf(name, sizeof name, "site%03zu.example", si);
+    site.name = name;
+    site.alexa_rank = static_cast<int>(si) + 1;
+
+    WebPage& page = site.page;
+    page.site = site.name;
+    page.origin_domain = "www." + site.name;
+
+    // ---- first-party (non-CDN) domains -------------------------------
+    // Origin always exists; popular sites sometimes split api/img hosts.
+    std::vector<std::string> noncdn_domains{page.origin_domain};
+    if (rng.bernoulli(0.55)) noncdn_domains.push_back("api." + site.name);
+    if (rng.bernoulli(0.35)) noncdn_domains.push_back("img." + site.name);
+    for (const auto& d : noncdn_domains) {
+      DomainInfo info;
+      info.name = d;
+      info.is_cdn = false;
+      info.provider = cdn::ProviderId::None;
+      const bool is_origin = d == page.origin_domain;
+      info.supports_h3 =
+          rng.bernoulli(is_origin ? config.origin_h3_prob : config.noncdn_h3_prob);
+      if (!info.supports_h3 && !is_origin) {
+        // Legacy H1.1-only hosts cause the "Others" rows of Table II. The
+        // HTML-serving origin itself is kept at H2+ (Chrome on Alexa-top
+        // sites virtually never fetches the root document over H1.1).
+        info.supports_h2 = !rng.bernoulli(config.noncdn_h1_only_prob);
+      }
+      // First-party stacks lag CDNs: a large minority still terminated TLS
+      // 1.2 in the 2022 measurement window, which is where H3's 2-RTT
+      // connect advantage is largest.
+      info.tls_version =
+          rng.bernoulli(0.45) ? tls::TlsVersion::Tls12 : tls::TlsVersion::Tls13;
+      w.universe.add_site_domain(info);
+    }
+
+    // ---- root HTML document ------------------------------------------
+    page.html.id = next_resource_id++;
+    page.html.domain = page.origin_domain;
+    page.html.path = "/";
+    page.html.type = ResourceType::Html;
+    page.html.size_bytes = draw_size_bytes(rng, config.html_size_median_kb,
+                                           config.html_size_sigma, 512.0, ResourceType::Html);
+    page.html.request_bytes = static_cast<std::size_t>(rng.uniform_int(400, 900));
+    page.html.is_cdn = false;
+    page.html.provider = cdn::ProviderId::None;
+    page.html.discovery_wave = 0;
+    page.html.response_headers = make_origin_headers(rng);
+
+    // ---- CDN providers present on this page (Fig. 4a) ----------------
+    // Sites differ in how CDN-hungry they are: media/e-commerce landing
+    // pages pull from many providers, lean corporate pages from one or two.
+    // The affinity multiplier (mean 1.0) creates that cross-site dispersion,
+    // which Table III's high/low-sharing clusters rely on.
+    const double affinity = std::clamp(rng.lognormal_median(0.93, 0.45), 0.25, 2.2);
+    std::vector<const cdn::ProviderTraits*> present;
+    for (const auto& t : providers) {
+      if (rng.bernoulli(std::min(1.0, t.page_presence * affinity))) present.push_back(&t);
+    }
+    if (present.empty()) present.push_back(&cdn::ProviderRegistry::get(cdn::ProviderId::Google));
+
+    // ---- CDN resources ------------------------------------------------
+    for (const auto* traits : present) {
+      const std::size_t count =
+          draw_count(rng, traits->resources_median * config.cdn_count_scale,
+                     traits->resources_sigma, 1, config.max_resources_per_provider);
+
+      // Pages concentrate a provider's resources on a few of its hostnames;
+      // complicated pages spread across more of them.
+      const auto& domains = w.universe.cdn_domains(traits->id);
+      std::size_t n_domains = 1;
+      if (count > 4 && domains.size() > 1) ++n_domains;
+      if (count > 12 && domains.size() > 2) ++n_domains;
+      if (count > 30 && domains.size() > 3) ++n_domains;
+      if (count > 70 && domains.size() > 4) ++n_domains;
+      n_domains = std::min(n_domains, domains.size());
+      // Weighted selection without replacement, by global popularity.
+      std::vector<double> weights;
+      std::vector<std::string> pool = domains;
+      std::vector<std::string> chosen;
+      for (std::size_t k = 0; k < n_domains; ++k) {
+        weights.clear();
+        for (const auto& d : pool) weights.push_back(w.universe.get(d).popularity);
+        const std::size_t pick = rng.weighted_index(weights);
+        chosen.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+
+      std::vector<double> cw;
+      for (const auto& d : chosen) cw.push_back(w.universe.get(d).popularity);
+      for (std::size_t i = 0; i < count; ++i) {
+        Resource r;
+        r.id = next_resource_id++;
+        const std::size_t domain_idx = cw.size() == 1 ? 0 : rng.weighted_index(cw);
+        r.domain = chosen[domain_idx];
+        r.type = draw_type(rng);
+        char path[96];
+        std::snprintf(path, sizeof path, "/assets/%s/r%u.%s", site.name.c_str(), r.id,
+                      type_extension(r.type));
+        r.path = path;
+        r.size_bytes = draw_size_bytes(rng, config.cdn_size_median_kb, config.cdn_size_sigma,
+                                       config.max_size_kb, r.type);
+        r.request_bytes = static_cast<std::size_t>(rng.uniform_int(350, 800));
+        r.is_cdn = true;
+        r.provider = traits->id;
+        // Secondary hostnames of a provider (fonts.gstatic.com behind a CSS
+        // from fonts.googleapis.com, media hosts behind scripts, ...) are
+        // mostly discovered late, once a parser-visible dependency resolves.
+        // That puts their connection setup on the critical path — which is
+        // precisely where H2's coalesced reuse beats a fresh H3 handshake
+        // on complicated pages (paper §VI-C).
+        double wave1_p = config.wave1_fraction * 0.5;
+        if (domain_idx == 1) wave1_p = config.wave1_secondary_fraction * 0.7;
+        if (domain_idx >= 2) wave1_p = config.wave1_secondary_fraction;
+        r.discovery_wave = rng.bernoulli(wave1_p) ? 1 : 0;
+        r.response_headers = make_cdn_headers(traits->id, rng);
+        page.resources.push_back(std::move(r));
+      }
+    }
+
+    // ---- non-CDN subresources -----------------------------------------
+    const std::size_t noncdn_count =
+        draw_count(rng, config.noncdn_count_median, config.noncdn_count_sigma, 2, 250);
+    for (std::size_t i = 0; i < noncdn_count; ++i) {
+      Resource r;
+      r.id = next_resource_id++;
+      std::vector<double> weights(noncdn_domains.size(), 1.0);
+      weights[0] = 2.5;  // most first-party assets come from the origin host
+      r.domain = noncdn_domains[rng.weighted_index(weights)];
+      r.type = draw_type(rng);
+      char path[96];
+      std::snprintf(path, sizeof path, "/static/r%u.%s", r.id, type_extension(r.type));
+      r.path = path;
+      r.size_bytes = draw_size_bytes(rng, config.noncdn_size_median_kb, config.noncdn_size_sigma,
+                                     config.max_size_kb, r.type);
+      r.request_bytes = static_cast<std::size_t>(rng.uniform_int(350, 800));
+      r.is_cdn = false;
+      r.provider = cdn::ProviderId::None;
+      r.discovery_wave = rng.bernoulli(config.wave1_fraction_noncdn) ? 1 : 0;
+      r.response_headers = make_origin_headers(rng);
+      page.resources.push_back(std::move(r));
+    }
+
+    // Interleave CDN and non-CDN resources in document order.
+    rng.shuffle(page.resources);
+    w.sites.push_back(std::move(site));
+  }
+
+  return w;
+}
+
+}  // namespace h3cdn::web

@@ -1,0 +1,76 @@
+// Synthetic Alexa-Top-325 workload generator.
+//
+// Generates 325 websites whose aggregate statistics are calibrated to every
+// number the paper reports about its dataset:
+//   * ~36k total requests across 325 sites (Table II)
+//   * ~67% of requests CDN-hosted (Table II)
+//   * 75% of pages with >50% CDN resources (Fig. 3)
+//   * provider page-presence, top-4 > 50% (Fig. 4a); 94.8% of pages with
+//     >= 2 providers (Fig. 4b)
+//   * per-provider per-page resource counts, Cloudflare/Google median ~10
+//     (Fig. 5)
+//   * provider market shares and H3 adoption -> 32.6% H3 requests overall,
+//     25.8% H3 CDN requests (Table II, Fig. 2)
+//   * CDN resources typically small, 75% below 20 KB (§VI-E, [39])
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "web/domains.h"
+#include "web/resource.h"
+
+namespace h3cdn::web {
+
+struct WorkloadConfig {
+  std::size_t site_count = 325;
+  std::uint64_t seed = 20221010;  // the paper's measurement start date
+
+  // Non-CDN resources per page: round(lognormal(median, sigma)), min 2.
+  double noncdn_count_median = 23.0;
+  double noncdn_count_sigma = 0.65;
+  // Non-CDN domain protocol support (Table II "non CDN" column shape).
+  // Target sites are selected for H3 accessibility (§III-A), so their own
+  // origins adopt H3 at a higher rate than arbitrary third-party hosts.
+  double origin_h3_prob = 0.24;
+  double noncdn_h3_prob = 0.12;       // secondary first-party hosts
+  double noncdn_h1_only_prob = 0.60;  // given not H3-enabled
+
+  // Per-provider CDN resource counts use ProviderTraits::resources_median /
+  // resources_sigma scaled by this factor (global knob for total page size).
+  double cdn_count_scale = 1.0;
+  std::size_t max_resources_per_provider = 150;
+
+  // Resource sizes (KB).
+  double cdn_size_median_kb = 8.0;
+  double cdn_size_sigma = 1.0;
+  double noncdn_size_median_kb = 6.0;
+  double noncdn_size_sigma = 1.2;
+  double html_size_median_kb = 45.0;
+  double html_size_sigma = 0.6;
+  double max_size_kb = 2048.0;
+
+  // Fraction of subresources discovered only after a wave-0 dependency
+  // completes (CSS -> font chains etc.). Resources on a provider's
+  // secondary hostnames are predominantly dependency-discovered.
+  double wave1_fraction = 0.20;
+  double wave1_secondary_fraction = 0.80;
+  // First-party assets are almost always referenced directly from the HTML;
+  // dependency-discovered late resources are predominantly CDN-hosted
+  // (web fonts behind CSS, player segments behind scripts, ...).
+  double wave1_fraction_noncdn = 0.08;
+};
+
+struct Workload {
+  WorkloadConfig config;
+  DomainUniverse universe;
+  std::vector<Website> sites;
+
+  /// Count of all requests across all pages (incl. HTML documents).
+  [[nodiscard]] std::size_t total_requests() const;
+};
+
+/// Deterministic: same config (incl. seed) => identical workload.
+Workload generate_workload(const WorkloadConfig& config = {});
+
+}  // namespace h3cdn::web

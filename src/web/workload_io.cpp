@@ -1,0 +1,199 @@
+#include "web/workload_io.h"
+
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace h3cdn::web {
+
+namespace {
+
+const char* tls_name(tls::TlsVersion v) {
+  return v == tls::TlsVersion::Tls12 ? "1.2" : "1.3";
+}
+
+void write_domain(util::JsonWriter& w, const DomainInfo& d) {
+  w.begin_object();
+  w.kv("name", d.name);
+  w.kv("is_cdn", d.is_cdn);
+  w.kv("provider", cdn::to_string(d.provider));
+  w.kv("supports_h2", d.supports_h2);
+  w.kv("supports_h3", d.supports_h3);
+  w.kv("tls", tls_name(d.tls_version));
+  w.kv("popularity", d.popularity);
+  w.end_object();
+}
+
+void write_resource(util::JsonWriter& w, const Resource& r) {
+  w.begin_object();
+  w.kv("id", static_cast<std::uint64_t>(r.id));
+  w.kv("domain", r.domain);
+  w.kv("path", r.path);
+  w.kv("type", to_string(r.type));
+  w.kv("size_bytes", r.size_bytes);
+  w.kv("request_bytes", r.request_bytes);
+  w.kv("is_cdn", r.is_cdn);
+  w.kv("provider", cdn::to_string(r.provider));
+  w.kv("wave", r.discovery_wave);
+  w.key("headers").begin_array();
+  for (const auto& [k, v] : r.response_headers) {
+    w.begin_object();
+    w.kv("name", k);
+    w.kv("value", v);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+ResourceType type_from_string(const std::string& s) {
+  if (s == "html") return ResourceType::Html;
+  if (s == "css") return ResourceType::Css;
+  if (s == "script") return ResourceType::Script;
+  if (s == "image") return ResourceType::Image;
+  if (s == "font") return ResourceType::Font;
+  if (s == "media") return ResourceType::Media;
+  return ResourceType::Other;
+}
+
+bool fail(WorkloadIoError* error, const std::string& message) {
+  if (error != nullptr) error->message = message;
+  return false;
+}
+
+bool read_resource(const util::JsonValue& j, Resource& r, WorkloadIoError* error) {
+  r.id = static_cast<std::uint32_t>(j.number_or("id", 0));
+  r.domain = j.string_or("domain", "");
+  if (r.domain.empty()) return fail(error, "resource without domain");
+  r.path = j.string_or("path", "/");
+  r.type = type_from_string(j.string_or("type", "other"));
+  r.size_bytes = static_cast<std::size_t>(j.number_or("size_bytes", 0));
+  if (r.size_bytes == 0) return fail(error, "resource without size_bytes");
+  r.request_bytes = static_cast<std::size_t>(j.number_or("request_bytes", 500));
+  r.is_cdn = j.bool_or("is_cdn", false);
+  r.provider = cdn::ProviderRegistry::by_name(j.string_or("provider", "non-CDN"));
+  r.discovery_wave = static_cast<int>(j.number_or("wave", 0));
+  if (const util::JsonValue* headers = j.find("headers");
+      headers != nullptr && headers->is_array()) {
+    for (const auto& h : headers->as_array()) {
+      r.response_headers.emplace_back(h.string_or("name", ""), h.string_or("value", ""));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string workload_to_json(const Workload& workload) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "h3cdn-workload-v1");
+  w.kv("seed", workload.config.seed);
+
+  w.key("domains").begin_array();
+  for (const auto& name : workload.universe.all_domain_names()) {
+    write_domain(w, workload.universe.get(name));
+  }
+  w.end_array();
+
+  w.key("sites").begin_array();
+  for (const auto& site : workload.sites) {
+    w.begin_object();
+    w.kv("name", site.name);
+    w.kv("rank", site.alexa_rank);
+    w.kv("origin", site.page.origin_domain);
+    w.key("html");
+    write_resource(w, site.page.html);
+    w.key("resources").begin_array();
+    for (const auto& r : site.page.resources) write_resource(w, r);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<Workload> workload_from_json(std::string_view json, WorkloadIoError* error) {
+  util::JsonParseError parse_error;
+  const auto doc = util::parse_json(json, &parse_error);
+  if (!doc) {
+    if (error != nullptr) error->message = "JSON parse error: " + parse_error.message;
+    return std::nullopt;
+  }
+  if (doc->string_or("schema", "") != "h3cdn-workload-v1") {
+    if (error != nullptr) error->message = "unknown or missing schema";
+    return std::nullopt;
+  }
+
+  Workload w;
+  w.config.seed = static_cast<std::uint64_t>(doc->number_or("seed", 0));
+
+  const util::JsonValue* domains = doc->find("domains");
+  if (domains == nullptr || !domains->is_array()) {
+    if (error != nullptr) error->message = "missing domains array";
+    return std::nullopt;
+  }
+  // Rebuild the universe: the CDN set comes from the registry (global
+  // hostnames), then overlay the serialized flags; site domains are added.
+  w.universe = DomainUniverse::create(util::Rng(w.config.seed));
+  for (const auto& d : domains->as_array()) {
+    DomainInfo info;
+    info.name = d.string_or("name", "");
+    if (info.name.empty()) {
+      if (error != nullptr) error->message = "domain without name";
+      return std::nullopt;
+    }
+    info.is_cdn = d.bool_or("is_cdn", false);
+    info.provider = cdn::ProviderRegistry::by_name(d.string_or("provider", "non-CDN"));
+    info.supports_h2 = d.bool_or("supports_h2", true);
+    info.supports_h3 = d.bool_or("supports_h3", false);
+    info.tls_version =
+        d.string_or("tls", "1.3") == "1.2" ? tls::TlsVersion::Tls12 : tls::TlsVersion::Tls13;
+    info.popularity = d.number_or("popularity", 1.0);
+    if (w.universe.contains(info.name)) {
+      w.universe.mutable_get(info.name) = info;
+    } else {
+      w.universe.add_domain(info);
+    }
+  }
+
+  const util::JsonValue* sites = doc->find("sites");
+  if (sites == nullptr || !sites->is_array()) {
+    if (error != nullptr) error->message = "missing sites array";
+    return std::nullopt;
+  }
+  for (const auto& s : sites->as_array()) {
+    Website site;
+    site.name = s.string_or("name", "");
+    site.alexa_rank = static_cast<int>(s.number_or("rank", 0));
+    site.page.site = site.name;
+    site.page.origin_domain = s.string_or("origin", "");
+    const util::JsonValue* html = s.find("html");
+    if (html == nullptr || !read_resource(*html, site.page.html, error)) {
+      if (error != nullptr && error->message.empty()) error->message = "site without html";
+      return std::nullopt;
+    }
+    if (const util::JsonValue* resources = s.find("resources");
+        resources != nullptr && resources->is_array()) {
+      for (const auto& r : resources->as_array()) {
+        Resource resource;
+        if (!read_resource(r, resource, error)) return std::nullopt;
+        if (!w.universe.contains(resource.domain)) {
+          if (error != nullptr) {
+            error->message = "resource references unknown domain " + resource.domain;
+          }
+          return std::nullopt;
+        }
+        site.page.resources.push_back(std::move(resource));
+      }
+    }
+    if (!w.universe.contains(site.page.origin_domain)) {
+      if (error != nullptr) error->message = "origin domain missing from universe";
+      return std::nullopt;
+    }
+    w.sites.push_back(std::move(site));
+  }
+  return w;
+}
+
+}  // namespace h3cdn::web

@@ -1,0 +1,29 @@
+// Workload serialization: save a generated workload to JSON and load one
+// back (or load an externally authored one, e.g. pages derived from real
+// HTTP Archive records). A loaded workload runs through exactly the same
+// measurement pipeline as a generated one, so the study can be repeated on
+// real page compositions when they are available.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "web/workload.h"
+
+namespace h3cdn::web {
+
+/// Serializes the whole workload (domain universe + sites + resources).
+std::string workload_to_json(const Workload& workload);
+
+struct WorkloadIoError {
+  std::string message;
+};
+
+/// Parses a workload document produced by workload_to_json (or hand-written
+/// in the same schema). Validates referential integrity: every resource's
+/// domain must exist in the universe.
+std::optional<Workload> workload_from_json(std::string_view json,
+                                           WorkloadIoError* error = nullptr);
+
+}  // namespace h3cdn::web

@@ -1,0 +1,62 @@
+#include "analysis/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::analysis {
+namespace {
+
+TEST(Bootstrap, EmptySampleYieldsZeroes) {
+  const auto ci = bootstrap_mean_ci({}, 0.95, 100, util::Rng(1));
+  EXPECT_EQ(ci.mean, 0.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+}
+
+TEST(Bootstrap, SingletonCollapsesToPoint) {
+  const auto ci = bootstrap_mean_ci({7.5}, 0.95, 100, util::Rng(1));
+  EXPECT_DOUBLE_EQ(ci.mean, 7.5);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.5);
+}
+
+TEST(Bootstrap, IntervalBracketsTheMean) {
+  util::Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.normal(50, 10));
+  const auto ci = bootstrap_mean_ci(sample, 0.95, 2000, util::Rng(7));
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, 50.0, 3.0);
+  // Half-width should be around 1.96 * 10/sqrt(200) ~ 1.4.
+  EXPECT_NEAR(ci.hi - ci.lo, 2.8, 1.2);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  util::Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.uniform(0, 100));
+  const auto ci90 = bootstrap_mean_ci(sample, 0.90, 2000, util::Rng(7));
+  const auto ci99 = bootstrap_mean_ci(sample, 0.99, 2000, util::Rng(7));
+  EXPECT_GT(ci99.hi - ci99.lo, ci90.hi - ci90.lo);
+}
+
+TEST(Bootstrap, MoreDataNarrowerInterval) {
+  util::Rng rng(5);
+  std::vector<double> small_sample, big;
+  for (int i = 0; i < 30; ++i) small_sample.push_back(rng.normal(0, 5));
+  for (int i = 0; i < 1000; ++i) big.push_back(rng.normal(0, 5));
+  const auto ci_small = bootstrap_mean_ci(small_sample, 0.95, 1000, util::Rng(7));
+  const auto ci_big = bootstrap_mean_ci(big, 0.95, 1000, util::Rng(7));
+  EXPECT_LT(ci_big.hi - ci_big.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  std::vector<double> sample{1, 5, 2, 8, 3, 9, 4};
+  const auto a = bootstrap_mean_ci(sample, 0.95, 500, util::Rng(11));
+  const auto b = bootstrap_mean_ci(sample, 0.95, 500, util::Rng(11));
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace h3cdn::analysis

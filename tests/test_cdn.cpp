@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "cdn/edge_server.h"
+#include "cdn/lru_cache.h"
+#include "cdn/origin_server.h"
+#include "cdn/provider.h"
+
+namespace h3cdn::cdn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LRU cache
+// ---------------------------------------------------------------------------
+
+TEST(LruCache, InsertAndTouch) {
+  LruCache cache(2);
+  cache.insert("a");
+  EXPECT_TRUE(cache.touch("a"));
+  EXPECT_FALSE(cache.touch("b"));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.insert("a");
+  cache.insert("b");
+  cache.touch("a");     // a is now most recent
+  cache.insert("c");    // evicts b
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, ReinsertRefreshesWithoutGrowth) {
+  LruCache cache(2);
+  cache.insert("a");
+  cache.insert("b");
+  cache.insert("a");  // refresh
+  cache.insert("c");  // evicts b (a was refreshed)
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, ContainsDoesNotTouch) {
+  LruCache cache(2);
+  cache.insert("a");
+  cache.insert("b");
+  EXPECT_TRUE(cache.contains("a"));  // no recency update
+  cache.insert("c");                 // should evict a (b more recent)
+  EXPECT_FALSE(cache.contains("a"));
+}
+
+TEST(LruCache, ClearEmpties) {
+  LruCache cache(4);
+  cache.insert("a");
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains("a"));
+}
+
+// ---------------------------------------------------------------------------
+// Provider registry
+// ---------------------------------------------------------------------------
+
+TEST(ProviderRegistry, HasTheSevenMeasuredProvidersPlusOther) {
+  const auto& all = ProviderRegistry::all();
+  EXPECT_EQ(all.size(), 8u);
+  for (auto id : {ProviderId::Google, ProviderId::Cloudflare, ProviderId::Amazon,
+                  ProviderId::Akamai, ProviderId::Fastly, ProviderId::Microsoft,
+                  ProviderId::QuicCloud, ProviderId::Other}) {
+    EXPECT_EQ(ProviderRegistry::get(id).id, id);
+  }
+}
+
+TEST(ProviderRegistry, MarketSharesSumToOne) {
+  double total = 0;
+  for (const auto& t : ProviderRegistry::all()) total += t.market_share;
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(ProviderRegistry, DomainCountsSumTo58) {
+  // Table III: 58 shared CDN domains.
+  int total = 0;
+  for (const auto& t : ProviderRegistry::all()) total += t.domain_count;
+  EXPECT_EQ(total, 58);
+}
+
+TEST(ProviderRegistry, WithinCdnH3FractionMatchesTable2) {
+  // Table II: 9280 / 24153 = 38.4% of CDN requests are H3.
+  double h3 = 0;
+  for (const auto& t : ProviderRegistry::all()) h3 += t.market_share * t.h3_adoption;
+  EXPECT_NEAR(h3, 0.384, 0.05);
+}
+
+TEST(ProviderRegistry, GoogleAndCloudflareDominateH3) {
+  // Fig. 2: Google ~50%, Cloudflare ~45% of H3 CDN requests.
+  double total_h3 = 0;
+  for (const auto& t : ProviderRegistry::all()) total_h3 += t.market_share * t.h3_adoption;
+  const auto& google = ProviderRegistry::get(ProviderId::Google);
+  const auto& cf = ProviderRegistry::get(ProviderId::Cloudflare);
+  EXPECT_NEAR(google.market_share * google.h3_adoption / total_h3, 0.50, 0.08);
+  EXPECT_NEAR(cf.market_share * cf.h3_adoption / total_h3, 0.45, 0.08);
+}
+
+TEST(ProviderRegistry, Top4PagePresenceExceedsHalf) {
+  // Fig. 4a.
+  int above = 0;
+  for (const auto& t : ProviderRegistry::all()) above += t.page_presence > 0.5;
+  EXPECT_GE(above, 4);
+}
+
+TEST(ProviderRegistry, MeanProvidersPerPageMatchesTable3) {
+  // Paper mean across C_H/C_L suggests ~4.1 providers per page.
+  double sum = 0;
+  for (const auto& t : ProviderRegistry::all()) sum += t.page_presence;
+  EXPECT_NEAR(sum, 4.15, 0.4);
+}
+
+TEST(ProviderRegistry, ReleaseYearsMatchTable1) {
+  EXPECT_EQ(ProviderRegistry::get(ProviderId::Cloudflare).h3_release_year, 2019);
+  EXPECT_EQ(ProviderRegistry::get(ProviderId::Google).h3_release_year, 2021);
+  EXPECT_EQ(ProviderRegistry::get(ProviderId::Fastly).h3_release_year, 2021);
+  EXPECT_EQ(ProviderRegistry::get(ProviderId::QuicCloud).h3_release_year, 2021);
+  EXPECT_EQ(ProviderRegistry::get(ProviderId::Amazon).h3_release_year, 2022);
+  EXPECT_EQ(ProviderRegistry::get(ProviderId::Akamai).h3_release_year, 2023);
+}
+
+TEST(ProviderRegistry, ByNameRoundTrips) {
+  for (const auto& t : ProviderRegistry::all()) {
+    EXPECT_EQ(ProviderRegistry::by_name(t.name), t.id);
+  }
+  EXPECT_EQ(ProviderRegistry::by_name("NotACdn"), ProviderId::None);
+}
+
+TEST(ProviderRegistry, NonCdnTraitsAreFartherAndSlower) {
+  const auto& non_cdn = ProviderRegistry::get(ProviderId::None);
+  const auto& google = ProviderRegistry::get(ProviderId::Google);
+  EXPECT_GT(non_cdn.edge_rtt_base, google.edge_rtt_base);
+  EXPECT_GT(non_cdn.service_time_median, google.service_time_median);
+  EXPECT_EQ(non_cdn.cache_hit_ratio, 0.0);
+}
+
+TEST(ProviderRegistry, GiantsCoalesceH2) {
+  for (auto id : ProviderRegistry::fig8_providers()) {
+    EXPECT_TRUE(ProviderRegistry::get(id).h2_coalescing) << to_string(id);
+  }
+  EXPECT_FALSE(ProviderRegistry::get(ProviderId::QuicCloud).h2_coalescing);
+}
+
+// ---------------------------------------------------------------------------
+// Edge / origin server models
+// ---------------------------------------------------------------------------
+
+TEST(EdgeServer, H3CostsMoreCompute) {
+  // Paper §VI-B: median wait reduction < 0 due to H3 server overhead.
+  const auto& traits = ProviderRegistry::get(ProviderId::Cloudflare);
+  EdgeServer edge(traits, util::Rng(1));
+  for (int i = 0; i < 500; ++i) edge.warm("k" + std::to_string(i));
+  double h2 = 0, h3 = 0;
+  EdgeServer a(traits, util::Rng(2)), b(traits, util::Rng(2));
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    a.warm(key);
+    b.warm(key);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    h2 += to_ms(a.think_time(key, http::HttpVersion::H2));
+    h3 += to_ms(b.think_time(key, http::HttpVersion::H3));
+  }
+  EXPECT_GT(h3, h2);
+}
+
+TEST(EdgeServer, CacheMissPaysOriginFetch) {
+  const auto& traits = ProviderRegistry::get(ProviderId::Akamai);
+  EdgeServer edge(traits, util::Rng(3));
+  const auto miss = edge.think_time("cold", http::HttpVersion::H2);
+  const auto hit = edge.think_time("cold", http::HttpVersion::H2);  // now cached
+  EXPECT_GT(miss, hit + msec(30));
+}
+
+TEST(EdgeServer, WarmPopulatesCacheProbabilistically) {
+  const auto& traits = ProviderRegistry::get(ProviderId::Google);  // 0.97 hit ratio
+  EdgeServer edge(traits, util::Rng(4));
+  int cached = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    edge.warm(key);
+    cached += edge.cache().contains(key);
+  }
+  EXPECT_NEAR(cached, 970, 25);
+}
+
+TEST(OriginServer, ThinkTimesArePositiveAndVariable) {
+  OriginServer origin(util::Rng(5));
+  double min = 1e9, max = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double ms = to_ms(origin.think_time("/", http::HttpVersion::H2));
+    EXPECT_GT(ms, 0.0);
+    min = std::min(min, ms);
+    max = std::max(max, ms);
+  }
+  EXPECT_GT(max, min * 2);  // lognormal spread
+}
+
+}  // namespace
+}  // namespace h3cdn::cdn

@@ -1,0 +1,103 @@
+#include "transport/congestion.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::transport {
+namespace {
+
+TEST(Congestion, StartsAtInitialWindow) {
+  CongestionController cc;
+  EXPECT_EQ(cc.cwnd(), 10u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(Congestion, SlowStartDoublesPerRoundTrip) {
+  CongestionController cc;
+  // One ack per in-flight packet == one round trip.
+  for (int i = 0; i < 10; ++i) cc.on_ack(msec(1));
+  EXPECT_EQ(cc.cwnd(), 20u);
+  for (int i = 0; i < 20; ++i) cc.on_ack(msec(2));
+  EXPECT_EQ(cc.cwnd(), 40u);
+}
+
+TEST(Congestion, LossHalvesWindowNewReno) {
+  CongestionController cc;
+  for (int i = 0; i < 30; ++i) cc.on_ack(msec(1));  // cwnd 40
+  cc.on_loss(msec(2), msec(3));
+  EXPECT_EQ(cc.cwnd(), 20u);
+  EXPECT_FALSE(cc.in_slow_start());
+  EXPECT_EQ(cc.loss_episodes(), 1u);
+}
+
+TEST(Congestion, OneReductionPerRecoveryEpisode) {
+  CongestionController cc;
+  for (int i = 0; i < 30; ++i) cc.on_ack(msec(1));
+  cc.on_loss(msec(2), msec(5));
+  const auto after_first = cc.cwnd();
+  // Losses of packets sent before recovery began do not re-reduce.
+  cc.on_loss(msec(3), msec(6));
+  cc.on_loss(msec(4), msec(6));
+  EXPECT_EQ(cc.cwnd(), after_first);
+  EXPECT_EQ(cc.loss_episodes(), 1u);
+  // A packet sent after recovery started signals fresh congestion.
+  cc.on_loss(msec(7), msec(8));
+  EXPECT_LT(cc.cwnd(), after_first);
+}
+
+TEST(Congestion, RtoCollapsesToMinWindow) {
+  CcConfig cfg;
+  cfg.min_cwnd = 2;
+  CongestionController cc(cfg);
+  for (int i = 0; i < 50; ++i) cc.on_ack(msec(1));
+  cc.on_rto(msec(2));
+  EXPECT_EQ(cc.cwnd(), 2u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(Congestion, CongestionAvoidanceGrowsLinearly) {
+  CongestionController cc;
+  for (int i = 0; i < 30; ++i) cc.on_ack(msec(1));
+  cc.on_loss(msec(2), msec(3));  // cwnd 20, ssthresh 20 -> CA
+  const auto base = cc.cwnd();
+  // Two windows of acks add ~2 packets (1/cwnd growth per ack).
+  for (std::size_t i = 0; i < 2 * base + 2; ++i) cc.on_ack(msec(4));
+  EXPECT_GE(cc.cwnd(), base + 1);
+  EXPECT_LE(cc.cwnd(), base + 3);
+}
+
+TEST(Congestion, NeverBelowMinNorAboveMax) {
+  CcConfig cfg;
+  cfg.min_cwnd = 3;
+  cfg.max_cwnd = 50;
+  CongestionController cc(cfg);
+  for (int i = 0; i < 10000; ++i) cc.on_ack(msec(1));
+  EXPECT_EQ(cc.cwnd(), 50u);
+  for (int i = 0; i < 20; ++i) cc.on_rto(msec(2 + i));
+  EXPECT_EQ(cc.cwnd(), 3u);
+}
+
+TEST(Congestion, CubicRecoversTowardWmax) {
+  CcConfig cfg;
+  cfg.algorithm = CcAlgorithm::Cubic;
+  CongestionController cc(cfg);
+  for (int i = 0; i < 100; ++i) cc.on_ack(msec(1));  // grow in slow start
+  const auto before = cc.cwnd();
+  cc.on_loss(msec(1), msec(2));
+  EXPECT_LT(cc.cwnd(), before);
+  // After enough time/acks, CUBIC climbs back toward the previous maximum.
+  for (int t = 0; t < 5000; ++t) cc.on_ack(msec(3) + msec(t));
+  EXPECT_GE(cc.cwnd(), before * 7 / 10);
+}
+
+TEST(Congestion, CubicReducesByBeta) {
+  CcConfig cfg;
+  cfg.algorithm = CcAlgorithm::Cubic;
+  CongestionController cc(cfg);
+  for (int i = 0; i < 90; ++i) cc.on_ack(msec(1));  // cwnd 100
+  const double before = static_cast<double>(cc.cwnd());
+  cc.on_loss(msec(1), msec(2));
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()), before * 0.7, 1.0);
+}
+
+}  // namespace
+}  // namespace h3cdn::transport

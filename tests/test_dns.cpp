@@ -1,0 +1,131 @@
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::dns {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+
+  Resolver make(DnsTransport transport, double loss = 0.0) {
+    ResolverConfig config;
+    config.transport = transport;
+    config.query_loss_rate = loss;
+    config.recursive_cache_hit = 1.0;  // deterministic latency unless stated
+    return Resolver(sim, config, util::Rng(7));
+  }
+
+  Duration resolve_once(Resolver& r, const std::string& name) {
+    const TimePoint start = sim.now();
+    TimePoint done{-1};
+    r.resolve(name, [&](TimePoint t) { done = t; });
+    sim.run();
+    return done - start;
+  }
+};
+
+TEST(DnsCache, TtlExpiry) {
+  DnsCache cache;
+  cache.insert({"a.example", msec(0), sec(10)});
+  EXPECT_TRUE(cache.lookup("a.example", sec(9)).has_value());
+  EXPECT_FALSE(cache.lookup("a.example", sec(10)).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DnsCache, RemoveExpiredPrunes) {
+  DnsCache cache;
+  cache.insert({"old.example", msec(0), sec(1)});
+  cache.insert({"new.example", sec(100), sec(300)});
+  cache.remove_expired(sec(100));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsResolver, Do53SingleRoundTrip) {
+  Fixture f;
+  auto r = f.make(DnsTransport::Do53);
+  const auto d = f.resolve_once(r, "a.example");
+  // 1 RTT to the recursive + ~free cached recursive lookup.
+  EXPECT_GE(d, msec(12));
+  EXPECT_LT(d, msec(14));
+}
+
+TEST(DnsResolver, StubCacheHitIsFree) {
+  Fixture f;
+  auto r = f.make(DnsTransport::Do53);
+  f.resolve_once(r, "a.example");
+  const auto d = f.resolve_once(r, "a.example");
+  EXPECT_EQ(d, Duration::zero());
+  EXPECT_EQ(r.stats().stub_cache_hits, 1u);
+}
+
+TEST(DnsResolver, PrewarmSkipsNetwork) {
+  Fixture f;
+  auto r = f.make(DnsTransport::Do53);
+  r.prewarm("a.example");
+  EXPECT_EQ(f.resolve_once(r, "a.example"), Duration::zero());
+  EXPECT_EQ(r.stats().queries, 1u);
+}
+
+TEST(DnsResolver, EncryptedTransportsPayChannelSetupOnce) {
+  Fixture f;
+  auto doh = f.make(DnsTransport::DoH);
+  const auto first = f.resolve_once(doh, "a.example");
+  const auto second = f.resolve_once(doh, "b.example");
+  // First query: 2 RTT TLS channel + 1 RTT query = 3 RTT; then 1 RTT.
+  EXPECT_GE(first, msec(36));
+  EXPECT_LT(second, msec(14));
+  EXPECT_EQ(doh.stats().channels_established, 1u);
+}
+
+TEST(DnsResolver, DoQCheaperChannelThanDoH) {
+  Fixture f1, f2;
+  auto doq = f1.make(DnsTransport::DoQ);
+  auto doh = f2.make(DnsTransport::DoH);
+  Fixture* fs[2] = {&f1, &f2};
+  Resolver* rs[2] = {&doq, &doh};
+  Duration d[2];
+  for (int i = 0; i < 2; ++i) d[i] = fs[i]->resolve_once(*rs[i], "a.example");
+  EXPECT_LT(d[0], d[1]);  // 1-RTT QUIC channel vs 2-RTT TCP+TLS
+}
+
+TEST(DnsResolver, DoQResumesAtZeroRtt) {
+  Fixture f;
+  auto doq = f.make(DnsTransport::DoQ);
+  const auto cold = f.resolve_once(doq, "a.example");
+  doq.drop_channel();
+  const auto resumed = f.resolve_once(doq, "b.example");
+  EXPECT_LT(resumed, cold);  // 0-RTT channel on resumption
+  EXPECT_EQ(doq.stats().channels_established, 2u);
+}
+
+TEST(DnsResolver, Do53RetriesAfterTimeout) {
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.query_loss_rate = 0.9;  // heavy loss: some retries all but certain
+  config.recursive_cache_hit = 1.0;
+  Resolver r(f.sim, config, util::Rng(3));
+  const auto d = f.resolve_once(r, "a.example");
+  EXPECT_GE(d, config.udp_timeout);  // at least one 400ms retry with seed 3
+  EXPECT_GT(r.stats().retries, 0u);
+}
+
+TEST(DnsResolver, RecursiveMissAddsAuthoritativeWork) {
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 0.0;  // always walk the authoritative chain
+  Resolver r(f.sim, config, util::Rng(5));
+  const auto d = f.resolve_once(r, "a.example");
+  EXPECT_GT(d, msec(14));
+}
+
+TEST(DnsResolver, TransportNames) {
+  EXPECT_STREQ(to_string(DnsTransport::Do53), "Do53");
+  EXPECT_STREQ(to_string(DnsTransport::DoQ), "DoQ");
+}
+
+}  // namespace
+}  // namespace h3cdn::dns

@@ -1,0 +1,98 @@
+// Property sweep over DNS transports x query-loss rates: resolution always
+// terminates, caches stay coherent, and encrypted channels amortize.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.h"
+
+namespace h3cdn::dns {
+namespace {
+
+struct SweepParam {
+  DnsTransport transport;
+  double loss;
+};
+
+class DnsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DnsSweep, EveryQueryResolves) {
+  sim::Simulator sim;
+  ResolverConfig config;
+  config.transport = GetParam().transport;
+  config.query_loss_rate = GetParam().loss;
+  Resolver r(sim, config, util::Rng(3));
+  int resolved = 0;
+  for (int i = 0; i < 40; ++i) {
+    r.resolve("host" + std::to_string(i) + ".example", [&](TimePoint) { ++resolved; });
+  }
+  sim.run();
+  EXPECT_EQ(resolved, 40);
+  EXPECT_EQ(r.cache().size(), 40u);
+}
+
+TEST_P(DnsSweep, ResolutionLatencyIsNonNegativeAndBounded) {
+  sim::Simulator sim;
+  ResolverConfig config;
+  config.transport = GetParam().transport;
+  config.query_loss_rate = GetParam().loss;
+  Resolver r(sim, config, util::Rng(5));
+  std::vector<double> latencies;
+  TimePoint start = sim.now();
+  for (int i = 0; i < 20; ++i) {
+    r.resolve("h" + std::to_string(i) + ".example", [&, start](TimePoint t) {
+      latencies.push_back(to_ms(t - start));
+    });
+    sim.run();
+    start = sim.now();
+  }
+  for (double l : latencies) {
+    EXPECT_GE(l, 0.0);
+    EXPECT_LT(l, 10'000.0);  // even heavy loss resolves within seconds
+  }
+}
+
+TEST_P(DnsSweep, SecondResolutionIsCached) {
+  sim::Simulator sim;
+  ResolverConfig config;
+  config.transport = GetParam().transport;
+  config.query_loss_rate = GetParam().loss;
+  Resolver r(sim, config, util::Rng(7));
+  r.resolve("a.example", [](TimePoint) {});
+  sim.run();
+  const TimePoint before = sim.now();
+  TimePoint after{-1};
+  r.resolve("a.example", [&](TimePoint t) { after = t; });
+  sim.run();
+  EXPECT_EQ(after, before);  // stub cache: zero simulated latency
+}
+
+TEST_P(DnsSweep, DeterministicGivenSeed) {
+  auto run_once = [&] {
+    sim::Simulator sim;
+    ResolverConfig config;
+    config.transport = GetParam().transport;
+    config.query_loss_rate = GetParam().loss;
+    Resolver r(sim, config, util::Rng(11));
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 15; ++i) {
+      r.resolve("h" + std::to_string(i) + ".example",
+                [&](TimePoint t) { times.push_back(t.count()); });
+    }
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportsAndLoss, DnsSweep,
+    ::testing::Values(SweepParam{DnsTransport::Do53, 0.0}, SweepParam{DnsTransport::Do53, 0.3},
+                      SweepParam{DnsTransport::DoT, 0.0}, SweepParam{DnsTransport::DoT, 0.2},
+                      SweepParam{DnsTransport::DoH, 0.0}, SweepParam{DnsTransport::DoH, 0.2},
+                      SweepParam{DnsTransport::DoQ, 0.0}, SweepParam{DnsTransport::DoQ, 0.2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(to_string(info.param.transport)) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100));
+    });
+
+}  // namespace
+}  // namespace h3cdn::dns

@@ -1,0 +1,77 @@
+#include "util/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace h3cdn::util {
+namespace {
+
+TEST(Fit, ExactLine) {
+  const auto f = fit_line({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_EQ(f.n, 4u);
+}
+
+TEST(Fit, ConstantXGivesZeroSlope) {
+  const auto f = fit_line({2, 2, 2}, {1, 5, 9});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 5.0);
+}
+
+TEST(Fit, EmptyInput) {
+  const auto f = fit_line({}, {});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_EQ(f.n, 0u);
+}
+
+TEST(Fit, NoisyLineRecoversSlope) {
+  Rng rng(42);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0, 100);
+    xs.push_back(x);
+    ys.push_back(1.5 * x + 20 + rng.normal(0, 10));
+  }
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 1.5, 0.05);
+  EXPECT_NEAR(f.intercept, 20.0, 2.5);
+  EXPECT_GT(f.r2, 0.9);
+}
+
+TEST(Fit, BinnedFitMatchesOnCleanData) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const auto f = fit_line_binned(xs, ys, 10);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, -7.0, 1e-9);
+}
+
+TEST(Fit, BinnedFitRobustToOutliers) {
+  Rng rng(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 50);
+    double y = 2.0 * x;
+    if (i % 50 == 0) y += 500;  // sparse heavy outliers
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  const auto plain = fit_line(xs, ys);
+  const auto binned = fit_line_binned(xs, ys, 8);
+  EXPECT_NEAR(binned.slope, 2.0, 0.8);
+  EXPECT_NEAR(plain.slope, 2.0, 1.0);  // sanity: data not pathological
+}
+
+TEST(Fit, BinnedFallsBackForTinySamples) {
+  const auto f = fit_line_binned({1, 2}, {2, 4}, 8);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace h3cdn::util

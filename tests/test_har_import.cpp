@@ -1,0 +1,102 @@
+#include "browser/har_import.h"
+
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+#include "web/workload.h"
+
+namespace h3cdn::browser {
+namespace {
+
+PageLoadResult load_sample(bool h3) {
+  web::WorkloadConfig cfg;
+  cfg.site_count = 3;
+  static const web::Workload workload = web::generate_workload(cfg);
+  sim::Simulator sim;
+  Environment env(sim, workload.universe, VantageConfig{}, util::Rng(11));
+  env.warm_page(workload.sites[0].page);
+  BrowserConfig config;
+  config.h3_enabled = h3;
+  Browser browser(sim, env, nullptr, config, util::Rng(3));
+  return browser.visit_and_run(workload.sites[0].page);
+}
+
+TEST(HarImport, RoundTripPreservesPageMetadata) {
+  const auto original = load_sample(true);
+  const auto imported = from_har_json(to_har_json(original.har));
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->site, original.har.site);
+  EXPECT_EQ(imported->h3_enabled, original.har.h3_enabled);
+  EXPECT_EQ(imported->connections_created, original.har.connections_created);
+  EXPECT_EQ(imported->resumed_connections, original.har.resumed_connections);
+  // onLoad is serialized at microsecond-ish precision via %.6g.
+  EXPECT_NEAR(to_ms(imported->page_load_time), to_ms(original.har.page_load_time), 0.5);
+}
+
+TEST(HarImport, RoundTripPreservesEntries) {
+  const auto original = load_sample(true);
+  const auto imported = from_har_json(to_har_json(original.har));
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->entries.size(), original.har.entries.size());
+  for (std::size_t i = 0; i < imported->entries.size(); ++i) {
+    const auto& in = original.har.entries[i];
+    const auto& out = imported->entries[i];
+    EXPECT_EQ(out.resource_id, in.resource_id);
+    EXPECT_EQ(out.domain, in.domain);
+    EXPECT_EQ(out.type, in.type);
+    EXPECT_EQ(out.response_bytes, in.response_bytes);
+    EXPECT_EQ(out.timings.version, in.timings.version);
+    EXPECT_EQ(out.timings.handshake_mode, in.timings.handshake_mode);
+    EXPECT_EQ(out.is_reused_connection(), in.is_reused_connection());
+    EXPECT_NEAR(to_ms(out.timings.connect), to_ms(in.timings.connect), 0.01);
+    EXPECT_NEAR(to_ms(out.timings.wait), to_ms(in.timings.wait), 0.01);
+    EXPECT_NEAR(to_ms(out.timings.receive), to_ms(in.timings.receive), 0.01);
+    EXPECT_EQ(out.response_headers, in.response_headers);
+  }
+}
+
+TEST(HarImport, ReusedConnectionCountSurvivesRoundTrip) {
+  const auto original = load_sample(false);
+  const auto imported = from_har_json(to_har_json(original.har));
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->reused_connection_count(), original.har.reused_connection_count());
+  EXPECT_EQ(imported->count_version(http::HttpVersion::H2),
+            original.har.count_version(http::HttpVersion::H2));
+}
+
+TEST(HarImport, RejectsNonJson) {
+  HarImportError error;
+  EXPECT_FALSE(from_har_json("definitely not json", &error).has_value());
+  EXPECT_NE(error.message.find("parse error"), std::string::npos);
+}
+
+TEST(HarImport, RejectsJsonWithoutLog) {
+  HarImportError error;
+  EXPECT_FALSE(from_har_json(R"({"nope":1})", &error).has_value());
+  EXPECT_NE(error.message.find("log"), std::string::npos);
+}
+
+TEST(HarImport, RejectsLogWithoutPages) {
+  HarImportError error;
+  EXPECT_FALSE(from_har_json(R"({"log":{"entries":[]}})", &error).has_value());
+  EXPECT_NE(error.message.find("pages"), std::string::npos);
+}
+
+TEST(HarImport, ToleratesMinimalForeignHar) {
+  // A HAR-like document from another tool, missing our _extensions.
+  const char* doc = R"({"log":{"pages":[{"id":"x","pageTimings":{"onLoad":123.5}}],
+    "entries":[{"startedDateTime":1,"time":10,
+      "request":{"url":"https://h.example/a.png","httpVersion":"h2"},
+      "response":{"bodySize":2048},
+      "timings":{"connect":3,"wait":4,"receive":2}}]}})";
+  const auto page = from_har_json(doc);
+  ASSERT_TRUE(page.has_value());
+  EXPECT_EQ(page->site, "x");
+  EXPECT_NEAR(to_ms(page->page_load_time), 123.5, 1e-6);
+  ASSERT_EQ(page->entries.size(), 1u);
+  EXPECT_EQ(page->entries[0].domain, "h.example");
+  EXPECT_EQ(page->entries[0].response_bytes, 2048u);
+}
+
+}  // namespace
+}  // namespace h3cdn::browser

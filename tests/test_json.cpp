@@ -1,0 +1,78 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::util {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, KeyValuePairs) {
+  JsonWriter w;
+  w.begin_object().kv("a", 1).kv("b", "x").kv("c", true).end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(Json, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("obj").begin_object().kv("k", std::int64_t{-5}).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2],"obj":{"k":-5}})");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  JsonWriter w;
+  w.begin_object().kv("s", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  JsonWriter w;
+  std::string s = "x";
+  s += '\x01';
+  w.begin_object().kv("s", s).end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"x\\u0001\"}");
+}
+
+TEST(Json, DoubleFormatting) {
+  JsonWriter w;
+  w.begin_array().value(1.5).value(0.0).end_array();
+  EXPECT_EQ(w.str(), "[1.5,0]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(Json, NullValue) {
+  JsonWriter w;
+  w.begin_object().key("n").null().end_object();
+  EXPECT_EQ(w.str(), R"({"n":null})");
+}
+
+TEST(Json, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) w.begin_object().kv("i", i).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(Json, UnsignedAndSizeTypes) {
+  JsonWriter w;
+  w.begin_array().value(std::uint64_t{18446744073709551615ULL}).value(7u).end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,7]");
+}
+
+}  // namespace
+}  // namespace h3cdn::util

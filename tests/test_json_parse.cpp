@@ -1,0 +1,114 @@
+#include "util/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace h3cdn::util {
+namespace {
+
+JsonValue must_parse(std::string_view text) {
+  JsonParseError error;
+  auto v = parse_json(text, &error);
+  EXPECT_TRUE(v.has_value()) << error.message << " at " << error.offset;
+  return v.value_or(JsonValue{});
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(must_parse("null").is_null());
+  EXPECT_EQ(must_parse("true").as_bool(), true);
+  EXPECT_EQ(must_parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(must_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(must_parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(must_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(must_parse("{}").as_object().empty());
+  EXPECT_TRUE(must_parse("[]").as_array().empty());
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto v = must_parse(R"({"a":[1,{"b":"x"},null],"c":{"d":true}})");
+  const auto& a = v.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_EQ(a[1].find("b")->as_string(), "x");
+  EXPECT_TRUE(a[2].is_null());
+  EXPECT_TRUE(v.find("c")->bool_or("d", false));
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const auto v = must_parse("  {\n \"k\" :\t[ 1 , 2 ]\r\n} ");
+  EXPECT_EQ(v.find("k")->as_array().size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = must_parse(R"("a\"b\\c\ndA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\ndA");
+}
+
+TEST(JsonParse, UnicodeEscapeUtf8) {
+  EXPECT_EQ(must_parse(R"("é")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(must_parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, TypedGettersWithDefaults) {
+  const auto v = must_parse(R"({"n":5,"s":"x","b":true})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1), 5.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -1), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("s", -1), -1.0);  // wrong type -> default
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("n", "d"), "d");
+  EXPECT_TRUE(v.bool_or("b", false));
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
+                          "[1] trailing", "{\"a\":1,}", "nan"}) {
+    JsonParseError error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.message.empty()) << bad;
+  }
+}
+
+TEST(JsonParse, RoundTripWithWriter) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "h3cdn");
+  w.kv("count", 325);
+  w.kv("ratio", 0.384);
+  w.kv("flag", true);
+  w.key("tags").begin_array().value("cdn").value("quic").end_array();
+  w.key("nested").begin_object().kv("x", -1).end_object();
+  w.end_object();
+
+  const auto v = must_parse(w.str());
+  EXPECT_EQ(v.string_or("name", ""), "h3cdn");
+  EXPECT_DOUBLE_EQ(v.number_or("count", 0), 325.0);
+  EXPECT_NEAR(v.number_or("ratio", 0), 0.384, 1e-9);
+  EXPECT_TRUE(v.bool_or("flag", false));
+  EXPECT_EQ(v.find("tags")->as_array()[1].as_string(), "quic");
+  EXPECT_DOUBLE_EQ(v.find("nested")->number_or("x", 0), -1.0);
+}
+
+TEST(JsonParse, ErrorOffsetsPointAtProblem) {
+  JsonParseError error;
+  EXPECT_FALSE(parse_json("[1, 2, oops]", &error).has_value());
+  EXPECT_GE(error.offset, 6u);
+}
+
+TEST(JsonParse, DeepNesting) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "[";
+  text += "7";
+  for (int i = 0; i < 100; ++i) text += "]";
+  const JsonValue* v = new JsonValue(must_parse(text));
+  const JsonValue* cur = v;
+  for (int i = 0; i < 100; ++i) cur = &cur->as_array()[0];
+  EXPECT_DOUBLE_EQ(cur->as_number(), 7.0);
+  delete v;
+}
+
+}  // namespace
+}  // namespace h3cdn::util

@@ -1,0 +1,135 @@
+#include "analysis/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/grouping.h"
+
+namespace h3cdn::analysis {
+namespace {
+
+TEST(KMeans, SeparatesTwoObviousClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 20; ++i) points.push_back({0.0 + i * 0.01, 0.0});
+  for (int i = 0; i < 20; ++i) points.push_back({10.0 + i * 0.01, 10.0});
+  const auto r = kmeans(points, {.k = 2}, util::Rng(1));
+  EXPECT_TRUE(r.converged);
+  // All of the first 20 in one cluster, all of the last 20 in the other.
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 21; i < 40; ++i) EXPECT_EQ(r.assignment[i], r.assignment[20]);
+  EXPECT_NE(r.assignment[0], r.assignment[20]);
+}
+
+TEST(KMeans, CentroidsAreClusterMeans) {
+  std::vector<std::vector<double>> points{{0, 0}, {2, 0}, {10, 10}, {12, 10}};
+  const auto r = kmeans(points, {.k = 2}, util::Rng(2));
+  for (const auto& c : r.centroids) {
+    const bool low = std::abs(c[0] - 1.0) < 1e-9 && std::abs(c[1]) < 1e-9;
+    const bool high = std::abs(c[0] - 11.0) < 1e-9 && std::abs(c[1] - 10.0) < 1e-9;
+    EXPECT_TRUE(low || high);
+  }
+}
+
+TEST(KMeans, KEqualsNAssignsOnePointPerCluster) {
+  std::vector<std::vector<double>> points{{0, 0}, {5, 5}, {9, 1}};
+  const auto r = kmeans(points, {.k = 3}, util::Rng(3));
+  std::set<std::size_t> clusters(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(clusters.size(), 3u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> points(10, std::vector<double>{1.0, 1.0});
+  const auto r = kmeans(points, {.k = 2}, util::Rng(4));
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, BinaryVectorsClusterBySharingDegree) {
+  // Miniature Table III: dense rows vs sparse rows over 8 "domains".
+  std::vector<std::vector<double>> points;
+  util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> v(8, 0.0);
+    const int ones = i < 15 ? 6 : 2;  // high vs low sharing
+    for (auto idx : rng.sample_indices(8, static_cast<std::size_t>(ones))) v[idx] = 1.0;
+    points.push_back(std::move(v));
+  }
+  const auto r = kmeans(points, {.k = 2}, util::Rng(6));
+  // Mean ones per cluster should separate.
+  double sums[2] = {0, 0};
+  int counts[2] = {0, 0};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double ones = 0;
+    for (double x : points[i]) ones += x;
+    sums[r.assignment[i]] += ones;
+    ++counts[r.assignment[i]];
+  }
+  ASSERT_GT(counts[0], 0);
+  ASSERT_GT(counts[1], 0);
+  const double mean0 = sums[0] / counts[0];
+  const double mean1 = sums[1] / counts[1];
+  EXPECT_GT(std::abs(mean0 - mean1), 2.0);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> points;
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) points.push_back({rng.uniform(), rng.uniform()});
+  const auto a = kmeans(points, {.k = 3}, util::Rng(8));
+  const auto b = kmeans(points, {.k = 3}, util::Rng(8));
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Grouping, QuartilesHaveEqualSizes) {
+  std::vector<double> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(static_cast<double>(i % 37));
+  const auto groups = quartile_groups(keys);
+  int counts[4] = {0, 0, 0, 0};
+  for (auto g : groups) ++counts[static_cast<int>(g)];
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(Grouping, QuartilesOrderedByKey) {
+  std::vector<double> keys{5, 1, 9, 3, 7, 2, 8, 4};
+  const auto groups = quartile_groups(keys);
+  // Smallest two keys (1,2) in Low; largest two (8,9) in High.
+  EXPECT_EQ(groups[1], QuartileGroup::Low);
+  EXPECT_EQ(groups[5], QuartileGroup::Low);
+  EXPECT_EQ(groups[2], QuartileGroup::High);
+  EXPECT_EQ(groups[6], QuartileGroup::High);
+}
+
+TEST(Grouping, UnevenSizesStayBalanced) {
+  std::vector<double> keys{1, 2, 3, 4, 5, 6, 7};
+  const auto groups = quartile_groups(keys);
+  int counts[4] = {0, 0, 0, 0};
+  for (auto g : groups) ++counts[static_cast<int>(g)];
+  for (int c : counts) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 2);
+  }
+}
+
+TEST(Grouping, EmptyInput) {
+  EXPECT_TRUE(quartile_groups({}).empty());
+}
+
+TEST(Grouping, FixedWidthBins) {
+  const auto bins = fixed_width_bins({-3.0, 0.0, 4.9, 5.0, 12.0}, 5.0);
+  EXPECT_EQ(bins, (std::vector<int>{-1, 0, 0, 1, 2}));
+}
+
+TEST(Grouping, GroupNames) {
+  EXPECT_STREQ(to_string(QuartileGroup::Low), "Low");
+  EXPECT_STREQ(to_string(QuartileGroup::High), "High");
+}
+
+}  // namespace
+}  // namespace h3cdn::analysis

@@ -1,0 +1,209 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "net/path.h"
+
+namespace h3cdn::net {
+namespace {
+
+LinkConfig fast_link() {
+  LinkConfig c;
+  c.latency = msec(10);
+  c.bandwidth_bps = 8e6;  // 1 byte/us
+  c.loss_rate = 0.0;
+  return c;
+}
+
+TEST(Link, DeliversAfterLatencyPlusSerialization) {
+  sim::Simulator sim;
+  Link link(sim, fast_link(), util::Rng(1));
+  TimePoint at{-1};
+  link.transmit(1000, [&] { at = sim.now(); });
+  sim.run();
+  // 1000 bytes at 1 B/us = 1ms serialization + 10ms latency.
+  EXPECT_EQ(at, msec(11));
+}
+
+TEST(Link, SerializationQueuesBackToBack) {
+  sim::Simulator sim;
+  Link link(sim, fast_link(), util::Rng(1));
+  std::vector<TimePoint> at;
+  for (int i = 0; i < 3; ++i) link.transmit(1000, [&] { at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], msec(11));
+  EXPECT_EQ(at[1], msec(12));
+  EXPECT_EQ(at[2], msec(13));
+}
+
+TEST(Link, InfiniteBandwidthSkipsSerialization) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.bandwidth_bps = 0;  // infinite
+  Link link(sim, c, util::Rng(1));
+  TimePoint at{-1};
+  link.transmit(1'000'000, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(at, msec(10));
+}
+
+TEST(Link, LossRateStatistics) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.loss_rate = 0.2;
+  c.bandwidth_bps = 0;
+  Link link(sim, c, util::Rng(7));
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.transmit(100, [&] { ++delivered; });
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.8, 0.02);
+  EXPECT_EQ(link.stats().packets_offered, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(link.stats().packets_delivered + link.stats().packets_dropped,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Link, LosslessFlagBypassesLoss) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.loss_rate = 1.0;
+  c.bandwidth_bps = 0;
+  Link link(sim, c, util::Rng(7));
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) link.transmit(100, [&] { ++delivered; }, /*lossless=*/true);
+  sim.run();
+  EXPECT_EQ(delivered, 100);
+}
+
+TEST(Link, FullLossDeliversNothing) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.loss_rate = 1.0;
+  Link link(sim, c, util::Rng(7));
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) link.transmit(100, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(link.stats().packets_dropped, 50u);
+}
+
+TEST(Link, JitterNeverReorders) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.jitter_max = msec(5);
+  Link link(sim, c, util::Rng(3));
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) link.transmit(500, [&order, i] { order.push_back(i); });
+  sim.run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Link, JitterDelaysWithinBound) {
+  sim::Simulator sim;
+  LinkConfig c = fast_link();
+  c.jitter_max = msec(5);
+  c.bandwidth_bps = 0;
+  Link link(sim, c, util::Rng(3));
+  TimePoint at{-1};
+  link.transmit(100, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_GE(at, msec(10));
+  EXPECT_LE(at, msec(15));
+}
+
+TEST(Link, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    LinkConfig c = fast_link();
+    c.loss_rate = 0.1;
+    c.jitter_max = msec(2);
+    Link link(sim, c, util::Rng(99));
+    std::vector<std::int64_t> arrivals;
+    for (int i = 0; i < 500; ++i) link.transmit(700, [&] { arrivals.push_back(sim.now().count()); });
+    sim.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Link, ReseedJitterChangesOnlyJitter) {
+  auto run_once = [](std::uint64_t salt) {
+    sim::Simulator sim;
+    LinkConfig c = fast_link();
+    c.loss_rate = 0.3;
+    Link link(sim, c, util::Rng(99));
+    link.reseed_jitter(salt);
+    int delivered = 0;
+    for (int i = 0; i < 2000; ++i) link.transmit(700, [&] { ++delivered; });
+    sim.run();
+    return delivered;
+  };
+  // Same loss stream regardless of jitter salt.
+  EXPECT_EQ(run_once(1), run_once(2));
+}
+
+TEST(Link, SetLossRateApplies) {
+  sim::Simulator sim;
+  Link link(sim, fast_link(), util::Rng(5));
+  link.set_loss_rate(1.0);
+  int delivered = 0;
+  link.transmit(100, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(NetPath, RttSplitAcrossDirections) {
+  sim::Simulator sim;
+  PathConfig pc;
+  pc.rtt = msec(31);  // odd on purpose
+  pc.bandwidth_bps = 0;
+  NetPath path(sim, pc, util::Rng(1));
+  TimePoint up{-1}, down{-1};
+  path.send_up(100, [&] { up = sim.now(); });
+  sim.run();
+  path.send_down(100, [&] { down = sim.now(); });
+  sim.run();
+  EXPECT_EQ((up + (down - up)).count(), msec(31).count());  // total propagation == rtt
+}
+
+TEST(NetPath, AccessLinkChainsBothSerializers) {
+  sim::Simulator sim;
+  PathConfig pc;
+  pc.rtt = msec(20);
+  pc.bandwidth_bps = 8e6;
+  NetPath path(sim, pc, util::Rng(1));
+  LinkConfig ac;
+  ac.latency = msec(2);
+  ac.bandwidth_bps = 8e6;
+  Link access_up(sim, ac, util::Rng(2));
+  Link access_down(sim, ac, util::Rng(3));
+  path.attach_access(&access_up, &access_down);
+
+  TimePoint at{-1};
+  path.send_down(1000, [&] { at = sim.now(); });
+  sim.run();
+  // path: 1ms serialize + 10ms latency; access: 1ms serialize + 2ms latency.
+  EXPECT_EQ(at, msec(14));
+  EXPECT_EQ(access_down.stats().packets_delivered, 1u);
+}
+
+TEST(NetPath, AccessLossAppliesToChainedPackets) {
+  sim::Simulator sim;
+  PathConfig pc;
+  pc.rtt = msec(20);
+  NetPath path(sim, pc, util::Rng(1));
+  LinkConfig ac;
+  ac.loss_rate = 1.0;
+  Link access_up(sim, ac, util::Rng(2));
+  Link access_down(sim, ac, util::Rng(3));
+  path.attach_access(&access_up, &access_down);
+  int delivered = 0;
+  path.send_up(100, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+}
+
+}  // namespace
+}  // namespace h3cdn::net

@@ -1,0 +1,113 @@
+#include "locedge/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "web/headers.h"
+#include "web/workload.h"
+
+namespace h3cdn::locedge {
+namespace {
+
+using cdn::ProviderId;
+using web::Header;
+
+TEST(Classifier, IdentifiesEachProviderFromHeaders) {
+  Classifier c;
+  util::Rng rng(1);
+  for (const auto& traits : cdn::ProviderRegistry::all()) {
+    for (int i = 0; i < 20; ++i) {
+      auto headers = web::make_cdn_headers(traits.id, rng);
+      // Classify with a neutral hostname so only headers carry the signal.
+      const auto result = c.classify("res.neutral-host.example", headers);
+      EXPECT_TRUE(result.is_cdn) << traits.name;
+      EXPECT_EQ(result.provider, traits.id) << traits.name;
+      EXPECT_EQ(result.evidence, Classification::Evidence::HeaderFingerprint);
+    }
+  }
+}
+
+TEST(Classifier, IdentifiesProvidersFromDomainAlone) {
+  Classifier c;
+  const std::vector<std::pair<std::string, ProviderId>> cases = {
+      {"fonts.gstatic.com", ProviderId::Google},
+      {"ajax.googleapis.com", ProviderId::Google},
+      {"cdnjs.cloudflare.com", ProviderId::Cloudflare},
+      {"d1a2b3c4.cloudfront.net", ProviderId::Amazon},
+      {"static.akamaized.net", ProviderId::Akamai},
+      {"github.githubassets.com", ProviderId::Fastly},
+      {"ajax.aspnetcdn.com", ProviderId::Microsoft},
+      {"cdn.quic.cloud", ProviderId::QuicCloud},
+      {"cdn.sstatic.net", ProviderId::Other},
+  };
+  for (const auto& [domain, provider] : cases) {
+    const auto result = c.classify(domain, {});
+    EXPECT_TRUE(result.is_cdn) << domain;
+    EXPECT_EQ(result.provider, provider) << domain;
+    EXPECT_EQ(result.evidence, Classification::Evidence::DomainPattern);
+  }
+}
+
+TEST(Classifier, NonCdnResponsesNotClassified) {
+  Classifier c;
+  util::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const auto result = c.classify("www.some-site.example", web::make_origin_headers(rng));
+    EXPECT_FALSE(result.is_cdn);
+    EXPECT_EQ(result.provider, ProviderId::None);
+    EXPECT_EQ(result.evidence, Classification::Evidence::None);
+  }
+}
+
+TEST(Classifier, HeaderNamesAreCaseInsensitive) {
+  Classifier c;
+  const std::vector<Header> headers{{"CF-Ray", "abc123-EWR"}};
+  EXPECT_EQ(c.classify("x.example", headers).provider, ProviderId::Cloudflare);
+}
+
+TEST(Classifier, HeaderEvidenceBeatsDomainEvidence) {
+  // A Cloudflare-fronted site served under a gstatic-looking name must be
+  // attributed by the response fingerprint.
+  Classifier c;
+  const std::vector<Header> headers{{"cf-ray", "abc-LAX"}};
+  const auto result = c.classify("fonts.gstatic.com", headers);
+  EXPECT_EQ(result.provider, ProviderId::Cloudflare);
+  EXPECT_EQ(result.evidence, Classification::Evidence::HeaderFingerprint);
+}
+
+TEST(Classifier, EndToEndAccuracyOnWorkload) {
+  // Over the full synthetic workload, the classifier must recover ground
+  // truth essentially everywhere (the paper relies on LocEdge being precise).
+  Classifier c;
+  web::WorkloadConfig cfg;
+  cfg.site_count = 60;
+  const auto w = web::generate_workload(cfg);
+  std::size_t total = 0, correct = 0;
+  for (const auto& s : w.sites) {
+    for (const auto& r : s.page.resources) {
+      ++total;
+      const auto result = c.classify(r);
+      const bool ok = r.is_cdn ? (result.is_cdn && result.provider == r.provider)
+                               : !result.is_cdn;
+      correct += ok;
+    }
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST(Classifier, FastlyNeedsCachePrefixInServedBy) {
+  Classifier c;
+  EXPECT_TRUE(c.classify("x.example", {{"x-served-by", "cache-bur-1234"}}).is_cdn);
+  EXPECT_FALSE(c.classify("x.example", {{"x-served-by", "app-server-7"}}).is_cdn);
+}
+
+TEST(Classifier, ViaBannerRouting) {
+  Classifier c;
+  EXPECT_EQ(c.classify("x.example", {{"via", "1.1 google"}}).provider, ProviderId::Google);
+  EXPECT_EQ(c.classify("x.example", {{"via", "1.1 abc.cloudfront.net (CloudFront)"}}).provider,
+            ProviderId::Amazon);
+  EXPECT_EQ(c.classify("x.example", {{"via", "1.1 varnish"}}).provider, ProviderId::Fastly);
+}
+
+}  // namespace
+}  // namespace h3cdn::locedge

@@ -1,0 +1,112 @@
+// Rendering checks for the report layer and the vantage-point presets.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "browser/environment.h"
+#include "core/report.h"
+
+namespace h3cdn {
+namespace {
+
+TEST(Vantages, DefaultThreeCloudLabSites) {
+  const auto points = browser::default_vantage_points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].name, "utah");
+  EXPECT_EQ(points[1].name, "wisconsin");
+  EXPECT_EQ(points[2].name, "clemson");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].rtt_scale, points[i - 1].rtt_scale);
+  }
+}
+
+TEST(Vantages, GlobalPresetExtendsTheDefaults) {
+  const auto points = browser::global_vantage_points();
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[3].name, "frankfurt");
+  EXPECT_EQ(points[5].name, "singapore");
+  // Overseas probes see substantially longer paths to US-centric edges.
+  EXPECT_GT(points[3].rtt_scale, 2.0);
+  EXPECT_GT(points[5].rtt_scale, points[3].rtt_scale);
+}
+
+TEST(Vantages, GlobalProbeSeesScaledRtts) {
+  web::WorkloadConfig cfg;
+  cfg.site_count = 2;
+  const auto workload = web::generate_workload(cfg);
+  sim::Simulator s1, s2;
+  auto near = browser::default_vantage_points()[0];
+  auto far = browser::global_vantage_points()[5];  // singapore
+  far.name = near.name;                            // align seeds
+  browser::Environment e1(s1, workload.universe, near, util::Rng(3));
+  browser::Environment e2(s2, workload.universe, far, util::Rng(3));
+  const auto r1 = e1.resolve("fonts.gstatic.com").path->base_rtt();
+  const auto r2 = e2.resolve("fonts.gstatic.com").path->base_rtt();
+  EXPECT_NEAR(static_cast<double>(r2.count()) / static_cast<double>(r1.count()),
+              far.rtt_scale / near.rtt_scale, 0.01);
+}
+
+TEST(Report, Fig6IncludesConfidenceIntervals) {
+  core::Fig6Result r;
+  core::Fig6GroupRow row;
+  row.group = analysis::QuartileGroup::Low;
+  row.pages = 10;
+  row.mean_plt_reduction_ms = 42.0;
+  row.ci_lo_ms = 30.5;
+  row.ci_hi_ms = 55.5;
+  r.groups.push_back(row);
+  std::ostringstream os;
+  core::print_fig6(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("95% CI"), std::string::npos);
+  EXPECT_NE(out.find("[30.5, 55.5]"), std::string::npos);
+  EXPECT_NE(out.find("42.0"), std::string::npos);
+}
+
+TEST(Report, Fig9RendersSlopesPerLossRate) {
+  core::Fig9Result r;
+  core::Fig9Series s;
+  s.loss_rate = 0.005;
+  s.fit.slope = 1.42;
+  s.fit.intercept = 3.0;
+  s.fit.r2 = 0.9;
+  s.points = {{10, 20}, {20, 45}};
+  r.series.push_back(s);
+  std::ostringstream os;
+  core::print_fig9(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("0.5%"), std::string::npos);
+  EXPECT_NE(out.find("1.42"), std::string::npos);
+}
+
+TEST(Report, Table3NamesBothGroups) {
+  core::Table3Result r;
+  r.high.name = "C_H (high sharing)";
+  r.high.pages = 3;
+  r.high.avg_providers = 4.2;
+  r.low.name = "C_L (low sharing)";
+  r.low.pages = 5;
+  r.low.avg_providers = 2.5;
+  r.vector_dimension = 58;
+  std::ostringstream os;
+  core::print_table3(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("C_H"), std::string::npos);
+  EXPECT_NE(out.find("C_L"), std::string::npos);
+  EXPECT_NE(out.find("58-dim"), std::string::npos);
+}
+
+TEST(Report, Fig8PrintsConditionedDecomposition) {
+  core::Fig8Result r;
+  r.mean_reduction_origin_h3_pages = 120.0;
+  r.mean_reduction_origin_h2_pages = 15.0;
+  r.corr_reduction_origin_h3_pages = 0.15;
+  std::ostringstream os;
+  core::print_fig8(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("conditioned on the origin protocol"), std::string::npos);
+  EXPECT_NE(out.find("120.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h3cdn

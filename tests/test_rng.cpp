@@ -1,0 +1,179 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace h3cdn::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossBuckets) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(17);
+  std::vector<double> v;
+  for (int i = 0; i < 50001; ++i) v.push_back(rng.lognormal_median(8.0, 1.0));
+  std::sort(v.begin(), v.end());
+  EXPECT_NEAR(v[v.size() / 2], 8.0, 0.35);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(31);
+  const auto s = rng.sample_indices(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (auto i : s) EXPECT_LT(i, 20u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng root(99);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng r1(99), r2(99);
+  Rng a = r1.fork("tag");
+  Rng b = r2.fork("tag");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DeriveSeedOrderSensitive) {
+  EXPECT_NE(derive_seed({1, 2}), derive_seed({2, 1}));
+  EXPECT_EQ(derive_seed({1, 2}), derive_seed({1, 2}));
+}
+
+TEST(Rng, HashComponentStable) {
+  EXPECT_EQ(hash_component("abc"), hash_component("abc"));
+  EXPECT_NE(hash_component("abc"), hash_component("abd"));
+}
+
+}  // namespace
+}  // namespace h3cdn::util

@@ -1,0 +1,78 @@
+#include "transport/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::transport {
+namespace {
+
+TEST(RttEstimator, UsesInitialRtoBeforeSamples) {
+  RttEstimator est(msec(300));
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), msec(300));
+}
+
+TEST(RttEstimator, FirstSampleSetsSrtt) {
+  RttEstimator est(msec(300));
+  est.sample(msec(40));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), msec(40));
+  // RFC 6298: RTO = srtt + max(G, 4*rttvar) = 40 + 4*20 = 120ms.
+  EXPECT_EQ(est.rto(), msec(120));
+}
+
+TEST(RttEstimator, SmoothsTowardStableRtt) {
+  RttEstimator est(msec(300));
+  for (int i = 0; i < 50; ++i) est.sample(msec(30));
+  EXPECT_EQ(est.srtt(), msec(30));
+  // With zero variance, RTO converges to srtt + granularity, clamped by min.
+  EXPECT_LE(est.rto(), msec(60));
+}
+
+TEST(RttEstimator, RtoRespectsMinimum) {
+  RttEstimator est(msec(300), msec(200));
+  for (int i = 0; i < 50; ++i) est.sample(msec(10));
+  EXPECT_EQ(est.rto(), msec(200));
+}
+
+TEST(RttEstimator, RtoRespectsMaximum) {
+  RttEstimator est(msec(300), msec(50), msec(500));
+  est.sample(sec(2));
+  EXPECT_EQ(est.rto(), msec(500));
+}
+
+TEST(RttEstimator, BackoffDoubles) {
+  RttEstimator est(msec(100), msec(50), sec(100));
+  est.sample(msec(50));
+  const auto base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), Duration{base.count() * 2});
+  est.backoff();
+  EXPECT_EQ(est.rto(), Duration{base.count() * 4});
+  est.reset_backoff();
+  EXPECT_EQ(est.rto(), base);
+}
+
+TEST(RttEstimator, BackoffSaturatesAtMax) {
+  RttEstimator est(msec(100), msec(50), msec(400));
+  est.sample(msec(100));
+  for (int i = 0; i < 30; ++i) est.backoff();
+  EXPECT_EQ(est.rto(), msec(400));
+}
+
+TEST(RttEstimator, ExtraTermAddsAckDelay) {
+  RttEstimator tcp(msec(300), msec(1), sec(10), Duration::zero());
+  RttEstimator quic(msec(300), msec(1), sec(10), msec(25));
+  tcp.sample(msec(40));
+  quic.sample(msec(40));
+  EXPECT_EQ(quic.rto() - tcp.rto(), msec(25));
+}
+
+TEST(RttEstimator, VarianceTracksJitter) {
+  RttEstimator est(msec(300), msec(1));
+  for (int i = 0; i < 100; ++i) est.sample(i % 2 == 0 ? msec(20) : msec(60));
+  // rttvar should keep RTO well above the mean RTT.
+  EXPECT_GT(est.rto(), msec(60));
+}
+
+}  // namespace
+}  // namespace h3cdn::transport

@@ -1,0 +1,108 @@
+#include "core/selector.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::core {
+namespace {
+
+using http::HttpVersion;
+
+SelectorConfig fast_config() {
+  SelectorConfig c;
+  c.min_observations = 2;
+  c.explore_rate = 0.0;  // deterministic tests
+  return c;
+}
+
+TEST(Selector, NoDataNoRecommendation) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  EXPECT_FALSE(s.recommend("a.example").has_value());
+}
+
+TEST(Selector, PrefersFasterProtocol) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  for (int i = 0; i < 3; ++i) {
+    s.observe("a.example", HttpVersion::H2, 100.0);
+    s.observe("a.example", HttpVersion::H3, 60.0);
+  }
+  EXPECT_EQ(s.recommend("a.example"), HttpVersion::H3);
+}
+
+TEST(Selector, SwitchesToH2WhenClearlyFaster) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  for (int i = 0; i < 3; ++i) {
+    s.observe("a.example", HttpVersion::H2, 50.0);
+    s.observe("a.example", HttpVersion::H3, 90.0);
+  }
+  EXPECT_EQ(s.recommend("a.example"), HttpVersion::H2);
+}
+
+TEST(Selector, HysteresisKeepsH3OnTies) {
+  SelectorConfig c = fast_config();
+  c.switch_margin = 1.10;
+  AdaptiveProtocolSelector s(c, util::Rng(1));
+  for (int i = 0; i < 3; ++i) {
+    s.observe("a.example", HttpVersion::H2, 95.0);  // <10% better than H3
+    s.observe("a.example", HttpVersion::H3, 100.0);
+  }
+  EXPECT_EQ(s.recommend("a.example"), HttpVersion::H3);
+}
+
+TEST(Selector, ExploresUnobservedArm) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  for (int i = 0; i < 5; ++i) s.observe("a.example", HttpVersion::H2, 80.0);
+  // H3 never observed: the selector must probe it.
+  EXPECT_EQ(s.recommend("a.example"), HttpVersion::H3);
+  EXPECT_GT(s.explorations(), 0u);
+}
+
+TEST(Selector, EwmaTracksShiftingConditions) {
+  SelectorConfig c = fast_config();
+  c.ewma_alpha = 0.5;
+  AdaptiveProtocolSelector s(c, util::Rng(1));
+  for (int i = 0; i < 3; ++i) {
+    s.observe("a.example", HttpVersion::H2, 60.0);
+    s.observe("a.example", HttpVersion::H3, 40.0);
+  }
+  EXPECT_EQ(s.recommend("a.example"), HttpVersion::H3);
+  // Network degrades for H3 (e.g. UDP throttling appears).
+  for (int i = 0; i < 8; ++i) s.observe("a.example", HttpVersion::H3, 200.0);
+  EXPECT_EQ(s.recommend("a.example"), HttpVersion::H2);
+}
+
+TEST(Selector, PerOriginIndependence) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  for (int i = 0; i < 3; ++i) {
+    s.observe("fast-h3.example", HttpVersion::H2, 100.0);
+    s.observe("fast-h3.example", HttpVersion::H3, 50.0);
+    s.observe("fast-h2.example", HttpVersion::H2, 50.0);
+    s.observe("fast-h2.example", HttpVersion::H3, 100.0);
+  }
+  EXPECT_EQ(s.recommend("fast-h3.example"), HttpVersion::H3);
+  EXPECT_EQ(s.recommend("fast-h2.example"), HttpVersion::H2);
+}
+
+TEST(Selector, H1ObservationsIgnored) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  for (int i = 0; i < 10; ++i) s.observe("a.example", HttpVersion::H1_1, 10.0);
+  EXPECT_FALSE(s.estimate("a.example", HttpVersion::H2).has_value());
+}
+
+TEST(Selector, EstimateExposesEwma) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  s.observe("a.example", HttpVersion::H3, 100.0);
+  EXPECT_DOUBLE_EQ(*s.estimate("a.example", HttpVersion::H3), 100.0);
+  s.observe("a.example", HttpVersion::H3, 0.0);
+  EXPECT_NEAR(*s.estimate("a.example", HttpVersion::H3), 70.0, 1e-9);  // alpha 0.3
+}
+
+TEST(Selector, ResetForgetsEverything) {
+  AdaptiveProtocolSelector s(fast_config(), util::Rng(1));
+  s.observe("a.example", HttpVersion::H3, 100.0);
+  s.reset();
+  EXPECT_FALSE(s.estimate("a.example", HttpVersion::H3).has_value());
+  EXPECT_EQ(s.decisions(), 0u);
+}
+
+}  // namespace
+}  // namespace h3cdn::core

@@ -1,0 +1,187 @@
+#include "http/session.h"
+
+#include <gtest/gtest.h>
+
+#include "net/path.h"
+#include "sim/simulator.h"
+
+namespace h3cdn::http {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  net::NetPath path;
+  Fixture() : path(sim, net::PathConfig{msec(20), 100e6, 0.0, usec(0)}, util::Rng(1)) {}
+
+  std::shared_ptr<Session> make(HttpVersion version, SessionConfig config = {},
+                                tls::HandshakeMode mode = tls::HandshakeMode::Fresh) {
+    const auto kind = version == HttpVersion::H3 ? tls::TransportKind::Quic
+                                                 : tls::TransportKind::Tcp;
+    transport::TransportConfig tc;
+    tc.domain = "host.example";
+    auto conn = transport::Connection::create(sim, path, kind, tls::TlsVersion::Tls13, mode,
+                                              util::Rng(2), tc);
+    auto session = Session::create(sim, std::move(conn), version, config);
+    session->start();
+    return session;
+  }
+
+  Request request(std::size_t bytes = 10'000) {
+    Request r;
+    r.domain = "host.example";
+    r.path = "/x";
+    r.response_bytes = bytes;
+    r.server_think = msec(5);
+    return r;
+  }
+};
+
+TEST(Session, CompletesARequestWithFullTimings) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H2);
+  EntryTimings out;
+  bool done = false;
+  s->submit(f.request(), [&](const EntryTimings& t) {
+    out = t;
+    done = true;
+  });
+  f.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(out.version, HttpVersion::H2);
+  EXPECT_GT(out.connect, Duration::zero());  // initiator carries the handshake
+  EXPECT_GT(out.wait, Duration::zero());
+  EXPECT_GT(out.receive, Duration::zero());
+  EXPECT_TRUE(out.new_connection_initiator);
+  EXPECT_FALSE(out.reused_connection);
+  EXPECT_EQ(out.finished - out.started, out.blocked + out.connect + out.send + out.wait + out.receive);
+}
+
+TEST(Session, SecondEntryIsReusedConnection) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H2);
+  std::vector<EntryTimings> out;
+  for (int i = 0; i < 2; ++i) {
+    s->submit(f.request(), [&](const EntryTimings& t) { out.push_back(t); });
+  }
+  f.sim.run();
+  ASSERT_EQ(out.size(), 2u);
+  int initiators = out[0].new_connection_initiator + out[1].new_connection_initiator;
+  EXPECT_EQ(initiators, 1);
+  for (const auto& t : out) {
+    if (!t.new_connection_initiator) {
+      EXPECT_EQ(t.connect, Duration::zero());
+      EXPECT_TRUE(t.reused_connection);
+    }
+  }
+}
+
+TEST(Session, H1SerializesRequests) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H1_1);
+  std::vector<EntryTimings> out;
+  for (int i = 0; i < 3; ++i) {
+    s->submit(f.request(50'000), [&](const EntryTimings& t) { out.push_back(t); });
+  }
+  EXPECT_EQ(s->in_flight(), 1u);
+  EXPECT_EQ(s->queued(), 2u);
+  f.sim.run();
+  ASSERT_EQ(out.size(), 3u);
+  // Strictly serial: each entry finishes before the next entry's first byte.
+  EXPECT_LE(out[0].finished, out[1].finished - out[1].wait - out[1].receive + msec(1));
+  EXPECT_GT(out[1].blocked, Duration::zero());
+  EXPECT_GT(out[2].blocked, out[1].blocked);
+}
+
+TEST(Session, H2MultiplexesConcurrently) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H2);
+  std::vector<EntryTimings> out;
+  for (int i = 0; i < 8; ++i) {
+    s->submit(f.request(40'000), [&](const EntryTimings& t) { out.push_back(t); });
+  }
+  EXPECT_EQ(s->in_flight(), 8u);
+  f.sim.run();
+  ASSERT_EQ(out.size(), 8u);
+  // Concurrent: total duration far below 8x a single transfer.
+  Duration max_finish{0}, single = out[0].finished - out[0].started;
+  for (const auto& t : out) max_finish = std::max(max_finish, t.finished);
+  EXPECT_LT(max_finish, Duration{single.count() * 4});
+}
+
+TEST(Session, StreamLimitQueuesExcess) {
+  Fixture f;
+  SessionConfig config;
+  config.max_concurrent_streams = 4;
+  auto s = f.make(HttpVersion::H3, config);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    s->submit(f.request(), [&](const EntryTimings&) { ++done; });
+  }
+  EXPECT_EQ(s->in_flight(), 4u);
+  EXPECT_EQ(s->queued(), 6u);
+  f.sim.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(s->entries_completed(), 10u);
+}
+
+TEST(Session, QueuedEntriesAccumulateBlockedTime) {
+  Fixture f;
+  SessionConfig config;
+  config.max_concurrent_streams = 1;
+  auto s = f.make(HttpVersion::H3, config);
+  std::vector<EntryTimings> out;
+  for (int i = 0; i < 3; ++i) {
+    s->submit(f.request(30'000), [&](const EntryTimings& t) { out.push_back(t); });
+  }
+  f.sim.run();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].blocked, Duration::zero());
+  EXPECT_GT(out[2].blocked, out[1].blocked);
+}
+
+TEST(Session, H3RidesQuic) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H3);
+  EXPECT_EQ(s->connection().kind(), tls::TransportKind::Quic);
+  EntryTimings out;
+  s->submit(f.request(), [&](const EntryTimings& t) { out = t; });
+  f.sim.run();
+  EXPECT_EQ(out.version, HttpVersion::H3);
+  // H3 initiator connect ~1 RTT, strictly below H2's 2 RTT at the same path.
+  EXPECT_LT(out.connect, msec(40));
+  EXPECT_GT(out.connect, msec(15));
+}
+
+TEST(Session, ZeroRttEntryHasNearZeroConnect) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H3, {}, tls::HandshakeMode::ZeroRtt);
+  EntryTimings out;
+  s->submit(f.request(), [&](const EntryTimings& t) { out = t; });
+  f.sim.run();
+  EXPECT_TRUE(out.resumed);
+  EXPECT_EQ(out.handshake_mode, tls::HandshakeMode::ZeroRtt);
+  EXPECT_LT(out.connect, msec(1));
+}
+
+TEST(Session, CloseStopsFurtherCallbacks) {
+  Fixture f;
+  auto s = f.make(HttpVersion::H2);
+  bool done = false;
+  s->submit(f.request(500'000), [&](const EntryTimings&) { done = true; });
+  f.sim.run_until(msec(50));
+  s->close();
+  f.sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(s->closed());
+}
+
+TEST(SessionDeath, VersionTransportMismatchAborts) {
+  Fixture f;
+  auto conn = transport::Connection::create(f.sim, f.path, tls::TransportKind::Tcp,
+                                            tls::TlsVersion::Tls13, tls::HandshakeMode::Fresh,
+                                            util::Rng(3), {});
+  EXPECT_DEATH(Session::create(f.sim, conn, HttpVersion::H3), "precondition");
+}
+
+}  // namespace
+}  // namespace h3cdn::http

@@ -1,0 +1,139 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace h3cdn::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint{0});
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(msec(30), [&] { order.push_back(3); });
+  sim.schedule_at(msec(10), [&] { order.push_back(1); });
+  sim.schedule_at(msec(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), msec(30));
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(msec(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  TimePoint fired{-1};
+  sim.schedule_at(msec(5), [&] {
+    sim.schedule_in(msec(7), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, msec(12));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(msec(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(msec(10), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelFiredEventFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(msec(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(12345));
+  EXPECT_FALSE(sim.cancel(0));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(msec(10), [&] { ++fired; });
+  sim.schedule_at(msec(20), [&] { ++fired; });
+  sim.schedule_at(msec(30), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(msec(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), msec(20));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(msec(50));
+  EXPECT_EQ(sim.now(), msec(50));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_in(msec(1), recurse);
+  };
+  sim.schedule_in(msec(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), msec(10));
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(msec(1), [] {});
+  const EventId id = sim.schedule_at(msec(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, IdleWhenOnlyCancelledRemain) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(msec(2), [] {});
+  sim.cancel(id);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(msec(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorDeath, PastSchedulingAborts) {
+  Simulator sim;
+  sim.schedule_at(msec(10), [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(msec(5), [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace h3cdn::sim

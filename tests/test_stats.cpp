@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::util {
+namespace {
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, SummaryUnsortedInput) {
+  const Summary s = summarize({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0, 10}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
+}
+
+TEST(Stats, QuantileSingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({7}, 0.9), 7.0);
+}
+
+TEST(Stats, CdfMonotoneAndComplete) {
+  const auto c = cdf({3, 1, 2, 2});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(c.back().x, 3.0);
+  EXPECT_DOUBLE_EQ(c.back().y, 1.0);
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i - 1].x, c[i].x);
+    EXPECT_LE(c[i - 1].y, c[i].y);
+  }
+}
+
+TEST(Stats, CdfCollapsesDuplicates) {
+  const auto c = cdf({2, 2, 2});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].y, 1.0);
+}
+
+TEST(Stats, CcdfComplementsCdf) {
+  const auto c = ccdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(c.front().y, 0.75);
+  EXPECT_DOUBLE_EQ(c.back().y, 0.0);
+}
+
+TEST(Stats, FractionAbove) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(fraction_above(v, 25), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 40), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_above({}, 0), 0.0);
+}
+
+TEST(Stats, FractionAtOrBelowComplements) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_at_or_below(v, 2) + fraction_above(v, 2), 1.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  const auto h = histogram({-5, 0.5, 1.5, 99}, 0, 2, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -5 clamped into first bin
+  EXPECT_EQ(h[1], 2u);  // 99 clamped into last bin
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(Stats, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean({2, 4}), 3.0);
+  EXPECT_DOUBLE_EQ(median({1, 100, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace h3cdn::util

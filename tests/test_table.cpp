@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAligned) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.to_string();
+  // Column b starts at the same offset on each data line.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(AsciiTable, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_FATAL_FAILURE(t.to_string());
+}
+
+TEST(AsciiTable, IndentPrefixesEveryLine) {
+  AsciiTable t({"h"});
+  t.add_row({"v"});
+  const std::string out = t.to_string(4);
+  EXPECT_EQ(out.rfind("    h", 0), 0u);
+  EXPECT_NE(out.find("\n    "), std::string::npos);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.256), "25.6%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace h3cdn::util

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "tls/handshake.h"
+#include "tls/ticket_store.h"
+
+namespace h3cdn::tls {
+namespace {
+
+// The paper's §II-A / §VI-D round-trip accounting, verbatim.
+TEST(Handshake, RttTableMatchesPaper) {
+  EXPECT_EQ(handshake_rtts(TransportKind::Tcp, TlsVersion::Tls12, HandshakeMode::Fresh), 3);
+  EXPECT_EQ(handshake_rtts(TransportKind::Tcp, TlsVersion::Tls13, HandshakeMode::Fresh), 2);
+  EXPECT_EQ(handshake_rtts(TransportKind::Quic, TlsVersion::Tls13, HandshakeMode::Fresh), 1);
+  EXPECT_EQ(handshake_rtts(TransportKind::Quic, TlsVersion::Tls13, HandshakeMode::ZeroRtt), 0);
+}
+
+TEST(Handshake, ResumptionOverTcpStillPaysTcpRtt) {
+  // §VI-D: "H2 still needs to wait 1 RTT for the TCP handshake."
+  EXPECT_GE(handshake_rtts(TransportKind::Tcp, TlsVersion::Tls13, HandshakeMode::ZeroRtt), 1);
+  EXPECT_GE(handshake_rtts(TransportKind::Tcp, TlsVersion::Tls13, HandshakeMode::Resumed), 2);
+  EXPECT_EQ(handshake_rtts(TransportKind::Tcp, TlsVersion::Tls12, HandshakeMode::Resumed), 2);
+}
+
+TEST(Handshake, QuicResumedWithoutEarlyDataIsOneRtt) {
+  EXPECT_EQ(handshake_rtts(TransportKind::Quic, TlsVersion::Tls13, HandshakeMode::Resumed), 1);
+}
+
+TEST(Handshake, ClientFlightsExceedRtts) {
+  for (auto mode : {HandshakeMode::Fresh, HandshakeMode::Resumed, HandshakeMode::ZeroRtt}) {
+    EXPECT_EQ(handshake_client_flights(TransportKind::Quic, TlsVersion::Tls13, mode),
+              handshake_rtts(TransportKind::Quic, TlsVersion::Tls13, mode) + 1);
+  }
+}
+
+TEST(Handshake, FreshFlightCarriesCertificates) {
+  EXPECT_GT(handshake_server_flight_bytes(TlsVersion::Tls13, HandshakeMode::Fresh), 2000u);
+  EXPECT_LT(handshake_server_flight_bytes(TlsVersion::Tls13, HandshakeMode::Resumed), 1000u);
+  EXPECT_GT(handshake_server_flight_bytes(TlsVersion::Tls12, HandshakeMode::Fresh),
+            handshake_server_flight_bytes(TlsVersion::Tls13, HandshakeMode::Fresh));
+}
+
+TEST(Handshake, ResumptionIsComputationallyCheaper) {
+  EXPECT_GT(handshake_compute_cost(TlsVersion::Tls13, HandshakeMode::Fresh),
+            handshake_compute_cost(TlsVersion::Tls13, HandshakeMode::Resumed));
+  EXPECT_GT(handshake_compute_cost(TlsVersion::Tls12, HandshakeMode::Fresh),
+            handshake_compute_cost(TlsVersion::Tls13, HandshakeMode::Fresh));
+}
+
+TEST(Handshake, ToStringCoversEnums) {
+  EXPECT_STREQ(to_string(TlsVersion::Tls12), "TLSv1.2");
+  EXPECT_STREQ(to_string(TransportKind::Quic), "quic");
+  EXPECT_STREQ(to_string(HandshakeMode::ZeroRtt), "0-rtt");
+}
+
+// ---------------------------------------------------------------------------
+
+SessionTicket make_ticket(const std::string& domain, TimePoint issued,
+                          TlsVersion version = TlsVersion::Tls13, bool early = true) {
+  SessionTicket t;
+  t.domain = domain;
+  t.issued_at = issued;
+  t.version = version;
+  t.early_data_allowed = early;
+  return t;
+}
+
+TEST(TicketStore, FindReturnsStoredTicket) {
+  SessionTicketStore store;
+  store.store(make_ticket("example.com", msec(0)));
+  const auto t = store.find("example.com", msec(100));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->domain, "example.com");
+  EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(TicketStore, MissingDomainMisses) {
+  SessionTicketStore store;
+  EXPECT_FALSE(store.find("nope.com", msec(0)).has_value());
+  EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(TicketStore, ExpiredTicketMisses) {
+  SessionTicketStore store;
+  auto t = make_ticket("example.com", msec(0));
+  t.lifetime = sec(10);
+  store.store(t);
+  EXPECT_TRUE(store.find("example.com", sec(9)).has_value());
+  EXPECT_FALSE(store.find("example.com", sec(10)).has_value());
+}
+
+TEST(TicketStore, StoreReplacesExisting) {
+  SessionTicketStore store;
+  store.store(make_ticket("d", msec(0), TlsVersion::Tls12));
+  store.store(make_ticket("d", msec(5), TlsVersion::Tls13));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("d", msec(10))->version, TlsVersion::Tls13);
+}
+
+TEST(TicketStore, BestModeQuicZeroRtt) {
+  SessionTicketStore store;
+  store.store(make_ticket("d", msec(0)));
+  EXPECT_EQ(store.best_mode("d", msec(1), TransportKind::Quic), HandshakeMode::ZeroRtt);
+}
+
+TEST(TicketStore, BestModeQuicWithoutEarlyDataResumes) {
+  SessionTicketStore store;
+  store.store(make_ticket("d", msec(0), TlsVersion::Tls13, /*early=*/false));
+  EXPECT_EQ(store.best_mode("d", msec(1), TransportKind::Quic), HandshakeMode::Resumed);
+}
+
+TEST(TicketStore, BestModeQuicRejectsTls12Ticket) {
+  SessionTicketStore store;
+  store.store(make_ticket("d", msec(0), TlsVersion::Tls12));
+  EXPECT_EQ(store.best_mode("d", msec(1), TransportKind::Quic), HandshakeMode::Fresh);
+}
+
+TEST(TicketStore, BestModeTcpNeverUsesEarlyData) {
+  // Browsers ship with TLS 1.3 early data over TCP disabled.
+  SessionTicketStore store;
+  store.store(make_ticket("d", msec(0)));
+  EXPECT_EQ(store.best_mode("d", msec(1), TransportKind::Tcp), HandshakeMode::Resumed);
+}
+
+TEST(TicketStore, BestModeWithoutTicketIsFresh) {
+  SessionTicketStore store;
+  EXPECT_EQ(store.best_mode("d", msec(1), TransportKind::Tcp), HandshakeMode::Fresh);
+}
+
+TEST(TicketStore, ClearAndErase) {
+  SessionTicketStore store;
+  store.store(make_ticket("a", msec(0)));
+  store.store(make_ticket("b", msec(0)));
+  store.erase("a");
+  EXPECT_EQ(store.size(), 1u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TicketStore, RemoveExpiredPrunesOnlyExpired) {
+  SessionTicketStore store;
+  auto young = make_ticket("young", sec(100));
+  auto old = make_ticket("old", sec(0));
+  old.lifetime = sec(10);
+  store.store(young);
+  store.store(old);
+  store.remove_expired(sec(50));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.find("young", sec(50)).has_value());
+}
+
+}  // namespace
+}  // namespace h3cdn::tls

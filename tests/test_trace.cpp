@@ -1,0 +1,114 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "transport/connection.h"
+#include "util/json_parse.h"
+
+namespace h3cdn::trace {
+namespace {
+
+TEST(Trace, RecordsAndCounts) {
+  ConnectionTrace t;
+  t.record({msec(1), EventType::HandshakeStarted});
+  t.record({msec(2), EventType::PacketSent, 0, 1, 1200});
+  t.record({msec(3), EventType::PacketSent, 1, 1, 1200});
+  t.record({msec(4), EventType::PacketLost, 0, 1, 1200});
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.count(EventType::PacketSent), 2u);
+  EXPECT_EQ(t.count(EventType::PacketLost), 1u);
+  EXPECT_EQ(t.count(EventType::RtoFired), 0u);
+}
+
+TEST(Trace, TimestampsMustBeMonotone) {
+  ConnectionTrace t;
+  t.record({msec(5), EventType::PacketSent});
+  EXPECT_DEATH(t.record({msec(4), EventType::PacketSent}), "precondition");
+}
+
+TEST(Trace, QlogJsonIsWellFormed) {
+  ConnectionTrace t;
+  t.record({msec(1), EventType::HandshakeStarted});
+  Event sent{msec(2), EventType::PacketSent};
+  sent.packet_number = 7;
+  sent.stream_id = 3;
+  sent.bytes = 1350;
+  t.record(sent);
+  Event cw{msec(3), EventType::CwndUpdated};
+  cw.cwnd = 12;
+  t.record(cw);
+
+  const std::string json = t.to_qlog_json("conn-1");
+  const auto doc = util::parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("qlog_version", ""), "0.4");
+  const auto& traces = doc->find("traces")->as_array();
+  ASSERT_EQ(traces.size(), 1u);
+  const auto& events = traces[0].find("events")->as_array();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].string_or("name", ""), "handshake_started");
+  EXPECT_EQ(events[1].find("data")->number_or("packet_number", -1), 7.0);
+  EXPECT_EQ(events[2].find("data")->number_or("congestion_window_packets", -1), 12.0);
+}
+
+TEST(Trace, ConnectionEmitsFullLifecycle) {
+  sim::Simulator sim;
+  net::NetPath path(sim, net::PathConfig{msec(20), 100e6, 0.0, usec(0)}, util::Rng(1));
+  auto conn = transport::Connection::create(sim, path, tls::TransportKind::Quic,
+                                            tls::TlsVersion::Tls13, tls::HandshakeMode::Fresh,
+                                            util::Rng(2), {});
+  auto trace = std::make_shared<ConnectionTrace>();
+  conn->set_trace(trace);
+  conn->connect([](TimePoint) {});
+  transport::FetchCallbacks cbs;
+  cbs.on_complete = [](TimePoint) {};
+  conn->fetch(500, 20'000, msec(2), std::move(cbs));
+  sim.run();
+
+  EXPECT_EQ(trace->count(EventType::HandshakeStarted), 1u);
+  EXPECT_EQ(trace->count(EventType::HandshakeFinished), 1u);
+  EXPECT_EQ(trace->count(EventType::StreamOpened), 1u);
+  EXPECT_EQ(trace->count(EventType::StreamFinished), 1u);
+  EXPECT_GT(trace->count(EventType::PacketSent), 10u);
+  EXPECT_EQ(trace->count(EventType::PacketSent), trace->count(EventType::PacketReceived));
+  EXPECT_EQ(trace->count(EventType::PacketSent), trace->count(EventType::PacketAcked));
+  EXPECT_EQ(trace->count(EventType::PacketLost), 0u);
+  EXPECT_GT(trace->count(EventType::CwndUpdated), 0u);  // slow-start growth
+}
+
+TEST(Trace, LossyConnectionRecordsRecoveryEvents) {
+  sim::Simulator sim;
+  net::NetPath path(sim, net::PathConfig{msec(20), 100e6, 0.05, usec(0)}, util::Rng(9));
+  auto conn = transport::Connection::create(sim, path, tls::TransportKind::Tcp,
+                                            tls::TlsVersion::Tls13, tls::HandshakeMode::Fresh,
+                                            util::Rng(2), {});
+  auto trace = std::make_shared<ConnectionTrace>();
+  conn->set_trace(trace);
+  conn->connect([](TimePoint) {});
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    transport::FetchCallbacks cbs;
+    cbs.on_complete = [&](TimePoint) { ++done; };
+    conn->fetch(500, 40'000, msec(2), std::move(cbs));
+  }
+  sim.run();
+  EXPECT_EQ(done, 8);
+  EXPECT_GT(trace->count(EventType::PacketLost), 0u);
+  EXPECT_EQ(trace->count(EventType::PacketLost), trace->count(EventType::Retransmission));
+}
+
+TEST(Trace, UntracedConnectionRecordsNothing) {
+  sim::Simulator sim;
+  net::NetPath path(sim, net::PathConfig{msec(20), 100e6, 0.0, usec(0)}, util::Rng(1));
+  auto conn = transport::Connection::create(sim, path, tls::TransportKind::Quic,
+                                            tls::TlsVersion::Tls13, tls::HandshakeMode::Fresh,
+                                            util::Rng(2), {});
+  conn->connect([](TimePoint) {});
+  sim.run();  // no trace attached: nothing to assert except no crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace h3cdn::trace

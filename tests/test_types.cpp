@@ -1,0 +1,36 @@
+#include "util/types.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn {
+namespace {
+
+TEST(Types, ConstructorsAgree) {
+  EXPECT_EQ(usec(1500), msec(1) + usec(500));
+  EXPECT_EQ(msec(2000), sec(2));
+  EXPECT_EQ(sec(1).count(), 1'000'000);
+}
+
+TEST(Types, MsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_ms(msec(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_ms(usec(1)), 0.001);
+  EXPECT_EQ(from_ms(250.0), msec(250));
+  EXPECT_EQ(from_ms(0.0015), usec(2));  // rounds to nearest microsecond
+  EXPECT_EQ(from_ms(-1.5), usec(-1500));
+}
+
+TEST(Types, SecRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_sec(sec(3)), 3.0);
+  EXPECT_EQ(from_sec(0.25), msec(250));
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(1.234567)), 1.234567);
+}
+
+TEST(Types, IntegralMicrosecondsAreExact) {
+  // The simulator's determinism rests on integral time arithmetic.
+  Duration total{0};
+  for (int i = 0; i < 1'000'000; ++i) total += usec(1);
+  EXPECT_EQ(total, sec(1));
+}
+
+}  // namespace
+}  // namespace h3cdn

@@ -1,0 +1,236 @@
+// Workload calibration: the generator must reproduce the dataset-level
+// statistics the paper reports (see workload.h). These are the ground-truth
+// counterparts of Table II and Figs. 3-5; the full-pipeline versions (through
+// the browser + LocEdge classifier) live in test_experiments.cpp.
+#include "web/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/stats.h"
+#include "web/domains.h"
+
+namespace h3cdn::web {
+namespace {
+
+const Workload& workload() {
+  static const Workload w = generate_workload();
+  return w;
+}
+
+TEST(Workload, Has325Sites) {
+  EXPECT_EQ(workload().sites.size(), 325u);
+}
+
+TEST(Workload, TotalRequestsNearPaper) {
+  // Table II: 36,057 requests over 325 sites (~111 per page).
+  const auto total = workload().total_requests();
+  EXPECT_GT(total, 25'000u);
+  EXPECT_LT(total, 48'000u);
+}
+
+TEST(Workload, CdnShareNearTwoThirds) {
+  // Table II: 67.0% of requests from CDN services.
+  std::size_t cdn = 0, total = 0;
+  for (const auto& s : workload().sites) {
+    cdn += s.page.cdn_resource_count();
+    total += s.page.total_requests();
+  }
+  const double share = static_cast<double>(cdn) / static_cast<double>(total);
+  EXPECT_NEAR(share, 0.67, 0.06);
+}
+
+TEST(Workload, Fig3MostPagesCdnDominated) {
+  // Fig. 3: 75% of pages exceed 50% CDN resources.
+  std::vector<double> fractions;
+  for (const auto& s : workload().sites) fractions.push_back(s.page.cdn_fraction());
+  EXPECT_NEAR(util::fraction_above(fractions, 0.5), 0.75, 0.10);
+}
+
+TEST(Workload, Fig4MostPagesUseMultipleProviders) {
+  // Fig. 4b: 94.8% of pages use >= 2 providers.
+  std::size_t ge2 = 0;
+  for (const auto& s : workload().sites) ge2 += s.page.cdn_providers().size() >= 2;
+  const double frac = static_cast<double>(ge2) / static_cast<double>(workload().sites.size());
+  EXPECT_GT(frac, 0.85);
+}
+
+TEST(Workload, Fig4TopProvidersAppearOnMostPages) {
+  std::map<cdn::ProviderId, std::size_t> present;
+  for (const auto& s : workload().sites) {
+    for (auto p : s.page.cdn_providers()) ++present[p];
+  }
+  const double n = static_cast<double>(workload().sites.size());
+  // Fig. 4a: top-4 presence exceeds 50%; Google the highest.
+  EXPECT_GT(present[cdn::ProviderId::Google] / n, 0.8);
+  EXPECT_GT(present[cdn::ProviderId::Cloudflare] / n, 0.5);
+  EXPECT_GT(present[cdn::ProviderId::Amazon] / n, 0.5);
+  EXPECT_GT(present[cdn::ProviderId::Akamai] / n, 0.45);
+}
+
+TEST(Workload, Fig5CloudflareGooglePagesOftenExceedTenResources) {
+  // Fig. 5: ~50% of pages using Cloudflare/Google have > 10 of its resources.
+  for (auto id : {cdn::ProviderId::Cloudflare, cdn::ProviderId::Google}) {
+    std::vector<double> counts;
+    for (const auto& s : workload().sites) {
+      const auto c = s.page.provider_resource_count(id);
+      if (c > 0) counts.push_back(static_cast<double>(c));
+    }
+    EXPECT_NEAR(util::fraction_above(counts, 10.0), 0.5, 0.2) << cdn::to_string(id);
+  }
+}
+
+TEST(Workload, CdnResourcesAreSmall) {
+  // §VI-E: CDN resources are typically small, 75% below 20KB.
+  std::vector<double> sizes_kb;
+  for (const auto& s : workload().sites) {
+    for (const auto& r : s.page.resources) {
+      if (r.is_cdn) sizes_kb.push_back(static_cast<double>(r.size_bytes) / 1024.0);
+    }
+  }
+  EXPECT_NEAR(util::fraction_at_or_below(sizes_kb, 20.0), 0.75, 0.1);
+}
+
+TEST(Workload, ExactlyFiftyEightGlobalCdnDomains) {
+  EXPECT_EQ(workload().universe.all_cdn_domains().size(), 58u);
+}
+
+TEST(Workload, CdnDomainsAreSharedAcrossPages) {
+  // Table III's premise: CDN domains recur across many pages.
+  std::map<std::string, std::size_t> pages_using;
+  for (const auto& s : workload().sites) {
+    for (const auto& d : s.page.cdn_domains()) ++pages_using[d];
+  }
+  std::size_t shared = 0;
+  for (const auto& [d, n] : pages_using) shared += n >= 2;
+  EXPECT_GE(shared, pages_using.size() * 9 / 10);
+}
+
+TEST(Workload, RealizedH3AdoptionTracksProviderTargets) {
+  // Request-weighted H3-capability per provider should approximate
+  // ProviderTraits::h3_adoption (the domain-marking algorithm's invariant).
+  std::map<cdn::ProviderId, std::pair<std::size_t, std::size_t>> counts;  // (h3, total)
+  const auto& u = workload().universe;
+  for (const auto& s : workload().sites) {
+    for (const auto& r : s.page.resources) {
+      if (!r.is_cdn) continue;
+      auto& [h3, total] = counts[r.provider];
+      ++total;
+      if (u.get(r.domain).supports_h3) ++h3;
+    }
+  }
+  auto realized = [&](cdn::ProviderId id) {
+    const auto& [h3, total] = counts[id];
+    return static_cast<double>(h3) / static_cast<double>(total);
+  };
+  EXPECT_GT(realized(cdn::ProviderId::Google), 0.85);
+  EXPECT_NEAR(realized(cdn::ProviderId::Cloudflare), 0.50, 0.15);
+  EXPECT_LT(realized(cdn::ProviderId::Amazon), 0.30);
+  EXPECT_LT(realized(cdn::ProviderId::Akamai), 0.25);
+}
+
+TEST(Workload, EveryResourceHasHeadersAndPositiveSize) {
+  for (const auto& s : workload().sites) {
+    EXPECT_FALSE(s.page.html.response_headers.empty());
+    for (const auto& r : s.page.resources) {
+      EXPECT_GT(r.size_bytes, 0u);
+      EXPECT_GT(r.request_bytes, 0u);
+      EXPECT_FALSE(r.response_headers.empty());
+      EXPECT_FALSE(r.domain.empty());
+      EXPECT_TRUE(workload().universe.contains(r.domain)) << r.domain;
+    }
+  }
+}
+
+TEST(Workload, ResourceIdsAreUnique) {
+  std::set<std::uint32_t> ids;
+  for (const auto& s : workload().sites) {
+    EXPECT_TRUE(ids.insert(s.page.html.id).second);
+    for (const auto& r : s.page.resources) EXPECT_TRUE(ids.insert(r.id).second);
+  }
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadConfig cfg;
+  cfg.site_count = 10;
+  const Workload a = generate_workload(cfg);
+  const Workload b = generate_workload(cfg);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    ASSERT_EQ(a.sites[i].page.resources.size(), b.sites[i].page.resources.size());
+    for (std::size_t j = 0; j < a.sites[i].page.resources.size(); ++j) {
+      EXPECT_EQ(a.sites[i].page.resources[j].domain, b.sites[i].page.resources[j].domain);
+      EXPECT_EQ(a.sites[i].page.resources[j].size_bytes, b.sites[i].page.resources[j].size_bytes);
+    }
+  }
+}
+
+TEST(Workload, SeedChangesWorkload) {
+  WorkloadConfig a_cfg, b_cfg;
+  a_cfg.site_count = b_cfg.site_count = 5;
+  b_cfg.seed = a_cfg.seed + 1;
+  const Workload a = generate_workload(a_cfg);
+  const Workload b = generate_workload(b_cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < 5 && !differs; ++i) {
+    differs = a.sites[i].page.resources.size() != b.sites[i].page.resources.size();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, OriginDomainsAlwaysSupportH2) {
+  for (const auto& s : workload().sites) {
+    EXPECT_TRUE(workload().universe.get(s.page.origin_domain).supports_h2);
+  }
+}
+
+TEST(Workload, SecondaryCdnDomainsSkewToLateDiscovery) {
+  // The §VI-C mechanism requires a provider's non-primary hostnames to be
+  // found mostly via dependency chains (wave 1).
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_domain;  // (wave1, total)
+  for (const auto& s : workload().sites) {
+    for (const auto& r : s.page.resources) {
+      if (!r.is_cdn) continue;
+      auto& [w1, total] = by_domain[r.domain];
+      ++total;
+      if (r.discovery_wave == 1) ++w1;
+    }
+  }
+  // Aggregate: wave-1 fraction strictly between the primary and secondary
+  // probabilities, i.e. both populations exist.
+  std::size_t w1 = 0, total = 0;
+  for (const auto& [d, c] : by_domain) {
+    w1 += c.first;
+    total += c.second;
+  }
+  const double frac = static_cast<double>(w1) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(DomainUniverse, LookupAndProviderLists) {
+  const auto& u = workload().universe;
+  for (const auto& t : cdn::ProviderRegistry::all()) {
+    const auto& domains = u.cdn_domains(t.id);
+    EXPECT_EQ(domains.size(), static_cast<std::size_t>(t.domain_count)) << t.name;
+    for (const auto& d : domains) {
+      EXPECT_TRUE(u.get(d).is_cdn);
+      EXPECT_EQ(u.get(d).provider, t.id);
+    }
+  }
+}
+
+TEST(DomainUniverse, PopularityDescendingPerProvider) {
+  const auto& u = workload().universe;
+  for (const auto& t : cdn::ProviderRegistry::all()) {
+    const auto& domains = u.cdn_domains(t.id);
+    for (std::size_t i = 1; i < domains.size(); ++i) {
+      EXPECT_GE(u.get(domains[i - 1]).popularity, u.get(domains[i]).popularity);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace h3cdn::web

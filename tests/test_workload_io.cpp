@@ -1,0 +1,124 @@
+#include "web/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include "browser/browser.h"
+
+namespace h3cdn::web {
+namespace {
+
+Workload small_workload() {
+  WorkloadConfig cfg;
+  cfg.site_count = 6;
+  return generate_workload(cfg);
+}
+
+TEST(WorkloadIo, RoundTripPreservesStructure) {
+  const Workload original = small_workload();
+  WorkloadIoError error;
+  const auto loaded = workload_from_json(workload_to_json(original), &error);
+  ASSERT_TRUE(loaded.has_value()) << error.message;
+  ASSERT_EQ(loaded->sites.size(), original.sites.size());
+  for (std::size_t i = 0; i < original.sites.size(); ++i) {
+    const auto& a = original.sites[i];
+    const auto& b = loaded->sites[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.page.origin_domain, b.page.origin_domain);
+    ASSERT_EQ(a.page.resources.size(), b.page.resources.size());
+    for (std::size_t j = 0; j < a.page.resources.size(); ++j) {
+      EXPECT_EQ(a.page.resources[j].domain, b.page.resources[j].domain);
+      EXPECT_EQ(a.page.resources[j].size_bytes, b.page.resources[j].size_bytes);
+      EXPECT_EQ(a.page.resources[j].is_cdn, b.page.resources[j].is_cdn);
+      EXPECT_EQ(a.page.resources[j].provider, b.page.resources[j].provider);
+      EXPECT_EQ(a.page.resources[j].discovery_wave, b.page.resources[j].discovery_wave);
+      EXPECT_EQ(a.page.resources[j].response_headers, b.page.resources[j].response_headers);
+    }
+  }
+}
+
+TEST(WorkloadIo, RoundTripPreservesDomainFlags) {
+  const Workload original = small_workload();
+  const auto loaded = workload_from_json(workload_to_json(original));
+  ASSERT_TRUE(loaded.has_value());
+  for (const auto& name : original.universe.all_domain_names()) {
+    const auto& a = original.universe.get(name);
+    ASSERT_TRUE(loaded->universe.contains(name)) << name;
+    const auto& b = loaded->universe.get(name);
+    EXPECT_EQ(a.is_cdn, b.is_cdn);
+    EXPECT_EQ(a.provider, b.provider);
+    EXPECT_EQ(a.supports_h2, b.supports_h2);
+    EXPECT_EQ(a.supports_h3, b.supports_h3);
+    EXPECT_EQ(a.tls_version, b.tls_version);
+  }
+}
+
+TEST(WorkloadIo, LoadedWorkloadDrivesTheBrowserIdentically) {
+  const Workload original = small_workload();
+  const auto loaded = workload_from_json(workload_to_json(original));
+  ASSERT_TRUE(loaded.has_value());
+  auto visit = [](const Workload& w) {
+    sim::Simulator sim;
+    browser::Environment env(sim, w.universe, browser::VantageConfig{}, util::Rng(7));
+    env.warm_page(w.sites[0].page);
+    browser::BrowserConfig config;
+    browser::Browser chrome(sim, env, nullptr, config, util::Rng(8));
+    return chrome.visit_and_run(w.sites[0].page).har.page_load_time;
+  };
+  EXPECT_EQ(visit(original), visit(*loaded));
+}
+
+TEST(WorkloadIo, RejectsUnknownSchema) {
+  WorkloadIoError error;
+  EXPECT_FALSE(workload_from_json(R"({"schema":"other"})", &error).has_value());
+  EXPECT_NE(error.message.find("schema"), std::string::npos);
+}
+
+TEST(WorkloadIo, RejectsResourceWithUnknownDomain) {
+  const char* doc = R"({"schema":"h3cdn-workload-v1","seed":1,
+    "domains":[{"name":"www.x.example","is_cdn":false,"provider":"non-CDN",
+                "supports_h2":true,"supports_h3":false,"tls":"1.3","popularity":1}],
+    "sites":[{"name":"x.example","rank":1,"origin":"www.x.example",
+      "html":{"id":1,"domain":"www.x.example","path":"/","type":"html",
+              "size_bytes":1000,"request_bytes":500,"is_cdn":false,
+              "provider":"non-CDN","wave":0,"headers":[]},
+      "resources":[{"id":2,"domain":"ghost.example","path":"/a","type":"image",
+                    "size_bytes":1000,"request_bytes":500,"is_cdn":false,
+                    "provider":"non-CDN","wave":0,"headers":[]}]}]})";
+  WorkloadIoError error;
+  EXPECT_FALSE(workload_from_json(doc, &error).has_value());
+  EXPECT_NE(error.message.find("unknown domain"), std::string::npos);
+}
+
+TEST(WorkloadIo, AcceptsHandAuthoredMinimalWorkload) {
+  // The use case: encode a real page composition by hand (or from HTTP
+  // Archive data) and run it through the study pipeline.
+  const char* doc = R"({"schema":"h3cdn-workload-v1","seed":1,
+    "domains":[
+      {"name":"www.x.example","is_cdn":false,"provider":"non-CDN",
+       "supports_h2":true,"supports_h3":true,"tls":"1.3","popularity":1},
+      {"name":"cdn.custom-edge.net","is_cdn":true,"provider":"Other",
+       "supports_h2":true,"supports_h3":false,"tls":"1.3","popularity":1}],
+    "sites":[{"name":"x.example","rank":1,"origin":"www.x.example",
+      "html":{"id":1,"domain":"www.x.example","path":"/","type":"html",
+              "size_bytes":30000,"request_bytes":500,"is_cdn":false,
+              "provider":"non-CDN","wave":0,"headers":[]},
+      "resources":[{"id":2,"domain":"cdn.custom-edge.net","path":"/a.png",
+                    "type":"image","size_bytes":12000,"request_bytes":500,
+                    "is_cdn":true,"provider":"Other","wave":0,
+                    "headers":[{"name":"x-cdn","value":"custom"}]}]}]})";
+  WorkloadIoError error;
+  const auto loaded = workload_from_json(doc, &error);
+  ASSERT_TRUE(loaded.has_value()) << error.message;
+  ASSERT_EQ(loaded->sites.size(), 1u);
+  EXPECT_TRUE(loaded->universe.get("cdn.custom-edge.net").is_cdn);
+
+  // And it loads through the browser end to end.
+  sim::Simulator sim;
+  browser::Environment env(sim, loaded->universe, browser::VantageConfig{}, util::Rng(3));
+  browser::Browser chrome(sim, env, nullptr, browser::BrowserConfig{}, util::Rng(4));
+  const auto result = chrome.visit_and_run(loaded->sites[0].page);
+  EXPECT_EQ(result.har.entries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace h3cdn::web

@@ -1,0 +1,228 @@
+// h3cdn_study — command-line driver for the measurement study.
+//
+// Runs a configurable study and prints any of the paper's tables/figures as
+// text, CSV, or a JSON summary.
+//
+//   h3cdn_study [options]
+//     --sites N          number of websites (default 325)
+//     --probes N         probes per vantage point (default 1)
+//     --loss RATE        injected loss, e.g. 0.01 (default 0)
+//     --consecutive      keep session tickets across pages (Fig. 8/Table III)
+//     --seed N           study seed (default 7)
+//     --experiment NAME  table1|table2|table3|fig2..fig9|summary|all (default all)
+//     --format FMT       text|csv (default text; summary is always JSON)
+//     --out PATH         write to a file instead of stdout
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/export.h"
+#include "core/report.h"
+#include "web/workload_io.h"
+
+using namespace h3cdn;
+
+namespace {
+
+struct Options {
+  core::StudyConfig study;
+  std::string experiment = "all";
+  std::string format = "text";
+  std::string out_path;
+  std::string workload_in;   // load pages from a workload JSON file
+  std::string workload_out;  // dump the generated workload and exit
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N]\n"
+               "       [--experiment table1|table2|table3|fig2|...|fig9|summary|all]\n"
+               "       [--format text|csv] [--out PATH]\n"
+               "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  o.study.workload.site_count = 325;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--sites") {
+      o.study.max_sites = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--probes") {
+      o.study.probes_per_vantage = std::stoi(next());
+    } else if (arg == "--loss") {
+      o.study.loss_rate = std::stod(next());
+    } else if (arg == "--consecutive") {
+      o.study.consecutive = true;
+    } else if (arg == "--seed") {
+      o.study.seed = std::stoull(next());
+    } else if (arg == "--experiment") {
+      o.experiment = next();
+    } else if (arg == "--format") {
+      o.format = next();
+    } else if (arg == "--out") {
+      o.out_path = next();
+    } else if (arg == "--workload-in") {
+      o.workload_in = next();
+    } else if (arg == "--workload-out") {
+      o.workload_out = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+bool wants(const Options& o, const char* name) {
+  return o.experiment == "all" || o.experiment == name;
+}
+
+void emit(const Options& o, std::ostream& os) {
+  const bool csv = o.format == "csv";
+  const bool needs_consecutive =
+      wants(o, "fig8") || wants(o, "table3") || o.experiment == "all";
+
+  if (wants(o, "table1")) {
+    if (csv) {
+      os << "provider,release_year\n";
+      for (const auto& r : core::compute_table1()) os << r.provider << ',' << r.release_year << '\n';
+    } else {
+      core::print_table1(os, core::compute_table1());
+    }
+  }
+
+  // Everything below needs a study run.
+  const bool needs_standard = wants(o, "table2") || wants(o, "fig2") || wants(o, "fig3") ||
+                              wants(o, "fig4") || wants(o, "fig5") || wants(o, "fig6") ||
+                              wants(o, "fig7") || wants(o, "summary");
+  std::shared_ptr<const web::Workload> external;
+  if (!o.workload_in.empty()) {
+    std::ifstream file(o.workload_in);
+    if (!file) {
+      std::cerr << "cannot open " << o.workload_in << "\n";
+      std::exit(1);
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    web::WorkloadIoError werr;
+    auto loaded = web::workload_from_json(buffer.str(), &werr);
+    if (!loaded) {
+      std::cerr << "workload load failed: " << werr.message << "\n";
+      std::exit(1);
+    }
+    external = std::make_shared<web::Workload>(std::move(*loaded));
+  }
+
+  std::optional<core::StudyResult> standard;
+  if (needs_standard) {
+    core::StudyConfig cfg = o.study;
+    cfg.consecutive = false;
+    standard = external ? core::MeasurementStudy(cfg).run(external)
+                        : core::MeasurementStudy(cfg).run();
+  }
+  std::optional<core::StudyResult> consecutive;
+  if (needs_consecutive && (wants(o, "fig8") || wants(o, "table3"))) {
+    core::StudyConfig cfg = o.study;
+    cfg.consecutive = true;
+    auto workload = standard ? standard->workload
+                             : std::shared_ptr<const web::Workload>(external);
+    consecutive = workload ? core::MeasurementStudy(cfg).run(workload)
+                           : core::MeasurementStudy(cfg).run();
+  }
+
+  auto text_or_csv = [&](const char* name, auto compute, auto print, auto to_csv) {
+    if (!wants(o, name)) return;
+    const auto result = compute();
+    if (csv) {
+      os << to_csv(result);
+    } else {
+      print(os, result);
+    }
+  };
+
+  if (standard) {
+    const auto& study = *standard;
+    text_or_csv(
+        "table2", [&] { return core::compute_table2(study); },
+        [](std::ostream& s, const auto& r) { core::print_table2(s, r); }, core::table2_to_csv);
+    text_or_csv(
+        "fig2", [&] { return core::compute_fig2(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig2(s, r); }, core::fig2_to_csv);
+    text_or_csv(
+        "fig3", [&] { return core::compute_fig3(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig3(s, r); }, core::fig3_to_csv);
+    text_or_csv(
+        "fig4", [&] { return core::compute_fig4(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig4(s, r); }, core::fig4_to_csv);
+    text_or_csv(
+        "fig5", [&] { return core::compute_fig5(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig5(s, r); }, core::fig5_to_csv);
+    text_or_csv(
+        "fig6", [&] { return core::compute_fig6(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig6(s, r); }, core::fig6_to_csv);
+    text_or_csv(
+        "fig7", [&] { return core::compute_fig7(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig7(s, r); }, core::fig7_to_csv);
+    if (wants(o, "summary")) os << core::summary_to_json(study) << '\n';
+  }
+
+  if (consecutive) {
+    const auto& study = *consecutive;
+    text_or_csv(
+        "fig8", [&] { return core::compute_fig8(study); },
+        [](std::ostream& s, const auto& r) { core::print_fig8(s, r); }, core::fig8_to_csv);
+    text_or_csv(
+        "table3", [&] { return core::compute_table3(study); },
+        [](std::ostream& s, const auto& r) { core::print_table3(s, r); }, core::table3_to_csv);
+  }
+
+  if (wants(o, "fig9")) {
+    core::StudyConfig cfg = o.study;
+    cfg.consecutive = false;
+    const auto fig9 = core::compute_fig9(cfg, {0.0, 0.005, 0.01});
+    if (csv) {
+      os << core::fig9_to_csv(fig9);
+    } else {
+      core::print_fig9(os, fig9);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.format != "text" && o.format != "csv") usage(argv[0]);
+
+  if (!o.workload_out.empty()) {
+    web::WorkloadConfig wcfg = o.study.workload;
+    const auto workload = web::generate_workload(wcfg);
+    std::ofstream file(o.workload_out);
+    if (!file) {
+      std::cerr << "cannot open " << o.workload_out << " for writing\n";
+      return 1;
+    }
+    file << web::workload_to_json(workload);
+    std::cerr << "wrote " << workload.sites.size() << " sites to " << o.workload_out << "\n";
+    return 0;
+  }
+
+  if (o.out_path.empty()) {
+    emit(o, std::cout);
+    return 0;
+  }
+  std::ofstream file(o.out_path);
+  if (!file) {
+    std::cerr << "cannot open " << o.out_path << " for writing\n";
+    return 1;
+  }
+  emit(o, file);
+  return 0;
+}
