@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_provider_adoption"
+  "../bench/bench_fig2_provider_adoption.pdb"
+  "CMakeFiles/bench_fig2_provider_adoption.dir/bench_fig2_provider_adoption.cpp.o"
+  "CMakeFiles/bench_fig2_provider_adoption.dir/bench_fig2_provider_adoption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_provider_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

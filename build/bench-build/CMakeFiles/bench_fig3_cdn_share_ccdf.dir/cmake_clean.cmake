@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_cdn_share_ccdf"
+  "../bench/bench_fig3_cdn_share_ccdf.pdb"
+  "CMakeFiles/bench_fig3_cdn_share_ccdf.dir/bench_fig3_cdn_share_ccdf.cpp.o"
+  "CMakeFiles/bench_fig3_cdn_share_ccdf.dir/bench_fig3_cdn_share_ccdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cdn_share_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_shared_providers"
+  "../bench/bench_fig4_shared_providers.pdb"
+  "CMakeFiles/bench_fig4_shared_providers.dir/bench_fig4_shared_providers.cpp.o"
+  "CMakeFiles/bench_fig4_shared_providers.dir/bench_fig4_shared_providers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_shared_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

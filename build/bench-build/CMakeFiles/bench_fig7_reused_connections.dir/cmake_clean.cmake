@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_reused_connections"
+  "../bench/bench_fig7_reused_connections.pdb"
+  "CMakeFiles/bench_fig7_reused_connections.dir/bench_fig7_reused_connections.cpp.o"
+  "CMakeFiles/bench_fig7_reused_connections.dir/bench_fig7_reused_connections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_reused_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_consecutive_visits"
+  "../bench/bench_fig8_consecutive_visits.pdb"
+  "CMakeFiles/bench_fig8_consecutive_visits.dir/bench_fig8_consecutive_visits.cpp.o"
+  "CMakeFiles/bench_fig8_consecutive_visits.dir/bench_fig8_consecutive_visits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_consecutive_visits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

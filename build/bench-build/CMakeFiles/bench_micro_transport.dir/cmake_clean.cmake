@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_transport"
+  "../bench/bench_micro_transport.pdb"
+  "CMakeFiles/bench_micro_transport.dir/bench_micro_transport.cpp.o"
+  "CMakeFiles/bench_micro_transport.dir/bench_micro_transport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

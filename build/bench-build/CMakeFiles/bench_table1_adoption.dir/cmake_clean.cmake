@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_adoption"
+  "../bench/bench_table1_adoption.pdb"
+  "CMakeFiles/bench_table1_adoption.dir/bench_table1_adoption.cpp.o"
+  "CMakeFiles/bench_table1_adoption.dir/bench_table1_adoption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_http_versions"
+  "../bench/bench_table2_http_versions.pdb"
+  "CMakeFiles/bench_table2_http_versions.dir/bench_table2_http_versions.cpp.o"
+  "CMakeFiles/bench_table2_http_versions.dir/bench_table2_http_versions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_http_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

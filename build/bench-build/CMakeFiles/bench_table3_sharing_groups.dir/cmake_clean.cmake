@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_sharing_groups"
+  "../bench/bench_table3_sharing_groups.pdb"
+  "CMakeFiles/bench_table3_sharing_groups.dir/bench_table3_sharing_groups.cpp.o"
+  "CMakeFiles/bench_table3_sharing_groups.dir/bench_table3_sharing_groups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sharing_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_protocol_selection.dir/adaptive_protocol_selection.cpp.o"
+  "CMakeFiles/adaptive_protocol_selection.dir/adaptive_protocol_selection.cpp.o.d"
+  "adaptive_protocol_selection"
+  "adaptive_protocol_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_protocol_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consecutive_browsing.dir/consecutive_browsing.cpp.o"
+  "CMakeFiles/consecutive_browsing.dir/consecutive_browsing.cpp.o.d"
+  "consecutive_browsing"
+  "consecutive_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consecutive_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_probes.dir/global_probes.cpp.o"
+  "CMakeFiles/global_probes.dir/global_probes.cpp.o.d"
+  "global_probes"
+  "global_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlog_tracing.dir/qlog_tracing.cpp.o"
+  "CMakeFiles/qlog_tracing.dir/qlog_tracing.cpp.o.d"
+  "qlog_tracing"
+  "qlog_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlog_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_analysis.dir/bootstrap.cpp.o"
+  "CMakeFiles/h3cdn_analysis.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/h3cdn_analysis.dir/grouping.cpp.o"
+  "CMakeFiles/h3cdn_analysis.dir/grouping.cpp.o.d"
+  "CMakeFiles/h3cdn_analysis.dir/kmeans.cpp.o"
+  "CMakeFiles/h3cdn_analysis.dir/kmeans.cpp.o.d"
+  "CMakeFiles/h3cdn_analysis.dir/page_metrics.cpp.o"
+  "CMakeFiles/h3cdn_analysis.dir/page_metrics.cpp.o.d"
+  "libh3cdn_analysis.a"
+  "libh3cdn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libh3cdn_analysis.a"
+)

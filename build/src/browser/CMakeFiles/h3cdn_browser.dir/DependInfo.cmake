@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/browser.cpp" "src/browser/CMakeFiles/h3cdn_browser.dir/browser.cpp.o" "gcc" "src/browser/CMakeFiles/h3cdn_browser.dir/browser.cpp.o.d"
+  "/root/repo/src/browser/environment.cpp" "src/browser/CMakeFiles/h3cdn_browser.dir/environment.cpp.o" "gcc" "src/browser/CMakeFiles/h3cdn_browser.dir/environment.cpp.o.d"
+  "/root/repo/src/browser/har.cpp" "src/browser/CMakeFiles/h3cdn_browser.dir/har.cpp.o" "gcc" "src/browser/CMakeFiles/h3cdn_browser.dir/har.cpp.o.d"
+  "/root/repo/src/browser/har_import.cpp" "src/browser/CMakeFiles/h3cdn_browser.dir/har_import.cpp.o" "gcc" "src/browser/CMakeFiles/h3cdn_browser.dir/har_import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/h3cdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/h3cdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/h3cdn_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/h3cdn_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h3cdn_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h3cdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/h3cdn_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/h3cdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h3cdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h3cdn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

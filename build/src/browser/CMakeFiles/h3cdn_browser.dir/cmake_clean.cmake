@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_browser.dir/browser.cpp.o"
+  "CMakeFiles/h3cdn_browser.dir/browser.cpp.o.d"
+  "CMakeFiles/h3cdn_browser.dir/environment.cpp.o"
+  "CMakeFiles/h3cdn_browser.dir/environment.cpp.o.d"
+  "CMakeFiles/h3cdn_browser.dir/har.cpp.o"
+  "CMakeFiles/h3cdn_browser.dir/har.cpp.o.d"
+  "CMakeFiles/h3cdn_browser.dir/har_import.cpp.o"
+  "CMakeFiles/h3cdn_browser.dir/har_import.cpp.o.d"
+  "libh3cdn_browser.a"
+  "libh3cdn_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

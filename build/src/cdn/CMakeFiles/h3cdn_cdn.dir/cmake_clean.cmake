@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_cdn.dir/edge_server.cpp.o"
+  "CMakeFiles/h3cdn_cdn.dir/edge_server.cpp.o.d"
+  "CMakeFiles/h3cdn_cdn.dir/lru_cache.cpp.o"
+  "CMakeFiles/h3cdn_cdn.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/h3cdn_cdn.dir/origin_server.cpp.o"
+  "CMakeFiles/h3cdn_cdn.dir/origin_server.cpp.o.d"
+  "CMakeFiles/h3cdn_cdn.dir/provider.cpp.o"
+  "CMakeFiles/h3cdn_cdn.dir/provider.cpp.o.d"
+  "libh3cdn_cdn.a"
+  "libh3cdn_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_core.dir/experiments.cpp.o"
+  "CMakeFiles/h3cdn_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/h3cdn_core.dir/export.cpp.o"
+  "CMakeFiles/h3cdn_core.dir/export.cpp.o.d"
+  "CMakeFiles/h3cdn_core.dir/report.cpp.o"
+  "CMakeFiles/h3cdn_core.dir/report.cpp.o.d"
+  "CMakeFiles/h3cdn_core.dir/selector.cpp.o"
+  "CMakeFiles/h3cdn_core.dir/selector.cpp.o.d"
+  "CMakeFiles/h3cdn_core.dir/study.cpp.o"
+  "CMakeFiles/h3cdn_core.dir/study.cpp.o.d"
+  "libh3cdn_core.a"
+  "libh3cdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_dns.dir/cache.cpp.o"
+  "CMakeFiles/h3cdn_dns.dir/cache.cpp.o.d"
+  "CMakeFiles/h3cdn_dns.dir/resolver.cpp.o"
+  "CMakeFiles/h3cdn_dns.dir/resolver.cpp.o.d"
+  "libh3cdn_dns.a"
+  "libh3cdn_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

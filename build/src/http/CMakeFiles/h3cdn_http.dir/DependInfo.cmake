@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/pool.cpp" "src/http/CMakeFiles/h3cdn_http.dir/pool.cpp.o" "gcc" "src/http/CMakeFiles/h3cdn_http.dir/pool.cpp.o.d"
+  "/root/repo/src/http/session.cpp" "src/http/CMakeFiles/h3cdn_http.dir/session.cpp.o" "gcc" "src/http/CMakeFiles/h3cdn_http.dir/session.cpp.o.d"
+  "/root/repo/src/http/types.cpp" "src/http/CMakeFiles/h3cdn_http.dir/types.cpp.o" "gcc" "src/http/CMakeFiles/h3cdn_http.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/h3cdn_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h3cdn_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h3cdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h3cdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h3cdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/h3cdn_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_http.dir/pool.cpp.o"
+  "CMakeFiles/h3cdn_http.dir/pool.cpp.o.d"
+  "CMakeFiles/h3cdn_http.dir/session.cpp.o"
+  "CMakeFiles/h3cdn_http.dir/session.cpp.o.d"
+  "CMakeFiles/h3cdn_http.dir/types.cpp.o"
+  "CMakeFiles/h3cdn_http.dir/types.cpp.o.d"
+  "libh3cdn_http.a"
+  "libh3cdn_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

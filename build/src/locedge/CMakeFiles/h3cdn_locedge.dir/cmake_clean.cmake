@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_locedge.dir/classifier.cpp.o"
+  "CMakeFiles/h3cdn_locedge.dir/classifier.cpp.o.d"
+  "libh3cdn_locedge.a"
+  "libh3cdn_locedge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_locedge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

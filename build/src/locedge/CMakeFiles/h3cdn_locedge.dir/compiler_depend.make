@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for h3cdn_locedge.
+# This may be replaced when dependencies are built.

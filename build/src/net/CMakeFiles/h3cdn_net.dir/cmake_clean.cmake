@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_net.dir/link.cpp.o"
+  "CMakeFiles/h3cdn_net.dir/link.cpp.o.d"
+  "CMakeFiles/h3cdn_net.dir/path.cpp.o"
+  "CMakeFiles/h3cdn_net.dir/path.cpp.o.d"
+  "libh3cdn_net.a"
+  "libh3cdn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/h3cdn_sim.dir/simulator.cpp.o.d"
+  "libh3cdn_sim.a"
+  "libh3cdn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_tls.dir/handshake.cpp.o"
+  "CMakeFiles/h3cdn_tls.dir/handshake.cpp.o.d"
+  "CMakeFiles/h3cdn_tls.dir/ticket_store.cpp.o"
+  "CMakeFiles/h3cdn_tls.dir/ticket_store.cpp.o.d"
+  "libh3cdn_tls.a"
+  "libh3cdn_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

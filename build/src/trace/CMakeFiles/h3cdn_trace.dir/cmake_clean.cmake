@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_trace.dir/trace.cpp.o"
+  "CMakeFiles/h3cdn_trace.dir/trace.cpp.o.d"
+  "libh3cdn_trace.a"
+  "libh3cdn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

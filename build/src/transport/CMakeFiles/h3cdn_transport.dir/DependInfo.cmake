@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/congestion.cpp" "src/transport/CMakeFiles/h3cdn_transport.dir/congestion.cpp.o" "gcc" "src/transport/CMakeFiles/h3cdn_transport.dir/congestion.cpp.o.d"
+  "/root/repo/src/transport/connection.cpp" "src/transport/CMakeFiles/h3cdn_transport.dir/connection.cpp.o" "gcc" "src/transport/CMakeFiles/h3cdn_transport.dir/connection.cpp.o.d"
+  "/root/repo/src/transport/rtt_estimator.cpp" "src/transport/CMakeFiles/h3cdn_transport.dir/rtt_estimator.cpp.o" "gcc" "src/transport/CMakeFiles/h3cdn_transport.dir/rtt_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/h3cdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h3cdn_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/h3cdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h3cdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h3cdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_transport.dir/congestion.cpp.o"
+  "CMakeFiles/h3cdn_transport.dir/congestion.cpp.o.d"
+  "CMakeFiles/h3cdn_transport.dir/connection.cpp.o"
+  "CMakeFiles/h3cdn_transport.dir/connection.cpp.o.d"
+  "CMakeFiles/h3cdn_transport.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/h3cdn_transport.dir/rtt_estimator.cpp.o.d"
+  "libh3cdn_transport.a"
+  "libh3cdn_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_util.dir/fit.cpp.o"
+  "CMakeFiles/h3cdn_util.dir/fit.cpp.o.d"
+  "CMakeFiles/h3cdn_util.dir/json.cpp.o"
+  "CMakeFiles/h3cdn_util.dir/json.cpp.o.d"
+  "CMakeFiles/h3cdn_util.dir/json_parse.cpp.o"
+  "CMakeFiles/h3cdn_util.dir/json_parse.cpp.o.d"
+  "CMakeFiles/h3cdn_util.dir/rng.cpp.o"
+  "CMakeFiles/h3cdn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/h3cdn_util.dir/stats.cpp.o"
+  "CMakeFiles/h3cdn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/h3cdn_util.dir/table.cpp.o"
+  "CMakeFiles/h3cdn_util.dir/table.cpp.o.d"
+  "libh3cdn_util.a"
+  "libh3cdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

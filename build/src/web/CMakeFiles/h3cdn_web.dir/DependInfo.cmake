@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/domains.cpp" "src/web/CMakeFiles/h3cdn_web.dir/domains.cpp.o" "gcc" "src/web/CMakeFiles/h3cdn_web.dir/domains.cpp.o.d"
+  "/root/repo/src/web/headers.cpp" "src/web/CMakeFiles/h3cdn_web.dir/headers.cpp.o" "gcc" "src/web/CMakeFiles/h3cdn_web.dir/headers.cpp.o.d"
+  "/root/repo/src/web/resource.cpp" "src/web/CMakeFiles/h3cdn_web.dir/resource.cpp.o" "gcc" "src/web/CMakeFiles/h3cdn_web.dir/resource.cpp.o.d"
+  "/root/repo/src/web/workload.cpp" "src/web/CMakeFiles/h3cdn_web.dir/workload.cpp.o" "gcc" "src/web/CMakeFiles/h3cdn_web.dir/workload.cpp.o.d"
+  "/root/repo/src/web/workload_io.cpp" "src/web/CMakeFiles/h3cdn_web.dir/workload_io.cpp.o" "gcc" "src/web/CMakeFiles/h3cdn_web.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/h3cdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h3cdn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/h3cdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/h3cdn_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/h3cdn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h3cdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h3cdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h3cdn_tls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_web.dir/domains.cpp.o"
+  "CMakeFiles/h3cdn_web.dir/domains.cpp.o.d"
+  "CMakeFiles/h3cdn_web.dir/headers.cpp.o"
+  "CMakeFiles/h3cdn_web.dir/headers.cpp.o.d"
+  "CMakeFiles/h3cdn_web.dir/resource.cpp.o"
+  "CMakeFiles/h3cdn_web.dir/resource.cpp.o.d"
+  "CMakeFiles/h3cdn_web.dir/workload.cpp.o"
+  "CMakeFiles/h3cdn_web.dir/workload.cpp.o.d"
+  "CMakeFiles/h3cdn_web.dir/workload_io.cpp.o"
+  "CMakeFiles/h3cdn_web.dir/workload_io.cpp.o.d"
+  "libh3cdn_web.a"
+  "libh3cdn_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for h3cdn_web.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connection_loss.dir/test_connection_loss.cpp.o"
+  "CMakeFiles/test_connection_loss.dir/test_connection_loss.cpp.o.d"
+  "test_connection_loss"
+  "test_connection_loss.pdb"
+  "test_connection_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connection_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

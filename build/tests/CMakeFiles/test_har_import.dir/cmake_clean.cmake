@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_har_import.dir/test_har_import.cpp.o"
+  "CMakeFiles/test_har_import.dir/test_har_import.cpp.o.d"
+  "test_har_import"
+  "test_har_import.pdb"
+  "test_har_import[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_har_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

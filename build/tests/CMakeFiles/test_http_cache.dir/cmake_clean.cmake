@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_cache.dir/test_http_cache.cpp.o"
+  "CMakeFiles/test_http_cache.dir/test_http_cache.cpp.o.d"
+  "test_http_cache"
+  "test_http_cache.pdb"
+  "test_http_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

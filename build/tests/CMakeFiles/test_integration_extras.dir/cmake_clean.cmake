@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_extras.dir/test_integration_extras.cpp.o"
+  "CMakeFiles/test_integration_extras.dir/test_integration_extras.cpp.o.d"
+  "test_integration_extras"
+  "test_integration_extras.pdb"
+  "test_integration_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

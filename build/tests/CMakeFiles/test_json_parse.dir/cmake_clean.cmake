@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_parse.dir/test_json_parse.cpp.o"
+  "CMakeFiles/test_json_parse.dir/test_json_parse.cpp.o.d"
+  "test_json_parse"
+  "test_json_parse.pdb"
+  "test_json_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

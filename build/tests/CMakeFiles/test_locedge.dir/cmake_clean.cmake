@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locedge.dir/test_locedge.cpp.o"
+  "CMakeFiles/test_locedge.dir/test_locedge.cpp.o.d"
+  "test_locedge"
+  "test_locedge.pdb"
+  "test_locedge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locedge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_sweep.dir/test_pool_sweep.cpp.o"
+  "CMakeFiles/test_pool_sweep.dir/test_pool_sweep.cpp.o.d"
+  "test_pool_sweep"
+  "test_pool_sweep.pdb"
+  "test_pool_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

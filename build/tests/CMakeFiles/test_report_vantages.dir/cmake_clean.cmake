@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_vantages.dir/test_report_vantages.cpp.o"
+  "CMakeFiles/test_report_vantages.dir/test_report_vantages.cpp.o.d"
+  "test_report_vantages"
+  "test_report_vantages.pdb"
+  "test_report_vantages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_vantages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_har_inspect.dir/h3cdn_har_inspect.cpp.o"
+  "CMakeFiles/h3cdn_har_inspect.dir/h3cdn_har_inspect.cpp.o.d"
+  "h3cdn_har_inspect"
+  "h3cdn_har_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_har_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h3cdn_study.dir/h3cdn_study.cpp.o"
+  "CMakeFiles/h3cdn_study.dir/h3cdn_study.cpp.o.d"
+  "h3cdn_study"
+  "h3cdn_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h3cdn_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
