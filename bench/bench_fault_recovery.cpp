@@ -1,0 +1,86 @@
+// Fault recovery — the resilience extension beyond the paper's Fig. 9 sweep:
+//   (a) equal-average-rate loss, i.i.d. Bernoulli vs Gilbert-Elliott bursts.
+//     Bursty loss wipes out whole congestion windows, so H2's in-order wall
+//     turns each burst into a connection-wide stall; expect the H2 PLT tail
+//     (p95) to separate far more than the mean, and more than H3's.
+//   (b) a mid-transfer UDP blackhole of varying duration: how often pages
+//     needed the H3->H2 fallback, how many requests were transparently
+//     rescued, and the PLT penalty versus the same-seed fault-free run.
+#include <iomanip>
+
+#include "bench_common.h"
+#include "core/resilience.h"
+
+namespace {
+
+using namespace h3cdn;
+
+core::ResilienceConfig bench_config(std::size_t sites) {
+  core::ResilienceConfig cfg;
+  cfg.sites = sites;
+  cfg.workload.site_count = std::max<std::size_t>(sites, 2);
+  return cfg;
+}
+
+void BM_ResilienceOutageVisit(benchmark::State& state) {
+  auto cfg = bench_config(2);
+  cfg.loss_rates = {};  // outage axis only
+  cfg.outage_durations = {msec(static_cast<std::int64_t>(state.range(0)))};
+  for (auto _ : state) {
+    auto result = core::run_resilience(cfg);
+    benchmark::DoNotOptimize(result.outage_rows.size());
+  }
+}
+BENCHMARK(BM_ResilienceOutageVisit)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ResilienceBurstVisit(benchmark::State& state) {
+  auto cfg = bench_config(2);
+  cfg.outage_durations = {};  // loss axis only
+  cfg.loss_rates = {static_cast<double>(state.range(0)) / 1000.0};
+  for (auto _ : state) {
+    auto result = core::run_resilience(cfg);
+    benchmark::DoNotOptimize(result.loss_rows.size());
+  }
+}
+BENCHMARK(BM_ResilienceBurstVisit)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void print_resilience(std::ostream& os, const core::ResilienceResult& result) {
+  os << "--- Burst vs. Bernoulli at equal average loss (PLT ms) ---\n";
+  os << std::left << std::setw(8) << "loss" << std::setw(10) << "model" << std::right
+     << std::setw(10) << "h2 mean" << std::setw(10) << "h2 p95" << std::setw(10) << "h3 mean"
+     << std::setw(10) << "h3 p95" << "\n";
+  os << std::fixed << std::setprecision(1);
+  for (const auto& row : result.loss_rows) {
+    os << std::left << std::setw(8) << std::setprecision(3) << row.loss_rate
+       << std::setprecision(1) << std::setw(10) << (row.bursty ? "burst" : "iid") << std::right
+       << std::setw(10) << row.h2_mean_plt_ms
+       << std::setw(10) << row.h2_p95_plt_ms << std::setw(10) << row.h3_mean_plt_ms
+       << std::setw(10) << row.h3_p95_plt_ms << "\n";
+  }
+
+  os << "\n--- Mid-transfer UDP blackhole: H3->H2 degradation ---\n";
+  os << std::left << std::setw(10) << "outage" << std::right << std::setw(8) << "deaths"
+     << std::setw(10) << "fallbk" << std::setw(10) << "rescued" << std::setw(8) << "failed"
+     << std::setw(10) << "pages%" << std::setw(12) << "mean-pen" << std::setw(12) << "p95-pen"
+     << "\n";
+  for (const auto& row : result.outage_rows) {
+    os << std::left << std::setw(10) << (std::to_string(row.outage.count() / 1000) + "ms")
+       << std::right
+       << std::setw(8) << row.connection_deaths << std::setw(10) << row.h3_fallbacks
+       << std::setw(10) << row.requests_rescued << std::setw(8) << row.requests_failed
+       << std::setw(10) << row.fallback_page_rate * 100.0 << std::setw(12)
+       << row.mean_recovery_ms << std::setw(12) << row.p95_recovery_ms << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Fault recovery (burst-loss tails + outage degradation)",
+      [](std::ostream& os) {
+        const std::size_t sites = h3cdn::bench::env_size("H3CDN_BENCH_SITES", 32);
+        const auto result = core::run_resilience(bench_config(sites));
+        print_resilience(os, result);
+      });
+}

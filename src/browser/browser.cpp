@@ -187,6 +187,10 @@ void Browser::maybe_finish(const std::shared_ptr<VisitState>& visit) {
   visit->har.connections_created = ps.connections_created;
   visit->har.resumed_connections = ps.resumed_connections;
   visit->har.zero_rtt_connections = ps.zero_rtt_connections;
+  visit->har.connection_deaths = ps.connection_deaths;
+  visit->har.h3_fallbacks = ps.h3_fallbacks;
+  visit->har.requests_rescued = ps.requests_rescued;
+  visit->har.requests_failed = ps.requests_failed;
 
   PageLoadResult result;
   result.pool_stats = ps;

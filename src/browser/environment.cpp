@@ -35,6 +35,29 @@ Environment::Environment(sim::Simulator& sim, const web::DomainUniverse& univers
   access_up_ = std::make_unique<net::Link>(sim_, access, rng_.fork("access-up"));
   access_down_ = std::make_unique<net::Link>(sim_, access, rng_.fork("access-down"));
   resolver_ = std::make_unique<dns::Resolver>(sim_, vantage_.dns, rng_.fork("dns"));
+  if (!vantage_.fault_profile.empty()) {
+    // Per-direction injectors with independent streams, like NetPath's.
+    access_up_->set_fault_profile(vantage_.fault_profile, rng_.fork("fault-access-up"));
+    access_down_->set_fault_profile(vantage_.fault_profile, rng_.fork("fault-access-down"));
+  }
+}
+
+void Environment::add_outage(const net::Outage& outage) {
+  if (access_up_->fault_injector() == nullptr) {
+    access_up_->set_fault_profile({}, rng_.fork("fault-access-up"));
+    access_down_->set_fault_profile({}, rng_.fork("fault-access-down"));
+  }
+  access_up_->fault_injector()->add_outage(outage);
+  access_down_->fault_injector()->add_outage(outage);
+}
+
+void Environment::add_rtt_spike(const net::RttSpike& spike) {
+  if (access_up_->fault_injector() == nullptr) {
+    access_up_->set_fault_profile({}, rng_.fork("fault-access-up"));
+    access_down_->set_fault_profile({}, rng_.fork("fault-access-down"));
+  }
+  access_up_->fault_injector()->add_rtt_spike(spike);
+  access_down_->fault_injector()->add_rtt_spike(spike);
 }
 
 Environment::Host& Environment::host(const std::string& domain) {

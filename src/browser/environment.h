@@ -48,6 +48,11 @@ struct VantageConfig {
   // visits happen at different wall times in the paper, so server service
   // times are independent noise, not common random numbers.
   std::uint64_t server_noise_salt = 0;
+  // Probe-wide fault profile, installed on the shared access links — the
+  // same place tc/netem impairments live on a real probe. Bursty loss,
+  // outages and RTT spikes here hit every connection of the visit; see
+  // docs/FAULTS.md. An empty profile costs nothing.
+  net::FaultProfile fault_profile;
 };
 
 /// Standard three-site deployment from §III-B.
@@ -80,6 +85,17 @@ class Environment {
 
   /// Changes the injected loss rate on all existing and future paths.
   void set_loss_rate(double loss_rate);
+
+  /// Adds a scheduled outage / RTT spike to both shared access links
+  /// mid-run (e.g. relative to a page start). The constructor installs
+  /// injectors whenever `vantage.fault_profile` is non-empty; these helpers
+  /// install empty-profile injectors on demand otherwise.
+  void add_outage(const net::Outage& outage);
+  void add_rtt_spike(const net::RttSpike& spike);
+
+  /// The shared access links (probe NIC), for tests and fault bookkeeping.
+  [[nodiscard]] net::Link& access_uplink() { return *access_up_; }
+  [[nodiscard]] net::Link& access_downlink() { return *access_down_; }
 
   [[nodiscard]] const VantageConfig& vantage() const { return vantage_; }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }

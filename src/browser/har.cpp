@@ -11,6 +11,13 @@ std::size_t HarPage::reused_connection_count() const {
   return n;
 }
 
+std::size_t HarPage::failed_entry_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries)
+    if (e.timings.failed) ++n;
+  return n;
+}
+
 std::size_t HarPage::count_version(http::HttpVersion v) const {
   std::size_t n = 0;
   for (const auto& e : entries)

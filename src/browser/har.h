@@ -43,8 +43,17 @@ struct HarPage {
   std::uint64_t connections_created = 0;
   std::uint64_t resumed_connections = 0;  // ticket-based (Resumed/ZeroRtt)
   std::uint64_t zero_rtt_connections = 0;
+  // Fault-recovery accounting (zero on a healthy network; docs/FAULTS.md).
+  // Not serialized by to_har_json: the HAR format has no place for them.
+  std::uint64_t connection_deaths = 0;
+  std::uint64_t h3_fallbacks = 0;
+  std::uint64_t requests_rescued = 0;
+  std::uint64_t requests_failed = 0;
 
   [[nodiscard]] std::size_t reused_connection_count() const;
+
+  /// Entries abandoned after exhausting their retry budget.
+  [[nodiscard]] std::size_t failed_entry_count() const;
 
   /// Entries fetched over a given HTTP version.
   [[nodiscard]] std::size_t count_version(http::HttpVersion v) const;

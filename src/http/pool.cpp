@@ -24,6 +24,26 @@ HttpVersion ConnectionPool::protocol_for(const OriginInfo& origin) const {
   return HttpVersion::H2;
 }
 
+bool ConnectionPool::h3_broken(const std::string& domain) {
+  auto it = h3_broken_until_.find(domain);
+  if (it == h3_broken_until_.end()) return false;
+  if (sim_.now() >= it->second) {
+    // TTL expired: clear the mark; the caller's next H3 dial is the re-probe.
+    h3_broken_until_.erase(it);
+    ++stats_.h3_reprobes;
+    record_fault(trace::EventType::H3ReProbe, trace::FaultKind::None);
+    return false;
+  }
+  return true;
+}
+
+void ConnectionPool::record_fault(trace::EventType type, trace::FaultKind fault) {
+  if (!trace_) return;
+  trace::Event event{sim_.now(), type};
+  event.fault = fault;
+  trace_->record(event);
+}
+
 ConnectionPool::OriginState& ConnectionPool::origin_state(const std::string& domain) {
   auto& state = origins_[domain];
   if (!state.info) {
@@ -70,6 +90,13 @@ std::shared_ptr<Session> ConnectionPool::make_session(const std::string& domain,
   if (mode == tls::HandshakeMode::ZeroRtt) ++stats_.zero_rtt_connections;
 
   auto session = Session::create(sim_, std::move(conn), version, config_.session);
+  // Death notification: evacuated orphans come back to the pool, which
+  // decides between H2 fallback, a fresh same-protocol dial, or giving up.
+  std::weak_ptr<Session> weak = session;
+  session->set_on_dead([this, domain, version, weak](transport::ConnectionError error,
+                                                     std::vector<Session::Orphan> orphans) {
+    on_session_dead(domain, version, weak.lock(), error, std::move(orphans));
+  });
   session->start();
   return session;
 }
@@ -97,6 +124,26 @@ std::shared_ptr<Session> ConnectionPool::h1_session(const std::string& domain,
   return best;
 }
 
+std::shared_ptr<Session> ConnectionPool::session_for(const std::string& domain,
+                                                     OriginState& state, HttpVersion version) {
+  switch (version) {
+    case HttpVersion::H1_1:
+      return h1_session(domain, state);
+    case HttpVersion::H2: {
+      const std::string& key =
+          state.info->coalesce_key.empty() ? domain : state.info->coalesce_key;
+      auto& slot = h2_sessions_[key];
+      if (!slot) slot = make_session(domain, *state.info, HttpVersion::H2);
+      return slot;
+    }
+    case HttpVersion::H3:
+      if (!state.h3) state.h3 = make_session(domain, *state.info, HttpVersion::H3);
+      return state.h3;
+  }
+  H3CDN_ASSERT(false);
+  return nullptr;
+}
+
 void ConnectionPool::fetch(const Request& request, FetchDone done) {
   H3CDN_EXPECTS(!request.domain.empty());
   ++stats_.entries_submitted;
@@ -109,29 +156,88 @@ void ConnectionPool::fetch(const Request& request, FetchDone done) {
       version = HttpVersion::H3;
     }
   }
-
-  std::shared_ptr<Session> session;
-  switch (version) {
-    case HttpVersion::H1_1:
-      session = h1_session(request.domain, state);
-      break;
-    case HttpVersion::H2: {
-      const std::string& key =
-          state.info->coalesce_key.empty() ? request.domain : state.info->coalesce_key;
-      auto& slot = h2_sessions_[key];
-      if (!slot) slot = make_session(request.domain, *state.info, HttpVersion::H2);
-      session = slot;
-      break;
-    }
-    case HttpVersion::H3:
-      if (!state.h3) state.h3 = make_session(request.domain, *state.info, HttpVersion::H3);
-      session = state.h3;
-      break;
+  // Alt-Svc brokenness: a host whose H3 died routes to H2 until the timed
+  // re-probe (h3_broken clears an expired mark as a side effect).
+  if (version == HttpVersion::H3 && config_.h3_fallback_enabled && h3_broken(request.domain)) {
+    version = HttpVersion::H2;
   }
 
+  std::shared_ptr<Session> session = session_for(request.domain, state, version);
   Request routed = request;
   if (config_.think_time) routed.server_think = config_.think_time(routed, version);
   session->submit(routed, std::move(done));
+}
+
+void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion version,
+                                     const std::shared_ptr<Session>& session,
+                                     transport::ConnectionError error,
+                                     std::vector<Session::Orphan> orphans) {
+  ++stats_.connection_deaths;
+  const trace::FaultKind fault = error == transport::ConnectionError::Blackhole
+                                     ? trace::FaultKind::Blackhole
+                                     : trace::FaultKind::HandshakeTimeout;
+
+  // Deregister the corpse so the next dial creates a fresh connection.
+  if (session) {
+    auto state_it = origins_.find(domain);
+    if (state_it != origins_.end()) {
+      auto& state = state_it->second;
+      if (state.h3 == session) state.h3.reset();
+      std::erase(state.h1, session);
+    }
+    for (auto it = h2_sessions_.begin(); it != h2_sessions_.end(); ++it) {
+      if (it->second == session) {
+        h2_sessions_.erase(it);
+        break;
+      }
+    }
+  }
+
+  // An H3 death marks the host broken and degrades it to H2 (Chrome's
+  // Alt-Svc brokenness). TCP deaths retry on a fresh same-protocol session.
+  HttpVersion reroute = version;
+  if (version == HttpVersion::H3 && config_.h3_fallback_enabled) {
+    h3_broken_until_[domain] = sim_.now() + config_.h3_broken_ttl;
+    ++stats_.h3_broken_marks;
+    ++stats_.h3_fallbacks;
+    record_fault(trace::EventType::H3BrokenMarked, fault);
+    reroute = HttpVersion::H2;
+  }
+
+  for (auto& orphan : orphans) {
+    if (orphan.attempts >= config_.max_request_retries) {
+      ++stats_.requests_failed;
+      EntryTimings t;
+      t.started = orphan.submitted;
+      t.finished = sim_.now();
+      t.version = version;
+      t.failed = true;
+      auto done = std::move(orphan.done);
+      done(t);
+      continue;
+    }
+    ++stats_.requests_rescued;
+    record_fault(trace::EventType::FallbackTriggered, fault);
+    route_rescue(std::move(orphan), reroute);
+  }
+}
+
+void ConnectionPool::route_rescue(Session::Orphan orphan, HttpVersion preferred) {
+  // Coalesced H2 sessions serve several domains, so routing is per orphan.
+  auto& state = origin_state(orphan.request.domain);
+  HttpVersion version = preferred;
+  if (!state.info->supports_h2) version = HttpVersion::H1_1;
+  if (version == HttpVersion::H3 &&
+      (!config_.h3_enabled || !state.info->supports_h3 ||
+       (config_.h3_fallback_enabled && h3_broken(orphan.request.domain)))) {
+    version = HttpVersion::H2;
+  }
+  std::shared_ptr<Session> session = session_for(orphan.request.domain, state, version);
+  // The protocol may have changed; the server-side cost model is per-protocol.
+  if (config_.think_time) {
+    orphan.request.server_think = config_.think_time(orphan.request, version);
+  }
+  session->submit_rescued(std::move(orphan));
 }
 
 void ConnectionPool::close_all() {

@@ -26,6 +26,7 @@
 #include "net/path.h"
 #include "sim/simulator.h"
 #include "tls/ticket_store.h"
+#include "trace/trace.h"
 #include "transport/connection.h"
 #include "util/rng.h"
 
@@ -62,6 +63,15 @@ struct PoolConfig {
   SessionConfig session;
   transport::TransportConfig transport;
   ThinkTimeFn think_time;
+  // Graceful degradation (docs/FAULTS.md §3). When an H3 connection dies the
+  // pool marks the host "H3 broken" for h3_broken_ttl (Chrome's Alt-Svc
+  // brokenness window is ~5 minutes), re-submits the stranded requests over
+  // H2, and routes new requests straight to H2 until a timed re-probe.
+  bool h3_fallback_enabled = true;
+  Duration h3_broken_ttl = sec(300);
+  // Dispatch attempts per request across connection deaths; beyond this the
+  // entry completes with EntryTimings::failed = true.
+  int max_request_retries = 3;
 };
 
 struct PoolStats {
@@ -72,6 +82,13 @@ struct PoolStats {
   std::uint64_t h3_connections = 0;
   std::uint64_t resumed_connections = 0;   // Resumed or ZeroRtt handshakes
   std::uint64_t zero_rtt_connections = 0;
+  // Fault recovery (docs/FAULTS.md).
+  std::uint64_t connection_deaths = 0;   // sessions whose transport died
+  std::uint64_t h3_fallbacks = 0;        // H3 deaths degraded to H2
+  std::uint64_t requests_rescued = 0;    // orphans transparently re-submitted
+  std::uint64_t requests_failed = 0;     // orphans past the retry budget
+  std::uint64_t h3_broken_marks = 0;     // hosts marked "H3 broken"
+  std::uint64_t h3_reprobes = 0;         // broken marks expired and re-probed
 };
 
 class ConnectionPool {
@@ -94,6 +111,14 @@ class ConnectionPool {
   /// adaptive-selection example and for tests).
   [[nodiscard]] HttpVersion protocol_for(const OriginInfo& origin) const;
 
+  /// Whether the host is currently marked "H3 broken" (side effect: an
+  /// expired mark is cleared and counted as a re-probe).
+  [[nodiscard]] bool h3_broken(const std::string& domain);
+
+  /// Attaches a trace sink for fault/recovery events (FallbackTriggered,
+  /// H3BrokenMarked, H3ReProbe). Pass nullptr to detach.
+  void set_trace(std::shared_ptr<trace::ConnectionTrace> trace) { trace_ = std::move(trace); }
+
  private:
   struct OriginState {
     std::optional<OriginInfo> info;
@@ -105,6 +130,13 @@ class ConnectionPool {
   std::shared_ptr<Session> make_session(const std::string& domain, const OriginInfo& origin,
                                         HttpVersion version);
   std::shared_ptr<Session> h1_session(const std::string& domain, OriginState& state);
+  std::shared_ptr<Session> session_for(const std::string& domain, OriginState& state,
+                                       HttpVersion version);
+  void on_session_dead(const std::string& domain, HttpVersion version,
+                       const std::shared_ptr<Session>& session, transport::ConnectionError error,
+                       std::vector<Session::Orphan> orphans);
+  void route_rescue(Session::Orphan orphan, HttpVersion preferred);
+  void record_fault(trace::EventType type, trace::FaultKind fault);
 
   sim::Simulator& sim_;
   PoolConfig config_;
@@ -114,6 +146,10 @@ class ConnectionPool {
   std::unordered_map<std::string, OriginState> origins_;
   // H2 sessions keyed by coalescing group (or domain when not coalescable).
   std::unordered_map<std::string, std::shared_ptr<Session>> h2_sessions_;
+  // Hosts whose H3 died: no H3 dials until the deadline passes (Alt-Svc
+  // brokenness, Chrome behaviour).
+  std::unordered_map<std::string, TimePoint> h3_broken_until_;
+  std::shared_ptr<trace::ConnectionTrace> trace_;
   PoolStats stats_;
 };
 

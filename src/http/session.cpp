@@ -34,12 +34,26 @@ void Session::start() {
   started_ = true;
   auto self = shared_from_this();
   conn_->connect([self](TimePoint) { self->maybe_dispatch(); });
+  // weak: the connection outlives this closure only through the session's own
+  // conn_ reference; a strong self here would make the cycle permanent.
+  std::weak_ptr<Session> weak = self;
+  conn_->set_on_dead([weak](transport::ConnectionError error, TimePoint) {
+    if (auto s = weak.lock()) s->on_connection_dead(error);
+  });
 }
 
 void Session::submit(const Request& request, FetchDone done) {
   H3CDN_EXPECTS(!closed_);
   H3CDN_EXPECTS(done != nullptr);
-  queue_.push_back(PendingEntry{request, std::move(done), sim_.now()});
+  queue_.push_back(PendingEntry{request, std::move(done), sim_.now(), 0});
+  maybe_dispatch();
+}
+
+void Session::submit_rescued(Orphan orphan) {
+  H3CDN_EXPECTS(!closed_);
+  H3CDN_EXPECTS(orphan.done != nullptr);
+  queue_.push_back(PendingEntry{std::move(orphan.request), std::move(orphan.done),
+                                orphan.submitted, orphan.attempts});
   maybe_dispatch();
 }
 
@@ -59,6 +73,7 @@ void Session::dispatch(PendingEntry pending) {
   auto entry = std::make_shared<ActiveEntry>();
   entry->submitted = pending.submitted;
   entry->dispatched = sim_.now();
+  entry->attempts = pending.attempts + 1;
   entry->request = std::move(pending.request);
   entry->done = std::move(pending.done);
   if (!initiator_assigned_) {
@@ -69,6 +84,7 @@ void Session::dispatch(PendingEntry pending) {
     entry->initiator = true;
   }
   ++in_flight_;
+  active_.push_back(entry);
 
   auto self = shared_from_this();
   transport::FetchCallbacks cbs;
@@ -112,9 +128,39 @@ void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) 
   H3CDN_ASSERT(in_flight_ > 0);
   --in_flight_;
   ++entries_completed_;
+  std::erase(active_, entry);
   auto done = entry->done;
   maybe_dispatch();
   done(t);
+}
+
+void Session::on_connection_dead(transport::ConnectionError error) {
+  if (closed_) return;
+  dead_ = true;
+  closed_ = true;
+  // Evacuate every stranded entry — dispatched-but-incomplete first (they
+  // were submitted earlier), then the still-queued ones — and hand them to
+  // the owner. Without a handler the entries are simply abandoned, matching
+  // the legacy behaviour of a closed session.
+  std::vector<Orphan> orphans;
+  orphans.reserve(active_.size() + queue_.size());
+  for (auto& entry : active_) {
+    orphans.push_back(
+        Orphan{std::move(entry->request), std::move(entry->done), entry->submitted,
+               entry->attempts});
+  }
+  active_.clear();
+  in_flight_ = 0;
+  for (auto& pending : queue_) {
+    orphans.push_back(Orphan{std::move(pending.request), std::move(pending.done),
+                             pending.submitted, pending.attempts});
+  }
+  queue_.clear();
+  if (on_dead_) {
+    auto handler = std::move(on_dead_);
+    on_dead_ = nullptr;
+    handler(error, std::move(orphans));
+  }
 }
 
 void Session::close() {

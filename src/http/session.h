@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "http/types.h"
 #include "sim/simulator.h"
@@ -27,6 +29,22 @@ struct SessionConfig {
 
 class Session : public std::enable_shared_from_this<Session> {
  public:
+  /// A request stranded by a connection death, carrying everything needed to
+  /// transparently re-submit it elsewhere. `submitted` is the ORIGINAL
+  /// submission time, so the re-run entry's HAR "blocked" phase absorbs the
+  /// detour and page metrics stay honest. `attempts` counts prior dispatches.
+  struct Orphan {
+    Request request;
+    FetchDone done;
+    TimePoint submitted{0};
+    int attempts = 0;
+  };
+
+  /// Fires once when the underlying connection dies, with every queued and
+  /// in-flight entry of this session. The session is closed by then; the
+  /// handler (the pool) decides where the orphans go next.
+  using DeathHandler = std::function<void(transport::ConnectionError, std::vector<Orphan>)>;
+
   static std::shared_ptr<Session> create(sim::Simulator& sim,
                                          std::shared_ptr<transport::Connection> conn,
                                          HttpVersion version, SessionConfig config = {});
@@ -38,6 +56,12 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Submits one exchange. `done` fires with complete HAR timings.
   void submit(const Request& request, FetchDone done);
 
+  /// Re-submits an orphan evacuated from a dead session, preserving its
+  /// original submission time and attempt count.
+  void submit_rescued(Orphan orphan);
+
+  void set_on_dead(DeathHandler handler) { on_dead_ = std::move(handler); }
+
   /// Closes the underlying transport (end of page visit).
   void close();
 
@@ -47,6 +71,7 @@ class Session : public std::enable_shared_from_this<Session> {
   [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] bool dead() const { return dead_; }
   [[nodiscard]] std::uint64_t entries_completed() const { return entries_completed_; }
 
  private:
@@ -57,6 +82,7 @@ class Session : public std::enable_shared_from_this<Session> {
     Request request;
     FetchDone done;
     TimePoint submitted{0};
+    int attempts = 0;
   };
 
   struct ActiveEntry {
@@ -65,6 +91,7 @@ class Session : public std::enable_shared_from_this<Session> {
     TimePoint request_sent{-1};
     TimePoint first_byte{-1};
     bool initiator = false;
+    int attempts = 0;
     Request request;
     FetchDone done;
   };
@@ -72,17 +99,21 @@ class Session : public std::enable_shared_from_this<Session> {
   void maybe_dispatch();
   void dispatch(PendingEntry entry);
   void finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed);
+  void on_connection_dead(transport::ConnectionError error);
 
   sim::Simulator& sim_;
   std::shared_ptr<transport::Connection> conn_;
   HttpVersion version_;
   SessionConfig config_;
   std::deque<PendingEntry> queue_;
+  std::vector<std::shared_ptr<ActiveEntry>> active_;  // dispatched, not finalized
   std::size_t in_flight_ = 0;
   bool started_ = false;
   bool initiator_assigned_ = false;
   bool closed_ = false;
+  bool dead_ = false;
   std::uint64_t entries_completed_ = 0;
+  DeathHandler on_dead_;
 };
 
 }  // namespace h3cdn::http

@@ -43,6 +43,9 @@ struct EntryTimings {
   bool reused_connection = false;  // rode an already-established connection
   bool resumed = false;            // new connection, but via session ticket
   bool new_connection_initiator = false;
+  // The request exhausted its retry budget across connection deaths and was
+  // abandoned; phase timings other than started/finished are meaningless.
+  bool failed = false;
 
   /// Total entry latency.
   [[nodiscard]] Duration total() const { return finished - started; }

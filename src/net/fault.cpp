@@ -1,0 +1,103 @@
+#include "net/fault.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::net {
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::None: return "none";
+    case DropReason::Bernoulli: return "bernoulli";
+    case DropReason::Burst: return "burst";
+    case DropReason::Outage: return "outage";
+  }
+  return "?";
+}
+
+double GilbertElliottConfig::average_loss() const {
+  if (!enabled) return 0.0;
+  // Stationary distribution of the two-state chain: pi_bad = p / (p + r).
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return loss_good;  // absorbing Good state
+  const double pi_bad = p_good_to_bad / denom;
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+GilbertElliottConfig GilbertElliottConfig::from_average(double average,
+                                                        double mean_burst_packets) {
+  H3CDN_EXPECTS(average >= 0.0 && average < 1.0);
+  H3CDN_EXPECTS(mean_burst_packets >= 1.0);
+  GilbertElliottConfig c;
+  c.enabled = true;
+  c.loss_good = 0.0;
+  c.loss_bad = 1.0;
+  // Bad-state dwell is geometric with mean 1/r packets.
+  c.p_bad_to_good = 1.0 / mean_burst_packets;
+  // Solve pi_bad = p / (p + r) = average for p.
+  c.p_good_to_bad = average >= 1.0 ? 1.0 : average * c.p_bad_to_good / (1.0 - average);
+  return c;
+}
+
+GilbertElliottConfig GilbertElliottConfig::bernoulli(double rate) {
+  H3CDN_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  GilbertElliottConfig c;
+  c.enabled = true;
+  c.loss_good = rate;
+  c.loss_bad = rate;
+  c.p_good_to_bad = 0.0;
+  c.p_bad_to_good = 1.0;
+  return c;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, util::Rng rng)
+    : profile_(std::move(profile)), rng_(rng) {
+  const auto& ge = profile_.gilbert_elliott;
+  H3CDN_EXPECTS(ge.p_good_to_bad >= 0.0 && ge.p_good_to_bad <= 1.0);
+  H3CDN_EXPECTS(ge.p_bad_to_good >= 0.0 && ge.p_bad_to_good <= 1.0);
+  H3CDN_EXPECTS(ge.loss_good >= 0.0 && ge.loss_good <= 1.0);
+  H3CDN_EXPECTS(ge.loss_bad >= 0.0 && ge.loss_bad <= 1.0);
+  for (const auto& o : profile_.outages) H3CDN_EXPECTS(o.duration >= Duration::zero());
+  for (const auto& s : profile_.rtt_spikes) {
+    H3CDN_EXPECTS(s.duration >= Duration::zero());
+    H3CDN_EXPECTS(s.extra_delay >= Duration::zero());
+  }
+}
+
+FaultInjector::Verdict FaultInjector::apply(TimePoint now, PacketClass pclass, bool lossless) {
+  Verdict v;
+
+  // Outages dominate every other mechanism: a down link delivers nothing,
+  // regardless of the packet's loss exemptions (ACKs are "reliable" only in
+  // the sense of not being subject to stochastic loss — they still need a
+  // live link under them, and a UDP blackhole eats QUIC ACKs too).
+  for (const auto& o : profile_.outages) {
+    if (!o.covers(now)) continue;
+    if (o.kind == OutageKind::Hard || pclass == PacketClass::Udp) {
+      v.drop = DropReason::Outage;
+      return v;
+    }
+  }
+
+  // Gilbert-Elliott: transition the chain once per offered lossy packet, then
+  // draw in the current state. Lossless control packets neither advance nor
+  // sample the chain, so adding ACK traffic never perturbs the data-packet
+  // loss realization (the common-random-numbers property paired runs rely on).
+  if (profile_.gilbert_elliott.enabled && !lossless) {
+    const auto& ge = profile_.gilbert_elliott;
+    ge_bad_ = rng_.bernoulli(ge_bad_ ? 1.0 - ge.p_bad_to_good : ge.p_good_to_bad);
+    const double p = ge_bad_ ? ge.loss_bad : ge.loss_good;
+    if (p > 0.0 && rng_.bernoulli(p)) {
+      v.drop = ge_bad_ ? DropReason::Burst : DropReason::Bernoulli;
+      return v;
+    }
+  }
+
+  for (const auto& s : profile_.rtt_spikes) {
+    if (s.covers(now)) v.extra_delay += s.extra_delay;
+  }
+  return v;
+}
+
+}  // namespace h3cdn::net

@@ -3,13 +3,17 @@
 //
 // The paper injects loss with Linux Traffic Control (tc/netem) on the probe
 // machines; netem's default loss model is exactly i.i.d. Bernoulli per packet,
-// which is what this class implements.
+// which is what this class implements. Richer fault mechanisms (bursty loss,
+// outages, RTT spikes) attach via an optional net::FaultInjector.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "net/fault.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -22,12 +26,16 @@ struct LinkConfig {
   Duration jitter_max = usec(0);     // uniform extra delay in [0, jitter_max]
 };
 
-/// Per-link counters, exposed for tests and telemetry.
+/// Per-link counters, exposed for tests and telemetry. `packets_dropped` is
+/// the sum of the per-mechanism breakdown.
 struct LinkStats {
   std::uint64_t packets_offered = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t bytes_offered = 0;
+  std::uint64_t dropped_bernoulli = 0;  // i.i.d. draws (baseline or GE Good state)
+  std::uint64_t dropped_burst = 0;      // Gilbert-Elliott Bad-state draws
+  std::uint64_t dropped_outage = 0;     // scheduled blackout / UDP blackhole
 };
 
 /// One direction of a network path. Delivery callbacks fire on the owning
@@ -44,23 +52,41 @@ class Link {
   /// stays independent noise.
   void reseed_jitter(std::uint64_t salt);
 
-  /// Queues one packet of `size_bytes`. If `lossless` is true the Bernoulli
-  /// drop is skipped (used for modelling reliable out-of-band signals only;
-  /// all data and handshake packets go through the lossy path).
+  /// Queues one packet of `size_bytes`. If `lossless` is true the stochastic
+  /// drops are skipped (used for modelling reliable out-of-band signals only;
+  /// all data and handshake packets go through the lossy path) — scheduled
+  /// outages still apply, a dead link delivers nothing. `pclass` is the
+  /// transport class middleboxes see: UDP blackholes drop only
+  /// PacketClass::Udp traffic.
   void transmit(std::size_t size_bytes, std::function<void()> on_deliver,
-                bool lossless = false);
+                bool lossless = false, PacketClass pclass = PacketClass::Tcp);
 
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const LinkConfig& config() const { return config_; }
 
-  /// Replaces the loss rate mid-run (used by loss-sweep experiments).
+  /// Replaces the loss rate mid-run (used by loss-sweep experiments). Asserts
+  /// on NaN or genuinely out-of-range values; floating-point overshoot within
+  /// 1e-6 of the [0,1] boundary (e.g. `baseline + injected` sums) is clamped.
   void set_loss_rate(double loss_rate);
+
+  /// Installs (or replaces) the fault injector for this link direction.
+  void set_fault_profile(const FaultProfile& profile, util::Rng rng);
+
+  /// The installed injector, or nullptr. Non-const so experiments can add
+  /// outages/spikes mid-run.
+  [[nodiscard]] FaultInjector* fault_injector() { return fault_.get(); }
+
+  /// Attaches a trace sink: every drop records a LinkDropped event tagged
+  /// with the responsible fault mechanism.
+  void set_trace(std::shared_ptr<trace::ConnectionTrace> trace) { trace_ = std::move(trace); }
 
  private:
   sim::Simulator& sim_;
   LinkConfig config_;
   util::Rng loss_rng_;
   util::Rng jitter_rng_;
+  std::unique_ptr<FaultInjector> fault_;
+  std::shared_ptr<trace::ConnectionTrace> trace_;
   TimePoint next_free_{0};      // when the serializer becomes idle
   TimePoint last_arrival_{0};   // FIFO guarantee: deliveries never reorder
   LinkStats stats_;

@@ -4,7 +4,8 @@
 
 namespace h3cdn::net {
 
-NetPath::NetPath(sim::Simulator& sim, PathConfig config, util::Rng rng) : config_(config) {
+NetPath::NetPath(sim::Simulator& sim, PathConfig config, util::Rng rng)
+    : config_(config), fault_rng_(rng.fork("fault")) {
   H3CDN_EXPECTS(config.rtt >= Duration::zero());
   LinkConfig link;
   link.latency = Duration{config.rtt.count() / 2};
@@ -22,38 +23,55 @@ void NetPath::attach_access(Link* access_up, Link* access_down) {
   access_down_ = access_down;
 }
 
-void NetPath::send_up(std::size_t size_bytes, std::function<void()> on_deliver, bool lossless) {
+void NetPath::send_up(std::size_t size_bytes, std::function<void()> on_deliver, bool lossless,
+                      PacketClass pclass) {
   if (access_up_ == nullptr) {
-    up_->transmit(size_bytes, std::move(on_deliver), lossless);
+    up_->transmit(size_bytes, std::move(on_deliver), lossless, pclass);
     return;
   }
   // Client NIC first, then the wide-area path.
   access_up_->transmit(
       size_bytes,
-      [this, size_bytes, cb = std::move(on_deliver), lossless]() mutable {
-        up_->transmit(size_bytes, std::move(cb), lossless);
+      [this, size_bytes, cb = std::move(on_deliver), lossless, pclass]() mutable {
+        up_->transmit(size_bytes, std::move(cb), lossless, pclass);
       },
-      lossless);
+      lossless, pclass);
 }
 
 void NetPath::send_down(std::size_t size_bytes, std::function<void()> on_deliver,
-                        bool lossless) {
+                        bool lossless, PacketClass pclass) {
   if (access_down_ == nullptr) {
-    down_->transmit(size_bytes, std::move(on_deliver), lossless);
+    down_->transmit(size_bytes, std::move(on_deliver), lossless, pclass);
     return;
   }
   down_->transmit(
       size_bytes,
-      [this, size_bytes, cb = std::move(on_deliver), lossless]() mutable {
-        access_down_->transmit(size_bytes, std::move(cb), lossless);
+      [this, size_bytes, cb = std::move(on_deliver), lossless, pclass]() mutable {
+        access_down_->transmit(size_bytes, std::move(cb), lossless, pclass);
       },
-      lossless);
+      lossless, pclass);
 }
 
 void NetPath::set_loss_rate(double loss_rate) {
   config_.loss_rate = loss_rate;
   up_->set_loss_rate(loss_rate);
   down_->set_loss_rate(loss_rate);
+}
+
+void NetPath::set_fault_profile(const FaultProfile& profile, util::Rng rng) {
+  up_->set_fault_profile(profile, rng.fork("fault-up"));
+  down_->set_fault_profile(profile, rng.fork("fault-down"));
+}
+
+void NetPath::add_outage(const Outage& outage) {
+  if (up_->fault_injector() == nullptr) {
+    up_->set_fault_profile(FaultProfile{}, fault_rng_.fork("fault-up"));
+  }
+  if (down_->fault_injector() == nullptr) {
+    down_->set_fault_profile(FaultProfile{}, fault_rng_.fork("fault-down"));
+  }
+  up_->fault_injector()->add_outage(outage);
+  down_->fault_injector()->add_outage(outage);
 }
 
 void NetPath::reseed_jitter(std::uint64_t salt) {

@@ -39,12 +39,14 @@ class NetPath {
   void attach_access(Link* access_up, Link* access_down);
 
   /// Sends one packet client->server through (access uplink ->) path uplink.
+  /// `pclass` is the transport class (QUIC connections tag everything Udp);
+  /// it is forwarded to every link on the way, access links included.
   void send_up(std::size_t size_bytes, std::function<void()> on_deliver,
-               bool lossless = false);
+               bool lossless = false, PacketClass pclass = PacketClass::Tcp);
 
   /// Sends one packet server->client through path downlink (-> access downlink).
   void send_down(std::size_t size_bytes, std::function<void()> on_deliver,
-                 bool lossless = false);
+                 bool lossless = false, PacketClass pclass = PacketClass::Tcp);
 
   /// Base round-trip time (propagation only, no serialization/jitter).
   [[nodiscard]] Duration base_rtt() const { return config_.rtt; }
@@ -53,11 +55,21 @@ class NetPath {
 
   void set_loss_rate(double loss_rate);
 
+  /// Installs the same fault profile on both directions, with independent
+  /// per-direction Rng streams ("fault-up" / "fault-down") so the burst
+  /// chains of the two directions are decoupled.
+  void set_fault_profile(const FaultProfile& profile, util::Rng rng);
+
+  /// Adds a scheduled outage to both directions (installing empty-profile
+  /// injectors first if none are present).
+  void add_outage(const Outage& outage);
+
   /// Re-salts the jitter streams of both links (see Link::reseed_jitter).
   void reseed_jitter(std::uint64_t salt);
 
  private:
   PathConfig config_;
+  util::Rng fault_rng_;  // seeds lazily-created injectors (add_outage)
   std::unique_ptr<Link> up_;
   std::unique_ptr<Link> down_;
   Link* access_up_ = nullptr;    // not owned

@@ -18,6 +18,24 @@ const char* to_string(EventType t) {
     case EventType::Retransmission: return "packet_retransmitted";
     case EventType::RtoFired: return "loss_timer_fired";
     case EventType::CwndUpdated: return "congestion_window_updated";
+    case EventType::LinkDropped: return "link_dropped";
+    case EventType::HandshakeRetry: return "handshake_retry";
+    case EventType::ConnectionAborted: return "connection_aborted";
+    case EventType::FallbackTriggered: return "fallback_triggered";
+    case EventType::H3BrokenMarked: return "h3_broken_marked";
+    case EventType::H3ReProbe: return "h3_reprobe";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::Bernoulli: return "bernoulli";
+    case FaultKind::Burst: return "burst";
+    case FaultKind::Outage: return "outage";
+    case FaultKind::HandshakeTimeout: return "handshake_timeout";
+    case FaultKind::Blackhole: return "blackhole";
   }
   return "?";
 }
@@ -36,7 +54,14 @@ const char* category_of(EventType t) {
     case EventType::Retransmission:
     case EventType::RtoFired:
     case EventType::CwndUpdated:
+    case EventType::HandshakeRetry:
+    case EventType::ConnectionAborted:
+    case EventType::FallbackTriggered:
+    case EventType::H3BrokenMarked:
+    case EventType::H3ReProbe:
       return "recovery";
+    case EventType::LinkDropped:
+      return "fault";
     default:
       return "transport";
   }
@@ -98,6 +123,17 @@ std::string ConnectionTrace::to_qlog_json(const std::string& connection_label) c
         break;
       case EventType::RtoFired:
         w.kv("direction", e.is_client_to_server ? "client_to_server" : "server_to_client");
+        break;
+      case EventType::LinkDropped:
+        w.kv("payload_length", e.bytes);
+        w.kv("trigger", to_string(e.fault));
+        break;
+      case EventType::HandshakeRetry:
+      case EventType::ConnectionAborted:
+      case EventType::FallbackTriggered:
+      case EventType::H3BrokenMarked:
+      case EventType::H3ReProbe:
+        w.kv("trigger", to_string(e.fault));
         break;
     }
     w.end_object();

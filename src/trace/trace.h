@@ -28,9 +28,28 @@ enum class EventType {
   Retransmission,
   RtoFired,
   CwndUpdated,
+  // Fault injection & recovery (see docs/FAULTS.md).
+  LinkDropped,        // a link-level fault mechanism ate a packet
+  HandshakeRetry,     // handshake timer fired; attempt retransmitted
+  ConnectionAborted,  // connection declared dead with a typed reason
+  FallbackTriggered,  // pool re-submitted an orphaned request elsewhere
+  H3BrokenMarked,     // host marked "H3 broken" after an H3 death
+  H3ReProbe,          // broken mark expired; H3 re-attempted
 };
 
 const char* to_string(EventType t);
+
+/// Which fault mechanism an event is attributed to. None for ordinary events.
+enum class FaultKind {
+  None,
+  Bernoulli,         // i.i.d. loss draw (baseline link loss or GE Good state)
+  Burst,             // Gilbert-Elliott Bad-state loss
+  Outage,            // scheduled blackout / UDP blackhole
+  HandshakeTimeout,  // handshake retries exhausted
+  Blackhole,         // consecutive-RTO deadness detector
+};
+
+const char* to_string(FaultKind k);
 
 struct Event {
   TimePoint at{0};
@@ -40,6 +59,7 @@ struct Event {
   std::size_t bytes = 0;            // payload size, when applicable
   double cwnd = 0.0;                // packets, for CwndUpdated
   bool is_client_to_server = true;  // direction of the packet/stream data
+  FaultKind fault = FaultKind::None;  // for fault/recovery events
 };
 
 /// One connection's event log.

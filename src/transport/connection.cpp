@@ -17,6 +17,15 @@ Duration initial_rto_for_path(const net::NetPath& path) {
 
 }  // namespace
 
+const char* to_string(ConnectionError e) {
+  switch (e) {
+    case ConnectionError::None: return "none";
+    case ConnectionError::HandshakeTimeout: return "handshake_timeout";
+    case ConnectionError::Blackhole: return "blackhole";
+  }
+  return "?";
+}
+
 std::shared_ptr<Connection> Connection::create(sim::Simulator& sim, net::NetPath& path,
                                                tls::TransportKind kind, tls::TlsVersion version,
                                                tls::HandshakeMode mode, util::Rng rng,
@@ -61,6 +70,12 @@ std::size_t Connection::mss() const {
 
 std::size_t Connection::overhead() const {
   return kind_ == tls::TransportKind::Tcp ? config_.overhead_tcp : config_.overhead_quic;
+}
+
+net::PacketClass Connection::pclass() const {
+  // Every QUIC packet — data, handshake, ACKs — is a UDP datagram on the
+  // wire, which is exactly what a UDP-blackholing middlebox drops.
+  return kind_ == tls::TransportKind::Quic ? net::PacketClass::Udp : net::PacketClass::Tcp;
 }
 
 // ---------------------------------------------------------------------------
@@ -114,20 +129,33 @@ void Connection::start_handshake_attempt() {
   const Duration server_cost =
       cert_step ? tls::handshake_compute_cost(version_, mode_) : Duration::zero();
 
-  path_.send_up(config_.handshake_client_packet_bytes, [self, gen, down_bytes, server_cost] {
-    if (self->closed_ || gen != self->hs_generation_) return;
-    self->sim_.schedule_in(server_cost, [self, gen, down_bytes] {
-      if (self->closed_ || gen != self->hs_generation_) return;
-      self->path_.send_down(down_bytes, [self, gen] {
-        self->handshake_step_done(gen);
-      });
-    });
-  });
+  path_.send_up(
+      config_.handshake_client_packet_bytes,
+      [self, gen, down_bytes, server_cost] {
+        if (self->closed_ || gen != self->hs_generation_) return;
+        self->sim_.schedule_in(server_cost, [self, gen, down_bytes] {
+          if (self->closed_ || gen != self->hs_generation_) return;
+          self->path_.send_down(
+              down_bytes, [self, gen] { self->handshake_step_done(gen); },
+              /*lossless=*/false, self->pclass());
+        });
+      },
+      /*lossless=*/false, pclass());
 
   hs_timer_ = sim_.schedule_in(handshake_timeout_now(), [self, gen] {
     if (self->closed_ || gen != self->hs_generation_) return;
+    if (self->config_.max_handshake_retries > 0 &&
+        self->stats_.handshake_retries >= self->config_.max_handshake_retries) {
+      self->die(ConnectionError::HandshakeTimeout);
+      return;
+    }
     ++self->stats_.handshake_retries;
     ++self->hs_retries_this_step_;
+    if (self->trace_) {
+      trace::Event ev{self->sim_.now(), trace::EventType::HandshakeRetry};
+      ev.fault = trace::FaultKind::HandshakeTimeout;
+      self->trace_->record(ev);
+    }
     self->start_handshake_attempt();
   });
 }
@@ -353,9 +381,9 @@ void Connection::send_chunk(Dir d, const Chunk& chunk, bool is_retx) {
   auto self = shared_from_this();
   auto deliver = [self, d, num, chunk] { self->on_packet_arrive(d, num, chunk); };
   if (d == Dir::Up) {
-    path_.send_up(chunk.len + overhead(), std::move(deliver));
+    path_.send_up(chunk.len + overhead(), std::move(deliver), /*lossless=*/false, pclass());
   } else {
-    path_.send_down(chunk.len + overhead(), std::move(deliver));
+    path_.send_down(chunk.len + overhead(), std::move(deliver), /*lossless=*/false, pclass());
   }
 }
 
@@ -449,9 +477,9 @@ void Connection::on_packet_arrive(Dir d, std::uint64_t packet_num, Chunk chunk) 
   auto self = shared_from_this();
   auto deliver = [self, d, packet_num] { self->on_ack(d, packet_num); };
   if (d == Dir::Up) {
-    path_.send_down(config_.ack_bytes, std::move(deliver), /*lossless=*/true);
+    path_.send_down(config_.ack_bytes, std::move(deliver), /*lossless=*/true, pclass());
   } else {
-    path_.send_up(config_.ack_bytes, std::move(deliver), /*lossless=*/true);
+    path_.send_up(config_.ack_bytes, std::move(deliver), /*lossless=*/true, pclass());
   }
 }
 
@@ -505,9 +533,9 @@ void Connection::maybe_grant_credit(Dir d, StreamId sid) {
     self->pump(d);
   };
   if (d == Dir::Up) {
-    path_.send_down(config_.ack_bytes, std::move(apply), /*lossless=*/true);
+    path_.send_down(config_.ack_bytes, std::move(apply), /*lossless=*/true, pclass());
   } else {
-    path_.send_up(config_.ack_bytes, std::move(apply), /*lossless=*/true);
+    path_.send_up(config_.ack_bytes, std::move(apply), /*lossless=*/true, pclass());
   }
 }
 
@@ -556,6 +584,7 @@ void Connection::on_ack(Dir d, std::uint64_t packet_num) {
   if (closed_) return;
   auto& s = dir(d);
   ++stats_.acks_received;
+  consecutive_rtos_ = 0;  // any ACK proves the path is alive
 
   auto it = s.in_flight.find(packet_num);
   if (it != s.in_flight.end()) {
@@ -666,6 +695,15 @@ void Connection::handle_rto(Dir d) {
     ev.is_client_to_server = d == Dir::Up;
     trace_->record(ev);
   }
+  // Blackhole detection: RTO fires with not a single ACK in between mean the
+  // path is eating everything (the RTO backoff doubles between fires, so this
+  // is a bounded wall-clock budget, not a fixed count of round trips).
+  ++consecutive_rtos_;
+  if (config_.blackhole_rto_threshold > 0 &&
+      consecutive_rtos_ >= config_.blackhole_rto_threshold) {
+    die(ConnectionError::Blackhole);
+    return;
+  }
   s.rtt.backoff();
   declare_lost(d, s.in_flight.begin()->first, /*from_rto=*/true);
   arm_rto(d);
@@ -673,6 +711,30 @@ void Connection::handle_rto(Dir d) {
 }
 
 // ---------------------------------------------------------------------------
+
+void Connection::set_on_dead(std::function<void(ConnectionError, TimePoint)> on_dead) {
+  on_dead_ = std::move(on_dead);
+}
+
+void Connection::die(ConnectionError error) {
+  if (closed_) return;
+  H3CDN_EXPECTS(error != ConnectionError::None);
+  stats_.error = error;
+  if (trace_) {
+    trace::Event ev{sim_.now(), trace::EventType::ConnectionAborted};
+    ev.fault = error == ConnectionError::HandshakeTimeout ? trace::FaultKind::HandshakeTimeout
+                                                         : trace::FaultKind::Blackhole;
+    trace_->record(ev);
+  }
+  close();
+  if (on_dead_) {
+    // Move out first: the callback may drop its owning session, and with it
+    // this connection's last reference.
+    auto cb = std::move(on_dead_);
+    on_dead_ = nullptr;
+    cb(error, sim_.now());
+  }
+}
 
 void Connection::close() {
   if (closed_) return;

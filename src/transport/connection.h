@@ -41,6 +41,17 @@ namespace h3cdn::transport {
 
 using StreamId = std::uint64_t;
 
+/// Terminal failure reason of a connection (see docs/FAULTS.md §2). A dead
+/// connection has closed itself, told its owner via the on_dead callback, and
+/// will never complete its remaining streams.
+enum class ConnectionError {
+  None,
+  HandshakeTimeout,  // handshake retransmissions exhausted
+  Blackhole,         // consecutive RTOs with no ACK on a ready connection
+};
+
+const char* to_string(ConnectionError e);
+
 struct TransportConfig {
   // Max payload bytes per packet. Equal by default: the congestion window
   // is counted in packets, so unequal MSS would act as a hidden throughput
@@ -70,6 +81,18 @@ struct TransportConfig {
 
   // 0 => derived as max(2 * path RTT, 100ms); doubles per retry.
   Duration handshake_timeout = Duration::zero();
+  // Handshake retransmissions before giving up with
+  // ConnectionError::HandshakeTimeout. With the doubling timer and the 250 ms
+  // floor, 5 retries fire at ~0.25/0.75/1.75/3.75/7.75 s and the connection
+  // dies at ~15.75 s — the regime of kernel SYN-retry budgets and Chrome's
+  // connection timeout. <= 0 disables the cap (retry forever).
+  int max_handshake_retries = 5;
+  // Deadness detector for established connections: this many consecutive
+  // RTO/PTO fires with no intervening ACK (either direction) means the path
+  // is blackholed => ConnectionError::Blackhole. The exponential RTO backoff
+  // makes this a bounded wall-clock budget (~2 s for QUIC's 30 ms floor,
+  // ~13 s for TCP's 200 ms floor on short paths). <= 0 disables.
+  int blackhole_rto_threshold = 6;
 
   // Stream scheduling. Mature H2 stacks honour the browser's fine-grained
   // priority tree (render-critical CSS/JS before images); 2022-era H3 stacks
@@ -110,6 +133,7 @@ struct ConnectionStats {
   std::uint64_t streams_opened = 0;
   std::uint64_t flow_blocked_events = 0;  // sender stalled on a flow-control window
   std::uint64_t window_updates_sent = 0;
+  ConnectionError error = ConnectionError::None;  // set when the connection dies
 };
 
 /// Per-fetch observer callbacks. All fire at client-side simulated times.
@@ -153,11 +177,19 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// detach. No-cost when unset.
   void set_trace(std::shared_ptr<trace::ConnectionTrace> trace);
 
+  /// Installs the death notification: fires at most once, after the
+  /// connection has closed itself on a terminal error (handshake retries
+  /// exhausted or blackhole detected). The owning session evacuates its
+  /// streams from here.
+  void set_on_dead(std::function<void(ConnectionError, TimePoint)> on_dead);
+
   /// Stops all timers and ignores any in-flight events. Idempotent.
   void close();
 
   [[nodiscard]] bool ready() const { return ready_; }
   [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] ConnectionError error() const { return stats_.error; }
+  [[nodiscard]] bool dead() const { return stats_.error != ConnectionError::None; }
   [[nodiscard]] tls::TransportKind kind() const { return kind_; }
   [[nodiscard]] tls::TlsVersion tls_version() const { return version_; }
   [[nodiscard]] tls::HandshakeMode handshake_mode() const { return mode_; }
@@ -274,6 +306,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void handle_rto(Dir d);
   bool has_sendable_data(Dir d);
   std::size_t overhead() const;
+  void die(ConnectionError error);
+  net::PacketClass pclass() const;  // the transport class middleboxes see
 
   sim::Simulator& sim_;
   net::NetPath& path_;
@@ -292,7 +326,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool connect_called_ = false;
   bool ready_ = false;
   bool closed_ = false;
+  int consecutive_rtos_ = 0;  // across both directions; any ACK resets it
   std::function<void(TimePoint)> on_ready_;
+  std::function<void(ConnectionError, TimePoint)> on_dead_;
   std::function<void(tls::SessionTicket)> ticket_sink_;
   std::shared_ptr<trace::ConnectionTrace> trace_;
   std::array<std::size_t, 2> last_traced_cwnd_{0, 0};

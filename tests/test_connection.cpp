@@ -256,6 +256,64 @@ TEST(Connection, HandshakeSurvivesTotalFirstAttemptLoss) {
   EXPECT_GE(conn->stats().handshake_retries, 1);
 }
 
+TEST(Connection, HandshakeTimeoutDoublesPerRetry) {
+  // Fixed 100 ms base timer, total loss: retries must fire at exactly
+  // 100, 300 (=100+200) and 700 (=100+200+400) ms.
+  Fixture f(msec(20), /*loss=*/1.0);
+  TransportConfig config;
+  config.handshake_timeout = msec(100);
+  auto conn = f.make(TransportKind::Quic, TlsVersion::Tls13, HandshakeMode::Fresh, config);
+  conn->connect([](TimePoint) {});
+  f.sim.run_until(msec(99));
+  EXPECT_EQ(conn->stats().handshake_retries, 0);
+  f.sim.run_until(msec(101));
+  EXPECT_EQ(conn->stats().handshake_retries, 1);
+  f.sim.run_until(msec(299));
+  EXPECT_EQ(conn->stats().handshake_retries, 1);
+  f.sim.run_until(msec(301));
+  EXPECT_EQ(conn->stats().handshake_retries, 2);
+  f.sim.run_until(msec(699));
+  EXPECT_EQ(conn->stats().handshake_retries, 2);
+  f.sim.run_until(msec(701));
+  EXPECT_EQ(conn->stats().handshake_retries, 3);
+  conn->close();
+}
+
+TEST(Connection, HandshakeRetryExhaustionYieldsTypedError) {
+  Fixture f(msec(20), /*loss=*/1.0);
+  TransportConfig config;
+  config.handshake_timeout = msec(100);
+  config.max_handshake_retries = 2;
+  auto conn = f.make(TransportKind::Tcp, TlsVersion::Tls13, HandshakeMode::Fresh, config);
+  TimePoint ready{-1};
+  conn->connect([&](TimePoint t) { ready = t; });
+  f.sim.run();  // terminates: the death cancels the retry timer
+  EXPECT_EQ(ready, TimePoint{-1});
+  EXPECT_EQ(conn->error(), ConnectionError::HandshakeTimeout);
+  EXPECT_EQ(conn->stats().handshake_retries, 2);
+  EXPECT_TRUE(conn->closed());
+}
+
+TEST(Connection, HandshakeRetriesDoNotPolluteDataRtt) {
+  // A retried handshake must not leave an inflated RTT/RTO behind: the
+  // post-recovery transfer on a clean link sees zero RTO fires.
+  Fixture f(msec(20), 0.0);
+  f.path.set_loss_rate(1.0);
+  auto conn = f.make(TransportKind::Quic);
+  conn->connect([](TimePoint) {});
+  f.sim.run_until(msec(80));
+  f.path.set_loss_rate(0.0);
+  bool done = false;
+  FetchCallbacks cbs;
+  cbs.on_complete = [&](TimePoint) { done = true; };
+  conn->fetch(500, 200'000, msec(1), std::move(cbs));
+  f.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_GE(conn->stats().handshake_retries, 1);
+  EXPECT_EQ(conn->stats().rto_fires, 0u);
+  EXPECT_EQ(conn->stats().retransmissions, 0u);
+}
+
 TEST(ConnectionDeath, DoubleConnectAborts) {
   Fixture f;
   auto conn = f.make(TransportKind::Tcp);
