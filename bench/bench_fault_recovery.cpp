@@ -48,28 +48,32 @@ void print_resilience(std::ostream& os, const core::ResilienceResult& result) {
   os << "--- Burst vs. Bernoulli at equal average loss (PLT ms) ---\n";
   os << std::left << std::setw(8) << "loss" << std::setw(10) << "model" << std::right
      << std::setw(10) << "h2 mean" << std::setw(10) << "h2 p95" << std::setw(10) << "h3 mean"
-     << std::setw(10) << "h3 p95" << "\n";
+     << std::setw(10) << "h3 p95" << std::setw(12) << "offered" << std::setw(10) << "dropped"
+     << std::setw(10) << "iid-drop" << std::setw(12) << "burst-drop" << "\n";
   os << std::fixed << std::setprecision(1);
   for (const auto& row : result.loss_rows) {
     os << std::left << std::setw(8) << std::setprecision(3) << row.loss_rate
        << std::setprecision(1) << std::setw(10) << (row.bursty ? "burst" : "iid") << std::right
        << std::setw(10) << row.h2_mean_plt_ms
        << std::setw(10) << row.h2_p95_plt_ms << std::setw(10) << row.h3_mean_plt_ms
-       << std::setw(10) << row.h3_p95_plt_ms << "\n";
+       << std::setw(10) << row.h3_p95_plt_ms << std::setw(12) << row.packets_offered
+       << std::setw(10) << row.packets_dropped << std::setw(10) << row.dropped_bernoulli
+       << std::setw(12) << row.dropped_burst << "\n";
   }
 
   os << "\n--- Mid-transfer UDP blackhole: H3->H2 degradation ---\n";
   os << std::left << std::setw(10) << "outage" << std::right << std::setw(8) << "deaths"
      << std::setw(10) << "fallbk" << std::setw(10) << "rescued" << std::setw(8) << "failed"
      << std::setw(10) << "pages%" << std::setw(12) << "mean-pen" << std::setw(12) << "p95-pen"
-     << "\n";
+     << std::setw(12) << "offered" << std::setw(12) << "outage-drop" << "\n";
   for (const auto& row : result.outage_rows) {
     os << std::left << std::setw(10) << (std::to_string(row.outage.count() / 1000) + "ms")
        << std::right
        << std::setw(8) << row.connection_deaths << std::setw(10) << row.h3_fallbacks
        << std::setw(10) << row.requests_rescued << std::setw(8) << row.requests_failed
        << std::setw(10) << row.fallback_page_rate * 100.0 << std::setw(12)
-       << row.mean_recovery_ms << std::setw(12) << row.p95_recovery_ms << "\n";
+       << row.mean_recovery_ms << std::setw(12) << row.p95_recovery_ms
+       << std::setw(12) << row.packets_offered << std::setw(12) << row.dropped_outage << "\n";
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace h3cdn::browser {
@@ -40,6 +42,7 @@ Browser::Browser(sim::Simulator& sim, Environment& env, tls::SessionTicketStore*
 
 void Browser::visit(const web::WebPage& page, std::function<void(PageLoadResult)> on_load) {
   H3CDN_EXPECTS(on_load != nullptr);
+  obs::ProfileScope profile("browser.visit_setup");
   auto visit = std::make_shared<VisitState>();
   visit->page = &page;
   visit->on_load = std::move(on_load);
@@ -56,8 +59,10 @@ void Browser::visit(const web::WebPage& page, std::function<void(PageLoadResult)
   pc.session = config_.session;
   pc.transport = config_.transport;
   pc.think_time = env_.think_fn();
+  pc.connection_trace_factory = config_.connection_trace_factory;
   visit->pool = std::make_unique<http::ConnectionPool>(sim_, pc, env_.resolver(), tickets_,
                                                        rng_.fork(page.site));
+  if (config_.pool_trace) visit->pool->set_trace(config_.pool_trace);
 
   // Partition subresources into discovery waves and bind wave-1 resources to
   // their trigger (deterministic round-robin over wave-0 resources).
@@ -150,6 +155,9 @@ void Browser::on_entry_done(const std::shared_ptr<VisitState>& visit,
   entry.response_headers = resource.response_headers;
   visit->har.entries.push_back(std::move(entry));
   ++visit->completed;
+  obs::count("browser.resources_fetched");
+  if (from_cache) obs::count("browser.cache_hits");
+  if (timings.failed) obs::count("browser.resources_failed");
   if (config_.http_cache_enabled && !from_cache && is_cacheable(resource)) {
     http_cache_.insert(resource.url());
   }
@@ -181,8 +189,11 @@ void Browser::on_entry_done(const std::shared_ptr<VisitState>& visit,
 
 void Browser::maybe_finish(const std::shared_ptr<VisitState>& visit) {
   if (visit->finished || visit->completed < visit->expected) return;
+  obs::ProfileScope profile("browser.page_assembly");
   visit->finished = true;
   visit->har.page_load_time = sim_.now() - visit->har.started;
+  obs::count("browser.pages_loaded");
+  obs::observe_ms("browser.page_load_ms", visit->har.page_load_time);
   const auto& ps = visit->pool->stats();
   visit->har.connections_created = ps.connections_created;
   visit->har.resumed_connections = ps.resumed_connections;

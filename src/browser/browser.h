@@ -45,6 +45,14 @@ struct BrowserConfig {
   http::SessionConfig session;
   transport::TransportConfig transport;
   std::size_t h1_max_connections_per_origin = 6;
+  // Observability wiring, both optional. `pool_trace` receives pool-level
+  // fault/recovery events (FallbackTriggered, H3BrokenMarked, ...);
+  // `connection_trace_factory` hands every new connection its own trace —
+  // typically both come from one obs::TraceAggregator so packet-level and
+  // pool-level events merge onto a single qlog timeline.
+  std::shared_ptr<trace::ConnectionTrace> pool_trace;
+  std::function<std::shared_ptr<trace::ConnectionTrace>(const std::string&, http::HttpVersion)>
+      connection_trace_factory;
 };
 
 struct PageLoadResult {

@@ -1,0 +1,66 @@
+#include "browser/waterfall.h"
+
+#include <algorithm>
+
+namespace h3cdn::browser {
+
+obs::Waterfall make_waterfall(const HarPage& page, const std::string& vantage) {
+  obs::Waterfall wf;
+  wf.site = page.site;
+  wf.vantage = vantage;
+  wf.h3_enabled = page.h3_enabled;
+  wf.page_load_time_ms = to_ms(page.page_load_time);
+  wf.connections_created = page.connections_created;
+  wf.connection_deaths = page.connection_deaths;
+  wf.h3_fallbacks = page.h3_fallbacks;
+  wf.requests_rescued = page.requests_rescued;
+  wf.requests_failed = page.requests_failed;
+
+  wf.entries.reserve(page.entries.size());
+  for (const HarEntry& e : page.entries) {
+    obs::WaterfallEntry out;
+    out.url = e.url;
+    out.domain = e.domain;
+    out.type = web::to_string(e.type);
+    out.protocol = http::to_string(e.timings.version);
+    out.connection_id = e.timings.connection_id;
+    out.attempts = e.timings.attempts;
+    out.from_cache = e.from_cache;
+    out.reused_connection = e.timings.reused_connection;
+    out.resumed = e.timings.resumed;
+    out.failed = e.timings.failed;
+    out.response_bytes = e.response_bytes;
+
+    // The entry's total latency spans DNS (which the browser runs before
+    // submitting to the pool) plus the pool-side phases.
+    const Duration total = e.timings.dns + e.timings.total();
+    out.start_ms = to_ms(e.timings.started - page.started) - to_ms(e.timings.dns);
+    if (e.timings.failed) {
+      // Phase timings of an abandoned entry are meaningless; charge the whole
+      // latency to "blocked" so the row still spans its real wall time.
+      out.blocked_ms = to_ms(total);
+    } else {
+      out.dns_ms = to_ms(e.timings.dns);
+      out.connect_ms = to_ms(e.timings.connect);
+      out.send_ms = to_ms(e.timings.send);
+      out.wait_ms = to_ms(e.timings.wait);
+      out.receive_ms = to_ms(e.timings.receive);
+      // Recomputed as the residual so the phases sum to the entry total
+      // exactly (the session's own clamp-based value can differ by rounding).
+      out.blocked_ms = std::max(0.0, to_ms(total) - out.dns_ms - out.connect_ms - out.send_ms -
+                                         out.wait_ms - out.receive_ms);
+    }
+
+    if (e.from_cache) {
+      out.annotation = "cache";
+    } else if (e.timings.failed) {
+      out.annotation = "failed";
+    } else if (e.timings.attempts > 1) {
+      out.annotation = "rescued";
+    }
+    wf.entries.push_back(std::move(out));
+  }
+  return wf;
+}
+
+}  // namespace h3cdn::browser

@@ -1,0 +1,19 @@
+// HarPage -> obs::Waterfall adapter.
+//
+// The waterfall data model lives in obs/ (no browser dependency); this is
+// the one place that knows how to turn a finished page archive into it.
+#pragma once
+
+#include "browser/har.h"
+#include "obs/waterfall.h"
+
+namespace h3cdn::browser {
+
+/// Builds a per-resource waterfall from a finished page load. Entry start
+/// offsets are relative to the page's navigation start, and each entry's
+/// `blocked` phase is recomputed as the residual so that
+/// dns + blocked + connect + send + wait + receive == the entry's total
+/// latency exactly (the HAR-grade phase-sum invariant).
+[[nodiscard]] obs::Waterfall make_waterfall(const HarPage& page, const std::string& vantage = "");
+
+}  // namespace h3cdn::browser

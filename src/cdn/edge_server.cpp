@@ -1,5 +1,7 @@
 #include "cdn/edge_server.h"
 
+#include "obs/metrics.h"
+
 namespace h3cdn::cdn {
 
 EdgeServer::EdgeServer(const ProviderTraits& traits, util::Rng rng, std::size_t cache_capacity)
@@ -10,17 +12,22 @@ void EdgeServer::warm(const std::string& key) {
 }
 
 Duration EdgeServer::think_time(const std::string& key, http::HttpVersion version) {
+  obs::count("cdn.edge.requests");
   double ms = rng_.lognormal_median(to_ms(traits_.service_time_median),
                                     traits_.service_time_sigma);
   if (version == http::HttpVersion::H3) {
     // Userspace QUIC stack + per-packet crypto; see paper §VI-B.
     ms += to_ms(traits_.h3_extra_service) * rng_.uniform(0.6, 1.4);
   }
-  if (!cache_.touch(key)) {
+  if (cache_.touch(key)) {
+    obs::count("cdn.edge.cache_hits");
+  } else {
     // Cache miss: fetch from the customer's origin before responding.
+    obs::count("cdn.edge.cache_misses");
     ms += to_ms(traits_.origin_fetch_penalty) * rng_.uniform(0.8, 1.5);
     cache_.insert(key);
   }
+  obs::observe("cdn.edge.think_ms", ms);
   return from_ms(ms);
 }
 

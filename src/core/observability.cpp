@@ -1,0 +1,67 @@
+#include "core/observability.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace h3cdn::core {
+
+std::shared_ptr<trace::ConnectionTrace> RunObservability::make_connection_trace(
+    const std::string& label) {
+  if (config_.max_traces != 0 && connection_traces_ >= config_.max_traces) {
+    metrics_.counter("obs.traces_dropped").inc();
+    return nullptr;
+  }
+  ++connection_traces_;
+  return traces_.make_trace(label, config_.trace_capacity);
+}
+
+std::shared_ptr<trace::ConnectionTrace> RunObservability::make_bus_trace(
+    const std::string& label) {
+  return traces_.make_trace(label, config_.trace_capacity);
+}
+
+void RunObservability::add_waterfall(obs::Waterfall waterfall) {
+  if (config_.max_waterfalls != 0 && waterfalls_.size() >= config_.max_waterfalls) {
+    metrics_.counter("obs.waterfalls_dropped").inc();
+    return;
+  }
+  waterfalls_.push_back(std::move(waterfall));
+}
+
+namespace {
+
+bool write_file(const std::filesystem::path& path, const std::string& content,
+                std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + path.string();
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    if (error) *error = "short write to " + path.string();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RunObservability::write_artifacts(const std::string& dir, std::string* error) const {
+  std::error_code ec;
+  const std::filesystem::path base(dir);
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    if (error) *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  return write_file(base / "metrics.json", obs::metrics_to_json(metrics_), error) &&
+         write_file(base / "metrics.csv", obs::metrics_to_csv(metrics_), error) &&
+         write_file(base / "metrics.prom", obs::metrics_to_prometheus(metrics_), error) &&
+         write_file(base / "qlog.json", traces_.to_qlog_json(), error) &&
+         write_file(base / "waterfalls.json", obs::waterfalls_to_json(waterfalls_), error) &&
+         write_file(base / "profile.json", profiler_.to_json(), error);
+}
+
+}  // namespace h3cdn::core

@@ -1,0 +1,77 @@
+// Run-level observability bundle: one object owning the metrics registry,
+// wall-clock profiler, trace aggregator, and collected waterfalls for a
+// study run, plus the artifact writer that turns them into files.
+//
+// Wiring (see docs/OBSERVABILITY.md):
+//   core::RunObservability obs;
+//   core::StudyConfig cfg;
+//   cfg.observability = &obs;
+//   core::MeasurementStudy(cfg).run();
+//   obs.write_artifacts("out/obs");   // metrics.{json,csv,prom}, qlog.json,
+//                                     // waterfalls.json, profile.json
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace_hub.h"
+#include "obs/waterfall.h"
+
+namespace h3cdn::core {
+
+struct ObservabilityConfig {
+  // Per-connection trace ring-buffer capacity (0 = unbounded). The default
+  // keeps the packet tail of every connection without letting long fault
+  // runs grow traces without limit.
+  std::size_t trace_capacity = 4096;
+  // Cap on registered connection traces; once reached, new connections run
+  // untraced (pool bus traces are always kept). 0 = unlimited.
+  std::size_t max_traces = 256;
+  // Cap on collected waterfalls (one per page visit). 0 = unlimited.
+  std::size_t max_waterfalls = 0;
+};
+
+class RunObservability {
+ public:
+  explicit RunObservability(ObservabilityConfig config = {}) : config_(config) {}
+  RunObservability(const RunObservability&) = delete;
+  RunObservability& operator=(const RunObservability&) = delete;
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] obs::PhaseProfiler& profiler() { return profiler_; }
+  [[nodiscard]] const obs::PhaseProfiler& profiler() const { return profiler_; }
+  [[nodiscard]] obs::TraceAggregator& traces() { return traces_; }
+  [[nodiscard]] const obs::TraceAggregator& traces() const { return traces_; }
+  [[nodiscard]] const std::vector<obs::Waterfall>& waterfalls() const { return waterfalls_; }
+  [[nodiscard]] const ObservabilityConfig& config() const { return config_; }
+
+  /// Registers a connection trace under `label`, or returns nullptr when the
+  /// max_traces cap is reached (the connection then runs untraced).
+  std::shared_ptr<trace::ConnectionTrace> make_connection_trace(const std::string& label);
+
+  /// Registers a pool "bus" trace for cross-connection events. Never capped.
+  std::shared_ptr<trace::ConnectionTrace> make_bus_trace(const std::string& label);
+
+  /// Stores a finished page's waterfall (dropped once past max_waterfalls;
+  /// the drop is counted in the `obs.waterfalls_dropped` metric).
+  void add_waterfall(obs::Waterfall waterfall);
+
+  /// Writes metrics.json/csv/prom, qlog.json, waterfalls.json, and
+  /// profile.json into `dir` (created if missing). Returns false and fills
+  /// `error` on I/O failure.
+  bool write_artifacts(const std::string& dir, std::string* error = nullptr) const;
+
+ private:
+  ObservabilityConfig config_;
+  obs::MetricsRegistry metrics_;
+  obs::PhaseProfiler profiler_;
+  obs::TraceAggregator traces_;
+  std::vector<obs::Waterfall> waterfalls_;
+  std::size_t connection_traces_ = 0;
+};
+
+}  // namespace h3cdn::core

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "browser/browser.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -79,13 +80,24 @@ ResilienceResult run_resilience(const ResilienceConfig& config) {
                  : net::GilbertElliottConfig::bernoulli(rate);
       std::vector<double> h2_plts;
       std::vector<double> h3_plts;
-      for (std::size_t site = 0; site < n_sites; ++site) {
-        const web::WebPage& page = workload.sites[site].page;
-        h2_plts.push_back(
-            to_ms(run_visit(workload, page, vantage, false, config, site).plt));
-        h3_plts.push_back(
-            to_ms(run_visit(workload, page, vantage, true, config, site).plt));
+      // Per-cell registry: net::Link reports its drop-reason counters here,
+      // so the row reads drops from the same source of truth as every other
+      // metrics consumer instead of re-aggregating LinkStats by hand.
+      obs::MetricsRegistry cell_metrics;
+      {
+        obs::ScopedMetrics scoped(&cell_metrics);
+        for (std::size_t site = 0; site < n_sites; ++site) {
+          const web::WebPage& page = workload.sites[site].page;
+          h2_plts.push_back(
+              to_ms(run_visit(workload, page, vantage, false, config, site).plt));
+          h3_plts.push_back(
+              to_ms(run_visit(workload, page, vantage, true, config, site).plt));
+        }
       }
+      row.packets_offered = cell_metrics.counter("net.link.packets_offered").value();
+      row.packets_dropped = cell_metrics.counter("net.link.packets_dropped").value();
+      row.dropped_bernoulli = cell_metrics.counter("net.link.dropped.bernoulli").value();
+      row.dropped_burst = cell_metrics.counter("net.link.dropped.burst").value();
       row.pages = n_sites;
       row.h2_mean_plt_ms = util::mean(h2_plts);
       row.h2_p95_plt_ms = util::quantile(h2_plts, 0.95);
@@ -116,17 +128,24 @@ ResilienceResult run_resilience(const ResilienceConfig& config) {
         net::Outage{config.outage_start, outage_duration, config.outage_kind});
     std::size_t pages_with_fallback = 0;
     std::vector<double> penalties_ms;
-    for (std::size_t site = 0; site < n_sites; ++site) {
-      const web::WebPage& page = workload.sites[site].page;
-      const VisitOutcome v = run_visit(workload, page, vantage, true, config, site);
-      row.connection_deaths += v.connection_deaths;
-      row.h3_fallbacks += v.h3_fallbacks;
-      row.requests_rescued += v.requests_rescued;
-      row.requests_failed += v.requests_failed;
-      if (v.h3_fallbacks > 0) ++pages_with_fallback;
-      const double penalty = to_ms(v.plt) - baseline_plt_ms[site];
-      if (penalty > 0.0) penalties_ms.push_back(penalty);
+    obs::MetricsRegistry cell_metrics;
+    {
+      obs::ScopedMetrics scoped(&cell_metrics);
+      for (std::size_t site = 0; site < n_sites; ++site) {
+        const web::WebPage& page = workload.sites[site].page;
+        const VisitOutcome v = run_visit(workload, page, vantage, true, config, site);
+        row.connection_deaths += v.connection_deaths;
+        row.h3_fallbacks += v.h3_fallbacks;
+        row.requests_rescued += v.requests_rescued;
+        row.requests_failed += v.requests_failed;
+        if (v.h3_fallbacks > 0) ++pages_with_fallback;
+        const double penalty = to_ms(v.plt) - baseline_plt_ms[site];
+        if (penalty > 0.0) penalties_ms.push_back(penalty);
+      }
     }
+    row.packets_offered = cell_metrics.counter("net.link.packets_offered").value();
+    row.packets_dropped = cell_metrics.counter("net.link.packets_dropped").value();
+    row.dropped_outage = cell_metrics.counter("net.link.dropped.outage").value();
     row.fallback_page_rate =
         n_sites == 0 ? 0.0 : static_cast<double>(pages_with_fallback) / n_sites;
     if (!penalties_ms.empty()) {

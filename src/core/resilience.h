@@ -63,6 +63,12 @@ struct LossTailRow {
   double h2_p95_plt_ms = 0.0;
   double h3_mean_plt_ms = 0.0;
   double h3_p95_plt_ms = 0.0;
+  // Link drop-reason breakdown over all visits of this cell, read from the
+  // metrics registry (the same counters net::Link reports everywhere).
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t dropped_bernoulli = 0;
+  std::uint64_t dropped_burst = 0;
 };
 
 /// One cell of the outage sweep (H3-enabled visits).
@@ -78,6 +84,11 @@ struct OutageRow {
   double mean_recovery_ms = 0.0;
   double p95_recovery_ms = 0.0;
   double max_recovery_ms = 0.0;
+  // Link drop-reason breakdown over all visits of this cell, read from the
+  // metrics registry (single source of truth with every other consumer).
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t dropped_outage = 0;
 };
 
 struct ResilienceResult {

@@ -2,6 +2,10 @@
 
 #include <map>
 
+#include "browser/waterfall.h"
+#include "core/observability.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/simulator.h"
 #include "tls/ticket_store.h"
 #include "util/check.h"
@@ -30,6 +34,12 @@ StudyResult MeasurementStudy::run(std::shared_ptr<const web::Workload> workload)
 
   util::Rng root(util::derive_seed({config_.seed, 0x57011dULL}));
 
+  // Install the run-wide registry/profiler for the duration of the study;
+  // restored (typically to "disabled") on return.
+  RunObservability* observability = config_.observability;
+  obs::ScopedMetrics scoped_metrics(observability ? &observability->metrics() : nullptr);
+  obs::ScopedProfiler scoped_profiler(observability ? &observability->profiler() : nullptr);
+
   for (const auto& vantage_base : config_.vantages) {
     for (int probe = 0; probe < config_.probes_per_vantage; ++probe) {
       // Same environment seed for the H2 and H3 runs of a probe: paths and
@@ -53,13 +63,33 @@ StudyResult MeasurementStudy::run(std::shared_ptr<const web::Workload> workload)
 
         browser::BrowserConfig bc = config_.browser;
         bc.h3_enabled = h3_enabled;
+
+        // One run = one Simulator, so all of its traces share a monotonic
+        // clock. The pool bus carries cross-connection events (fallbacks,
+        // H3-broken marks) onto the same timeline as the packet traces.
+        const std::string run_label = vantage.name + "/p" + std::to_string(probe) +
+                                      (h3_enabled ? "/h3" : "/h2");
+        if (observability != nullptr) {
+          bc.pool_trace = observability->make_bus_trace(run_label + "/pool");
+          auto counter = std::make_shared<std::uint64_t>(0);
+          bc.connection_trace_factory = [observability, run_label, counter](
+                                            const std::string& domain, http::HttpVersion version) {
+            return observability->make_connection_trace(run_label + "/" + domain + "/" +
+                                                        http::to_string(version) + "#" +
+                                                        std::to_string(++*counter));
+          };
+        }
+
         browser::Browser browser(sim, env, tickets_ptr, bc,
                                  probe_rng.fork(h3_enabled ? "browser-h3" : "browser-h2"));
 
         // Fixed visiting order (§III-B): sequential over the target list.
         for (std::size_t si = 0; si < site_count; ++si) {
           const web::WebPage& page = workload->sites[si].page;
-          if (config_.warm_caches) env.warm_page(page);
+          if (config_.warm_caches) {
+            obs::ProfileScope warm_scope("study.warm_caches");
+            env.warm_page(page);
+          }
 
           browser::PageLoadResult load = browser.visit_and_run(page);
 
@@ -69,6 +99,9 @@ StudyResult MeasurementStudy::run(std::shared_ptr<const web::Workload> workload)
           rec.probe = probe;
           rec.h3_enabled = h3_enabled;
           rec.har = std::move(load.har);
+          if (observability != nullptr) {
+            observability->add_waterfall(browser::make_waterfall(rec.har, run_label));
+          }
           result.visits.push_back(std::move(rec));
 
           // Small think-time gap between consecutive page visits.

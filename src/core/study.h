@@ -20,6 +20,8 @@
 
 namespace h3cdn::core {
 
+class RunObservability;
+
 struct StudyConfig {
   web::WorkloadConfig workload;
   std::vector<browser::VantageConfig> vantages = browser::default_vantage_points();
@@ -30,6 +32,11 @@ struct StudyConfig {
   std::size_t max_sites = 0;   // 0 = all workload sites; else truncate
   std::uint64_t seed = 7;
   browser::BrowserConfig browser;  // h3_enabled is overridden per mode
+  // Optional observability sink (must outlive run()). When set, the study
+  // installs its metrics registry and profiler for the duration of the run,
+  // traces every connection plus a per-run pool event bus into its
+  // aggregator, and records one waterfall per page visit.
+  RunObservability* observability = nullptr;
 };
 
 struct PageVisitRecord {

@@ -1,5 +1,6 @@
 #include "dns/resolver.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace h3cdn::dns {
@@ -25,6 +26,7 @@ int Resolver::channel_setup_rtts() {
   if (channel_open_) return 0;
   channel_open_ = true;
   ++stats_.channels_established;
+  obs::count("dns.channels_established");
   switch (config_.transport) {
     case DnsTransport::DoT:
     case DnsTransport::DoH:
@@ -46,6 +48,7 @@ int Resolver::channel_setup_rtts() {
 Duration Resolver::recursive_work() {
   if (rng_.bernoulli(config_.recursive_cache_hit)) {
     ++stats_.recursive_cache_hits;
+    obs::count("dns.recursive_cache_hits");
     return usec(200);  // cached at the recursive: lookup only
   }
   return from_ms(rng_.lognormal_median(to_ms(config_.auth_lookup_median),
@@ -58,6 +61,7 @@ void Resolver::issue_query(const std::string& name, std::function<void(TimePoint
   // channel (~1 extra RTT); plain UDP waits for the stub's retry timer.
   if (rng_.bernoulli(config_.query_loss_rate)) {
     ++stats_.retries;
+    obs::count("dns.retries");
     const Duration penalty = config_.transport == DnsTransport::Do53
                                  ? config_.udp_timeout
                                  : config_.resolver_rtt;
@@ -83,10 +87,21 @@ void Resolver::issue_query(const std::string& name, std::function<void(TimePoint
 void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> done) {
   H3CDN_EXPECTS(done != nullptr);
   ++stats_.queries;
+  obs::count("dns.queries");
   if (cache_.lookup(name, sim_.now())) {
     ++stats_.stub_cache_hits;
+    obs::count("dns.stub_cache_hits");
     sim_.schedule_in(Duration::zero(), [this, done = std::move(done)] { done(sim_.now()); });
     return;
+  }
+  if (obs::enabled()) {
+    // Wrap the callback to record end-to-end resolve latency (cold path only;
+    // the stub-cache hit above is instantaneous).
+    const TimePoint started = sim_.now();
+    done = [started, done = std::move(done)](TimePoint at) {
+      obs::observe_ms("dns.resolve_ms", at - started);
+      done(at);
+    };
   }
   issue_query(name, std::move(done), 0);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace h3cdn::http {
@@ -31,6 +32,7 @@ bool ConnectionPool::h3_broken(const std::string& domain) {
     // TTL expired: clear the mark; the caller's next H3 dial is the re-probe.
     h3_broken_until_.erase(it);
     ++stats_.h3_reprobes;
+    obs::count("http.pool.h3_reprobes");
     record_fault(trace::EventType::H3ReProbe, trace::FaultKind::None);
     return false;
   }
@@ -79,17 +81,34 @@ std::shared_ptr<Session> ConnectionPool::make_session(const std::string& domain,
   if (tickets_ != nullptr) {
     conn->set_ticket_sink([store = tickets_](tls::SessionTicket t) { store->store(std::move(t)); });
   }
+  if (config_.connection_trace_factory) {
+    conn->set_trace(config_.connection_trace_factory(domain, version));
+  }
 
   ++stats_.connections_created;
   switch (version) {
-    case HttpVersion::H1_1: ++stats_.h1_connections; break;
-    case HttpVersion::H2: ++stats_.h2_connections; break;
-    case HttpVersion::H3: ++stats_.h3_connections; break;
+    case HttpVersion::H1_1:
+      ++stats_.h1_connections;
+      obs::count("http.pool.connections.h1");
+      break;
+    case HttpVersion::H2:
+      ++stats_.h2_connections;
+      obs::count("http.pool.connections.h2");
+      break;
+    case HttpVersion::H3:
+      ++stats_.h3_connections;
+      obs::count("http.pool.connections.h3");
+      break;
   }
-  if (mode != tls::HandshakeMode::Fresh) ++stats_.resumed_connections;
+  if (mode != tls::HandshakeMode::Fresh) {
+    ++stats_.resumed_connections;
+    obs::count("http.pool.resumed_connections");
+  }
   if (mode == tls::HandshakeMode::ZeroRtt) ++stats_.zero_rtt_connections;
 
   auto session = Session::create(sim_, std::move(conn), version, config_.session);
+  // 1-based, pool-scoped: the id shows up in waterfalls and EntryTimings.
+  session->set_connection_id(stats_.connections_created);
   // Death notification: evacuated orphans come back to the pool, which
   // decides between H2 fallback, a fresh same-protocol dial, or giving up.
   std::weak_ptr<Session> weak = session;
@@ -173,6 +192,7 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
                                      transport::ConnectionError error,
                                      std::vector<Session::Orphan> orphans) {
   ++stats_.connection_deaths;
+  obs::count("http.pool.connection_deaths");
   const trace::FaultKind fault = error == transport::ConnectionError::Blackhole
                                      ? trace::FaultKind::Blackhole
                                      : trace::FaultKind::HandshakeTimeout;
@@ -200,6 +220,7 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
     h3_broken_until_[domain] = sim_.now() + config_.h3_broken_ttl;
     ++stats_.h3_broken_marks;
     ++stats_.h3_fallbacks;
+    obs::count("http.pool.h3_fallbacks");
     record_fault(trace::EventType::H3BrokenMarked, fault);
     reroute = HttpVersion::H2;
   }
@@ -207,6 +228,7 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
   for (auto& orphan : orphans) {
     if (orphan.attempts >= config_.max_request_retries) {
       ++stats_.requests_failed;
+      obs::count("http.entries_failed");
       EntryTimings t;
       t.started = orphan.submitted;
       t.finished = sim_.now();
@@ -217,6 +239,7 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
       continue;
     }
     ++stats_.requests_rescued;
+    obs::count("http.pool.requests_rescued");
     record_fault(trace::EventType::FallbackTriggered, fault);
     route_rescue(std::move(orphan), reroute);
   }

@@ -72,6 +72,11 @@ struct PoolConfig {
   // Dispatch attempts per request across connection deaths; beyond this the
   // entry completes with EntryTimings::failed = true.
   int max_request_retries = 3;
+  // Per-connection trace wiring (obs::TraceAggregator). When set, every new
+  // connection records into a trace obtained from this factory, keyed by the
+  // origin domain and the protocol the pool picked.
+  std::function<std::shared_ptr<trace::ConnectionTrace>(const std::string& domain, HttpVersion)>
+      connection_trace_factory;
 };
 
 struct PoolStats {

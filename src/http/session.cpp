@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace h3cdn::http {
@@ -111,6 +112,8 @@ void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) 
   t.finished = completed;
   t.version = version_;
   t.handshake_mode = cstats.mode;
+  t.connection_id = connection_id_;
+  t.attempts = entry->attempts;
   t.new_connection_initiator = entry->initiator;
   t.reused_connection = !entry->initiator;
   t.resumed = entry->initiator && cstats.mode != tls::HandshakeMode::Fresh;
@@ -128,6 +131,14 @@ void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) 
   H3CDN_ASSERT(in_flight_ > 0);
   --in_flight_;
   ++entries_completed_;
+  obs::count("http.entries_completed");
+  if (obs::enabled()) {
+    obs::observe_ms("http.entry.total_ms", t.total());
+    obs::observe_ms("http.entry.connect_ms", t.connect);
+    obs::observe_ms("http.entry.blocked_ms", t.blocked);
+    obs::observe_ms("http.entry.ttfb_ms", t.wait);
+    obs::observe_ms("http.entry.receive_ms", t.receive);
+  }
   std::erase(active_, entry);
   auto done = entry->done;
   maybe_dispatch();

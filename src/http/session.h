@@ -62,6 +62,11 @@ class Session : public std::enable_shared_from_this<Session> {
 
   void set_on_dead(DeathHandler handler) { on_dead_ = std::move(handler); }
 
+  /// Pool-scoped identifier stamped into every entry's timings so waterfalls
+  /// can show which connection served each resource. 0 = unassigned.
+  void set_connection_id(std::uint64_t id) { connection_id_ = id; }
+  [[nodiscard]] std::uint64_t connection_id() const { return connection_id_; }
+
   /// Closes the underlying transport (end of page visit).
   void close();
 
@@ -113,6 +118,7 @@ class Session : public std::enable_shared_from_this<Session> {
   bool closed_ = false;
   bool dead_ = false;
   std::uint64_t entries_completed_ = 0;
+  std::uint64_t connection_id_ = 0;
   DeathHandler on_dead_;
 };
 

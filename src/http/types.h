@@ -40,6 +40,8 @@ struct EntryTimings {
   Duration receive{0};        // first -> last response byte
   HttpVersion version = HttpVersion::H2;
   tls::HandshakeMode handshake_mode = tls::HandshakeMode::Fresh;
+  std::uint64_t connection_id = 0;  // pool-scoped id of the serving connection
+  int attempts = 1;                 // dispatches incl. rescues after deaths
   bool reused_connection = false;  // rode an already-established connection
   bool resumed = false;            // new connection, but via session ticket
   bool new_connection_initiator = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace h3cdn::net {
@@ -40,8 +42,11 @@ void Link::reseed_jitter(std::uint64_t salt) { jitter_rng_ = jitter_rng_.fork(sa
 void Link::transmit(std::size_t size_bytes, std::function<void()> on_deliver, bool lossless,
                     PacketClass pclass) {
   H3CDN_EXPECTS(on_deliver != nullptr);
+  obs::ProfileScope profile("net.link.transmit");
   ++stats_.packets_offered;
   stats_.bytes_offered += size_bytes;
+  obs::count("net.link.packets_offered");
+  obs::count("net.link.bytes_offered", size_bytes);
 
   // Serialization: the link transmits packets back to back at bandwidth_bps.
   Duration tx_time{0};
@@ -68,10 +73,20 @@ void Link::transmit(std::size_t size_bytes, std::function<void()> on_deliver, bo
   }
   if (reason != DropReason::None) {
     ++stats_.packets_dropped;
+    obs::count("net.link.packets_dropped");
     switch (reason) {
-      case DropReason::Bernoulli: ++stats_.dropped_bernoulli; break;
-      case DropReason::Burst: ++stats_.dropped_burst; break;
-      case DropReason::Outage: ++stats_.dropped_outage; break;
+      case DropReason::Bernoulli:
+        ++stats_.dropped_bernoulli;
+        obs::count("net.link.dropped.bernoulli");
+        break;
+      case DropReason::Burst:
+        ++stats_.dropped_burst;
+        obs::count("net.link.dropped.burst");
+        break;
+      case DropReason::Outage:
+        ++stats_.dropped_outage;
+        obs::count("net.link.dropped.outage");
+        break;
       case DropReason::None: break;
     }
     if (trace_) {
@@ -94,6 +109,8 @@ void Link::transmit(std::size_t size_bytes, std::function<void()> on_deliver, bo
       std::max(next_free_ + config_.latency + jitter + extra_delay, last_arrival_);
   last_arrival_ = arrival;
   ++stats_.packets_delivered;
+  obs::count("net.link.packets_delivered");
+  obs::observe_ms("net.link.serialization_wait_ms", start - sim_.now());
   sim_.schedule_at(arrival, std::move(on_deliver));
 }
 

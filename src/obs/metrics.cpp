@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace h3cdn::obs {
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  const std::size_t index = bucket_index(v);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  if (v <= kMinValue) return 0;
+  // Bucket i > 0 covers (kMinValue * kGrowth^(i-1), kMinValue * kGrowth^i].
+  const double exact = std::log(v / kMinValue) / std::log(kGrowth);
+  auto index = static_cast<std::size_t>(std::ceil(exact - 1e-9));
+  return std::max<std::size_t>(index, 1);
+}
+
+double Histogram::bucket_upper(std::size_t index) const {
+  if (index == 0) return kMinValue;
+  return kMinValue * std::pow(kGrowth, static_cast<double>(index));
+}
+
+double Histogram::percentile(double q) const {
+  H3CDN_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Nearest-rank: the smallest bucket whose cumulative count covers rank.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+void write_histogram_summary(util::JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.p50());
+  w.kv("p90", h.p90());
+  w.kv("p99", h.p99());
+  w.kv("p999", h.p999());
+  w.end_object();
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("series_count", static_cast<std::uint64_t>(registry.series_count()));
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : registry.counters()) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : registry.gauges()) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : registry.histograms()) {
+    w.key(name);
+    write_histogram_summary(w, *h);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string metrics_to_csv(const MetricsRegistry& registry) {
+  std::string out = "name,kind,field,value\n";
+  for (const auto& [name, c] : registry.counters()) {
+    out += name + ",counter,value," + std::to_string(c->value()) + '\n';
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    out += name + ",gauge,value," + format_double(g->value()) + '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const auto row = [&](const char* field, double v) {
+      out += name + ",histogram," + field + ',' + format_double(v) + '\n';
+    };
+    out += name + ",histogram,count," + std::to_string(h->count()) + '\n';
+    row("sum", h->sum());
+    row("min", h->min());
+    row("max", h->max());
+    row("mean", h->mean());
+    row("p50", h->p50());
+    row("p90", h->p90());
+    row("p99", h->p99());
+    row("p999", h->p999());
+  }
+  return out;
+}
+
+std::string metrics_to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + ' ' + std::to_string(c->value()) + '\n';
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + ' ' + format_double(g->value()) + '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " summary\n";
+    const auto quantile = [&](const char* q, double v) {
+      out += pname + "{quantile=\"" + q + "\"} " + format_double(v) + '\n';
+    };
+    quantile("0.5", h->p50());
+    quantile("0.9", h->p90());
+    quantile("0.99", h->p99());
+    quantile("0.999", h->p999());
+    out += pname + "_sum " + format_double(h->sum()) + '\n';
+    out += pname + "_count " + std::to_string(h->count()) + '\n';
+  }
+  return out;
+}
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,106 @@
+// PhaseProfiler: real wall-clock cost of simulator phases.
+//
+// Unlike the metrics registry (which records *simulated* quantities), the
+// profiler measures how much host CPU time each simulator phase burns — event
+// loop, link transmission, handshake dispatch, page assembly — so perf
+// regressions introduced by later PRs are visible in one table.
+//
+// Usage: wrap a phase in an RAII scope timer. ProfileScope reads the global
+// profiler once; when none is installed (the default) the constructor and
+// destructor are a single null-check each — safe to leave in hot paths.
+//
+//   void Simulator::run() {
+//     obs::ProfileScope scope("sim.run");
+//     ...
+//   }
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace h3cdn::obs {
+
+class PhaseProfiler {
+ public:
+  struct Phase {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  void record(const char* name, std::uint64_t ns);
+
+  [[nodiscard]] const std::map<std::string, Phase>& phases() const { return phases_; }
+  void clear() { phases_.clear(); }
+
+  /// Plain-text table: phase, calls, total ms, mean us, max us.
+  [[nodiscard]] std::string report() const;
+
+  /// {"phases": {name: {calls, total_ms, mean_us, max_us}}}.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] static PhaseProfiler* global();
+  static PhaseProfiler* set_global(PhaseProfiler* profiler);
+
+ private:
+  std::map<std::string, Phase> phases_;
+};
+
+namespace detail {
+/// Inline-variable global so ProfileScope's constructor inlines to a single
+/// load + branch when no profiler is installed.
+inline PhaseProfiler* g_phase_profiler = nullptr;
+}  // namespace detail
+
+inline PhaseProfiler* PhaseProfiler::global() { return detail::g_phase_profiler; }
+
+inline PhaseProfiler* PhaseProfiler::set_global(PhaseProfiler* profiler) {
+  PhaseProfiler* previous = detail::g_phase_profiler;
+  detail::g_phase_profiler = profiler;
+  return previous;
+}
+
+/// RAII install/restore of the global profiler.
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(PhaseProfiler* profiler)
+      : previous_(PhaseProfiler::set_global(profiler)) {}
+  ~ScopedProfiler() { PhaseProfiler::set_global(previous_); }
+  ScopedProfiler(const ScopedProfiler&) = delete;
+  ScopedProfiler& operator=(const ScopedProfiler&) = delete;
+
+ private:
+  PhaseProfiler* previous_;
+};
+
+/// RAII wall-clock scope timer. `name` must outlive the scope (use string
+/// literals). Costs one branch when no profiler is installed.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) : profiler_(PhaseProfiler::global()), name_(name) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileScope() {
+    if (profiler_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    profiler_->record(
+        name_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,57 @@
+#include "obs/trace_hub.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/json.h"
+
+namespace h3cdn::obs {
+
+std::shared_ptr<trace::ConnectionTrace> TraceAggregator::make_trace(std::string label,
+                                                                    std::size_t capacity) {
+  auto trace = std::make_shared<trace::ConnectionTrace>(capacity);
+  traces_.push_back(NamedTrace{std::move(label), trace});
+  return trace;
+}
+
+void TraceAggregator::add(std::string label, std::shared_ptr<trace::ConnectionTrace> trace) {
+  if (!trace) return;
+  traces_.push_back(NamedTrace{std::move(label), std::move(trace)});
+}
+
+std::size_t TraceAggregator::event_count() const {
+  std::size_t n = 0;
+  for (const auto& t : traces_) n += t.trace->events().size();
+  return n;
+}
+
+std::uint64_t TraceAggregator::dropped_events() const {
+  std::uint64_t n = 0;
+  for (const auto& t : traces_) n += t.trace->dropped_events();
+  return n;
+}
+
+std::vector<TraceAggregator::BusEvent> TraceAggregator::merged_events() const {
+  std::vector<BusEvent> merged;
+  merged.reserve(event_count());
+  for (const auto& t : traces_) {
+    for (const auto& e : t.trace->events()) merged.push_back(BusEvent{&t.label, e});
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const BusEvent& a, const BusEvent& b) { return a.event.at < b.event.at; });
+  return merged;
+}
+
+std::string TraceAggregator::to_qlog_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("qlog_format", "JSON");
+  w.kv("qlog_version", "0.4");
+  w.key("traces").begin_array();
+  for (const auto& t : traces_) t.trace->write_qlog_trace(w, t.label);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,71 @@
+// TraceAggregator: run-level merge of many ConnectionTraces.
+//
+// Individual connections record qlog-style events into their own
+// ConnectionTrace; a study run touches dozens of connections across pools and
+// vantage points. The aggregator owns (or adopts) those traces and merges
+// them into a single multi-trace qlog document, so packet-level events and
+// pool-level events (FallbackTriggered, H3BrokenMarked — recorded into a
+// dedicated "bus" trace per pool) share one timeline and one file.
+//
+// Traces registered here stay live for the whole run via shared_ptr, even
+// after the owning Connection/Pool is destroyed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace h3cdn::obs {
+
+class TraceAggregator {
+ public:
+  struct NamedTrace {
+    std::string label;
+    std::shared_ptr<trace::ConnectionTrace> trace;
+  };
+
+  /// One aggregated event with its source trace attached — the cross-
+  /// connection "event bus" view.
+  struct BusEvent {
+    const std::string* label = nullptr;  // owning NamedTrace's label
+    trace::Event event;
+  };
+
+  TraceAggregator() = default;
+  TraceAggregator(const TraceAggregator&) = delete;
+  TraceAggregator& operator=(const TraceAggregator&) = delete;
+
+  /// Creates, registers, and returns a new trace. `capacity` bounds its ring
+  /// buffer (0 = unbounded).
+  std::shared_ptr<trace::ConnectionTrace> make_trace(std::string label, std::size_t capacity = 0);
+
+  /// Registers an externally created trace under `label`.
+  void add(std::string label, std::shared_ptr<trace::ConnectionTrace> trace);
+
+  [[nodiscard]] const std::vector<NamedTrace>& traces() const { return traces_; }
+  [[nodiscard]] std::size_t trace_count() const { return traces_.size(); }
+
+  /// Total events currently buffered across all registered traces.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Total events discarded by ring buffers across all registered traces.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+  /// All events from all traces merged into one timeline, sorted by simulated
+  /// time (ties keep registration order — stable for deterministic runs).
+  [[nodiscard]] std::vector<BusEvent> merged_events() const;
+
+  /// One qlog document holding every registered trace:
+  /// {"qlog_format":"JSON","qlog_version":"0.4","traces":[...]}.
+  [[nodiscard]] std::string to_qlog_json() const;
+
+  void clear() { traces_.clear(); }
+
+ private:
+  std::vector<NamedTrace> traces_;
+};
+
+}  // namespace h3cdn::obs

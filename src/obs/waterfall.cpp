@@ -1,0 +1,135 @@
+#include "obs/waterfall.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace h3cdn::obs {
+
+namespace {
+
+void write_entry(util::JsonWriter& w, const WaterfallEntry& e) {
+  w.begin_object();
+  w.kv("url", e.url);
+  w.kv("domain", e.domain);
+  w.kv("type", e.type);
+  w.kv("protocol", e.protocol);
+  w.kv("connection_id", e.connection_id);
+  w.kv("attempts", static_cast<std::int64_t>(e.attempts));
+  w.kv("from_cache", e.from_cache);
+  w.kv("reused_connection", e.reused_connection);
+  w.kv("resumed", e.resumed);
+  w.kv("failed", e.failed);
+  w.kv("start_ms", e.start_ms);
+  w.key("phases_ms").begin_object();
+  w.kv("dns", e.dns_ms);
+  w.kv("blocked", e.blocked_ms);
+  w.kv("connect", e.connect_ms);
+  w.kv("send", e.send_ms);
+  w.kv("wait", e.wait_ms);
+  w.kv("receive", e.receive_ms);
+  w.end_object();
+  w.kv("total_ms", e.total_ms());
+  w.kv("response_bytes", e.response_bytes);
+  if (!e.annotation.empty()) w.kv("annotation", e.annotation);
+  w.end_object();
+}
+
+void write_waterfall(util::JsonWriter& w, const Waterfall& wf) {
+  w.begin_object();
+  w.kv("site", wf.site);
+  if (!wf.vantage.empty()) w.kv("vantage", wf.vantage);
+  w.kv("h3_enabled", wf.h3_enabled);
+  w.kv("page_load_time_ms", wf.page_load_time_ms);
+  w.key("pool").begin_object();
+  w.kv("connections_created", wf.connections_created);
+  w.kv("connection_deaths", wf.connection_deaths);
+  w.kv("h3_fallbacks", wf.h3_fallbacks);
+  w.kv("requests_rescued", wf.requests_rescued);
+  w.kv("requests_failed", wf.requests_failed);
+  w.end_object();
+  w.key("entries").begin_array();
+  for (const auto& e : wf.entries) write_entry(w, e);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string waterfall_to_json(const Waterfall& waterfall) {
+  util::JsonWriter w;
+  write_waterfall(w, waterfall);
+  return w.str();
+}
+
+std::string waterfalls_to_json(const std::vector<Waterfall>& waterfalls) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("waterfalls").begin_array();
+  for (const auto& wf : waterfalls) write_waterfall(w, wf);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string waterfall_to_ascii(const Waterfall& waterfall, std::size_t width) {
+  width = std::max<std::size_t>(width, 40);
+  const std::size_t kLabelWidth = 34;
+  const std::size_t bar_width = width - kLabelWidth;
+
+  double span_ms = waterfall.page_load_time_ms;
+  for (const auto& e : waterfall.entries) span_ms = std::max(span_ms, e.end_ms());
+  if (span_ms <= 0.0) span_ms = 1.0;
+
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof line, "%s  [%s]  page load %.1f ms\n", waterfall.site.c_str(),
+                waterfall.h3_enabled ? "h3" : "h2", waterfall.page_load_time_ms);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "phases: D=dns b=blocked C=connect s=send W=wait R=receive  (span %.1f ms)\n",
+                span_ms);
+  out += line;
+
+  for (const auto& e : waterfall.entries) {
+    // Label column: truncated url + protocol.
+    std::string label = e.url;
+    if (label.size() > kLabelWidth - 6) label = label.substr(0, kLabelWidth - 7) + "~";
+    std::snprintf(line, sizeof line, "%-*s %-3s ", static_cast<int>(kLabelWidth - 5),
+                  label.c_str(), e.protocol.c_str());
+    out += line;
+
+    const auto col = [&](double ms) {
+      return static_cast<std::size_t>(ms / span_ms * static_cast<double>(bar_width));
+    };
+    std::string bar(bar_width, ' ');
+    double cursor = e.start_ms;
+    const auto paint = [&](double ms, char glyph) {
+      const std::size_t begin = col(cursor);
+      cursor += ms;
+      std::size_t end = col(cursor);
+      if (ms > 0.0 && end == begin) end = begin + 1;  // ensure visibility
+      for (std::size_t i = begin; i < end && i < bar_width; ++i) bar[i] = glyph;
+    };
+    paint(e.dns_ms, 'D');
+    paint(e.blocked_ms, 'b');
+    paint(e.connect_ms, 'C');
+    paint(e.send_ms, 's');
+    paint(e.wait_ms, 'W');
+    paint(e.receive_ms, 'R');
+    out += bar;
+
+    std::snprintf(line, sizeof line, " %8.1f ms", e.total_ms());
+    out += line;
+    if (e.from_cache) out += " [cache]";
+    if (!e.annotation.empty()) {
+      out += " *";
+      out += e.annotation;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,79 @@
+// Per-page-load waterfall: HAR-grade phase timings for every resource a page
+// fetch performed — when it was queued, how long DNS/connect/TLS took, time
+// to first byte, download time — plus which pooled connection served it, its
+// cache state, and fault/fallback annotations.
+//
+// The data model lives here in obs/ so it has no dependency on the browser
+// layer; browser/waterfall.h provides the HarPage -> Waterfall adapter.
+// Exports: JSON (machine-readable, one object per page) and an ASCII-art
+// timeline for quick terminal inspection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace h3cdn::obs {
+
+/// One resource fetch. All times are fractional milliseconds; `start_ms` is
+/// relative to the page's navigation start. Phases follow HAR semantics:
+/// dns -> blocked (queued waiting for dispatch) -> connect (TCP+TLS or QUIC
+/// handshake; 0 on a reused connection) -> send -> wait (TTFB) -> receive.
+struct WaterfallEntry {
+  std::string url;
+  std::string domain;
+  std::string type;      // resource type (document, script, image, ...)
+  std::string protocol;  // h1 / h2 / h3
+
+  std::uint64_t connection_id = 0;  // pool-scoped id of the serving connection
+  int attempts = 1;                 // >1 when the request was re-dispatched
+  bool from_cache = false;
+  bool reused_connection = false;   // served on an already-open connection
+  bool resumed = false;             // TLS session resumption / QUIC 0-RTT
+  bool failed = false;
+
+  double start_ms = 0.0;
+  double dns_ms = 0.0;
+  double blocked_ms = 0.0;
+  double connect_ms = 0.0;
+  double send_ms = 0.0;
+  double wait_ms = 0.0;
+  double receive_ms = 0.0;
+
+  std::uint64_t response_bytes = 0;
+  std::string annotation;  // "rescued", "failed", "cache", ... ("" = none)
+
+  [[nodiscard]] double total_ms() const {
+    return dns_ms + blocked_ms + connect_ms + send_ms + wait_ms + receive_ms;
+  }
+  [[nodiscard]] double end_ms() const { return start_ms + total_ms(); }
+};
+
+/// One page load's waterfall plus the pool-level counters that explain it.
+struct Waterfall {
+  std::string site;
+  std::string vantage;  // study run label ("" outside a study)
+  bool h3_enabled = false;
+  double page_load_time_ms = 0.0;
+
+  // Pool counters for this page load.
+  std::uint64_t connections_created = 0;
+  std::uint64_t connection_deaths = 0;
+  std::uint64_t h3_fallbacks = 0;
+  std::uint64_t requests_rescued = 0;
+  std::uint64_t requests_failed = 0;
+
+  std::vector<WaterfallEntry> entries;
+};
+
+/// One waterfall as a JSON object.
+[[nodiscard]] std::string waterfall_to_json(const Waterfall& waterfall);
+
+/// Many waterfalls: {"waterfalls": [...]}.
+[[nodiscard]] std::string waterfalls_to_json(const std::vector<Waterfall>& waterfalls);
+
+/// ASCII-art timeline, one row per resource. Phase glyphs: D dns, b blocked,
+/// C connect, s send, W wait (TTFB), R receive; '*' marks annotated rows.
+[[nodiscard]] std::string waterfall_to_ascii(const Waterfall& waterfall, std::size_t width = 100);
+
+}  // namespace h3cdn::obs

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace h3cdn::sim {
@@ -24,6 +26,7 @@ bool Simulator::cancel(EventId id) {
 }
 
 std::size_t Simulator::run() {
+  obs::ProfileScope profile("sim.run");
   std::size_t n = 0;
   while (!queue_.empty()) {
     Event ev = queue_.top();
@@ -39,10 +42,12 @@ std::size_t Simulator::run() {
     ++n;
     ev.fn();
   }
+  obs::count("sim.events_executed", n);
   return n;
 }
 
 std::size_t Simulator::run_until(TimePoint until) {
+  obs::ProfileScope profile("sim.run");
   std::size_t n = 0;
   while (!queue_.empty() && queue_.top().at <= until) {
     Event ev = queue_.top();
@@ -58,6 +63,7 @@ std::size_t Simulator::run_until(TimePoint until) {
     ev.fn();
   }
   if (now_ < until) now_ = until;
+  obs::count("sim.events_executed", n);
   return n;
 }
 

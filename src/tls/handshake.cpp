@@ -1,5 +1,6 @@
 #include "tls/handshake.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace h3cdn::tls {
@@ -49,16 +50,25 @@ std::size_t handshake_server_flight_bytes(TlsVersion version, HandshakeMode mode
 }
 
 Duration handshake_compute_cost(TlsVersion version, HandshakeMode mode) {
+  // Called once per certificate-bearing server flight, so it doubles as the
+  // per-handshake observation point for the metrics registry.
+  Duration cost = usec(150);  // PSK binder check + key schedule only
   switch (mode) {
     case HandshakeMode::Fresh:
       // Signature generation + verification; TLS1.2's RSA-heavy suites are
       // modelled slightly more expensive than TLS1.3's ECDSA defaults.
-      return version == TlsVersion::Tls12 ? usec(1800) : usec(1200);
+      cost = version == TlsVersion::Tls12 ? usec(1800) : usec(1200);
+      obs::count("tls.handshake.fresh");
+      break;
     case HandshakeMode::Resumed:
+      obs::count("tls.handshake.resumed");
+      break;
     case HandshakeMode::ZeroRtt:
-      return usec(150);  // PSK binder check + key schedule only
+      obs::count("tls.handshake.zero_rtt");
+      break;
   }
-  return usec(150);
+  obs::observe_ms("tls.handshake.compute_ms", cost);
+  return cost;
 }
 
 const char* to_string(TlsVersion v) {

@@ -1,8 +1,11 @@
 #include "tls/ticket_store.h"
 
+#include "obs/metrics.h"
+
 namespace h3cdn::tls {
 
 void SessionTicketStore::store(SessionTicket ticket) {
+  obs::count("tls.tickets.stored");
   tickets_[ticket.domain] = std::move(ticket);
 }
 
@@ -11,14 +14,17 @@ std::optional<SessionTicket> SessionTicketStore::find(const std::string& domain,
   auto it = tickets_.find(domain);
   if (it == tickets_.end()) {
     ++misses_;
+    obs::count("tls.tickets.misses");
     return std::nullopt;
   }
   const SessionTicket& t = it->second;
   if (now >= t.issued_at + t.lifetime) {
     ++misses_;
+    obs::count("tls.tickets.misses");
     return std::nullopt;
   }
   ++hits_;
+  obs::count("tls.tickets.hits");
   return t;
 }
 

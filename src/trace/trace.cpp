@@ -71,7 +71,20 @@ const char* category_of(EventType t) {
 
 void ConnectionTrace::record(Event event) {
   H3CDN_EXPECTS(events_.empty() || event.at >= events_.back().at);
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
   events_.push_back(event);
+}
+
+void ConnectionTrace::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
 }
 
 std::size_t ConnectionTrace::count(EventType type) const {
@@ -80,16 +93,13 @@ std::size_t ConnectionTrace::count(EventType type) const {
   return n;
 }
 
-std::string ConnectionTrace::to_qlog_json(const std::string& connection_label) const {
-  util::JsonWriter w;
-  w.begin_object();
-  w.kv("qlog_format", "JSON");
-  w.kv("qlog_version", "0.4");
-  w.key("traces").begin_array();
+void ConnectionTrace::write_qlog_trace(util::JsonWriter& w,
+                                       const std::string& connection_label) const {
   w.begin_object();
   w.key("common_fields").begin_object();
   w.kv("ODCID", connection_label);
   w.kv("time_format", "relative");
+  if (dropped_events_ != 0) w.kv("dropped_events", dropped_events_);
   w.end_object();
   w.key("events").begin_array();
   for (const auto& e : events_) {
@@ -141,6 +151,15 @@ std::string ConnectionTrace::to_qlog_json(const std::string& connection_label) c
   }
   w.end_array();
   w.end_object();
+}
+
+std::string ConnectionTrace::to_qlog_json(const std::string& connection_label) const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("qlog_format", "JSON");
+  w.kv("qlog_version", "0.4");
+  w.key("traces").begin_array();
+  write_qlog_trace(w, connection_label);
   w.end_array();
   w.end_object();
   return w.str();

@@ -5,14 +5,20 @@
 // qlog-flavoured JSON for inspection or visualization.
 //
 // Tracing is opt-in per connection (Connection::set_trace) and costs nothing
-// when disabled.
+// when disabled. Long fault runs can bound trace memory with a ring-buffer
+// capacity: the oldest events are discarded and counted in dropped_events().
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "util/types.h"
+
+namespace h3cdn::util {
+class JsonWriter;
+}
 
 namespace h3cdn::trace {
 
@@ -62,23 +68,46 @@ struct Event {
   FaultKind fault = FaultKind::None;  // for fault/recovery events
 };
 
-/// One connection's event log.
+/// One connection's event log. `capacity` == 0 keeps every event; a positive
+/// capacity turns the log into a ring buffer holding the most recent events
+/// (long fault runs would otherwise grow the log unboundedly).
 class ConnectionTrace {
  public:
+  explicit ConnectionTrace(std::size_t capacity = 0) : capacity_(capacity) {}
+
   void record(Event event);
 
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  /// Caps the event log; 0 restores unbounded growth. Shrinking below the
+  /// current size discards the oldest events (counted as dropped).
+  void set_capacity(std::size_t capacity);
+
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t count(EventType type) const;
   [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Events discarded by the ring buffer since construction/clear().
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
 
   /// Serializes as a qlog-flavoured JSON document: one trace with a flat
   /// event list of [time_ms, category, name, data] rows.
   [[nodiscard]] std::string to_qlog_json(const std::string& connection_label) const;
 
-  void clear() { events_.clear(); }
+  /// Writes this trace as one element of a qlog "traces" array — the building
+  /// block obs::TraceAggregator uses to merge many connections into a single
+  /// multi-trace document. Labels pass through util::JsonWriter escaping, so
+  /// quotes/backslashes/control characters are safe.
+  void write_qlog_trace(util::JsonWriter& w, const std::string& connection_label) const;
+
+  void clear() {
+    events_.clear();
+    dropped_events_ = 0;
+  }
 
  private:
-  std::vector<Event> events_;
+  std::deque<Event> events_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace h3cdn::trace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace h3cdn::transport {
@@ -89,6 +91,9 @@ void Connection::connect(std::function<void(TimePoint)> on_ready) {
   on_ready_ = std::move(on_ready);
   stats_.mode = mode_;
   stats_.connect_start = sim_.now();
+  obs::count("transport.connections_opened");
+  obs::count(kind_ == tls::TransportKind::Quic ? "transport.connections_opened.quic"
+                                               : "transport.connections_opened.tcp");
   if (trace_) trace_->record({sim_.now(), trace::EventType::HandshakeStarted});
 
   hs_total_steps_ = tls::handshake_rtts(kind_, version_, mode_);
@@ -115,6 +120,7 @@ Duration Connection::handshake_timeout_now() const {
 }
 
 void Connection::start_handshake_attempt() {
+  obs::ProfileScope profile("transport.handshake_attempt");
   const std::uint64_t gen = ++hs_generation_;
   auto self = shared_from_this();
 
@@ -151,6 +157,7 @@ void Connection::start_handshake_attempt() {
     }
     ++self->stats_.handshake_retries;
     ++self->hs_retries_this_step_;
+    obs::count("transport.handshake.retries");
     if (self->trace_) {
       trace::Event ev{self->sim_.now(), trace::EventType::HandshakeRetry};
       ev.fault = trace::FaultKind::HandshakeTimeout;
@@ -179,6 +186,7 @@ void Connection::finish_handshake() {
   ready_ = true;
   stats_.ready_at = sim_.now();
   stats_.connect_time = stats_.ready_at - stats_.connect_start;
+  obs::observe_ms("transport.handshake.duration_ms", stats_.connect_time);
   if (trace_) trace_->record({sim_.now(), trace::EventType::HandshakeFinished});
 
   // NewSessionTicket: servers (re)issue tickets on every connection; the
@@ -232,6 +240,7 @@ StreamId Connection::fetch(std::size_t request_bytes, std::size_t response_bytes
   streams_.emplace(sid, std::move(st));
   ++stats_.streams_opened;
   ++active_stream_count_;
+  obs::count("transport.streams_opened");
   if (trace_) {
     trace::Event ev{sim_.now(), trace::EventType::StreamOpened};
     ev.stream_id = sid;
@@ -367,7 +376,11 @@ void Connection::send_chunk(Dir d, const Chunk& chunk, bool is_retx) {
   s.in_flight.emplace(num, SentPacket{chunk, sim_.now(), is_retx});
   ++stats_.packets_sent;
   stats_.bytes_sent += chunk.len;
-  if (is_retx) ++stats_.retransmissions;
+  obs::count("transport.packets_sent");
+  if (is_retx) {
+    ++stats_.retransmissions;
+    obs::count("transport.retransmissions");
+  }
   if (trace_) {
     trace::Event ev{sim_.now(),
                     is_retx ? trace::EventType::Retransmission : trace::EventType::PacketSent};
@@ -412,7 +425,10 @@ void Connection::pump(Dir d) {
       }
       if (data_pending) break;
     }
-    if (data_pending) ++stats_.flow_blocked_events;
+    if (data_pending) {
+      ++stats_.flow_blocked_events;
+      obs::count("transport.flow_blocked");
+    }
   }
   arm_rto(d);
 }
@@ -650,6 +666,7 @@ void Connection::declare_lost(Dir d, std::uint64_t packet_num, bool from_rto) {
   const SentPacket pkt = it->second;
   s.in_flight.erase(it);
   ++stats_.packets_declared_lost;
+  obs::count("transport.packets_lost");
   if (trace_) {
     trace::Event ev{sim_.now(), trace::EventType::PacketLost};
     ev.packet_number = packet_num;
@@ -690,6 +707,7 @@ void Connection::handle_rto(Dir d) {
   s.rto_timer = 0;
   if (s.in_flight.empty()) return;
   ++stats_.rto_fires;
+  obs::count("transport.rto_fires");
   if (trace_) {
     trace::Event ev{sim_.now(), trace::EventType::RtoFired};
     ev.is_client_to_server = d == Dir::Up;
@@ -720,6 +738,8 @@ void Connection::die(ConnectionError error) {
   if (closed_) return;
   H3CDN_EXPECTS(error != ConnectionError::None);
   stats_.error = error;
+  obs::count(error == ConnectionError::HandshakeTimeout ? "transport.deaths.handshake_timeout"
+                                                        : "transport.deaths.blackhole");
   if (trace_) {
     trace::Event ev{sim_.now(), trace::EventType::ConnectionAborted};
     ev.fault = error == ConnectionError::HandshakeTimeout ? trace::FaultKind::HandshakeTimeout

@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "browser/waterfall.h"
+#include "util/json_parse.h"
 #include "web/workload.h"
 
 namespace h3cdn::browser {
@@ -210,6 +212,88 @@ TEST(Browser, HarJsonExportsWellFormed) {
     if (c == '}' || c == ']') --depth;
   }
   EXPECT_EQ(depth, 0);
+}
+
+TEST(Waterfall, PhasesSumToEntryTotal) {
+  Fixture f;
+  const auto r = f.load(0, true);
+  const obs::Waterfall wf = make_waterfall(r.har, "probe-0");
+  EXPECT_EQ(wf.site, r.har.site);
+  EXPECT_EQ(wf.vantage, "probe-0");
+  EXPECT_TRUE(wf.h3_enabled);
+  EXPECT_DOUBLE_EQ(wf.page_load_time_ms, to_ms(r.har.page_load_time));
+  ASSERT_EQ(wf.entries.size(), r.har.entries.size());
+  for (std::size_t i = 0; i < wf.entries.size(); ++i) {
+    const auto& har = r.har.entries[i];
+    const auto& entry = wf.entries[i];
+    // The core invariant: the six phases decompose the entry's wall time
+    // (DNS + started..finished) exactly, with no residual slack.
+    const double expected_total =
+        to_ms(har.timings.dns + (har.timings.finished - har.timings.started));
+    EXPECT_NEAR(entry.total_ms(), expected_total, 1e-6) << entry.url;
+    // start + phases lands on the entry's finish time, page-relative.
+    EXPECT_NEAR(entry.start_ms + entry.total_ms(), to_ms(har.timings.finished - r.har.started),
+                1e-6)
+        << entry.url;
+    EXPECT_GE(entry.blocked_ms, 0.0);
+    if (!entry.from_cache && !entry.failed) {
+      EXPECT_GE(entry.connection_id, 1u) << entry.url;  // pool-scoped, 1-based
+    }
+  }
+}
+
+TEST(Waterfall, JsonExportTotalsMatchPhaseSums) {
+  Fixture f;
+  const auto r = f.load(1, false);
+  const obs::Waterfall wf = make_waterfall(r.har);
+  const auto doc = util::parse_json(obs::waterfall_to_json(wf));
+  ASSERT_TRUE(doc.has_value());
+  const auto& entries = doc->find("entries")->as_array();
+  ASSERT_EQ(entries.size(), wf.entries.size());
+  for (const auto& e : entries) {
+    const util::JsonValue* phases = e.find("phases_ms");
+    ASSERT_NE(phases, nullptr);
+    const double sum = phases->number_or("dns", 0) + phases->number_or("blocked", 0) +
+                       phases->number_or("connect", 0) + phases->number_or("send", 0) +
+                       phases->number_or("wait", 0) + phases->number_or("receive", 0);
+    EXPECT_NEAR(e.number_or("total_ms", -1), sum, 1e-6);
+  }
+
+  const std::string ascii = obs::waterfall_to_ascii(wf);
+  EXPECT_NE(ascii.find(r.har.site), std::string::npos);
+  EXPECT_NE(ascii.find("W"), std::string::npos);  // every entry waits on TTFB
+}
+
+TEST(Waterfall, AnnotatesFallbackAfterH3Death) {
+  // A mid-load UDP blackhole kills H3 connections; the pool falls back to H2
+  // and re-dispatches in-flight requests. The waterfall must carry both the
+  // pool-level fallback count and per-entry "rescued" annotations.
+  Fixture f;
+  sim::Simulator sim;
+  VantageConfig vantage;
+  vantage.fault_profile.outages.push_back(
+      net::Outage{msec(120), sec(600), net::OutageKind::UdpBlackhole});
+  Environment env(sim, f.workload.universe, vantage, util::Rng(1234));
+  env.warm_page(f.workload.sites[0].page);
+  BrowserConfig config;
+  config.h3_enabled = true;
+  Browser browser(sim, env, nullptr, config, util::Rng(99));
+  const auto r = browser.visit_and_run(f.workload.sites[0].page);
+
+  ASSERT_GT(r.pool_stats.h3_fallbacks, 0u);
+  const obs::Waterfall wf = make_waterfall(r.har);
+  EXPECT_EQ(wf.h3_fallbacks, r.pool_stats.h3_fallbacks);
+  EXPECT_EQ(wf.connection_deaths, r.pool_stats.connection_deaths);
+  if (r.pool_stats.requests_rescued > 0) {
+    std::size_t rescued_annotations = 0;
+    for (const auto& e : wf.entries) {
+      if (e.annotation == "rescued") {
+        ++rescued_annotations;
+        EXPECT_GT(e.attempts, 1);
+      }
+    }
+    EXPECT_GT(rescued_annotations, 0u);
+  }
 }
 
 TEST(Environment, ResolvesConsistently) {

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/profiler.h"
+#include "util/json_parse.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace h3cdn::obs {
+namespace {
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.counter("a").inc(4);
+  EXPECT_EQ(reg.counter("a").value(), 5u);
+
+  reg.gauge("g").set(2.5);
+  reg.gauge("g").add(-1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 1.5);
+
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(Metrics, LookupCreatesOnceWithStableAddresses) {
+  MetricsRegistry reg;
+  Counter* a = &reg.counter("x");
+  reg.counter("y").inc();
+  reg.histogram("h").observe(1.0);
+  EXPECT_EQ(a, &reg.counter("x"));  // still the same object after growth
+  EXPECT_EQ(reg.series_count(), 3u);
+  reg.clear();
+  EXPECT_EQ(reg.series_count(), 0u);
+  EXPECT_EQ(reg.counter("x").value(), 0u);  // recreated fresh
+}
+
+TEST(Metrics, HistogramTracksMomentsExactly) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+
+  for (double v : {4.0, 1.0, 16.0, 9.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+}
+
+TEST(Metrics, HistogramPercentilesTrackExactQuantiles) {
+  // Log-bucketed readouts must stay within one bucket width (~9%) of the
+  // exact sample quantile — check against util::quantile as ground truth.
+  Histogram h;
+  std::vector<double> samples;
+  util::Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp(rng.uniform(0.0, 8.0));  // spread over decades
+    h.observe(v);
+    samples.push_back(v);
+  }
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double exact = util::quantile(samples, q);
+    const double estimate = h.percentile(q);
+    EXPECT_GT(estimate, exact * 0.90) << "q=" << q;
+    EXPECT_LT(estimate, exact * 1.10) << "q=" << q;
+  }
+}
+
+TEST(Metrics, HistogramPercentileIsClampedToObservedRange) {
+  Histogram h;
+  h.observe(100.0);
+  // A single sample: every quantile is that sample, not a bucket bound.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 100.0);
+}
+
+TEST(Metrics, HistogramUnderflowBucket) {
+  Histogram h;
+  h.observe(0.0);
+  h.observe(1e-9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.p99(), Histogram::kMinValue);
+}
+
+TEST(Metrics, HooksAreNoOpsWhenDisabled) {
+  ASSERT_EQ(MetricsRegistry::global(), nullptr);
+  EXPECT_FALSE(enabled());
+  // Must not crash or allocate a registry.
+  count("nope");
+  gauge_set("nope", 1.0);
+  observe("nope", 1.0);
+  observe_ms("nope", msec(5));
+  EXPECT_EQ(MetricsRegistry::global(), nullptr);
+}
+
+TEST(Metrics, ScopedInstallRoutesHooksAndRestores) {
+  MetricsRegistry outer;
+  {
+    ScopedMetrics outer_scope(&outer);
+    EXPECT_TRUE(enabled());
+    count("hits", 2);
+    {
+      MetricsRegistry inner;
+      ScopedMetrics inner_scope(&inner);
+      count("hits", 1);  // goes to inner, not outer
+      EXPECT_EQ(inner.counter("hits").value(), 1u);
+    }
+    count("hits");  // outer again
+    observe_ms("latency_ms", msec(250));
+  }
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(outer.counter("hits").value(), 3u);
+  EXPECT_EQ(outer.histogram("latency_ms").count(), 1u);
+  EXPECT_DOUBLE_EQ(outer.histogram("latency_ms").sum(), 250.0);
+}
+
+TEST(Metrics, JsonExportParsesAndRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("net.link.packets_offered").inc(123);
+  reg.gauge("http.pool.open_connections").set(4.0);
+  for (int i = 1; i <= 100; ++i) reg.histogram("dns.resolve_ms").observe(i);
+
+  const auto doc = util::parse_json(metrics_to_json(reg));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->number_or("series_count", -1), 3.0);
+  EXPECT_EQ(doc->find("counters")->number_or("net.link.packets_offered", -1), 123.0);
+  EXPECT_EQ(doc->find("gauges")->number_or("http.pool.open_connections", -1), 4.0);
+  const util::JsonValue* hist = doc->find("histograms")->find("dns.resolve_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->number_or("count", -1), 100.0);
+  EXPECT_EQ(hist->number_or("min", -1), 1.0);
+  EXPECT_EQ(hist->number_or("max", -1), 100.0);
+  EXPECT_NEAR(hist->number_or("p50", -1), 50.0, 50.0 * 0.10);
+}
+
+TEST(Metrics, CsvExportHasOneRowPerField) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(7);
+  reg.histogram("h").observe(2.0);
+  const std::string csv = metrics_to_csv(reg);
+  EXPECT_NE(csv.find("name,kind,field,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("c,counter,value,7\n"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,count,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,p99,"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExportSanitizesNames) {
+  MetricsRegistry reg;
+  reg.counter("net.link.packets_dropped").inc(9);
+  reg.histogram("http.entry.total_ms").observe(10.0);
+  const std::string prom = metrics_to_prometheus(reg);
+  EXPECT_NE(prom.find("# TYPE net_link_packets_dropped counter\n"), std::string::npos);
+  EXPECT_NE(prom.find("net_link_packets_dropped 9\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE http_entry_total_ms summary\n"), std::string::npos);
+  EXPECT_NE(prom.find("http_entry_total_ms{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(prom.find("http_entry_total_ms_count 1\n"), std::string::npos);
+  // No unsanitized metric names survive (dots in values/labels are fine).
+  EXPECT_EQ(prom.find("net.link"), std::string::npos);
+  EXPECT_EQ(prom.find("http.entry"), std::string::npos);
+}
+
+TEST(Profiler, ScopeRecordsOnlyWhenInstalled) {
+  ASSERT_EQ(PhaseProfiler::global(), nullptr);
+  { ProfileScope idle("ignored"); }  // disabled: must be a no-op
+
+  PhaseProfiler profiler;
+  {
+    ScopedProfiler scope(&profiler);
+    { ProfileScope a("phase_a"); }
+    { ProfileScope a("phase_a"); }
+    { ProfileScope b("phase_b"); }
+  }
+  EXPECT_EQ(PhaseProfiler::global(), nullptr);
+  ASSERT_EQ(profiler.phases().size(), 2u);
+  EXPECT_EQ(profiler.phases().at("phase_a").calls, 2u);
+  EXPECT_EQ(profiler.phases().at("phase_b").calls, 1u);
+
+  const auto doc = util::parse_json(profiler.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("phases")->find("phase_a")->number_or("calls", -1), 2.0);
+}
+
+}  // namespace
+}  // namespace h3cdn::obs

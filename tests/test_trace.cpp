@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/path.h"
+#include "obs/trace_hub.h"
 #include "sim/simulator.h"
 #include "transport/connection.h"
 #include "util/json_parse.h"
@@ -97,6 +98,113 @@ TEST(Trace, LossyConnectionRecordsRecoveryEvents) {
   EXPECT_EQ(done, 8);
   EXPECT_GT(trace->count(EventType::PacketLost), 0u);
   EXPECT_EQ(trace->count(EventType::PacketLost), trace->count(EventType::Retransmission));
+}
+
+TEST(Trace, RingBufferDropsOldestAndCounts) {
+  ConnectionTrace t(/*capacity=*/3);
+  for (int i = 1; i <= 5; ++i) t.record({msec(i), EventType::PacketSent});
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+  EXPECT_EQ(t.events().front().at, msec(3));  // oldest two evicted
+  EXPECT_EQ(t.events().back().at, msec(5));
+  t.clear();
+  EXPECT_EQ(t.dropped_events(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, SetCapacityTrimsExistingEvents) {
+  ConnectionTrace t;  // unbounded by default
+  for (int i = 1; i <= 10; ++i) t.record({msec(i), EventType::PacketSent});
+  EXPECT_EQ(t.events().size(), 10u);
+  t.set_capacity(4);
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped_events(), 6u);
+  EXPECT_EQ(t.events().front().at, msec(7));
+}
+
+TEST(Trace, QlogReportsDroppedEvents) {
+  ConnectionTrace t(/*capacity=*/2);
+  for (int i = 1; i <= 5; ++i) t.record({msec(i), EventType::PacketSent});
+  const auto doc = util::parse_json(t.to_qlog_json("capped"));
+  ASSERT_TRUE(doc.has_value());
+  const auto& traces = doc->find("traces")->as_array();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].find("common_fields")->number_or("dropped_events", -1), 3.0);
+  EXPECT_EQ(traces[0].find("events")->as_array().size(), 2u);
+}
+
+TEST(Trace, QlogEscapesHostileLabels) {
+  // Labels flow from domain names and run labels; quotes, backslashes, and
+  // control characters must survive the JSON round trip.
+  const std::string hostile = "evil\"domain\\with\nnewline\tand\x01ctrl";
+  ConnectionTrace t;
+  t.record({msec(1), EventType::HandshakeStarted});
+  const std::string json = t.to_qlog_json(hostile);
+  util::JsonParseError error;
+  const auto doc = util::parse_json(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error.message;
+  const auto& traces = doc->find("traces")->as_array();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].find("common_fields")->string_or("ODCID", ""), hostile);
+}
+
+TEST(TraceAggregator, MergesEventsInTimeOrder) {
+  obs::TraceAggregator agg;
+  auto a = agg.make_trace("conn-a");
+  auto b = agg.make_trace("conn-b");
+  a->record({msec(1), EventType::HandshakeStarted});
+  b->record({msec(2), EventType::HandshakeStarted});
+  a->record({msec(3), EventType::PacketSent});
+  b->record({msec(3), EventType::PacketSent});  // tie: registration order wins
+  b->record({msec(5), EventType::HandshakeFinished});
+
+  EXPECT_EQ(agg.trace_count(), 2u);
+  EXPECT_EQ(agg.event_count(), 5u);
+  const auto merged = agg.merged_events();
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].event.at, merged[i].event.at);
+  }
+  EXPECT_EQ(*merged[2].label, "conn-a");  // stable tie-break at t=3ms
+  EXPECT_EQ(*merged[3].label, "conn-b");
+}
+
+TEST(TraceAggregator, PoolBusSharesTimelineWithPacketTraces) {
+  // Pool-level events (fallback, H3-broken) recorded into a bus trace must
+  // interleave with packet events from connection traces on one timeline.
+  obs::TraceAggregator agg;
+  auto conn = agg.make_trace("run/conn#1");
+  auto bus = agg.make_trace("run/pool");
+  conn->record({msec(10), EventType::PacketSent});
+  Event fallback{msec(20), EventType::FallbackTriggered};
+  fallback.fault = FaultKind::Blackhole;
+  bus->record(fallback);
+  conn->record({msec(30), EventType::PacketSent});
+
+  const auto merged = agg.merged_events();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[1].event.type, EventType::FallbackTriggered);
+  EXPECT_EQ(*merged[1].label, "run/pool");
+}
+
+TEST(TraceAggregator, MultiTraceQlogDocument) {
+  obs::TraceAggregator agg;
+  agg.make_trace("one")->record({msec(1), EventType::HandshakeStarted});
+  agg.make_trace("two", /*capacity=*/1);
+  agg.traces()[1].trace->record({msec(1), EventType::PacketSent});
+  agg.traces()[1].trace->record({msec(2), EventType::PacketSent});
+  agg.add("null-trace", nullptr);  // ignored, not crashed on
+
+  EXPECT_EQ(agg.dropped_events(), 1u);
+  const auto doc = util::parse_json(agg.to_qlog_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("qlog_format", ""), "JSON");
+  EXPECT_EQ(doc->string_or("qlog_version", ""), "0.4");
+  const auto& traces = doc->find("traces")->as_array();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].find("common_fields")->string_or("ODCID", ""), "one");
+  EXPECT_EQ(traces[1].find("common_fields")->string_or("ODCID", ""), "two");
+  EXPECT_EQ(traces[1].find("common_fields")->number_or("dropped_events", -1), 1.0);
 }
 
 TEST(Trace, UntracedConnectionRecordsNothing) {

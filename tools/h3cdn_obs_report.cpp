@@ -1,0 +1,402 @@
+// h3cdn_obs_report — inspect and validate an observability artifact directory
+// written by core::RunObservability::write_artifacts (metrics.json/.csv/.prom,
+// qlog.json, waterfalls.json, profile.json).
+//
+//   h3cdn_obs_report DIR                 human-readable run summary
+//   h3cdn_obs_report DIR --check         validate artifacts; exit 1 on failure
+//     --waterfalls N    number of page waterfalls to render (default 3)
+//     --width N         waterfall terminal width (default 100)
+//     --min-series N    --check: minimum distinct metric series (default 30)
+//     --min-layers N    --check: minimum distinct layer prefixes (default 6)
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/waterfall.h"
+#include "util/json_parse.h"
+
+using namespace h3cdn;
+
+namespace {
+
+struct Options {
+  std::string dir;
+  bool check = false;
+  std::size_t waterfalls = 3;
+  std::size_t width = 100;
+  std::size_t min_series = 30;
+  std::size_t min_layers = 6;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " DIR [--check] [--waterfalls N] [--width N]\n"
+               "       [--min-series N] [--min-layers N]\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--check") {
+      o.check = true;
+    } else if (arg == "--waterfalls") {
+      o.waterfalls = std::stoul(next());
+    } else if (arg == "--width") {
+      o.width = std::stoul(next());
+    } else if (arg == "--min-series") {
+      o.min_series = std::stoul(next());
+    } else if (arg == "--min-layers") {
+      o.min_layers = std::stoul(next());
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else if (o.dir.empty()) {
+      o.dir = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.dir.empty()) usage(argv[0]);
+  return o;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Collects validation failures; empty == pass.
+struct Checker {
+  std::vector<std::string> problems;
+  void fail(std::string what) { problems.push_back(std::move(what)); }
+};
+
+/// Loads `name` from the artifact dir and parses it as JSON. Returns nullopt
+/// (recording the failure) when the file is missing or malformed.
+std::optional<util::JsonValue> load_json(const Options& o, const char* name, Checker& check) {
+  const std::string path = o.dir + "/" + name;
+  const auto text = read_file(path);
+  if (!text) {
+    check.fail(std::string(name) + ": cannot read " + path);
+    return std::nullopt;
+  }
+  util::JsonParseError error;
+  auto doc = util::parse_json(*text, &error);
+  if (!doc) {
+    check.fail(std::string(name) + ": JSON parse error at byte " + std::to_string(error.offset) +
+               ": " + error.message);
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::string layer_of(const std::string& series) {
+  const auto dot = series.find('.');
+  return dot == std::string::npos ? series : series.substr(0, dot);
+}
+
+// --- metrics.json -----------------------------------------------------------
+
+void check_metrics(const util::JsonValue& doc, const Options& o, Checker& check,
+                   std::set<std::string>* layers_out) {
+  if (!doc.is_object()) {
+    check.fail("metrics.json: top level is not an object");
+    return;
+  }
+  std::size_t series = 0;
+  std::set<std::string> layers;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const util::JsonValue* group = doc.find(section);
+    if (group == nullptr || !group->is_object()) {
+      check.fail(std::string("metrics.json: missing object \"") + section + "\"");
+      continue;
+    }
+    for (const auto& [name, value] : group->as_object()) {
+      ++series;
+      layers.insert(layer_of(name));
+      (void)value;
+    }
+  }
+  const double declared = doc.number_or("series_count", -1.0);
+  if (declared != static_cast<double>(series)) {
+    check.fail("metrics.json: series_count=" + std::to_string(declared) +
+               " disagrees with actual " + std::to_string(series));
+  }
+  if (series < o.min_series) {
+    check.fail("metrics.json: only " + std::to_string(series) + " series (need >= " +
+               std::to_string(o.min_series) + ")");
+  }
+  if (layers.size() < o.min_layers) {
+    std::string got;
+    for (const auto& l : layers) got += (got.empty() ? "" : ",") + l;
+    check.fail("metrics.json: only " + std::to_string(layers.size()) + " layer prefixes [" + got +
+               "] (need >= " + std::to_string(o.min_layers) + ")");
+  }
+  if (layers_out) *layers_out = std::move(layers);
+}
+
+// --- waterfalls.json --------------------------------------------------------
+
+obs::WaterfallEntry entry_from_json(const util::JsonValue& e) {
+  obs::WaterfallEntry out;
+  out.url = e.string_or("url", "");
+  out.domain = e.string_or("domain", "");
+  out.type = e.string_or("type", "");
+  out.protocol = e.string_or("protocol", "");
+  out.connection_id = static_cast<std::uint64_t>(e.number_or("connection_id", 0));
+  out.attempts = static_cast<int>(e.number_or("attempts", 1));
+  out.from_cache = e.bool_or("from_cache", false);
+  out.reused_connection = e.bool_or("reused_connection", false);
+  out.resumed = e.bool_or("resumed", false);
+  out.failed = e.bool_or("failed", false);
+  out.start_ms = e.number_or("start_ms", 0.0);
+  if (const util::JsonValue* phases = e.find("phases_ms"); phases != nullptr) {
+    out.dns_ms = phases->number_or("dns", 0.0);
+    out.blocked_ms = phases->number_or("blocked", 0.0);
+    out.connect_ms = phases->number_or("connect", 0.0);
+    out.send_ms = phases->number_or("send", 0.0);
+    out.wait_ms = phases->number_or("wait", 0.0);
+    out.receive_ms = phases->number_or("receive", 0.0);
+  }
+  out.response_bytes = static_cast<std::uint64_t>(e.number_or("response_bytes", 0));
+  out.annotation = e.string_or("annotation", "");
+  return out;
+}
+
+obs::Waterfall waterfall_from_json(const util::JsonValue& w) {
+  obs::Waterfall out;
+  out.site = w.string_or("site", "");
+  out.vantage = w.string_or("vantage", "");
+  out.h3_enabled = w.bool_or("h3_enabled", false);
+  out.page_load_time_ms = w.number_or("page_load_time_ms", 0.0);
+  if (const util::JsonValue* pool = w.find("pool"); pool != nullptr) {
+    out.connections_created = static_cast<std::uint64_t>(pool->number_or("connections_created", 0));
+    out.connection_deaths = static_cast<std::uint64_t>(pool->number_or("connection_deaths", 0));
+    out.h3_fallbacks = static_cast<std::uint64_t>(pool->number_or("h3_fallbacks", 0));
+    out.requests_rescued = static_cast<std::uint64_t>(pool->number_or("requests_rescued", 0));
+    out.requests_failed = static_cast<std::uint64_t>(pool->number_or("requests_failed", 0));
+  }
+  if (const util::JsonValue* entries = w.find("entries"); entries && entries->is_array()) {
+    for (const auto& e : entries->as_array()) out.entries.push_back(entry_from_json(e));
+  }
+  return out;
+}
+
+std::vector<obs::Waterfall> waterfalls_from_json(const util::JsonValue& doc, Checker& check) {
+  std::vector<obs::Waterfall> out;
+  const util::JsonValue* list = doc.find("waterfalls");
+  if (list == nullptr || !list->is_array()) {
+    check.fail("waterfalls.json: missing \"waterfalls\" array");
+    return out;
+  }
+  out.reserve(list->as_array().size());
+  for (const auto& w : list->as_array()) out.push_back(waterfall_from_json(w));
+  return out;
+}
+
+void check_waterfalls(const util::JsonValue& doc, Checker& check) {
+  const util::JsonValue* list = doc.find("waterfalls");
+  if (list == nullptr || !list->is_array()) return;  // reported by the loader
+  std::size_t index = 0;
+  for (const auto& w : list->as_array()) {
+    const util::JsonValue* entries = w.find("entries");
+    if (entries == nullptr || !entries->is_array()) {
+      check.fail("waterfalls.json: page " + std::to_string(index) + " has no entries array");
+      ++index;
+      continue;
+    }
+    std::size_t ei = 0;
+    for (const auto& e : entries->as_array()) {
+      // Core invariant: the exported total equals the phase sum, so any
+      // downstream consumer can decompose a bar without residual slack.
+      const obs::WaterfallEntry entry = entry_from_json(e);
+      const double declared = e.number_or("total_ms", -1.0);
+      if (std::fabs(declared - entry.total_ms()) > 1e-6) {
+        check.fail("waterfalls.json: page " + std::to_string(index) + " entry " +
+                   std::to_string(ei) + " (" + entry.url + "): phases sum to " +
+                   std::to_string(entry.total_ms()) + " ms but total_ms=" +
+                   std::to_string(declared));
+      }
+      ++ei;
+    }
+    ++index;
+  }
+}
+
+// --- qlog.json --------------------------------------------------------------
+
+void check_qlog(const util::JsonValue& doc, Checker& check, std::size_t* events_out) {
+  if (doc.string_or("qlog_format", "") != "JSON") {
+    check.fail("qlog.json: qlog_format != \"JSON\"");
+  }
+  if (doc.string_or("qlog_version", "").empty()) {
+    check.fail("qlog.json: missing qlog_version");
+  }
+  const util::JsonValue* traces = doc.find("traces");
+  if (traces == nullptr || !traces->is_array()) {
+    check.fail("qlog.json: missing \"traces\" array");
+    return;
+  }
+  std::size_t events = 0;
+  std::size_t index = 0;
+  for (const auto& t : traces->as_array()) {
+    const util::JsonValue* common = t.find("common_fields");
+    if (common == nullptr || common->string_or("ODCID", "").empty()) {
+      check.fail("qlog.json: trace " + std::to_string(index) + " has no common_fields.ODCID");
+    }
+    const util::JsonValue* trace_events = t.find("events");
+    if (trace_events == nullptr || !trace_events->is_array()) {
+      check.fail("qlog.json: trace " + std::to_string(index) + " has no events array");
+      ++index;
+      continue;
+    }
+    double last = -1.0;
+    for (const auto& e : trace_events->as_array()) {
+      ++events;
+      const double at = e.number_or("time", -1.0);
+      if (at < last) {
+        check.fail("qlog.json: trace " + std::to_string(index) +
+                   " events are not time-ordered (" + std::to_string(at) + " after " +
+                   std::to_string(last) + ")");
+        break;
+      }
+      last = at;
+      if (e.string_or("name", "").empty()) {
+        check.fail("qlog.json: trace " + std::to_string(index) + " has an unnamed event");
+        break;
+      }
+    }
+    ++index;
+  }
+  if (events_out) *events_out = events;
+}
+
+// --- human-readable summary -------------------------------------------------
+
+void print_metrics(std::ostream& os, const util::JsonValue& doc) {
+  char line[256];
+  if (const util::JsonValue* counters = doc.find("counters");
+      counters != nullptr && counters->is_object()) {
+    os << "--- Counters ---\n";
+    for (const auto& [name, v] : counters->as_object()) {
+      std::snprintf(line, sizeof line, "%-44s %14.0f\n", name.c_str(),
+                    v.is_number() ? v.as_number() : 0.0);
+      os << line;
+    }
+  }
+  if (const util::JsonValue* gauges = doc.find("gauges");
+      gauges != nullptr && gauges->is_object() && !gauges->as_object().empty()) {
+    os << "\n--- Gauges ---\n";
+    for (const auto& [name, v] : gauges->as_object()) {
+      std::snprintf(line, sizeof line, "%-44s %14.3f\n", name.c_str(),
+                    v.is_number() ? v.as_number() : 0.0);
+      os << line;
+    }
+  }
+  if (const util::JsonValue* hists = doc.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    os << "\n--- Histograms ---\n";
+    std::snprintf(line, sizeof line, "%-40s %8s %10s %10s %10s %10s %10s\n", "name", "count",
+                  "mean", "p50", "p90", "p99", "max");
+    os << line;
+    for (const auto& [name, h] : hists->as_object()) {
+      std::snprintf(line, sizeof line, "%-40s %8.0f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                    name.c_str(), h.number_or("count", 0), h.number_or("mean", 0),
+                    h.number_or("p50", 0), h.number_or("p90", 0), h.number_or("p99", 0),
+                    h.number_or("max", 0));
+      os << line;
+    }
+  }
+}
+
+void print_profile(std::ostream& os, const util::JsonValue& doc) {
+  const util::JsonValue* phases = doc.find("phases");
+  if (phases == nullptr || !phases->is_object() || phases->as_object().empty()) return;
+  char line[256];
+  os << "\n--- Wall-clock profile ---\n";
+  std::snprintf(line, sizeof line, "%-28s %10s %12s %10s %10s\n", "phase", "calls", "total ms",
+                "mean us", "max us");
+  os << line;
+  for (const auto& [name, p] : phases->as_object()) {
+    std::snprintf(line, sizeof line, "%-28s %10.0f %12.2f %10.2f %10.2f\n", name.c_str(),
+                  p.number_or("calls", 0), p.number_or("total_ms", 0), p.number_or("mean_us", 0),
+                  p.number_or("max_us", 0));
+    os << line;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  Checker check;
+
+  const auto metrics = load_json(o, "metrics.json", check);
+  const auto waterfalls_doc = load_json(o, "waterfalls.json", check);
+  const auto qlog = load_json(o, "qlog.json", check);
+  const auto profile = load_json(o, "profile.json", check);
+  // The non-JSON exports only need to exist and be non-empty.
+  for (const char* name : {"metrics.csv", "metrics.prom"}) {
+    const auto text = read_file(o.dir + "/" + name);
+    if (!text || text->empty()) check.fail(std::string(name) + ": missing or empty");
+  }
+
+  std::set<std::string> layers;
+  std::size_t qlog_events = 0;
+  if (metrics) check_metrics(*metrics, o, check, &layers);
+  if (waterfalls_doc) check_waterfalls(*waterfalls_doc, check);
+  if (qlog) check_qlog(*qlog, check, &qlog_events);
+
+  if (o.check) {
+    if (check.problems.empty()) {
+      std::cout << "OK: " << (metrics ? metrics->number_or("series_count", 0) : 0)
+                << " metric series across " << layers.size() << " layers, " << qlog_events
+                << " qlog events\n";
+      return 0;
+    }
+    for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
+    return 1;
+  }
+
+  std::ostream& os = std::cout;
+  os << "Observability report for " << o.dir << "\n\n";
+  if (metrics) print_metrics(os, *metrics);
+  if (profile) print_profile(os, *profile);
+
+  if (waterfalls_doc) {
+    Checker ignored;
+    const auto pages = waterfalls_from_json(*waterfalls_doc, ignored);
+    os << "\n--- Waterfalls (" << pages.size() << " pages";
+    if (pages.size() > o.waterfalls) os << ", showing first " << o.waterfalls;
+    os << ") ---\n";
+    for (std::size_t i = 0; i < pages.size() && i < o.waterfalls; ++i) {
+      os << "\n" << obs::waterfall_to_ascii(pages[i], o.width);
+    }
+  }
+  if (qlog) {
+    os << "\nqlog: " << qlog_events << " events across ";
+    const util::JsonValue* traces = qlog->find("traces");
+    os << (traces && traces->is_array() ? traces->as_array().size() : 0) << " traces\n";
+  }
+
+  if (!check.problems.empty()) {
+    os << "\nWARNINGS:\n";
+    for (const auto& p : check.problems) os << "  " << p << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -12,13 +12,18 @@
 //     --experiment NAME  table1|table2|table3|fig2..fig9|summary|all (default all)
 //     --format FMT       text|csv (default text; summary is always JSON)
 //     --out PATH         write to a file instead of stdout
+//     --obs DIR          record run-wide observability artifacts into DIR
+//                        (metrics.{json,csv,prom}, qlog.json, waterfalls.json,
+//                        profile.json — inspect with h3cdn_obs_report)
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/export.h"
+#include "core/observability.h"
 #include "core/report.h"
 #include "web/workload_io.h"
 
@@ -33,13 +38,14 @@ struct Options {
   std::string out_path;
   std::string workload_in;   // load pages from a workload JSON file
   std::string workload_out;  // dump the generated workload and exit
+  std::string obs_dir;       // write observability artifacts here
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N]\n"
                "       [--experiment table1|table2|table3|fig2|...|fig9|summary|all]\n"
-               "       [--format text|csv] [--out PATH]\n"
+               "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
   std::exit(2);
 }
@@ -73,6 +79,8 @@ Options parse(int argc, char** argv) {
       o.workload_in = next();
     } else if (arg == "--workload-out") {
       o.workload_out = next();
+    } else if (arg == "--obs") {
+      o.obs_dir = next();
     } else {
       usage(argv[0]);
     }
@@ -198,8 +206,29 @@ void emit(const Options& o, std::ostream& os) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
+  Options o = parse(argc, argv);
   if (o.format != "text" && o.format != "csv") usage(argv[0]);
+
+  // Every study run in this invocation shares one observability sink, so the
+  // artifacts describe the invocation as a whole.
+  std::optional<core::RunObservability> observability;
+  if (!o.obs_dir.empty()) {
+    observability.emplace();
+    o.study.observability = &*observability;
+  }
+  auto flush_observability = [&]() -> int {
+    if (!observability) return 0;
+    std::string error;
+    if (!observability->write_artifacts(o.obs_dir, &error)) {
+      std::cerr << "observability export failed: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "wrote observability artifacts ("
+              << observability->metrics().series_count() << " series, "
+              << observability->traces().event_count() << " trace events, "
+              << observability->waterfalls().size() << " waterfalls) to " << o.obs_dir << "\n";
+    return 0;
+  };
 
   if (!o.workload_out.empty()) {
     web::WorkloadConfig wcfg = o.study.workload;
@@ -216,7 +245,7 @@ int main(int argc, char** argv) {
 
   if (o.out_path.empty()) {
     emit(o, std::cout);
-    return 0;
+    return flush_observability();
   }
   std::ofstream file(o.out_path);
   if (!file) {
@@ -224,5 +253,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   emit(o, file);
-  return 0;
+  return flush_observability();
 }
