@@ -1,0 +1,103 @@
+// Parallel scaling of the shard-parallel study engine (docs/PARALLELISM.md).
+//
+// Runs the same study — observability ON, so the merge path is included — at
+// --jobs 1/2/4/8 and reports wall-clock speedup over the single-worker run.
+// The study is embarrassingly parallel (one shard per (vantage, probe, mode)
+// run, merge cost is tiny), so on a machine with >= 4 cores the 4-thread
+// speedup should be >= 3x provided there are enough shards to go around;
+// the default config below yields 12 shards (3 vantages x 2 probes x 2
+// modes). On fewer cores the table degenerates gracefully (speedup ~1x) —
+// the determinism check still runs: every job count must produce the same
+// summary JSON and merged metrics byte for byte.
+#include <chrono>
+#include <iomanip>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/export.h"
+#include "core/observability.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace h3cdn;
+
+core::StudyConfig scaling_config(std::size_t sites, int probes, int jobs) {
+  core::StudyConfig cfg;
+  cfg.workload.site_count = sites;
+  cfg.max_sites = sites;
+  cfg.probes_per_vantage = probes;  // 3 vantages x probes x 2 modes shards
+  cfg.consecutive = true;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+void BM_StudyAtJobs(benchmark::State& state) {
+  const auto cfg = scaling_config(/*sites=*/6, /*probes=*/2,
+                                  /*jobs=*/static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::RunObservability obs;
+    core::StudyConfig c = cfg;
+    c.observability = &obs;
+    auto result = core::MeasurementStudy(c).run();
+    benchmark::DoNotOptimize(result.visits.size());
+    benchmark::DoNotOptimize(obs.metrics().series_count());
+  }
+}
+BENCHMARK(BM_StudyAtJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+struct ScalingRow {
+  int jobs = 0;
+  double wall_ms = 0.0;
+  std::string summary;
+  std::string metrics;
+};
+
+void print_scaling(std::ostream& os) {
+  const std::size_t sites = h3cdn::bench::env_size("H3CDN_BENCH_SITES", 48);
+  const int probes = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 2));
+  const unsigned cores = std::thread::hardware_concurrency();
+  os << "sites=" << sites << " probes=" << probes << " shards=" << 3 * probes * 2
+     << " host-cores=" << cores << " (observability on)\n\n";
+
+  std::vector<ScalingRow> rows;
+  for (int jobs : {1, 2, 4, 8}) {
+    ScalingRow row;
+    row.jobs = jobs;
+    core::RunObservability obs;
+    core::StudyConfig cfg = scaling_config(sites, probes, jobs);
+    cfg.observability = &obs;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::MeasurementStudy(cfg).run();
+    const auto stop = std::chrono::steady_clock::now();
+    row.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    row.summary = core::summary_to_json(result);
+    row.metrics = obs::metrics_to_json(obs.metrics());
+    rows.push_back(std::move(row));
+  }
+
+  os << std::left << std::setw(8) << "jobs" << std::right << std::setw(12) << "wall ms"
+     << std::setw(10) << "speedup" << std::setw(14) << "identical?" << "\n";
+  os << std::fixed << std::setprecision(1);
+  bool all_identical = true;
+  for (const auto& row : rows) {
+    const bool identical =
+        row.summary == rows.front().summary && row.metrics == rows.front().metrics;
+    all_identical = all_identical && identical;
+    os << std::left << std::setw(8) << row.jobs << std::right << std::setw(12) << row.wall_ms
+       << std::setw(9) << std::setprecision(2) << rows.front().wall_ms / row.wall_ms << "x"
+       << std::setw(13) << (identical ? "yes" : "NO") << "\n"
+       << std::setprecision(1);
+  }
+  os << "\ndeterminism: " << (all_identical ? "every job count produced byte-identical output"
+                                            : "OUTPUT DIVERGED ACROSS JOB COUNTS")
+     << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Parallel scaling (shard engine, jobs 1/2/4/8)", print_scaling);
+}

@@ -5,6 +5,18 @@
 
 namespace h3cdn::core {
 
+ObservabilityConfig ObservabilityConfig::per_shard(std::size_t shard_count) const {
+  if (shard_count <= 1) return *this;
+  const auto split = [shard_count](std::size_t cap) -> std::size_t {
+    if (cap == 0) return 0;  // unlimited stays unlimited
+    return (cap + shard_count - 1) / shard_count;
+  };
+  ObservabilityConfig shard = *this;
+  shard.max_traces = split(max_traces);
+  shard.max_waterfalls = split(max_waterfalls);
+  return shard;
+}
+
 std::shared_ptr<trace::ConnectionTrace> RunObservability::make_connection_trace(
     const std::string& label) {
   if (config_.max_traces != 0 && connection_traces_ >= config_.max_traces) {
@@ -26,6 +38,18 @@ void RunObservability::add_waterfall(obs::Waterfall waterfall) {
     return;
   }
   waterfalls_.push_back(std::move(waterfall));
+}
+
+void RunObservability::merge_from(RunObservability&& shard) {
+  metrics_.merge_from(shard.metrics_);
+  profiler_.merge_from(shard.profiler_);
+  traces_.merge_from(std::move(shard.traces_));
+  connection_traces_ += shard.connection_traces_;
+  for (obs::Waterfall& w : shard.waterfalls_) add_waterfall(std::move(w));
+  shard.waterfalls_.clear();
+  shard.metrics_.clear();
+  shard.profiler_.clear();
+  shard.connection_traces_ = 0;
 }
 
 namespace {

@@ -28,10 +28,19 @@ struct ObservabilityConfig {
   // runs grow traces without limit.
   std::size_t trace_capacity = 4096;
   // Cap on registered connection traces; once reached, new connections run
-  // untraced (pool bus traces are always kept). 0 = unlimited.
+  // untraced (pool bus traces are always kept). 0 = unlimited. In a sharded
+  // study the cap is split evenly across shards (see per_shard), so which
+  // connections get traced never depends on thread scheduling.
   std::size_t max_traces = 256;
-  // Cap on collected waterfalls (one per page visit). 0 = unlimited.
+  // Cap on collected waterfalls (one per page visit). 0 = unlimited. Split
+  // across shards like max_traces.
   std::size_t max_waterfalls = 0;
+
+  /// The per-shard slice of this config: caps are divided evenly (rounded
+  /// up) across `shard_count` shards so every shard gets a deterministic
+  /// quota regardless of execution order; the ring-buffer capacity is
+  /// per-trace and stays unchanged.
+  [[nodiscard]] ObservabilityConfig per_shard(std::size_t shard_count) const;
 };
 
 class RunObservability {
@@ -59,6 +68,15 @@ class RunObservability {
   /// Stores a finished page's waterfall (dropped once past max_waterfalls;
   /// the drop is counted in the `obs.waterfalls_dropped` metric).
   void add_waterfall(obs::Waterfall waterfall);
+
+  /// Folds a per-shard sink into this run-level one: metrics and profiler
+  /// phases merge (obs::MetricsRegistry::merge_from semantics), the shard's
+  /// traces are appended after the ones already registered, and its
+  /// waterfalls are re-admitted through add_waterfall (so the run-level
+  /// max_waterfalls cap still binds). Callers must merge shards in canonical
+  /// shard order — that single rule is what makes every artifact independent
+  /// of thread scheduling. The shard sink is left drained.
+  void merge_from(RunObservability&& shard);
 
   /// Writes metrics.json/csv/prom, qlog.json, waterfalls.json, and
   /// profile.json into `dir` (created if missing). Returns false and fills

@@ -1,6 +1,7 @@
 #include "core/resilience.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "browser/browser.h"
@@ -8,6 +9,7 @@
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace h3cdn::core {
 
@@ -26,9 +28,17 @@ struct VisitOutcome {
 // the sequential-visit study loop, where simulated time accumulates across
 // pages and an absolute-time outage would only ever hit the first one.
 // Caches are pre-warmed, matching the paper's measured-visit methodology.
+//
+// `metrics` is this visit's own registry handle (may be null). It is
+// installed thread-locally here, on whatever thread executes the visit —
+// never around a batch of visits on the caller's thread — so the drop-reason
+// counters land in the right cell even when visits of several cells are in
+// flight on the pool at once.
 VisitOutcome run_visit(const web::Workload& workload, const web::WebPage& page,
                        const browser::VantageConfig& vantage, bool h3_enabled,
-                       const ResilienceConfig& config, std::uint64_t page_salt) {
+                       const ResilienceConfig& config, std::uint64_t page_salt,
+                       obs::MetricsRegistry* metrics) {
+  obs::ScopedMetrics scoped_metrics(metrics);
   sim::Simulator sim;
   // Same env seed across fault conditions and protocol modes: paths, loss
   // and jitter realizations pair exactly, so condition deltas isolate the
@@ -55,14 +65,29 @@ VisitOutcome run_visit(const web::Workload& workload, const web::WebPage& page,
   return out;
 }
 
+/// Per-site shard of one sweep cell: the visit outcomes plus the metrics the
+/// visits recorded. Sites execute in any order on the pool; the cell folds
+/// shards in site order, so cell rows are independent of scheduling.
+struct SiteShard {
+  VisitOutcome h2;
+  VisitOutcome h3;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
 }  // namespace
 
 ResilienceResult run_resilience(const ResilienceConfig& config) {
   H3CDN_EXPECTS(config.sites >= 1);
+  H3CDN_EXPECTS(config.jobs >= 0);
   web::WorkloadConfig wc = config.workload;
   wc.site_count = std::max(wc.site_count, config.sites);
   const web::Workload workload = web::generate_workload(wc);
   const std::size_t n_sites = std::min(config.sites, workload.sites.size());
+
+  std::size_t jobs = config.jobs == 0 ? util::ThreadPool::default_jobs()
+                                      : static_cast<std::size_t>(config.jobs);
+  jobs = std::min(jobs, n_sites);
+  util::ThreadPool pool(jobs);
 
   ResilienceResult result;
 
@@ -78,21 +103,25 @@ ResilienceResult run_resilience(const ResilienceConfig& config) {
       vantage.fault_profile.gilbert_elliott =
           bursty ? net::GilbertElliottConfig::from_average(rate, config.mean_burst_packets)
                  : net::GilbertElliottConfig::bernoulli(rate);
+      // One shard per site, each with its own registry handle: net::Link
+      // reports its drop-reason counters into the visit's registry, so the
+      // row reads drops from the same source of truth as every other
+      // metrics consumer instead of re-aggregating LinkStats by hand.
+      std::vector<SiteShard> shards(n_sites);
+      pool.parallel_for(n_sites, [&](std::size_t site) {
+        SiteShard& shard = shards[site];
+        shard.metrics = std::make_unique<obs::MetricsRegistry>();
+        const web::WebPage& page = workload.sites[site].page;
+        shard.h2 = run_visit(workload, page, vantage, false, config, site, shard.metrics.get());
+        shard.h3 = run_visit(workload, page, vantage, true, config, site, shard.metrics.get());
+      });
       std::vector<double> h2_plts;
       std::vector<double> h3_plts;
-      // Per-cell registry: net::Link reports its drop-reason counters here,
-      // so the row reads drops from the same source of truth as every other
-      // metrics consumer instead of re-aggregating LinkStats by hand.
       obs::MetricsRegistry cell_metrics;
-      {
-        obs::ScopedMetrics scoped(&cell_metrics);
-        for (std::size_t site = 0; site < n_sites; ++site) {
-          const web::WebPage& page = workload.sites[site].page;
-          h2_plts.push_back(
-              to_ms(run_visit(workload, page, vantage, false, config, site).plt));
-          h3_plts.push_back(
-              to_ms(run_visit(workload, page, vantage, true, config, site).plt));
-        }
+      for (const SiteShard& shard : shards) {
+        h2_plts.push_back(to_ms(shard.h2.plt));
+        h3_plts.push_back(to_ms(shard.h3.plt));
+        cell_metrics.merge_from(*shard.metrics);
       }
       row.packets_offered = cell_metrics.counter("net.link.packets_offered").value();
       row.packets_dropped = cell_metrics.counter("net.link.packets_dropped").value();
@@ -110,14 +139,14 @@ ResilienceResult run_resilience(const ResilienceConfig& config) {
   // --- Axis 2: mid-transfer outage sweep (H3-enabled visits) --------------
   // Fault-free paired baseline first: an outage-only profile makes no Rng
   // draws, so pages the outage never touches replay the baseline byte for
-  // byte and their recovery penalty is exactly zero.
-  std::vector<double> baseline_plt_ms;
-  baseline_plt_ms.reserve(n_sites);
-  for (std::size_t site = 0; site < n_sites; ++site) {
+  // byte and their recovery penalty is exactly zero. Baseline visits record
+  // no metrics (null registry), exactly like the sequential path did.
+  std::vector<double> baseline_plt_ms(n_sites, 0.0);
+  pool.parallel_for(n_sites, [&](std::size_t site) {
     const web::WebPage& page = workload.sites[site].page;
-    baseline_plt_ms.push_back(
-        to_ms(run_visit(workload, page, config.vantage, true, config, site).plt));
-  }
+    baseline_plt_ms[site] =
+        to_ms(run_visit(workload, page, config.vantage, true, config, site, nullptr).plt);
+  });
 
   for (Duration outage_duration : config.outage_durations) {
     OutageRow row;
@@ -126,22 +155,26 @@ ResilienceResult run_resilience(const ResilienceConfig& config) {
     browser::VantageConfig vantage = config.vantage;
     vantage.fault_profile.outages.push_back(
         net::Outage{config.outage_start, outage_duration, config.outage_kind});
+    std::vector<SiteShard> shards(n_sites);
+    pool.parallel_for(n_sites, [&](std::size_t site) {
+      SiteShard& shard = shards[site];
+      shard.metrics = std::make_unique<obs::MetricsRegistry>();
+      const web::WebPage& page = workload.sites[site].page;
+      shard.h3 = run_visit(workload, page, vantage, true, config, site, shard.metrics.get());
+    });
     std::size_t pages_with_fallback = 0;
     std::vector<double> penalties_ms;
     obs::MetricsRegistry cell_metrics;
-    {
-      obs::ScopedMetrics scoped(&cell_metrics);
-      for (std::size_t site = 0; site < n_sites; ++site) {
-        const web::WebPage& page = workload.sites[site].page;
-        const VisitOutcome v = run_visit(workload, page, vantage, true, config, site);
-        row.connection_deaths += v.connection_deaths;
-        row.h3_fallbacks += v.h3_fallbacks;
-        row.requests_rescued += v.requests_rescued;
-        row.requests_failed += v.requests_failed;
-        if (v.h3_fallbacks > 0) ++pages_with_fallback;
-        const double penalty = to_ms(v.plt) - baseline_plt_ms[site];
-        if (penalty > 0.0) penalties_ms.push_back(penalty);
-      }
+    for (std::size_t site = 0; site < n_sites; ++site) {
+      const VisitOutcome& v = shards[site].h3;
+      row.connection_deaths += v.connection_deaths;
+      row.h3_fallbacks += v.h3_fallbacks;
+      row.requests_rescued += v.requests_rescued;
+      row.requests_failed += v.requests_failed;
+      if (v.h3_fallbacks > 0) ++pages_with_fallback;
+      const double penalty = to_ms(v.plt) - baseline_plt_ms[site];
+      if (penalty > 0.0) penalties_ms.push_back(penalty);
+      cell_metrics.merge_from(*shards[site].metrics);
     }
     row.packets_offered = cell_metrics.counter("net.link.packets_offered").value();
     row.packets_dropped = cell_metrics.counter("net.link.packets_dropped").value();

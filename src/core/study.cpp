@@ -1,21 +1,19 @@
 #include "core/study.h"
 
+#include <algorithm>
 #include <map>
 
-#include "browser/waterfall.h"
 #include "core/observability.h"
-#include "obs/metrics.h"
-#include "obs/profiler.h"
-#include "sim/simulator.h"
-#include "tls/ticket_store.h"
+#include "core/probe_run.h"
 #include "util/check.h"
-#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace h3cdn::core {
 
 MeasurementStudy::MeasurementStudy(StudyConfig config) : config_(std::move(config)) {
   H3CDN_EXPECTS(!config_.vantages.empty());
   H3CDN_EXPECTS(config_.probes_per_vantage >= 1);
+  H3CDN_EXPECTS(config_.jobs >= 0);
 }
 
 StudyResult MeasurementStudy::run() const {
@@ -32,83 +30,53 @@ StudyResult MeasurementStudy::run(std::shared_ptr<const web::Workload> workload)
   std::size_t site_count = workload->sites.size();
   if (config_.max_sites > 0) site_count = std::min(site_count, config_.max_sites);
 
-  util::Rng root(util::derive_seed({config_.seed, 0x57011dULL}));
-
-  // Install the run-wide registry/profiler for the duration of the study;
-  // restored (typically to "disabled") on return.
+  // Canonical shard order: vantage-major, then probe, then H2 before H3 —
+  // the exact order the sequential loop visited. Everything downstream
+  // (visit concatenation, metrics/trace/waterfall merge) walks shards in
+  // this order, which is what makes output independent of the job count.
   RunObservability* observability = config_.observability;
-  obs::ScopedMetrics scoped_metrics(observability ? &observability->metrics() : nullptr);
-  obs::ScopedProfiler scoped_profiler(observability ? &observability->profiler() : nullptr);
-
+  std::vector<ProbeRunTask> tasks;
+  tasks.reserve(config_.vantages.size() * static_cast<std::size_t>(config_.probes_per_vantage) * 2);
   for (const auto& vantage_base : config_.vantages) {
     for (int probe = 0; probe < config_.probes_per_vantage; ++probe) {
-      // Same environment seed for the H2 and H3 runs of a probe: paths and
-      // server-time draws align, so reductions isolate the protocol effect.
-      util::Rng probe_rng = root.fork(vantage_base.name).fork(static_cast<std::uint64_t>(probe));
-
       for (const bool h3_enabled : {false, true}) {
-        browser::VantageConfig vantage = vantage_base;
-        vantage.loss_rate = config_.loss_rate;
-        // Path seeds are shared across the two modes (same probe, same
-        // geography); server timing noise is independent (separate visits).
-        vantage.server_noise_salt = h3_enabled ? 0x113 : 0x112;
-
-        sim::Simulator sim;
-        browser::Environment env(sim, workload->universe, vantage, probe_rng.fork("env"));
-
-        // The ticket store is what survives page transitions in consecutive
-        // mode; the base study clears all client state between pages.
-        tls::SessionTicketStore tickets;
-        tls::SessionTicketStore* tickets_ptr = config_.consecutive ? &tickets : nullptr;
-
-        browser::BrowserConfig bc = config_.browser;
-        bc.h3_enabled = h3_enabled;
-
-        // One run = one Simulator, so all of its traces share a monotonic
-        // clock. The pool bus carries cross-connection events (fallbacks,
-        // H3-broken marks) onto the same timeline as the packet traces.
-        const std::string run_label = vantage.name + "/p" + std::to_string(probe) +
-                                      (h3_enabled ? "/h3" : "/h2");
-        if (observability != nullptr) {
-          bc.pool_trace = observability->make_bus_trace(run_label + "/pool");
-          auto counter = std::make_shared<std::uint64_t>(0);
-          bc.connection_trace_factory = [observability, run_label, counter](
-                                            const std::string& domain, http::HttpVersion version) {
-            return observability->make_connection_trace(run_label + "/" + domain + "/" +
-                                                        http::to_string(version) + "#" +
-                                                        std::to_string(++*counter));
-          };
-        }
-
-        browser::Browser browser(sim, env, tickets_ptr, bc,
-                                 probe_rng.fork(h3_enabled ? "browser-h3" : "browser-h2"));
-
-        // Fixed visiting order (§III-B): sequential over the target list.
-        for (std::size_t si = 0; si < site_count; ++si) {
-          const web::WebPage& page = workload->sites[si].page;
-          if (config_.warm_caches) {
-            obs::ProfileScope warm_scope("study.warm_caches");
-            env.warm_page(page);
-          }
-
-          browser::PageLoadResult load = browser.visit_and_run(page);
-
-          PageVisitRecord rec;
-          rec.site_index = si;
-          rec.vantage = vantage.name;
-          rec.probe = probe;
-          rec.h3_enabled = h3_enabled;
-          rec.har = std::move(load.har);
-          if (observability != nullptr) {
-            observability->add_waterfall(browser::make_waterfall(rec.har, run_label));
-          }
-          result.visits.push_back(std::move(rec));
-
-          // Small think-time gap between consecutive page visits.
-          sim.schedule_in(msec(100), [] {});
-          sim.run();
-        }
+        ProbeRunTask task;
+        task.config = &config_;
+        task.workload = workload;
+        task.vantage = vantage_base;
+        task.probe = probe;
+        task.h3_enabled = h3_enabled;
+        task.site_count = site_count;
+        task.shard_index = tasks.size();
+        tasks.push_back(std::move(task));
       }
+    }
+  }
+  if (observability != nullptr) {
+    const ObservabilityConfig shard_config = observability->config().per_shard(tasks.size());
+    for (ProbeRunTask& task : tasks) task.observability = shard_config;
+  }
+
+  // Execute shards on the pool. Workers claim shards dynamically (uneven
+  // page weights self-balance); each shard installs its own thread-local
+  // sinks, so no synchronization is needed beyond the pool's queue.
+  std::vector<ShardResult> shards(tasks.size());
+  {
+    std::size_t jobs = config_.jobs == 0 ? util::ThreadPool::default_jobs()
+                                         : static_cast<std::size_t>(config_.jobs);
+    jobs = std::min(jobs, tasks.size());
+    util::ThreadPool pool(jobs);
+    pool.parallel_for(tasks.size(), [&](std::size_t i) { shards[i] = tasks[i].run(); });
+  }
+
+  // Deterministic merge, canonical shard order.
+  std::size_t visit_count = 0;
+  for (const ShardResult& shard : shards) visit_count += shard.visits.size();
+  result.visits.reserve(visit_count);
+  for (ShardResult& shard : shards) {
+    for (PageVisitRecord& rec : shard.visits) result.visits.push_back(std::move(rec));
+    if (observability != nullptr && shard.observability != nullptr) {
+      observability->merge_from(std::move(*shard.observability));
     }
   }
   return result;

@@ -6,6 +6,12 @@
 // clearing caches between pages, and collecting a HAR archive per visit.
 // The consecutive mode (§VI-D) additionally keeps the TLS session-ticket
 // store alive across pages within a probe run, enabling resumption.
+//
+// Execution is sharded: every (vantage, probe, mode) run is an independent
+// ProbeRunTask (own Simulator, Environment, Rng fork and observability
+// sinks) executed on a util::ThreadPool and merged in canonical shard order,
+// so results are byte-identical for any `jobs` value. docs/PARALLELISM.md
+// documents the sharding model and the determinism contract.
 #pragma once
 
 #include <memory>
@@ -31,6 +37,9 @@ struct StudyConfig {
   bool warm_caches = true;     // the paper's cache-warming first visit
   std::size_t max_sites = 0;   // 0 = all workload sites; else truncate
   std::uint64_t seed = 7;
+  // Worker threads for shard execution: 0 = hardware_concurrency, 1 = one
+  // worker (still the sharded code path, so output is identical either way).
+  int jobs = 0;
   browser::BrowserConfig browser;  // h3_enabled is overridden per mode
   // Optional observability sink (must outlive run()). When set, the study
   // installs its metrics registry and profiler for the duration of the run,

@@ -3,6 +3,7 @@
 namespace h3cdn::dns {
 
 std::optional<DnsRecord> DnsCache::lookup(const std::string& name, TimePoint now) {
+  affinity_.assert_same_shard();
   auto it = records_.find(name);
   if (it == records_.end() || !it->second.valid_at(now)) {
     ++misses_;
@@ -12,11 +13,18 @@ std::optional<DnsRecord> DnsCache::lookup(const std::string& name, TimePoint now
   return it->second;
 }
 
-void DnsCache::insert(DnsRecord record) { records_[record.name] = std::move(record); }
+void DnsCache::insert(DnsRecord record) {
+  affinity_.assert_same_shard();
+  records_[record.name] = std::move(record);
+}
 
-void DnsCache::clear() { records_.clear(); }
+void DnsCache::clear() {
+  affinity_.assert_same_shard();
+  records_.clear();
+}
 
 void DnsCache::remove_expired(TimePoint now) {
+  affinity_.assert_same_shard();
   for (auto it = records_.begin(); it != records_.end();) {
     if (!it->second.valid_at(now)) {
       it = records_.erase(it);

@@ -4,6 +4,13 @@
 // (cache-warming) visit, so measured page loads mostly see hits; the
 // cold-resolution path matters for the DoQ/DoH extension experiments
 // (paper §VIII-B, refs [38][44][45]).
+//
+// Sharding contract: the cache lives inside a shard's Environment (via its
+// resolver), is created by the shard and dies with it. Warm-visit state thus
+// carries over to measured visits only within one (vantage, probe, mode)
+// run, never across shards or pool worker threads. Like the TLS ticket
+// store, it is unsynchronized on purpose; a ShardAffinity guard asserts the
+// single-shard rule on every access.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/shard_affinity.h"
 #include "util/types.h"
 
 namespace h3cdn::dns {
@@ -40,6 +48,9 @@ class DnsCache {
   std::unordered_map<std::string, DnsRecord> records_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // First access binds the owning shard's thread; any later access from a
+  // different thread aborts (see the sharding contract above).
+  util::ShardAffinity affinity_;
 };
 
 }  // namespace h3cdn::dns

@@ -7,8 +7,13 @@
 //     default; the obs::count/observe helpers compile to a single pointer
 //     null-check in that case. Benchmarks hold the hot paths to < 2% overhead
 //     versus un-instrumented code.
-//   * The simulator is single-threaded, so metrics are plain integers —
-//     no atomics, no locks, bit-reproducible given a deterministic run.
+//   * Each simulator shard is single-threaded and records into its own
+//     registry, so metrics are plain integers — no atomics, no locks,
+//     bit-reproducible given a deterministic run. The installed-registry
+//     pointer is thread_local: a shard task installs its private registry on
+//     the worker thread it runs on, and the study merges shard registries in
+//     canonical shard order afterwards (merge_from), which keeps parallel
+//     runs byte-identical to sequential ones. See docs/PARALLELISM.md.
 //   * Naming convention: `<layer>.<subsystem>.<metric>` with the layer
 //     prefix taken from the source directory (net., transport., tls., dns.,
 //     http., cdn., browser., sim.). docs/OBSERVABILITY.md lists every series.
@@ -30,6 +35,9 @@ class Counter {
   void inc(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
 
+  /// Shard merge: counts add. Exact (integer), so merge order is irrelevant.
+  void merge_from(const Counter& other) { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -40,6 +48,11 @@ class Gauge {
   void set(double v) { value_ = v; }
   void add(double delta) { value_ += delta; }
   [[nodiscard]] double value() const { return value_; }
+
+  /// Shard merge: last-writer-wins in merge order. Callers merge shards in
+  /// canonical shard order, so the merged value is the last shard's — the
+  /// same value a sequential run would have ended with.
+  void merge_from(const Gauge& other) { value_ = other.value_; }
 
  private:
   double value_ = 0.0;
@@ -73,6 +86,14 @@ class Histogram {
   [[nodiscard]] double p90() const { return percentile(0.90); }
   [[nodiscard]] double p99() const { return percentile(0.99); }
   [[nodiscard]] double p999() const { return percentile(0.999); }
+
+  /// Shard merge: bucket counts, count, min and max combine exactly, so
+  /// percentiles of a merged histogram equal those of single-registry
+  /// recording regardless of how samples were split across shards. `sum` is
+  /// a float accumulation whose value depends on merge order only — merging
+  /// shards in canonical order therefore yields one reproducible result for
+  /// any job count.
+  void merge_from(const Histogram& other);
 
  private:
   [[nodiscard]] std::size_t bucket_index(double v) const;
@@ -115,8 +136,18 @@ class MetricsRegistry {
 
   void clear();
 
-  /// The process-wide registry instrumentation hooks report into, or nullptr
-  /// when observability is disabled (the default).
+  /// Folds `other` into this registry: counters and histogram buckets add,
+  /// gauges take `other`'s value (last-writer in merge order), series missing
+  /// here are created. Merging every shard in canonical shard order
+  /// reproduces, series for series, what one shared registry would have
+  /// recorded sequentially (histogram `sum` is reproducible per merge order;
+  /// see Histogram::merge_from).
+  void merge_from(const MetricsRegistry& other);
+
+  /// The registry installed on the *current thread* that instrumentation
+  /// hooks report into, or nullptr when observability is disabled (the
+  /// default). Thread-local so concurrent shard tasks each record into their
+  /// own sink.
   [[nodiscard]] static MetricsRegistry* global();
 
   /// Installs `registry` (may be nullptr to disable); returns the previous
@@ -130,10 +161,12 @@ class MetricsRegistry {
 };
 
 namespace detail {
-/// Single process-wide registry pointer. Lives in the header as an inline
-/// variable so global() inlines into the instrumentation hooks — the
-/// disabled path must be one load + one branch, not a function call.
-inline MetricsRegistry* g_metrics_registry = nullptr;
+/// Per-thread registry pointer. Lives in the header as an inline variable so
+/// global() inlines into the instrumentation hooks — the disabled path must
+/// be one thread-local load + one branch, not a function call. thread_local
+/// (rather than a single process-wide pointer) is what lets shard tasks on a
+/// ThreadPool each install their own registry without locking.
+inline thread_local MetricsRegistry* g_metrics_registry = nullptr;
 }  // namespace detail
 
 inline MetricsRegistry* MetricsRegistry::global() { return detail::g_metrics_registry; }
@@ -144,7 +177,9 @@ inline MetricsRegistry* MetricsRegistry::set_global(MetricsRegistry* registry) {
   return previous;
 }
 
-/// RAII install/restore of the global registry.
+/// RAII install/restore of the current thread's registry. Install and
+/// restore happen on the constructing thread; a shard task running on a pool
+/// worker scopes its own registry without affecting other threads.
 class ScopedMetrics {
  public:
   explicit ScopedMetrics(MetricsRegistry* registry)

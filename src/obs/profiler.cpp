@@ -14,6 +14,15 @@ void PhaseProfiler::record(const char* name, std::uint64_t ns) {
   phase.max_ns = std::max(phase.max_ns, ns);
 }
 
+void PhaseProfiler::merge_from(const PhaseProfiler& other) {
+  for (const auto& [name, p] : other.phases_) {
+    Phase& phase = phases_[name];
+    phase.calls += p.calls;
+    phase.total_ns += p.total_ns;
+    phase.max_ns = std::max(phase.max_ns, p.max_ns);
+  }
+}
+
 std::string PhaseProfiler::report() const {
   std::string out;
   char line[160];

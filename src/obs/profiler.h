@@ -36,6 +36,11 @@ class PhaseProfiler {
 
   void record(const char* name, std::uint64_t ns);
 
+  /// Shard merge: calls and total time add, max takes the larger. Merging
+  /// every shard profiler reproduces what one shared profiler would have
+  /// recorded (host wall-clock values themselves are not deterministic).
+  void merge_from(const PhaseProfiler& other);
+
   [[nodiscard]] const std::map<std::string, Phase>& phases() const { return phases_; }
   void clear() { phases_.clear(); }
 
@@ -53,9 +58,11 @@ class PhaseProfiler {
 };
 
 namespace detail {
-/// Inline-variable global so ProfileScope's constructor inlines to a single
-/// load + branch when no profiler is installed.
-inline PhaseProfiler* g_phase_profiler = nullptr;
+/// Inline thread-local variable so ProfileScope's constructor inlines to a
+/// single load + branch when no profiler is installed. Per-thread (like the
+/// metrics registry) so parallel shard tasks each time into their own
+/// profiler without locking.
+inline thread_local PhaseProfiler* g_phase_profiler = nullptr;
 }  // namespace detail
 
 inline PhaseProfiler* PhaseProfiler::global() { return detail::g_phase_profiler; }
@@ -66,7 +73,7 @@ inline PhaseProfiler* PhaseProfiler::set_global(PhaseProfiler* profiler) {
   return previous;
 }
 
-/// RAII install/restore of the global profiler.
+/// RAII install/restore of the current thread's profiler.
 class ScopedProfiler {
  public:
   explicit ScopedProfiler(PhaseProfiler* profiler)

@@ -19,6 +19,12 @@ void TraceAggregator::add(std::string label, std::shared_ptr<trace::ConnectionTr
   traces_.push_back(NamedTrace{std::move(label), std::move(trace)});
 }
 
+void TraceAggregator::merge_from(TraceAggregator&& other) {
+  traces_.reserve(traces_.size() + other.traces_.size());
+  for (NamedTrace& t : other.traces_) traces_.push_back(std::move(t));
+  other.traces_.clear();
+}
+
 std::size_t TraceAggregator::event_count() const {
   std::size_t n = 0;
   for (const auto& t : traces_) n += t.trace->events().size();

@@ -45,6 +45,14 @@ class TraceAggregator {
   /// Registers an externally created trace under `label`.
   void add(std::string label, std::shared_ptr<trace::ConnectionTrace> trace);
 
+  /// Adopts every trace of `other` (which is left empty), appended after the
+  /// traces already registered here. Shard aggregators merged in canonical
+  /// shard order yield the same trace order a sequential run registers, so
+  /// to_qlog_json() is independent of execution interleaving. Shard labels
+  /// (vantage/probe/mode prefixes) keep per-shard connection ids stable and
+  /// collision-free across shards.
+  void merge_from(TraceAggregator&& other);
+
   [[nodiscard]] const std::vector<NamedTrace>& traces() const { return traces_; }
   [[nodiscard]] std::size_t trace_count() const { return traces_.size(); }
 

@@ -5,12 +5,14 @@
 namespace h3cdn::tls {
 
 void SessionTicketStore::store(SessionTicket ticket) {
+  affinity_.assert_same_shard();
   obs::count("tls.tickets.stored");
   tickets_[ticket.domain] = std::move(ticket);
 }
 
 std::optional<SessionTicket> SessionTicketStore::find(const std::string& domain,
                                                       TimePoint now) const {
+  affinity_.assert_same_shard();
   auto it = tickets_.find(domain);
   if (it == tickets_.end()) {
     ++misses_;
@@ -45,11 +47,18 @@ HandshakeMode SessionTicketStore::best_mode(const std::string& domain, TimePoint
   return HandshakeMode::Resumed;
 }
 
-void SessionTicketStore::erase(const std::string& domain) { tickets_.erase(domain); }
+void SessionTicketStore::erase(const std::string& domain) {
+  affinity_.assert_same_shard();
+  tickets_.erase(domain);
+}
 
-void SessionTicketStore::clear() { tickets_.clear(); }
+void SessionTicketStore::clear() {
+  affinity_.assert_same_shard();
+  tickets_.clear();
+}
 
 void SessionTicketStore::remove_expired(TimePoint now) {
+  affinity_.assert_same_shard();
   for (auto it = tickets_.begin(); it != tickets_.end();) {
     if (now >= it->second.issued_at + it->second.lifetime) {
       it = tickets_.erase(it);

@@ -5,6 +5,14 @@
 // tickets allow the next connection to the same domain to resume (H2) or to
 // send 0-RTT early data (H3). The store is keyed by domain, mirroring how
 // browsers scope tickets to the SNI they were issued under.
+//
+// Sharding contract: a store belongs to exactly ONE probe shard. The study
+// engine creates it inside ProbeRunTask::run() and it dies with the shard,
+// so ticket sharing between consecutive-mode visits happens only within that
+// shard's site sequence — never across (vantage, probe, mode) runs, and
+// never across pool worker threads. The store is deliberately unsynchronized
+// (plain map, mutable hit/miss counters); a ShardAffinity guard asserts the
+// contract on every access.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include <unordered_map>
 
 #include "tls/handshake.h"
+#include "util/shard_affinity.h"
 #include "util/types.h"
 
 namespace h3cdn::tls {
@@ -60,6 +69,9 @@ class SessionTicketStore {
   std::unordered_map<std::string, SessionTicket> tickets_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  // First access binds the owning shard's thread; any later access from a
+  // different thread aborts (see the sharding contract above).
+  util::ShardAffinity affinity_;
 };
 
 }  // namespace h3cdn::tls

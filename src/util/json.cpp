@@ -91,8 +91,12 @@ JsonWriter& JsonWriter::value(const char* v) { return value(std::string_view{v})
 JsonWriter& JsonWriter::value(double v) {
   pre_value();
   if (std::isfinite(v)) {
+    // 15 significant digits: enough that additive invariants (e.g. a
+    // waterfall entry's total equals the sum of its parsed phases) survive
+    // the round-trip for any simulated-milliseconds magnitude; %.6g lost
+    // sub-0.01 ms precision once values crossed 1000 and broke them.
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
+    std::snprintf(buf, sizeof buf, "%.15g", v);
     out_ += buf;
   } else {
     out_ += "null";  // JSON has no NaN/Inf

@@ -1,0 +1,39 @@
+// Executable single-shard ownership check.
+//
+// The shard-parallel study engine (core/probe_run.h) gives every
+// (vantage, probe, mode) run its own Simulator, Environment, TLS session
+// ticket store and DNS cache; none of that mutable state may be touched by
+// another pool worker. ShardAffinity turns that ownership rule into an
+// assertion: the first access binds the calling thread, every later access
+// must come from the same one. A violation means shard state leaked across
+// the pool — a data race and a determinism bug — so it aborts immediately
+// instead of letting the run limp on with corrupted measurements.
+//
+// The check is a single relaxed atomic op, cheap enough to stay on in
+// release builds alongside the other H3CDN_* checks.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "util/check.h"
+
+namespace h3cdn::util {
+
+class ShardAffinity {
+ public:
+  /// Binds the calling thread on first use; aborts if any other thread
+  /// touches the owning object afterwards.
+  void assert_same_shard() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // std::thread::id{} == not-a-thread: unbound
+    if (owner_.compare_exchange_strong(expected, self, std::memory_order_relaxed)) return;
+    H3CDN_ASSERT(expected == self && "shard-local object touched from a second thread");
+  }
+
+ private:
+  // relaxed suffices: the id is only compared, never used to publish data.
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace h3cdn::util

@@ -29,7 +29,7 @@ TEST(HarImport, RoundTripPreservesPageMetadata) {
   EXPECT_EQ(imported->h3_enabled, original.har.h3_enabled);
   EXPECT_EQ(imported->connections_created, original.har.connections_created);
   EXPECT_EQ(imported->resumed_connections, original.har.resumed_connections);
-  // onLoad is serialized at microsecond-ish precision via %.6g.
+  // onLoad is serialized at %.15g, far finer than this tolerance.
   EXPECT_NEAR(to_ms(imported->page_load_time), to_ms(original.har.page_load_time), 0.5);
 }
 

@@ -1,0 +1,137 @@
+// Shard-merge semantics of the metrics layer: merging per-shard registries
+// in canonical order must reproduce what one shared registry would have
+// recorded sequentially (the determinism contract of docs/PARALLELISM.md).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/profiler.h"
+#include "util/rng.h"
+
+namespace h3cdn::obs {
+namespace {
+
+TEST(MetricsMerge, CountersAdd) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("net.link.packets_offered").inc(7);
+  b.counter("net.link.packets_offered").inc(5);
+  b.counter("tls.tickets.hits").inc(2);  // series missing in `a`
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("net.link.packets_offered").value(), 12u);
+  EXPECT_EQ(a.counter("tls.tickets.hits").value(), 2u);
+  EXPECT_EQ(b.counter("tls.tickets.hits").value(), 2u);  // source untouched
+}
+
+TEST(MetricsMerge, GaugesTakeTheMergedInValue) {
+  // Last-writer-wins in merge order: with shards merged canonically, the
+  // merged gauge is the value the last shard left — the same value a
+  // sequential run would end with.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("http.pool.open_connections").set(3.0);
+  b.gauge("http.pool.open_connections").set(8.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.gauge("http.pool.open_connections").value(), 8.0);
+}
+
+TEST(MetricsMerge, HistogramMatchesSingleRegistryRecording) {
+  // Split one deterministic sample stream across three shards; the merged
+  // histogram must agree with single-registry recording on every readout.
+  // Integer-valued samples keep the float `sum` exact, so even sum compares
+  // with EXPECT_DOUBLE_EQ.
+  util::Rng rng(42);
+  MetricsRegistry whole;
+  MetricsRegistry shard[3];
+  for (int i = 0; i < 3000; ++i) {
+    const double v = static_cast<double>(rng.uniform_int(1, 100000));
+    whole.histogram("browser.plt_ms").observe(v);
+    shard[i % 3].histogram("browser.plt_ms").observe(v);
+  }
+  MetricsRegistry merged;
+  for (const auto& s : shard) merged.merge_from(s);
+
+  const Histogram& h = merged.histogram("browser.plt_ms");
+  const Histogram& w = whole.histogram("browser.plt_ms");
+  EXPECT_EQ(h.count(), w.count());
+  EXPECT_DOUBLE_EQ(h.sum(), w.sum());
+  EXPECT_DOUBLE_EQ(h.min(), w.min());
+  EXPECT_DOUBLE_EQ(h.max(), w.max());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), w.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(MetricsMerge, HistogramMergeIntoEmptyPreservesMinMax) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  b.histogram("x").observe(5.0);
+  b.histogram("x").observe(9.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.histogram("x").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("x").min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.histogram("x").max(), 9.0);
+  // And the other direction: merging an empty histogram changes nothing.
+  MetricsRegistry empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.histogram("x").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("x").min(), 5.0);
+}
+
+TEST(MetricsMerge, MergeIsAssociative) {
+  // (a + b) + c and a + (b + c) must export identically — the property that
+  // lets the study fold shard registries pairwise in canonical order.
+  // Integer-valued samples keep histogram sums exact, so the comparison is
+  // on the full export string.
+  util::Rng base(7);
+  auto fill = [&](MetricsRegistry& r, std::uint64_t salt) {
+    util::Rng stream = base.fork(salt);  // same salt => same samples
+    r.counter("c").inc(salt);
+    r.gauge("g").set(static_cast<double>(salt));
+    for (int i = 0; i < 500; ++i) {
+      r.histogram("h").observe(static_cast<double>(stream.uniform_int(1, 1000)));
+    }
+  };
+  MetricsRegistry a1, b1, c1, a2, b2, c2;
+  fill(a1, 3);
+  fill(a2, 3);
+  fill(b1, 11);
+  fill(b2, 11);
+  fill(c1, 29);
+  fill(c2, 29);
+
+  // Left fold: (a + b) + c.
+  MetricsRegistry left;
+  left.merge_from(a1);
+  left.merge_from(b1);
+  left.merge_from(c1);
+  // Right fold: a + (b + c).
+  MetricsRegistry bc;
+  bc.merge_from(b2);
+  bc.merge_from(c2);
+  MetricsRegistry right;
+  right.merge_from(a2);
+  right.merge_from(bc);
+
+  EXPECT_EQ(metrics_to_json(left), metrics_to_json(right));
+  EXPECT_EQ(metrics_to_csv(left), metrics_to_csv(right));
+}
+
+TEST(MetricsMerge, ProfilerPhasesCombine) {
+  PhaseProfiler a;
+  PhaseProfiler b;
+  a.record("study.visit", 100);
+  a.record("study.visit", 300);
+  b.record("study.visit", 250);
+  b.record("study.warm", 40);
+  a.merge_from(b);
+  EXPECT_EQ(a.phases().at("study.visit").calls, 3u);
+  EXPECT_EQ(a.phases().at("study.visit").total_ns, 650u);
+  EXPECT_EQ(a.phases().at("study.visit").max_ns, 300u);
+  EXPECT_EQ(a.phases().at("study.warm").calls, 1u);
+}
+
+}  // namespace
+}  // namespace h3cdn::obs

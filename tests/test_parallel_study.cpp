@@ -1,0 +1,112 @@
+// The determinism contract of the shard-parallel study engine: for a fixed
+// seed, every exported artifact must be byte-identical at any --jobs value
+// (docs/PARALLELISM.md). These tests pin the contract at jobs=1 vs jobs=4.
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "core/experiments.h"
+#include "core/export.h"
+#include "core/observability.h"
+#include "obs/metrics.h"
+#include "obs/waterfall.h"
+#include "tls/ticket_store.h"
+
+namespace h3cdn::core {
+namespace {
+
+StudyConfig parallel_config(int jobs) {
+  StudyConfig cfg;
+  cfg.workload.site_count = 3;
+  cfg.max_sites = 3;
+  cfg.vantages = browser::default_vantage_points();  // 3 vantages
+  cfg.probes_per_vantage = 2;                        // => 12 shards
+  cfg.consecutive = true;  // exercise the per-shard ticket store
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(ParallelStudy, VisitsAreIdenticalAcrossJobCounts) {
+  const auto one = MeasurementStudy(parallel_config(1)).run();
+  const auto four = MeasurementStudy(parallel_config(4)).run();
+  ASSERT_EQ(one.visits.size(), four.visits.size());
+  for (std::size_t i = 0; i < one.visits.size(); ++i) {
+    const auto& a = one.visits[i];
+    const auto& b = four.visits[i];
+    EXPECT_EQ(a.vantage, b.vantage);
+    EXPECT_EQ(a.probe, b.probe);
+    EXPECT_EQ(a.site_index, b.site_index);
+    EXPECT_EQ(a.h3_enabled, b.h3_enabled);
+    EXPECT_EQ(a.har.page_load_time, b.har.page_load_time);
+    EXPECT_EQ(a.har.connections_created, b.har.connections_created);
+    EXPECT_EQ(a.har.resumed_connections, b.har.resumed_connections);
+    EXPECT_EQ(a.har.entries.size(), b.har.entries.size());
+  }
+}
+
+TEST(ParallelStudy, AggregatesAndJsonExportAreIdenticalAcrossJobCounts) {
+  const auto one = MeasurementStudy(parallel_config(1)).run();
+  const auto four = MeasurementStudy(parallel_config(4)).run();
+  // Byte-for-byte on the exports the paper tables are derived from.
+  EXPECT_EQ(summary_to_json(one), summary_to_json(four));
+  EXPECT_EQ(table2_to_csv(compute_table2(one)), table2_to_csv(compute_table2(four)));
+  EXPECT_EQ(fig6_to_csv(compute_fig6(one)), fig6_to_csv(compute_fig6(four)));
+}
+
+TEST(ParallelStudy, ObservabilityArtifactsAreIdenticalAcrossJobCounts) {
+  RunObservability obs_one;
+  RunObservability obs_four;
+  StudyConfig one_cfg = parallel_config(1);
+  StudyConfig four_cfg = parallel_config(4);
+  one_cfg.observability = &obs_one;
+  four_cfg.observability = &obs_four;
+  (void)MeasurementStudy(one_cfg).run();
+  (void)MeasurementStudy(four_cfg).run();
+
+  // Merged metrics snapshot, qlog document (stable per-shard connection ids)
+  // and waterfalls must not depend on thread scheduling. profile.json is
+  // host wall-clock and is deliberately out of the contract.
+  EXPECT_EQ(obs::metrics_to_json(obs_one.metrics()), obs::metrics_to_json(obs_four.metrics()));
+  EXPECT_EQ(obs_one.traces().to_qlog_json(), obs_four.traces().to_qlog_json());
+  EXPECT_EQ(obs::waterfalls_to_json(obs_one.waterfalls()),
+            obs::waterfalls_to_json(obs_four.waterfalls()));
+}
+
+TEST(ParallelStudy, MergedMetricsCoverEveryShard) {
+  RunObservability obs;
+  StudyConfig cfg = parallel_config(4);
+  cfg.observability = &obs;
+  const auto result = MeasurementStudy(cfg).run();
+  // One waterfall per visit (no cap set) and nonzero traffic counters prove
+  // every shard's sink made it into the merged run-level one.
+  EXPECT_EQ(obs.waterfalls().size(), result.visits.size());
+  EXPECT_GT(obs.metrics().counter("net.link.packets_offered").value(), 0u);
+  EXPECT_GT(obs.metrics().counter("tls.tickets.stored").value(), 0u);
+}
+
+TEST(ParallelStudy, DefaultJobsMatchesExplicitJobs) {
+  // jobs=0 (hardware concurrency) runs the same sharded path.
+  const auto zero = MeasurementStudy(parallel_config(0)).run();
+  const auto one = MeasurementStudy(parallel_config(1)).run();
+  EXPECT_EQ(summary_to_json(zero), summary_to_json(one));
+}
+
+TEST(ParallelStudyDeathTest, TicketStoreAbortsWhenSharedAcrossThreads) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // The satellite audit's executable form: shard-local state touched from a
+  // second thread must abort, not race.
+  EXPECT_DEATH(
+      {
+        tls::SessionTicketStore store;
+        store.store(tls::SessionTicket{"a.example", msec(0)});
+        std::thread other([&] { (void)store.find("a.example", msec(1)); });
+        other.join();
+      },
+      "shard-local object touched from a second thread");
+}
+
+}  // namespace
+}  // namespace h3cdn::core

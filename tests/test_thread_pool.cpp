@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace h3cdn::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroMeansDefaultJobs) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::default_jobs());
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillRunsOnWorker) {
+  // jobs=1 must use the same code path as jobs=N: tasks run on a pool
+  // worker, never inline on the caller.
+  ThreadPool pool(1);
+  std::thread::id task_thread;
+  pool.submit([&] { task_thread = std::this_thread::get_id(); });
+  pool.wait();
+  EXPECT_NE(task_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("shard failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAgainAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first phase"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait();  // the old exception must not resurface
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ServesSeveralPhasesBackToBack) {
+  // One pool serving several parallel_for phases, like run_resilience does
+  // for its sweep cells.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int phase = 0; phase < 5; ++phase) {
+    pool.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    ran.fetch_add(1);
+    pool.submit([&] { ran.fetch_add(1); });
+  });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) pool.submit([&] { ran.fetch_add(1); });
+    // no wait(): destruction must still execute everything
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace h3cdn::util

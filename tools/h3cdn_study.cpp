@@ -9,6 +9,8 @@
 //     --loss RATE        injected loss, e.g. 0.01 (default 0)
 //     --consecutive      keep session tickets across pages (Fig. 8/Table III)
 //     --seed N           study seed (default 7)
+//     --jobs N           worker threads for shard execution (default: all
+//                        hardware threads; output is byte-identical for any N)
 //     --experiment NAME  table1|table2|table3|fig2..fig9|summary|all (default all)
 //     --format FMT       text|csv (default text; summary is always JSON)
 //     --out PATH         write to a file instead of stdout
@@ -43,7 +45,7 @@ struct Options {
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N]\n"
+            << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
                "       [--experiment table1|table2|table3|fig2|...|fig9|summary|all]\n"
                "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
@@ -69,6 +71,9 @@ Options parse(int argc, char** argv) {
       o.study.consecutive = true;
     } else if (arg == "--seed") {
       o.study.seed = std::stoull(next());
+    } else if (arg == "--jobs") {
+      o.study.jobs = std::stoi(next());
+      if (o.study.jobs < 0) usage(argv[0]);
     } else if (arg == "--experiment") {
       o.experiment = next();
     } else if (arg == "--format") {
