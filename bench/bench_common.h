@@ -5,17 +5,30 @@
 // paper-reported values. Scale can be adjusted via environment variables:
 //   H3CDN_BENCH_SITES   (default 325)
 //   H3CDN_BENCH_PROBES  (default 1 probe per vantage; the paper used 3)
+//
+// Besides the human-readable table, every binary emits a machine-readable
+// BENCH_<name>.json trajectory record (schema v1: named metrics with units,
+// a config hash, the git sha) into H3CDN_BENCH_OUT (default: the current
+// directory) so CI can track headline numbers across commits. See
+// docs/BENCH.md for the schema.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "core/experiments.h"
 #include "core/report.h"
 #include "core/study.h"
+#include "util/json.h"
 
 namespace h3cdn::bench {
 
@@ -51,8 +64,113 @@ inline core::StudyConfig micro_config(std::size_t sites = 8) {
   return cfg;
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable bench trajectory (BENCH_<name>.json, schema v1)
+// ---------------------------------------------------------------------------
+
+/// One named measurement of a bench run.
+struct BenchMetric {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;  // "ms", "count", "ratio", "ms_per_resource", ...
+};
+
+/// Collected by the reproduce step; serialized to BENCH_<name>.json.
+struct BenchReport {
+  std::string name;   // binary basename minus the "bench_" prefix
+  std::string title;  // human title printed above the table
+  std::vector<BenchMetric> metrics;
+
+  void add(std::string metric, double value, std::string unit) {
+    metrics.push_back({std::move(metric), value, std::move(unit)});
+  }
+};
+
+/// FNV-1a over the scale knobs, so trajectory points taken at different
+/// configurations never get compared against each other by accident.
+inline std::string config_hash(std::size_t sites, std::size_t probes) {
+  const std::string canon =
+      "sites=" + std::to_string(sites) + ";probes=" + std::to_string(probes);
+  std::uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : canon) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// The commit under test: runtime env override (CI sets GITHUB_SHA; local
+/// runs can set H3CDN_GIT_SHA) falling back to the sha baked in at configure
+/// time by bench/CMakeLists.txt.
+inline std::string git_sha() {
+  for (const char* var : {"H3CDN_GIT_SHA", "GITHUB_SHA"}) {
+    if (const char* v = std::getenv(var); v != nullptr && *v != '\0') return v;
+  }
+#ifdef H3CDN_BUILD_GIT_SHA
+  return H3CDN_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string name = argv0 == nullptr ? "" : argv0;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name.empty() ? "unknown" : name;
+}
+
+/// Writes BENCH_<name>.json into H3CDN_BENCH_OUT (default "."). Returns the
+/// path, or "" on I/O failure (reported to stderr; never fatal — the human
+/// output already happened).
+inline std::string write_bench_report(const BenchReport& report) {
+  const char* out_dir = std::getenv("H3CDN_BENCH_OUT");
+  const std::string dir = (out_dir != nullptr && *out_dir != '\0') ? out_dir : ".";
+  const std::string path = dir + "/BENCH_" + report.name + ".json";
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("bench", report.name);
+  w.kv("title", report.title);
+  w.kv("git_sha", git_sha());
+  w.key("config").begin_object();
+  const std::size_t sites = env_size("H3CDN_BENCH_SITES", 325);
+  const std::size_t probes = env_size("H3CDN_BENCH_PROBES", 1);
+  w.kv("sites", static_cast<std::uint64_t>(sites));
+  w.kv("probes", static_cast<std::uint64_t>(probes));
+  w.kv("hash", config_hash(sites, probes));
+  w.end_object();
+  w.key("metrics").begin_array();
+  for (const auto& m : report.metrics) {
+    w.begin_object();
+    w.kv("metric", m.metric);
+    w.kv("value", m.value);
+    w.kv("unit", m.unit);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::cerr << "bench report: cannot open " << path << " for writing\n";
+    return "";
+  }
+  file << w.str() << "\n";
+  return path;
+}
+
 /// Runs the registered google-benchmark timing loops (unless --notiming),
-/// then invokes `reproduce` to print the paper table at full scale.
+/// then invokes `reproduce` to print the paper table at full scale and emits
+/// the BENCH_<name>.json trajectory record. `reproduce` takes either
+/// (std::ostream&) or (std::ostream&, BenchReport&) — the two-argument form
+/// lets a binary record its headline numbers as named metrics; either way
+/// the reproduce wall time is always recorded.
 template <typename Fn>
 int run_bench_main(int argc, char** argv, const char* title, Fn&& reproduce) {
   bool timing = true;
@@ -63,8 +181,21 @@ int run_bench_main(int argc, char** argv, const char* title, Fn&& reproduce) {
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
   }
+  BenchReport report;
+  report.name = bench_name_from_argv0(argc > 0 ? argv[0] : nullptr);
+  report.title = title;
   std::cout << "\n=== Reproduction: " << title << " ===\n";
-  reproduce(std::cout);
+  const auto start = std::chrono::steady_clock::now();
+  if constexpr (std::is_invocable_v<Fn&, std::ostream&, BenchReport&>) {
+    reproduce(std::cout, report);
+  } else {
+    reproduce(std::cout);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  report.add("reproduce_wall_ms", std::chrono::duration<double, std::milli>(stop - start).count(),
+             "ms");
+  const std::string path = write_bench_report(report);
+  if (!path.empty()) std::cerr << "wrote " << path << "\n";
   return 0;
 }
 

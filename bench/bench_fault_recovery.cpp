@@ -82,9 +82,22 @@ void print_resilience(std::ostream& os, const core::ResilienceResult& result) {
 int main(int argc, char** argv) {
   return h3cdn::bench::run_bench_main(
       argc, argv, "Fault recovery (burst-loss tails + outage degradation)",
-      [](std::ostream& os) {
+      [](std::ostream& os, h3cdn::bench::BenchReport& report) {
         const std::size_t sites = h3cdn::bench::env_size("H3CDN_BENCH_SITES", 32);
         const auto result = core::run_resilience(bench_config(sites));
         print_resilience(os, result);
+        for (const auto& row : result.loss_rows) {
+          const auto permille = static_cast<int>(row.loss_rate * 1000.0 + 0.5);
+          const std::string tag = std::string(row.bursty ? "burst" : "iid") + "_loss" +
+                                  std::to_string(permille) + "permille";
+          report.add("h2_p95_plt_" + tag, row.h2_p95_plt_ms, "ms");
+          report.add("h3_p95_plt_" + tag, row.h3_p95_plt_ms, "ms");
+        }
+        for (const auto& row : result.outage_rows) {
+          const std::string tag = "outage" + std::to_string(row.outage.count() / 1000) + "ms";
+          report.add("fallback_page_rate_" + tag, row.fallback_page_rate, "ratio");
+          report.add("mean_recovery_penalty_" + tag, row.mean_recovery_ms, "ms");
+          report.add("requests_failed_" + tag, static_cast<double>(row.requests_failed), "count");
+        }
       });
 }

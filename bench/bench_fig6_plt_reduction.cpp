@@ -20,11 +20,21 @@ BENCHMARK(BM_ComputeFig6)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   return h3cdn::bench::run_bench_main(
-      argc, argv, "Fig. 6 (PLT reduction by group; phase reductions)", [](std::ostream& os) {
+      argc, argv, "Fig. 6 (PLT reduction by group; phase reductions)",
+      [](std::ostream& os, h3cdn::bench::BenchReport& report) {
         auto cfg = h3cdn::bench::standard_config();
         // Group means are noise-sensitive; use the paper's probe multiplicity.
         cfg.probes_per_vantage = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 3));
         const auto study = core::MeasurementStudy(cfg).run();
-        core::print_fig6(os, core::compute_fig6(study));
+        const auto fig6 = core::compute_fig6(study);
+        core::print_fig6(os, fig6);
+        for (const auto& g : fig6.groups) {
+          const std::string group = analysis::to_string(g.group);
+          report.add("mean_plt_reduction_" + group, g.mean_plt_reduction_ms, "ms");
+          report.add("pages_" + group, static_cast<double>(g.pages), "count");
+        }
+        report.add("median_connect_reduction", fig6.median_connect_reduction_ms, "ms");
+        report.add("median_wait_reduction", fig6.median_wait_reduction_ms, "ms");
+        report.add("median_receive_reduction", fig6.median_receive_reduction_ms, "ms");
       });
 }

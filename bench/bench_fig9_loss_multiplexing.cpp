@@ -23,10 +23,23 @@ BENCHMARK(BM_LossyPageVisit)->Arg(0)->Arg(5)->Arg(10)->Unit(benchmark::kMillisec
 
 int main(int argc, char** argv) {
   return h3cdn::bench::run_bench_main(
-      argc, argv, "Fig. 9 (loss sweep: reduction vs. CDN resource count)", [](std::ostream& os) {
+      argc, argv, "Fig. 9 (loss sweep: reduction vs. CDN resource count)",
+      [](std::ostream& os, h3cdn::bench::BenchReport& report) {
         auto cfg = h3cdn::bench::standard_config();
         cfg.probes_per_vantage = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 2));
         const auto fig9 = core::compute_fig9(cfg, {0.0, 0.005, 0.01});
         core::print_fig9(os, fig9);
+        for (const auto& s : fig9.series) {
+          // Label by loss permille so metric names stay dot-free.
+          const auto permille = static_cast<int>(s.loss_rate * 1000.0 + 0.5);
+          const std::string tag = "loss" + std::to_string(permille) + "permille";
+          report.add("fit_slope_" + tag, s.fit.slope, "ms_per_resource");
+          report.add("fit_r2_" + tag, s.fit.r2, "ratio");
+        }
+        // The paper's headline: the slope grows with the loss rate.
+        if (fig9.series.size() >= 2 && fig9.series.front().fit.slope != 0.0) {
+          report.add("slope_ratio_maxloss_vs_lossless",
+                     fig9.series.back().fit.slope / fig9.series.front().fit.slope, "ratio");
+        }
       });
 }

@@ -54,7 +54,7 @@ struct ScalingRow {
   std::string metrics;
 };
 
-void print_scaling(std::ostream& os) {
+void print_scaling(std::ostream& os, h3cdn::bench::BenchReport& report) {
   const std::size_t sites = h3cdn::bench::env_size("H3CDN_BENCH_SITES", 48);
   const int probes = static_cast<int>(h3cdn::bench::env_size("H3CDN_BENCH_PROBES", 2));
   const unsigned cores = std::thread::hardware_concurrency();
@@ -93,6 +93,13 @@ void print_scaling(std::ostream& os) {
   os << "\ndeterminism: " << (all_identical ? "every job count produced byte-identical output"
                                             : "OUTPUT DIVERGED ACROSS JOB COUNTS")
      << "\n";
+
+  for (const auto& row : rows) {
+    const std::string tag = "jobs" + std::to_string(row.jobs);
+    report.add("wall_" + tag, row.wall_ms, "ms");
+    report.add("speedup_" + tag, rows.front().wall_ms / row.wall_ms, "ratio");
+  }
+  report.add("deterministic", all_identical ? 1.0 : 0.0, "bool");
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ void Browser::visit(const web::WebPage& page, std::function<void(PageLoadResult)
   }
 
   // Fetch the root document; discovery begins when it completes.
-  fetch_resource(visit, page.html);
+  fetch_resource(visit, page.html, /*initiator_id=*/-1);
 }
 
 namespace {
@@ -102,32 +102,33 @@ bool is_cacheable(const web::Resource& resource) {
 }  // namespace
 
 void Browser::fetch_resource(const std::shared_ptr<VisitState>& visit,
-                             const web::Resource& resource) {
+                             const web::Resource& resource, std::int64_t initiator_id) {
   // Repeat view: cache hits skip the network entirely.
   if (config_.http_cache_enabled && http_cache_.count(resource.url()) > 0) {
     auto self_visit = visit;
-    sim_.schedule_in(usec(200), [this, self_visit, &resource] {
+    sim_.schedule_in(usec(200), [this, self_visit, &resource, initiator_id] {
       http::EntryTimings t;
       t.started = sim_.now() - usec(200);
       t.finished = sim_.now();
       t.version = http::HttpVersion::H2;  // nominal; no network involved
       t.reused_connection = true;
-      on_entry_done(self_visit, resource, t, /*from_cache=*/true);
+      on_entry_done(self_visit, resource, initiator_id, t, /*from_cache=*/true);
     });
     return;
   }
 
-  auto submit = [this, visit, &resource](Duration dns_time) {
+  auto submit = [this, visit, &resource, initiator_id](Duration dns_time) {
     http::Request request;
     request.domain = resource.domain;
     request.path = resource.path;
     request.request_bytes = resource.request_bytes;
     request.response_bytes = resource.size_bytes;
     request.priority = resource_priority(resource.type);
-    visit->pool->fetch(request, [this, visit, &resource, dns_time](const http::EntryTimings& t) {
+    visit->pool->fetch(request, [this, visit, &resource, initiator_id,
+                                 dns_time](const http::EntryTimings& t) {
       http::EntryTimings timings = t;
       timings.dns = dns_time;
-      on_entry_done(visit, resource, timings);
+      on_entry_done(visit, resource, initiator_id, timings);
     });
   };
 
@@ -142,10 +143,11 @@ void Browser::fetch_resource(const std::shared_ptr<VisitState>& visit,
 }
 
 void Browser::on_entry_done(const std::shared_ptr<VisitState>& visit,
-                            const web::Resource& resource, const http::EntryTimings& timings,
-                            bool from_cache) {
+                            const web::Resource& resource, std::int64_t initiator_id,
+                            const http::EntryTimings& timings, bool from_cache) {
   HarEntry entry;
   entry.resource_id = resource.id;
+  entry.initiator_id = initiator_id;
   entry.url = resource.url();
   entry.domain = resource.domain;
   entry.type = resource.type;
@@ -164,12 +166,14 @@ void Browser::on_entry_done(const std::shared_ptr<VisitState>& visit,
 
   if (resource.id == visit->page->html.id) {
     // Root document parsed: schedule wave-0 discoveries at parser pace.
+    const auto root_id = static_cast<std::int64_t>(visit->page->html.id);
     std::size_t idx = 0;
     for (const web::Resource* rp : visit->wave0) {
       ++idx;
       const Duration at = Duration{config_.parse_delay_per_resource.count() *
                                    static_cast<std::int64_t>(idx)};
-      sim_.schedule_in(at, [this, visit, rp] { fetch_resource(visit, *rp); });
+      sim_.schedule_in(at,
+                       [this, visit, rp, root_id] { fetch_resource(visit, *rp, root_id); });
     }
   }
 
@@ -178,9 +182,11 @@ void Browser::on_entry_done(const std::shared_ptr<VisitState>& visit,
   if (it != visit->wave1_triggers.end()) {
     auto dependents = std::move(it->second);
     visit->wave1_triggers.erase(it);
+    const auto trigger_id = static_cast<std::int64_t>(resource.id);
     for (const web::Resource* rp : dependents) {
-      sim_.schedule_in(config_.wave1_discovery_delay,
-                       [this, visit, rp] { fetch_resource(visit, *rp); });
+      sim_.schedule_in(config_.wave1_discovery_delay, [this, visit, rp, trigger_id] {
+        fetch_resource(visit, *rp, trigger_id);
+      });
     }
   }
 

@@ -82,9 +82,13 @@ class Browser {
  private:
   struct VisitState;
 
-  void fetch_resource(const std::shared_ptr<VisitState>& visit, const web::Resource& resource);
+  // `initiator_id` is the resource whose completion revealed this fetch
+  // (-1 for the root document); recorded as HarEntry::initiator_id.
+  void fetch_resource(const std::shared_ptr<VisitState>& visit, const web::Resource& resource,
+                      std::int64_t initiator_id);
   void on_entry_done(const std::shared_ptr<VisitState>& visit, const web::Resource& resource,
-                     const http::EntryTimings& timings, bool from_cache = false);
+                     std::int64_t initiator_id, const http::EntryTimings& timings,
+                     bool from_cache = false);
   void maybe_finish(const std::shared_ptr<VisitState>& visit);
 
   sim::Simulator& sim_;

@@ -18,6 +18,11 @@ namespace h3cdn::browser {
 
 struct HarEntry {
   std::uint32_t resource_id = 0;
+  // Resource id whose completion revealed this one (the Chrome HAR
+  // `_initiator` edge): -1 for the root document, the root's id for
+  // parser-discovered wave-0 resources, the trigger's id for wave-1
+  // dependents. Critical-path attribution walks these edges.
+  std::int64_t initiator_id = -1;
   std::string url;
   std::string domain;
   web::ResourceType type = web::ResourceType::Other;

@@ -1,6 +1,7 @@
 #include "browser/waterfall.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace h3cdn::browser {
 
@@ -16,10 +17,23 @@ obs::Waterfall make_waterfall(const HarPage& page, const std::string& vantage) {
   wf.requests_rescued = page.requests_rescued;
   wf.requests_failed = page.requests_failed;
 
+  // Entries land in completion order; initiator edges reference resource ids,
+  // which the waterfall resolves to entry indices.
+  std::unordered_map<std::int64_t, std::int64_t> index_of_resource;
+  for (std::size_t i = 0; i < page.entries.size(); ++i) {
+    index_of_resource.emplace(static_cast<std::int64_t>(page.entries[i].resource_id),
+                              static_cast<std::int64_t>(i));
+  }
+
   wf.entries.reserve(page.entries.size());
   for (const HarEntry& e : page.entries) {
     obs::WaterfallEntry out;
     out.url = e.url;
+    out.resource_id = static_cast<std::int64_t>(e.resource_id);
+    if (e.initiator_id >= 0) {
+      auto it = index_of_resource.find(e.initiator_id);
+      if (it != index_of_resource.end()) out.initiator_index = it->second;
+    }
     out.domain = e.domain;
     out.type = web::to_string(e.type);
     out.protocol = http::to_string(e.timings.version);
@@ -45,6 +59,13 @@ obs::Waterfall make_waterfall(const HarPage& page, const std::string& vantage) {
       out.send_ms = to_ms(e.timings.send);
       out.wait_ms = to_ms(e.timings.wait);
       out.receive_ms = to_ms(e.timings.receive);
+      // Stalls live inside wait+receive: a gap ahead of byte 0 stalls the
+      // stream before its first in-order byte, i.e. still in the wait phase.
+      // Clamp so ms rounding cannot push them past that envelope.
+      const double stall_envelope = out.wait_ms + out.receive_ms;
+      out.hol_stall_ms = std::min(to_ms(e.timings.hol_stall), stall_envelope);
+      out.retx_wait_ms =
+          std::min(to_ms(e.timings.retx_wait), stall_envelope - out.hol_stall_ms);
       // Recomputed as the residual so the phases sum to the entry total
       // exactly (the session's own clamp-based value can differ by rounding).
       out.blocked_ms = std::max(0.0, to_ms(total) - out.dns_ms - out.connect_ms - out.send_ms -

@@ -8,6 +8,7 @@
 
 #include "analysis/bootstrap.h"
 #include "analysis/kmeans.h"
+#include "browser/waterfall.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -441,6 +442,78 @@ Fig9Series compute_fig9_series(const StudyResult& study) {
   }
   s.fit = util::fit_line_binned(xs, ys, 8);
   return s;
+}
+
+PltDissectionResult compute_plt_dissection(const StudyResult& study) {
+  struct Acc {
+    std::size_t pages = 0;
+    double h2_plt = 0.0;
+    double h3_plt = 0.0;
+    obs::PhaseVector h2;
+    obs::PhaseVector h3;
+  };
+  Acc overall;
+  std::map<std::string, Acc> by_vantage;
+  std::map<std::string, Acc> by_provider;
+
+  for (const auto& p : study.pairs()) {
+    // Same run-labelling convention as the study engine, so the dissection
+    // and the waterfalls.json artifact describe identical runs.
+    const std::string label = p.vantage + "/p" + std::to_string(p.probe);
+    const auto h2 =
+        obs::analyze_critical_path(browser::make_waterfall(*p.h2, label + "/h2"));
+    const auto h3 =
+        obs::analyze_critical_path(browser::make_waterfall(*p.h3, label + "/h3"));
+    const auto add = [&](Acc& a) {
+      ++a.pages;
+      a.h2_plt += h2.plt_ms;
+      a.h3_plt += h3.plt_ms;
+      a.h2 += h2.phases;
+      a.h3 += h3.phases;
+    };
+    add(overall);
+    add(by_vantage[p.vantage]);
+    // Dominant provider: the one serving the most CDN entries of the page.
+    const auto m = analysis::compute_page_metrics(*p.h3, classifier());
+    cdn::ProviderId dominant = cdn::ProviderId::Other;
+    std::size_t best = 0;
+    for (const auto& [provider, count] : m.provider_counts) {
+      if (count > best) {
+        best = count;
+        dominant = provider;
+      }
+    }
+    add(by_provider[best > 0 ? cdn::to_string(dominant) : "none"]);
+  }
+
+  const auto finish = [](const std::string& name, const Acc& a) {
+    PltDissectionRow row;
+    row.group = name;
+    row.pages = a.pages;
+    if (a.pages > 0) {
+      const auto n = static_cast<double>(a.pages);
+      row.mean_h2_plt_ms = a.h2_plt / n;
+      row.mean_h3_plt_ms = a.h3_plt / n;
+      row.mean_h2 = a.h2;
+      row.mean_h2 /= n;
+      row.mean_h3 = a.h3;
+      row.mean_h3 /= n;
+      row.mean_delta = row.mean_h2 - row.mean_h3;
+    }
+    return row;
+  };
+
+  PltDissectionResult r;
+  r.overall = finish("all", overall);
+  // Vantage rows follow the config's vantage order, not map order.
+  for (const auto& v : study.config.vantages) {
+    auto it = by_vantage.find(v.name);
+    if (it != by_vantage.end()) r.by_vantage.push_back(finish(it->first, it->second));
+  }
+  for (const auto& [name, acc] : by_provider) {
+    r.by_provider.push_back(finish(name, acc));
+  }
+  return r;
 }
 
 Fig9Result compute_fig9(const StudyConfig& base, const std::vector<double>& loss_rates) {

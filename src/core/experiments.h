@@ -13,6 +13,7 @@
 #include "analysis/page_metrics.h"
 #include "cdn/provider.h"
 #include "core/study.h"
+#include "obs/critical_path.h"
 #include "util/fit.h"
 #include "util/stats.h"
 
@@ -195,6 +196,30 @@ struct Fig9Result {
 Fig9Result compute_fig9(const StudyConfig& base, const std::vector<double>& loss_rates);
 /// Analyzes an already-run study as one Fig. 9 series.
 Fig9Series compute_fig9_series(const StudyResult& study);
+
+// ---------------------------------------------------------------------------
+// PLT dissection — critical-path attribution (obs/critical_path.h) aggregated
+// per vantage and per dominant CDN provider: the additive "why" behind the
+// Fig. 6/9 PLT deltas (which milliseconds came from handshakes, HoL stalls,
+// transfer, idle discovery time).
+// ---------------------------------------------------------------------------
+struct PltDissectionRow {
+  std::string group;     // "all", a vantage name, or a provider name
+  std::size_t pages = 0; // H2/H3 visit pairs aggregated into this row
+  double mean_h2_plt_ms = 0.0;
+  double mean_h3_plt_ms = 0.0;
+  obs::PhaseVector mean_h2;     // mean phase vector of the H2 visits
+  obs::PhaseVector mean_h3;     // mean phase vector of the H3 visits
+  obs::PhaseVector mean_delta;  // mean H2−H3; sums to the mean PLT delta
+
+  [[nodiscard]] double mean_plt_delta_ms() const { return mean_h2_plt_ms - mean_h3_plt_ms; }
+};
+struct PltDissectionResult {
+  PltDissectionRow overall;
+  std::vector<PltDissectionRow> by_vantage;   // vantage order of the config
+  std::vector<PltDissectionRow> by_provider;  // dominant provider per page, by name
+};
+PltDissectionResult compute_plt_dissection(const StudyResult& study);
 
 // ---------------------------------------------------------------------------
 // Shared helpers

@@ -135,6 +135,25 @@ std::string fig9_to_csv(const Fig9Result& r) {
   return os.str();
 }
 
+std::string dissection_to_csv(const PltDissectionResult& r) {
+  std::ostringstream os;
+  os << "group,pages,mean_h2_plt_ms,mean_h3_plt_ms,mean_plt_delta_ms";
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    os << ",delta_" << obs::to_string(static_cast<obs::Phase>(i)) << "_ms";
+  }
+  os << '\n';
+  const auto row = [&](const PltDissectionRow& g) {
+    os << g.group << ',' << g.pages << ',' << g.mean_h2_plt_ms << ',' << g.mean_h3_plt_ms << ','
+       << g.mean_plt_delta_ms();
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) os << ',' << g.mean_delta.ms[i];
+    os << '\n';
+  };
+  row(r.overall);
+  for (const auto& g : r.by_vantage) row(g);
+  for (const auto& g : r.by_provider) row(g);
+  return os.str();
+}
+
 std::string summary_to_json(const StudyResult& study) {
   const auto t2 = compute_table2(study);
   const auto f2 = compute_fig2(study);

@@ -19,6 +19,7 @@ std::string fig7_to_csv(const Fig7Result& r);
 std::string fig8_to_csv(const Fig8Result& r);
 std::string table3_to_csv(const Table3Result& r);
 std::string fig9_to_csv(const Fig9Result& r);
+std::string dissection_to_csv(const PltDissectionResult& r);
 
 /// One JSON document summarizing every headline number of a full study
 /// (Table II shares, Fig. 2 shares, Fig. 3/4 fractions, Fig. 6 medians, ...).

@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/attribution.h"
+
 namespace h3cdn::core {
 
 ObservabilityConfig ObservabilityConfig::per_shard(std::size_t shard_count) const {
@@ -85,6 +87,8 @@ bool RunObservability::write_artifacts(const std::string& dir, std::string* erro
          write_file(base / "metrics.prom", obs::metrics_to_prometheus(metrics_), error) &&
          write_file(base / "qlog.json", traces_.to_qlog_json(), error) &&
          write_file(base / "waterfalls.json", obs::waterfalls_to_json(waterfalls_), error) &&
+         write_file(base / "attribution.json",
+                    obs::attribution_to_json(obs::attribute_pages(waterfalls_)), error) &&
          write_file(base / "profile.json", profiler_.to_json(), error);
 }
 

@@ -8,7 +8,8 @@
 //   cfg.observability = &obs;
 //   core::MeasurementStudy(cfg).run();
 //   obs.write_artifacts("out/obs");   // metrics.{json,csv,prom}, qlog.json,
-//                                     // waterfalls.json, profile.json
+//                                     // waterfalls.json, attribution.json,
+//                                     // profile.json
 #pragma once
 
 #include <memory>
@@ -78,9 +79,10 @@ class RunObservability {
   /// of thread scheduling. The shard sink is left drained.
   void merge_from(RunObservability&& shard);
 
-  /// Writes metrics.json/csv/prom, qlog.json, waterfalls.json, and
-  /// profile.json into `dir` (created if missing). Returns false and fills
-  /// `error` on I/O failure.
+  /// Writes metrics.json/csv/prom, qlog.json, waterfalls.json,
+  /// attribution.json (critical-path PLT dissection of the collected
+  /// waterfalls), and profile.json into `dir` (created if missing). Returns
+  /// false and fills `error` on I/O failure.
   bool write_artifacts(const std::string& dir, std::string* error = nullptr) const;
 
  private:

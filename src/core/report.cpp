@@ -186,4 +186,28 @@ void print_fig9(std::ostream& os, const Fig9Result& r) {
   os << t.to_string(2);
 }
 
+void print_plt_dissection(std::ostream& os, const PltDissectionResult& r) {
+  os << "PLT dissection: critical-path attribution of the H2-vs-H3 delta\n";
+  os << "  (columns: mean per-phase H2-H3 delta in ms; positive = H3 saved time there;"
+        " phase deltas sum to dPLT)\n";
+  std::vector<std::string> headers{"Group", "Pages", "H2 PLT", "H3 PLT", "dPLT"};
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    headers.emplace_back(obs::to_string(static_cast<obs::Phase>(i)));
+  }
+  AsciiTable t(headers);
+  const auto add = [&](const PltDissectionRow& row) {
+    std::vector<std::string> cells{row.group, std::to_string(row.pages),
+                                   fmt(row.mean_h2_plt_ms, 1), fmt(row.mean_h3_plt_ms, 1),
+                                   fmt(row.mean_plt_delta_ms(), 1)};
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      cells.push_back(fmt(row.mean_delta.ms[i], 1));
+    }
+    t.add_row(cells);
+  };
+  add(r.overall);
+  for (const auto& row : r.by_vantage) add(row);
+  for (const auto& row : r.by_provider) add(row);
+  os << t.to_string(2);
+}
+
 }  // namespace h3cdn::core

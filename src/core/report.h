@@ -19,5 +19,6 @@ void print_fig7(std::ostream& os, const Fig7Result& r);
 void print_fig8(std::ostream& os, const Fig8Result& r);
 void print_table3(std::ostream& os, const Table3Result& r);
 void print_fig9(std::ostream& os, const Fig9Result& r);
+void print_plt_dissection(std::ostream& os, const PltDissectionResult& r);
 
 }  // namespace h3cdn::core

@@ -97,8 +97,10 @@ void Session::dispatch(PendingEntry pending) {
       entry->request.request_bytes + config_.per_stream_header_overhead;
   const std::size_t wire_response =
       entry->request.response_bytes + config_.per_stream_header_overhead;
-  conn_->fetch(wire_request, wire_response, entry->request.server_think, std::move(cbs),
-               entry->request.priority);
+  // Completion can only fire after simulated round trips, never inside
+  // fetch(), so recording the stream id afterwards is safe.
+  entry->stream_id = conn_->fetch(wire_request, wire_response, entry->request.server_think,
+                                  std::move(cbs), entry->request.priority);
 }
 
 void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) {
@@ -125,6 +127,9 @@ void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) 
   t.send = clamp_nonneg(entry->request_sent - send_start);
   t.wait = clamp_nonneg(entry->first_byte - entry->request_sent);
   t.receive = clamp_nonneg(completed - entry->first_byte);
+  const auto stalls = conn_->stall_totals(entry->stream_id);
+  t.hol_stall = stalls.hol_stall;
+  t.retx_wait = stalls.retx_wait;
   // Whatever is not handshake or data movement was queueing.
   t.blocked = clamp_nonneg((t.finished - t.started) - t.connect - t.send - t.wait - t.receive);
 

@@ -95,6 +95,7 @@ class Session : public std::enable_shared_from_this<Session> {
     TimePoint dispatched{0};
     TimePoint request_sent{-1};
     TimePoint first_byte{-1};
+    transport::StreamId stream_id = 0;  // for post-hoc stall attribution
     bool initiator = false;
     int attempts = 0;
     Request request;

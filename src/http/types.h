@@ -38,6 +38,12 @@ struct EntryTimings {
   Duration send{0};           // writing the request
   Duration wait{0};           // request written -> first response byte
   Duration receive{0};        // first -> last response byte
+  // Intervals inside wait+receive during which response bytes sat buffered
+  // behind a transport gap (transport::Connection::stall_totals). Not part of
+  // the additive phase sum above — critical-path attribution carves them out
+  // of wait/receive (docs/OBSERVABILITY.md).
+  Duration hol_stall{0};      // blocked behind another stream's gap (TCP HoL)
+  Duration retx_wait{0};      // blocked on this stream's own retransmission
   HttpVersion version = HttpVersion::H2;
   tls::HandshakeMode handshake_mode = tls::HandshakeMode::Fresh;
   std::uint64_t connection_id = 0;  // pool-scoped id of the serving connection

@@ -1,0 +1,174 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/json.h"
+
+namespace h3cdn::obs {
+
+namespace {
+
+// Bar glyph per phase, index-aligned with Phase.
+constexpr char kGlyphs[kPhaseCount + 1] = "DCTQWXHR.";
+
+// "lab/p3/h2" -> "lab/p3"; labels without a mode suffix pass through.
+std::string strip_mode_suffix(const std::string& run) {
+  if (run.size() >= 3) {
+    const std::string tail = run.substr(run.size() - 3);
+    if (tail == "/h2" || tail == "/h3") return run.substr(0, run.size() - 3);
+  }
+  return run;
+}
+
+void write_phases(util::JsonWriter& w, const char* key, const PhaseVector& v) {
+  w.key(key).begin_object();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    w.kv(to_string(static_cast<Phase>(i)), v.ms[i]);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+AttributionReport attribute_pages(const std::vector<Waterfall>& waterfalls) {
+  AttributionReport report;
+  report.pages.reserve(waterfalls.size());
+  // Pairing key -> index of the first h2/h3 page seen for it. std::map keeps
+  // diff order deterministic regardless of input permutation.
+  struct Pair {
+    std::int64_t h2 = -1;
+    std::int64_t h3 = -1;
+  };
+  std::map<std::pair<std::string, std::string>, Pair> pairs;
+
+  for (const Waterfall& wf : waterfalls) {
+    const auto analysis = analyze_critical_path(wf);
+    PageAttribution page;
+    page.site = wf.site;
+    page.run = wf.vantage;
+    page.protocol = wf.h3_enabled ? "h3" : "h2";
+    page.plt_ms = analysis.plt_ms;
+    page.phases = analysis.phases;
+    const auto idx = static_cast<std::int64_t>(report.pages.size());
+    auto& pair = pairs[{strip_mode_suffix(wf.vantage), wf.site}];
+    auto& slot = wf.h3_enabled ? pair.h3 : pair.h2;
+    if (slot < 0) slot = idx;
+    report.pages.push_back(std::move(page));
+  }
+
+  for (const auto& [key, pair] : pairs) {
+    if (pair.h2 < 0 || pair.h3 < 0) continue;
+    const PageAttribution& h2 = report.pages[static_cast<std::size_t>(pair.h2)];
+    const PageAttribution& h3 = report.pages[static_cast<std::size_t>(pair.h3)];
+    PageDiff diff;
+    diff.site = key.second;
+    diff.pair = key.first;
+    diff.h2_plt_ms = h2.plt_ms;
+    diff.h3_plt_ms = h3.plt_ms;
+    diff.plt_delta_ms = h2.plt_ms - h3.plt_ms;
+    diff.delta = h2.phases - h3.phases;
+    report.diffs.push_back(std::move(diff));
+  }
+  return report;
+}
+
+std::string attribution_to_json(const AttributionReport& report) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("attribution").begin_object();
+  w.key("pages").begin_array();
+  for (const auto& page : report.pages) {
+    w.begin_object();
+    w.kv("site", page.site);
+    if (!page.run.empty()) w.kv("run", page.run);
+    w.kv("protocol", page.protocol);
+    w.kv("plt_ms", page.plt_ms);
+    write_phases(w, "phases_ms", page.phases);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("diffs").begin_array();
+  for (const auto& diff : report.diffs) {
+    w.begin_object();
+    w.kv("site", diff.site);
+    if (!diff.pair.empty()) w.kv("pair", diff.pair);
+    w.kv("h2_plt_ms", diff.h2_plt_ms);
+    w.kv("h3_plt_ms", diff.h3_plt_ms);
+    w.kv("plt_delta_ms", diff.plt_delta_ms);
+    write_phases(w, "delta_ms", diff.delta);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string attribution_to_ascii(const AttributionReport& report, std::size_t width) {
+  width = std::max<std::size_t>(width, 60);
+  const std::size_t kLabelWidth = 40;
+  const std::size_t bar_width = width - kLabelWidth;
+
+  double span_ms = 1.0;
+  for (const auto& page : report.pages) span_ms = std::max(span_ms, page.plt_ms);
+
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "PLT attribution  D=dns C=tcp T=tls Q=quic W=ttfb X=transfer H=hol R=retx "
+                ".=idle  (span %.1f ms)\n",
+                span_ms);
+  out += line;
+
+  for (const auto& page : report.pages) {
+    std::string label = page.site;
+    if (!page.run.empty()) label += " @" + page.run;
+    if (label.size() > kLabelWidth - 6) label = label.substr(0, kLabelWidth - 7) + "~";
+    std::snprintf(line, sizeof line, "%-*s %-3s ", static_cast<int>(kLabelWidth - 5),
+                  label.c_str(), page.protocol.c_str());
+    out += line;
+
+    std::string bar(bar_width, ' ');
+    double cursor = 0.0;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const double ms = page.phases.ms[i];
+      const auto begin =
+          static_cast<std::size_t>(cursor / span_ms * static_cast<double>(bar_width));
+      cursor += ms;
+      auto end = static_cast<std::size_t>(cursor / span_ms * static_cast<double>(bar_width));
+      if (ms > 0.0 && end == begin) end = begin + 1;
+      for (std::size_t j = begin; j < end && j < bar_width; ++j) bar[j] = kGlyphs[i];
+    }
+    out += bar;
+    std::snprintf(line, sizeof line, " %8.1f ms\n", page.plt_ms);
+    out += line;
+  }
+
+  if (!report.diffs.empty()) {
+    out += "\nH2 - H3 deltas (positive = H3 saved time in that phase):\n";
+    std::snprintf(line, sizeof line, "%-30s %9s", "site", "d_plt");
+    out += line;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      std::snprintf(line, sizeof line, " %9s", to_string(static_cast<Phase>(i)));
+      out += line;
+    }
+    out += '\n';
+    for (const auto& diff : report.diffs) {
+      std::string label = diff.site;
+      if (!diff.pair.empty()) label += " @" + diff.pair;
+      if (label.size() > 30) label = label.substr(0, 29) + "~";
+      std::snprintf(line, sizeof line, "%-30s %9.1f", label.c_str(), diff.plt_delta_ms);
+      out += line;
+      for (std::size_t i = 0; i < kPhaseCount; ++i) {
+        std::snprintf(line, sizeof line, " %9.1f", diff.delta.ms[i]);
+        out += line;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace h3cdn::obs

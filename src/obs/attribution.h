@@ -1,0 +1,55 @@
+// Page-level attribution aggregation on top of obs/critical_path.h: one
+// PhaseVector per page load, H2-vs-H3 diffs that align the SAME page across
+// protocol modes (where did the PLT delta come from?), and per-group means.
+// Exported as JSON and as an ASCII bar breakdown by h3cdn_obs_report
+// --attribution; the additive invariants (page phases sum to PLT, diff
+// deltas sum to the PLT delta) are enforced by --check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/waterfall.h"
+
+namespace h3cdn::obs {
+
+/// One page load's attribution row.
+struct PageAttribution {
+  std::string site;
+  std::string run;        // study run label (Waterfall::vantage; "" standalone)
+  std::string protocol;   // "h2" or "h3" (browser mode of the visit)
+  double plt_ms = 0.0;
+  PhaseVector phases;     // sums to plt_ms (±1 µs)
+};
+
+/// The same page aligned across H2 and H3 runs: per-phase deltas (H2 − H3,
+/// positive = H3 saved time there) summing to the PLT delta.
+struct PageDiff {
+  std::string site;
+  std::string pair;       // run label with the trailing /h2 | /h3 stripped
+  double h2_plt_ms = 0.0;
+  double h3_plt_ms = 0.0;
+  double plt_delta_ms = 0.0;  // h2 − h3
+  PhaseVector delta;          // h2 − h3, per phase
+};
+
+struct AttributionReport {
+  std::vector<PageAttribution> pages;  // waterfall input order
+  std::vector<PageDiff> diffs;         // h2-page order among paired pages
+};
+
+/// Runs critical-path analysis over every waterfall and pairs H2/H3 visits
+/// of the same site. Pairing key: (site, run label minus its trailing "/h2"
+/// or "/h3" mode suffix — the study engine's labelling convention); the
+/// first H2 and first H3 page per key are diffed.
+[[nodiscard]] AttributionReport attribute_pages(const std::vector<Waterfall>& waterfalls);
+
+/// {"attribution": {"pages": [...], "diffs": [...]}}.
+[[nodiscard]] std::string attribution_to_json(const AttributionReport& report);
+
+/// Per-page stacked phase bars plus a diff table, for terminals.
+[[nodiscard]] std::string attribution_to_ascii(const AttributionReport& report,
+                                               std::size_t width = 100);
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,159 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+
+namespace h3cdn::obs {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::Dns: return "dns";
+    case Phase::TcpConnect: return "tcp_connect";
+    case Phase::TlsHs: return "tls_hs";
+    case Phase::QuicHs: return "quic_hs";
+    case Phase::TtfbWait: return "ttfb_wait";
+    case Phase::Transfer: return "transfer";
+    case Phase::HolStall: return "hol_stall";
+    case Phase::RetxWait: return "retx_wait";
+    case Phase::IdleGap: return "idle_gap";
+  }
+  return "?";
+}
+
+double PhaseVector::sum() const {
+  double s = 0.0;
+  for (double v : ms) s += v;
+  return s;
+}
+
+PhaseVector& PhaseVector::operator+=(const PhaseVector& o) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) ms[i] += o.ms[i];
+  return *this;
+}
+
+PhaseVector& PhaseVector::operator/=(double divisor) {
+  for (double& v : ms) v /= divisor;
+  return *this;
+}
+
+PhaseVector PhaseVector::operator-(const PhaseVector& o) const {
+  PhaseVector out = *this;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) out.ms[i] -= o.ms[i];
+  return out;
+}
+
+namespace {
+
+// Charges `entry`'s HAR phases to attribution phases over [cursor, plt],
+// clipping each phase interval to the still-unattributed suffix. Returns the
+// advanced cursor. Every advance adds the identical amount to exactly one
+// phase, which is what makes the final sum exact.
+double attribute_entry(const WaterfallEntry& entry, double cursor, double plt,
+                       PhaseVector& out) {
+  // Discovery gap between the previous path element finishing and this entry
+  // starting (parser stagger, wave-1 reveal delay).
+  const double start = std::min(entry.start_ms, plt);
+  if (start > cursor) {
+    out[Phase::IdleGap] += start - cursor;
+    cursor = start;
+  }
+
+  // Walk the HAR phases in wall-clock order, clipping each to [cursor, plt].
+  double t = entry.start_ms;
+  double eff_wait = 0.0;      // clipped send+wait, candidate TtfbWait
+  double eff_receive = 0.0;   // clipped receive, candidate Transfer
+  const auto clip = [&](double dur) {
+    const double begin = std::max(t, cursor);
+    t += dur;
+    const double end = std::min(t, plt);
+    const double eff = std::max(0.0, end - begin);
+    if (eff > 0.0) cursor = end;
+    return eff;
+  };
+
+  out[Phase::Dns] += clip(entry.dns_ms);
+  // Queueing for a dispatch slot is not network work; it reads as idle.
+  out[Phase::IdleGap] += clip(entry.blocked_ms);
+  const double hs = clip(entry.connect_ms);
+  if (hs > 0.0) {
+    if (entry.protocol == "h3") {
+      // QUIC folds transport + crypto into one handshake.
+      out[Phase::QuicHs] += hs;
+    } else if (entry.resumed) {
+      // TLS 1.3 resumption piggybacks on the TCP round trip; the observed
+      // 1-RTT handshake is all TCP.
+      out[Phase::TcpConnect] += hs;
+    } else {
+      // Fresh TCP+TLS 1.3: 1 RTT TCP + 1 RTT TLS — split evenly.
+      out[Phase::TcpConnect] += hs / 2.0;
+      out[Phase::TlsHs] += hs / 2.0;
+    }
+  }
+  eff_wait += clip(entry.send_ms);
+  eff_wait += clip(entry.wait_ms);
+  eff_receive += clip(entry.receive_ms);
+
+  // Carve transport stalls out of the on-path wait/receive time. Stalls are
+  // sub-intervals of wait+receive; charge receive first (where they almost
+  // always live), overflow against wait.
+  double hol = std::min(entry.hol_stall_ms, eff_receive);
+  eff_receive -= hol;
+  double retx = std::min(entry.retx_wait_ms, eff_receive);
+  eff_receive -= retx;
+  const double hol_over = std::min(entry.hol_stall_ms - hol, eff_wait);
+  eff_wait -= hol_over;
+  hol += hol_over;
+  const double retx_over = std::min(entry.retx_wait_ms - retx, eff_wait);
+  eff_wait -= retx_over;
+  retx += retx_over;
+
+  out[Phase::TtfbWait] += eff_wait;
+  out[Phase::Transfer] += eff_receive;
+  out[Phase::HolStall] += hol;
+  out[Phase::RetxWait] += retx;
+  return cursor;
+}
+
+}  // namespace
+
+CriticalPathResult analyze_critical_path(const Waterfall& waterfall) {
+  CriticalPathResult result;
+  result.plt_ms = std::max(waterfall.page_load_time_ms, 0.0);
+  const double plt = result.plt_ms;
+  if (waterfall.entries.empty()) {
+    result.phases[Phase::IdleGap] = plt;
+    return result;
+  }
+
+  // Terminal entry: the one whose completion fired onLoad.
+  std::size_t terminal = 0;
+  for (std::size_t i = 1; i < waterfall.entries.size(); ++i) {
+    if (waterfall.entries[i].end_ms() > waterfall.entries[terminal].end_ms()) terminal = i;
+  }
+
+  // Follow initiator edges back to the root. The visited guard makes a
+  // malformed (cyclic) input terminate instead of looping.
+  std::vector<bool> visited(waterfall.entries.size(), false);
+  std::size_t at = terminal;
+  while (true) {
+    visited[at] = true;
+    result.path.push_back(at);
+    const std::int64_t up = waterfall.entries[at].initiator_index;
+    if (up < 0 || static_cast<std::size_t>(up) >= waterfall.entries.size() ||
+        visited[static_cast<std::size_t>(up)]) {
+      break;
+    }
+    at = static_cast<std::size_t>(up);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+
+  double cursor = 0.0;
+  for (std::size_t idx : result.path) {
+    cursor = attribute_entry(waterfall.entries[idx], cursor, plt, result.phases);
+  }
+  // Residual between the path's last covered instant and onLoad (straggler
+  // entries off the critical chain, final scheduling).
+  if (cursor < plt) result.phases[Phase::IdleGap] += plt - cursor;
+  return result;
+}
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,71 @@
+// Critical-path PLT attribution (the paper's "why", §V-VI): walks the
+// dependency DAG of a completed page visit — root document -> parser-
+// discovered wave-0 resources -> wave-1 dependents, the initiator edges the
+// browser records — and decomposes the page load time into an ADDITIVE
+// phase-attribution vector. Aggregate PLT deltas ("H3 was 40 ms faster") say
+// nothing about mechanism; this answers which milliseconds came from
+// handshake round trips, which from cross-stream HoL stalls, and which from
+// discovery idle time.
+//
+// The decomposition is exact by construction: a cursor sweeps [0, PLT] along
+// the terminal entry's initiator chain, every swept interval is charged to
+// exactly one phase, and uncovered time is charged to idle_gap — so
+// sum(phases) == PLT to floating-point precision (h3cdn_obs_report --check
+// enforces 1 µs). See docs/OBSERVABILITY.md for the phase taxonomy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/waterfall.h"
+
+namespace h3cdn::obs {
+
+/// The attribution phases, in report order.
+enum class Phase : std::size_t {
+  Dns,        // name resolution on the critical path
+  TcpConnect, // TCP handshake round trip(s)
+  TlsHs,      // TLS handshake round trip(s) on top of TCP
+  QuicHs,     // QUIC combined transport+crypto handshake
+  TtfbWait,   // request upload + server think + first-byte propagation
+  Transfer,   // response bytes flowing, not stalled
+  HolStall,   // response blocked behind ANOTHER stream's gap (TCP HoL)
+  RetxWait,   // response blocked on the stream's own retransmission
+  IdleGap,    // discovery stagger, queueing, and other uncovered time
+};
+
+inline constexpr std::size_t kPhaseCount = 9;
+
+/// Short stable identifier ("dns", "tcp_connect", ...) used in JSON keys.
+const char* to_string(Phase p);
+
+/// Additive phase decomposition, milliseconds per phase.
+struct PhaseVector {
+  std::array<double, kPhaseCount> ms{};
+
+  double& operator[](Phase p) { return ms[static_cast<std::size_t>(p)]; }
+  double operator[](Phase p) const { return ms[static_cast<std::size_t>(p)]; }
+
+  [[nodiscard]] double sum() const;
+
+  PhaseVector& operator+=(const PhaseVector& o);
+  PhaseVector& operator/=(double divisor);
+  [[nodiscard]] PhaseVector operator-(const PhaseVector& o) const;
+};
+
+/// One page's attribution: the phase vector plus the walked path.
+struct CriticalPathResult {
+  double plt_ms = 0.0;
+  PhaseVector phases;                // sums to plt_ms (±1 µs)
+  std::vector<std::size_t> path;     // entry indices, root -> terminal
+};
+
+/// Decomposes one waterfall's PLT along its critical path. The chain is the
+/// terminal (latest-finishing) entry followed backwards over initiator edges;
+/// waterfalls without initiator data degrade gracefully (the terminal entry
+/// alone is the path and undiscovered time lands in idle_gap).
+[[nodiscard]] CriticalPathResult analyze_critical_path(const Waterfall& waterfall);
+
+}  // namespace h3cdn::obs

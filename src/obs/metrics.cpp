@@ -103,6 +103,12 @@ namespace {
 void write_histogram_summary(util::JsonWriter& w, const Histogram& h) {
   w.begin_object();
   w.kv("count", h.count());
+  if (h.count() == 0) {
+    // No samples means no distribution: exporting zero-filled quantiles would
+    // fabricate data (a 0 ms p99 reads as "fast", not "never happened").
+    w.end_object();
+    return;
+  }
   w.kv("sum", h.sum());
   w.kv("min", h.min());
   w.kv("max", h.max());
@@ -166,6 +172,7 @@ std::string metrics_to_csv(const MetricsRegistry& registry) {
       out += name + ",histogram," + field + ',' + format_double(v) + '\n';
     };
     out += name + ",histogram,count," + std::to_string(h->count()) + '\n';
+    if (h->count() == 0) continue;  // count only: no samples, no quantiles
     row("sum", h->sum());
     row("min", h->min());
     row("max", h->max());
@@ -193,14 +200,16 @@ std::string metrics_to_prometheus(const MetricsRegistry& registry) {
   for (const auto& [name, h] : registry.histograms()) {
     const std::string pname = prometheus_name(name);
     out += "# TYPE " + pname + " summary\n";
-    const auto quantile = [&](const char* q, double v) {
-      out += pname + "{quantile=\"" + q + "\"} " + format_double(v) + '\n';
-    };
-    quantile("0.5", h->p50());
-    quantile("0.9", h->p90());
-    quantile("0.99", h->p99());
-    quantile("0.999", h->p999());
-    out += pname + "_sum " + format_double(h->sum()) + '\n';
+    if (h->count() > 0) {  // quantiles of an empty summary would be fabricated
+      const auto quantile = [&](const char* q, double v) {
+        out += pname + "{quantile=\"" + q + "\"} " + format_double(v) + '\n';
+      };
+      quantile("0.5", h->p50());
+      quantile("0.9", h->p90());
+      quantile("0.99", h->p99());
+      quantile("0.999", h->p999());
+      out += pname + "_sum " + format_double(h->sum()) + '\n';
+    }
     out += pname + "_count " + std::to_string(h->count()) + '\n';
   }
   return out;

@@ -15,6 +15,8 @@ void write_entry(util::JsonWriter& w, const WaterfallEntry& e) {
   w.kv("domain", e.domain);
   w.kv("type", e.type);
   w.kv("protocol", e.protocol);
+  w.kv("resource_id", e.resource_id);
+  w.kv("initiator_index", e.initiator_index);
   w.kv("connection_id", e.connection_id);
   w.kv("attempts", static_cast<std::int64_t>(e.attempts));
   w.kv("from_cache", e.from_cache);
@@ -30,6 +32,12 @@ void write_entry(util::JsonWriter& w, const WaterfallEntry& e) {
   w.kv("wait", e.wait_ms);
   w.kv("receive", e.receive_ms);
   w.end_object();
+  if (e.hol_stall_ms > 0.0 || e.retx_wait_ms > 0.0) {
+    w.key("stalls_ms").begin_object();
+    w.kv("hol_stall", e.hol_stall_ms);
+    w.kv("retx_wait", e.retx_wait_ms);
+    w.end_object();
+  }
   w.kv("total_ms", e.total_ms());
   w.kv("response_bytes", e.response_bytes);
   if (!e.annotation.empty()) w.kv("annotation", e.annotation);
@@ -88,7 +96,8 @@ std::string waterfall_to_ascii(const Waterfall& waterfall, std::size_t width) {
                 waterfall.h3_enabled ? "h3" : "h2", waterfall.page_load_time_ms);
   out += line;
   std::snprintf(line, sizeof line,
-                "phases: D=dns b=blocked C=connect s=send W=wait R=receive  (span %.1f ms)\n",
+                "phases: D=dns b=blocked C=connect s=send W=wait R=receive "
+                ".=zero-width phase  (span %.1f ms)\n",
                 span_ms);
   out += line;
 
@@ -110,6 +119,13 @@ std::string waterfall_to_ascii(const Waterfall& waterfall, std::size_t width) {
       cursor += ms;
       std::size_t end = col(cursor);
       if (ms > 0.0 && end == begin) end = begin + 1;  // ensure visibility
+      if (ms == 0.0) {
+        // Zero-duration phase (e.g. connect on 0-RTT resumption): a
+        // zero-width marker keeps the column visible instead of silently
+        // dropping it, so rows with and without the phase stay comparable.
+        if (begin < bar_width && bar[begin] == ' ') bar[begin] = '.';
+        return;
+      }
       for (std::size_t i = begin; i < end && i < bar_width; ++i) bar[i] = glyph;
     };
     paint(e.dns_ms, 'D');

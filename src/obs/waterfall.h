@@ -25,6 +25,13 @@ struct WaterfallEntry {
   std::string type;      // resource type (document, script, image, ...)
   std::string protocol;  // h1 / h2 / h3
 
+  // Dependency edge for critical-path attribution (obs/critical_path.h):
+  // `initiator_index` is the index *within this waterfall* of the entry whose
+  // completion revealed this fetch, -1 for the root document. `resource_id`
+  // is the page-model id the index was resolved from.
+  std::int64_t resource_id = -1;
+  std::int64_t initiator_index = -1;
+
   std::uint64_t connection_id = 0;  // pool-scoped id of the serving connection
   int attempts = 1;                 // >1 when the request was re-dispatched
   bool from_cache = false;
@@ -39,6 +46,11 @@ struct WaterfallEntry {
   double send_ms = 0.0;
   double wait_ms = 0.0;
   double receive_ms = 0.0;
+  // Transport delivery stalls, sub-intervals of wait_ms + receive_ms (a gap
+  // ahead of byte 0 stalls the stream before its first in-order byte). Not
+  // part of total_ms() — attribution carves them out of wait/receive.
+  double hol_stall_ms = 0.0;  // blocked behind another stream's gap (TCP HoL)
+  double retx_wait_ms = 0.0;  // blocked on this stream's own retransmission
 
   std::uint64_t response_bytes = 0;
   std::string annotation;  // "rescued", "failed", "cache", ... ("" = none)

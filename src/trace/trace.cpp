@@ -24,6 +24,7 @@ const char* to_string(EventType t) {
     case EventType::FallbackTriggered: return "fallback_triggered";
     case EventType::H3BrokenMarked: return "h3_broken_marked";
     case EventType::H3ReProbe: return "h3_reprobe";
+    case EventType::StreamStallSpan: return "stream_stall_span";
   }
   return "?";
 }
@@ -62,6 +63,8 @@ const char* category_of(EventType t) {
       return "recovery";
     case EventType::LinkDropped:
       return "fault";
+    case EventType::StreamStallSpan:
+      return "recovery";
     default:
       return "transport";
   }
@@ -144,6 +147,12 @@ void ConnectionTrace::write_qlog_trace(util::JsonWriter& w,
       case EventType::H3BrokenMarked:
       case EventType::H3ReProbe:
         w.kv("trigger", to_string(e.fault));
+        break;
+      case EventType::StreamStallSpan:
+        w.kv("stream_id", e.stream_id);
+        w.kv("blocked_bytes", e.bytes);
+        w.kv("duration_ms", e.duration_ms);
+        w.kv("kind", e.cross_stream ? "hol_blocking" : "retransmission_wait");
         break;
     }
     w.end_object();

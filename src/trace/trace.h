@@ -41,6 +41,12 @@ enum class EventType {
   FallbackTriggered,  // pool re-submitted an orphaned request elsewhere
   H3BrokenMarked,     // host marked "H3 broken" after an H3 death
   H3ReProbe,          // broken mark expired; H3 re-attempted
+  // Critical-path attribution (docs/OBSERVABILITY.md): a closed interval in
+  // which a stream had response bytes buffered but undeliverable behind a
+  // gap. `cross_stream` distinguishes TCP head-of-line blocking (the gap
+  // belonged to another stream) from waiting on the stream's own
+  // retransmission. Recorded when the span *ends*; `duration_ms` spans it.
+  StreamStallSpan,
 };
 
 const char* to_string(EventType t);
@@ -64,6 +70,8 @@ struct Event {
   std::uint64_t stream_id = 0;      // when applicable
   std::size_t bytes = 0;            // payload size, when applicable
   double cwnd = 0.0;                // packets, for CwndUpdated
+  double duration_ms = 0.0;         // span length, for StreamStallSpan
+  bool cross_stream = false;        // StreamStallSpan: blocked by ANOTHER stream's gap
   bool is_client_to_server = true;  // direction of the packet/stream data
   FaultKind fault = FaultKind::None;  // for fault/recovery events
 };

@@ -456,12 +456,31 @@ void Connection::on_packet_arrive(Dir d, std::uint64_t packet_num, Chunk chunk) 
     // (this *is* head-of-line blocking).
     if (chunk.conn_offset >= s.recv_next_conn &&
         s.conn_ooo.find(chunk.conn_offset) == s.conn_ooo.end()) {
+      const bool fills_gap = chunk.conn_offset == s.recv_next_conn;
       s.conn_ooo.emplace(chunk.conn_offset, chunk);
+      if (d == Dir::Down && !fills_gap) open_resp_stall(chunk.stream, chunk.len);
+      if (d == Dir::Down && fills_gap) {
+        // The gap that blocked every parked stream belonged to `chunk.stream`
+        // (the retransmission that just filled it). Close all open stall
+        // spans *before* draining — delivery below may complete a stream and
+        // its observer reads stall totals synchronously. A span on the
+        // filler's own stream was retransmission wait; any other stream was
+        // a victim of TCP head-of-line blocking.
+        for (auto& [sid, st] : streams_) {
+          if (st.stall_since >= TimePoint{0}) close_resp_stall(sid, sid != chunk.stream);
+        }
+      }
       while (!s.conn_ooo.empty() && s.conn_ooo.begin()->first == s.recv_next_conn) {
         const Chunk next = s.conn_ooo.begin()->second;
         s.conn_ooo.erase(s.conn_ooo.begin());
         s.recv_next_conn += next.len;
         deliver_in_order(d, next);
+      }
+      if (d == Dir::Down && fills_gap) {
+        // Chunks still parked behind the *next* gap stay blocked: reopen
+        // their spans at the same instant so accounted intervals tile the
+        // blocked time exactly.
+        for (const auto& [off, parked] : s.conn_ooo) open_resp_stall(parked.stream, parked.len);
       }
     }
     // else: duplicate (spurious retransmission) — ignored, but still acked.
@@ -473,7 +492,17 @@ void Connection::on_packet_arrive(Dir d, std::uint64_t packet_num, Chunk chunk) 
       auto& recv_next = d == Dir::Up ? st.req_recv_next : st.resp_recv_next;
       auto& ooo = d == Dir::Up ? st.req_ooo : st.resp_ooo;
       if (chunk.stream_offset >= recv_next && ooo.find(chunk.stream_offset) == ooo.end()) {
+        const bool fills_gap = chunk.stream_offset == recv_next;
         ooo.emplace(chunk.stream_offset, chunk.len);
+        if (d == Dir::Down && !fills_gap) open_resp_stall(chunk.stream, chunk.len);
+        if (d == Dir::Down && fills_gap) {
+          // QUIC gaps only ever block the stream's own data — cross-stream
+          // HoL stalls are structurally impossible (the paper's Fig. 9
+          // mechanism), so every span here is retransmission wait. Close
+          // before draining: delivery may complete the stream and its
+          // observer reads stall totals synchronously.
+          close_resp_stall(chunk.stream, /*cross_stream=*/false);
+        }
         while (!ooo.empty() && ooo.begin()->first == recv_next) {
           const std::size_t len = ooo.begin()->second;
           const std::size_t off = ooo.begin()->first;
@@ -481,6 +510,13 @@ void Connection::on_packet_arrive(Dir d, std::uint64_t packet_num, Chunk chunk) 
           recv_next += len;
           Chunk ordered{chunk.stream, off, len, 0};
           deliver_in_order(d, ordered);
+        }
+        if (d == Dir::Down && fills_gap && !st.resp_ooo.empty()) {
+          // Bytes still parked behind this stream's next gap stay blocked:
+          // reopen at the same instant so spans tile the blocked time.
+          std::size_t parked_bytes = 0;
+          for (const auto& [poff, plen] : st.resp_ooo) parked_bytes += plen;
+          open_resp_stall(chunk.stream, parked_bytes);
         }
       }
     }
@@ -503,6 +539,52 @@ void Connection::deliver_in_order(Dir d, const Chunk& chunk) {
   dir(d).conn_delivered += chunk.len;
   credit_stream(d, chunk.stream, chunk.stream_offset, chunk.len);
   maybe_grant_credit(d, chunk.stream);
+}
+
+void Connection::open_resp_stall(StreamId sid, std::size_t bytes) {
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) return;
+  auto& st = it->second;
+  if (st.stall_since < TimePoint{0}) st.stall_since = sim_.now();
+  st.stalled_bytes += bytes;
+}
+
+void Connection::close_resp_stall(StreamId sid, bool cross_stream) {
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) return;
+  auto& st = it->second;
+  if (st.stall_since < TimePoint{0}) return;
+  const Duration span = sim_.now() - st.stall_since;
+  st.stall_since = TimePoint{-1};
+  const std::size_t blocked_bytes = st.stalled_bytes;
+  st.stalled_bytes = 0;
+  if (span <= Duration::zero()) return;  // opened+closed at the same instant
+  if (cross_stream) {
+    st.hol_stall_total += span;
+    stats_.hol_stall_total += span;
+    obs::observe_ms("transport.stall.hol_ms", span);
+  } else {
+    st.retx_wait_total += span;
+    stats_.retx_wait_total += span;
+    obs::observe_ms("transport.stall.retx_wait_ms", span);
+  }
+  ++stats_.stall_spans;
+  obs::count("transport.stall.spans");
+  if (trace_) {
+    trace::Event ev{sim_.now(), trace::EventType::StreamStallSpan};
+    ev.stream_id = sid;
+    ev.bytes = blocked_bytes;
+    ev.duration_ms = to_ms(span);
+    ev.cross_stream = cross_stream;
+    ev.is_client_to_server = false;
+    trace_->record(ev);
+  }
+}
+
+StreamStallTotals Connection::stall_totals(StreamId sid) const {
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) return {};
+  return {it->second.hol_stall_total, it->second.retx_wait_total};
 }
 
 void Connection::maybe_grant_credit(Dir d, StreamId sid) {

@@ -133,7 +133,20 @@ struct ConnectionStats {
   std::uint64_t streams_opened = 0;
   std::uint64_t flow_blocked_events = 0;  // sender stalled on a flow-control window
   std::uint64_t window_updates_sent = 0;
+  // Response-direction delivery stalls (StreamStallSpan events), summed over
+  // all streams. hol = blocked behind ANOTHER stream's gap (only possible on
+  // TCP's connection-wide ordering); retx_wait = blocked on the stream's own
+  // lost packet (both transports).
+  Duration hol_stall_total{0};
+  Duration retx_wait_total{0};
+  std::uint64_t stall_spans = 0;
   ConnectionError error = ConnectionError::None;  // set when the connection dies
+};
+
+/// Cumulative response-direction stall time of one stream, split by cause.
+struct StreamStallTotals {
+  Duration hol_stall{0};   // blocked behind another stream's gap (TCP HoL)
+  Duration retx_wait{0};   // blocked on the stream's own retransmission
 };
 
 /// Per-fetch observer callbacks. All fire at client-side simulated times.
@@ -197,6 +210,11 @@ class Connection : public std::enable_shared_from_this<Connection> {
   [[nodiscard]] const std::string& domain() const { return config_.domain; }
   [[nodiscard]] std::size_t active_streams() const { return active_stream_count_; }
   [[nodiscard]] std::size_t mss() const;
+
+  /// Cumulative response-direction stall time for one stream (zeros for
+  /// unknown ids). Stream state persists past completion, so this is valid
+  /// for post-hoc critical-path attribution (obs/critical_path.h).
+  [[nodiscard]] StreamStallTotals stall_totals(StreamId sid) const;
 
  private:
   Connection(sim::Simulator& sim, net::NetPath& path, tls::TransportKind kind,
@@ -279,6 +297,14 @@ class Connection : public std::enable_shared_from_this<Connection> {
     bool response_active = false;
     bool first_byte_reported = false;
     bool done = false;
+    // Response-stall accounting: while any of this stream's response bytes
+    // sit undeliverable behind a gap, `stall_since` holds the span start
+    // (-1us = no open span). Spans close when the blocking gap fills; totals
+    // accumulate here and in ConnectionStats.
+    TimePoint stall_since{-1};
+    std::size_t stalled_bytes = 0;  // bytes parked while the span was open
+    Duration hol_stall_total{0};
+    Duration retx_wait_total{0};
   };
 
   DirState& dir(Dir d) { return *dirs_[static_cast<std::size_t>(d)]; }
@@ -298,6 +324,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void send_chunk(Dir d, const Chunk& chunk, bool is_retx);
   void on_packet_arrive(Dir d, std::uint64_t packet_num, Chunk chunk);
   void deliver_in_order(Dir d, const Chunk& chunk);
+  void open_resp_stall(StreamId sid, std::size_t bytes);
+  void close_resp_stall(StreamId sid, bool cross_stream);
   void credit_stream(Dir d, StreamId sid, std::size_t offset, std::size_t len);
   void on_ack(Dir d, std::uint64_t packet_num);
   void maybe_grant_credit(Dir d, StreamId sid);

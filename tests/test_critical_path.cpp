@@ -1,0 +1,163 @@
+// Critical-path PLT attribution (obs/critical_path.h, obs/attribution.h):
+// the additive contract (phase vectors tile [0, PLT] exactly), the H2/H3
+// pairing of diff mode, the transport invariant behind it (QUIC streams
+// never stall on another stream's loss; TCP streams do), and the ASCII
+// zero-width phase marker.
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiments.h"
+#include "core/observability.h"
+#include "core/study.h"
+#include "obs/attribution.h"
+#include "obs/waterfall.h"
+
+namespace h3cdn::obs {
+namespace {
+
+core::StudyResult run_study(double loss, core::RunObservability* observability,
+                            std::size_t sites = 4) {
+  core::StudyConfig cfg;
+  cfg.workload.site_count = sites;
+  cfg.max_sites = sites;
+  cfg.probes_per_vantage = 1;
+  cfg.loss_rate = loss;
+  cfg.observability = observability;
+  return core::MeasurementStudy(cfg).run();
+}
+
+// Phase sums must reproduce the PLT to within 1 µs (1e-3 ms) on every page:
+// the analyzer charges every microsecond of [0, PLT] to exactly one phase.
+TEST(CriticalPath, PhasesSumToPageLoadTime) {
+  core::RunObservability observability;
+  (void)run_study(0.0, &observability);
+  ASSERT_FALSE(observability.waterfalls().empty());
+  for (const auto& wf : observability.waterfalls()) {
+    const CriticalPathResult r = analyze_critical_path(wf);
+    EXPECT_DOUBLE_EQ(r.plt_ms, wf.page_load_time_ms);
+    EXPECT_NEAR(r.phases.sum(), r.plt_ms, 1e-3) << wf.site << " " << wf.vantage;
+    EXPECT_FALSE(r.path.empty());
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      EXPECT_GE(r.phases.ms[i], 0.0) << to_string(static_cast<Phase>(i));
+    }
+  }
+}
+
+// Under loss the same invariant must hold — stall carving (hol/retx out of
+// wait+receive) must never create or destroy time.
+TEST(CriticalPath, PhasesSumToPageLoadTimeUnderLoss) {
+  core::RunObservability observability;
+  (void)run_study(0.02, &observability);
+  ASSERT_FALSE(observability.waterfalls().empty());
+  for (const auto& wf : observability.waterfalls()) {
+    const CriticalPathResult r = analyze_critical_path(wf);
+    EXPECT_NEAR(r.phases.sum(), r.plt_ms, 1e-3) << wf.site << " " << wf.vantage;
+  }
+}
+
+TEST(CriticalPath, DiffDeltasSumToPltDelta) {
+  core::RunObservability observability;
+  (void)run_study(0.01, &observability);
+  const AttributionReport report = attribute_pages(observability.waterfalls());
+  ASSERT_FALSE(report.pages.empty());
+  ASSERT_FALSE(report.diffs.empty());
+  for (const auto& page : report.pages) {
+    EXPECT_NEAR(page.phases.sum(), page.plt_ms, 1e-3) << page.site << " " << page.run;
+  }
+  for (const auto& diff : report.diffs) {
+    EXPECT_DOUBLE_EQ(diff.plt_delta_ms, diff.h2_plt_ms - diff.h3_plt_ms);
+    // Two rounding grains: each side of the subtraction is exact to 1 µs.
+    EXPECT_NEAR(diff.delta.sum(), diff.plt_delta_ms, 2e-3) << diff.site << " " << diff.pair;
+  }
+  // Every page pairs: one H2 and one H3 visit per (site, run) key.
+  EXPECT_EQ(report.diffs.size() * 2, report.pages.size());
+}
+
+// The structural claim the attribution rests on: QUIC delivers per-stream,
+// so a lost packet never stalls *another* stream (no cross-stream HoL spans
+// on h3 entries), while TCP's in-order byte stream stalls every multiplexed
+// stream behind the gap.
+TEST(CriticalPath, HolStallsAppearOnTcpEntriesOnly) {
+  core::RunObservability observability;
+  (void)run_study(0.02, &observability, /*sites=*/6);
+  double tcp_hol_ms = 0.0;
+  double quic_hol_ms = 0.0;
+  for (const auto& wf : observability.waterfalls()) {
+    for (const auto& e : wf.entries) {
+      if (e.protocol == "h3") {
+        quic_hol_ms += e.hol_stall_ms;
+      } else {
+        tcp_hol_ms += e.hol_stall_ms;
+      }
+    }
+  }
+  EXPECT_EQ(quic_hol_ms, 0.0);
+  EXPECT_GT(tcp_hol_ms, 0.0);
+}
+
+// Diff mode on a lossy study must show the H2 side losing time to HoL
+// stalls that the H3 side does not pay (the paper's Fig. 9 mechanism).
+TEST(CriticalPath, LossGapAttributedToHolStall) {
+  core::RunObservability observability;
+  (void)run_study(0.02, &observability, /*sites=*/6);
+  const auto report = attribute_pages(observability.waterfalls());
+  PhaseVector total{};
+  for (const auto& diff : report.diffs) total += diff.delta;
+  EXPECT_GT(total[Phase::HolStall], 0.0);
+}
+
+TEST(CriticalPath, DissectionAggregatesMatchPairMeans) {
+  core::RunObservability observability;
+  const auto study = run_study(0.01, &observability);
+  const auto dissection = core::compute_plt_dissection(study);
+  ASSERT_GT(dissection.overall.pages, 0u);
+  // The mean delta vector must sum to the mean PLT delta (additivity
+  // survives averaging — it is linear).
+  EXPECT_NEAR(dissection.overall.mean_delta.sum(), dissection.overall.mean_plt_delta_ms(), 2e-3);
+  for (const auto& row : dissection.by_vantage) {
+    EXPECT_NEAR(row.mean_delta.sum(), row.mean_plt_delta_ms(), 2e-3) << row.group;
+  }
+  // Vantage rows partition the pairs.
+  std::size_t vantage_pages = 0;
+  for (const auto& row : dissection.by_vantage) vantage_pages += row.pages;
+  EXPECT_EQ(vantage_pages, dissection.overall.pages);
+}
+
+TEST(CriticalPath, ZeroDurationPhaseRendersZeroWidthMarker) {
+  Waterfall wf;
+  wf.site = "site.example";
+  wf.page_load_time_ms = 100.0;
+  WaterfallEntry e;
+  e.url = "https://site.example/";
+  e.protocol = "h2";
+  e.start_ms = 0.0;
+  e.dns_ms = 10.0;  // every other phase is zero-duration
+  wf.entries.push_back(e);
+  const std::string art = waterfall_to_ascii(wf, 80);
+  EXPECT_NE(art.find(".=zero-width phase"), std::string::npos);
+  // The D run is followed by the zero-width marker, not silently nothing.
+  EXPECT_NE(art.find("D."), std::string::npos);
+}
+
+TEST(CriticalPath, PhaseVectorArithmetic) {
+  PhaseVector a{};
+  a[Phase::Dns] = 2.0;
+  a[Phase::Transfer] = 3.0;
+  PhaseVector b{};
+  b[Phase::Dns] = 0.5;
+  const PhaseVector d = a - b;
+  EXPECT_DOUBLE_EQ(d[Phase::Dns], 1.5);
+  EXPECT_DOUBLE_EQ(d.sum(), 4.5);
+  a += b;
+  EXPECT_DOUBLE_EQ(a[Phase::Dns], 2.5);
+  a /= 2.0;
+  EXPECT_DOUBLE_EQ(a[Phase::Dns], 1.25);
+  EXPECT_STREQ(to_string(Phase::HolStall), "hol_stall");
+  EXPECT_STREQ(to_string(Phase::IdleGap), "idle_gap");
+}
+
+}  // namespace
+}  // namespace h3cdn::obs

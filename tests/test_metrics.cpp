@@ -137,6 +137,30 @@ TEST(Metrics, JsonExportParsesAndRoundTrips) {
   EXPECT_NEAR(hist->number_or("p50", -1), 50.0, 50.0 * 0.10);
 }
 
+TEST(Metrics, EmptyHistogramExportsCountOnly) {
+  MetricsRegistry reg;
+  (void)reg.histogram("never.observed_ms");  // registered but no samples
+
+  const auto doc = util::parse_json(metrics_to_json(reg));
+  ASSERT_TRUE(doc.has_value());
+  const util::JsonValue* hist = doc->find("histograms")->find("never.observed_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->number_or("count", -1), 0.0);
+  // Quantiles of zero samples would be fabricated data; none may be exported.
+  for (const char* q : {"sum", "min", "max", "mean", "p50", "p90", "p99", "p999"}) {
+    EXPECT_EQ(hist->find(q), nullptr) << q;
+  }
+
+  const std::string csv = metrics_to_csv(reg);
+  EXPECT_NE(csv.find("never.observed_ms,histogram,count,0\n"), std::string::npos);
+  EXPECT_EQ(csv.find("never.observed_ms,histogram,p50,"), std::string::npos);
+
+  const std::string prom = metrics_to_prometheus(reg);
+  EXPECT_NE(prom.find("never_observed_ms_count 0\n"), std::string::npos);
+  EXPECT_EQ(prom.find("never_observed_ms{quantile="), std::string::npos);
+  EXPECT_EQ(prom.find("never_observed_ms_sum"), std::string::npos);
+}
+
 TEST(Metrics, CsvExportHasOneRowPerField) {
   MetricsRegistry reg;
   reg.counter("c").inc(7);

@@ -11,6 +11,7 @@
 #include "core/experiments.h"
 #include "core/export.h"
 #include "core/observability.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/waterfall.h"
 #include "tls/ticket_store.h"
@@ -73,6 +74,17 @@ TEST(ParallelStudy, ObservabilityArtifactsAreIdenticalAcrossJobCounts) {
   EXPECT_EQ(obs_one.traces().to_qlog_json(), obs_four.traces().to_qlog_json());
   EXPECT_EQ(obs::waterfalls_to_json(obs_one.waterfalls()),
             obs::waterfalls_to_json(obs_four.waterfalls()));
+  // The critical-path attribution is derived from the waterfalls, so it must
+  // inherit the same determinism — byte for byte, including H2/H3 pairing.
+  EXPECT_EQ(obs::attribution_to_json(obs::attribute_pages(obs_one.waterfalls())),
+            obs::attribution_to_json(obs::attribute_pages(obs_four.waterfalls())));
+}
+
+TEST(ParallelStudy, DissectionIsIdenticalAcrossJobCounts) {
+  const auto one = MeasurementStudy(parallel_config(1)).run();
+  const auto four = MeasurementStudy(parallel_config(4)).run();
+  EXPECT_EQ(dissection_to_csv(compute_plt_dissection(one)),
+            dissection_to_csv(compute_plt_dissection(four)));
 }
 
 TEST(ParallelStudy, MergedMetricsCoverEveryShard) {

@@ -1,8 +1,10 @@
 // h3cdn_obs_report — inspect and validate an observability artifact directory
 // written by core::RunObservability::write_artifacts (metrics.json/.csv/.prom,
-// qlog.json, waterfalls.json, profile.json).
+// qlog.json, waterfalls.json, attribution.json, profile.json).
 //
 //   h3cdn_obs_report DIR                 human-readable run summary
+//   h3cdn_obs_report DIR --attribution   critical-path PLT breakdown (ASCII
+//                                        bars; add --json for the JSON form)
 //   h3cdn_obs_report DIR --check         validate artifacts; exit 1 on failure
 //     --waterfalls N    number of page waterfalls to render (default 3)
 //     --width N         waterfall terminal width (default 100)
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/waterfall.h"
 #include "util/json_parse.h"
 
@@ -28,6 +31,8 @@ namespace {
 struct Options {
   std::string dir;
   bool check = false;
+  bool attribution = false;
+  bool json = false;
   std::size_t waterfalls = 3;
   std::size_t width = 100;
   std::size_t min_series = 30;
@@ -36,8 +41,8 @@ struct Options {
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " DIR [--check] [--waterfalls N] [--width N]\n"
-               "       [--min-series N] [--min-layers N]\n";
+            << " DIR [--check] [--attribution [--json]] [--waterfalls N]\n"
+               "       [--width N] [--min-series N] [--min-layers N]\n";
   std::exit(2);
 }
 
@@ -51,6 +56,10 @@ Options parse_args(int argc, char** argv) {
     };
     if (arg == "--check") {
       o.check = true;
+    } else if (arg == "--attribution") {
+      o.attribution = true;
+    } else if (arg == "--json") {
+      o.json = true;
     } else if (arg == "--waterfalls") {
       o.waterfalls = std::stoul(next());
     } else if (arg == "--width") {
@@ -125,10 +134,25 @@ void check_metrics(const util::JsonValue& doc, const Options& o, Checker& check,
       check.fail(std::string("metrics.json: missing object \"") + section + "\"");
       continue;
     }
+    const bool is_hist = std::string(section) == "histograms";
     for (const auto& [name, value] : group->as_object()) {
       ++series;
       layers.insert(layer_of(name));
-      (void)value;
+      if (is_hist && value.is_object()) {
+        // An empty histogram must export count only — quantiles computed from
+        // zero samples would be fabricated data (and 0-filled ones poison
+        // downstream aggregation).
+        const double count = value.number_or("count", 0.0);
+        if (count == 0.0) {
+          for (const char* q : {"mean", "min", "max", "sum", "p50", "p90", "p99"}) {
+            if (value.find(q) != nullptr) {
+              check.fail("metrics.json: histogram \"" + name + "\" has count=0 but carries \"" +
+                         q + "\" (quantiles without samples)");
+              break;
+            }
+          }
+        }
+      }
     }
   }
   const double declared = doc.number_or("series_count", -1.0);
@@ -164,6 +188,12 @@ obs::WaterfallEntry entry_from_json(const util::JsonValue& e) {
   out.resumed = e.bool_or("resumed", false);
   out.failed = e.bool_or("failed", false);
   out.start_ms = e.number_or("start_ms", 0.0);
+  out.resource_id = static_cast<std::int64_t>(e.number_or("resource_id", -1));
+  out.initiator_index = static_cast<std::int64_t>(e.number_or("initiator_index", -1));
+  if (const util::JsonValue* stalls = e.find("stalls_ms"); stalls != nullptr) {
+    out.hol_stall_ms = stalls->number_or("hol_stall", 0.0);
+    out.retx_wait_ms = stalls->number_or("retx_wait", 0.0);
+  }
   if (const util::JsonValue* phases = e.find("phases_ms"); phases != nullptr) {
     out.dns_ms = phases->number_or("dns", 0.0);
     out.blocked_ms = phases->number_or("blocked", 0.0);
@@ -234,6 +264,75 @@ void check_waterfalls(const util::JsonValue& doc, Checker& check) {
       ++ei;
     }
     ++index;
+  }
+}
+
+// --- attribution.json -------------------------------------------------------
+
+/// The attribution engine's contract is exact additivity: every phase vector
+/// tiles [0, PLT] with no residual, so the exported phases must sum to the
+/// exported PLT within 1 µs (and diff deltas to the PLT delta within 2 µs —
+/// one rounding grain per side of the subtraction).
+void check_attribution(const util::JsonValue& doc, Checker& check) {
+  const util::JsonValue* root = doc.find("attribution");
+  if (root == nullptr || !root->is_object()) {
+    check.fail("attribution.json: missing \"attribution\" object");
+    return;
+  }
+  auto sum_phases = [&](const util::JsonValue& obj, const char* key, const std::string& where,
+                        double* out) {
+    const util::JsonValue* phases = obj.find(key);
+    if (phases == nullptr || !phases->is_object()) {
+      check.fail("attribution.json: " + where + " has no \"" + key + "\" object");
+      return false;
+    }
+    double sum = 0.0;
+    std::size_t keys = 0;
+    for (const auto& [name, v] : phases->as_object()) {
+      (void)name;
+      sum += v.is_number() ? v.as_number() : 0.0;
+      ++keys;
+    }
+    if (keys != obs::kPhaseCount) {
+      check.fail("attribution.json: " + where + " \"" + key + "\" has " + std::to_string(keys) +
+                 " phases (expected " + std::to_string(obs::kPhaseCount) + ")");
+    }
+    *out = sum;
+    return true;
+  };
+  const util::JsonValue* pages = root->find("pages");
+  if (pages == nullptr || !pages->is_array()) {
+    check.fail("attribution.json: missing \"pages\" array");
+  } else {
+    std::size_t i = 0;
+    for (const auto& p : pages->as_array()) {
+      const std::string where = "page " + std::to_string(i) + " (" + p.string_or("site", "?") + ")";
+      double sum = 0.0;
+      if (sum_phases(p, "phases_ms", where, &sum)) {
+        const double plt = p.number_or("plt_ms", -1.0);
+        if (std::fabs(sum - plt) > 1e-3) {  // 1 µs, in ms
+          check.fail("attribution.json: " + where + ": phases sum to " + std::to_string(sum) +
+                     " ms but plt_ms=" + std::to_string(plt));
+        }
+      }
+      ++i;
+    }
+  }
+  const util::JsonValue* diffs = root->find("diffs");
+  if (diffs != nullptr && diffs->is_array()) {
+    std::size_t i = 0;
+    for (const auto& d : diffs->as_array()) {
+      const std::string where = "diff " + std::to_string(i) + " (" + d.string_or("site", "?") + ")";
+      double sum = 0.0;
+      if (sum_phases(d, "delta_ms", where, &sum)) {
+        const double delta = d.number_or("plt_delta_ms", -1.0);
+        if (std::fabs(sum - delta) > 2e-3) {
+          check.fail("attribution.json: " + where + ": deltas sum to " + std::to_string(sum) +
+                     " ms but plt_delta_ms=" + std::to_string(delta));
+        }
+      }
+      ++i;
+    }
   }
 }
 
@@ -345,8 +444,31 @@ int main(int argc, char** argv) {
   const Options o = parse_args(argc, argv);
   Checker check;
 
+  if (o.attribution && !o.check) {
+    // Attribution mode: recompute the critical-path breakdown from the
+    // waterfall artifact (the ground truth) and render it.
+    const auto waterfalls_doc = load_json(o, "waterfalls.json", check);
+    if (!waterfalls_doc) {
+      for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
+      return 1;
+    }
+    const auto pages = waterfalls_from_json(*waterfalls_doc, check);
+    const auto report = obs::attribute_pages(pages);
+    if (o.json) {
+      std::cout << obs::attribution_to_json(report);
+    } else {
+      std::cout << obs::attribution_to_ascii(report, o.width);
+    }
+    if (!check.problems.empty()) {
+      for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
   const auto metrics = load_json(o, "metrics.json", check);
   const auto waterfalls_doc = load_json(o, "waterfalls.json", check);
+  const auto attribution_doc = load_json(o, "attribution.json", check);
   const auto qlog = load_json(o, "qlog.json", check);
   const auto profile = load_json(o, "profile.json", check);
   // The non-JSON exports only need to exist and be non-empty.
@@ -359,6 +481,7 @@ int main(int argc, char** argv) {
   std::size_t qlog_events = 0;
   if (metrics) check_metrics(*metrics, o, check, &layers);
   if (waterfalls_doc) check_waterfalls(*waterfalls_doc, check);
+  if (attribution_doc) check_attribution(*attribution_doc, check);
   if (qlog) check_qlog(*qlog, check, &qlog_events);
 
   if (o.check) {

@@ -11,7 +11,9 @@
 //     --seed N           study seed (default 7)
 //     --jobs N           worker threads for shard execution (default: all
 //                        hardware threads; output is byte-identical for any N)
-//     --experiment NAME  table1|table2|table3|fig2..fig9|summary|all (default all)
+//     --experiment NAME  table1|table2|table3|fig2..fig9|dissection|summary|all
+//                        (default all; dissection = critical-path PLT
+//                        attribution of the H2-vs-H3 delta)
 //     --format FMT       text|csv (default text; summary is always JSON)
 //     --out PATH         write to a file instead of stdout
 //     --obs DIR          record run-wide observability artifacts into DIR
@@ -46,7 +48,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
-               "       [--experiment table1|table2|table3|fig2|...|fig9|summary|all]\n"
+               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|all]\n"
                "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
   std::exit(2);
@@ -114,7 +116,7 @@ void emit(const Options& o, std::ostream& os) {
   // Everything below needs a study run.
   const bool needs_standard = wants(o, "table2") || wants(o, "fig2") || wants(o, "fig3") ||
                               wants(o, "fig4") || wants(o, "fig5") || wants(o, "fig6") ||
-                              wants(o, "fig7") || wants(o, "summary");
+                              wants(o, "fig7") || wants(o, "dissection") || wants(o, "summary");
   std::shared_ptr<const web::Workload> external;
   if (!o.workload_in.empty()) {
     std::ifstream file(o.workload_in);
@@ -183,6 +185,10 @@ void emit(const Options& o, std::ostream& os) {
     text_or_csv(
         "fig7", [&] { return core::compute_fig7(study); },
         [](std::ostream& s, const auto& r) { core::print_fig7(s, r); }, core::fig7_to_csv);
+    text_or_csv(
+        "dissection", [&] { return core::compute_plt_dissection(study); },
+        [](std::ostream& s, const auto& r) { core::print_plt_dissection(s, r); },
+        core::dissection_to_csv);
     if (wants(o, "summary")) os << core::summary_to_json(study) << '\n';
   }
 
