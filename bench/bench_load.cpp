@@ -1,0 +1,73 @@
+// bench_load — fleet-scale load sweep (docs/LOAD.md): offered page-visit
+// load vs H2/H3 PLT/TTFB percentiles, refusal rates and edge queue depth.
+// Not a paper table: this is the capacity extension the paper's single-probe
+// methodology cannot see (its probes always measured an idle edge).
+#include "bench_common.h"
+#include "load/study.h"
+
+namespace {
+
+using namespace h3cdn;
+
+load::LoadStudyConfig sweep_config() {
+  load::LoadStudyConfig cfg;
+  // Keep the full-universe workload (config hash comparability) but visit a
+  // bounded site rotation; scale via the usual env knob.
+  cfg.sites = std::min<std::size_t>(bench::env_size("H3CDN_BENCH_SITES", 325), 8);
+  cfg.offered_rates = {2.0, 8.0, 32.0};
+  cfg.window = sec(8);
+  cfg.jobs = 0;  // deterministic at any parallelism
+  return cfg;
+}
+
+void bm_load_cell(benchmark::State& state) {
+  load::LoadStudyConfig cfg = sweep_config();
+  cfg.offered_rates = {4.0};
+  cfg.window = sec(2);
+  cfg.jobs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(load::run_load_study(cfg));
+  }
+}
+BENCHMARK(bm_load_cell)->Unit(benchmark::kMillisecond);
+
+void reproduce(std::ostream& os, bench::BenchReport& report) {
+  const load::LoadStudyConfig cfg = sweep_config();
+  const load::LoadResult result = load::run_load_study(cfg);
+  load::print_load_result(os, result);
+
+  for (const load::LoadCellRow& row : result.rows) {
+    const std::string prefix =
+        "r" + std::to_string(static_cast<int>(row.offered_rate)) + "." +
+        (row.h3 ? "h3" : "h2") + ".";
+    report.add(prefix + "plt_p50_ms", row.plt_p50_ms, "ms");
+    report.add(prefix + "plt_p95_ms", row.plt_p95_ms, "ms");
+    report.add(prefix + "ttfb_p95_ms", row.ttfb_p95_ms, "ms");
+    report.add(prefix + "refusal_rate", row.refusal_rate, "ratio");
+    report.add(prefix + "mean_queue_depth", row.mean_queue_depth, "count");
+    report.add(prefix + "requests_failed", static_cast<double>(row.requests_failed),
+               "count");
+  }
+  // Headline: how much the p95 degrades when offered load crosses capacity.
+  const auto& rows = result.rows;
+  if (rows.size() >= 2) {
+    const auto& low_h3 = rows[1];
+    const auto& high_h3 = rows[rows.size() - 1];
+    if (low_h3.plt_p95_ms > 0) {
+      report.add("h3_p95_degradation", high_h3.plt_p95_ms / low_h3.plt_p95_ms, "ratio");
+    }
+    const auto& low_h2 = rows[0];
+    const auto& high_h2 = rows[rows.size() - 2];
+    if (low_h2.plt_p95_ms > 0) {
+      report.add("h2_p95_degradation", high_h2.plt_p95_ms / low_h2.plt_p95_ms, "ratio");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Load sweep: offered load vs PLT/TTFB, refusals, queue depth",
+      reproduce);
+}

@@ -25,8 +25,9 @@ std::vector<VantageConfig> global_vantage_points() {
 }
 
 Environment::Environment(sim::Simulator& sim, const web::DomainUniverse& universe,
-                         VantageConfig vantage, util::Rng rng)
-    : sim_(sim), universe_(universe), vantage_(std::move(vantage)), rng_(rng) {
+                         VantageConfig vantage, util::Rng rng, ServerDirectory* servers)
+    : sim_(sim), universe_(universe), vantage_(std::move(vantage)), rng_(rng),
+      servers_(servers) {
   net::LinkConfig access;
   access.latency = from_ms(vantage_.access_latency_ms);
   access.bandwidth_bps = vantage_.access_bandwidth_bps;
@@ -86,13 +87,31 @@ Environment::Host& Environment::host(const std::string& domain) {
   // times in the paper), hence the salt.
   h.path->reseed_jitter(vantage_.server_noise_salt);
   h.path->attach_access(access_up_.get(), access_down_.get());
-  util::Rng server_rng = host_rng.fork("server").fork(vantage_.server_noise_salt);
-  if (dinfo.is_cdn) {
-    h.edge = std::make_unique<cdn::EdgeServer>(traits, server_rng);
+  if (servers_ != nullptr) {
+    // Shared-farm mode: servers are owned (and seeded) by the directory, so
+    // every client environment contends for the same queues and caches.
+    h.edge_ref = servers_->edge(domain);
+    h.origin_ref = servers_->origin(domain);
   } else {
-    h.origin = std::make_unique<cdn::OriginServer>(traits, server_rng);
+    util::Rng server_rng = host_rng.fork("server").fork(vantage_.server_noise_salt);
+    if (dinfo.is_cdn) {
+      h.edge = std::make_unique<cdn::EdgeServer>(traits, server_rng, 65536,
+                                                 vantage_.edge_capacity);
+    } else {
+      h.origin = std::make_unique<cdn::OriginServer>(traits, server_rng);
+    }
+    h.edge_ref = h.edge.get();
+    h.origin_ref = h.origin.get();
   }
   h.info.path = h.path.get();
+  if (h.edge_ref != nullptr && h.edge_ref->capacity().enabled) {
+    cdn::EdgeServer* edge = h.edge_ref;
+    h.info.handshake_admission = [edge](TimePoint now, tls::TransportKind kind,
+                                        tls::HandshakeMode mode) {
+      return edge->try_admit(now, kind, mode);
+    };
+    h.info.connection_release = [edge] { edge->release_connection(); };
+  }
   h.info.supports_h2 = dinfo.supports_h2;
   h.info.supports_h3 = dinfo.supports_h3;
   h.info.tls_version = dinfo.tls_version;
@@ -116,8 +135,8 @@ http::OriginInfo Environment::resolve(const std::string& domain) { return host(d
 Duration Environment::think(const http::Request& request, http::HttpVersion version) {
   Host& h = host(request.domain);
   const std::string key = request.domain + request.path;
-  if (h.edge) return h.edge->think_time(key, version);
-  return h.origin->think_time(key, version);
+  if (h.edge_ref != nullptr) return h.edge_ref->think_time(key, version, sim_.now());
+  return h.origin_ref->think_time(key, version);
 }
 
 void Environment::warm_page(const web::WebPage& page) {
@@ -126,7 +145,7 @@ void Environment::warm_page(const web::WebPage& page) {
     resolver_->prewarm(r.domain);
     if (!r.is_cdn) continue;
     Host& h = host(r.domain);
-    if (h.edge) h.edge->warm(r.domain + r.path);
+    if (h.edge_ref != nullptr) h.edge_ref->warm(r.domain + r.path);
   }
 }
 

@@ -48,6 +48,11 @@ struct VantageConfig {
   // visits happen at different wall times in the paper, so server service
   // times are independent noise, not common random numbers.
   std::uint64_t server_noise_salt = 0;
+  // Server-capacity model for privately owned edge servers (disabled by
+  // default: single-probe experiments measure an idle edge). The load
+  // subsystem usually supplies a shared ServerDirectory instead, but tests
+  // exercise capacity through a private environment with this.
+  cdn::EdgeCapacityConfig edge_capacity;
   // Probe-wide fault profile, installed on the shared access links — the
   // same place tc/netem impairments live on a real probe. Bursty loss,
   // outages and RTT spikes here hit every connection of the visit; see
@@ -64,10 +69,26 @@ std::vector<VantageConfig> default_vantage_points();
 /// correspondingly longer paths to the (US-calibrated) edges and origins.
 std::vector<VantageConfig> global_vantage_points();
 
+/// Provides the server endpoints an Environment talks to. By default every
+/// Environment privately owns one edge/origin per domain (an idle server per
+/// probe — the paper's measurement setup). A load fleet (src/load/) passes a
+/// shared directory instead so thousands of concurrent clients contend for
+/// the SAME servers; queueing and admission then couple the clients.
+class ServerDirectory {
+ public:
+  virtual ~ServerDirectory() = default;
+  /// The edge serving a CDN domain (nullptr for non-CDN domains).
+  virtual cdn::EdgeServer* edge(const std::string& domain) = 0;
+  /// The origin serving a first-party domain (nullptr for CDN domains).
+  virtual cdn::OriginServer* origin(const std::string& domain) = 0;
+};
+
 class Environment {
  public:
+  /// `servers`, when non-null, must outlive the environment; null keeps the
+  /// classic private-server-per-domain behaviour.
   Environment(sim::Simulator& sim, const web::DomainUniverse& universe, VantageConfig vantage,
-              util::Rng rng);
+              util::Rng rng, ServerDirectory* servers = nullptr);
 
   /// Lazily materializes the path + server for a domain.
   http::OriginInfo resolve(const std::string& domain);
@@ -107,8 +128,11 @@ class Environment {
  private:
   struct Host {
     std::unique_ptr<net::NetPath> path;
-    std::unique_ptr<cdn::EdgeServer> edge;      // CDN domains
-    std::unique_ptr<cdn::OriginServer> origin;  // non-CDN domains
+    std::unique_ptr<cdn::EdgeServer> edge;      // CDN domains (private mode)
+    std::unique_ptr<cdn::OriginServer> origin;  // non-CDN domains (private mode)
+    // Servers actually used: the owned ones above, or the shared directory's.
+    cdn::EdgeServer* edge_ref = nullptr;
+    cdn::OriginServer* origin_ref = nullptr;
     http::OriginInfo info;
   };
 
@@ -121,6 +145,7 @@ class Environment {
   std::unique_ptr<net::Link> access_up_;    // shared probe NIC, client->net
   std::unique_ptr<net::Link> access_down_;  // shared probe NIC, net->client
   std::unique_ptr<dns::Resolver> resolver_;
+  ServerDirectory* servers_ = nullptr;  // non-owning; null => private servers
   std::unordered_map<std::string, Host> hosts_;
 };
 

@@ -81,6 +81,10 @@ std::string to_har_json(const HarPage& page) {
     w.kv("receive", to_ms(e.timings.receive));
     w.end_object();
     w.kv("_resourceId", static_cast<std::uint64_t>(e.resource_id));
+    // Discovery edge (Chrome's _initiator analogue): which resource's parse
+    // triggered this fetch; -1 = root. Round-trips through har_import so
+    // imported pages keep the real dependency DAG in critical-path walks.
+    w.kv("_initiatorId", static_cast<double>(e.initiator_id));
     w.kv("_resourceType", web::to_string(e.type));
     w.kv("_reusedConnection", e.is_reused_connection());
     w.kv("_handshakeMode", tls::to_string(e.timings.handshake_mode));

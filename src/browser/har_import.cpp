@@ -50,6 +50,8 @@ bool import_entries(const util::JsonValue& log, HarPage& page, HarImportError* e
     if (!e.is_object()) return fail(error, "entry is not an object");
     HarEntry out;
     out.resource_id = static_cast<std::uint32_t>(e.number_or("_resourceId", 0));
+    // Absent in foreign HARs: -1 keeps the start-time-ordering fallback.
+    out.initiator_id = static_cast<std::int64_t>(e.number_or("_initiatorId", -1.0));
     out.type = parse_type(e.string_or("_resourceType", "other"));
 
     if (const util::JsonValue* req = e.find("request")) {

@@ -1,4 +1,4 @@
-// Edge server processing-time model.
+// Edge server processing-time and capacity model.
 //
 // Produces the per-request "think time" (the server-side component of the
 // HAR Wait phase). Components:
@@ -7,37 +7,118 @@
 //   * protocol overhead: H3's userspace QUIC + encryption costs extra CPU —
 //     this is what makes the paper's median wait-reduction negative
 //     (Fig. 6b, §VI-B, citing [37][38]);
-//   * cache misses: an extra round trip to the origin.
+//   * cache misses: an extra round trip to the origin;
+//   * capacity (optional, see EdgeCapacityConfig): a bounded handshake
+//     accept queue with per-handshake CPU cost differentiated for
+//     TLS-over-TCP vs QUIC, a max-concurrent-connection admission limit,
+//     and a finite worker-core pool so request service queues under load.
+//
+// The capacity model is pull-based and deterministic: it keeps no timers
+// and never touches the Simulator. Callers pass the current sim time; the
+// server prunes its queues against it and returns the extra delay the
+// caller must model. This keeps EdgeServer shareable between thousands of
+// virtual clients on one Simulator without any event plumbing.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cdn/lru_cache.h"
 #include "cdn/provider.h"
 #include "http/types.h"
+#include "tls/handshake.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace h3cdn::cdn {
 
+/// Server-capacity knobs. Disabled by default: the single-browser probe
+/// experiments keep the idle-server behaviour (and byte-identical output)
+/// they always had; the load subsystem (src/load/) switches it on.
+struct EdgeCapacityConfig {
+  bool enabled = false;
+
+  /// Worker cores shared by request "think" work. Requests queue FIFO for
+  /// the earliest-free core; queueing delay feeds the HAR Wait phase.
+  int think_cores = 4;
+
+  /// Handshakes are processed serially by one accept thread. A handshake
+  /// arriving while this many are still queued is refused outright
+  /// (SYN-backlog / Retry-token exhaustion analogue).
+  std::size_t accept_queue_depth = 64;
+
+  /// Admission limit on concurrently established connections (0 = off).
+  /// Refusal is surfaced to the client as ConnectionError::Refused, which
+  /// the HTTP pool retries with backoff.
+  std::size_t max_concurrent_connections = 256;
+
+  /// CPU cost of one full handshake on the accept thread. QUIC's costs
+  /// more than TLS-over-TCP: userspace crypto, address validation, and
+  /// first-flight key derivation (paper §VI-B; Trevisan et al. 2024).
+  Duration handshake_cpu_tcp = usec(180);
+  Duration handshake_cpu_quic = usec(300);
+
+  /// Resumed/0-RTT handshakes skip the certificate path: fraction of the
+  /// full CPU cost they still pay.
+  double resumed_handshake_discount = 0.35;
+};
+
 class EdgeServer {
  public:
-  EdgeServer(const ProviderTraits& traits, util::Rng rng, std::size_t cache_capacity = 65536);
+  EdgeServer(const ProviderTraits& traits, util::Rng rng, std::size_t cache_capacity = 65536,
+             EdgeCapacityConfig capacity = {});
 
   /// Pre-populates the cache for a resource key with the provider's hit
   /// probability (models the paper's warm-up visit plus natural churn).
   void warm(const std::string& key);
 
-  /// Server think time for one request.
-  Duration think_time(const std::string& key, http::HttpVersion version);
+  /// Server think time for one request. `now` is only consulted when the
+  /// capacity model is enabled (it adds core-queueing delay); the default
+  /// keeps legacy call sites exact.
+  Duration think_time(const std::string& key, http::HttpVersion version,
+                      TimePoint now = TimePoint{0});
+
+  /// Admission decision for a new handshake arriving at `now`. Returns the
+  /// extra server-side delay (accept-queue wait + handshake CPU) when
+  /// admitted, or nullopt when refused (queue full / connection limit).
+  /// Admitted connections hold a concurrency slot until
+  /// release_connection(). With capacity disabled, always admits for free.
+  std::optional<Duration> try_admit(TimePoint now, tls::TransportKind kind,
+                                    tls::HandshakeMode mode);
+
+  /// Returns the concurrency slot taken by a successful try_admit().
+  void release_connection();
 
   [[nodiscard]] const LruCache& cache() const { return cache_; }
   [[nodiscard]] const ProviderTraits& traits() const { return traits_; }
+  [[nodiscard]] const EdgeCapacityConfig& capacity() const { return capacity_; }
+
+  /// Handshakes admitted but not yet finished processing at `now`.
+  [[nodiscard]] std::size_t accept_backlog(TimePoint now);
+  /// Worker cores still busy with request service at `now`.
+  [[nodiscard]] std::size_t busy_cores(TimePoint now) const;
+  [[nodiscard]] std::size_t concurrent_connections() const { return concurrent_; }
+  [[nodiscard]] std::uint64_t handshakes_admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t refused_queue_full() const { return refused_queue_full_; }
+  [[nodiscard]] std::uint64_t refused_conn_limit() const { return refused_conn_limit_; }
 
  private:
   ProviderTraits traits_;
   util::Rng rng_;
   LruCache cache_;
+  EdgeCapacityConfig capacity_;
+
+  // Finish times of handshakes still in the accept queue (monotonic).
+  std::deque<TimePoint> hs_queue_;
+  // Per-core earliest-free time for request service.
+  std::vector<TimePoint> cores_;
+  std::size_t concurrent_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t refused_queue_full_ = 0;
+  std::uint64_t refused_conn_limit_ = 0;
 };
 
 }  // namespace h3cdn::cdn

@@ -27,8 +27,19 @@ struct DnsRecord {
   std::string name;
   TimePoint resolved_at{0};
   Duration ttl = sec(300);
+  // Negative caching (RFC 2308): for names without an AAAA record the stub
+  // also caches the empty answer, with its own (much shorter) TTL. Once it
+  // expires, a repeat visit must re-query even though the positive A record
+  // is still valid — the mechanism that makes the dns attribution phase
+  // non-zero on warm-resolver repeat visits.
+  bool has_negative = false;
+  TimePoint negative_resolved_at{0};
+  Duration negative_ttl{0};
 
   [[nodiscard]] bool valid_at(TimePoint now) const { return now < resolved_at + ttl; }
+  [[nodiscard]] bool negative_valid_at(TimePoint now) const {
+    return !has_negative || now < negative_resolved_at + negative_ttl;
+  }
 };
 
 class DnsCache {

@@ -75,24 +75,45 @@ void Resolver::issue_query(const std::string& name, std::function<void(TimePoint
       Duration{config_.resolver_rtt.count() * channel_setup_rtts()};
   const Duration total = setup + config_.resolver_rtt + recursive_work();
   sim_.schedule_in(total, [this, name, done = std::move(done)] {
-    DnsRecord record;
-    record.name = name;
-    record.resolved_at = sim_.now();
-    record.ttl = config_.record_ttl;
-    cache_.insert(record);
+    cache_.insert(make_record(name));
     done(sim_.now());
   });
+}
+
+bool Resolver::ipv6_absent(const std::string& name) const {
+  // fork() derives a child seed without consuming parent state, so this is a
+  // pure, deterministic function of (resolver seed, name).
+  return rng_.fork("aaaa").fork(name).bernoulli(config_.ipv6_absent_fraction);
+}
+
+DnsRecord Resolver::make_record(const std::string& name) const {
+  DnsRecord record;
+  record.name = name;
+  record.resolved_at = sim_.now();
+  record.ttl = config_.record_ttl;
+  if (config_.ipv6_absent_fraction > 0.0 && ipv6_absent(name)) {
+    record.has_negative = true;
+    record.negative_resolved_at = sim_.now();
+    record.negative_ttl = config_.negative_ttl;
+  }
+  return record;
 }
 
 void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> done) {
   H3CDN_EXPECTS(done != nullptr);
   ++stats_.queries;
   obs::count("dns.queries");
-  if (cache_.lookup(name, sim_.now())) {
-    ++stats_.stub_cache_hits;
-    obs::count("dns.stub_cache_hits");
-    sim_.schedule_in(Duration::zero(), [this, done = std::move(done)] { done(sim_.now()); });
-    return;
+  if (const auto record = cache_.lookup(name, sim_.now())) {
+    if (record->negative_valid_at(sim_.now())) {
+      ++stats_.stub_cache_hits;
+      obs::count("dns.stub_cache_hits");
+      sim_.schedule_in(Duration::zero(), [this, done = std::move(done)] { done(sim_.now()); });
+      return;
+    }
+    // The positive record is valid but the negative (no-AAAA) answer has
+    // expired: the dual-stack query pair must go out again (RFC 2308).
+    ++stats_.negative_expiries;
+    obs::count("dns.negative_expiries");
   }
   if (obs::enabled()) {
     // Wrap the callback to record end-to-end resolve latency (cold path only;
@@ -107,11 +128,13 @@ void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> d
 }
 
 void Resolver::prewarm(const std::string& name) {
-  DnsRecord record;
-  record.name = name;
-  record.resolved_at = sim_.now();
-  record.ttl = config_.record_ttl;
-  cache_.insert(record);
+  // Do not clobber a still-fully-valid record: repeated warm-ups must not
+  // push negative-cache expiry ever further into the future.
+  if (const auto existing = cache_.lookup(name, sim_.now());
+      existing && existing->negative_valid_at(sim_.now())) {
+    return;
+  }
+  cache_.insert(make_record(name));
 }
 
 void Resolver::drop_channel() { channel_open_ = false; }

@@ -36,6 +36,13 @@ struct ResolverConfig {
   double query_loss_rate = 0.0;            // per query message
   Duration udp_timeout = msec(400);        // Do53 retry timer
   bool channel_resumption = true;          // DoQ 0-RTT on later channels
+  // Negative caching (RFC 2308): this fraction of names (a stable per-name
+  // property) has no AAAA record; the empty answer is cached for
+  // negative_ttl, after which a repeat visit re-queries even though the
+  // positive record is still valid. Models the dual-stack (Happy Eyeballs)
+  // query pair collapsing into the slower leg.
+  double ipv6_absent_fraction = 0.35;
+  Duration negative_ttl = sec(30);
 };
 
 struct ResolverStats {
@@ -44,6 +51,7 @@ struct ResolverStats {
   std::uint64_t recursive_cache_hits = 0;
   std::uint64_t retries = 0;
   std::uint64_t channels_established = 0;
+  std::uint64_t negative_expiries = 0;  // repeat resolves forced by RFC 2308 expiry
 };
 
 class Resolver {
@@ -68,6 +76,9 @@ class Resolver {
   /// Round trips to establish the query channel right now (0 if open).
   int channel_setup_rtts();
   Duration recursive_work();
+  /// Stable per-name property: does this name lack an AAAA record?
+  bool ipv6_absent(const std::string& name) const;
+  DnsRecord make_record(const std::string& name) const;
   void issue_query(const std::string& name, std::function<void(TimePoint)> done, int attempt);
 
   sim::Simulator& sim_;

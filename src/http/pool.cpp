@@ -71,6 +71,8 @@ std::shared_ptr<Session> ConnectionPool::make_session(const std::string& domain,
 
   transport::TransportConfig tconfig = config_.transport;
   tconfig.domain = domain;
+  tconfig.handshake_admission = origin.handshake_admission;
+  tconfig.connection_release = origin.connection_release;
   // Mature H2 stacks schedule by the browser's fine-grained priority
   // signals; 2022-era H3 stacks supported at best coarse RFC 9218 urgency.
   tconfig.respect_priorities = true;
@@ -193,7 +195,9 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
                                      std::vector<Session::Orphan> orphans) {
   ++stats_.connection_deaths;
   obs::count("http.pool.connection_deaths");
-  const trace::FaultKind fault = error == transport::ConnectionError::Blackhole
+  const bool refused = error == transport::ConnectionError::Refused;
+  const trace::FaultKind fault = refused ? trace::FaultKind::Refused
+                                 : error == transport::ConnectionError::Blackhole
                                      ? trace::FaultKind::Blackhole
                                      : trace::FaultKind::HandshakeTimeout;
 
@@ -211,6 +215,43 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
         break;
       }
     }
+  }
+
+  // A refusal means "server busy", not "protocol broken": never mark H3
+  // broken for it, retry on the SAME protocol after a jittered exponential
+  // backoff so the herd does not re-arrive in lockstep.
+  if (refused) {
+    ++stats_.connections_refused;
+    obs::count("http.pool.connections_refused");
+    for (auto& orphan : orphans) {
+      if (orphan.attempts >= config_.max_request_retries) {
+        ++stats_.requests_failed;
+        obs::count("http.entries_failed");
+        EntryTimings t;
+        t.started = orphan.submitted;
+        t.finished = sim_.now();
+        t.version = version;
+        t.failed = true;
+        auto done = std::move(orphan.done);
+        done(t);
+        continue;
+      }
+      ++stats_.requests_rescued;
+      ++stats_.refusal_retries;
+      obs::count("http.pool.requests_rescued");
+      obs::count("http.pool.refusal_retries");
+      record_fault(trace::EventType::FallbackTriggered, fault);
+      const int exponent = std::max(0, orphan.attempts - 1);
+      Duration backoff{config_.refusal_backoff_base.count() << std::min(exponent, 6)};
+      backoff += Duration{static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) *
+          rng_.uniform(0.0, config_.refusal_backoff_jitter))};
+      sim_.schedule_in(backoff,
+                       [this, orphan = std::move(orphan), version]() mutable {
+                         route_rescue(std::move(orphan), version);
+                       });
+    }
+    return;
   }
 
   // An H3 death marks the host broken and degrades it to H2 (Chrome's

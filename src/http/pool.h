@@ -43,6 +43,12 @@ struct OriginInfo {
   // and share one H2 connection. Empty => the domain itself is the key.
   // QUIC connections never coalesce here (matching 2022 deployments).
   std::string coalesce_key;
+  // Server-capacity admission hooks, wired by the environment to the origin's
+  // EdgeServer when its capacity model is enabled (see docs/LOAD.md). Copied
+  // into each new connection's TransportConfig; empty => idle server.
+  std::function<std::optional<Duration>(TimePoint, tls::TransportKind, tls::HandshakeMode)>
+      handshake_admission;
+  std::function<void()> connection_release;
 };
 
 using Resolver = std::function<OriginInfo(const std::string& domain)>;
@@ -72,6 +78,12 @@ struct PoolConfig {
   // Dispatch attempts per request across connection deaths; beyond this the
   // entry completes with EntryTimings::failed = true.
   int max_request_retries = 3;
+  // Retry backoff after a server admission refusal (ConnectionError::Refused):
+  // orphans are re-dialled on the SAME protocol (a refusal says "busy", not
+  // "broken") after base * 2^(attempts-1), jittered by up to +refusal_backoff_jitter
+  // so a refused thundering herd does not re-arrive in lockstep.
+  Duration refusal_backoff_base = msec(50);
+  double refusal_backoff_jitter = 0.5;
   // Per-connection trace wiring (obs::TraceAggregator). When set, every new
   // connection records into a trace obtained from this factory, keyed by the
   // origin domain and the protocol the pool picked.
@@ -94,6 +106,9 @@ struct PoolStats {
   std::uint64_t requests_failed = 0;     // orphans past the retry budget
   std::uint64_t h3_broken_marks = 0;     // hosts marked "H3 broken"
   std::uint64_t h3_reprobes = 0;         // broken marks expired and re-probed
+  // Server-capacity admission (docs/LOAD.md).
+  std::uint64_t connections_refused = 0;  // dials refused by server admission
+  std::uint64_t refusal_retries = 0;      // orphans re-dialled after backoff
 };
 
 class ConnectionPool {

@@ -1,0 +1,80 @@
+#include "load/arrival.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::load {
+
+const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::FixedRate: return "fixed";
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::DiurnalRamp: return "ramp";
+    case ArrivalKind::ClosedLoop: return "closed";
+  }
+  return "?";
+}
+
+ArrivalKind arrival_kind_from_string(const std::string& s, bool* ok) {
+  if (ok != nullptr) *ok = true;
+  if (s == "fixed") return ArrivalKind::FixedRate;
+  if (s == "poisson") return ArrivalKind::Poisson;
+  if (s == "ramp") return ArrivalKind::DiurnalRamp;
+  if (s == "closed") return ArrivalKind::ClosedLoop;
+  if (ok != nullptr) *ok = false;
+  return ArrivalKind::Poisson;
+}
+
+double instantaneous_rate(const ArrivalConfig& cfg, TimePoint at) {
+  if (cfg.kind != ArrivalKind::DiurnalRamp) return cfg.rate_per_sec;
+  const double w = to_ms(cfg.window);
+  if (w <= 0.0) return cfg.rate_per_sec;
+  const double t = to_ms(at);
+  // Triangle peaking at window/2: rate at the edges, rate*peak_ratio mid-day.
+  const double position = 1.0 - std::abs(2.0 * t / w - 1.0);  // 0 at edges, 1 mid
+  return cfg.rate_per_sec * (1.0 + (cfg.peak_ratio - 1.0) * std::max(0.0, position));
+}
+
+std::vector<TimePoint> open_loop_arrivals(const ArrivalConfig& cfg, util::Rng& rng) {
+  std::vector<TimePoint> arrivals;
+  if (cfg.kind == ArrivalKind::ClosedLoop) return arrivals;
+  H3CDN_EXPECTS(cfg.rate_per_sec > 0.0);
+  H3CDN_EXPECTS(cfg.window > Duration::zero());
+  const double window_s = to_ms(cfg.window) / 1000.0;
+
+  switch (cfg.kind) {
+    case ArrivalKind::FixedRate: {
+      const Duration gap = from_ms(1000.0 / cfg.rate_per_sec);
+      for (TimePoint t{0}; t < TimePoint{cfg.window}; t += gap) arrivals.push_back(t);
+      break;
+    }
+    case ArrivalKind::Poisson: {
+      const double mean_gap_ms = 1000.0 / cfg.rate_per_sec;
+      double t_ms = rng.exponential(mean_gap_ms);
+      while (t_ms < window_s * 1000.0) {
+        arrivals.push_back(TimePoint{from_ms(t_ms)});
+        t_ms += rng.exponential(mean_gap_ms);
+      }
+      break;
+    }
+    case ArrivalKind::DiurnalRamp: {
+      // Lewis-Shedler thinning against the peak rate: draw a homogeneous
+      // Poisson stream at the envelope and keep each point with probability
+      // rate(t)/peak.
+      const double peak = cfg.rate_per_sec * std::max(1.0, cfg.peak_ratio);
+      const double mean_gap_ms = 1000.0 / peak;
+      double t_ms = rng.exponential(mean_gap_ms);
+      while (t_ms < window_s * 1000.0) {
+        const TimePoint at{from_ms(t_ms)};
+        if (rng.bernoulli(instantaneous_rate(cfg, at) / peak)) arrivals.push_back(at);
+        t_ms += rng.exponential(mean_gap_ms);
+      }
+      break;
+    }
+    case ArrivalKind::ClosedLoop: break;  // handled above
+  }
+  return arrivals;
+}
+
+}  // namespace h3cdn::load

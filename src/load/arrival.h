@@ -1,0 +1,51 @@
+// Arrival processes driving the virtual-client fleet (docs/LOAD.md §2).
+//
+// Open-loop kinds (FixedRate, Poisson, DiurnalRamp) pre-compute a visit
+// schedule over a window: arrivals keep coming regardless of how slow the
+// loaded servers get — the regime where queues actually build (Schroeder et
+// al.'s open-vs-closed distinction). ClosedLoop models a fixed user
+// population with think times: each user starts a new visit only after the
+// previous one finished, so offered load self-throttles under overload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace h3cdn::load {
+
+enum class ArrivalKind {
+  FixedRate,    // deterministic 1/rate spacing
+  Poisson,      // exponential inter-arrivals (memoryless aggregate of many users)
+  DiurnalRamp,  // inhomogeneous Poisson: triangular ramp peaking mid-window
+  ClosedLoop,   // fixed user population with exponential think times
+};
+
+const char* to_string(ArrivalKind k);
+
+/// Parses "fixed" / "poisson" / "ramp" / "closed". Sets *ok (when given)
+/// false and returns Poisson on unknown input.
+ArrivalKind arrival_kind_from_string(const std::string& s, bool* ok = nullptr);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::Poisson;
+  double rate_per_sec = 4.0;  // mean visit arrival rate (open-loop kinds)
+  Duration window = sec(10);  // arrivals occur in [0, window)
+  double peak_ratio = 3.0;    // DiurnalRamp: peak rate / rate_per_sec
+  std::size_t users = 16;     // ClosedLoop population size
+  Duration think_mean = sec(2);  // ClosedLoop think time (exponential)
+};
+
+/// Sorted visit start times in [0, window) for the open-loop kinds.
+/// ClosedLoop returns an empty vector (the fleet's user loop generates its
+/// arrivals online).
+std::vector<TimePoint> open_loop_arrivals(const ArrivalConfig& cfg, util::Rng& rng);
+
+/// Deterministic instantaneous rate shape at `at`: rate_per_sec for
+/// FixedRate/Poisson, the triangular ramp for DiurnalRamp (used both by the
+/// thinning sampler and by tests).
+double instantaneous_rate(const ArrivalConfig& cfg, TimePoint at);
+
+}  // namespace h3cdn::load

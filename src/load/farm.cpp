@@ -1,0 +1,59 @@
+#include "load/farm.h"
+
+#include "cdn/provider.h"
+
+namespace h3cdn::load {
+
+ServerFarm::ServerFarm(const web::DomainUniverse& universe, cdn::EdgeCapacityConfig capacity,
+                       util::Rng rng)
+    : universe_(universe), capacity_(capacity), rng_(rng) {}
+
+cdn::EdgeServer* ServerFarm::edge(const std::string& domain) {
+  const web::DomainInfo& dinfo = universe_.get(domain);
+  if (!dinfo.is_cdn) return nullptr;
+  auto it = edges_.find(domain);
+  if (it == edges_.end()) {
+    const cdn::ProviderTraits& traits = cdn::ProviderRegistry::get(dinfo.provider);
+    it = edges_
+             .emplace(domain, std::make_unique<cdn::EdgeServer>(
+                                  traits, rng_.fork(domain).fork("server"), 65536, capacity_))
+             .first;
+  }
+  return it->second.get();
+}
+
+cdn::OriginServer* ServerFarm::origin(const std::string& domain) {
+  const web::DomainInfo& dinfo = universe_.get(domain);
+  if (dinfo.is_cdn) return nullptr;
+  auto it = origins_.find(domain);
+  if (it == origins_.end()) {
+    const cdn::ProviderTraits& traits = cdn::ProviderRegistry::get(dinfo.provider);
+    it = origins_
+             .emplace(domain, std::make_unique<cdn::OriginServer>(
+                                  traits, rng_.fork(domain).fork("origin")))
+             .first;
+  }
+  return it->second.get();
+}
+
+ServerFarm::Sample ServerFarm::sample(TimePoint now) {
+  Sample s;
+  for (auto& [name, edge] : edges_) {
+    s.accept_backlog += edge->accept_backlog(now);
+    s.concurrent_connections += edge->concurrent_connections();
+    s.busy_cores += edge->busy_cores(now);
+  }
+  return s;
+}
+
+ServerFarm::Totals ServerFarm::totals() const {
+  Totals t;
+  for (const auto& [name, edge] : edges_) {
+    t.handshakes_admitted += edge->handshakes_admitted();
+    t.refused_queue_full += edge->refused_queue_full();
+    t.refused_conn_limit += edge->refused_conn_limit();
+  }
+  return t;
+}
+
+}  // namespace h3cdn::load

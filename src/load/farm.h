@@ -1,0 +1,60 @@
+// Shared server fleet for load cells: one edge/origin per domain, contended
+// by every virtual client. Implements browser::ServerDirectory so client
+// Environments route handshake admission and request service through the
+// SAME capacity-limited servers — this is what couples the clients and lets
+// queues build (in private mode every probe gets its own idle servers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "browser/environment.h"
+#include "cdn/edge_server.h"
+#include "cdn/origin_server.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "web/domains.h"
+
+namespace h3cdn::load {
+
+class ServerFarm : public browser::ServerDirectory {
+ public:
+  ServerFarm(const web::DomainUniverse& universe, cdn::EdgeCapacityConfig capacity,
+             util::Rng rng);
+
+  /// Lazily materializes the edge for a CDN domain (nullptr otherwise).
+  cdn::EdgeServer* edge(const std::string& domain) override;
+  /// Lazily materializes the origin for a first-party domain (nullptr for CDN).
+  cdn::OriginServer* origin(const std::string& domain) override;
+
+  /// Instantaneous utilization snapshot aggregated over all live edges.
+  struct Sample {
+    std::size_t accept_backlog = 0;
+    std::size_t concurrent_connections = 0;
+    std::size_t busy_cores = 0;
+  };
+  Sample sample(TimePoint now);
+
+  /// Cumulative admission counters aggregated over all live edges.
+  struct Totals {
+    std::uint64_t handshakes_admitted = 0;
+    std::uint64_t refused_queue_full = 0;
+    std::uint64_t refused_conn_limit = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const cdn::EdgeCapacityConfig& capacity() const { return capacity_; }
+
+ private:
+  const web::DomainUniverse& universe_;
+  cdn::EdgeCapacityConfig capacity_;
+  util::Rng rng_;  // fork() is const: server seeds don't depend on creation order
+  // Ordered maps so sample()/totals() iterate in a canonical order.
+  std::map<std::string, std::unique_ptr<cdn::EdgeServer>> edges_;
+  std::map<std::string, std::unique_ptr<cdn::OriginServer>> origins_;
+};
+
+}  // namespace h3cdn::load

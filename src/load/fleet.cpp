@@ -1,0 +1,180 @@
+#include "load/fleet.h"
+
+#include "browser/waterfall.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace h3cdn::load {
+
+struct Fleet::Client {
+  browser::Environment env;
+  tls::SessionTicketStore tickets;
+  browser::Browser browser;
+  util::Rng think_rng;  // closed-loop think times
+
+  Client(sim::Simulator& sim, const web::DomainUniverse& universe,
+         browser::VantageConfig vantage, browser::ServerDirectory* servers,
+         browser::BrowserConfig bconfig, util::Rng rng)
+      : env(sim, universe, std::move(vantage), rng.fork("env"), servers),
+        browser(sim, env, &tickets, std::move(bconfig), rng.fork("browser")),
+        think_rng(rng.fork("think")) {}
+};
+
+Fleet::Fleet(sim::Simulator& sim, const web::Workload& workload, std::size_t site_count,
+             ServerFarm& farm, FleetConfig config, util::Rng rng)
+    : sim_(sim), workload_(workload),
+      site_count_(std::min(site_count, workload.sites.size())), farm_(farm),
+      config_(std::move(config)), rng_(rng) {
+  H3CDN_EXPECTS(site_count_ > 0);
+  config_.browser.h3_enabled = config_.h3;
+}
+
+Fleet::~Fleet() = default;
+
+std::size_t Fleet::checkout_client() {
+  if (!free_clients_.empty()) {
+    const std::size_t index = free_clients_.back();
+    free_clients_.pop_back();
+    return index;
+  }
+  const std::size_t index = clients_.size();
+  clients_.push_back(std::make_unique<Client>(sim_, workload_.universe, config_.vantage,
+                                              &farm_, config_.browser,
+                                              rng_.fork("client").fork(index)));
+  return index;
+}
+
+FleetOutcome Fleet::run() {
+  // The paper's warm-up visit, fleet-style: prime every edge cache once so
+  // measured visits hit warm edges (modulo natural churn) like single-probe
+  // runs do. Canonical page/resource order keeps the farm rng deterministic.
+  for (std::size_t i = 0; i < site_count_; ++i) {
+    for (const auto& r : workload_.sites[i].page.resources) {
+      if (!r.is_cdn) continue;
+      if (cdn::EdgeServer* edge = farm_.edge(r.domain)) edge->warm(r.domain + r.path);
+    }
+  }
+
+  if (config_.arrival.kind == ArrivalKind::ClosedLoop) {
+    future_ = config_.arrival.users;
+    for (std::size_t u = 0; u < config_.arrival.users; ++u) {
+      const std::size_t index = checkout_client();
+      H3CDN_ASSERT(index == u);  // closed loop: client u IS user u, never recycled
+      const double think_ms = to_ms(config_.arrival.think_mean);
+      const TimePoint first{from_ms(clients_[u]->think_rng.exponential(think_ms))};
+      if (first < TimePoint{config_.arrival.window}) {
+        sim_.schedule_at(first, [this, u] { user_visit(u); });
+      } else {
+        --future_;
+      }
+    }
+  } else {
+    util::Rng arrival_rng = rng_.fork("arrivals");
+    auto arrivals = open_loop_arrivals(config_.arrival, arrival_rng);
+    if (arrivals.size() > config_.max_visits) {
+      outcome_.arrivals_capped = arrivals.size() - config_.max_visits;
+      obs::count("load.arrivals_capped", outcome_.arrivals_capped);
+      arrivals.resize(config_.max_visits);
+    }
+    future_ = arrivals.size();
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      sim_.schedule_at(arrivals[i], [this] { start_visit(visit_counter_); });
+    }
+  }
+
+  sample_tick();
+  sim_.run();
+  outcome_.clients_used = clients_.size();
+  return std::move(outcome_);
+}
+
+void Fleet::start_visit(std::size_t visit_seq) {
+  --future_;
+  ++active_;
+  ++visit_counter_;
+  ++outcome_.arrivals;
+  obs::count("load.arrivals");
+  const web::WebPage& page = workload_.sites[visit_seq % site_count_].page;
+  const std::size_t ci = checkout_client();
+  const TimePoint arrived = sim_.now();
+  clients_[ci]->browser.visit(
+      page, [this, ci, root_id = page.html.id, arrived](browser::PageLoadResult result) {
+        finish_visit(ci, root_id, arrived, result);
+        free_clients_.push_back(ci);
+      });
+}
+
+void Fleet::user_visit(std::size_t user) {
+  ++active_;
+  ++outcome_.arrivals;
+  obs::count("load.arrivals");
+  const web::WebPage& page = workload_.sites[visit_counter_++ % site_count_].page;
+  const TimePoint arrived = sim_.now();
+  clients_[user]->browser.visit(
+      page, [this, user, root_id = page.html.id, arrived](browser::PageLoadResult result) {
+        finish_visit(user, root_id, arrived, result);
+        const double think_ms =
+            clients_[user]->think_rng.exponential(to_ms(config_.arrival.think_mean));
+        const TimePoint next = sim_.now() + from_ms(think_ms);
+        if (next < TimePoint{config_.arrival.window} &&
+            outcome_.arrivals < config_.max_visits) {
+          sim_.schedule_at(next, [this, user] { user_visit(user); });
+        } else {
+          --future_;  // user retires: window over (or runaway cap)
+        }
+      });
+}
+
+void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id, TimePoint arrived,
+                         const browser::PageLoadResult& result) {
+  (void)client_index;
+  --active_;
+  VisitRecord rec;
+  rec.arrived = arrived;
+  rec.plt = result.har.page_load_time;
+  const browser::HarEntry* root = nullptr;
+  for (const auto& e : result.har.entries) {
+    if (e.resource_id == root_id) {
+      root = &e;
+      break;
+    }
+  }
+  if (root == nullptr || root->timings.failed) {
+    rec.root_failed = true;
+  } else {
+    rec.ttfb = root->timings.blocked + root->timings.dns + root->timings.connect +
+               root->timings.send + root->timings.wait;
+  }
+  rec.connections_created = result.pool_stats.connections_created;
+  rec.connections_refused = result.pool_stats.connections_refused;
+  rec.refusal_retries = result.pool_stats.refusal_retries;
+  rec.requests_failed = result.pool_stats.requests_failed;
+
+  const auto cp = obs::analyze_critical_path(browser::make_waterfall(result.har));
+  outcome_.phase_sum += cp.phases;
+
+  obs::count("load.visits");
+  if (rec.root_failed) {
+    obs::count("load.visits_failed");
+  } else {
+    obs::observe("load.plt_ms", to_ms(rec.plt));
+    obs::observe("load.ttfb_ms", to_ms(rec.ttfb));
+  }
+  outcome_.visits.push_back(rec);
+}
+
+void Fleet::sample_tick() {
+  const TimePoint now = sim_.now();
+  const ServerFarm::Sample s = farm_.sample(now);
+  outcome_.queue_series.push_back(
+      {now, s.accept_backlog, s.concurrent_connections, s.busy_cores});
+  obs::observe("load.queue_depth", static_cast<double>(s.accept_backlog));
+  obs::observe("load.concurrent_connections",
+               static_cast<double>(s.concurrent_connections));
+  obs::observe("load.busy_cores", static_cast<double>(s.busy_cores));
+  if (active_ + future_ > 0) {
+    sim_.schedule_in(config_.queue_sample_interval, [this] { sample_tick(); });
+  }
+}
+
+}  // namespace h3cdn::load

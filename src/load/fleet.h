@@ -1,0 +1,100 @@
+// Virtual-client fleet: multiplexes many concurrent page visits onto one
+// discrete-event Simulator, all contending for a shared ServerFarm.
+//
+// Open-loop cells pre-schedule visit arrivals (load keeps coming no matter
+// how slow the servers get); the closed-loop cell runs a fixed user
+// population with think times. Clients are recycled through a free list, so
+// a finished client's next visit reuses its ticket store and network paths —
+// returning-user semantics, which exercises TLS/QUIC resumption (and the
+// resumed-handshake admission discount) under load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "browser/browser.h"
+#include "load/arrival.h"
+#include "load/farm.h"
+#include "obs/critical_path.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "web/workload.h"
+
+namespace h3cdn::load {
+
+struct FleetConfig {
+  ArrivalConfig arrival;
+  bool h3 = true;  // overrides browser.h3_enabled
+  std::size_t max_visits = 4096;  // open-loop runaway cap; counted when hit
+  Duration queue_sample_interval = msec(250);
+  browser::VantageConfig vantage;  // template for every client environment
+  browser::BrowserConfig browser;
+};
+
+struct VisitRecord {
+  TimePoint arrived{0};
+  Duration plt{0};
+  Duration ttfb{0};  // root entry blocked+dns+connect+send+wait
+  bool root_failed = false;
+  std::uint64_t connections_created = 0;
+  std::uint64_t connections_refused = 0;
+  std::uint64_t refusal_retries = 0;
+  std::uint64_t requests_failed = 0;
+};
+
+struct QueueSample {
+  TimePoint at{0};
+  std::size_t accept_backlog = 0;
+  std::size_t concurrent_connections = 0;
+  std::size_t busy_cores = 0;
+};
+
+struct FleetOutcome {
+  std::vector<VisitRecord> visits;  // completion order (deterministic)
+  std::vector<QueueSample> queue_series;
+  std::size_t arrivals = 0;
+  std::size_t arrivals_capped = 0;  // open-loop arrivals dropped by max_visits
+  std::size_t clients_used = 0;
+  obs::PhaseVector phase_sum;  // critical-path phases summed over visits
+};
+
+class Fleet {
+ public:
+  /// Visits rotate over the first `site_count` pages of `workload`. The farm
+  /// must be seeded for this cell and outlive the fleet.
+  Fleet(sim::Simulator& sim, const web::Workload& workload, std::size_t site_count,
+        ServerFarm& farm, FleetConfig config, util::Rng rng);
+  ~Fleet();
+
+  /// Warms edge caches, schedules all arrivals and the queue sampler, then
+  /// drives sim.run() to completion.
+  FleetOutcome run();
+
+ private:
+  struct Client;
+
+  std::size_t checkout_client();
+  void start_visit(std::size_t visit_seq);
+  void user_visit(std::size_t user);
+  void finish_visit(std::size_t client_index, std::uint32_t root_id, TimePoint arrived,
+                    const browser::PageLoadResult& result);
+  void sample_tick();
+
+  sim::Simulator& sim_;
+  const web::Workload& workload_;
+  std::size_t site_count_;
+  ServerFarm& farm_;
+  FleetConfig config_;
+  util::Rng rng_;
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::size_t> free_clients_;
+  FleetOutcome outcome_;
+  std::size_t visit_counter_ = 0;  // page rotation
+  std::size_t active_ = 0;         // visits in flight
+  std::size_t future_ = 0;         // arrivals not yet started / users still looping
+};
+
+}  // namespace h3cdn::load

@@ -1,0 +1,96 @@
+// Fleet-scale load sweep (h3cdn_study --experiment load, docs/LOAD.md).
+//
+// Sweeps offered load across cells of (rate x protocol): each cell runs a
+// virtual-client fleet against its own capacity-limited ServerFarm on a
+// private Simulator, so cells are embarrassingly parallel and merge
+// deterministically through the usual shard machinery. Both protocol modes
+// of a rate share one seed root (paired arrivals and client paths); only the
+// server-noise salt differs, matching the probe-run convention.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "browser/browser.h"
+#include "core/observability.h"
+#include "load/arrival.h"
+#include "load/fleet.h"
+#include "web/workload.h"
+
+namespace h3cdn::load {
+
+struct LoadStudyConfig {
+  web::WorkloadConfig workload;
+  std::size_t sites = 8;  // pages visits rotate over
+
+  // Sweep axis: pages/sec for the open-loop kinds, population size for
+  // ClosedLoop.
+  std::vector<double> offered_rates = {2.0, 8.0, 32.0};
+  ArrivalKind arrival = ArrivalKind::Poisson;
+  Duration window = sec(10);
+  double peak_ratio = 3.0;      // DiurnalRamp shape
+  Duration think_mean = sec(2); // ClosedLoop think time
+
+  std::size_t max_visits_per_cell = 2048;
+  Duration queue_sample_interval = msec(250);
+
+  // Capacity sized so the default rate sweep crosses the edge's knee: the
+  // low-rate cell stays idle-ish, the high-rate cell queues and refuses.
+  cdn::EdgeCapacityConfig capacity{.enabled = true,
+                                   .think_cores = 2,
+                                   .accept_queue_depth = 16,
+                                   .max_concurrent_connections = 48};
+
+  browser::VantageConfig vantage;
+  browser::BrowserConfig browser;
+  std::uint64_t seed = 20221010;
+  int jobs = 1;  // 0 = hardware concurrency
+};
+
+struct LoadCellRow {
+  double offered_rate = 0.0;
+  bool h3 = false;
+  std::size_t arrivals = 0;
+  std::size_t visits = 0;
+  std::size_t failed_visits = 0;  // root document never loaded
+  std::size_t clients = 0;        // distinct virtual clients the cell needed
+  double plt_p50_ms = 0.0;
+  double plt_p95_ms = 0.0;
+  double plt_p99_ms = 0.0;
+  double ttfb_p50_ms = 0.0;
+  double ttfb_p95_ms = 0.0;
+  std::uint64_t connections_created = 0;
+  std::uint64_t connections_refused = 0;
+  std::uint64_t refusal_retries = 0;
+  std::uint64_t requests_failed = 0;
+  double refusal_rate = 0.0;  // refused dials / all dials
+  double mean_queue_depth = 0.0;
+  std::size_t max_queue_depth = 0;
+  double mean_busy_cores = 0.0;
+  std::size_t max_concurrent = 0;  // peak concurrent connections sampled
+  obs::PhaseVector mean_phases;    // critical-path attribution per visit
+  std::vector<QueueSample> queue_series;
+};
+
+struct LoadResult {
+  std::size_t sites = 0;
+  ArrivalKind arrival = ArrivalKind::Poisson;
+  Duration window{0};
+  std::vector<LoadCellRow> rows;  // rate-major, H2 before H3
+};
+
+/// Runs the sweep. When `observability` is non-null, every cell's metrics
+/// (load.*, cdn.edge.*, transport.*, ...) merge into it in canonical cell
+/// order — byte-identical output at any --jobs.
+LoadResult run_load_study(const LoadStudyConfig& config,
+                          core::RunObservability* observability = nullptr);
+
+void print_load_result(std::ostream& os, const LoadResult& result);
+
+/// Machine-readable form (one row per cell + compact queue time series);
+/// also the byte-identity surface for the --jobs determinism tests.
+std::string load_result_to_csv(const LoadResult& result);
+
+}  // namespace h3cdn::load

@@ -1,0 +1,125 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/json_parse.h"
+
+namespace h3cdn::obs {
+
+namespace {
+
+bool is_wall_metric(const std::string& name) {
+  static constexpr const char* kSuffix = "wall_ms";
+  const std::size_t n = std::char_traits<char>::length(kSuffix);
+  return name.size() >= n && name.compare(name.size() - n, n, kSuffix) == 0;
+}
+
+}  // namespace
+
+std::optional<BenchRecordInfo> parse_bench_record(const std::string& json,
+                                                  std::string* error) {
+  util::JsonParseError parse_error;
+  const auto doc = util::parse_json(json, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = "JSON parse error: " + parse_error.message;
+    return std::nullopt;
+  }
+  if (static_cast<int>(doc->number_or("schema_version", 0)) != 1) {
+    if (error != nullptr) *error = "unsupported schema_version";
+    return std::nullopt;
+  }
+  BenchRecordInfo info;
+  info.bench = doc->string_or("bench", "");
+  info.title = doc->string_or("title", "");
+  info.git_sha = doc->string_or("git_sha", "");
+  if (info.bench.empty()) {
+    if (error != nullptr) *error = "missing bench name";
+    return std::nullopt;
+  }
+  if (const util::JsonValue* config = doc->find("config")) {
+    info.config_hash = config->string_or("hash", "");
+  }
+  const util::JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    if (error != nullptr) *error = "missing metrics array";
+    return std::nullopt;
+  }
+  for (const auto& m : metrics->as_array()) {
+    BenchMetric out;
+    out.metric = m.string_or("metric", "");
+    out.value = m.number_or("value", 0.0);
+    out.unit = m.string_or("unit", "");
+    if (!out.metric.empty()) info.metrics.push_back(std::move(out));
+  }
+  return info;
+}
+
+std::size_t BenchDiffReport::flagged_count() const {
+  std::size_t n = 0;
+  for (const auto& d : deltas)
+    if (d.flagged) ++n;
+  return n;
+}
+
+bool BenchDiffReport::clean(const BenchDiffOptions& options) const {
+  if (flagged_count() > 0) return false;
+  if (options.require_matching_config && !config_mismatches.empty()) return false;
+  return true;
+}
+
+BenchDiffReport diff_bench_records(const std::vector<BenchRecordInfo>& base,
+                                   const std::vector<BenchRecordInfo>& current,
+                                   const BenchDiffOptions& options) {
+  BenchDiffReport report;
+  std::map<std::string, const BenchRecordInfo*> base_by_name;
+  for (const auto& b : base) base_by_name[b.bench] = &b;
+
+  std::map<std::string, const BenchRecordInfo*> cur_by_name;
+  for (const auto& c : current) cur_by_name[c.bench] = &c;
+
+  for (const auto& [name, b] : base_by_name) {
+    auto it = cur_by_name.find(name);
+    if (it == cur_by_name.end()) {
+      report.skipped.push_back(name + ": missing from current set");
+      continue;
+    }
+    const BenchRecordInfo* c = it->second;
+    if (b->config_hash != c->config_hash) {
+      report.config_mismatches.push_back(name);
+      if (options.require_matching_config) continue;
+    }
+    ++report.benches_compared;
+
+    std::map<std::string, const BenchMetric*> base_metrics;
+    for (const auto& m : b->metrics) base_metrics[m.metric] = &m;
+    for (const auto& m : c->metrics) {
+      auto bit = base_metrics.find(m.metric);
+      if (bit == base_metrics.end()) {
+        report.skipped.push_back(name + "/" + m.metric + ": new metric");
+        continue;
+      }
+      if (options.skip_wall_metrics && is_wall_metric(m.metric)) continue;
+      BenchMetricDelta d;
+      d.bench = name;
+      d.metric = m.metric;
+      d.unit = m.unit;
+      d.base = bit->second->value;
+      d.current = m.value;
+      const double abs_change = std::abs(d.current - d.base);
+      d.rel_change = d.base == 0.0 ? 0.0 : (d.current - d.base) / std::abs(d.base);
+      d.flagged = abs_change > options.abs_floor &&
+                  (d.base == 0.0 || std::abs(d.rel_change) > options.noise_frac);
+      report.deltas.push_back(d);
+    }
+  }
+  for (const auto& [name, c] : cur_by_name) {
+    if (base_by_name.find(name) == base_by_name.end()) {
+      report.skipped.push_back(name + ": missing from base set");
+    }
+  }
+  return report;
+}
+
+}  // namespace h3cdn::obs

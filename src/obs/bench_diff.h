@@ -1,0 +1,78 @@
+// BENCH record comparison (tools/h3cdn_bench_diff, docs/BENCH.md).
+//
+// Parses two sets of schema-v1 BENCH_*.json records (the files bench
+// binaries drop into $H3CDN_BENCH_OUT) and flags metric movements beyond a
+// configurable noise band. CI runs this against the committed trajectory so
+// a simulation-output regression fails the build instead of silently
+// drifting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace h3cdn::obs {
+
+struct BenchMetric {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct BenchRecordInfo {
+  std::string bench;  // e.g. "fig6_plt_reduction"
+  std::string title;
+  std::string git_sha;
+  std::string config_hash;  // FNV-1a hex over the bench scale knobs
+  std::vector<BenchMetric> metrics;
+};
+
+/// Parses one BENCH_*.json document. Returns nullopt (and fills `error`
+/// when given) on malformed input or wrong schema_version.
+std::optional<BenchRecordInfo> parse_bench_record(const std::string& json,
+                                                  std::string* error = nullptr);
+
+struct BenchDiffOptions {
+  /// Relative movement tolerated before a metric is flagged, e.g. 0.05 = 5%.
+  double noise_frac = 0.05;
+  /// Absolute movement tolerated regardless of the relative band (absorbs
+  /// jitter on near-zero metrics like failure counts).
+  double abs_floor = 1e-9;
+  /// Skip wall-clock metrics ("*wall_ms"): they measure the host machine,
+  /// not the simulation, and are never comparable across runs.
+  bool skip_wall_metrics = true;
+  /// Refuse to compare records whose config hashes differ (different sites/
+  /// probes scale => different expected values). Disabled, mismatches are
+  /// reported as skips instead of errors.
+  bool require_matching_config = true;
+};
+
+struct BenchMetricDelta {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  double base = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - base) / |base|; 0 when base == 0
+  bool flagged = false;     // beyond the noise band
+};
+
+struct BenchDiffReport {
+  std::vector<BenchMetricDelta> deltas;          // every compared metric
+  std::vector<std::string> skipped;              // human-readable skip notes
+  std::vector<std::string> config_mismatches;    // benches with hash mismatch
+  std::size_t benches_compared = 0;
+
+  [[nodiscard]] std::size_t flagged_count() const;
+  /// True when nothing is flagged and no config mismatch blocks comparison.
+  [[nodiscard]] bool clean(const BenchDiffOptions& options) const;
+};
+
+/// Compares two record sets, matched by bench name; benches present on only
+/// one side are reported in `skipped`.
+BenchDiffReport diff_bench_records(const std::vector<BenchRecordInfo>& base,
+                                   const std::vector<BenchRecordInfo>& current,
+                                   const BenchDiffOptions& options = {});
+
+}  // namespace h3cdn::obs

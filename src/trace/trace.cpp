@@ -25,6 +25,7 @@ const char* to_string(EventType t) {
     case EventType::H3BrokenMarked: return "h3_broken_marked";
     case EventType::H3ReProbe: return "h3_reprobe";
     case EventType::StreamStallSpan: return "stream_stall_span";
+    case EventType::FlowControlStallSpan: return "flow_control_stall_span";
   }
   return "?";
 }
@@ -37,6 +38,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::Outage: return "outage";
     case FaultKind::HandshakeTimeout: return "handshake_timeout";
     case FaultKind::Blackhole: return "blackhole";
+    case FaultKind::Refused: return "server_refused";
   }
   return "?";
 }
@@ -64,6 +66,7 @@ const char* category_of(EventType t) {
     case EventType::LinkDropped:
       return "fault";
     case EventType::StreamStallSpan:
+    case EventType::FlowControlStallSpan:
       return "recovery";
     default:
       return "transport";
@@ -153,6 +156,11 @@ void ConnectionTrace::write_qlog_trace(util::JsonWriter& w,
         w.kv("blocked_bytes", e.bytes);
         w.kv("duration_ms", e.duration_ms);
         w.kv("kind", e.cross_stream ? "hol_blocking" : "retransmission_wait");
+        break;
+      case EventType::FlowControlStallSpan:
+        w.kv("duration_ms", e.duration_ms);
+        w.kv("direction", e.is_client_to_server ? "client_to_server" : "server_to_client");
+        w.kv("kind", "connection_flow_control");
         break;
     }
     w.end_object();

@@ -47,6 +47,12 @@ enum class EventType {
   // belonged to another stream) from waiting on the stream's own
   // retransmission. Recorded when the span *ends*; `duration_ms` spans it.
   StreamStallSpan,
+  // A closed interval in which a direction had data ready and congestion
+  // window open but the CONNECTION-level flow-control window exhausted
+  // (QUIC MAX_DATA starvation). Distinct from StreamStallSpan: nothing is
+  // lost, the receiver simply has not granted credit yet. Recorded when
+  // credit arrives; `duration_ms` spans the blocked interval.
+  FlowControlStallSpan,
 };
 
 const char* to_string(EventType t);
@@ -59,6 +65,7 @@ enum class FaultKind {
   Outage,            // scheduled blackout / UDP blackhole
   HandshakeTimeout,  // handshake retries exhausted
   Blackhole,         // consecutive-RTO deadness detector
+  Refused,           // server admission refused the connection (edge at capacity)
 };
 
 const char* to_string(FaultKind k);

@@ -24,6 +24,7 @@ const char* to_string(ConnectionError e) {
     case ConnectionError::None: return "none";
     case ConnectionError::HandshakeTimeout: return "handshake_timeout";
     case ConnectionError::Blackhole: return "blackhole";
+    case ConnectionError::Refused: return "refused";
   }
   return "?";
 }
@@ -102,6 +103,31 @@ void Connection::connect(std::function<void(TimePoint)> on_ready) {
     // 0-RTT over QUIC: application data may ride the first flight. Model the
     // (cheap) PSK key schedule as an immediate finish.
     auto self = shared_from_this();
+    if (config_.handshake_admission) {
+      const auto verdict = config_.handshake_admission(sim_.now(), kind_, mode_);
+      if (!verdict.has_value()) {
+        // 0-RTT rejection at capacity: the client only learns one round trip
+        // later, when the refusal flight lands. Modelled lossless — there is
+        // no handshake timer in this path to drive a retry.
+        obs::count("transport.handshake.refused");
+        path_.send_up(
+            config_.handshake_client_packet_bytes,
+            [self] {
+              if (self->closed_) return;
+              self->path_.send_down(
+                  self->config_.handshake_small_flight_bytes,
+                  [self] {
+                    if (!self->closed_) self->die(ConnectionError::Refused);
+                  },
+                  /*lossless=*/true, self->pclass());
+            },
+            /*lossless=*/true, pclass());
+        return;
+      }
+      // The discounted PSK CPU is server-side only; the client proceeds
+      // immediately, which is the point of 0-RTT.
+      admitted_ = true;
+    }
     sim_.schedule_in(Duration::zero(), [self] {
       if (!self->closed_) self->finish_handshake();
     });
@@ -137,9 +163,36 @@ void Connection::start_handshake_attempt() {
 
   path_.send_up(
       config_.handshake_client_packet_bytes,
-      [self, gen, down_bytes, server_cost] {
+      [self, gen, down_bytes, server_cost, cert_step] {
         if (self->closed_ || gen != self->hs_generation_) return;
-        self->sim_.schedule_in(server_cost, [self, gen, down_bytes] {
+        Duration cost = server_cost;
+        if (cert_step && self->config_.handshake_admission && !self->admitted_) {
+          const auto verdict =
+              self->config_.handshake_admission(self->sim_.now(), self->kind_, self->mode_);
+          if (!verdict.has_value()) {
+            // Refused (RST / CONNECTION_REFUSED analogue): a small terminal
+            // flight. If it is lost, the handshake timer retries the attempt
+            // and the retry re-consults the (possibly drained) server.
+            obs::count("transport.handshake.refused");
+            self->path_.send_down(
+                self->config_.handshake_small_flight_bytes,
+                [self, gen] {
+                  if (self->closed_ || gen != self->hs_generation_) return;
+                  self->die(ConnectionError::Refused);
+                },
+                /*lossless=*/false, self->pclass());
+            return;
+          }
+          self->admitted_ = true;
+          self->admission_delay_ = *verdict;
+        }
+        if (cert_step) {
+          // Accept-queue wait + handshake CPU, paid once; a retransmit of an
+          // admitted flight does not re-queue.
+          cost += self->admission_delay_;
+          self->admission_delay_ = Duration::zero();
+        }
+        self->sim_.schedule_in(cost, [self, gen, down_bytes] {
           if (self->closed_ || gen != self->hs_generation_) return;
           self->path_.send_down(
               down_bytes, [self, gen] { self->handshake_step_done(gen); },
@@ -428,6 +481,12 @@ void Connection::pump(Dir d) {
     if (data_pending) {
       ++stats_.flow_blocked_events;
       obs::count("transport.flow_blocked");
+      // Connection-scope starvation (MAX_DATA exhausted) opens a stall span;
+      // it closes when the receiver's next credit grant arrives. Stream-scope
+      // blocks are excluded: only the connection window couples streams.
+      if (s.conn_bytes_assigned >= s.conn_flow_limit && s.fc_stall_since < TimePoint{0}) {
+        s.fc_stall_since = sim_.now();
+      }
     }
   }
   arm_rto(d);
@@ -581,6 +640,24 @@ void Connection::close_resp_stall(StreamId sid, bool cross_stream) {
   }
 }
 
+void Connection::close_fc_stall(Dir d) {
+  auto& s = dir(d);
+  if (s.fc_stall_since < TimePoint{0}) return;
+  const Duration span = sim_.now() - s.fc_stall_since;
+  s.fc_stall_since = TimePoint{-1};
+  if (span <= Duration::zero()) return;
+  stats_.flow_control_stall_total += span;
+  ++stats_.flow_control_stalls;
+  obs::count("transport.stall.flow_control");
+  obs::observe_ms("transport.stall.flow_control_ms", span);
+  if (trace_) {
+    trace::Event ev{sim_.now(), trace::EventType::FlowControlStallSpan};
+    ev.duration_ms = to_ms(span);
+    ev.is_client_to_server = d == Dir::Up;
+    trace_->record(ev);
+  }
+}
+
 StreamStallTotals Connection::stall_totals(StreamId sid) const {
   auto it = streams_.find(sid);
   if (it == streams_.end()) return {};
@@ -619,6 +696,7 @@ void Connection::maybe_grant_credit(Dir d, StreamId sid) {
   auto apply = [self, d, sid, conn_limit, new_stream_limit] {
     if (self->closed_) return;
     auto& sender = self->dir(d);
+    if (conn_limit > sender.conn_flow_limit) self->close_fc_stall(d);
     sender.conn_flow_limit = std::max(sender.conn_flow_limit, conn_limit);
     if (new_stream_limit > 0) {
       auto sit = self->streams_.find(sid);
@@ -821,11 +899,13 @@ void Connection::die(ConnectionError error) {
   H3CDN_EXPECTS(error != ConnectionError::None);
   stats_.error = error;
   obs::count(error == ConnectionError::HandshakeTimeout ? "transport.deaths.handshake_timeout"
+             : error == ConnectionError::Refused        ? "transport.deaths.refused"
                                                         : "transport.deaths.blackhole");
   if (trace_) {
     trace::Event ev{sim_.now(), trace::EventType::ConnectionAborted};
     ev.fault = error == ConnectionError::HandshakeTimeout ? trace::FaultKind::HandshakeTimeout
-                                                         : trace::FaultKind::Blackhole;
+               : error == ConnectionError::Refused        ? trace::FaultKind::Refused
+                                                          : trace::FaultKind::Blackhole;
     trace_->record(ev);
   }
   close();
@@ -840,7 +920,14 @@ void Connection::die(ConnectionError error) {
 
 void Connection::close() {
   if (closed_) return;
+  // Record any flow-control stall still open at teardown before events stop.
+  close_fc_stall(Dir::Up);
+  close_fc_stall(Dir::Down);
   closed_ = true;
+  if (admitted_ && config_.connection_release) {
+    admitted_ = false;  // release the server concurrency slot exactly once
+    config_.connection_release();
+  }
   for (auto& dptr : dirs_) {
     if (dptr->rto_timer != 0) sim_.cancel(dptr->rto_timer);
     dptr->rto_timer = 0;

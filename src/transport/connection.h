@@ -48,6 +48,7 @@ enum class ConnectionError {
   None,
   HandshakeTimeout,  // handshake retransmissions exhausted
   Blackhole,         // consecutive RTOs with no ACK on a ready connection
+  Refused,           // server admission refused the handshake (edge at capacity)
 };
 
 const char* to_string(ConnectionError e);
@@ -114,6 +115,18 @@ struct TransportConfig {
 
   // Domain this connection is to; carried into issued session tickets.
   std::string domain;
+
+  // Server-capacity admission (see cdn::EdgeCapacityConfig). Consulted once
+  // when the certificate-bearing handshake flight reaches the server: a
+  // Duration admits the connection and adds accept-queue wait + handshake
+  // CPU to the server's processing time; nullopt refuses it (the server
+  // sends a small refusal flight and the client dies with
+  // ConnectionError::Refused). Unset => always admitted for free.
+  std::function<std::optional<Duration>(TimePoint, tls::TransportKind, tls::HandshakeMode)>
+      handshake_admission;
+  // Fires exactly once when an admitted connection closes, returning its
+  // server concurrency slot.
+  std::function<void()> connection_release;
 };
 
 /// Aggregate connection statistics for analysis and tests.
@@ -140,6 +153,10 @@ struct ConnectionStats {
   Duration hol_stall_total{0};
   Duration retx_wait_total{0};
   std::uint64_t stall_spans = 0;
+  // Connection-level flow-control starvation (FlowControlStallSpan events):
+  // intervals where a direction had data + cwnd but no MAX_DATA credit.
+  Duration flow_control_stall_total{0};
+  std::uint64_t flow_control_stalls = 0;
   ConnectionError error = ConnectionError::None;  // set when the connection dies
 };
 
@@ -264,6 +281,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
     // Receiver side (the opposite endpoint) for this direction:
     std::size_t recv_next_conn = 0;               // TCP cumulative offset
     std::map<std::size_t, Chunk> conn_ooo;        // TCP out-of-order buffer
+    // Open connection-flow-control stall span start (-1us = none): set when
+    // the sender is starved of MAX_DATA credit, closed when credit arrives.
+    TimePoint fc_stall_since{-1};
     DirState(CcConfig cc_cfg, Duration initial_rto, Duration min_rto, Duration max_rto,
              Duration rto_extra)
         : cc(cc_cfg), rtt(initial_rto, min_rto, max_rto, rto_extra) {}
@@ -326,6 +346,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void deliver_in_order(Dir d, const Chunk& chunk);
   void open_resp_stall(StreamId sid, std::size_t bytes);
   void close_resp_stall(StreamId sid, bool cross_stream);
+  void close_fc_stall(Dir d);
   void credit_stream(Dir d, StreamId sid, std::size_t offset, std::size_t len);
   void on_ack(Dir d, std::uint64_t packet_num);
   void maybe_grant_credit(Dir d, StreamId sid);
@@ -365,6 +386,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   int hs_total_steps_ = 0;
   int hs_retries_this_step_ = 0;
   sim::EventId hs_timer_ = 0;
+  // Server-capacity admission state. A refusal leaves admitted_ false so a
+  // lost refusal flight's handshake retry re-consults the (possibly drained)
+  // server. admission_delay_ is consumed by the first cert-step processing;
+  // retransmits of an admitted flight do not pay the queue twice.
+  bool admitted_ = false;
+  Duration admission_delay_{0};
 
   ConnectionStats stats_;
 };

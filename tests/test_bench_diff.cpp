@@ -1,0 +1,160 @@
+// BENCH record parsing and regression diffing (tools/h3cdn_bench_diff).
+#include "obs/bench_diff.h"
+
+#include <gtest/gtest.h>
+
+namespace h3cdn::obs {
+namespace {
+
+const char* kValidRecord = R"({
+  "schema_version": 1,
+  "bench": "fig6_plt_reduction",
+  "title": "Fig 6 PLT reduction",
+  "git_sha": "abc123",
+  "config": {"sites": 8, "probes": 1, "hash": "00ff00ff00ff00ff"},
+  "metrics": [
+    {"metric": "plt_p50_ms", "value": 812.5, "unit": "ms"},
+    {"metric": "run_wall_ms", "value": 90.0, "unit": "ms"}
+  ]
+})";
+
+BenchRecordInfo record(const std::string& bench, const std::string& hash,
+                       std::vector<BenchMetric> metrics) {
+  BenchRecordInfo r;
+  r.bench = bench;
+  r.config_hash = hash;
+  r.metrics = std::move(metrics);
+  return r;
+}
+
+TEST(BenchDiff, ParsesValidRecord) {
+  std::string error;
+  const auto info = parse_bench_record(kValidRecord, &error);
+  ASSERT_TRUE(info.has_value()) << error;
+  EXPECT_EQ(info->bench, "fig6_plt_reduction");
+  EXPECT_EQ(info->title, "Fig 6 PLT reduction");
+  EXPECT_EQ(info->git_sha, "abc123");
+  EXPECT_EQ(info->config_hash, "00ff00ff00ff00ff");
+  ASSERT_EQ(info->metrics.size(), 2u);
+  EXPECT_EQ(info->metrics[0].metric, "plt_p50_ms");
+  EXPECT_DOUBLE_EQ(info->metrics[0].value, 812.5);
+  EXPECT_EQ(info->metrics[0].unit, "ms");
+}
+
+TEST(BenchDiff, RejectsWrongSchemaVersion) {
+  std::string error;
+  EXPECT_FALSE(parse_bench_record(
+                   R"({"schema_version":2,"bench":"x","metrics":[]})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
+}
+
+TEST(BenchDiff, RejectsMissingBenchOrMetrics) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_bench_record(R"({"schema_version":1,"metrics":[]})", &error).has_value());
+  EXPECT_NE(error.find("bench"), std::string::npos);
+  EXPECT_FALSE(
+      parse_bench_record(R"({"schema_version":1,"bench":"x"})", &error).has_value());
+  EXPECT_NE(error.find("metrics"), std::string::npos);
+  EXPECT_FALSE(parse_bench_record("not json at all", &error).has_value());
+}
+
+TEST(BenchDiff, IdenticalSetsAreClean) {
+  const auto base = record("a", "h1", {{"plt_ms", 100.0, "ms"}, {"visits", 32.0, "count"}});
+  const BenchDiffOptions options;
+  const auto report = diff_bench_records({base}, {base}, options);
+  EXPECT_TRUE(report.clean(options));
+  EXPECT_EQ(report.flagged_count(), 0u);
+  EXPECT_EQ(report.benches_compared, 1u);
+  EXPECT_EQ(report.deltas.size(), 2u);
+}
+
+TEST(BenchDiff, FlagsMovementBeyondNoiseBand) {
+  const auto base = record("a", "h1", {{"plt_ms", 100.0, "ms"}});
+  const auto cur = record("a", "h1", {{"plt_ms", 110.0, "ms"}});
+  const BenchDiffOptions options;  // 5% band
+  const auto report = diff_bench_records({base}, {cur}, options);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].flagged);
+  EXPECT_NEAR(report.deltas[0].rel_change, 0.10, 1e-12);
+  EXPECT_FALSE(report.clean(options));
+}
+
+TEST(BenchDiff, ToleratesMovementWithinNoiseBand) {
+  const auto base = record("a", "h1", {{"plt_ms", 100.0, "ms"}});
+  const auto cur = record("a", "h1", {{"plt_ms", 103.0, "ms"}});
+  const BenchDiffOptions options;
+  const auto report = diff_bench_records({base}, {cur}, options);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_FALSE(report.deltas[0].flagged);
+  EXPECT_TRUE(report.clean(options));
+}
+
+TEST(BenchDiff, ZeroBaseUsesAbsoluteFloor) {
+  const auto base = record("a", "h1", {{"failures", 0.0, "count"}});
+  BenchDiffOptions options;
+  options.abs_floor = 0.5;
+  // Sub-floor jitter on a zero base is absorbed...
+  auto report =
+      diff_bench_records({base}, {record("a", "h1", {{"failures", 0.25, "count"}})}, options);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_FALSE(report.deltas[0].flagged);
+  // ...but a real movement from zero is flagged even though rel_change is 0.
+  report = diff_bench_records({base}, {record("a", "h1", {{"failures", 3.0, "count"}})}, options);
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_TRUE(report.deltas[0].flagged);
+}
+
+TEST(BenchDiff, WallClockMetricsAreSkippedByDefault) {
+  const auto base = record("a", "h1", {{"run_wall_ms", 50.0, "ms"}});
+  const auto cur = record("a", "h1", {{"run_wall_ms", 500.0, "ms"}});
+  const BenchDiffOptions options;
+  EXPECT_TRUE(diff_bench_records({base}, {cur}, options).clean(options));
+  BenchDiffOptions include_wall;
+  include_wall.skip_wall_metrics = false;
+  EXPECT_FALSE(diff_bench_records({base}, {cur}, include_wall).clean(include_wall));
+}
+
+TEST(BenchDiff, ConfigHashMismatchBlocksComparison) {
+  const auto base = record("a", "h1", {{"plt_ms", 100.0, "ms"}});
+  const auto cur = record("a", "h2", {{"plt_ms", 500.0, "ms"}});
+  const BenchDiffOptions options;
+  const auto report = diff_bench_records({base}, {cur}, options);
+  ASSERT_EQ(report.config_mismatches.size(), 1u);
+  EXPECT_EQ(report.config_mismatches[0], "a");
+  EXPECT_EQ(report.benches_compared, 0u);
+  EXPECT_TRUE(report.deltas.empty());
+  EXPECT_FALSE(report.clean(options));
+  // With the check relaxed, the mismatch is noted but comparison proceeds.
+  BenchDiffOptions relaxed;
+  relaxed.require_matching_config = false;
+  const auto relaxed_report = diff_bench_records({base}, {cur}, relaxed);
+  EXPECT_EQ(relaxed_report.benches_compared, 1u);
+  EXPECT_EQ(relaxed_report.flagged_count(), 1u);
+}
+
+TEST(BenchDiff, OneSidedBenchesAreSkippedNotCompared) {
+  const auto only_base = record("old_bench", "h1", {{"x", 1.0, ""}});
+  const auto only_cur = record("new_bench", "h1", {{"x", 1.0, ""}});
+  const BenchDiffOptions options;
+  const auto report = diff_bench_records({only_base}, {only_cur}, options);
+  EXPECT_EQ(report.benches_compared, 0u);
+  EXPECT_EQ(report.deltas.size(), 0u);
+  ASSERT_EQ(report.skipped.size(), 2u);
+  EXPECT_TRUE(report.clean(options));  // nothing comparable => nothing flagged
+}
+
+TEST(BenchDiff, NewMetricInCurrentIsSkipped) {
+  const auto base = record("a", "h1", {{"plt_ms", 100.0, "ms"}});
+  const auto cur = record("a", "h1", {{"plt_ms", 100.0, "ms"}, {"extra", 7.0, ""}});
+  const BenchDiffOptions options;
+  const auto report = diff_bench_records({base}, {cur}, options);
+  EXPECT_EQ(report.deltas.size(), 1u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_NE(report.skipped[0].find("extra"), std::string::npos);
+  EXPECT_TRUE(report.clean(options));
+}
+
+}  // namespace
+}  // namespace h3cdn::obs

@@ -122,6 +122,63 @@ TEST(DnsResolver, RecursiveMissAddsAuthoritativeWork) {
   EXPECT_GT(d, msec(14));
 }
 
+TEST(DnsResolver, NegativeCacheExpiryForcesRequery) {
+  // RFC 2308: once the cached empty-AAAA answer expires, a repeat visit must
+  // re-query even though the positive record (ttl 300s) is still valid.
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 1.0;
+  config.ipv6_absent_fraction = 1.0;  // every name lacks an AAAA record
+  config.negative_ttl = sec(5);
+  Resolver r(f.sim, config, util::Rng(7));
+  EXPECT_GT(f.resolve_once(r, "a.example"), Duration::zero());
+  // Within the negative TTL: still a free stub hit.
+  EXPECT_EQ(f.resolve_once(r, "a.example"), Duration::zero());
+  EXPECT_EQ(r.stats().negative_expiries, 0u);
+  // Past the negative TTL, before the positive one: pays the network again.
+  f.sim.schedule_in(sec(10), [] {});
+  f.sim.run();
+  EXPECT_GT(f.resolve_once(r, "a.example"), Duration::zero());
+  EXPECT_EQ(r.stats().negative_expiries, 1u);
+}
+
+TEST(DnsResolver, FullyPositiveNamesNeverExpireNegatively) {
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 1.0;
+  config.ipv6_absent_fraction = 0.0;
+  config.negative_ttl = sec(1);
+  Resolver r(f.sim, config, util::Rng(7));
+  f.resolve_once(r, "a.example");
+  f.sim.schedule_in(sec(100), [] {});
+  f.sim.run();
+  EXPECT_EQ(f.resolve_once(r, "a.example"), Duration::zero());
+  EXPECT_EQ(r.stats().negative_expiries, 0u);
+}
+
+TEST(DnsResolver, PrewarmRespectsStillValidNegativeState) {
+  // Prewarm must not clobber a record whose negative component has not
+  // expired (the warm visit should not hide the later re-query either).
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 1.0;
+  config.ipv6_absent_fraction = 1.0;
+  config.negative_ttl = sec(5);
+  Resolver r(f.sim, config, util::Rng(7));
+  f.resolve_once(r, "a.example");
+  f.sim.schedule_in(sec(10), [] {});
+  f.sim.run();
+  r.prewarm("a.example");  // re-inserts: negative clock restarts at 10s
+  EXPECT_EQ(f.resolve_once(r, "a.example"), Duration::zero());
+  f.sim.schedule_in(sec(10), [] {});
+  f.sim.run();
+  EXPECT_GT(f.resolve_once(r, "a.example"), Duration::zero());
+  EXPECT_EQ(r.stats().negative_expiries, 1u);
+}
+
 TEST(DnsResolver, TransportNames) {
   EXPECT_STREQ(to_string(DnsTransport::Do53), "Do53");
   EXPECT_STREQ(to_string(DnsTransport::DoQ), "DoQ");

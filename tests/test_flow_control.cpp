@@ -1,7 +1,10 @@
 // Stream/connection flow control (RFC 9000 §4; H2 WINDOW_UPDATE semantics).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "net/path.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "transport/connection.h"
 
@@ -144,6 +147,59 @@ TEST(FlowControl, AppliesToTcpAsWell) {
   const auto out = run(TransportKind::Tcp, tight, 1, 200'000);
   EXPECT_GT(out.completions_ms[0], 0.0);
   EXPECT_GT(out.stats.window_updates_sent, 3u);
+}
+
+TEST(FlowControl, ConnectionStallSpansRecordedWithMetricAndTrace) {
+  // Connection-level MAX_DATA starvation must surface as its own stall kind:
+  // ConnectionStats counters, the transport.stall.flow_control metric and a
+  // FlowControlStallSpan trace event whose duration covers the blocked time.
+  obs::MetricsRegistry registry;
+  obs::ScopedMetrics scoped(&registry);
+  sim::Simulator sim;
+  net::PathConfig pc;
+  pc.rtt = msec(20);
+  pc.bandwidth_bps = 200e6;
+  net::NetPath path(sim, pc, util::Rng(3));
+  TransportConfig config;
+  config.initial_stream_window = 1 << 20;
+  config.initial_connection_window = 32 * 1024;  // aggregate starves first
+  auto conn = Connection::create(sim, path, TransportKind::Quic, TlsVersion::Tls13,
+                                 HandshakeMode::Fresh, util::Rng(4), config);
+  auto trace = std::make_shared<trace::ConnectionTrace>();
+  conn->set_trace(trace);
+  conn->connect([](TimePoint) {});
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    FetchCallbacks cbs;
+    cbs.on_complete = [&done](TimePoint) { ++done; };
+    conn->fetch(500, 100'000, msec(1), std::move(cbs));
+  }
+  sim.run();
+  EXPECT_EQ(done, 8);
+  const auto stats = conn->stats();
+  EXPECT_GT(stats.flow_control_stalls, 0u);
+  EXPECT_GT(stats.flow_control_stall_total, Duration::zero());
+  EXPECT_EQ(registry.counter("transport.stall.flow_control").value(),
+            stats.flow_control_stalls);
+  EXPECT_GT(trace->count(trace::EventType::FlowControlStallSpan), 0u);
+  double span_ms = 0.0;
+  for (const auto& ev : trace->events()) {
+    if (ev.type == trace::EventType::FlowControlStallSpan) span_ms += ev.duration_ms;
+  }
+  EXPECT_NEAR(span_ms, to_ms(stats.flow_control_stall_total), 0.01);
+}
+
+TEST(FlowControl, StreamOnlyBlockingIsNotAConnectionStall) {
+  // A stream hitting its own window while connection credit remains is the
+  // existing flow_blocked case, not connection-level starvation.
+  TransportConfig config;
+  config.initial_stream_window = 16 * 1024;
+  config.initial_connection_window = 1 << 20;
+  const auto out = run(TransportKind::Quic, config, 1, 300'000);
+  EXPECT_GT(out.completions_ms[0], 0.0);
+  EXPECT_GT(out.stats.flow_blocked_events, 0u);
+  EXPECT_EQ(out.stats.flow_control_stalls, 0u);
+  EXPECT_EQ(out.stats.flow_control_stall_total, Duration::zero());
 }
 
 TEST(FlowControl, WindowedTransferMatchesBandwidthDelayMath) {

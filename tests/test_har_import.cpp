@@ -64,6 +64,40 @@ TEST(HarImport, ReusedConnectionCountSurvivesRoundTrip) {
             original.har.count_version(http::HttpVersion::H2));
 }
 
+TEST(HarImport, InitiatorEdgesRoundTripAndFormRealDag) {
+  const auto original = load_sample(true);
+  const auto imported = from_har_json(to_har_json(original.har));
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->entries.size(), original.har.entries.size());
+  bool any_edge = false;
+  for (std::size_t i = 0; i < imported->entries.size(); ++i) {
+    EXPECT_EQ(imported->entries[i].initiator_id, original.har.entries[i].initiator_id);
+    if (imported->entries[i].initiator_id >= 0) any_edge = true;
+  }
+  // A real page has at least the HTML-initiated wave-0 resources.
+  EXPECT_TRUE(any_edge);
+  // Every non-root initiator must reference an entry that exists.
+  for (const auto& e : imported->entries) {
+    if (e.initiator_id < 0) continue;
+    const bool found = std::any_of(
+        imported->entries.begin(), imported->entries.end(), [&](const HarEntry& other) {
+          return static_cast<std::int64_t>(other.resource_id) == e.initiator_id;
+        });
+    EXPECT_TRUE(found) << "dangling initiator " << e.initiator_id;
+  }
+}
+
+TEST(HarImport, ForeignHarWithoutInitiatorFallsBackToRoot) {
+  const char* doc = R"({"log":{"pages":[{"id":"x","pageTimings":{"onLoad":10}}],
+    "entries":[{"startedDateTime":1,"time":5,
+      "request":{"url":"https://h.example/a.png","httpVersion":"h2"},
+      "response":{"bodySize":10},"timings":{"wait":4}}]}})";
+  const auto page = from_har_json(doc);
+  ASSERT_TRUE(page.has_value());
+  ASSERT_EQ(page->entries.size(), 1u);
+  EXPECT_EQ(page->entries[0].initiator_id, -1);
+}
+
 TEST(HarImport, RejectsNonJson) {
   HarImportError error;
   EXPECT_FALSE(from_har_json("definitely not json", &error).has_value());

@@ -11,6 +11,8 @@
 
 #include "analysis/page_metrics.h"
 #include "browser/har_import.h"
+#include "browser/waterfall.h"
+#include "obs/critical_path.h"
 #include "util/table.h"
 
 using namespace h3cdn;
@@ -77,5 +79,24 @@ int main(int argc, char** argv) {
                http::to_string(e.timings.version), e.domain});
   }
   std::cout << t.to_string();
+
+  // Critical-path attribution: imported pages carry _initiatorId edges, so
+  // the walk follows the real dependency DAG (foreign HARs without the field
+  // fall back to start-time ordering inside make_waterfall).
+  const auto waterfall = browser::make_waterfall(*page);
+  const auto cp = obs::analyze_critical_path(waterfall);
+  const bool has_edges =
+      std::any_of(page->entries.begin(), page->entries.end(),
+                  [](const auto& e) { return e.initiator_id >= 0; });
+  std::cout << "\ncritical path (" << (has_edges ? "initiator DAG" : "start-time fallback")
+            << ", " << cp.path.size() << " hops, PLT " << util::fmt(cp.plt_ms, 1) << " ms):\n";
+  util::AsciiTable phases({"phase", "ms", "share"});
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const auto p = static_cast<obs::Phase>(i);
+    if (cp.phases[p] == 0.0) continue;
+    phases.add_row({obs::to_string(p), util::fmt(cp.phases[p], 1),
+                    util::fmt_pct(cp.plt_ms > 0 ? cp.phases[p] / cp.plt_ms : 0.0)});
+  }
+  std::cout << phases.to_string();
   return 0;
 }

@@ -13,7 +13,13 @@
 //                        hardware threads; output is byte-identical for any N)
 //     --experiment NAME  table1|table2|table3|fig2..fig9|dissection|summary|all
 //                        (default all; dissection = critical-path PLT
-//                        attribution of the H2-vs-H3 delta)
+//                        attribution of the H2-vs-H3 delta) — plus `load`,
+//                        the fleet-scale capacity sweep (never part of
+//                        `all`; see docs/LOAD.md)
+//     --load-rates LIST  comma-separated offered rates, pages/sec (open
+//                        loop) or users (closed loop); default 2,8,32
+//     --load-window SEC  arrival window in seconds (default 10)
+//     --load-arrival K   fixed|poisson|ramp|closed (default poisson)
 //     --format FMT       text|csv (default text; summary is always JSON)
 //     --out PATH         write to a file instead of stdout
 //     --obs DIR          record run-wide observability artifacts into DIR
@@ -25,10 +31,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/export.h"
 #include "core/observability.h"
 #include "core/report.h"
+#include "load/study.h"
 #include "web/workload_io.h"
 
 using namespace h3cdn;
@@ -43,12 +51,18 @@ struct Options {
   std::string workload_in;   // load pages from a workload JSON file
   std::string workload_out;  // dump the generated workload and exit
   std::string obs_dir;       // write observability artifacts here
+  // --experiment load knobs.
+  std::vector<double> load_rates = {2.0, 8.0, 32.0};
+  double load_window_s = 10.0;
+  load::ArrivalKind load_arrival = load::ArrivalKind::Poisson;
+  bool sites_set = false;  // load defaults to a small rotation unless --sites
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
-               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|all]\n"
+               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|all]\n"
+               "       [--load-rates R1,R2,...] [--load-window SEC] [--load-arrival fixed|poisson|ramp|closed]\n"
                "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
   std::exit(2);
@@ -65,6 +79,7 @@ Options parse(int argc, char** argv) {
     };
     if (arg == "--sites") {
       o.study.max_sites = static_cast<std::size_t>(std::stoul(next()));
+      o.sites_set = true;
     } else if (arg == "--probes") {
       o.study.probes_per_vantage = std::stoi(next());
     } else if (arg == "--loss") {
@@ -78,6 +93,21 @@ Options parse(int argc, char** argv) {
       if (o.study.jobs < 0) usage(argv[0]);
     } else if (arg == "--experiment") {
       o.experiment = next();
+    } else if (arg == "--load-rates") {
+      o.load_rates.clear();
+      std::stringstream list(next());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        if (!item.empty()) o.load_rates.push_back(std::stod(item));
+      }
+      if (o.load_rates.empty()) usage(argv[0]);
+    } else if (arg == "--load-window") {
+      o.load_window_s = std::stod(next());
+      if (o.load_window_s <= 0) usage(argv[0]);
+    } else if (arg == "--load-arrival") {
+      bool ok = true;
+      o.load_arrival = load::arrival_kind_from_string(next(), &ok);
+      if (!ok) usage(argv[0]);
     } else if (arg == "--format") {
       o.format = next();
     } else if (arg == "--out") {
@@ -101,6 +131,26 @@ bool wants(const Options& o, const char* name) {
 
 void emit(const Options& o, std::ostream& os) {
   const bool csv = o.format == "csv";
+
+  // The load sweep is its own experiment (and deliberately not part of
+  // "all": it measures a loaded fleet, not the paper's idle-edge probes).
+  if (o.experiment == "load") {
+    load::LoadStudyConfig cfg;
+    cfg.workload = o.study.workload;
+    if (o.sites_set) cfg.sites = o.study.max_sites;
+    cfg.seed = o.study.seed;
+    cfg.jobs = o.study.jobs;
+    cfg.arrival = o.load_arrival;
+    cfg.offered_rates = o.load_rates;
+    cfg.window = from_ms(o.load_window_s * 1000.0);
+    const load::LoadResult result = load::run_load_study(cfg, o.study.observability);
+    if (csv) {
+      os << load::load_result_to_csv(result);
+    } else {
+      load::print_load_result(os, result);
+    }
+    return;
+  }
   const bool needs_consecutive =
       wants(o, "fig8") || wants(o, "table3") || o.experiment == "all";
 
