@@ -6,10 +6,18 @@
 //   (b) a mid-transfer UDP blackhole of varying duration: how often pages
 //     needed the H3->H2 fallback, how many requests were transparently
 //     rescued, and the PLT penalty versus the same-seed fault-free run.
+//   (c) the chaos harness's recovery cells (docs/RESILIENCE.md): the
+//     baseline / edge-outage / midtransfer-kill scenarios with the
+//     resilience engine on vs off. The BENCH record pins that Range
+//     resumption actually saves bytes (resumed_bytes > 0), the p95 recovery
+//     penalty the engine pays over a fault-free cell, and how often a
+//     launched hedge beat its primary.
+#include <cstdint>
 #include <iomanip>
 
 #include "bench_common.h"
 #include "core/resilience.h"
+#include "load/chaos.h"
 
 namespace {
 
@@ -43,6 +51,56 @@ void BM_ResilienceBurstVisit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ResilienceBurstVisit)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// The recovery subset of the chaos suite: a fault-free baseline cell (the
+// reference PLT tail) plus the two scenarios whose recovery path the engine
+// owns end to end.
+core::ChaosConfig chaos_config(bool resilience_on) {
+  core::ChaosConfig cfg;
+  cfg.sites = 2;
+  cfg.resilience.enabled = resilience_on;
+  std::vector<core::ChaosScenario> keep;
+  for (const auto& sc : cfg.scenarios) {
+    if (sc.name == "baseline" || sc.name == "edge-outage-midpage" ||
+        sc.name == "midtransfer-kill") {
+      keep.push_back(sc);
+    }
+  }
+  cfg.scenarios = std::move(keep);
+  return cfg;
+}
+
+void BM_ChaosRecoveryCells(benchmark::State& state) {
+  const auto cfg = chaos_config(state.range(0) != 0);
+  for (auto _ : state) {
+    auto result = core::run_chaos(cfg);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+}
+BENCHMARK(BM_ChaosRecoveryCells)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+const core::ChaosCellRow* chaos_row(const core::ChaosResult& result, const char* name) {
+  for (const auto& row : result.rows) {
+    if (row.scenario == name) return &row;
+  }
+  return nullptr;
+}
+
+void print_chaos_recovery(std::ostream& os, const core::ChaosResult& on,
+                          const core::ChaosResult& off) {
+  os << "\n--- Chaos recovery cells: resilience engine on vs off ---\n";
+  os << std::left << std::setw(22) << "scenario" << std::right << std::setw(12) << "p95 on"
+     << std::setw(12) << "p95 off" << std::setw(10) << "fail on" << std::setw(10) << "fail off"
+     << std::setw(14) << "resumed KB" << std::setw(10) << "hedges" << "\n";
+  for (const auto& row : on.rows) {
+    const core::ChaosCellRow* other = chaos_row(off, row.scenario.c_str());
+    os << std::left << std::setw(22) << row.scenario << std::right << std::setw(12)
+       << row.plt_p95_ms << std::setw(12) << (other ? other->plt_p95_ms : 0.0) << std::setw(10)
+       << row.failed_visits << std::setw(10) << (other ? other->failed_visits : 0)
+       << std::setw(14) << static_cast<double>(row.resumed_bytes) / 1024.0 << std::setw(10)
+       << row.hedges_launched << "\n";
+  }
+}
 
 void print_resilience(std::ostream& os, const core::ResilienceResult& result) {
   os << "--- Burst vs. Bernoulli at equal average loss (PLT ms) ---\n";
@@ -99,5 +157,37 @@ int main(int argc, char** argv) {
           report.add("mean_recovery_penalty_" + tag, row.mean_recovery_ms, "ms");
           report.add("requests_failed_" + tag, static_cast<double>(row.requests_failed), "count");
         }
+
+        const auto chaos_on = core::run_chaos(chaos_config(true));
+        const auto chaos_off = core::run_chaos(chaos_config(false));
+        print_chaos_recovery(os, chaos_on, chaos_off);
+        const auto* base_on = chaos_row(chaos_on, "baseline");
+        const auto* kill_on = chaos_row(chaos_on, "midtransfer-kill");
+        const auto* kill_off = chaos_row(chaos_off, "midtransfer-kill");
+        if (base_on != nullptr && kill_on != nullptr && kill_off != nullptr) {
+          // Recovery time: the p95 PLT penalty the kill scenario pays over
+          // the fault-free baseline cell. Only defined with the engine on —
+          // without it every kill-scenario visit fails outright (no PLT
+          // tail to measure), which the failed-visit counters record.
+          report.add("chaos_midkill_recovery_p95", kill_on->plt_p95_ms - base_on->plt_p95_ms,
+                     "ms");
+          report.add("chaos_midkill_resumed_bytes",
+                     static_cast<double>(kill_on->resumed_bytes), "count");
+          report.add("chaos_midkill_failed_visits",
+                     static_cast<double>(kill_on->failed_visits), "count");
+          report.add("chaos_midkill_failed_visits_noengine",
+                     static_cast<double>(kill_off->failed_visits), "count");
+        }
+        std::uint64_t hedges_launched = 0;
+        std::uint64_t hedges_won = 0;
+        for (const auto& row : chaos_on.rows) {
+          hedges_launched += row.hedges_launched;
+          hedges_won += row.hedges_won;
+        }
+        report.add("chaos_hedge_win_rate",
+                   hedges_launched == 0 ? 0.0
+                                        : static_cast<double>(hedges_won) /
+                                              static_cast<double>(hedges_launched),
+                   "ratio");
       });
 }

@@ -38,7 +38,8 @@ struct Browser::VisitState {
 
 Browser::Browser(sim::Simulator& sim, Environment& env, tls::SessionTicketStore* tickets,
                  BrowserConfig config, util::Rng rng)
-    : sim_(sim), env_(env), tickets_(tickets), config_(std::move(config)), rng_(rng) {}
+    : sim_(sim), env_(env), tickets_(tickets), config_(std::move(config)), rng_(rng),
+      engine_(config_.resilience) {}
 
 void Browser::visit(const web::WebPage& page, std::function<void(PageLoadResult)> on_load) {
   H3CDN_EXPECTS(on_load != nullptr);
@@ -60,6 +61,7 @@ void Browser::visit(const web::WebPage& page, std::function<void(PageLoadResult)
   pc.transport = config_.transport;
   pc.think_time = env_.think_fn();
   pc.connection_trace_factory = config_.connection_trace_factory;
+  if (config_.resilience.enabled) pc.resilience = &engine_;
   visit->pool = std::make_unique<http::ConnectionPool>(sim_, pc, env_.resolver(), tickets_,
                                                        rng_.fork(page.site));
   if (config_.pool_trace) visit->pool->set_trace(config_.pool_trace);

@@ -22,6 +22,7 @@
 #include "browser/environment.h"
 #include "browser/har.h"
 #include "http/pool.h"
+#include "resilience/engine.h"
 #include "sim/simulator.h"
 #include "tls/ticket_store.h"
 #include "util/rng.h"
@@ -45,6 +46,12 @@ struct BrowserConfig {
   http::SessionConfig session;
   transport::TransportConfig transport;
   std::size_t h1_max_connections_per_origin = 6;
+  // Request-lifecycle resilience engine (docs/RESILIENCE.md). Disabled by
+  // default — the seed study measures the raw protocols. When enabled, the
+  // Browser owns one engine for its lifetime (breaker state and latency
+  // history persist across the visit's pages) and hands it to each per-page
+  // pool.
+  resilience::Options resilience;
   // Observability wiring, both optional. `pool_trace` receives pool-level
   // fault/recovery events (FallbackTriggered, H3BrokenMarked, ...);
   // `connection_trace_factory` hands every new connection its own trace —
@@ -79,6 +86,10 @@ class Browser {
   [[nodiscard]] std::size_t http_cache_size() const { return http_cache_.size(); }
   [[nodiscard]] const BrowserConfig& config() const { return config_; }
 
+  /// The browser-lifetime resilience engine (meaningful when
+  /// config().resilience.enabled; present either way for stats access).
+  [[nodiscard]] resilience::Engine& resilience_engine() { return engine_; }
+
  private:
   struct VisitState;
 
@@ -96,6 +107,7 @@ class Browser {
   tls::SessionTicketStore* tickets_;
   BrowserConfig config_;
   util::Rng rng_;
+  resilience::Engine engine_;  // per-browser: persists across page visits
   std::unordered_set<std::string> http_cache_;  // by URL; survives visits
 };
 

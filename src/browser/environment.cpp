@@ -16,6 +16,19 @@ std::vector<VantageConfig> default_vantage_points() {
   return {utah, wisconsin, clemson};
 }
 
+void apply_link_profile(VantageConfig& vantage, const net::LinkProfile& profile) {
+  vantage.access_bandwidth_bps = profile.access_bandwidth_bps;
+  vantage.access_latency_ms = profile.access_latency_ms;
+  vantage.jitter_ms = profile.jitter_ms;
+  vantage.rtt_scale *= profile.rtt_scale;
+  vantage.baseline_loss_rate = profile.baseline_loss_rate;
+  if (profile.fault.gilbert_elliott.enabled) {
+    vantage.fault_profile.gilbert_elliott = profile.fault.gilbert_elliott;
+  }
+  for (const auto& o : profile.fault.outages) vantage.fault_profile.outages.push_back(o);
+  for (const auto& s : profile.fault.rtt_spikes) vantage.fault_profile.rtt_spikes.push_back(s);
+}
+
 std::vector<VantageConfig> global_vantage_points() {
   auto points = default_vantage_points();
   points.push_back({.name = "frankfurt", .rtt_scale = 2.6});
@@ -87,6 +100,20 @@ Environment::Host& Environment::host(const std::string& domain) {
   // times in the paper), hence the salt.
   h.path->reseed_jitter(vantage_.server_noise_salt);
   h.path->attach_access(access_up_.get(), access_down_.get());
+  if (vantage_.dns.addresses_per_record > 1) {
+    // Alternate front ends for DNS failover: identical parameters,
+    // independent stochastic streams. The primary-path fault (when any)
+    // afflicts only record 0, so health demotion can route around it.
+    if (!vantage_.primary_path_fault.empty()) {
+      h.path->set_fault_profile(vantage_.primary_path_fault, host_rng.fork("primary-fault"));
+    }
+    for (std::size_t i = 1; i < vantage_.dns.addresses_per_record; ++i) {
+      auto alt = std::make_unique<net::NetPath>(sim_, pc, host_rng.fork("alt-path").fork(i));
+      alt->reseed_jitter(vantage_.server_noise_salt);
+      alt->attach_access(access_up_.get(), access_down_.get());
+      h.alt_paths.push_back(std::move(alt));
+    }
+  }
   if (servers_ != nullptr) {
     // Shared-farm mode: servers are owned (and seeded) by the directory, so
     // every client environment contends for the same queues and caches.
@@ -130,7 +157,21 @@ Environment::Host& Environment::host(const std::string& domain) {
   return ins->second;
 }
 
-http::OriginInfo Environment::resolve(const std::string& domain) { return host(domain).info; }
+http::OriginInfo Environment::resolve(const std::string& domain) {
+  Host& h = host(domain);
+  if (vantage_.dns.addresses_per_record <= 1) return h.info;
+  // Multi-record answers: dial the resolver's currently-preferred address
+  // and let the pool report connection failures back into the per-record
+  // health scores (docs/RESILIENCE.md). The pool re-resolves after every
+  // reported failure, so a demoted record is left behind at the next dial.
+  http::OriginInfo info = h.info;
+  const std::size_t addr = resolver_->preferred_address(domain, sim_.now());
+  if (addr > 0 && addr - 1 < h.alt_paths.size()) info.path = h.alt_paths[addr - 1].get();
+  info.connection_failed = [this, domain](TimePoint now) {
+    resolver_->report_failure(domain, now);
+  };
+  return info;
+}
 
 Duration Environment::think(const http::Request& request, http::HttpVersion version) {
   Host& h = host(request.domain);
@@ -152,7 +193,10 @@ void Environment::warm_page(const web::WebPage& page) {
 void Environment::set_loss_rate(double loss_rate) {
   vantage_.loss_rate = loss_rate;
   const double total = std::min(1.0, vantage_.baseline_loss_rate + loss_rate);
-  for (auto& [domain, h] : hosts_) h.path->set_loss_rate(total);
+  for (auto& [domain, h] : hosts_) {
+    h.path->set_loss_rate(total);
+    for (auto& alt : h.alt_paths) alt->set_loss_rate(total);
+  }
 }
 
 http::Resolver Environment::resolver() {

@@ -15,6 +15,7 @@
 #include "cdn/origin_server.h"
 #include "dns/resolver.h"
 #include "http/pool.h"
+#include "net/link_profile.h"
 #include "net/path.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -58,7 +59,17 @@ struct VantageConfig {
   // outages and RTT spikes here hit every connection of the visit; see
   // docs/FAULTS.md. An empty profile costs nothing.
   net::FaultProfile fault_profile;
+  // DNS-failover fault (docs/RESILIENCE.md): when `dns.addresses_per_record`
+  // is > 1, this profile afflicts ONLY each domain's address-0 path, so the
+  // first resolved record is degraded while the alternates stay clean — the
+  // scenario where per-record health scoring visibly rescues the page.
+  net::FaultProfile primary_path_fault;
 };
+
+/// Applies a named last-mile preset (net::LinkProfile) onto a vantage:
+/// access bandwidth/latency, jitter, RTT scale, baseline loss, and the
+/// profile's fault layer (merged into `fault_profile`).
+void apply_link_profile(VantageConfig& vantage, const net::LinkProfile& profile);
 
 /// Standard three-site deployment from §III-B.
 std::vector<VantageConfig> default_vantage_points();
@@ -128,6 +139,10 @@ class Environment {
  private:
   struct Host {
     std::unique_ptr<net::NetPath> path;
+    // Paths for DNS records 1..N-1 when addresses_per_record > 1 (the
+    // primary `path` above is record 0). Same path parameters, independent
+    // loss/jitter streams — a different front end behind the same prefix.
+    std::vector<std::unique_ptr<net::NetPath>> alt_paths;
     std::unique_ptr<cdn::EdgeServer> edge;      // CDN domains (private mode)
     std::unique_ptr<cdn::OriginServer> origin;  // non-CDN domains (private mode)
     // Servers actually used: the owned ones above, or the shared directory's.

@@ -14,6 +14,11 @@ MeasurementStudy::MeasurementStudy(StudyConfig config) : config_(std::move(confi
   H3CDN_EXPECTS(!config_.vantages.empty());
   H3CDN_EXPECTS(config_.probes_per_vantage >= 1);
   H3CDN_EXPECTS(config_.jobs >= 0);
+  if (!config_.link_profile.empty()) {
+    const auto profile = net::LinkProfile::from_name(config_.link_profile);
+    H3CDN_EXPECTS(profile.has_value());
+    for (auto& vantage : config_.vantages) browser::apply_link_profile(vantage, *profile);
+  }
 }
 
 StudyResult MeasurementStudy::run() const {

@@ -33,6 +33,10 @@ struct StudyConfig {
   std::vector<browser::VantageConfig> vantages = browser::default_vantage_points();
   int probes_per_vantage = 1;  // paper deploys 3 per site
   double loss_rate = 0.0;      // injected tc/netem loss (Fig. 9 sweeps)
+  // Last-mile preset applied to every vantage ("" = leave as configured):
+  // any net::LinkProfile name, e.g. "cellular" for the Gilbert-Elliott bursty
+  // lossy mobile link of arXiv 1707.05836 (see net/link_profile.h).
+  std::string link_profile;
   bool consecutive = false;    // keep session tickets across pages (§VI-D)
   bool warm_caches = true;     // the paper's cache-warming first visit
   std::size_t max_sites = 0;   // 0 = all workload sites; else truncate

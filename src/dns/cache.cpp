@@ -23,6 +23,12 @@ void DnsCache::clear() {
   records_.clear();
 }
 
+DnsRecord* DnsCache::find(const std::string& name) {
+  affinity_.assert_same_shard();
+  auto it = records_.find(name);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
 void DnsCache::remove_expired(TimePoint now) {
   affinity_.assert_same_shard();
   for (auto it = records_.begin(); it != records_.end();) {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/shard_affinity.h"
 #include "util/types.h"
@@ -35,10 +36,22 @@ struct DnsRecord {
   bool has_negative = false;
   TimePoint negative_resolved_at{0};
   Duration negative_ttl{0};
+  // Multi-record answers with per-record health (docs/RESILIENCE.md): an
+  // answer can carry several A records; `preferred` indexes the one dials
+  // use, and a record demoted by a connection failure is skipped until its
+  // `unhealthy_until` deadline passes. A re-query (TTL or RFC 2308 negative
+  // expiry) rebuilds the record and so RESETS health state — fresh answers
+  // carry no memory of the previous resolution's failures.
+  std::size_t address_count = 1;
+  std::size_t preferred = 0;
+  std::vector<TimePoint> unhealthy_until;  // per address; <= now means healthy
 
   [[nodiscard]] bool valid_at(TimePoint now) const { return now < resolved_at + ttl; }
   [[nodiscard]] bool negative_valid_at(TimePoint now) const {
     return !has_negative || now < negative_resolved_at + negative_ttl;
+  }
+  [[nodiscard]] bool address_healthy(std::size_t index, TimePoint now) const {
+    return index >= unhealthy_until.size() || unhealthy_until[index] <= now;
   }
 };
 
@@ -50,6 +63,10 @@ class DnsCache {
   void insert(DnsRecord record);
   void clear();
   void remove_expired(TimePoint now);
+
+  /// Mutable access for per-record health updates (no TTL check; returns
+  /// nullptr when the name was never resolved). Does not count as a lookup.
+  [[nodiscard]] DnsRecord* find(const std::string& name);
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }

@@ -1,5 +1,7 @@
 #include "dns/resolver.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -96,7 +98,56 @@ DnsRecord Resolver::make_record(const std::string& name) const {
     record.negative_resolved_at = sim_.now();
     record.negative_ttl = config_.negative_ttl;
   }
+  record.address_count = std::max<std::size_t>(config_.addresses_per_record, 1);
+  record.preferred = 0;
+  record.unhealthy_until.assign(record.address_count, TimePoint{0});
   return record;
+}
+
+std::size_t Resolver::preferred_address(const std::string& name, TimePoint now) {
+  DnsRecord* record = cache_.find(name);
+  if (record == nullptr || record->address_count <= 1) return 0;
+  if (record->address_healthy(record->preferred, now)) return record->preferred;
+  // Preferred is cooling down: scan forward for a recovered address.
+  for (std::size_t i = 1; i < record->address_count; ++i) {
+    const std::size_t candidate = (record->preferred + i) % record->address_count;
+    if (record->address_healthy(candidate, now)) {
+      record->preferred = candidate;
+      return candidate;
+    }
+  }
+  return record->preferred;  // all cooling down; stick with the current one
+}
+
+void Resolver::report_failure(const std::string& name, TimePoint now) {
+  DnsRecord* record = cache_.find(name);
+  if (record == nullptr || record->address_count <= 1) return;
+  ++stats_.failover_reports;
+  obs::count("dns.failover.reports");
+  if (record->unhealthy_until.size() < record->address_count) {
+    record->unhealthy_until.resize(record->address_count, TimePoint{0});
+  }
+  record->unhealthy_until[record->preferred] = now + config_.health_cooldown;
+  for (std::size_t i = 1; i < record->address_count; ++i) {
+    const std::size_t candidate = (record->preferred + i) % record->address_count;
+    if (record->address_healthy(candidate, now)) {
+      record->preferred = candidate;
+      ++stats_.failover_switches;
+      obs::count("dns.failover.switches");
+      return;
+    }
+  }
+  // Every address is in cooldown: move to the one recovering soonest so the
+  // next dial has the best chance of landing on a healthy path.
+  std::size_t best = record->preferred;
+  for (std::size_t i = 0; i < record->address_count; ++i) {
+    if (record->unhealthy_until[i] < record->unhealthy_until[best]) best = i;
+  }
+  if (best != record->preferred) {
+    record->preferred = best;
+    ++stats_.failover_switches;
+    obs::count("dns.failover.switches");
+  }
 }
 
 void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> done) {

@@ -43,6 +43,12 @@ struct ResolverConfig {
   // query pair collapsing into the slower leg.
   double ipv6_absent_fraction = 0.35;
   Duration negative_ttl = sec(30);
+  // DNS failover (docs/RESILIENCE.md): answers carry this many A records.
+  // With > 1, a connection failure reported against a name demotes its
+  // current record for `health_cooldown` and rotates dials to the next
+  // healthy one. 1 — the default — reproduces the single-address behaviour.
+  std::size_t addresses_per_record = 1;
+  Duration health_cooldown = sec(5);
 };
 
 struct ResolverStats {
@@ -52,6 +58,9 @@ struct ResolverStats {
   std::uint64_t retries = 0;
   std::uint64_t channels_established = 0;
   std::uint64_t negative_expiries = 0;  // repeat resolves forced by RFC 2308 expiry
+  // DNS failover (docs/RESILIENCE.md).
+  std::uint64_t failover_reports = 0;   // connection failures reported to a record
+  std::uint64_t failover_switches = 0;  // reports that moved to another address
 };
 
 class Resolver {
@@ -67,6 +76,17 @@ class Resolver {
   /// Drops the encrypted channel (e.g. after idle); the next query pays the
   /// re-establishment cost (0-RTT for DoQ when resumption is on).
   void drop_channel();
+
+  /// Address index dials should use for `name` right now: the record's
+  /// preferred address, or the next healthy one when it is in cooldown.
+  /// Returns 0 for unknown names or single-address records.
+  [[nodiscard]] std::size_t preferred_address(const std::string& name, TimePoint now);
+
+  /// Reports a connection failure against `name`'s current address: demotes
+  /// it for `health_cooldown` and rotates `preferred` to the next healthy
+  /// record (round-robin; sticks with the least-recently-demoted one when
+  /// every address is unhealthy). No-op for unknown names.
+  void report_failure(const std::string& name, TimePoint now);
 
   [[nodiscard]] DnsCache& cache() { return cache_; }
   [[nodiscard]] const ResolverStats& stats() const { return stats_; }

@@ -14,9 +14,15 @@ ConnectionPool::ConnectionPool(sim::Simulator& sim, PoolConfig config, Resolver 
       config_(std::move(config)),
       resolver_(std::move(resolver)),
       tickets_(tickets),
-      rng_(rng) {
+      rng_(rng),
+      created_at_(sim.now()) {
   H3CDN_EXPECTS(resolver_ != nullptr);
   H3CDN_EXPECTS(config_.h1_max_connections_per_origin >= 1);
+}
+
+resilience::Engine* ConnectionPool::engine() const {
+  resilience::Engine* e = config_.resilience;
+  return (e != nullptr && e->enabled()) ? e : nullptr;
 }
 
 HttpVersion ConnectionPool::protocol_for(const OriginInfo& origin) const {
@@ -168,6 +174,7 @@ std::shared_ptr<Session> ConnectionPool::session_for(const std::string& domain,
 void ConnectionPool::fetch(const Request& request, FetchDone done) {
   H3CDN_EXPECTS(!request.domain.empty());
   ++stats_.entries_submitted;
+  obs::count("http.entries_submitted");
   auto& state = origin_state(request.domain);
   HttpVersion version = protocol_for(*state.info);
   if (config_.protocol_hint && state.info->supports_h2) {
@@ -182,11 +189,117 @@ void ConnectionPool::fetch(const Request& request, FetchDone done) {
   if (version == HttpVersion::H3 && config_.h3_fallback_enabled && h3_broken(request.domain)) {
     version = HttpVersion::H2;
   }
+  // Per-edge circuit breaker (advisory, docs/RESILIENCE.md): an open H3
+  // breaker demotes new dials to H2 — never refuses the request outright —
+  // so an enabled breaker cannot reduce liveness. allow() also meters the
+  // half-open re-probes.
+  resilience::Engine* eng = engine();
+  if (eng != nullptr && version == HttpVersion::H3 && state.info->supports_h2 &&
+      !eng->breakers().get(request.domain, "h3").allow(sim_.now())) {
+    version = HttpVersion::H2;
+    ++stats_.breaker_demotions;
+    ++eng->stats.breaker_demotions;
+    obs::count("resilience.breaker.demotions");
+  }
 
   std::shared_ptr<Session> session = session_for(request.domain, state, version);
   Request routed = request;
   if (config_.think_time) routed.server_think = config_.think_time(routed, version);
-  session->submit(routed, std::move(done));
+  if (eng != nullptr) {
+    FetchDone wrapped = with_resilience(routed, version, std::move(done));
+    session->submit(routed, std::move(wrapped));
+  } else {
+    session->submit(routed, std::move(done));
+  }
+}
+
+FetchDone ConnectionPool::with_resilience(const Request& routed, HttpVersion version,
+                                          FetchDone done) {
+  resilience::Engine* eng = engine();
+  H3CDN_EXPECTS(eng != nullptr);
+  // First-result-wins arbitration between the primary dispatch and an
+  // optional hedge copy. A typed failure only settles the pair once no other
+  // copy is still outstanding, so a hedge can save a request whose primary
+  // exhausted its retries.
+  struct HedgeState {
+    bool settled = false;
+    bool hedged = false;
+    int outstanding = 1;
+    sim::EventId timer = 0;
+    FetchDone done;
+  };
+  auto st = std::make_shared<HedgeState>();
+  st->done = std::move(done);
+  const std::string domain = routed.domain;
+  const TimePoint submitted = sim_.now();
+
+  auto wrap = [this, st, eng, domain](bool is_hedge_copy) -> FetchDone {
+    return [this, st, eng, domain, is_hedge_copy](const EntryTimings& t) {
+      if (st->settled) return;  // losing copy finishing after the winner
+      if (t.failed && st->outstanding > 1) {
+        --st->outstanding;  // the other copy may still succeed
+        return;
+      }
+      st->settled = true;
+      if (st->timer != 0) {
+        sim_.cancel(st->timer);
+        st->timer = 0;
+      }
+      if (st->hedged) {
+        if (t.failed) {
+          ++eng->stats.hedges_cancelled;
+          obs::count("resilience.hedges_cancelled");
+        } else if (is_hedge_copy) {
+          ++eng->stats.hedges_won;
+          obs::count("resilience.hedges_won");
+        } else {
+          ++eng->stats.hedges_lost;
+          obs::count("resilience.hedges_lost");
+        }
+      }
+      if (!t.failed) {
+        eng->hedge_trigger().observe(t.total());
+        eng->breakers().get(domain, to_string(t.version)).record(sim_.now(), true);
+      }
+      auto deliver = std::move(st->done);
+      st->done = nullptr;
+      deliver(t);
+    };
+  };
+
+  // Hedge trigger: once the latency tracker is warm, a request still
+  // unsettled past the observed tail (p95 by default) gets a duplicate copy,
+  // preferably on the OTHER protocol so it rides an independent connection
+  // that does not share fate with the primary's transport.
+  if (auto delay = eng->hedge_trigger().delay()) {
+    Request copy = routed;
+    st->timer = sim_.schedule_in(
+        *delay, [this, st, eng, copy = std::move(copy), version, submitted, wrap,
+                 alive = std::weak_ptr<char>(alive_)]() mutable {
+          if (alive.expired()) return;  // pool gone; the page already finished
+          st->timer = 0;
+          if (st->settled) return;
+          st->hedged = true;
+          ++st->outstanding;
+          ++eng->stats.hedges_launched;
+          ++stats_.hedges_launched;
+          obs::count("resilience.hedges_launched");
+          auto& state = origin_state(copy.domain);
+          HttpVersion hedge_version = version;
+          if (version == HttpVersion::H3) {
+            hedge_version = HttpVersion::H2;
+          } else if (state.info->supports_h2 && config_.h3_enabled && state.info->supports_h3 &&
+                     !(config_.h3_fallback_enabled && h3_broken(copy.domain))) {
+            hedge_version = HttpVersion::H3;
+          }
+          // Rescued-style submission keeps the ORIGINAL submission time, so
+          // a winning hedge reports honest page-level phase timings (the
+          // pre-hedge wait lands in its "blocked" phase).
+          Session::Orphan dup{std::move(copy), wrap(true), submitted, 0, 0};
+          route_rescue(std::move(dup), hedge_version);
+        });
+  }
+  return wrap(false);
 }
 
 void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion version,
@@ -199,6 +312,8 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
   const trace::FaultKind fault = refused ? trace::FaultKind::Refused
                                  : error == transport::ConnectionError::Blackhole
                                      ? trace::FaultKind::Blackhole
+                                 : error == transport::ConnectionError::Killed
+                                     ? trace::FaultKind::Outage
                                      : trace::FaultKind::HandshakeTimeout;
 
   // Deregister the corpse so the next dial creates a fresh connection.
@@ -217,41 +332,95 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
     }
   }
 
+  resilience::Engine* eng = engine();
+
+  // Whether a retry would exceed its budgets; None means "retry allowed".
+  // Deadlines only exist under the engine; the attempt cap always does.
+  auto past_budget = [&](const Session::Orphan& orphan) -> FailureReason {
+    const int max_attempts = eng != nullptr ? eng->retry().max_attempts
+                                            : config_.max_request_retries;
+    if (orphan.attempts >= max_attempts) return FailureReason::RetriesExhausted;
+    if (eng != nullptr) {
+      const resilience::RetryPolicy& rp = eng->retry();
+      if (rp.request_deadline > Duration::zero() &&
+          sim_.now() - orphan.submitted >= rp.request_deadline) {
+        return FailureReason::DeadlineExceeded;
+      }
+      if (rp.page_budget > Duration::zero() && sim_.now() - created_at_ >= rp.page_budget) {
+        return FailureReason::DeadlineExceeded;
+      }
+    }
+    return FailureReason::None;
+  };
+  // Range resumption: keep the delivered-byte prefix only when the engine
+  // says so; zeroing it reproduces the legacy full-re-download rescue.
+  auto prepare_resume = [&](Session::Orphan& orphan) {
+    if (eng != nullptr && eng->retry().resume_enabled) {
+      if (orphan.bytes_received > 0) {
+        const std::size_t saved =
+            std::min(orphan.bytes_received, orphan.request.response_bytes);
+        ++stats_.requests_resumed;
+        ++eng->stats.resumed_requests;
+        stats_.resumed_bytes += saved;
+        eng->stats.resumed_bytes += saved;
+        obs::count("resilience.resumed_requests");
+        obs::count("resilience.resumed_bytes", saved);
+      }
+    } else {
+      orphan.bytes_received = 0;
+    }
+  };
+
   // A refusal means "server busy", not "protocol broken": never mark H3
   // broken for it, retry on the SAME protocol after a jittered exponential
-  // backoff so the herd does not re-arrive in lockstep.
+  // backoff so the herd does not re-arrive in lockstep. Refusals are also
+  // kept out of the per-edge circuit breaker and the DNS health score below:
+  // capacity pushback is not a path or protocol failure.
   if (refused) {
     ++stats_.connections_refused;
     obs::count("http.pool.connections_refused");
     for (auto& orphan : orphans) {
-      if (orphan.attempts >= config_.max_request_retries) {
-        ++stats_.requests_failed;
-        obs::count("http.entries_failed");
-        EntryTimings t;
-        t.started = orphan.submitted;
-        t.finished = sim_.now();
-        t.version = version;
-        t.failed = true;
-        auto done = std::move(orphan.done);
-        done(t);
+      if (const FailureReason reason = past_budget(orphan); reason != FailureReason::None) {
+        fail_orphan(std::move(orphan), version, reason);
         continue;
       }
       ++stats_.requests_rescued;
       ++stats_.refusal_retries;
       obs::count("http.pool.requests_rescued");
       obs::count("http.pool.refusal_retries");
+      if (eng != nullptr) {
+        ++eng->stats.retries;
+        obs::count("resilience.retries");
+      }
       record_fault(trace::EventType::FallbackTriggered, fault);
+      prepare_resume(orphan);
       const int exponent = std::max(0, orphan.attempts - 1);
       Duration backoff{config_.refusal_backoff_base.count() << std::min(exponent, 6)};
       backoff += Duration{static_cast<std::int64_t>(
           static_cast<double>(backoff.count()) *
           rng_.uniform(0.0, config_.refusal_backoff_jitter))};
-      sim_.schedule_in(backoff,
-                       [this, orphan = std::move(orphan), version]() mutable {
-                         route_rescue(std::move(orphan), version);
-                       });
+      sim_.schedule_in(backoff, [this, orphan = std::move(orphan), version,
+                                 alive = std::weak_ptr<char>(alive_)]() mutable {
+        if (alive.expired()) return;  // pool gone; the page already finished
+        route_rescue(std::move(orphan), version);
+      });
     }
     return;
+  }
+
+  // Non-refused deaths feed the per-edge breaker's rolling failure window
+  // (one dial-outcome sample per death) and, when the environment wired a
+  // failover hook, demote this origin's current address and force the next
+  // dial to re-resolve onto a healthier record (docs/RESILIENCE.md).
+  if (eng != nullptr) {
+    eng->breakers().get(domain, to_string(version)).record(sim_.now(), false);
+  }
+  if (auto state_it = origins_.find(domain);
+      state_it != origins_.end() && state_it->second.info &&
+      state_it->second.info->connection_failed) {
+    auto notify = state_it->second.info->connection_failed;
+    state_it->second.info.reset();
+    notify(sim_.now());
   }
 
   // An H3 death marks the host broken and degrades it to H2 (Chrome's
@@ -267,23 +436,50 @@ void ConnectionPool::on_session_dead(const std::string& domain, HttpVersion vers
   }
 
   for (auto& orphan : orphans) {
-    if (orphan.attempts >= config_.max_request_retries) {
-      ++stats_.requests_failed;
-      obs::count("http.entries_failed");
-      EntryTimings t;
-      t.started = orphan.submitted;
-      t.finished = sim_.now();
-      t.version = version;
-      t.failed = true;
-      auto done = std::move(orphan.done);
-      done(t);
+    if (const FailureReason reason = past_budget(orphan); reason != FailureReason::None) {
+      fail_orphan(std::move(orphan), version, reason);
       continue;
     }
     ++stats_.requests_rescued;
     obs::count("http.pool.requests_rescued");
     record_fault(trace::EventType::FallbackTriggered, fault);
-    route_rescue(std::move(orphan), reroute);
+    prepare_resume(orphan);
+    if (eng != nullptr) {
+      // Engine rescues back off (exponential + deterministic jitter) instead
+      // of redialling instantly, so a dead edge is not hammered in lockstep.
+      ++eng->stats.retries;
+      obs::count("resilience.retries");
+      const Duration backoff = eng->retry().backoff_for(orphan.attempts, rng_);
+      sim_.schedule_in(backoff, [this, orphan = std::move(orphan), reroute,
+                                 alive = std::weak_ptr<char>(alive_)]() mutable {
+        if (alive.expired()) return;  // pool gone; the page already finished
+        route_rescue(std::move(orphan), reroute);
+      });
+    } else {
+      route_rescue(std::move(orphan), reroute);
+    }
   }
+}
+
+void ConnectionPool::fail_orphan(Session::Orphan orphan, HttpVersion version,
+                                 FailureReason reason) {
+  H3CDN_EXPECTS(reason != FailureReason::None);
+  ++stats_.requests_failed;
+  obs::count("http.entries_failed");
+  if (reason == FailureReason::DeadlineExceeded) {
+    ++stats_.deadline_failures;
+    if (resilience::Engine* eng = engine()) ++eng->stats.deadline_failures;
+    obs::count("resilience.deadline_failures");
+  }
+  EntryTimings t;
+  t.started = orphan.submitted;
+  t.finished = sim_.now();
+  t.version = version;
+  t.attempts = std::max(orphan.attempts, 1);
+  t.failed = true;
+  t.failure = reason;
+  auto done = std::move(orphan.done);
+  done(t);
 }
 
 void ConnectionPool::route_rescue(Session::Orphan orphan, HttpVersion preferred) {

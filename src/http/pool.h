@@ -24,6 +24,7 @@
 #include "http/session.h"
 #include "http/types.h"
 #include "net/path.h"
+#include "resilience/engine.h"
 #include "sim/simulator.h"
 #include "tls/ticket_store.h"
 #include "trace/trace.h"
@@ -49,6 +50,12 @@ struct OriginInfo {
   std::function<std::optional<Duration>(TimePoint, tls::TransportKind, tls::HandshakeMode)>
       handshake_admission;
   std::function<void()> connection_release;
+  // DNS failover hook (docs/RESILIENCE.md). When set, a non-refused
+  // connection death fires this AND invalidates the pool's cached OriginInfo,
+  // so the next dial re-resolves — the environment demotes the current
+  // address's health and hands back a path to the next healthy record.
+  // Refusals do not fire it: capacity pushback is not a path failure.
+  std::function<void(TimePoint)> connection_failed;
 };
 
 using Resolver = std::function<OriginInfo(const std::string& domain)>;
@@ -89,6 +96,13 @@ struct PoolConfig {
   // origin domain and the protocol the pool picked.
   std::function<std::shared_ptr<trace::ConnectionTrace>(const std::string& domain, HttpVersion)>
       connection_trace_factory;
+  // Request-lifecycle resilience engine (docs/RESILIENCE.md). Null — the
+  // default — reproduces the pre-resilience pool behaviour bit-for-bit.
+  // Non-null and enabled() adds retry backoff with budgets, hedged requests,
+  // Range resumption of partial bodies, and per-edge circuit breakers on top
+  // of the baseline rescue logic. Owned by the caller (the Browser), so state
+  // persists across the per-page pools of a visit.
+  resilience::Engine* resilience = nullptr;
 };
 
 struct PoolStats {
@@ -109,6 +123,12 @@ struct PoolStats {
   // Server-capacity admission (docs/LOAD.md).
   std::uint64_t connections_refused = 0;  // dials refused by server admission
   std::uint64_t refusal_retries = 0;      // orphans re-dialled after backoff
+  // Resilience engine (docs/RESILIENCE.md; all zero when the engine is off).
+  std::uint64_t requests_resumed = 0;    // rescues that carried a Range offset
+  std::uint64_t resumed_bytes = 0;       // body bytes skipped via Range resume
+  std::uint64_t hedges_launched = 0;     // duplicate copies dispatched
+  std::uint64_t deadline_failures = 0;   // typed DeadlineExceeded failures
+  std::uint64_t breaker_demotions = 0;   // H3 dials demoted to H2 by a breaker
 };
 
 class ConnectionPool {
@@ -157,6 +177,13 @@ class ConnectionPool {
                        std::vector<Session::Orphan> orphans);
   void route_rescue(Session::Orphan orphan, HttpVersion preferred);
   void record_fault(trace::EventType type, trace::FaultKind fault);
+  /// The resilience engine, or nullptr when absent or disabled.
+  [[nodiscard]] resilience::Engine* engine() const;
+  /// Wraps `done` with hedging (first-wins arbitration + p95-trigger timer)
+  /// and breaker/latency bookkeeping. Engine must be enabled.
+  FetchDone with_resilience(const Request& routed, HttpVersion version, FetchDone done);
+  /// Fails one orphan with typed timings. Reason must not be None.
+  void fail_orphan(Session::Orphan orphan, HttpVersion version, FailureReason reason);
 
   sim::Simulator& sim_;
   PoolConfig config_;
@@ -171,6 +198,13 @@ class ConnectionPool {
   std::unordered_map<std::string, TimePoint> h3_broken_until_;
   std::shared_ptr<trace::ConnectionTrace> trace_;
   PoolStats stats_;
+  TimePoint created_at_{0};  // page start, for the resilience page budget
+  // Liveness token for deferred work (backoff rescues, hedge timers): those
+  // simulator events capture the raw pool pointer, and with hedging a
+  // duplicate copy's rescue can legitimately outlive the pool (its logical
+  // entry settled via the other copy, the page finished, the Browser dropped
+  // the pool). Deferred lambdas hold a weak copy and no-op once it expires.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace h3cdn::http

@@ -54,7 +54,7 @@ void Session::submit_rescued(Orphan orphan) {
   H3CDN_EXPECTS(!closed_);
   H3CDN_EXPECTS(orphan.done != nullptr);
   queue_.push_back(PendingEntry{std::move(orphan.request), std::move(orphan.done),
-                                orphan.submitted, orphan.attempts});
+                                orphan.submitted, orphan.attempts, orphan.bytes_received});
   maybe_dispatch();
 }
 
@@ -75,6 +75,7 @@ void Session::dispatch(PendingEntry pending) {
   entry->submitted = pending.submitted;
   entry->dispatched = sim_.now();
   entry->attempts = pending.attempts + 1;
+  entry->resume_offset = std::min(pending.resume_offset, pending.request.response_bytes);
   entry->request = std::move(pending.request);
   entry->done = std::move(pending.done);
   if (!initiator_assigned_) {
@@ -95,8 +96,12 @@ void Session::dispatch(PendingEntry pending) {
 
   const std::size_t wire_request =
       entry->request.request_bytes + config_.per_stream_header_overhead;
-  const std::size_t wire_response =
-      entry->request.response_bytes + config_.per_stream_header_overhead;
+  // A Range resume skips the already-delivered body prefix but always
+  // re-fetches the response headers; keep at least one body byte on the wire
+  // so completion still flows through the transport's delivery path.
+  const std::size_t body_remaining =
+      std::max<std::size_t>(entry->request.response_bytes - entry->resume_offset, 1);
+  const std::size_t wire_response = body_remaining + config_.per_stream_header_overhead;
   // Completion can only fire after simulated round trips, never inside
   // fetch(), so recording the stream id afterwards is safe.
   entry->stream_id = conn_->fetch(wire_request, wire_response, entry->request.server_think,
@@ -116,6 +121,7 @@ void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) 
   t.handshake_mode = cstats.mode;
   t.connection_id = connection_id_;
   t.attempts = entry->attempts;
+  t.resumed_from_bytes = entry->resume_offset;
   t.new_connection_initiator = entry->initiator;
   t.reused_connection = !entry->initiator;
   t.resumed = entry->initiator && cstats.mode != tls::HandshakeMode::Fresh;
@@ -161,15 +167,21 @@ void Session::on_connection_dead(transport::ConnectionError error) {
   std::vector<Orphan> orphans;
   orphans.reserve(active_.size() + queue_.size());
   for (auto& entry : active_) {
+    // Progress made on this and every prior attempt survives the death: the
+    // stream map is never pruned, so resp_delivered is still readable. The
+    // header-overhead share of the wire bytes is not body progress.
+    const std::size_t wire = conn_->stream_bytes_received(entry->stream_id);
+    const std::size_t body =
+        wire > config_.per_stream_header_overhead ? wire - config_.per_stream_header_overhead : 0;
     orphans.push_back(
         Orphan{std::move(entry->request), std::move(entry->done), entry->submitted,
-               entry->attempts});
+               entry->attempts, entry->resume_offset + body});
   }
   active_.clear();
   in_flight_ = 0;
   for (auto& pending : queue_) {
     orphans.push_back(Orphan{std::move(pending.request), std::move(pending.done),
-                             pending.submitted, pending.attempts});
+                             pending.submitted, pending.attempts, pending.resume_offset});
   }
   queue_.clear();
   if (on_dead_) {

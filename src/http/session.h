@@ -38,6 +38,12 @@ class Session : public std::enable_shared_from_this<Session> {
     FetchDone done;
     TimePoint submitted{0};
     int attempts = 0;
+    // Response-body bytes delivered in order across ALL prior attempts,
+    // read from transport::Connection::stream_bytes_received after the
+    // death. The pool turns this into a Range resume offset when the
+    // resilience engine is enabled, and zeroes it otherwise (the legacy
+    // full-re-download behaviour).
+    std::size_t bytes_received = 0;
   };
 
   /// Fires once when the underlying connection dies, with every queued and
@@ -88,6 +94,7 @@ class Session : public std::enable_shared_from_this<Session> {
     FetchDone done;
     TimePoint submitted{0};
     int attempts = 0;
+    std::size_t resume_offset = 0;  // body bytes already received (Range resume)
   };
 
   struct ActiveEntry {
@@ -98,6 +105,7 @@ class Session : public std::enable_shared_from_this<Session> {
     transport::StreamId stream_id = 0;  // for post-hoc stall attribution
     bool initiator = false;
     int attempts = 0;
+    std::size_t resume_offset = 0;  // body bytes already received (Range resume)
     Request request;
     FetchDone done;
   };

@@ -11,4 +11,13 @@ const char* to_string(HttpVersion v) {
   return "?";
 }
 
+const char* to_string(FailureReason r) {
+  switch (r) {
+    case FailureReason::None: return "none";
+    case FailureReason::RetriesExhausted: return "retries_exhausted";
+    case FailureReason::DeadlineExceeded: return "deadline_exceeded";
+  }
+  return "?";
+}
+
 }  // namespace h3cdn::http

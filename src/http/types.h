@@ -16,6 +16,17 @@ enum class HttpVersion { H1_1, H2, H3 };
 /// HAR-style protocol strings ("http/1.1", "h2", "h3").
 const char* to_string(HttpVersion v);
 
+/// Why a request's lifecycle ended without a response (EntryTimings::failed).
+/// Typed so the chaos harness can check the conservation invariant
+/// "attempts = successes + typed failures" (docs/RESILIENCE.md).
+enum class FailureReason {
+  None,              // not failed
+  RetriesExhausted,  // dispatch budget spent across connection deaths
+  DeadlineExceeded,  // resilience per-request or per-page budget expired
+};
+
+const char* to_string(FailureReason r);
+
 /// One HTTP exchange as submitted by the browser.
 struct Request {
   std::string domain;                     // connection key (SNI / origin host)
@@ -54,6 +65,11 @@ struct EntryTimings {
   // The request exhausted its retry budget across connection deaths and was
   // abandoned; phase timings other than started/finished are meaningless.
   bool failed = false;
+  FailureReason failure = FailureReason::None;  // typed cause when failed
+  // Response-body bytes NOT re-downloaded on this dispatch because the
+  // resilience engine resumed the transfer with an HTTP Range request after a
+  // connection death (0 = full body fetched). See docs/RESILIENCE.md.
+  std::size_t resumed_from_bytes = 0;
 
   /// Total entry latency.
   [[nodiscard]] Duration total() const { return finished - started; }

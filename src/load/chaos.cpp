@@ -1,0 +1,332 @@
+#include "load/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "load/farm.h"
+#include "load/fleet.h"
+#include "net/link_profile.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace h3cdn::core {
+
+std::vector<ChaosScenario> default_chaos_scenarios() {
+  std::vector<ChaosScenario> s;
+
+  {
+    ChaosScenario sc;
+    sc.name = "baseline";
+    sc.description = "fault-free reference cell (recovery-time baseline)";
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
+    sc.name = "edge-outage-midpage";
+    sc.description = "hard access blackout while pages are mid-flight";
+    sc.access_fault.outages.push_back(
+        {TimePoint{sec(1)}, msec(700), net::OutageKind::Hard});
+    sc.expect_faults = true;
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
+    sc.name = "udp-blackhole-handshake";
+    sc.description = "UDP-only blackhole over the QUIC handshake window";
+    sc.access_fault.outages.push_back(
+        {TimePoint{0}, sec(3), net::OutageKind::UdpBlackhole});
+    // Die at ~3.75 s (inside the blackhole's shadow) instead of ~15.75 s, so
+    // the H3->H2 fallback fires while the page still has deadline budget.
+    sc.handshake_retry_cap = 3;
+    sc.expect_faults = true;
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
+    sc.name = "refusal-storm";
+    sc.description = "undersized edge: most dials refused at admission";
+    sc.rate_per_sec = 12.0;
+    sc.capacity_storm = true;
+    sc.expect_faults = true;
+    sc.expect_no_h3_broken = true;  // refusal is capacity, not protocol, failure
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
+    sc.name = "midtransfer-kill";
+    sc.description = "every connection dies after 20 KB of response body";
+    sc.kill_response_at_bytes = 20'000;
+    sc.expect_faults = true;
+    sc.expect_resumption = true;  // Range resume keeps the delivered prefix
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
+    sc.name = "cellular-burst";
+    sc.description = "lossy cellular last mile (Gilbert-Elliott bursts + RTT spikes)";
+    sc.link_profile = "cellular";
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
+    sc.name = "dns-failover";
+    sc.description = "record-0 front end hard down; health scoring reroutes";
+    sc.addresses_per_record = 2;
+    sc.primary_path_fault.outages.push_back(
+        {TimePoint{0}, sec(30), net::OutageKind::Hard});
+    sc.handshake_retry_cap = 3;  // fail fast enough to reroute inside budget
+    sc.expect_faults = true;
+    sc.expect_failover = true;
+    s.push_back(std::move(sc));
+  }
+  return s;
+}
+
+bool ChaosResult::all_passed() const {
+  for (const ChaosCellRow& row : rows) {
+    if (!row.violations.empty()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct CellShard {
+  ChaosCellRow row;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+void merge_fault_profile(net::FaultProfile& into, const net::FaultProfile& from) {
+  if (from.gilbert_elliott.enabled) into.gilbert_elliott = from.gilbert_elliott;
+  for (const auto& o : from.outages) into.outages.push_back(o);
+  for (const auto& r : from.rtt_spikes) into.rtt_spikes.push_back(r);
+}
+
+ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& config,
+                            const ChaosScenario& sc, std::size_t index,
+                            obs::MetricsRegistry* metrics) {
+  obs::ScopedMetrics scoped(metrics);
+  sim::Simulator sim;
+  util::Rng root(util::derive_seed({config.seed, 0xC4A05ULL, index}));
+
+  cdn::EdgeCapacityConfig capacity;  // disabled unless the scenario storms
+  if (sc.capacity_storm) {
+    capacity.enabled = true;
+    capacity.think_cores = 1;
+    capacity.accept_queue_depth = 2;
+    capacity.max_concurrent_connections = 6;
+  }
+  load::ServerFarm farm(workload.universe, capacity, root.fork("farm"));
+
+  load::FleetConfig fc;
+  fc.arrival.kind = load::ArrivalKind::Poisson;
+  fc.arrival.rate_per_sec = sc.rate_per_sec;
+  fc.arrival.window = sc.window;
+  fc.h3 = sc.h3;
+  fc.max_visits = config.max_visits_per_cell;
+  fc.vantage = config.vantage;
+  fc.vantage.edge_capacity = {};  // servers come from the shared farm
+  if (!sc.link_profile.empty()) {
+    const auto profile = net::LinkProfile::from_name(sc.link_profile);
+    H3CDN_EXPECTS(profile.has_value());
+    browser::apply_link_profile(fc.vantage, *profile);
+  }
+  merge_fault_profile(fc.vantage.fault_profile, sc.access_fault);
+  if (sc.addresses_per_record > 1) {
+    fc.vantage.dns.addresses_per_record = sc.addresses_per_record;
+    merge_fault_profile(fc.vantage.primary_path_fault, sc.primary_path_fault);
+  }
+  fc.browser = config.browser;
+  fc.browser.resilience = config.resilience;
+  fc.browser.transport.kill_response_at_bytes = sc.kill_response_at_bytes;
+  if (sc.handshake_retry_cap > 0) {
+    fc.browser.transport.max_handshake_retries = sc.handshake_retry_cap;
+  }
+
+  load::Fleet fleet(sim, workload, config.sites, farm, std::move(fc), root.fork("fleet"));
+  load::FleetOutcome out = fleet.run();
+
+  ChaosCellRow row;
+  row.scenario = sc.name;
+  row.h3 = sc.h3;
+  row.arrivals = out.arrivals;
+  std::vector<double> plt_ms;
+  double plt_sum_ms = 0.0;
+  for (const load::VisitRecord& v : out.visits) {
+    ++row.visits;
+    plt_sum_ms += to_ms(v.plt);
+    if (v.root_failed) {
+      ++row.failed_visits;
+      continue;
+    }
+    plt_ms.push_back(to_ms(v.plt));
+  }
+  std::sort(plt_ms.begin(), plt_ms.end());
+  row.plt_p50_ms = util::quantile_sorted(plt_ms, 0.50);
+  row.plt_p95_ms = util::quantile_sorted(plt_ms, 0.95);
+
+  auto cval = [&](const char* name) { return metrics->counter(name).value(); };
+  row.entries_submitted = cval("http.entries_submitted");
+  row.entries_completed = cval("http.entries_completed");
+  row.entries_failed = cval("http.entries_failed");
+  row.retries = cval("resilience.retries");
+  row.hedges_launched = cval("resilience.hedges_launched");
+  row.hedges_won = cval("resilience.hedges_won");
+  row.hedges_lost = cval("resilience.hedges_lost");
+  row.hedges_cancelled = cval("resilience.hedges_cancelled");
+  row.resumed_requests = cval("resilience.resumed_requests");
+  row.resumed_bytes = cval("resilience.resumed_bytes");
+  row.breaker_opened = cval("resilience.breaker.opened");
+  row.breaker_demotions = cval("resilience.breaker.demotions");
+  row.failover_switches = cval("dns.failover.switches");
+  row.connection_deaths = cval("http.pool.connection_deaths");
+  row.connections_refused = cval("http.pool.connections_refused");
+  row.h3_broken_marks = cval("http.pool.h3_fallbacks");
+  row.phase_residual_ms = std::abs(out.phase_sum.sum() - plt_sum_ms);
+
+  // --- Invariants (ISSUE 6): checked per cell, reported per row. ----------
+  auto violate = [&](const std::string& what) { row.violations.push_back(what); };
+
+  // Typed termination: the fleet's sim drained with every arrival's page
+  // reaching onLoad — a page stuck on an unterminated entry would leave
+  // visits < arrivals.
+  if (row.visits != row.arrivals) {
+    violate("typed-termination: " + std::to_string(row.visits) + " visits for " +
+            std::to_string(row.arrivals) + " arrivals");
+  }
+  // Entry conservation. Each logical fetch submits once and settles exactly
+  // once (a completion or a typed failure); hedge copies add at most one
+  // extra physical settle each. Below the lower bound, entries leaked; above
+  // the upper bound, something settled twice.
+  const std::uint64_t settled = row.entries_completed + row.entries_failed;
+  if (settled < row.entries_submitted ||
+      settled > row.entries_submitted + row.hedges_launched) {
+    violate("conservation: submitted=" + std::to_string(row.entries_submitted) +
+            " completed=" + std::to_string(row.entries_completed) +
+            " failed=" + std::to_string(row.entries_failed) +
+            " hedged=" + std::to_string(row.hedges_launched));
+  }
+  // Every launched hedge settles as exactly one of won/lost/cancelled.
+  if (row.hedges_won + row.hedges_lost + row.hedges_cancelled != row.hedges_launched) {
+    violate("hedge-accounting: " + std::to_string(row.hedges_won) + "+" +
+            std::to_string(row.hedges_lost) + "+" + std::to_string(row.hedges_cancelled) +
+            " != " + std::to_string(row.hedges_launched));
+  }
+  // The critical-path decomposition stays exact (±1 µs per visit) even for
+  // pages assembled out of retried, hedged, and resumed entries.
+  const double residual_budget = 1e-3 * static_cast<double>(row.visits) + 1e-6;
+  if (row.phase_residual_ms > residual_budget) {
+    violate("phase-sum: residual " + std::to_string(row.phase_residual_ms) + " ms");
+  }
+  // Scenario signatures: a scripted fault that never fired is a harness bug.
+  if (sc.expect_faults && row.connection_deaths + row.connections_refused == 0) {
+    violate("inert-scenario: no deaths or refusals observed");
+  }
+  if (sc.expect_no_h3_broken && row.h3_broken_marks != 0) {
+    violate("refusal-marked-h3-broken: " + std::to_string(row.h3_broken_marks) + " marks");
+  }
+  if (config.resilience.enabled) {
+    if (sc.expect_resumption && row.resumed_bytes == 0) {
+      violate("no-resumption: kill scenario resumed 0 bytes");
+    }
+    if (sc.expect_failover && row.failover_switches == 0) {
+      violate("no-failover: health scoring never switched records");
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosConfig& config, core::RunObservability* observability) {
+  H3CDN_EXPECTS(!config.scenarios.empty());
+  H3CDN_EXPECTS(config.sites >= 1);
+  H3CDN_EXPECTS(config.jobs >= 0);
+  web::WorkloadConfig wc = config.workload;
+  wc.site_count = std::max(wc.site_count, config.sites);
+  const web::Workload workload = web::generate_workload(wc);
+
+  const std::size_t n_cells = config.scenarios.size();
+  std::size_t jobs = config.jobs == 0 ? util::ThreadPool::default_jobs()
+                                      : static_cast<std::size_t>(config.jobs);
+  jobs = std::min(jobs, n_cells);
+  util::ThreadPool pool(jobs);
+
+  // One shard per scenario; fold in canonical scenario order afterwards.
+  std::vector<CellShard> shards(n_cells);
+  pool.parallel_for(n_cells, [&](std::size_t cell) {
+    CellShard& shard = shards[cell];
+    shard.metrics = std::make_unique<obs::MetricsRegistry>();
+    shard.row = run_chaos_cell(workload, config, config.scenarios[cell], cell,
+                               shard.metrics.get());
+  });
+
+  ChaosResult result;
+  result.sites = std::min(config.sites, workload.sites.size());
+  result.resilience_enabled = config.resilience.enabled;
+  for (CellShard& shard : shards) {
+    if (observability != nullptr) observability->metrics().merge_from(*shard.metrics);
+    result.rows.push_back(std::move(shard.row));
+  }
+  return result;
+}
+
+void print_chaos_result(std::ostream& os, const ChaosResult& result) {
+  os << "== chaos suite: " << result.rows.size() << " scenarios, " << result.sites
+     << " sites, resilience " << (result.resilience_enabled ? "on" : "off") << " ==\n";
+  util::AsciiTable t({"scenario", "proto", "visits", "failed", "plt p50", "plt p95",
+                      "retries", "hedges", "won", "resumed KB", "demoted", "switches",
+                      "deaths", "refused", "invariants"});
+  for (const ChaosCellRow& r : result.rows) {
+    t.add_row({r.scenario, r.h3 ? "h3" : "h2",
+               std::to_string(r.visits) + "/" + std::to_string(r.arrivals),
+               std::to_string(r.failed_visits), util::fmt(r.plt_p50_ms, 1),
+               util::fmt(r.plt_p95_ms, 1), std::to_string(r.retries),
+               std::to_string(r.hedges_launched), std::to_string(r.hedges_won),
+               util::fmt(static_cast<double>(r.resumed_bytes) / 1024.0, 1),
+               std::to_string(r.breaker_demotions), std::to_string(r.failover_switches),
+               std::to_string(r.connection_deaths), std::to_string(r.connections_refused),
+               r.violations.empty() ? "pass" : "FAIL"});
+  }
+  os << t.to_string();
+  for (const ChaosCellRow& r : result.rows) {
+    for (const std::string& v : r.violations) {
+      os << "  INVARIANT VIOLATION [" << r.scenario << "] " << v << '\n';
+    }
+  }
+}
+
+std::string chaos_result_to_csv(const ChaosResult& result) {
+  std::ostringstream os;
+  os << "scenario,proto,arrivals,visits,failed_visits,plt_p50_ms,plt_p95_ms,"
+        "entries_submitted,entries_completed,entries_failed,retries,hedges_launched,"
+        "hedges_won,hedges_lost,hedges_cancelled,resumed_requests,resumed_bytes,"
+        "breaker_opened,breaker_demotions,failover_switches,connection_deaths,"
+        "connections_refused,h3_broken_marks,phase_residual_ms,violations\n";
+  for (const ChaosCellRow& r : result.rows) {
+    os << r.scenario << ',' << (r.h3 ? "h3" : "h2") << ',' << r.arrivals << ','
+       << r.visits << ',' << r.failed_visits << ',' << util::fmt(r.plt_p50_ms, 3) << ','
+       << util::fmt(r.plt_p95_ms, 3) << ',' << r.entries_submitted << ','
+       << r.entries_completed << ',' << r.entries_failed << ',' << r.retries << ','
+       << r.hedges_launched << ',' << r.hedges_won << ',' << r.hedges_lost << ','
+       << r.hedges_cancelled << ',' << r.resumed_requests << ',' << r.resumed_bytes << ','
+       << r.breaker_opened << ',' << r.breaker_demotions << ',' << r.failover_switches
+       << ',' << r.connection_deaths << ',' << r.connections_refused << ','
+       << r.h3_broken_marks << ',' << util::fmt(r.phase_residual_ms, 6) << ',';
+    for (std::size_t i = 0; i < r.violations.size(); ++i) {
+      if (i > 0) os << '|';
+      os << r.violations[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace h3cdn::core

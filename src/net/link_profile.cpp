@@ -1,0 +1,31 @@
+#include "net/link_profile.h"
+
+namespace h3cdn::net {
+
+LinkProfile LinkProfile::wired() { return LinkProfile{}; }
+
+LinkProfile LinkProfile::cellular() {
+  LinkProfile p;
+  p.name = "cellular";
+  p.access_bandwidth_bps = 20e6;
+  p.access_latency_ms = 25.0;
+  p.jitter_ms = 8.0;
+  p.rtt_scale = 1.8;
+  p.baseline_loss_rate = 0.0;  // loss comes from the burst chain instead
+  p.fault.gilbert_elliott = GilbertElliottConfig::from_average(0.015, 6.0);
+  // Handover / bufferbloat episodes: a few hundred ms of strongly inflated
+  // delay every couple of simulated minutes.
+  p.fault.rtt_spikes.push_back(RttSpike{sec(45), msec(400), msec(120)});
+  p.fault.rtt_spikes.push_back(RttSpike{sec(150), msec(400), msec(120)});
+  return p;
+}
+
+std::optional<LinkProfile> LinkProfile::from_name(const std::string& name) {
+  if (name.empty() || name == "wired") return wired();
+  if (name == "cellular") return cellular();
+  return std::nullopt;
+}
+
+std::vector<std::string> LinkProfile::names() { return {"wired", "cellular"}; }
+
+}  // namespace h3cdn::net

@@ -1,0 +1,45 @@
+// Named access-link presets for study and chaos scenarios.
+//
+// A LinkProfile bundles the access-side path parameters (bandwidth, latency,
+// jitter, an RTT scale) with a FaultProfile so a whole last-mile regime can
+// be selected by name from the CLI (`h3cdn_study --link-profile cellular`).
+// The cellular preset follows the lossy-cellular characterization used by
+// the domain-sharding study (arXiv 1707.05836): bursty (Gilbert-Elliott)
+// loss in the low-percent range with multi-packet bursts, tens of
+// milliseconds of extra latency, and strong RTT variability.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "util/types.h"
+
+namespace h3cdn::net {
+
+struct LinkProfile {
+  std::string name = "wired";
+  double access_bandwidth_bps = 400e6;  // last-mile capacity
+  double access_latency_ms = 1.0;       // one-way access latency
+  double jitter_ms = 1.2;               // per-packet delay jitter amplitude
+  double rtt_scale = 1.0;               // multiplies provider base RTTs
+  double baseline_loss_rate = 0.0005;   // i.i.d. floor on the wide-area path
+  FaultProfile fault;                   // layered on the access link
+
+  /// The default last-mile: fast, low-jitter, loss floor only.
+  static LinkProfile wired();
+
+  /// Bursty lossy cellular (arXiv 1707.05836): ~1.5% average loss arriving
+  /// in ~6-packet bursts, ~20 Mbit/s, tens of ms of access latency, high
+  /// jitter, scaled-up RTTs, and periodic RTT spike episodes.
+  static LinkProfile cellular();
+
+  /// Looks a profile up by name ("wired" | "cellular"); nullopt for unknown.
+  static std::optional<LinkProfile> from_name(const std::string& name);
+
+  /// Names accepted by from_name, for CLI help and error messages.
+  static std::vector<std::string> names();
+};
+
+}  // namespace h3cdn::net

@@ -1,0 +1,94 @@
+// Per-edge circuit breakers: rolling failure window -> open -> half-open
+// re-probe.
+//
+// This generalizes the pool-level H3-brokenness marking from PR 1 (a single
+// protocol-wide boolean with a TTL) into a keyed state machine over
+// (domain, protocol): a burst of typed connection failures opens the breaker,
+// an open breaker sheds dials for `open_duration`, then a bounded number of
+// half-open probes decide between re-closing and re-opening. The breaker is
+// ADVISORY for protocol selection — the pool uses an open H3 breaker to
+// demote new dials to H2, never to refuse a request outright with no
+// alternative — so enabling it cannot reduce liveness. See docs/RESILIENCE.md.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "util/types.h"
+
+namespace h3cdn::resilience {
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+[[nodiscard]] const char* to_string(BreakerState s);
+
+struct BreakerConfig {
+  bool enabled = true;
+  Duration window = sec(10);      // rolling sample window
+  std::size_t min_samples = 6;    // below this, never open (cold start)
+  double failure_threshold = 0.5; // open when failure fraction reaches this
+  Duration open_duration = sec(5);
+  std::size_t half_open_probes = 1;  // trial dials allowed while half-open
+};
+
+/// One breaker instance. Deterministic: state depends only on the sequence of
+/// allow()/record() calls and their simulated timestamps.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+  /// Whether a new dial should proceed now. Open -> HalfOpen transition
+  /// happens here once `open_duration` has elapsed; while half-open, at most
+  /// `half_open_probes` calls return true until an outcome is recorded.
+  [[nodiscard]] bool allow(TimePoint now);
+
+  /// Records the outcome of a dial that was allowed.
+  void record(TimePoint now, bool success);
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+
+  /// Cumulative state transitions (for metrics and invariant checks).
+  struct Transitions {
+    std::uint64_t opened = 0;
+    std::uint64_t half_opened = 0;
+    std::uint64_t closed = 0;
+  };
+  [[nodiscard]] const Transitions& transitions() const { return transitions_; }
+
+ private:
+  void prune(TimePoint now);
+  void open(TimePoint now);
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::Closed;
+  TimePoint opened_at_{};
+  std::size_t probes_in_flight_ = 0;
+  struct Sample {
+    TimePoint at;
+    bool success;
+  };
+  std::deque<Sample> samples_;  // within the rolling window, oldest first
+  std::size_t failures_in_window_ = 0;
+  Transitions transitions_;
+};
+
+/// Breakers keyed by (domain, protocol label). Lives in the resilience
+/// engine, i.e. one registry per Browser — breaker state persists across the
+/// pages of a visit, like the pool's H3-broken marks did.
+class BreakerRegistry {
+ public:
+  explicit BreakerRegistry(BreakerConfig config) : config_(config) {}
+
+  [[nodiscard]] CircuitBreaker& get(const std::string& domain, const char* proto);
+
+  /// Sum of transitions across all breakers.
+  [[nodiscard]] CircuitBreaker::Transitions total_transitions() const;
+
+ private:
+  BreakerConfig config_;
+  std::map<std::string, CircuitBreaker> breakers_;  // ordered: deterministic iteration
+};
+
+}  // namespace h3cdn::resilience

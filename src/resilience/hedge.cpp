@@ -1,0 +1,41 @@
+#include "resilience/hedge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::resilience {
+
+void LatencyTracker::observe(double ms) {
+  if (capacity_ == 0) return;
+  if (values_.size() < capacity_) {
+    values_.push_back(ms);
+    return;
+  }
+  values_[next_] = ms;
+  next_ = (next_ + 1) % capacity_;
+}
+
+double LatencyTracker::quantile(double q) const {
+  H3CDN_EXPECTS(!values_.empty());
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void HedgeTrigger::observe(Duration first_byte_latency) {
+  tracker_.observe(to_ms(first_byte_latency));
+}
+
+std::optional<Duration> HedgeTrigger::delay() const {
+  if (!policy_.enabled) return std::nullopt;
+  if (tracker_.size() < policy_.min_observations || tracker_.size() == 0) return std::nullopt;
+  const Duration p = from_ms(tracker_.quantile(policy_.quantile));
+  return std::clamp(p, policy_.min_delay, policy_.max_delay);
+}
+
+}  // namespace h3cdn::resilience

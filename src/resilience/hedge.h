@@ -1,0 +1,63 @@
+// Hedged requests after a p95-latency trigger.
+//
+// A hedge is a duplicate transmission of a request that has been outstanding
+// for longer than the observed tail latency suggests it should be: once the
+// engine has seen `min_observations` first-byte latencies, any request still
+// waiting past their `quantile` (default p95) gets a second copy dispatched;
+// whichever copy delivers first wins and the loser is cancelled. The tracker
+// is a bounded ring of recent observations — quantiles are computed by
+// copy-and-sort over at most `capacity` values, which is deterministic and
+// cheap at the request rates the simulator produces.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace h3cdn::resilience {
+
+struct HedgePolicy {
+  bool enabled = true;
+  double quantile = 0.95;            // trigger threshold over observed latencies
+  std::size_t min_observations = 20; // below this, never hedge (cold start)
+  Duration min_delay = msec(20);     // clamp: never hedge sooner than this
+  Duration max_delay = sec(2);       // clamp: always hedge by this point
+};
+
+/// Ring buffer of recent first-byte latencies (milliseconds).
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  void observe(double ms);
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Quantile q in [0, 1] by nearest-rank over the retained window.
+  /// Requires at least one observation.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring write position once full
+  std::vector<double> values_;
+};
+
+/// Combines policy + tracker into the hedge trigger.
+class HedgeTrigger {
+ public:
+  explicit HedgeTrigger(HedgePolicy policy) : policy_(policy) {}
+
+  void observe(Duration first_byte_latency);
+
+  /// Delay after dispatch at which an outstanding request should be hedged,
+  /// or nullopt while disabled / still in cold start.
+  [[nodiscard]] std::optional<Duration> delay() const;
+
+ private:
+  HedgePolicy policy_;
+  LatencyTracker tracker_;
+};
+
+}  // namespace h3cdn::resilience

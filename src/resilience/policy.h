@@ -1,0 +1,48 @@
+// Per-request retry policy: attempt caps, exponential backoff with
+// deterministic jitter, and deadline budgets.
+//
+// The policy is pure data + a pure function of (attempt, rng): all jitter is
+// drawn from the shard's deterministic Rng, so two runs with the same seed
+// produce byte-identical retry schedules regardless of --jobs (the same
+// property the rest of the simulator guarantees; see docs/DETERMINISM notes
+// in DESIGN.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace h3cdn::resilience {
+
+/// Retry/backoff/budget knobs for a single request lifecycle.
+///
+/// `max_attempts` counts every transmission of the request (the initial send
+/// is attempt 1), matching `http::EntryTimings::attempts`. Deadlines are
+/// checked when a retry is about to be scheduled: a request whose next
+/// attempt would start after its deadline fails typed (DeadlineExceeded)
+/// instead of retrying forever.
+struct RetryPolicy {
+  int max_attempts = 4;                    // initial attempt + up to 3 retries
+  Duration backoff_base = msec(50);        // delay before the first retry
+  double backoff_multiplier = 2.0;         // growth per additional attempt
+  Duration backoff_cap = sec(2);           // upper bound on the deterministic part
+  double jitter = 0.5;                     // uniform extra in [0, jitter * delay)
+  Duration request_deadline = sec(15);     // per-request budget, 0 = unlimited
+  Duration page_budget = sec(60);          // per-page budget, 0 = unlimited
+  bool resume_enabled = true;              // HTTP Range resumption of partial bodies
+
+  /// Backoff before retry number `attempt` (attempt >= 1 is the first retry):
+  /// min(base * multiplier^(attempt-1), cap) plus deterministic jitter.
+  [[nodiscard]] Duration backoff_for(int attempt, util::Rng& rng) const {
+    if (attempt < 1) attempt = 1;
+    double delay = static_cast<double>(backoff_base.count());
+    for (int i = 1; i < attempt; ++i) delay *= backoff_multiplier;
+    delay = std::min(delay, static_cast<double>(backoff_cap.count()));
+    if (jitter > 0) delay += rng.uniform(0.0, jitter * delay);
+    return Duration{static_cast<std::int64_t>(delay)};
+  }
+};
+
+}  // namespace h3cdn::resilience

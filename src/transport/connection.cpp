@@ -25,6 +25,7 @@ const char* to_string(ConnectionError e) {
     case ConnectionError::HandshakeTimeout: return "handshake_timeout";
     case ConnectionError::Blackhole: return "blackhole";
     case ConnectionError::Refused: return "refused";
+    case ConnectionError::Killed: return "killed";
   }
   return "?";
 }
@@ -664,6 +665,12 @@ StreamStallTotals Connection::stall_totals(StreamId sid) const {
   return {it->second.hol_stall_total, it->second.retx_wait_total};
 }
 
+std::size_t Connection::stream_bytes_received(StreamId sid) const {
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) return 0;
+  return it->second.resp_delivered;
+}
+
 void Connection::maybe_grant_credit(Dir d, StreamId sid) {
   // Receiver-side autotuning: once half of the advertised credit has been
   // consumed, advertise another half-window (connection and stream scope).
@@ -737,6 +744,18 @@ void Connection::credit_stream(Dir d, StreamId sid, std::size_t /*offset*/, std:
     }
     st.resp_delivered += len;
     H3CDN_ASSERT(st.resp_delivered <= st.resp_size);
+    resp_delivered_total_ += len;
+    if (config_.kill_response_at_bytes > 0 && !kill_scheduled_ &&
+        resp_delivered_total_ >= config_.kill_response_at_bytes) {
+      // Scripted mid-transfer kill: tear down via the event loop rather than
+      // mid-delivery, so the remaining in-flight chunks of this packet still
+      // credit their streams (resp_delivered stays exact for Range resume).
+      kill_scheduled_ = true;
+      auto self = shared_from_this();
+      sim_.schedule_in(Duration::zero(), [self] {
+        if (!self->closed_) self->die(ConnectionError::Killed);
+      });
+    }
     if (st.resp_delivered == st.resp_size && !st.done) {
       st.done = true;
       H3CDN_ASSERT(active_stream_count_ > 0);
@@ -900,11 +919,13 @@ void Connection::die(ConnectionError error) {
   stats_.error = error;
   obs::count(error == ConnectionError::HandshakeTimeout ? "transport.deaths.handshake_timeout"
              : error == ConnectionError::Refused        ? "transport.deaths.refused"
+             : error == ConnectionError::Killed         ? "transport.deaths.killed"
                                                         : "transport.deaths.blackhole");
   if (trace_) {
     trace::Event ev{sim_.now(), trace::EventType::ConnectionAborted};
     ev.fault = error == ConnectionError::HandshakeTimeout ? trace::FaultKind::HandshakeTimeout
                : error == ConnectionError::Refused        ? trace::FaultKind::Refused
+               : error == ConnectionError::Killed         ? trace::FaultKind::Outage
                                                           : trace::FaultKind::Blackhole;
     trace_->record(ev);
   }

@@ -49,6 +49,7 @@ enum class ConnectionError {
   HandshakeTimeout,  // handshake retransmissions exhausted
   Blackhole,         // consecutive RTOs with no ACK on a ready connection
   Refused,           // server admission refused the handshake (edge at capacity)
+  Killed,            // scripted mid-transfer kill (chaos harness, docs/RESILIENCE.md)
 };
 
 const char* to_string(ConnectionError e);
@@ -127,6 +128,13 @@ struct TransportConfig {
   // Fires exactly once when an admitted connection closes, returning its
   // server concurrency slot.
   std::function<void()> connection_release;
+
+  // Chaos fault (docs/RESILIENCE.md): when > 0, the connection dies with
+  // ConnectionError::Killed as soon as its cumulative in-order-delivered
+  // response payload crosses this byte offset — the scripted "connection cut
+  // at byte N" scenario that exercises Range-based resumption. Fires at most
+  // once per connection; 0 disables.
+  std::size_t kill_response_at_bytes = 0;
 };
 
 /// Aggregate connection statistics for analysis and tests.
@@ -232,6 +240,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// unknown ids). Stream state persists past completion, so this is valid
   /// for post-hoc critical-path attribution (obs/critical_path.h).
   [[nodiscard]] StreamStallTotals stall_totals(StreamId sid) const;
+
+  /// In-order response payload bytes delivered to the client for one stream
+  /// (0 for unknown ids). Stream state persists past death, so a session can
+  /// read this AFTER the connection died to compute an HTTP Range resume
+  /// offset for the orphaned request (src/resilience/, docs/RESILIENCE.md).
+  [[nodiscard]] std::size_t stream_bytes_received(StreamId sid) const;
 
  private:
   Connection(sim::Simulator& sim, net::NetPath& path, tls::TransportKind kind,
@@ -375,6 +389,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool connect_called_ = false;
   bool ready_ = false;
   bool closed_ = false;
+  bool kill_scheduled_ = false;  // kill_response_at_bytes fired (at most once)
+  std::size_t resp_delivered_total_ = 0;  // across all streams, for the kill trigger
   int consecutive_rtos_ = 0;  // across both directions; any ACK resets it
   std::function<void(TimePoint)> on_ready_;
   std::function<void(ConnectionError, TimePoint)> on_dead_;

@@ -1,0 +1,116 @@
+// Chaos harness tests (docs/RESILIENCE.md): the shipped scenario suite holds
+// every run invariant, the shard merge is byte-identical at any job count,
+// and the midtransfer-kill scenario demonstrates Range resumption — pages
+// that fail outright without the resilience engine complete with it.
+#include "load/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace h3cdn::core {
+namespace {
+
+ChaosConfig small_config() {
+  ChaosConfig cfg;
+  cfg.sites = 2;
+  return cfg;
+}
+
+const ChaosCellRow* row_of(const ChaosResult& result, const std::string& name) {
+  for (const auto& row : result.rows) {
+    if (row.scenario == name) return &row;
+  }
+  return nullptr;
+}
+
+std::string violations_of(const ChaosResult& result) {
+  std::string out;
+  for (const auto& row : result.rows) {
+    for (const auto& v : row.violations) out += row.scenario + ": " + v + "\n";
+  }
+  return out;
+}
+
+TEST(Chaos, DefaultSuiteHoldsEveryInvariant) {
+  const ChaosResult result = run_chaos(small_config());
+  ASSERT_EQ(result.rows.size(), default_chaos_scenarios().size());
+  EXPECT_TRUE(result.all_passed()) << violations_of(result);
+
+  // Scenario signatures actually fired (an inert schedule would be caught by
+  // the harness itself, but pin the headline ones here too).
+  const ChaosCellRow* kill = row_of(result, "midtransfer-kill");
+  ASSERT_NE(kill, nullptr);
+  EXPECT_GT(kill->resumed_bytes, 0u) << "Range resumption never saved a byte";
+  EXPECT_GT(kill->connection_deaths, 0u);
+
+  const ChaosCellRow* storm = row_of(result, "refusal-storm");
+  ASSERT_NE(storm, nullptr);
+  EXPECT_GT(storm->connections_refused, 0u);
+  EXPECT_EQ(storm->h3_broken_marks, 0u) << "a refusal must never mark H3 broken";
+
+  const ChaosCellRow* failover = row_of(result, "dns-failover");
+  ASSERT_NE(failover, nullptr);
+  EXPECT_GT(failover->failover_switches, 0u);
+  EXPECT_EQ(failover->failed_visits, 0u) << "record-1 should carry every page";
+}
+
+TEST(Chaos, ShardMergeIsByteIdenticalAcrossJobs) {
+  // Three cells is enough for jobs=1 vs jobs=3 to schedule differently.
+  ChaosConfig cfg = small_config();
+  std::vector<ChaosScenario> keep;
+  for (const auto& sc : cfg.scenarios) {
+    if (sc.name == "baseline" || sc.name == "midtransfer-kill" || sc.name == "dns-failover") {
+      keep.push_back(sc);
+    }
+  }
+  ASSERT_EQ(keep.size(), 3u);
+  cfg.scenarios = keep;
+
+  cfg.jobs = 1;
+  const ChaosResult serial = run_chaos(cfg);
+  cfg.jobs = 3;
+  const ChaosResult parallel = run_chaos(cfg);
+  EXPECT_TRUE(serial.all_passed()) << violations_of(serial);
+  EXPECT_EQ(chaos_result_to_csv(serial), chaos_result_to_csv(parallel));
+}
+
+TEST(Chaos, MidTransferKillNeedsTheEngineToCompletePages) {
+  ChaosConfig cfg = small_config();
+  std::vector<ChaosScenario> keep;
+  for (const auto& sc : cfg.scenarios) {
+    if (sc.name == "midtransfer-kill") keep.push_back(sc);
+  }
+  ASSERT_EQ(keep.size(), 1u);
+  cfg.scenarios = keep;
+
+  const ChaosResult with_engine = run_chaos(cfg);
+  cfg.resilience.enabled = false;
+  const ChaosResult without = run_chaos(cfg);
+  // The universal invariants (typed termination, conservation, phase sums)
+  // hold either way; the resumption expectation is gated on the engine.
+  EXPECT_TRUE(with_engine.all_passed()) << violations_of(with_engine);
+  EXPECT_TRUE(without.all_passed()) << violations_of(without);
+
+  const ChaosCellRow* on = row_of(with_engine, "midtransfer-kill");
+  const ChaosCellRow* off = row_of(without, "midtransfer-kill");
+  ASSERT_NE(on, nullptr);
+  ASSERT_NE(off, nullptr);
+  EXPECT_GT(on->resumed_bytes, 0u);
+  EXPECT_EQ(off->resumed_bytes, 0u) << "legacy rescue must not send Range requests";
+  EXPECT_LT(on->failed_visits, off->failed_visits)
+      << "resumption should complete pages the legacy rescue loses";
+}
+
+TEST(Chaos, CsvCarriesOneRowPerScenarioWithStableHeader) {
+  ChaosConfig cfg = small_config();
+  cfg.scenarios = {cfg.scenarios.front()};  // baseline only
+  const ChaosResult result = run_chaos(cfg);
+  const std::string csv = chaos_result_to_csv(result);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 2) << csv;  // header + one scenario row
+  EXPECT_EQ(csv.rfind("scenario,proto,arrivals,visits,failed_visits,", 0), 0u) << csv;
+}
+
+}  // namespace
+}  // namespace h3cdn::core

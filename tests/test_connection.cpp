@@ -314,6 +314,68 @@ TEST(Connection, HandshakeRetriesDoNotPolluteDataRtt) {
   EXPECT_EQ(conn->stats().retransmissions, 0u);
 }
 
+TEST(ConnectionKill, KillResponseAtBytesDiesOnceWithTypedError) {
+  // The chaos harness's scripted mid-transfer cut (docs/RESILIENCE.md): the
+  // connection dies with ConnectionError::Killed as soon as its cumulative
+  // in-order response delivery crosses the byte offset.
+  Fixture f;
+  TransportConfig config;
+  config.kill_response_at_bytes = 20'000;
+  auto conn = f.make(TransportKind::Quic, TlsVersion::Tls13, HandshakeMode::Fresh, config);
+  ConnectionError death = ConnectionError::None;
+  conn->set_on_dead([&](ConnectionError e, TimePoint) { death = e; });
+  bool complete = false;
+  FetchCallbacks cbs;
+  cbs.on_complete = [&](TimePoint) { complete = true; };
+  conn->connect([](TimePoint) {});
+  const StreamId sid = conn->fetch(500, 100'000, msec(1), std::move(cbs));
+  f.sim.run();
+
+  EXPECT_FALSE(complete);
+  EXPECT_TRUE(conn->dead());
+  EXPECT_EQ(death, ConnectionError::Killed);
+  EXPECT_EQ(conn->error(), ConnectionError::Killed);
+  // Stream state survives death: the delivered prefix is readable afterwards
+  // (the session uses exactly this to compute an HTTP Range resume offset).
+  const std::size_t delivered = conn->stream_bytes_received(sid);
+  EXPECT_GE(delivered, 20'000u);
+  EXPECT_LT(delivered, 100'000u);
+
+  // And the remainder completes on a fresh connection — the resume path.
+  auto resumed = f.make(TransportKind::Quic);
+  bool resumed_complete = false;
+  FetchCallbacks rcbs;
+  rcbs.on_complete = [&](TimePoint) { resumed_complete = true; };
+  resumed->connect([](TimePoint) {});
+  conn.reset();
+  resumed->fetch(500, 100'000 - delivered, msec(1), std::move(rcbs));
+  f.sim.run();
+  EXPECT_TRUE(resumed_complete);
+  resumed->close();
+}
+
+TEST(ConnectionKill, ShortResponsesBelowTheOffsetSurvive) {
+  Fixture f;
+  TransportConfig config;
+  config.kill_response_at_bytes = 20'000;
+  auto conn = f.make(TransportKind::Quic, TlsVersion::Tls13, HandshakeMode::Fresh, config);
+  ConnectionError death = ConnectionError::None;
+  conn->set_on_dead([&](ConnectionError e, TimePoint) { death = e; });
+  int completions = 0;
+  conn->connect([](TimePoint) {});
+  FetchCallbacks cbs;
+  cbs.on_complete = [&](TimePoint) { ++completions; };
+  const StreamId sid = conn->fetch(500, 8'000, msec(1), std::move(cbs));
+  f.sim.run();
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(conn->dead());
+  EXPECT_EQ(death, ConnectionError::None);
+  EXPECT_EQ(conn->stream_bytes_received(sid), 8'000u);
+  EXPECT_EQ(conn->stream_bytes_received(sid + 999), 0u);  // unknown id
+  conn->close();
+}
+
 TEST(ConnectionDeath, DoubleConnectAborts) {
   Fixture f;
   auto conn = f.make(TransportKind::Tcp);

@@ -25,9 +25,17 @@ struct Fixture {
   }
 };
 
+DnsRecord make_record(std::string name, TimePoint resolved_at, Duration ttl) {
+  DnsRecord record;
+  record.name = std::move(name);
+  record.resolved_at = resolved_at;
+  record.ttl = ttl;
+  return record;
+}
+
 TEST(DnsCache, TtlExpiry) {
   DnsCache cache;
-  cache.insert({"a.example", msec(0), sec(10)});
+  cache.insert(make_record("a.example", msec(0), sec(10)));
   EXPECT_TRUE(cache.lookup("a.example", sec(9)).has_value());
   EXPECT_FALSE(cache.lookup("a.example", sec(10)).has_value());
   EXPECT_EQ(cache.hits(), 1u);
@@ -36,8 +44,8 @@ TEST(DnsCache, TtlExpiry) {
 
 TEST(DnsCache, RemoveExpiredPrunes) {
   DnsCache cache;
-  cache.insert({"old.example", msec(0), sec(1)});
-  cache.insert({"new.example", sec(100), sec(300)});
+  cache.insert(make_record("old.example", msec(0), sec(1)));
+  cache.insert(make_record("new.example", sec(100), sec(300)));
   cache.remove_expired(sec(100));
   EXPECT_EQ(cache.size(), 1u);
 }
@@ -177,6 +185,83 @@ TEST(DnsResolver, PrewarmRespectsStillValidNegativeState) {
   f.sim.run();
   EXPECT_GT(f.resolve_once(r, "a.example"), Duration::zero());
   EXPECT_EQ(r.stats().negative_expiries, 1u);
+}
+
+// --- DNS failover: multi-record answers with per-record health ---------------
+
+TEST(DnsFailover, ReportFailureRotatesPreferredAndCooldownRecovers) {
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 1.0;
+  config.ipv6_absent_fraction = 0.0;
+  config.addresses_per_record = 2;
+  config.health_cooldown = sec(5);
+  Resolver r(f.sim, config, util::Rng(7));
+  f.resolve_once(r, "cdn.example");
+  EXPECT_EQ(r.preferred_address("cdn.example", f.sim.now()), 0u);
+
+  // Record 0's front end fails at t=0: demoted, dials rotate to record 1.
+  r.report_failure("cdn.example", TimePoint{0});
+  EXPECT_EQ(r.preferred_address("cdn.example", TimePoint{0}), 1u);
+  EXPECT_EQ(r.stats().failover_reports, 1u);
+  EXPECT_EQ(r.stats().failover_switches, 1u);
+
+  // Record 1 fails at t=2s: every address is cooling down, so dials move to
+  // the one recovering soonest (record 0, healthy again at 5s vs 7s).
+  r.report_failure("cdn.example", TimePoint{sec(2)});
+  EXPECT_EQ(r.stats().failover_reports, 2u);
+  EXPECT_EQ(r.stats().failover_switches, 2u);
+  EXPECT_EQ(r.preferred_address("cdn.example", TimePoint{sec(3)}), 0u);
+
+  // Past its cooldown, record 0 is healthy and sticky again.
+  EXPECT_EQ(r.preferred_address("cdn.example", TimePoint{sec(6)}), 0u);
+}
+
+TEST(DnsFailover, SingleAddressRecordsNeverRotate) {
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 1.0;
+  config.ipv6_absent_fraction = 0.0;
+  Resolver r(f.sim, config, util::Rng(7));  // addresses_per_record = 1 default
+  f.resolve_once(r, "cdn.example");
+  r.report_failure("cdn.example", TimePoint{0});
+  EXPECT_EQ(r.preferred_address("cdn.example", TimePoint{0}), 0u);
+  EXPECT_EQ(r.stats().failover_reports, 0u);  // no-op on single-address names
+  EXPECT_EQ(r.stats().failover_switches, 0u);
+  // Unknown names are a no-op too.
+  r.report_failure("never.resolved", TimePoint{0});
+  EXPECT_EQ(r.preferred_address("never.resolved", TimePoint{0}), 0u);
+}
+
+TEST(DnsFailover, NegativeExpiryRequeryResetsRecordHealth) {
+  // RFC 2308 x failover: the re-query forced by negative-cache expiry
+  // rebuilds the record, and a fresh answer carries no memory of the
+  // previous resolution's failures — preferred returns to record 0 with
+  // every address healthy.
+  Fixture f;
+  ResolverConfig config;
+  config.transport = DnsTransport::Do53;
+  config.recursive_cache_hit = 1.0;
+  config.ipv6_absent_fraction = 1.0;  // every name lacks an AAAA record
+  config.negative_ttl = sec(5);
+  config.record_ttl = sec(300);  // positive record stays valid throughout
+  config.addresses_per_record = 2;
+  config.health_cooldown = sec(600);  // would pin record 1 forever without requery
+  Resolver r(f.sim, config, util::Rng(7));
+  f.resolve_once(r, "cdn.example");
+  r.report_failure("cdn.example", f.sim.now());
+  EXPECT_EQ(r.preferred_address("cdn.example", f.sim.now()), 1u);
+
+  // Past the negative TTL the next resolve re-queries (the positive record
+  // is still valid) and replaces the answer wholesale.
+  f.sim.schedule_in(sec(10), [] {});
+  f.sim.run();
+  EXPECT_GT(f.resolve_once(r, "cdn.example"), Duration::zero());
+  EXPECT_EQ(r.stats().negative_expiries, 1u);
+  EXPECT_EQ(r.preferred_address("cdn.example", f.sim.now()), 0u)
+      << "a fresh answer must reset per-record health";
 }
 
 TEST(DnsResolver, TransportNames) {

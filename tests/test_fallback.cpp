@@ -361,6 +361,91 @@ TEST(PoolFallback, DisabledFallbackAbandonsNoEntriesButKeepsH3Routing) {
   EXPECT_FALSE(pool.h3_broken("cdn.example"));
 }
 
+// --- Refusal bursts: capacity pushback is not a protocol failure -------------
+
+TEST(PoolFallback, RefusedBurstNeverMarksPoolH3Broken) {
+  // Regression guard: a burst of admission refusals (edge at capacity) must
+  // keep retrying on H3 after backoff — never mark the host H3-broken or
+  // degrade to H2. Refused is "busy", not "broken" (docs/RESILIENCE.md).
+  PoolFixture f;
+  f.add_origin("edge.example", /*h3=*/true);
+  int refusals_left = 3;
+  f.origins["edge.example"].handshake_admission =
+      [&](TimePoint, TransportKind, HandshakeMode) -> std::optional<Duration> {
+    if (refusals_left > 0) {
+      --refusals_left;
+      return std::nullopt;  // CONNECTION_REFUSED analogue
+    }
+    return Duration::zero();  // admitted, no queueing delay
+  };
+
+  http::PoolConfig config;
+  config.h3_enabled = true;
+  config.max_request_retries = 8;  // refusal backoff needs attempts to spend
+  http::ConnectionPool pool(f.sim, config, f.resolver(), nullptr, util::Rng(77));
+
+  std::vector<EntryTimings> done;
+  for (int i = 0; i < 4; ++i) {
+    pool.fetch(f.request("edge.example"), [&](const EntryTimings& t) { done.push_back(t); });
+  }
+  f.sim.run();
+
+  ASSERT_EQ(done.size(), 4u);
+  for (const auto& t : done) {
+    EXPECT_FALSE(t.failed);
+    EXPECT_EQ(t.version, HttpVersion::H3) << "refusals must retry on the SAME protocol";
+  }
+  EXPECT_FALSE(pool.h3_broken("edge.example"));
+  const http::PoolStats& s = pool.stats();
+  EXPECT_EQ(s.h3_broken_marks, 0u);
+  EXPECT_EQ(s.h3_fallbacks, 0u);
+  EXPECT_EQ(s.connections_refused, 3u);  // one per scripted refusal
+  EXPECT_GT(s.refusal_retries, 0u);
+  EXPECT_EQ(s.requests_failed, 0u);
+}
+
+TEST(PoolFallback, RefusalsStayOutOfBreakerAndDnsHealth) {
+  // With the resilience engine on, refusals are also excluded from the
+  // per-edge circuit breaker and from DNS failover health reports.
+  PoolFixture f;
+  f.add_origin("edge.example", /*h3=*/true);
+  int refusals_left = 2;  // within the engine's default 4-attempt budget
+  f.origins["edge.example"].handshake_admission =
+      [&](TimePoint, TransportKind, HandshakeMode) -> std::optional<Duration> {
+    if (refusals_left > 0) {
+      --refusals_left;
+      return std::nullopt;
+    }
+    return Duration::zero();
+  };
+  int failover_reports = 0;
+  f.origins["edge.example"].connection_failed = [&](TimePoint) { ++failover_reports; };
+
+  resilience::Options opts;
+  opts.enabled = true;
+  opts.breaker.min_samples = 2;  // would trip fast IF refusals were counted
+  resilience::Engine engine(opts);
+  http::PoolConfig config;
+  config.h3_enabled = true;
+  config.resilience = &engine;
+  http::ConnectionPool pool(f.sim, config, f.resolver(), nullptr, util::Rng(77));
+
+  std::vector<EntryTimings> done;
+  for (int i = 0; i < 4; ++i) {
+    pool.fetch(f.request("edge.example"), [&](const EntryTimings& t) { done.push_back(t); });
+  }
+  f.sim.run();
+
+  ASSERT_EQ(done.size(), 4u);
+  for (const auto& t : done) EXPECT_FALSE(t.failed);
+  EXPECT_EQ(failover_reports, 0) << "a refusal is not a path failure";
+  EXPECT_EQ(engine.breakers().get("edge.example", "h3").state(),
+            resilience::BreakerState::Closed);
+  EXPECT_EQ(engine.breakers().total_transitions().opened, 0u);
+  EXPECT_EQ(pool.stats().h3_broken_marks, 0u);
+  EXPECT_FALSE(pool.h3_broken("edge.example"));
+}
+
 // --- Browser-level: zero failed page loads through an outage ----------------
 
 TEST(BrowserFallback, PageCompletesWithZeroFailedLoadsThroughUdpBlackhole) {

@@ -119,6 +119,40 @@ TEST(MetricsMerge, MergeIsAssociative) {
   EXPECT_EQ(metrics_to_csv(left), metrics_to_csv(right));
 }
 
+TEST(MetricsMerge, ResilienceSeriesMergeKeepsAccountingIdentities) {
+  // The chaos harness merges per-scenario shards and then checks hedge
+  // accounting on the merged registry: the identity won + lost + cancelled
+  // == launched must survive the fold because counters add linearly, even
+  // when shards carry disjoint subsets of the resilience.* series.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("resilience.hedges_launched").inc(3);
+  a.counter("resilience.hedges_won").inc(1);
+  a.counter("resilience.hedges_lost").inc(1);
+  a.counter("resilience.hedges_cancelled").inc(1);
+  a.counter("resilience.retries").inc(5);
+  b.counter("resilience.hedges_launched").inc(2);
+  b.counter("resilience.hedges_won").inc(2);
+  b.counter("resilience.resumed_requests").inc(4);  // series absent in `a`
+  b.counter("resilience.resumed_bytes").inc(81'920);
+  // Latency histograms split across shards merge like any other histogram.
+  for (double v : {12.0, 40.0}) a.histogram("resilience.backoff_ms").observe(v);
+  b.histogram("resilience.backoff_ms").observe(95.0);
+
+  MetricsRegistry merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.counter("resilience.hedges_launched").value(), 5u);
+  const std::uint64_t settled = merged.counter("resilience.hedges_won").value() +
+                                merged.counter("resilience.hedges_lost").value() +
+                                merged.counter("resilience.hedges_cancelled").value();
+  EXPECT_EQ(settled, merged.counter("resilience.hedges_launched").value());
+  EXPECT_EQ(merged.counter("resilience.resumed_requests").value(), 4u);
+  EXPECT_EQ(merged.counter("resilience.resumed_bytes").value(), 81'920u);
+  EXPECT_EQ(merged.histogram("resilience.backoff_ms").count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.histogram("resilience.backoff_ms").max(), 95.0);
+}
+
 TEST(MetricsMerge, ProfilerPhasesCombine) {
   PhaseProfiler a;
   PhaseProfiler b;

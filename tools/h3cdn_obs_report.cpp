@@ -173,6 +173,60 @@ void check_metrics(const util::JsonValue& doc, const Options& o, Checker& check,
   if (layers_out) *layers_out = std::move(layers);
 }
 
+// --- resilience counters ----------------------------------------------------
+
+/// Cross-counter accounting for the resilience engine (docs/RESILIENCE.md).
+/// Only runs when the artifact carries any `resilience.*` series, so legacy
+/// artifacts (engine disabled) pass unchanged. The directions below are the
+/// ones that hold for ANY artifact, including runs where a page deadline
+/// abandoned in-flight work:
+///   * settled hedges (won + lost + cancelled) never exceed launched hedges;
+///   * a Range resumption only ever happens on a retry;
+///   * entries can only settle through a primary or a hedge dispatch;
+///   * breaker transitions chain closed <= half_opened <= opened.
+void check_resilience(const util::JsonValue& doc, Checker& check) {
+  const util::JsonValue* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) return;  // reported by check_metrics
+  bool any = false;
+  for (const auto& [name, value] : counters->as_object()) {
+    (void)value;
+    if (name.rfind("resilience.", 0) == 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  auto c = [&](const char* name) { return counters->number_or(name, 0.0); };
+
+  const double launched = c("resilience.hedges_launched");
+  const double settled = c("resilience.hedges_won") + c("resilience.hedges_lost") +
+                         c("resilience.hedges_cancelled");
+  if (settled > launched) {
+    check.fail("metrics.json: resilience hedge accounting: " + std::to_string(settled) +
+               " settles (won+lost+cancelled) exceed " + std::to_string(launched) +
+               " launches (a hedge settled twice)");
+  }
+  if (c("resilience.resumed_requests") > c("resilience.retries")) {
+    check.fail("metrics.json: resilience.resumed_requests=" +
+               std::to_string(c("resilience.resumed_requests")) + " exceeds resilience.retries=" +
+               std::to_string(c("resilience.retries")) + " (resumption without a retry)");
+  }
+  const double submitted = c("http.entries_submitted");
+  const double finished = c("http.entries_completed") + c("http.entries_failed");
+  if (finished > submitted + launched) {
+    check.fail("metrics.json: entry conservation: completed+failed=" + std::to_string(finished) +
+               " exceeds submitted+hedges_launched=" + std::to_string(submitted + launched));
+  }
+  const double opened = c("resilience.breaker.opened");
+  const double half_opened = c("resilience.breaker.half_opened");
+  const double closed = c("resilience.breaker.closed");
+  if (half_opened > opened || closed > half_opened) {
+    check.fail("metrics.json: breaker transition chain violated: opened=" +
+               std::to_string(opened) + " half_opened=" + std::to_string(half_opened) +
+               " closed=" + std::to_string(closed) + " (need closed <= half_opened <= opened)");
+  }
+}
+
 // --- waterfalls.json --------------------------------------------------------
 
 obs::WaterfallEntry entry_from_json(const util::JsonValue& e) {
@@ -480,6 +534,7 @@ int main(int argc, char** argv) {
   std::set<std::string> layers;
   std::size_t qlog_events = 0;
   if (metrics) check_metrics(*metrics, o, check, &layers);
+  if (metrics) check_resilience(*metrics, check);
   if (waterfalls_doc) check_waterfalls(*waterfalls_doc, check);
   if (attribution_doc) check_attribution(*attribution_doc, check);
   if (qlog) check_qlog(*qlog, check, &qlog_events);

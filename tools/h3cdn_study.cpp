@@ -14,8 +14,12 @@
 //     --experiment NAME  table1|table2|table3|fig2..fig9|dissection|summary|all
 //                        (default all; dissection = critical-path PLT
 //                        attribution of the H2-vs-H3 delta) — plus `load`,
-//                        the fleet-scale capacity sweep (never part of
-//                        `all`; see docs/LOAD.md)
+//                        the fleet-scale capacity sweep, and `chaos`, the
+//                        scripted fault-scenario suite with invariant
+//                        checking (neither is part of `all`; see
+//                        docs/LOAD.md and docs/RESILIENCE.md)
+//     --link-profile P   last-mile preset for every vantage (wired|cellular)
+//     --no-resilience    run the chaos suite with the resilience engine off
 //     --load-rates LIST  comma-separated offered rates, pages/sec (open
 //                        loop) or users (closed loop); default 2,8,32
 //     --load-window SEC  arrival window in seconds (default 10)
@@ -36,7 +40,9 @@
 #include "core/export.h"
 #include "core/observability.h"
 #include "core/report.h"
+#include "load/chaos.h"
 #include "load/study.h"
+#include "net/link_profile.h"
 #include "web/workload_io.h"
 
 using namespace h3cdn;
@@ -56,13 +62,15 @@ struct Options {
   double load_window_s = 10.0;
   load::ArrivalKind load_arrival = load::ArrivalKind::Poisson;
   bool sites_set = false;  // load defaults to a small rotation unless --sites
+  bool no_resilience = false;  // chaos: disable the engine under test
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
-               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|all]\n"
+               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|chaos|all]\n"
                "       [--load-rates R1,R2,...] [--load-window SEC] [--load-arrival fixed|poisson|ramp|closed]\n"
+               "       [--link-profile wired|cellular] [--no-resilience]\n"
                "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
   std::exit(2);
@@ -108,6 +116,11 @@ Options parse(int argc, char** argv) {
       bool ok = true;
       o.load_arrival = load::arrival_kind_from_string(next(), &ok);
       if (!ok) usage(argv[0]);
+    } else if (arg == "--link-profile") {
+      o.study.link_profile = next();
+      if (!net::LinkProfile::from_name(o.study.link_profile)) usage(argv[0]);
+    } else if (arg == "--no-resilience") {
+      o.no_resilience = true;
     } else if (arg == "--format") {
       o.format = next();
     } else if (arg == "--out") {
@@ -129,8 +142,36 @@ bool wants(const Options& o, const char* name) {
   return o.experiment == "all" || o.experiment == name;
 }
 
-void emit(const Options& o, std::ostream& os) {
+// Returns a process exit status: nonzero when a chaos invariant failed.
+int emit(const Options& o, std::ostream& os) {
   const bool csv = o.format == "csv";
+
+  // The chaos suite drives scripted fault scenarios through the resilience
+  // engine and checks run invariants per cell (docs/RESILIENCE.md). Not part
+  // of "all"; a violated invariant fails the invocation (CI smoke hooks this).
+  if (o.experiment == "chaos") {
+    core::ChaosConfig cfg;
+    cfg.workload = o.study.workload;
+    if (o.sites_set) cfg.sites = o.study.max_sites;
+    cfg.seed = o.study.seed;
+    cfg.jobs = o.study.jobs;
+    cfg.resilience.enabled = !o.no_resilience;
+    if (!o.study.link_profile.empty()) {
+      const auto profile = net::LinkProfile::from_name(o.study.link_profile);
+      browser::apply_link_profile(cfg.vantage, *profile);
+    }
+    const core::ChaosResult result = core::run_chaos(cfg, o.study.observability);
+    if (csv) {
+      os << core::chaos_result_to_csv(result);
+    } else {
+      core::print_chaos_result(os, result);
+    }
+    if (!result.all_passed()) {
+      std::cerr << "chaos: invariant violations detected\n";
+      return 1;
+    }
+    return 0;
+  }
 
   // The load sweep is its own experiment (and deliberately not part of
   // "all": it measures a loaded fleet, not the paper's idle-edge probes).
@@ -149,7 +190,7 @@ void emit(const Options& o, std::ostream& os) {
     } else {
       load::print_load_result(os, result);
     }
-    return;
+    return 0;
   }
   const bool needs_consecutive =
       wants(o, "fig8") || wants(o, "table3") || o.experiment == "all";
@@ -262,6 +303,7 @@ void emit(const Options& o, std::ostream& os) {
       core::print_fig9(os, fig9);
     }
   }
+  return 0;
 }
 
 }  // namespace
@@ -305,14 +347,16 @@ int main(int argc, char** argv) {
   }
 
   if (o.out_path.empty()) {
-    emit(o, std::cout);
-    return flush_observability();
+    const int status = emit(o, std::cout);
+    const int obs_status = flush_observability();
+    return status != 0 ? status : obs_status;
   }
   std::ofstream file(o.out_path);
   if (!file) {
     std::cerr << "cannot open " << o.out_path << " for writing\n";
     return 1;
   }
-  emit(o, file);
-  return flush_observability();
+  const int status = emit(o, file);
+  const int obs_status = flush_observability();
+  return status != 0 ? status : obs_status;
 }
