@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -115,6 +117,18 @@ inline std::string git_sha() {
 #endif
 }
 
+/// Peak resident set size of this process in MiB, from getrusage. Linux
+/// reports ru_maxrss in KiB, macOS in bytes; 0.0 when the call fails.
+inline double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
 inline std::string bench_name_from_argv0(const char* argv0) {
   std::string name = argv0 == nullptr ? "" : argv0;
   if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
@@ -173,6 +187,7 @@ inline std::string write_bench_report(const BenchReport& report) {
 /// the reproduce wall time is always recorded.
 template <typename Fn>
 int run_bench_main(int argc, char** argv, const char* title, Fn&& reproduce) {
+  const auto process_start = std::chrono::steady_clock::now();
   bool timing = true;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--notiming") timing = false;
@@ -194,6 +209,12 @@ int run_bench_main(int argc, char** argv, const char* title, Fn&& reproduce) {
   const auto stop = std::chrono::steady_clock::now();
   report.add("reproduce_wall_ms", std::chrono::duration<double, std::milli>(stop - start).count(),
              "ms");
+  // Whole-process resource footprint: total wall time (timing loops included)
+  // and the peak RSS high-water mark, so trajectory tracking catches runtime
+  // and memory regressions alongside the headline numbers.
+  report.add("wall_time_ms",
+             std::chrono::duration<double, std::milli>(stop - process_start).count(), "ms");
+  report.add("peak_rss_mb", peak_rss_mb(), "mb");
   const std::string path = write_bench_report(report);
   if (!path.empty()) std::cerr << "wrote " << path << "\n";
   return 0;

@@ -91,14 +91,15 @@ void print_chaos_recovery(std::ostream& os, const core::ChaosResult& on,
   os << "\n--- Chaos recovery cells: resilience engine on vs off ---\n";
   os << std::left << std::setw(22) << "scenario" << std::right << std::setw(12) << "p95 on"
      << std::setw(12) << "p95 off" << std::setw(10) << "fail on" << std::setw(10) << "fail off"
-     << std::setw(14) << "resumed KB" << std::setw(10) << "hedges" << "\n";
+     << std::setw(14) << "resumed KB" << std::setw(10) << "hedges" << std::setw(10)
+     << "mttr ms" << "\n";
   for (const auto& row : on.rows) {
     const core::ChaosCellRow* other = chaos_row(off, row.scenario.c_str());
     os << std::left << std::setw(22) << row.scenario << std::right << std::setw(12)
        << row.plt_p95_ms << std::setw(12) << (other ? other->plt_p95_ms : 0.0) << std::setw(10)
        << row.failed_visits << std::setw(10) << (other ? other->failed_visits : 0)
        << std::setw(14) << static_cast<double>(row.resumed_bytes) / 1024.0 << std::setw(10)
-       << row.hedges_launched << "\n";
+       << row.hedges_launched << std::setw(10) << row.mttr_ms << "\n";
   }
 }
 
@@ -177,6 +178,24 @@ int main(int argc, char** argv) {
                      static_cast<double>(kill_on->failed_visits), "count");
           report.add("chaos_midkill_failed_visits_noengine",
                      static_cast<double>(kill_off->failed_visits), "count");
+        }
+        // Time-resolved fault->recovery numbers (docs/OBSERVABILITY.md):
+        // per-scenario MTTR against the scripted fault window, how many
+        // timeline windows carried a degraded signal, and how fast the
+        // breaker reacted. MTTR is finite for every cell by construction
+        // (a cell with no degraded window reports 0), so CI can assert on
+        // these unconditionally.
+        for (const auto& row : chaos_on.rows) {
+          std::string tag = row.scenario;
+          for (char& c : tag) {
+            if (c == '-') c = '_';
+          }
+          report.add("chaos_mttr_" + tag, row.mttr_ms, "ms");
+          report.add("chaos_degraded_windows_" + tag,
+                     static_cast<double>(row.degraded_windows), "count");
+          if (row.time_to_breaker_open_ms >= 0.0) {
+            report.add("chaos_breaker_open_" + tag, row.time_to_breaker_open_ms, "ms");
+          }
         }
         std::uint64_t hedges_launched = 0;
         std::uint64_t hedges_won = 0;

@@ -14,10 +14,14 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/fault_window.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
 #include "obs/trace_hub.h"
 #include "obs/waterfall.h"
 
@@ -36,6 +40,12 @@ struct ObservabilityConfig {
   // Cap on collected waterfalls (one per page visit). 0 = unlimited. Split
   // across shards like max_traces.
   std::size_t max_waterfalls = 0;
+  // Window width of the sim-time timeline (timeline.{json,csv}); every shard
+  // and chaos cell must use the same width or merge_from aborts.
+  Duration timeline_bucket = msec(250);
+  // Objectives evaluated over the merged timeline into slo.json. Clear to
+  // skip SLO evaluation entirely.
+  std::vector<obs::SloObjective> slo = obs::default_slo_objectives();
 
   /// The per-shard slice of this config: caps are divided evenly (rounded
   /// up) across `shard_count` shards so every shard gets a deterministic
@@ -46,12 +56,15 @@ struct ObservabilityConfig {
 
 class RunObservability {
  public:
-  explicit RunObservability(ObservabilityConfig config = {}) : config_(config) {}
+  explicit RunObservability(ObservabilityConfig config = {})
+      : config_(std::move(config)), timeline_(config_.timeline_bucket) {}
   RunObservability(const RunObservability&) = delete;
   RunObservability& operator=(const RunObservability&) = delete;
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] obs::TimelineRecorder& timeline() { return timeline_; }
+  [[nodiscard]] const obs::TimelineRecorder& timeline() const { return timeline_; }
   [[nodiscard]] obs::PhaseProfiler& profiler() { return profiler_; }
   [[nodiscard]] const obs::PhaseProfiler& profiler() const { return profiler_; }
   [[nodiscard]] obs::TraceAggregator& traces() { return traces_; }
@@ -70,8 +83,15 @@ class RunObservability {
   /// the drop is counted in the `obs.waterfalls_dropped` metric).
   void add_waterfall(obs::Waterfall waterfall);
 
-  /// Folds a per-shard sink into this run-level one: metrics and profiler
-  /// phases merge (obs::MetricsRegistry::merge_from semantics), the shard's
+  /// Records one scenario's fault->recovery annotation (chaos harness).
+  void add_fault_annotation(obs::FaultAnnotation annotation);
+  [[nodiscard]] const std::vector<obs::FaultAnnotation>& fault_annotations() const {
+    return fault_annotations_;
+  }
+
+  /// Folds a per-shard sink into this run-level one: metrics, the timeline
+  /// (bucket-wise), fault annotations, and profiler phases merge
+  /// (obs::MetricsRegistry::merge_from semantics), the shard's
   /// traces are appended after the ones already registered, and its
   /// waterfalls are re-admitted through add_waterfall (so the run-level
   /// max_waterfalls cap still binds). Callers must merge shards in canonical
@@ -81,16 +101,20 @@ class RunObservability {
 
   /// Writes metrics.json/csv/prom, qlog.json, waterfalls.json,
   /// attribution.json (critical-path PLT dissection of the collected
-  /// waterfalls), and profile.json into `dir` (created if missing). Returns
-  /// false and fills `error` on I/O failure.
+  /// waterfalls), profile.json, timeline.{json,csv}, slo.json,
+  /// fault_recovery.json (when annotations exist), and trace.perfetto.json
+  /// into `dir` (created if missing). Returns false and fills `error` on I/O
+  /// failure.
   bool write_artifacts(const std::string& dir, std::string* error = nullptr) const;
 
  private:
   ObservabilityConfig config_;
   obs::MetricsRegistry metrics_;
+  obs::TimelineRecorder timeline_;
   obs::PhaseProfiler profiler_;
   obs::TraceAggregator traces_;
   std::vector<obs::Waterfall> waterfalls_;
+  std::vector<obs::FaultAnnotation> fault_annotations_;
   std::size_t connection_traces_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "browser/waterfall.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "sim/simulator.h"
 #include "tls/ticket_store.h"
 #include "util/check.h"
@@ -27,6 +28,7 @@ ShardResult ProbeRunTask::run() const {
   // Install this shard's sinks on the executing thread only (the pointers
   // are thread_local); concurrent shards never observe each other.
   obs::ScopedMetrics scoped_metrics(sink ? &sink->metrics() : nullptr);
+  obs::ScopedTimeline scoped_timeline(sink ? &sink->timeline() : nullptr);
   obs::ScopedProfiler scoped_profiler(sink ? &sink->profiler() : nullptr);
 
   // Seed derivation is identical to the sequential study loop: the root is

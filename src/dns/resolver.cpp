@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "util/check.h"
 
 namespace h3cdn::dns {
@@ -124,6 +125,7 @@ void Resolver::report_failure(const std::string& name, TimePoint now) {
   if (record == nullptr || record->address_count <= 1) return;
   ++stats_.failover_reports;
   obs::count("dns.failover.reports");
+  obs::tl_count("dns.failover.reports", now);
   if (record->unhealthy_until.size() < record->address_count) {
     record->unhealthy_until.resize(record->address_count, TimePoint{0});
   }
@@ -134,6 +136,7 @@ void Resolver::report_failure(const std::string& name, TimePoint now) {
       record->preferred = candidate;
       ++stats_.failover_switches;
       obs::count("dns.failover.switches");
+      obs::tl_count("dns.failover.switches", now);
       return;
     }
   }
@@ -147,6 +150,7 @@ void Resolver::report_failure(const std::string& name, TimePoint now) {
     record->preferred = best;
     ++stats_.failover_switches;
     obs::count("dns.failover.switches");
+    obs::tl_count("dns.failover.switches", now);
   }
 }
 
@@ -154,6 +158,7 @@ void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> d
   H3CDN_EXPECTS(done != nullptr);
   ++stats_.queries;
   obs::count("dns.queries");
+  obs::tl_count("dns.queries", sim_.now());
   if (const auto record = cache_.lookup(name, sim_.now())) {
     if (record->negative_valid_at(sim_.now())) {
       ++stats_.stub_cache_hits;
@@ -165,13 +170,15 @@ void Resolver::resolve(const std::string& name, std::function<void(TimePoint)> d
     // expired: the dual-stack query pair must go out again (RFC 2308).
     ++stats_.negative_expiries;
     obs::count("dns.negative_expiries");
+    obs::tl_count("dns.negative_expiries", sim_.now());
   }
-  if (obs::enabled()) {
+  if (obs::enabled() || obs::TimelineRecorder::global() != nullptr) {
     // Wrap the callback to record end-to-end resolve latency (cold path only;
     // the stub-cache hit above is instantaneous).
     const TimePoint started = sim_.now();
     done = [started, done = std::move(done)](TimePoint at) {
       obs::observe_ms("dns.resolve_ms", at - started);
+      obs::tl_observe_ms("dns.resolve_ms", started, at - started);
       done(at);
     };
   }

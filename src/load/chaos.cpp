@@ -10,6 +10,7 @@
 #include "load/fleet.h"
 #include "net/link_profile.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -89,6 +90,43 @@ std::vector<ChaosScenario> default_chaos_scenarios() {
   return s;
 }
 
+obs::FaultWindowSpec scripted_fault_window(const ChaosScenario& scenario) {
+  obs::FaultWindowSpec spec;
+  spec.scenario = scenario.name;
+
+  bool any_outage = false;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  const auto fold_outages = [&](const net::FaultProfile& profile) {
+    for (const auto& o : profile.outages) {
+      const double o_start = to_ms(o.start - TimePoint{0});
+      const double o_end = o_start + to_ms(o.duration);
+      if (!any_outage) {
+        start_ms = o_start;
+        end_ms = o_end;
+        any_outage = true;
+      } else {
+        start_ms = std::min(start_ms, o_start);
+        end_ms = std::max(end_ms, o_end);
+      }
+    }
+  };
+  fold_outages(scenario.access_fault);
+  fold_outages(scenario.primary_path_fault);
+
+  if (any_outage) {
+    spec.faulted = true;
+    spec.start_ms = start_ms;
+    spec.end_ms = end_ms;
+  } else if (scenario.kill_response_at_bytes > 0 || scenario.capacity_storm) {
+    // Whole-run condition: the fault is armed from the first arrival on.
+    spec.faulted = true;
+    spec.start_ms = 0.0;
+    spec.end_ms = to_ms(scenario.window);
+  }
+  return spec;
+}
+
 bool ChaosResult::all_passed() const {
   for (const ChaosCellRow& row : rows) {
     if (!row.violations.empty()) return false;
@@ -101,6 +139,8 @@ namespace {
 struct CellShard {
   ChaosCellRow row;
   std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TimelineRecorder> timeline;
+  obs::FaultAnnotation annotation;
 };
 
 void merge_fault_profile(net::FaultProfile& into, const net::FaultProfile& from) {
@@ -111,8 +151,10 @@ void merge_fault_profile(net::FaultProfile& into, const net::FaultProfile& from)
 
 ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& config,
                             const ChaosScenario& sc, std::size_t index,
-                            obs::MetricsRegistry* metrics) {
+                            obs::MetricsRegistry* metrics, obs::TimelineRecorder* timeline,
+                            obs::FaultAnnotation* annotation) {
   obs::ScopedMetrics scoped(metrics);
+  obs::ScopedTimeline scoped_timeline(timeline);
   sim::Simulator sim;
   util::Rng root(util::derive_seed({config.seed, 0xC4A05ULL, index}));
 
@@ -191,6 +233,16 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
   row.h3_broken_marks = cval("http.pool.h3_fallbacks");
   row.phase_residual_ms = std::abs(out.phase_sum.sum() - plt_sum_ms);
 
+  // Fault->recovery annotation: measured against the scripted fault window.
+  const obs::FaultAnnotation a = obs::annotate_fault_recovery(*timeline, scripted_fault_window(sc));
+  row.degraded_windows = a.degraded_windows;
+  row.detection_ms = a.detection_ms;
+  row.recovery_ms = a.recovery_ms;
+  row.mttr_ms = a.mttr_ms;
+  row.time_to_breaker_open_ms = a.time_to_breaker_open_ms;
+  row.time_to_breaker_close_ms = a.time_to_breaker_close_ms;
+  *annotation = a;
+
   // --- Invariants (ISSUE 6): checked per cell, reported per row. ----------
   auto violate = [&](const std::string& what) { row.violations.push_back(what); };
 
@@ -229,6 +281,15 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
   if (sc.expect_faults && row.connection_deaths + row.connections_refused == 0) {
     violate("inert-scenario: no deaths or refusals observed");
   }
+  // The timeline must localize every expected fault: at least one window
+  // carries a degraded signal, and the derived MTTR stays finite (MTTR is
+  // finite by construction; this guards the timeline wiring itself).
+  if (sc.expect_faults && row.degraded_windows == 0) {
+    violate("timeline-blind: expected faults left no degraded window");
+  }
+  if (!std::isfinite(row.mttr_ms) || row.mttr_ms < 0.0) {
+    violate("mttr-not-finite: " + std::to_string(row.mttr_ms));
+  }
   if (sc.expect_no_h3_broken && row.h3_broken_marks != 0) {
     violate("refusal-marked-h3-broken: " + std::to_string(row.h3_broken_marks) + " marks");
   }
@@ -259,20 +320,31 @@ ChaosResult run_chaos(const ChaosConfig& config, core::RunObservability* observa
   jobs = std::min(jobs, n_cells);
   util::ThreadPool pool(jobs);
 
+  // Cells inherit the sink's timeline bucket so the canonical merge below
+  // never mixes widths.
+  const Duration bucket = observability != nullptr
+                              ? observability->timeline().bucket_width()
+                              : config.timeline_bucket;
+
   // One shard per scenario; fold in canonical scenario order afterwards.
   std::vector<CellShard> shards(n_cells);
   pool.parallel_for(n_cells, [&](std::size_t cell) {
     CellShard& shard = shards[cell];
     shard.metrics = std::make_unique<obs::MetricsRegistry>();
+    shard.timeline = std::make_unique<obs::TimelineRecorder>(bucket);
     shard.row = run_chaos_cell(workload, config, config.scenarios[cell], cell,
-                               shard.metrics.get());
+                               shard.metrics.get(), shard.timeline.get(), &shard.annotation);
   });
 
   ChaosResult result;
   result.sites = std::min(config.sites, workload.sites.size());
   result.resilience_enabled = config.resilience.enabled;
   for (CellShard& shard : shards) {
-    if (observability != nullptr) observability->metrics().merge_from(*shard.metrics);
+    if (observability != nullptr) {
+      observability->metrics().merge_from(*shard.metrics);
+      observability->timeline().merge_from(*shard.timeline);
+      observability->add_fault_annotation(shard.annotation);
+    }
     result.rows.push_back(std::move(shard.row));
   }
   return result;
@@ -283,7 +355,7 @@ void print_chaos_result(std::ostream& os, const ChaosResult& result) {
      << " sites, resilience " << (result.resilience_enabled ? "on" : "off") << " ==\n";
   util::AsciiTable t({"scenario", "proto", "visits", "failed", "plt p50", "plt p95",
                       "retries", "hedges", "won", "resumed KB", "demoted", "switches",
-                      "deaths", "refused", "invariants"});
+                      "deaths", "refused", "mttr ms", "invariants"});
   for (const ChaosCellRow& r : result.rows) {
     t.add_row({r.scenario, r.h3 ? "h3" : "h2",
                std::to_string(r.visits) + "/" + std::to_string(r.arrivals),
@@ -293,7 +365,7 @@ void print_chaos_result(std::ostream& os, const ChaosResult& result) {
                util::fmt(static_cast<double>(r.resumed_bytes) / 1024.0, 1),
                std::to_string(r.breaker_demotions), std::to_string(r.failover_switches),
                std::to_string(r.connection_deaths), std::to_string(r.connections_refused),
-               r.violations.empty() ? "pass" : "FAIL"});
+               util::fmt(r.mttr_ms, 1), r.violations.empty() ? "pass" : "FAIL"});
   }
   os << t.to_string();
   for (const ChaosCellRow& r : result.rows) {
@@ -309,7 +381,8 @@ std::string chaos_result_to_csv(const ChaosResult& result) {
         "entries_submitted,entries_completed,entries_failed,retries,hedges_launched,"
         "hedges_won,hedges_lost,hedges_cancelled,resumed_requests,resumed_bytes,"
         "breaker_opened,breaker_demotions,failover_switches,connection_deaths,"
-        "connections_refused,h3_broken_marks,phase_residual_ms,violations\n";
+        "connections_refused,h3_broken_marks,phase_residual_ms,degraded_windows,"
+        "detection_ms,recovery_ms,mttr_ms,breaker_open_ms,breaker_close_ms,violations\n";
   for (const ChaosCellRow& r : result.rows) {
     os << r.scenario << ',' << (r.h3 ? "h3" : "h2") << ',' << r.arrivals << ','
        << r.visits << ',' << r.failed_visits << ',' << util::fmt(r.plt_p50_ms, 3) << ','
@@ -319,7 +392,11 @@ std::string chaos_result_to_csv(const ChaosResult& result) {
        << r.hedges_cancelled << ',' << r.resumed_requests << ',' << r.resumed_bytes << ','
        << r.breaker_opened << ',' << r.breaker_demotions << ',' << r.failover_switches
        << ',' << r.connection_deaths << ',' << r.connections_refused << ','
-       << r.h3_broken_marks << ',' << util::fmt(r.phase_residual_ms, 6) << ',';
+       << r.h3_broken_marks << ',' << util::fmt(r.phase_residual_ms, 6) << ','
+       << r.degraded_windows << ',' << util::fmt(r.detection_ms, 3) << ','
+       << util::fmt(r.recovery_ms, 3) << ',' << util::fmt(r.mttr_ms, 3) << ','
+       << util::fmt(r.time_to_breaker_open_ms, 3) << ','
+       << util::fmt(r.time_to_breaker_close_ms, 3) << ',';
     for (std::size_t i = 0; i < r.violations.size(); ++i) {
       if (i > 0) os << '|';
       os << r.violations[i];

@@ -70,6 +70,13 @@ struct ChaosScenario {
   bool expect_faults = false;       // >= 1 connection death or refusal seen
 };
 
+/// The scripted fault interval of a scenario, derived from its schedule:
+/// outage scenarios span [earliest outage start, latest outage end];
+/// whole-run conditions (mid-transfer kills, capacity storms) span the
+/// arrival window; fault-free cells report faulted = false. This is the
+/// reference window MTTR is measured against.
+obs::FaultWindowSpec scripted_fault_window(const ChaosScenario& scenario);
+
 /// The shipped suite: a fault-free baseline plus six fault scenarios.
 std::vector<ChaosScenario> default_chaos_scenarios();
 
@@ -87,6 +94,10 @@ struct ChaosConfig {
   browser::BrowserConfig browser;
   std::uint64_t seed = 20240131;
   int jobs = 1;  // 0 = hardware concurrency
+  // Timeline window width for the per-cell recorders. Ignored when an
+  // observability sink is attached: cells then inherit the sink's bucket so
+  // the merged timeline is well-formed.
+  Duration timeline_bucket = msec(250);
 };
 
 /// One scenario cell's outcome: fleet-level results, the resilience counters
@@ -116,6 +127,15 @@ struct ChaosCellRow {
   std::uint64_t connections_refused = 0;
   std::uint64_t h3_broken_marks = 0;
   double phase_residual_ms = 0.0;  // |sum over visits of (phase sum - PLT)|
+  // Fault->recovery annotation from the cell's timeline (obs/fault_window.h).
+  // MTTR is finite for every scenario: a cell whose fault never degraded a
+  // window (and the fault-free baseline) reports mttr_ms == 0.
+  std::size_t degraded_windows = 0;
+  double detection_ms = -1.0;  // -1: never degraded
+  double recovery_ms = -1.0;
+  double mttr_ms = 0.0;
+  double time_to_breaker_open_ms = -1.0;   // -1: breaker never opened
+  double time_to_breaker_close_ms = -1.0;  // -1: never closed after opening
   std::vector<std::string> violations;  // empty = every invariant held
 };
 
@@ -128,8 +148,10 @@ struct ChaosResult {
 };
 
 /// Runs every scenario cell (parallel across cells, deterministic merge).
-/// When `observability` is non-null each cell's metrics merge into it in
-/// canonical scenario order — byte-identical output at any --jobs.
+/// When `observability` is non-null each cell's metrics and timeline merge
+/// into it in canonical scenario order — byte-identical output at any
+/// --jobs — and every cell's fault->recovery annotation is recorded for the
+/// fault_recovery.json artifact.
 ChaosResult run_chaos(const ChaosConfig& config,
                       core::RunObservability* observability = nullptr);
 

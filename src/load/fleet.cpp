@@ -2,6 +2,7 @@
 
 #include "browser/waterfall.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "util/check.h"
 
 namespace h3cdn::load {
@@ -74,6 +75,7 @@ FleetOutcome Fleet::run() {
     if (arrivals.size() > config_.max_visits) {
       outcome_.arrivals_capped = arrivals.size() - config_.max_visits;
       obs::count("load.arrivals_capped", outcome_.arrivals_capped);
+      obs::tl_count("load.arrivals_capped", sim_.now(), outcome_.arrivals_capped);
       arrivals.resize(config_.max_visits);
     }
     future_ = arrivals.size();
@@ -94,6 +96,7 @@ void Fleet::start_visit(std::size_t visit_seq) {
   ++visit_counter_;
   ++outcome_.arrivals;
   obs::count("load.arrivals");
+  obs::tl_count("load.arrivals", sim_.now());
   const web::WebPage& page = workload_.sites[visit_seq % site_count_].page;
   const std::size_t ci = checkout_client();
   const TimePoint arrived = sim_.now();
@@ -108,6 +111,7 @@ void Fleet::user_visit(std::size_t user) {
   ++active_;
   ++outcome_.arrivals;
   obs::count("load.arrivals");
+  obs::tl_count("load.arrivals", sim_.now());
   const web::WebPage& page = workload_.sites[visit_counter_++ % site_count_].page;
   const TimePoint arrived = sim_.now();
   clients_[user]->browser.visit(
@@ -153,12 +157,20 @@ void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id, TimePo
   const auto cp = obs::analyze_critical_path(browser::make_waterfall(result.har));
   outcome_.phase_sum += cp.phases;
 
+  const TimePoint finished = sim_.now();
   obs::count("load.visits");
+  obs::tl_count("load.visits", finished);
   if (rec.root_failed) {
     obs::count("load.visits_failed");
+    obs::tl_count("load.visits_failed", finished);
   } else {
     obs::observe("load.plt_ms", to_ms(rec.plt));
     obs::observe("load.ttfb_ms", to_ms(rec.ttfb));
+    // Timeline samples land at the visit's ARRIVAL window: the latency of a
+    // page is a property of when its load started, which is what lines a PLT
+    // spike up against the fault window that caused it.
+    obs::tl_observe("load.plt_ms", arrived, to_ms(rec.plt));
+    obs::tl_observe("load.ttfb_ms", arrived, to_ms(rec.ttfb));
   }
   outcome_.visits.push_back(rec);
 }
@@ -172,6 +184,10 @@ void Fleet::sample_tick() {
   obs::observe("load.concurrent_connections",
                static_cast<double>(s.concurrent_connections));
   obs::observe("load.busy_cores", static_cast<double>(s.busy_cores));
+  obs::tl_gauge_set("load.queue_depth", now, static_cast<double>(s.accept_backlog));
+  obs::tl_gauge_set("load.concurrent_connections", now,
+                    static_cast<double>(s.concurrent_connections));
+  obs::tl_gauge_set("load.busy_cores", now, static_cast<double>(s.busy_cores));
   if (active_ + future_ > 0) {
     sim_.schedule_in(config_.queue_sample_interval, [this] { sample_tick(); });
   }

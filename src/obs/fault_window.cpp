@@ -1,0 +1,106 @@
+#include "obs/fault_window.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace h3cdn::obs {
+
+const std::vector<std::string>& fault_signal_series() {
+  static const std::vector<std::string> kSeries = {
+      "http.pool.connection_deaths",
+      "http.pool.connections_refused",
+      "load.visits_failed",
+  };
+  return kSeries;
+}
+
+FaultAnnotation annotate_fault_recovery(const TimelineRecorder& timeline,
+                                        const FaultWindowSpec& spec) {
+  FaultAnnotation a;
+  a.scenario = spec.scenario;
+  a.faulted = spec.faulted;
+  a.fault_start_ms = spec.faulted ? spec.start_ms : 0.0;
+  a.fault_end_ms = spec.faulted ? spec.end_ms : 0.0;
+
+  const double bucket_ms = to_ms(timeline.bucket_width());
+  const std::int64_t span = timeline.span_buckets();
+
+  // A window is degraded when any fault-signal counter incremented in it.
+  std::int64_t first_degraded = -1;
+  std::int64_t last_degraded = -1;
+  for (std::int64_t window = 0; window < span; ++window) {
+    bool degraded = false;
+    for (const std::string& series : fault_signal_series()) {
+      if (timeline.counter_in_range(series, window, window) > 0) {
+        degraded = true;
+        break;
+      }
+    }
+    if (!degraded) continue;
+    ++a.degraded_windows;
+    if (first_degraded < 0) first_degraded = window;
+    last_degraded = window;
+  }
+
+  if (first_degraded >= 0) {
+    a.detection_ms = static_cast<double>(first_degraded) * bucket_ms;
+    a.recovery_ms = static_cast<double>(last_degraded + 1) * bucket_ms;
+    a.mttr_ms = std::max(0.0, a.recovery_ms - a.fault_start_ms);
+  } else {
+    // The fault never degraded anything (or there was no fault): nothing to
+    // repair, so recovery is instantaneous. Keeps MTTR finite for every cell.
+    a.mttr_ms = 0.0;
+  }
+
+  // Breaker reaction: first window with an `opened` transition after fault
+  // start, then the first `closed` transition at/after it.
+  const std::int64_t fault_window =
+      bucket_ms > 0.0 ? static_cast<std::int64_t>(a.fault_start_ms / bucket_ms) : 0;
+  std::int64_t opened_window = -1;
+  for (std::int64_t window = fault_window; window < span; ++window) {
+    if (timeline.counter_in_range("resilience.breaker.opened", window, window) > 0) {
+      opened_window = window;
+      break;
+    }
+  }
+  if (opened_window >= 0) {
+    a.time_to_breaker_open_ms =
+        std::max(0.0, static_cast<double>(opened_window) * bucket_ms - a.fault_start_ms);
+    for (std::int64_t window = opened_window; window < span; ++window) {
+      if (timeline.counter_in_range("resilience.breaker.closed", window, window) > 0) {
+        a.time_to_breaker_close_ms =
+            std::max(0.0, static_cast<double>(window) * bucket_ms - a.fault_start_ms);
+        break;
+      }
+    }
+  }
+  return a;
+}
+
+std::string fault_annotations_to_json(const std::vector<FaultAnnotation>& annotations,
+                                      double bucket_ms) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bucket_ms", bucket_ms);
+  w.key("annotations").begin_array();
+  for (const FaultAnnotation& a : annotations) {
+    w.begin_object();
+    w.kv("scenario", a.scenario);
+    w.kv("faulted", a.faulted);
+    w.kv("fault_start_ms", a.fault_start_ms);
+    w.kv("fault_end_ms", a.fault_end_ms);
+    w.kv("degraded_windows", static_cast<std::uint64_t>(a.degraded_windows));
+    w.kv("detection_ms", a.detection_ms);
+    w.kv("recovery_ms", a.recovery_ms);
+    w.kv("mttr_ms", a.mttr_ms);
+    w.kv("time_to_breaker_open_ms", a.time_to_breaker_open_ms);
+    w.kv("time_to_breaker_close_ms", a.time_to_breaker_close_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace h3cdn::obs

@@ -1,0 +1,62 @@
+// Fault -> detection -> recovery annotation over a timeline.
+//
+// A chaos scenario scripts a fault window (an outage interval, or a
+// whole-run condition like mid-transfer kills or a capacity storm). This
+// module turns the scenario's TimelineRecorder into an MTTR annotation:
+//
+//   detection_ms  start of the first DEGRADED window at/after fault start
+//                 (a window is degraded when any fault-signal counter —
+//                 connection deaths, admission refusals, failed visits —
+//                 incremented in it);
+//   recovery_ms   end of the LAST degraded window: from that instant on the
+//                 run never showed the fault again;
+//   mttr_ms       recovery_ms - fault_start_ms, clamped to >= 0. A scenario
+//                 whose fault never degraded anything (or scripted no fault)
+//                 recovers instantly: MTTR = 0. MTTR is therefore always
+//                 finite — the h3cdn_obs_report --check contract.
+//
+// Breaker reaction times come from the resilience.breaker.* timeline series:
+// time-to-open is the first window with an `opened` transition minus fault
+// start, time-to-close the first window with a `closed` transition after it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace h3cdn::obs {
+
+/// The scripted fault interval of one scenario, in sim-time milliseconds.
+struct FaultWindowSpec {
+  std::string scenario;
+  bool faulted = false;  // false: fault-free cell (baseline)
+  double start_ms = 0.0;
+  double end_ms = 0.0;  // end of the scripted fault condition
+};
+
+struct FaultAnnotation {
+  std::string scenario;
+  bool faulted = false;
+  double fault_start_ms = 0.0;
+  double fault_end_ms = 0.0;
+  std::size_t degraded_windows = 0;  // windows with >= 1 fault-signal increment
+  double detection_ms = -1.0;        // -1: never degraded
+  double recovery_ms = -1.0;         // -1: never degraded
+  double mttr_ms = 0.0;              // always finite, >= 0
+  double time_to_breaker_open_ms = -1.0;   // -1: no breaker opened
+  double time_to_breaker_close_ms = -1.0;  // -1: no breaker closed
+};
+
+/// The counter series whose increments mark a window as degraded.
+[[nodiscard]] const std::vector<std::string>& fault_signal_series();
+
+/// Computes the annotation for one scenario cell's private timeline.
+[[nodiscard]] FaultAnnotation annotate_fault_recovery(const TimelineRecorder& timeline,
+                                                      const FaultWindowSpec& spec);
+
+/// {"annotations": [...]} — the fault_recovery.json artifact body.
+[[nodiscard]] std::string fault_annotations_to_json(const std::vector<FaultAnnotation>& annotations,
+                                                    double bucket_ms);
+
+}  // namespace h3cdn::obs

@@ -128,6 +128,44 @@ std::string prometheus_name(const std::string& name) {
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     if (!ok) c = '_';
   }
+  // Metric names must not start with a digit ([a-zA-Z_:] first), which an
+  // arbitrary registry key can violate after sanitization.
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline only.
+std::string prometheus_help_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Label VALUE escaping: backslash, newline, and double quote.
+std::string prometheus_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
   return out;
 }
 
@@ -189,20 +227,25 @@ std::string metrics_to_prometheus(const MetricsRegistry& registry) {
   std::string out;
   for (const auto& [name, c] : registry.counters()) {
     const std::string pname = prometheus_name(name);
+    out += "# HELP " + pname + " Simulated-run counter " + prometheus_help_escape(name) + ".\n";
     out += "# TYPE " + pname + " counter\n";
     out += pname + ' ' + std::to_string(c->value()) + '\n';
   }
   for (const auto& [name, g] : registry.gauges()) {
     const std::string pname = prometheus_name(name);
+    out += "# HELP " + pname + " Simulated-run gauge " + prometheus_help_escape(name) + ".\n";
     out += "# TYPE " + pname + " gauge\n";
     out += pname + ' ' + format_double(g->value()) + '\n';
   }
   for (const auto& [name, h] : registry.histograms()) {
     const std::string pname = prometheus_name(name);
+    out += "# HELP " + pname + " Simulated-run distribution " + prometheus_help_escape(name) +
+           ".\n";
     out += "# TYPE " + pname + " summary\n";
     if (h->count() > 0) {  // quantiles of an empty summary would be fabricated
       const auto quantile = [&](const char* q, double v) {
-        out += pname + "{quantile=\"" + q + "\"} " + format_double(v) + '\n';
+        out += pname + "{quantile=\"" + prometheus_label_escape(q) + "\"} " +
+               format_double(v) + '\n';
       };
       quantile("0.5", h->p50());
       quantile("0.9", h->p90());

@@ -1,0 +1,217 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace h3cdn::obs {
+
+const char* to_string(SloSignal s) {
+  switch (s) {
+    case SloSignal::HistogramQuantile: return "histogram_quantile";
+    case SloSignal::CounterTotal: return "counter_total";
+    case SloSignal::GaugeLast: return "gauge_last";
+  }
+  return "?";
+}
+
+std::vector<SloObjective> default_slo_objectives() {
+  std::vector<SloObjective> out;
+  {
+    SloObjective o;
+    o.name = "plt-p95-under-2s";
+    o.series = "load.plt_ms";
+    o.signal = SloSignal::HistogramQuantile;
+    o.quantile = 0.95;
+    o.threshold = 2000.0;
+    o.error_budget = 0.20;
+    out.push_back(std::move(o));
+  }
+  {
+    SloObjective o;
+    o.name = "no-failed-visits";
+    o.series = "load.visits_failed";
+    o.signal = SloSignal::CounterTotal;
+    o.threshold = 0.0;  // any failed visit makes the window bad
+    o.error_budget = 0.10;
+    out.push_back(std::move(o));
+  }
+  {
+    SloObjective o;
+    o.name = "dns-p99-under-500ms";
+    o.series = "dns.resolve_ms";
+    o.signal = SloSignal::HistogramQuantile;
+    o.quantile = 0.99;
+    o.threshold = 500.0;
+    o.error_budget = 0.10;
+    out.push_back(std::move(o));
+  }
+  {
+    SloObjective o;
+    o.name = "accept-queue-under-32";
+    o.series = "load.queue_depth";
+    o.signal = SloSignal::GaugeLast;
+    o.threshold = 32.0;
+    o.error_budget = 0.10;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+namespace {
+
+/// Signal value of one window, or nullopt when the window is empty.
+std::optional<double> window_signal(const TimelineRecorder& recorder, const SloObjective& o,
+                                    std::int64_t window) {
+  switch (o.signal) {
+    case SloSignal::HistogramQuantile: {
+      const auto series = recorder.histograms().find(o.series);
+      if (series == recorder.histograms().end()) return std::nullopt;
+      const auto bucket = series->second.find(window);
+      if (bucket == series->second.end() || bucket->second.count() == 0) return std::nullopt;
+      return bucket->second.percentile(o.quantile);
+    }
+    case SloSignal::CounterTotal: {
+      const auto series = recorder.counters().find(o.series);
+      if (series == recorder.counters().end()) return std::nullopt;
+      // A counter that exists classifies EVERY window: zero increments in a
+      // window is a real measurement ("nothing failed"), not missing data.
+      const auto bucket = series->second.find(window);
+      return bucket == series->second.end() ? 0.0 : static_cast<double>(bucket->second);
+    }
+    case SloSignal::GaugeLast: {
+      const auto series = recorder.gauges().find(o.series);
+      if (series == recorder.gauges().end()) return std::nullopt;
+      const auto bucket = series->second.find(window);
+      if (bucket == series->second.end()) return std::nullopt;
+      return bucket->second.last;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Burn rate over the trailing `range` windows ending at `last` (inclusive):
+/// bad fraction among classified windows, divided by the error budget. A
+/// trailing range with no classified window burns nothing.
+double trailing_burn(const std::vector<int>& verdicts, std::size_t last, std::size_t range,
+                     double error_budget) {
+  const std::size_t first = last + 1 >= range ? last + 1 - range : 0;
+  std::size_t bad = 0;
+  std::size_t classified = 0;
+  for (std::size_t w = first; w <= last; ++w) {
+    if (verdicts[w] < 0) continue;  // empty
+    ++classified;
+    bad += verdicts[w] > 0 ? 1 : 0;
+  }
+  if (classified == 0) return 0.0;
+  const double fraction = static_cast<double>(bad) / static_cast<double>(classified);
+  return fraction / std::max(error_budget, 1e-9);
+}
+
+SloResult evaluate_one(const TimelineRecorder& recorder, const SloObjective& o,
+                       std::int64_t span) {
+  SloResult r;
+  r.objective = o;
+  r.windows = static_cast<std::size_t>(span);
+  if (span == 0) {
+    r.no_data = true;
+    return r;
+  }
+
+  // Verdict per window: -1 empty, 0 good, 1 bad.
+  std::vector<int> verdicts(r.windows, -1);
+  bool any = false;
+  for (std::int64_t w = 0; w < span; ++w) {
+    const auto signal = window_signal(recorder, o, w);
+    if (!signal.has_value()) {
+      ++r.empty_windows;
+      continue;
+    }
+    any = true;
+    const bool good = o.upper_bound ? *signal <= o.threshold : *signal >= o.threshold;
+    verdicts[static_cast<std::size_t>(w)] = good ? 0 : 1;
+    if (!good) ++r.bad_windows;
+    const bool more_violating =
+        !r.has_worst || (o.upper_bound ? *signal > r.worst_value : *signal < r.worst_value);
+    if (more_violating) {
+      r.worst_value = *signal;
+      r.has_worst = true;
+    }
+  }
+  if (!any) {
+    r.no_data = true;
+    return r;
+  }
+
+  const std::size_t classified = r.windows - r.empty_windows;
+  r.bad_fraction = static_cast<double>(r.bad_windows) / static_cast<double>(std::max<std::size_t>(classified, 1));
+  r.breached = r.bad_fraction > o.error_budget;
+
+  // Multi-window burn sweep. Window lengths clamp to the available span, so
+  // a single-bucket run still evaluates (short == long == 1 window).
+  for (std::size_t w = 0; w < r.windows; ++w) {
+    const double short_burn = trailing_burn(verdicts, w, std::max<std::size_t>(o.short_windows, 1),
+                                            o.error_budget);
+    const double long_burn = trailing_burn(verdicts, w, std::max<std::size_t>(o.long_windows, 1),
+                                           o.error_budget);
+    r.max_short_burn = std::max(r.max_short_burn, short_burn);
+    r.max_long_burn = std::max(r.max_long_burn, long_burn);
+    if (short_burn >= o.short_burn_threshold && long_burn >= o.long_burn_threshold) {
+      r.burn_alert = true;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<SloResult> evaluate_slos(const TimelineRecorder& recorder,
+                                     const std::vector<SloObjective>& objectives) {
+  const std::int64_t span = recorder.span_buckets();
+  std::vector<SloResult> out;
+  out.reserve(objectives.size());
+  for (const SloObjective& o : objectives) out.push_back(evaluate_one(recorder, o, span));
+  return out;
+}
+
+std::string slo_to_json(const TimelineRecorder& recorder, const std::vector<SloResult>& results) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bucket_ms", to_ms(recorder.bucket_width()));
+  w.kv("span_buckets", recorder.span_buckets());
+  w.key("objectives").begin_array();
+  for (const SloResult& r : results) {
+    const SloObjective& o = r.objective;
+    w.begin_object();
+    w.kv("name", o.name);
+    w.kv("series", o.series);
+    w.kv("signal", to_string(o.signal));
+    if (o.signal == SloSignal::HistogramQuantile) w.kv("quantile", o.quantile);
+    w.kv("threshold", o.threshold);
+    w.kv("upper_bound", o.upper_bound);
+    w.kv("error_budget", o.error_budget);
+    w.kv("short_windows", static_cast<std::uint64_t>(o.short_windows));
+    w.kv("long_windows", static_cast<std::uint64_t>(o.long_windows));
+    w.kv("short_burn_threshold", o.short_burn_threshold);
+    w.kv("long_burn_threshold", o.long_burn_threshold);
+    w.kv("windows", static_cast<std::uint64_t>(r.windows));
+    w.kv("empty_windows", static_cast<std::uint64_t>(r.empty_windows));
+    w.kv("bad_windows", static_cast<std::uint64_t>(r.bad_windows));
+    w.kv("bad_fraction", r.bad_fraction);
+    if (r.has_worst) w.kv("worst_value", r.worst_value);
+    w.kv("max_short_burn", r.max_short_burn);
+    w.kv("max_long_burn", r.max_long_burn);
+    w.kv("burn_alert", r.burn_alert);
+    w.kv("breached", r.breached);
+    w.kv("no_data", r.no_data);
+    w.kv("passed", r.passed());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace h3cdn::obs

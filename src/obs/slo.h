@@ -1,0 +1,88 @@
+// SLO specification and evaluator over timeline series.
+//
+// An SloObjective names one timeline series and a per-window threshold on a
+// signal derived from it (a histogram quantile, a counter's window total, or
+// a gauge's last window value). The evaluator walks the dense window range
+// [0, span) classifying each window as good / bad / empty, then runs a
+// Google-SRE-style MULTI-WINDOW BURN-RATE sweep: at every window it computes
+// the error-budget burn over a short and a long trailing range — burn =
+// (bad-window fraction in the range) / error_budget — and raises the paging
+// alert only when BOTH exceed their thresholds at the same instant (the
+// short window gives fast detection, the long window filters blips).
+//
+// Evaluation is pure arithmetic over the recorder's deterministic buckets,
+// so slo.json is byte-identical at any --jobs value like every other
+// artifact. Empty windows are excluded from good/bad accounting (a window in
+// which nothing was measured is evidence of nothing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace h3cdn::obs {
+
+/// Which per-window signal the threshold applies to.
+enum class SloSignal {
+  HistogramQuantile,  // quantile `q` of the window's histogram samples
+  CounterTotal,       // the counter's increment total in the window
+  GaugeLast,          // the last gauge value written in the window
+};
+
+[[nodiscard]] const char* to_string(SloSignal s);
+
+struct SloObjective {
+  std::string name;    // stable kebab-case id ("plt-p95-under-2s")
+  std::string series;  // timeline series the signal reads
+  SloSignal signal = SloSignal::HistogramQuantile;
+  double quantile = 0.95;  // HistogramQuantile only
+  double threshold = 0.0;
+  bool upper_bound = true;  // true: window is good when signal <= threshold
+
+  /// Fraction of (non-empty) windows allowed to be bad before the objective
+  /// is breached; also the denominator of every burn rate.
+  double error_budget = 0.10;
+
+  // Multi-window burn-rate alert: trailing range lengths in windows and the
+  // burn thresholds both must exceed simultaneously.
+  std::size_t short_windows = 4;
+  std::size_t long_windows = 16;
+  double short_burn_threshold = 4.0;
+  double long_burn_threshold = 1.0;
+};
+
+/// One objective's verdict over a timeline.
+struct SloResult {
+  SloObjective objective;
+  std::size_t windows = 0;        // evaluated span (timeline span_buckets)
+  std::size_t empty_windows = 0;  // windows without a sample for the series
+  std::size_t bad_windows = 0;
+  double bad_fraction = 0.0;  // bad / max(1, windows - empty)
+  double worst_value = 0.0;   // most-violating signal value seen
+  bool has_worst = false;     // false when every window was empty
+  double max_short_burn = 0.0;
+  double max_long_burn = 0.0;
+  bool burn_alert = false;  // short AND long burn over threshold at one instant
+  bool breached = false;    // bad_fraction > error_budget
+  bool no_data = false;     // the series never appeared (or span == 0)
+
+  [[nodiscard]] bool passed() const { return !breached && !burn_alert; }
+};
+
+/// The shipped objectives: PLT tail, visit failures, DNS latency tail, and
+/// server queue depth — the budget the chaos/load scenarios are judged
+/// against. Thresholds are generous for fault-free runs and expected to be
+/// breached by the harsher chaos cells (that is what the report shows).
+[[nodiscard]] std::vector<SloObjective> default_slo_objectives();
+
+/// Evaluates every objective over the recorder's dense window range.
+[[nodiscard]] std::vector<SloResult> evaluate_slos(const TimelineRecorder& recorder,
+                                                   const std::vector<SloObjective>& objectives);
+
+/// {"bucket_ms", "objectives": [{spec..., verdict...}]}.
+[[nodiscard]] std::string slo_to_json(const TimelineRecorder& recorder,
+                                      const std::vector<SloResult>& results);
+
+}  // namespace h3cdn::obs

@@ -1,6 +1,7 @@
 #include "resilience/breaker.h"
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "util/check.h"
 
 namespace h3cdn::resilience {
@@ -25,6 +26,7 @@ bool CircuitBreaker::allow(TimePoint now) {
       probes_in_flight_ = 0;
       ++transitions_.half_opened;
       obs::count("resilience.breaker.half_opened");
+      obs::tl_count("resilience.breaker.half_opened", now);
       [[fallthrough]];
     case BreakerState::HalfOpen:
       if (probes_in_flight_ >= config_.half_open_probes) return false;
@@ -46,6 +48,7 @@ void CircuitBreaker::record(TimePoint now, bool success) {
       failures_in_window_ = 0;
       ++transitions_.closed;
       obs::count("resilience.breaker.closed");
+      obs::tl_count("resilience.breaker.closed", now);
     } else {
       open(now);
     }
@@ -77,6 +80,7 @@ void CircuitBreaker::open(TimePoint now) {
   probes_in_flight_ = 0;
   ++transitions_.opened;
   obs::count("resilience.breaker.opened");
+  obs::tl_count("resilience.breaker.opened", now);
 }
 
 CircuitBreaker& BreakerRegistry::get(const std::string& domain, const char* proto) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 namespace h3cdn::core {
 namespace {
@@ -100,6 +101,55 @@ TEST(Chaos, MidTransferKillNeedsTheEngineToCompletePages) {
   EXPECT_EQ(off->resumed_bytes, 0u) << "legacy rescue must not send Range requests";
   EXPECT_LT(on->failed_visits, off->failed_visits)
       << "resumption should complete pages the legacy rescue loses";
+}
+
+TEST(Chaos, EveryCellYieldsAFiniteMttrConsistentWithItsScriptedWindow) {
+  // The fault->recovery annotation contract (docs/OBSERVABILITY.md): MTTR is
+  // finite for every scenario, ties out against the scripted fault window,
+  // and detection implies degradation (and vice versa).
+  const ChaosConfig cfg = small_config();
+  const ChaosResult result = run_chaos(cfg);
+  EXPECT_TRUE(result.all_passed()) << violations_of(result);
+  for (const auto& row : result.rows) {
+    SCOPED_TRACE(row.scenario);
+    ASSERT_TRUE(std::isfinite(row.mttr_ms));
+    EXPECT_GE(row.mttr_ms, 0.0);
+    EXPECT_EQ(row.degraded_windows > 0, row.detection_ms >= 0.0);
+    EXPECT_EQ(row.degraded_windows > 0, row.recovery_ms >= 0.0);
+    if (row.degraded_windows == 0) {
+      EXPECT_DOUBLE_EQ(row.mttr_ms, 0.0);  // nothing degraded: instant recovery
+      continue;
+    }
+    EXPECT_GE(row.recovery_ms, row.detection_ms);
+    const ChaosScenario* scenario = nullptr;
+    for (const auto& sc : cfg.scenarios) {
+      if (sc.name == row.scenario) scenario = &sc;
+    }
+    ASSERT_NE(scenario, nullptr);
+    const obs::FaultWindowSpec spec = scripted_fault_window(*scenario);
+    const double fault_start = spec.faulted ? spec.start_ms : 0.0;
+    EXPECT_DOUBLE_EQ(row.mttr_ms, std::max(0.0, row.recovery_ms - fault_start));
+    if (scenario->expect_faults) {
+      EXPECT_GT(row.degraded_windows, 0u) << "scripted fault left no timeline trace";
+    }
+  }
+
+  // The scripted windows themselves: a scenario with an explicit schedule —
+  // outages, a kill offset, a capacity storm — carries a positive interval;
+  // cells whose only stressor is a link profile (cellular-burst) or nothing
+  // at all (baseline) are unfaulted specs measured from t=0.
+  for (const auto& sc : cfg.scenarios) {
+    const obs::FaultWindowSpec spec = scripted_fault_window(sc);
+    SCOPED_TRACE(sc.name);
+    const bool scripted = !sc.access_fault.outages.empty() ||
+                          !sc.primary_path_fault.outages.empty() ||
+                          sc.kill_response_at_bytes > 0 || sc.capacity_storm;
+    EXPECT_EQ(spec.faulted, scripted);
+    if (scripted) {
+      EXPECT_GE(spec.start_ms, 0.0);
+      EXPECT_GT(spec.end_ms, spec.start_ms);
+    }
+  }
 }
 
 TEST(Chaos, CsvCarriesOneRowPerScenarioWithStableHeader) {

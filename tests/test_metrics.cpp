@@ -182,9 +182,48 @@ TEST(Metrics, PrometheusExportSanitizesNames) {
   EXPECT_NE(prom.find("# TYPE http_entry_total_ms summary\n"), std::string::npos);
   EXPECT_NE(prom.find("http_entry_total_ms{quantile=\"0.99\"}"), std::string::npos);
   EXPECT_NE(prom.find("http_entry_total_ms_count 1\n"), std::string::npos);
-  // No unsanitized metric names survive (dots in values/labels are fine).
-  EXPECT_EQ(prom.find("net.link"), std::string::npos);
-  EXPECT_EQ(prom.find("http.entry"), std::string::npos);
+  // No unsanitized metric name survives at a sample-line start (the # HELP
+  // text deliberately carries the original dotted series name).
+  EXPECT_EQ(prom.find("\nnet.link"), std::string::npos);
+  EXPECT_EQ(prom.find("\nhttp.entry"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExportCarriesHelpLines) {
+  // Exposition-format compliance: every family gets a # HELP line naming the
+  // original (pre-sanitization) series, immediately before its # TYPE line.
+  MetricsRegistry reg;
+  reg.counter("net.link.packets_dropped").inc(9);
+  reg.gauge("http.pool.open_connections").set(4.0);
+  reg.histogram("dns.resolve_ms").observe(10.0);
+  const std::string prom = metrics_to_prometheus(reg);
+  EXPECT_NE(prom.find("# HELP net_link_packets_dropped Simulated-run counter "
+                      "net.link.packets_dropped.\n# TYPE net_link_packets_dropped counter\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# HELP http_pool_open_connections "), std::string::npos);
+  EXPECT_NE(prom.find("# HELP dns_resolve_ms "), std::string::npos);
+}
+
+TEST(Metrics, PrometheusNamesNeverStartWithADigit) {
+  // An arbitrary registry key can sanitize to a digit-first name, which the
+  // exposition grammar forbids ([a-zA-Z_:] first); a '_' prefix restores it.
+  MetricsRegistry reg;
+  reg.counter("0rtt.accepted").inc(3);
+  const std::string prom = metrics_to_prometheus(reg);
+  EXPECT_NE(prom.find("# TYPE _0rtt_accepted counter\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("_0rtt_accepted 3\n"), std::string::npos);
+  EXPECT_EQ(prom.find("\n0rtt_accepted"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusHelpEscapesBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.counter("weird\\name\nwith.breaks").inc(1);
+  const std::string prom = metrics_to_prometheus(reg);
+  // The HELP text carries the original name with backslash and newline
+  // escaped — a literal newline inside HELP would corrupt the exposition.
+  EXPECT_NE(prom.find("weird\\\\name\\nwith.breaks"), std::string::npos) << prom;
+  EXPECT_EQ(prom.find("# HELP weird_name_with_breaks Simulated-run counter weird\\name"),
+            std::string::npos);
 }
 
 TEST(Profiler, ScopeRecordsOnlyWhenInstalled) {

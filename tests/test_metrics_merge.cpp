@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "util/rng.h"
 
 namespace h3cdn::obs {
@@ -151,6 +152,34 @@ TEST(MetricsMerge, ResilienceSeriesMergeKeepsAccountingIdentities) {
   EXPECT_EQ(merged.counter("resilience.resumed_bytes").value(), 81'920u);
   EXPECT_EQ(merged.histogram("resilience.backoff_ms").count(), 3u);
   EXPECT_DOUBLE_EQ(merged.histogram("resilience.backoff_ms").max(), 95.0);
+}
+
+TEST(MetricsMerge, TimelineShardsFoldLikeRegistries) {
+  // The timeline merge mirrors the registry merge contract per window:
+  // counters add, gauges take the merged-in window value, histograms merge
+  // exactly. Two shards with overlapping and disjoint windows fold into what
+  // sequential recording would have produced.
+  const TimePoint w0{msec(100)};
+  const TimePoint w2{msec(600)};
+  TimelineRecorder a(msec(250));
+  TimelineRecorder b(msec(250));
+  a.count("deaths", w0, 2);
+  b.count("deaths", w0, 3);            // overlapping window: adds
+  b.count("refusals", w2, 7);          // series absent in `a`
+  a.gauge_set("depth", w0, 4.0);
+  b.gauge_set("depth", w0, 9.0);       // merged-in value wins
+  a.observe("plt_ms", w2, 100.0);
+  b.observe("plt_ms", w2, 300.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_in_range("deaths", 0, 0), 5u);
+  EXPECT_EQ(a.counter_in_range("refusals", 2, 2), 7u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("depth").at(0).last, 9.0);
+  EXPECT_EQ(a.gauges().at("depth").at(0).sets, 2u);
+  EXPECT_EQ(a.histograms().at("plt_ms").at(2).count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histograms().at("plt_ms").at(2).sum(), 400.0);
+  // Source shard untouched, and its windows stay where they were.
+  EXPECT_EQ(b.counter_in_range("deaths", 0, 0), 3u);
 }
 
 TEST(MetricsMerge, ProfilerPhasesCombine) {

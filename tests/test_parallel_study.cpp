@@ -13,6 +13,9 @@
 #include "core/observability.h"
 #include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/perfetto.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
 #include "obs/waterfall.h"
 #include "tls/ticket_store.h"
 
@@ -78,6 +81,32 @@ TEST(ParallelStudy, ObservabilityArtifactsAreIdenticalAcrossJobCounts) {
   // inherit the same determinism — byte for byte, including H2/H3 pairing.
   EXPECT_EQ(obs::attribution_to_json(obs::attribute_pages(obs_one.waterfalls())),
             obs::attribution_to_json(obs::attribute_pages(obs_four.waterfalls())));
+}
+
+TEST(ParallelStudy, TimelineArtifactsAreIdenticalAcrossJobCounts) {
+  // The time-resolved artifacts join the byte-identity contract: the
+  // bucket-wise shard merge makes timeline.json/csv, slo.json, and the
+  // Chrome-trace export independent of thread scheduling.
+  RunObservability obs_one;
+  RunObservability obs_four;
+  StudyConfig one_cfg = parallel_config(1);
+  StudyConfig four_cfg = parallel_config(4);
+  one_cfg.observability = &obs_one;
+  four_cfg.observability = &obs_four;
+  (void)MeasurementStudy(one_cfg).run();
+  (void)MeasurementStudy(four_cfg).run();
+
+  EXPECT_GT(obs_one.timeline().series_count(), 0u);
+  EXPECT_GT(obs_one.timeline().span_buckets(), 0);
+  EXPECT_EQ(obs::timeline_to_json(obs_one.timeline()),
+            obs::timeline_to_json(obs_four.timeline()));
+  EXPECT_EQ(obs::timeline_to_csv(obs_one.timeline()),
+            obs::timeline_to_csv(obs_four.timeline()));
+  const auto slo = obs::default_slo_objectives();
+  EXPECT_EQ(obs::slo_to_json(obs_one.timeline(), obs::evaluate_slos(obs_one.timeline(), slo)),
+            obs::slo_to_json(obs_four.timeline(), obs::evaluate_slos(obs_four.timeline(), slo)));
+  EXPECT_EQ(obs::to_chrome_trace_json(obs_one.waterfalls(), &obs_one.traces()),
+            obs::to_chrome_trace_json(obs_four.waterfalls(), &obs_four.traces()));
 }
 
 TEST(ParallelStudy, DissectionIsIdenticalAcrossJobCounts) {

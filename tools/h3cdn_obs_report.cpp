@@ -1,15 +1,22 @@
 // h3cdn_obs_report — inspect and validate an observability artifact directory
 // written by core::RunObservability::write_artifacts (metrics.json/.csv/.prom,
-// qlog.json, waterfalls.json, attribution.json, profile.json).
+// qlog.json, waterfalls.json, attribution.json, profile.json,
+// timeline.{json,csv}, slo.json, trace.perfetto.json, fault_recovery.json).
 //
 //   h3cdn_obs_report DIR                 human-readable run summary
 //   h3cdn_obs_report DIR --attribution   critical-path PLT breakdown (ASCII
 //                                        bars; add --json for the JSON form)
+//   h3cdn_obs_report DIR --timeline      sim-time sparklines per series, with
+//                                        fault/detection/recovery markers
 //   h3cdn_obs_report DIR --check         validate artifacts; exit 1 on failure
 //     --waterfalls N    number of page waterfalls to render (default 3)
 //     --width N         waterfall terminal width (default 100)
 //     --min-series N    --check: minimum distinct metric series (default 30)
 //     --min-layers N    --check: minimum distinct layer prefixes (default 6)
+//     --slo-strict      --check: a breached SLO or burn alert fails the check
+//                       (default: slo.json is validated for consistency and
+//                       summarized, but chaos runs are allowed to breach)
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -32,7 +39,9 @@ struct Options {
   std::string dir;
   bool check = false;
   bool attribution = false;
+  bool timeline = false;
   bool json = false;
+  bool slo_strict = false;
   std::size_t waterfalls = 3;
   std::size_t width = 100;
   std::size_t min_series = 30;
@@ -41,8 +50,8 @@ struct Options {
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " DIR [--check] [--attribution [--json]] [--waterfalls N]\n"
-               "       [--width N] [--min-series N] [--min-layers N]\n";
+            << " DIR [--check [--slo-strict]] [--attribution [--json]] [--timeline]\n"
+               "       [--waterfalls N] [--width N] [--min-series N] [--min-layers N]\n";
   std::exit(2);
 }
 
@@ -58,6 +67,10 @@ Options parse_args(int argc, char** argv) {
       o.check = true;
     } else if (arg == "--attribution") {
       o.attribution = true;
+    } else if (arg == "--timeline") {
+      o.timeline = true;
+    } else if (arg == "--slo-strict") {
+      o.slo_strict = true;
     } else if (arg == "--json") {
       o.json = true;
     } else if (arg == "--waterfalls") {
@@ -438,6 +451,268 @@ void check_qlog(const util::JsonValue& doc, Checker& check, std::size_t* events_
   if (events_out) *events_out = events;
 }
 
+// --- timeline.json ----------------------------------------------------------
+
+/// The timeline export contract: a positive bucket width, every series DENSE
+/// over [0, span_buckets) with window starts at exact bucket multiples, and
+/// the PR 4 empty-window convention — a window with count == 0 carries no
+/// value or quantile fields (they would be fabricated data).
+void check_timeline(const util::JsonValue& doc, Checker& check) {
+  const double bucket_ms = doc.number_or("bucket_ms", 0.0);
+  if (bucket_ms <= 0.0) {
+    check.fail("timeline.json: bucket_ms=" + std::to_string(bucket_ms) + " (need > 0)");
+    return;
+  }
+  const double span = doc.number_or("span_buckets", -1.0);
+  const util::JsonValue* series = doc.find("series");
+  if (series == nullptr || !series->is_object()) {
+    check.fail("timeline.json: missing \"series\" object");
+    return;
+  }
+  if (doc.number_or("series_count", -1.0) !=
+      static_cast<double>(series->as_object().size())) {
+    check.fail("timeline.json: series_count disagrees with the series object");
+  }
+  for (const auto& [name, s] : series->as_object()) {
+    const std::string kind = s.string_or("kind", "");
+    if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+      check.fail("timeline.json: series \"" + name + "\" has unknown kind \"" + kind + "\"");
+      continue;
+    }
+    const util::JsonValue* points = s.find("points");
+    if (points == nullptr || !points->is_array()) {
+      check.fail("timeline.json: series \"" + name + "\" has no points array");
+      continue;
+    }
+    if (static_cast<double>(points->as_array().size()) != span) {
+      check.fail("timeline.json: series \"" + name + "\" has " +
+                 std::to_string(points->as_array().size()) + " points (span_buckets=" +
+                 std::to_string(span) + "; every series must be dense)");
+      continue;
+    }
+    std::size_t w = 0;
+    for (const auto& pt : points->as_array()) {
+      const double t = pt.number_or("t_ms", -1.0);
+      if (std::fabs(t - static_cast<double>(w) * bucket_ms) > 1e-6) {
+        check.fail("timeline.json: series \"" + name + "\" window " + std::to_string(w) +
+                   " starts at " + std::to_string(t) + " ms (expected " +
+                   std::to_string(static_cast<double>(w) * bucket_ms) + ")");
+        break;
+      }
+      if (pt.number_or("count", -1.0) == 0.0) {
+        for (const char* field : {"value", "sum", "mean", "min", "max", "p50", "p90", "p99"}) {
+          if (pt.find(field) != nullptr) {
+            check.fail("timeline.json: series \"" + name + "\" window " + std::to_string(w) +
+                       " is empty (count=0) but carries \"" + field + "\"");
+            break;
+          }
+        }
+      }
+      ++w;
+    }
+  }
+}
+
+// --- slo.json ---------------------------------------------------------------
+
+/// Internal consistency of every objective verdict; with --slo-strict a
+/// breached objective or burn alert also fails the check.
+void check_slo(const util::JsonValue& doc, const Options& o, Checker& check) {
+  const util::JsonValue* objectives = doc.find("objectives");
+  if (objectives == nullptr || !objectives->is_array()) {
+    check.fail("slo.json: missing \"objectives\" array");
+    return;
+  }
+  for (const auto& obj : objectives->as_array()) {
+    const std::string name = obj.string_or("name", "?");
+    const double windows = obj.number_or("windows", 0.0);
+    const double empty = obj.number_or("empty_windows", 0.0);
+    const double bad = obj.number_or("bad_windows", 0.0);
+    if (empty > windows || bad > windows - empty) {
+      check.fail("slo.json: objective \"" + name + "\" window accounting broken: windows=" +
+                 std::to_string(windows) + " empty=" + std::to_string(empty) + " bad=" +
+                 std::to_string(bad));
+    }
+    const bool breached = obj.bool_or("breached", false);
+    const bool burn_alert = obj.bool_or("burn_alert", false);
+    const bool passed = obj.bool_or("passed", false);
+    if (passed == (breached || burn_alert)) {
+      check.fail("slo.json: objective \"" + name + "\": passed=" +
+                 std::string(passed ? "true" : "false") + " contradicts breached/burn_alert");
+    }
+    if (obj.bool_or("no_data", false) && (breached || burn_alert)) {
+      check.fail("slo.json: objective \"" + name + "\" has no_data yet a verdict");
+    }
+    if (o.slo_strict && !passed) {
+      check.fail("slo.json [--slo-strict]: objective \"" + name + "\" failed (" +
+                 std::string(breached ? "budget breached" : "burn alert") + ", bad_fraction=" +
+                 std::to_string(obj.number_or("bad_fraction", 0.0)) + ")");
+    }
+  }
+}
+
+void print_slo(std::ostream& os, const util::JsonValue& doc) {
+  const util::JsonValue* objectives = doc.find("objectives");
+  if (objectives == nullptr || !objectives->is_array()) return;
+  os << "--- SLO objectives ---\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-28s %8s %8s %8s %12s %10s %8s\n", "objective", "windows",
+                "empty", "bad", "bad_frac", "max_burn", "verdict");
+  os << line;
+  for (const auto& obj : objectives->as_array()) {
+    const char* verdict = obj.bool_or("no_data", false)    ? "no-data"
+                          : obj.bool_or("passed", false)   ? "pass"
+                          : obj.bool_or("breached", false) ? "BREACH"
+                                                           : "BURN";
+    std::snprintf(line, sizeof line, "%-28s %8.0f %8.0f %8.0f %12.3f %10.2f %8s\n",
+                  obj.string_or("name", "?").c_str(), obj.number_or("windows", 0.0),
+                  obj.number_or("empty_windows", 0.0), obj.number_or("bad_windows", 0.0),
+                  obj.number_or("bad_fraction", 0.0), obj.number_or("max_long_burn", 0.0),
+                  verdict);
+    os << line;
+  }
+}
+
+// --- fault_recovery.json ----------------------------------------------------
+
+/// The MTTR contract (docs/OBSERVABILITY.md): every scenario reports a FINITE
+/// mttr_ms >= 0 consistent with its scripted fault window — detection never
+/// precedes the fault start by more than one bucket, recovery never precedes
+/// detection, degraded windows exist exactly when a detection time does, and
+/// mttr_ms == max(0, recovery_ms - fault_start_ms) for degraded cells.
+void check_fault_recovery(const util::JsonValue& doc, Checker& check) {
+  const double bucket_ms = doc.number_or("bucket_ms", 0.0);
+  const util::JsonValue* annotations = doc.find("annotations");
+  if (annotations == nullptr || !annotations->is_array()) {
+    check.fail("fault_recovery.json: missing \"annotations\" array");
+    return;
+  }
+  if (annotations->as_array().empty()) {
+    check.fail("fault_recovery.json: annotations array is empty");
+  }
+  for (const auto& a : annotations->as_array()) {
+    const std::string name = a.string_or("scenario", "?");
+    const double mttr = a.number_or("mttr_ms", -1.0);
+    if (!std::isfinite(mttr) || mttr < 0.0) {
+      check.fail("fault_recovery.json: scenario \"" + name + "\" mttr_ms=" +
+                 std::to_string(mttr) + " (must be finite and >= 0)");
+      continue;
+    }
+    const double detection = a.number_or("detection_ms", -1.0);
+    const double recovery = a.number_or("recovery_ms", -1.0);
+    const double degraded = a.number_or("degraded_windows", 0.0);
+    const double fault_start = a.number_or("fault_start_ms", 0.0);
+    if ((degraded > 0.0) != (detection >= 0.0)) {
+      check.fail("fault_recovery.json: scenario \"" + name + "\": degraded_windows=" +
+                 std::to_string(degraded) + " contradicts detection_ms=" +
+                 std::to_string(detection));
+    }
+    if (detection >= 0.0) {
+      if (recovery < detection) {
+        check.fail("fault_recovery.json: scenario \"" + name + "\": recovery_ms=" +
+                   std::to_string(recovery) + " precedes detection_ms=" +
+                   std::to_string(detection));
+      }
+      const double expected = std::max(0.0, recovery - fault_start);
+      if (std::fabs(mttr - expected) > 1e-6) {
+        check.fail("fault_recovery.json: scenario \"" + name + "\": mttr_ms=" +
+                   std::to_string(mttr) + " inconsistent with recovery - fault_start = " +
+                   std::to_string(expected));
+      }
+      if (a.bool_or("faulted", false) && detection + bucket_ms < fault_start) {
+        check.fail("fault_recovery.json: scenario \"" + name + "\": detection_ms=" +
+                   std::to_string(detection) + " precedes the scripted fault start " +
+                   std::to_string(fault_start) + " by more than one bucket");
+      }
+    } else if (mttr != 0.0) {
+      check.fail("fault_recovery.json: scenario \"" + name +
+                 "\": no degraded window but mttr_ms=" + std::to_string(mttr) + " != 0");
+    }
+  }
+}
+
+// --- --timeline rendering ---------------------------------------------------
+
+/// Ten-level ASCII sparkline of one window series, scaled to its own max.
+std::string sparkline(const std::vector<double>& values) {
+  static const char kGlyphs[] = " .:-=+*#%@";
+  double max = 0.0;
+  for (const double v : values) max = std::max(max, v);
+  std::string out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    if (max <= 0.0 || v <= 0.0) {
+      out += kGlyphs[0];
+    } else {
+      const int level = 1 + static_cast<int>(v / max * 8.999);
+      out += kGlyphs[std::min(level, 9)];
+    }
+  }
+  return out;
+}
+
+void print_timeline(std::ostream& os, const util::JsonValue& doc,
+                    const util::JsonValue* fault_recovery) {
+  const double bucket_ms = doc.number_or("bucket_ms", 0.0);
+  const double span = doc.number_or("span_buckets", 0.0);
+  const util::JsonValue* series = doc.find("series");
+  os << "Timeline: bucket " << bucket_ms << " ms, " << span << " windows, "
+     << doc.number_or("series_count", 0.0) << " series\n";
+  if (series == nullptr || !series->is_object() || span <= 0.0) return;
+  const std::size_t windows = static_cast<std::size_t>(span);
+
+  char head[256];
+  std::snprintf(head, sizeof head, "%-36s %9s  ", "series", "peak");
+  os << head << "|0 ms ... " << (span * bucket_ms) << " ms|\n";
+  for (const auto& [name, s] : series->as_object()) {
+    const util::JsonValue* points = s.find("points");
+    if (points == nullptr || !points->is_array()) continue;
+    const std::string kind = s.string_or("kind", "");
+    std::vector<double> values;
+    values.reserve(windows);
+    for (const auto& pt : points->as_array()) {
+      // Counter: increments per window. Gauge: last value. Histogram: p99.
+      if (kind == "gauge") {
+        values.push_back(pt.number_or("value", 0.0));
+      } else if (kind == "histogram") {
+        values.push_back(pt.number_or("p99", 0.0));
+      } else {
+        values.push_back(pt.number_or("count", 0.0));
+      }
+    }
+    double peak = 0.0;
+    for (const double v : values) peak = std::max(peak, v);
+    if (peak <= 0.0) continue;  // all-quiet series add nothing to the picture
+    char line[512];
+    std::snprintf(line, sizeof line, "%-36s %9.4g  ", name.c_str(), peak);
+    os << line << sparkline(values) << "\n";
+  }
+
+  // Fault markers: one row per annotated scenario. F = scripted fault start,
+  // D = first degraded window, R = recovery instant.
+  if (fault_recovery == nullptr) return;
+  const util::JsonValue* annotations = fault_recovery->find("annotations");
+  if (annotations == nullptr || !annotations->is_array() || bucket_ms <= 0.0) return;
+  os << "\nFault markers (F fault start, D detection, R recovery):\n";
+  for (const auto& a : annotations->as_array()) {
+    std::string row(windows, '.');
+    const auto mark = [&](double at_ms, char glyph) {
+      if (at_ms < 0.0) return;
+      std::size_t w = static_cast<std::size_t>(at_ms / bucket_ms);
+      if (w >= windows) w = windows - 1;
+      row[w] = row[w] == '.' ? glyph : '*';  // '*' marks collisions
+    };
+    if (a.bool_or("faulted", false)) mark(a.number_or("fault_start_ms", -1.0), 'F');
+    mark(a.number_or("detection_ms", -1.0), 'D');
+    mark(a.number_or("recovery_ms", -1.0), 'R');
+    char line[512];
+    std::snprintf(line, sizeof line, "%-36s %9s  ", a.string_or("scenario", "?").c_str(),
+                  (std::to_string(static_cast<long long>(a.number_or("mttr_ms", 0.0))) + "ms")
+                      .c_str());
+    os << line << row << "\n";
+  }
+}
+
 // --- human-readable summary -------------------------------------------------
 
 void print_metrics(std::ostream& os, const util::JsonValue& doc) {
@@ -498,6 +773,26 @@ int main(int argc, char** argv) {
   const Options o = parse_args(argc, argv);
   Checker check;
 
+  if (o.timeline && !o.check) {
+    // Timeline mode: sparklines straight from the artifacts; the fault
+    // markers only appear for runs (chaos) that wrote fault_recovery.json.
+    const auto timeline_doc = load_json(o, "timeline.json", check);
+    if (!timeline_doc) {
+      for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
+      return 1;
+    }
+    std::optional<util::JsonValue> fault_doc;
+    if (read_file(o.dir + "/fault_recovery.json")) {
+      fault_doc = load_json(o, "fault_recovery.json", check);
+    }
+    print_timeline(std::cout, *timeline_doc, fault_doc ? &*fault_doc : nullptr);
+    if (!check.problems.empty()) {
+      for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
   if (o.attribution && !o.check) {
     // Attribution mode: recompute the critical-path breakdown from the
     // waterfall artifact (the ground truth) and render it.
@@ -525,8 +820,16 @@ int main(int argc, char** argv) {
   const auto attribution_doc = load_json(o, "attribution.json", check);
   const auto qlog = load_json(o, "qlog.json", check);
   const auto profile = load_json(o, "profile.json", check);
+  const auto timeline_doc = load_json(o, "timeline.json", check);
+  const auto slo_doc = load_json(o, "slo.json", check);
+  // fault_recovery.json only exists for runs with annotated fault scenarios
+  // (the chaos harness); when present it must satisfy the MTTR contract.
+  std::optional<util::JsonValue> fault_doc;
+  if (read_file(o.dir + "/fault_recovery.json")) {
+    fault_doc = load_json(o, "fault_recovery.json", check);
+  }
   // The non-JSON exports only need to exist and be non-empty.
-  for (const char* name : {"metrics.csv", "metrics.prom"}) {
+  for (const char* name : {"metrics.csv", "metrics.prom", "timeline.csv"}) {
     const auto text = read_file(o.dir + "/" + name);
     if (!text || text->empty()) check.fail(std::string(name) + ": missing or empty");
   }
@@ -538,12 +841,17 @@ int main(int argc, char** argv) {
   if (waterfalls_doc) check_waterfalls(*waterfalls_doc, check);
   if (attribution_doc) check_attribution(*attribution_doc, check);
   if (qlog) check_qlog(*qlog, check, &qlog_events);
+  if (timeline_doc) check_timeline(*timeline_doc, check);
+  if (slo_doc) check_slo(*slo_doc, o, check);
+  if (fault_doc) check_fault_recovery(*fault_doc, check);
 
   if (o.check) {
+    if (slo_doc) print_slo(std::cout, *slo_doc);
     if (check.problems.empty()) {
       std::cout << "OK: " << (metrics ? metrics->number_or("series_count", 0) : 0)
-                << " metric series across " << layers.size() << " layers, " << qlog_events
-                << " qlog events\n";
+                << " metric series across " << layers.size() << " layers, "
+                << (timeline_doc ? timeline_doc->number_or("span_buckets", 0) : 0)
+                << " timeline windows, " << qlog_events << " qlog events\n";
       return 0;
     }
     for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
@@ -553,6 +861,10 @@ int main(int argc, char** argv) {
   std::ostream& os = std::cout;
   os << "Observability report for " << o.dir << "\n\n";
   if (metrics) print_metrics(os, *metrics);
+  if (slo_doc) {
+    os << "\n";
+    print_slo(os, *slo_doc);
+  }
   if (profile) print_profile(os, *profile);
 
   if (waterfalls_doc) {
