@@ -33,8 +33,26 @@ BENCHMARK(bm_load_cell)->Unit(benchmark::kMillisecond);
 
 void reproduce(std::ostream& os, bench::BenchReport& report) {
   const load::LoadStudyConfig cfg = sweep_config();
+  const auto start = std::chrono::steady_clock::now();
   const load::LoadResult result = load::run_load_study(cfg);
+  const double sweep_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   load::print_load_result(os, result);
+
+  // Sweep throughput: how many virtual clients (completed visits) and raw
+  // simulator events the whole sweep chews through per wall-clock second.
+  std::uint64_t total_visits = 0;
+  std::uint64_t total_events = 0;
+  for (const load::LoadCellRow& row : result.rows) {
+    total_visits += row.visits;
+    total_events += row.sim_events;
+  }
+  if (sweep_s > 0.0) {
+    report.add("clients_per_second", static_cast<double>(total_visits) / sweep_s,
+               "per_sec");
+    report.add("events_per_second", static_cast<double>(total_events) / sweep_s,
+               "per_sec");
+  }
 
   for (const load::LoadCellRow& row : result.rows) {
     const std::string prefix =

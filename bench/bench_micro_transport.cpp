@@ -1,8 +1,13 @@
 // Micro-benchmarks of the simulator substrate itself: event-loop throughput,
-// link transmission, transport transfers, and a full page visit. These bound
-// how fast full-scale studies can run and catch performance regressions.
+// scheduler core head-to-head, link transmission, transport transfers, and a
+// full page visit. These bound how fast full-scale studies can run and catch
+// performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iomanip>
+
+#include "bench_common.h"
 #include "browser/browser.h"
 #include "net/path.h"
 #include "sim/simulator.h"
@@ -99,6 +104,68 @@ void BM_FullPageVisit(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPageVisit)->Unit(benchmark::kMillisecond);
 
+// Scheduler core head-to-head: 1M events scheduled with pseudo-random times,
+// a quarter cancelled, the rest drained — the schedule/cancel/pop mix a fleet
+// run produces. Captures are 24 bytes (past std::function's typical inline
+// buffer, within SmallFn's 48), so the heap baseline pays the allocation the
+// old scheduler paid.
+struct SchedulerRun {
+  double wall_s = 0.0;
+  std::uint64_t events = 0;     // schedule ops issued
+  std::uint64_t fired = 0;
+  double events_per_sec = 0.0;
+};
+
+SchedulerRun scheduler_churn(sim::Simulator::Backend backend) {
+  constexpr std::uint64_t kEvents = 1'000'000;
+  constexpr std::uint64_t kHorizonUs = 10'000'000;  // 10 s of virtual time
+  SchedulerRun out;
+  sim::Simulator sim(backend);
+  std::vector<sim::EventId> ids;
+  ids.reserve(kEvents);
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const TimePoint at = usec((lcg >> 16) % kHorizonUs);
+    ids.push_back(sim.schedule_at(at, [&sink, i, salt = lcg] { sink += i ^ salt; }));
+  }
+  for (std::uint64_t i = 0; i < kEvents; i += 4) sim.cancel(ids[i]);  // 25% churn
+  out.fired = sim.run();
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  benchmark::DoNotOptimize(sink);
+  out.events = kEvents;
+  out.events_per_sec = out.wall_s > 0.0 ? static_cast<double>(kEvents) / out.wall_s : 0.0;
+  return out;
+}
+
+void reproduce(std::ostream& os, bench::BenchReport& report) {
+  const SchedulerRun heap = scheduler_churn(sim::Simulator::Backend::Heap);
+  const SchedulerRun cal = scheduler_churn(sim::Simulator::Backend::Calendar);
+  const double speedup =
+      heap.events_per_sec > 0.0 ? cal.events_per_sec / heap.events_per_sec : 0.0;
+
+  os << "scheduler core head-to-head (1M events, 25% cancelled, drained):\n";
+  os << std::left << std::setw(10) << "core" << std::right << std::setw(12) << "wall ms"
+     << std::setw(12) << "fired" << std::setw(16) << "events/sec" << "\n" << std::fixed;
+  os << std::left << std::setw(10) << "heap" << std::right << std::setw(12)
+     << std::setprecision(1) << heap.wall_s * 1000.0 << std::setw(12) << heap.fired
+     << std::setw(16) << std::setprecision(0) << heap.events_per_sec << "\n";
+  os << std::left << std::setw(10) << "calendar" << std::right << std::setw(12)
+     << std::setprecision(1) << cal.wall_s * 1000.0 << std::setw(12) << cal.fired
+     << std::setw(16) << std::setprecision(0) << cal.events_per_sec << "\n";
+  os << "calendar speedup: " << std::setprecision(2) << speedup << "x\n";
+
+  report.add("sched_heap_events_per_sec", heap.events_per_sec, "per_sec");
+  report.add("sched_calendar_events_per_sec", cal.events_per_sec, "per_sec");
+  report.add("sched_calendar_speedup", speedup, "ratio");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Simulator substrate micro-benchmarks + scheduler head-to-head",
+      reproduce);
+}

@@ -50,6 +50,7 @@ BENCHMARK(BM_StudyAtJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMill
 struct ScalingRow {
   int jobs = 0;
   double wall_ms = 0.0;
+  std::uint64_t sim_events = 0;
   std::string summary;
   std::string metrics;
 };
@@ -72,6 +73,10 @@ void print_scaling(std::ostream& os, h3cdn::bench::BenchReport& report) {
     const auto result = core::MeasurementStudy(cfg).run();
     const auto stop = std::chrono::steady_clock::now();
     row.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    const auto& counters = obs.metrics().counters();
+    if (const auto it = counters.find("sim.events_executed"); it != counters.end()) {
+      row.sim_events = it->second->value();
+    }
     row.summary = core::summary_to_json(result);
     row.metrics = obs::metrics_to_json(obs.metrics());
     rows.push_back(std::move(row));
@@ -98,6 +103,13 @@ void print_scaling(std::ostream& os, h3cdn::bench::BenchReport& report) {
     const std::string tag = "jobs" + std::to_string(row.jobs);
     report.add("wall_" + tag, row.wall_ms, "ms");
     report.add("speedup_" + tag, rows.front().wall_ms / row.wall_ms, "ratio");
+    // Simulator throughput at this parallelism: merged event count over wall
+    // time (the event count itself is jobs-invariant — determinism above).
+    if (row.wall_ms > 0.0) {
+      report.add("events_per_second_" + tag,
+                 static_cast<double>(row.sim_events) / (row.wall_ms / 1000.0),
+                 "per_sec");
+    }
   }
   report.add("deterministic", all_identical ? 1.0 : 0.0, "bool");
 }

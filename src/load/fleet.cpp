@@ -1,48 +1,93 @@
 #include "load/fleet.h"
 
 #include "browser/waterfall.h"
+#include "net/link_profile.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "util/check.h"
 
 namespace h3cdn::load {
 
-struct Fleet::Client {
-  browser::Environment env;
-  tls::SessionTicketStore tickets;
-  browser::Browser browser;
-  util::Rng think_rng;  // closed-loop think times
-
-  Client(sim::Simulator& sim, const web::DomainUniverse& universe,
-         browser::VantageConfig vantage, browser::ServerDirectory* servers,
-         browser::BrowserConfig bconfig, util::Rng rng)
-      : env(sim, universe, std::move(vantage), rng.fork("env"), servers),
-        browser(sim, env, &tickets, std::move(bconfig), rng.fork("browser")),
-        think_rng(rng.fork("think")) {}
-};
-
 Fleet::Fleet(sim::Simulator& sim, const web::Workload& workload, std::size_t site_count,
              ServerFarm& farm, FleetConfig config, util::Rng rng)
     : sim_(sim), workload_(workload),
       site_count_(std::min(site_count, workload.sites.size())), farm_(farm),
-      config_(std::move(config)), rng_(rng) {
+      config_(std::move(config)), rng_(rng), mix_rng_(rng_.fork("link_mix")) {
   H3CDN_EXPECTS(site_count_ > 0);
   config_.browser.h3_enabled = config_.h3;
+  if (config_.link_mix.empty()) {
+    profile_vantages_.push_back(config_.vantage);
+    profile_weights_.push_back(1.0);
+  } else {
+    for (const LinkMixEntry& entry : config_.link_mix) {
+      const auto profile = net::LinkProfile::from_name(entry.profile);
+      H3CDN_EXPECTS(profile.has_value());
+      H3CDN_EXPECTS(entry.weight > 0.0);
+      browser::VantageConfig vantage = config_.vantage;
+      browser::apply_link_profile(vantage, *profile);
+      profile_vantages_.push_back(std::move(vantage));
+      profile_weights_.push_back(entry.weight);
+    }
+  }
+  for (const double w : profile_weights_) total_weight_ += w;
+  free_clients_.resize(profile_vantages_.size());
 }
 
 Fleet::~Fleet() = default;
 
-std::size_t Fleet::checkout_client() {
-  if (!free_clients_.empty()) {
-    const std::size_t index = free_clients_.back();
-    free_clients_.pop_back();
+std::uint32_t Fleet::profile_of(std::size_t member) const {
+  if (profile_vantages_.size() == 1) return 0;
+  // Keyed by the member's population index, so a member keeps its link class
+  // whether the run is full or sampled.
+  double u = mix_rng_.fork(static_cast<std::uint64_t>(member)).uniform() * total_weight_;
+  for (std::size_t i = 0; i + 1 < profile_weights_.size(); ++i) {
+    u -= profile_weights_[i];
+    if (u < 0.0) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(profile_weights_.size() - 1);
+}
+
+std::uint32_t Fleet::stratum_of(std::size_t member, TimePoint at) const {
+  const std::uint32_t profile = profile_of(member);
+  std::uint32_t phases = 1;
+  std::uint32_t phase = 0;
+  if (config_.arrival.kind != ArrivalKind::ClosedLoop &&
+      config_.sampling.arrival_phases > 1 && config_.arrival.window.count() > 0) {
+    phases = static_cast<std::uint32_t>(config_.sampling.arrival_phases);
+    const auto raw = static_cast<std::uint64_t>(at.count()) * phases /
+                     static_cast<std::uint64_t>(config_.arrival.window.count());
+    phase = static_cast<std::uint32_t>(std::min<std::uint64_t>(raw, phases - 1));
+  }
+  return profile * phases + phase;
+}
+
+std::size_t Fleet::checkout_client(std::uint32_t profile) {
+  std::vector<std::uint32_t>& free_list = free_clients_[profile];
+  if (!free_list.empty()) {
+    const std::size_t index = free_list.back();
+    free_list.pop_back();
     return index;
   }
   const std::size_t index = clients_.size();
-  clients_.push_back(std::make_unique<Client>(sim_, workload_.universe, config_.vantage,
-                                              &farm_, config_.browser,
-                                              rng_.fork("client").fork(index)));
+  util::Rng client_rng = rng_.fork("client").fork(static_cast<std::uint64_t>(index));
+  clients_.env.push_back(std::make_unique<browser::Environment>(
+      sim_, workload_.universe, profile_vantages_[profile], client_rng.fork("env"),
+      &farm_));
+  clients_.tickets.push_back(std::make_unique<tls::SessionTicketStore>());
+  clients_.browser.push_back(std::make_unique<browser::Browser>(
+      sim_, *clients_.env.back(), clients_.tickets.back().get(), config_.browser,
+      client_rng.fork("browser")));
+  clients_.think_rng.push_back(client_rng.fork("think"));
+  clients_.profile.push_back(profile);
+  clients_.busy.push_back(0);
+  clients_.visits.push_back(0);
   return index;
+}
+
+void Fleet::release_client(std::size_t index) {
+  clients_.busy[index] = 0;
+  ++clients_.visits[index];
+  free_clients_[clients_.profile[index]].push_back(static_cast<std::uint32_t>(index));
 }
 
 FleetOutcome Fleet::run() {
@@ -57,18 +102,36 @@ FleetOutcome Fleet::run() {
   }
 
   if (config_.arrival.kind == ArrivalKind::ClosedLoop) {
-    future_ = config_.arrival.users;
-    for (std::size_t u = 0; u < config_.arrival.users; ++u) {
-      const std::size_t index = checkout_client();
-      H3CDN_ASSERT(index == u);  // closed loop: client u IS user u, never recycled
+    const std::size_t users = config_.arrival.users;
+    outcome_.population = users;
+    SamplePlan plan;
+    if (config_.sampling.target > 0) {
+      std::vector<std::uint32_t> strata(users);
+      for (std::size_t u = 0; u < users; ++u) strata[u] = stratum_of(u, TimePoint{0});
+      util::Rng coreset_rng = rng_.fork("coreset");
+      plan = plan_stratified_sample(strata, config_.sampling.target, coreset_rng);
+    }
+    auto launch_user = [this](std::size_t user, double weight) {
+      const std::size_t ci = checkout_client(profile_of(user));
       const double think_ms = to_ms(config_.arrival.think_mean);
-      const TimePoint first{from_ms(clients_[u]->think_rng.exponential(think_ms))};
+      const TimePoint first{from_ms(clients_.think_rng[ci].exponential(think_ms))};
       if (first < TimePoint{config_.arrival.window}) {
-        sim_.schedule_at(first, [this, u] { user_visit(u); });
+        sim_.schedule_at(first,
+                         [this, ci, user, weight] { user_visit(ci, user, weight); });
       } else {
         --future_;
       }
+    };
+    if (plan.active) {
+      future_ = plan.chosen.size();
+      for (std::size_t k = 0; k < plan.chosen.size(); ++k) {
+        launch_user(plan.chosen[k], plan.weights[k]);
+      }
+    } else {
+      future_ = users;
+      for (std::size_t u = 0; u < users; ++u) launch_user(u, 1.0);
     }
+    outcome_.plan = std::move(plan);
   } else {
     util::Rng arrival_rng = rng_.fork("arrivals");
     auto arrivals = open_loop_arrivals(config_.arrival, arrival_rng);
@@ -78,10 +141,34 @@ FleetOutcome Fleet::run() {
       obs::tl_count("load.arrivals_capped", sim_.now(), outcome_.arrivals_capped);
       arrivals.resize(config_.max_visits);
     }
-    future_ = arrivals.size();
-    for (std::size_t i = 0; i < arrivals.size(); ++i) {
-      sim_.schedule_at(arrivals[i], [this] { start_visit(visit_counter_); });
+    outcome_.population = arrivals.size();
+    SamplePlan plan;
+    if (config_.sampling.target > 0) {
+      std::vector<std::uint32_t> strata(arrivals.size());
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        strata[i] = stratum_of(i, arrivals[i]);
+      }
+      util::Rng coreset_rng = rng_.fork("coreset");
+      plan = plan_stratified_sample(strata, config_.sampling.target, coreset_rng);
     }
+    if (plan.active) {
+      future_ = plan.chosen.size();
+      for (std::size_t k = 0; k < plan.chosen.size(); ++k) {
+        const std::size_t member = plan.chosen[k];
+        const double weight = plan.weights[k];
+        sim_.schedule_at(arrivals[member],
+                         [this, member, weight] { start_visit(member, weight); });
+      }
+    } else {
+      // Page rotation, link class, and stratum are all keyed by the member
+      // index (== temporal arrival order), so this path is byte-identical to
+      // the pre-sampling fleet.
+      future_ = arrivals.size();
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        sim_.schedule_at(arrivals[i], [this, i] { start_visit(i, 1.0); });
+      }
+    }
+    outcome_.plan = std::move(plan);
   }
 
   sample_tick();
@@ -90,52 +177,64 @@ FleetOutcome Fleet::run() {
   return std::move(outcome_);
 }
 
-void Fleet::start_visit(std::size_t visit_seq) {
+void Fleet::start_visit(std::size_t member, double weight) {
   --future_;
   ++active_;
-  ++visit_counter_;
   ++outcome_.arrivals;
   obs::count("load.arrivals");
   obs::tl_count("load.arrivals", sim_.now());
-  const web::WebPage& page = workload_.sites[visit_seq % site_count_].page;
-  const std::size_t ci = checkout_client();
+  const web::WebPage& page = workload_.sites[member % site_count_].page;
+  const std::uint32_t stratum = stratum_of(member, sim_.now());
+  const std::size_t ci = checkout_client(profile_of(member));
+  clients_.busy[ci] = 1;
   const TimePoint arrived = sim_.now();
-  clients_[ci]->browser.visit(
-      page, [this, ci, root_id = page.html.id, arrived](browser::PageLoadResult result) {
-        finish_visit(ci, root_id, arrived, result);
-        free_clients_.push_back(ci);
+  clients_.browser[ci]->visit(
+      page, [this, ci, root_id = page.html.id, arrived, weight,
+             stratum](browser::PageLoadResult result) {
+        finish_visit(ci, root_id, arrived, weight, stratum, result);
+        release_client(ci);
       });
 }
 
-void Fleet::user_visit(std::size_t user) {
+void Fleet::user_visit(std::size_t client_index, std::size_t user, double weight) {
   ++active_;
   ++outcome_.arrivals;
   obs::count("load.arrivals");
   obs::tl_count("load.arrivals", sim_.now());
   const web::WebPage& page = workload_.sites[visit_counter_++ % site_count_].page;
   const TimePoint arrived = sim_.now();
-  clients_[user]->browser.visit(
-      page, [this, user, root_id = page.html.id, arrived](browser::PageLoadResult result) {
-        finish_visit(user, root_id, arrived, result);
-        const double think_ms =
-            clients_[user]->think_rng.exponential(to_ms(config_.arrival.think_mean));
+  const std::uint32_t stratum = stratum_of(user, TimePoint{0});
+  clients_.busy[client_index] = 1;
+  clients_.browser[client_index]->visit(
+      page, [this, client_index, user, weight, root_id = page.html.id, arrived,
+             stratum](browser::PageLoadResult result) {
+        finish_visit(client_index, root_id, arrived, weight, stratum, result);
+        clients_.busy[client_index] = 0;
+        ++clients_.visits[client_index];
+        const double think_ms = clients_.think_rng[client_index].exponential(
+            to_ms(config_.arrival.think_mean));
         const TimePoint next = sim_.now() + from_ms(think_ms);
         if (next < TimePoint{config_.arrival.window} &&
             outcome_.arrivals < config_.max_visits) {
-          sim_.schedule_at(next, [this, user] { user_visit(user); });
+          sim_.schedule_at(next, [this, client_index, user, weight] {
+            user_visit(client_index, user, weight);
+          });
         } else {
           --future_;  // user retires: window over (or runaway cap)
         }
       });
 }
 
-void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id, TimePoint arrived,
+void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id,
+                         TimePoint arrived, double weight, std::uint32_t stratum,
                          const browser::PageLoadResult& result) {
   (void)client_index;
   --active_;
   VisitRecord rec;
   rec.arrived = arrived;
   rec.plt = result.har.page_load_time;
+  rec.weight = weight;
+  rec.stratum = stratum;
   const browser::HarEntry* root = nullptr;
   for (const auto& e : result.har.entries) {
     if (e.resource_id == root_id) {
@@ -154,8 +253,12 @@ void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id, TimePo
   rec.refusal_retries = result.pool_stats.refusal_retries;
   rec.requests_failed = result.pool_stats.requests_failed;
 
-  const auto cp = obs::analyze_critical_path(browser::make_waterfall(result.har));
-  outcome_.phase_sum += cp.phases;
+  // Weight-scaled phase accumulation: dividing phase_sum by weight_sum yields
+  // the extrapolated per-visit mean (exactly the plain mean in full runs).
+  obs::PhaseVector phases = obs::analyze_critical_path(browser::make_waterfall(result.har)).phases;
+  for (double& v : phases.ms) v *= weight;
+  outcome_.phase_sum += phases;
+  outcome_.weight_sum += weight;
 
   const TimePoint finished = sim_.now();
   obs::count("load.visits");

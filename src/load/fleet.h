@@ -3,10 +3,20 @@
 //
 // Open-loop cells pre-schedule visit arrivals (load keeps coming no matter
 // how slow the servers get); the closed-loop cell runs a fixed user
-// population with think times. Clients are recycled through a free list, so
-// a finished client's next visit reuses its ticket store and network paths —
-// returning-user semantics, which exercises TLS/QUIC resumption (and the
-// resumed-handshake admission discount) under load.
+// population with think times. Client state is a struct-of-arrays slab
+// (docs/SCALING.md §3): the heavyweight per-client machinery (environment,
+// ticket store, browser) sits behind pointer-stable handles while the hot
+// per-visit scalars live in flat parallel vectors, and finished clients are
+// recycled through index-based free lists — one per link-profile class — so
+// a returning client reuses its ticket store and network paths
+// (returning-user semantics, which exercises TLS/QUIC resumption under
+// load).
+//
+// Two population knobs extend the fleet beyond the homogeneous case:
+//  * `link_mix` assigns each population member a link-profile class
+//    (wired/cellular/...) by a deterministic per-index draw;
+//  * `sampling` simulates a stratified coreset of the population instead of
+//    every member (load/sampling.h), with per-member extrapolation weights.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +26,7 @@
 #include "browser/browser.h"
 #include "load/arrival.h"
 #include "load/farm.h"
+#include "load/sampling.h"
 #include "obs/critical_path.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -31,6 +42,13 @@ struct FleetConfig {
   Duration queue_sample_interval = msec(250);
   browser::VantageConfig vantage;  // template for every client environment
   browser::BrowserConfig browser;
+  // Heterogeneous access links: each population member is assigned one entry
+  // (weighted, deterministic per member index). Empty = every client uses
+  // `vantage` unmodified.
+  std::vector<LinkMixEntry> link_mix;
+  // Coreset mode: simulate a stratified sample of the population with
+  // extrapolation weights instead of everyone. target == 0 = full run.
+  SamplingConfig sampling;
 };
 
 struct VisitRecord {
@@ -42,6 +60,8 @@ struct VisitRecord {
   std::uint64_t connections_refused = 0;
   std::uint64_t refusal_retries = 0;
   std::uint64_t requests_failed = 0;
+  double weight = 1.0;        // extrapolation weight (1.0 in full runs)
+  std::uint32_t stratum = 0;  // (profile, arrival-phase) stratum id
 };
 
 struct QueueSample {
@@ -54,10 +74,13 @@ struct QueueSample {
 struct FleetOutcome {
   std::vector<VisitRecord> visits;  // completion order (deterministic)
   std::vector<QueueSample> queue_series;
-  std::size_t arrivals = 0;
+  std::size_t arrivals = 0;         // visits actually started (sampled count)
+  std::size_t population = 0;       // planned members before sampling
   std::size_t arrivals_capped = 0;  // open-loop arrivals dropped by max_visits
   std::size_t clients_used = 0;
-  obs::PhaseVector phase_sum;  // critical-path phases summed over visits
+  double weight_sum = 0.0;          // Σ weight over completed visits
+  obs::PhaseVector phase_sum;  // critical-path phases, weight-summed over visits
+  SamplePlan plan;             // inactive when the full population ran
 };
 
 class Fleet {
@@ -73,12 +96,29 @@ class Fleet {
   FleetOutcome run();
 
  private:
-  struct Client;
+  // Struct-of-arrays client slab. `env`/`tickets`/`browser` are cold,
+  // pointer-stable handles (the browser stack holds references into them);
+  // everything else is flat hot state indexed by client slot.
+  struct ClientSlab {
+    std::vector<std::unique_ptr<browser::Environment>> env;
+    std::vector<std::unique_ptr<tls::SessionTicketStore>> tickets;
+    std::vector<std::unique_ptr<browser::Browser>> browser;
+    std::vector<util::Rng> think_rng;     // closed-loop think times
+    std::vector<std::uint32_t> profile;   // link-mix class of this slot
+    std::vector<std::uint8_t> busy;       // 1 while a visit is in flight
+    std::vector<std::uint32_t> visits;    // completed visits through this slot
 
-  std::size_t checkout_client();
-  void start_visit(std::size_t visit_seq);
-  void user_visit(std::size_t user);
+    [[nodiscard]] std::size_t size() const { return env.size(); }
+  };
+
+  std::size_t checkout_client(std::uint32_t profile);
+  void release_client(std::size_t index);
+  [[nodiscard]] std::uint32_t profile_of(std::size_t member) const;
+  [[nodiscard]] std::uint32_t stratum_of(std::size_t member, TimePoint at) const;
+  void start_visit(std::size_t member, double weight);
+  void user_visit(std::size_t client_index, std::size_t user, double weight);
   void finish_visit(std::size_t client_index, std::uint32_t root_id, TimePoint arrived,
+                    double weight, std::uint32_t stratum,
                     const browser::PageLoadResult& result);
   void sample_tick();
 
@@ -89,10 +129,15 @@ class Fleet {
   FleetConfig config_;
   util::Rng rng_;
 
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::vector<std::size_t> free_clients_;
+  std::vector<browser::VantageConfig> profile_vantages_;  // one per link_mix entry
+  std::vector<double> profile_weights_;
+  double total_weight_ = 0.0;
+  util::Rng mix_rng_;  // base for the per-member profile draw
+
+  ClientSlab clients_;
+  std::vector<std::vector<std::uint32_t>> free_clients_;  // per profile class
   FleetOutcome outcome_;
-  std::size_t visit_counter_ = 0;  // page rotation
+  std::size_t visit_counter_ = 0;  // closed-loop page rotation
   std::size_t active_ = 0;         // visits in flight
   std::size_t future_ = 0;         // arrivals not yet started / users still looping
 };

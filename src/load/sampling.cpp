@@ -1,0 +1,128 @@
+#include "load/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace h3cdn::load {
+
+SamplePlan plan_stratified_sample(const std::vector<std::uint32_t>& stratum_of,
+                                  std::size_t target, util::Rng& rng) {
+  SamplePlan plan;
+  plan.population = stratum_of.size();
+  if (target == 0 || target >= plan.population) return plan;  // inactive: run everyone
+
+  // Group member indices by stratum, in ascending stratum id (map order) so
+  // the plan is independent of the members' arrival interleaving.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> members;
+  for (std::size_t i = 0; i < stratum_of.size(); ++i) {
+    members[stratum_of[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Proportional allocation with largest-remainder rounding, clamped to
+  // [1, population_s] per stratum.
+  struct Alloc {
+    std::uint32_t id;
+    std::size_t population;
+    std::size_t take;
+    double remainder;
+  };
+  std::vector<Alloc> allocs;
+  allocs.reserve(members.size());
+  std::size_t taken = 0;
+  const double scale = static_cast<double>(target) / static_cast<double>(plan.population);
+  for (const auto& [id, m] : members) {
+    const double exact = scale * static_cast<double>(m.size());
+    std::size_t take = std::min(m.size(), std::max<std::size_t>(
+                                              1, static_cast<std::size_t>(exact)));
+    allocs.push_back({id, m.size(), take, exact - std::floor(exact)});
+    taken += take;
+  }
+  // Hand out any remaining budget by largest fractional remainder (ties by
+  // ascending id, for determinism).
+  while (taken < target) {
+    Alloc* best = nullptr;
+    for (Alloc& a : allocs) {
+      if (a.take >= a.population) continue;
+      if (best == nullptr || a.remainder > best->remainder) best = &a;
+    }
+    if (best == nullptr) break;  // every stratum exhausted
+    ++best->take;
+    best->remainder = -1.0;  // one top-up per stratum per pass
+    ++taken;
+  }
+
+  plan.active = true;
+  for (const Alloc& a : allocs) {
+    const std::vector<std::uint32_t>& m = members[a.id];
+    StratumSummary s;
+    s.id = a.id;
+    s.population = a.population;
+    s.sampled = a.take;
+    s.weight = static_cast<double>(a.population) / static_cast<double>(a.take);
+    plan.strata.push_back(s);
+    for (std::size_t k : rng.sample_indices(m.size(), a.take)) {
+      plan.chosen.push_back(m[k]);
+    }
+  }
+  // Ascending member order: the fleet schedules chosen arrivals in index
+  // order, which is also their time order.
+  std::vector<std::size_t> order(plan.chosen.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return plan.chosen[a] < plan.chosen[b]; });
+  std::vector<std::uint32_t> chosen(plan.chosen.size());
+  std::vector<double> weights(plan.chosen.size());
+  // Per-member weight: its stratum's weight.
+  std::map<std::uint32_t, double> weight_of;
+  for (const StratumSummary& s : plan.strata) weight_of[s.id] = s.weight;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    chosen[i] = plan.chosen[order[i]];
+    weights[i] = weight_of[stratum_of[chosen[i]]];
+  }
+  plan.chosen = std::move(chosen);
+  plan.weights = std::move(weights);
+  H3CDN_ENSURES(plan.chosen.size() <= plan.population);
+  return plan;
+}
+
+namespace {
+
+/// Smallest value whose cumulative weight reaches `rank` (type-1 weighted
+/// quantile over the sorted sample).
+double value_at_rank(const std::vector<std::pair<double, double>>& sorted, double rank) {
+  double cum = 0.0;
+  for (const auto& [value, weight] : sorted) {
+    cum += weight;
+    if (cum >= rank) return value;
+  }
+  return sorted.back().first;
+}
+
+}  // namespace
+
+QuantileEstimate weighted_quantile(std::vector<std::pair<double, double>> value_weight,
+                                   double q, double z) {
+  QuantileEstimate est;
+  if (value_weight.empty()) return est;
+  std::sort(value_weight.begin(), value_weight.end());
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (const auto& [value, weight] : value_weight) {
+    H3CDN_EXPECTS(weight > 0.0);
+    total += weight;
+    total_sq += weight * weight;
+  }
+  est.n_eff = total * total / total_sq;
+  est.value = value_at_rank(value_weight, q * total);
+  const double se = std::sqrt(q * (1.0 - q) / est.n_eff);
+  const double q_lo = std::max(0.0, q - z * se);
+  const double q_hi = std::min(1.0, q + z * se);
+  est.lo = q_lo <= 0.0 ? value_weight.front().first : value_at_rank(value_weight, q_lo * total);
+  est.hi = q_hi >= 1.0 ? value_weight.back().first : value_at_rank(value_weight, q_hi * total);
+  return est;
+}
+
+}  // namespace h3cdn::load

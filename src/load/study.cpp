@@ -51,6 +51,8 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
   fc.vantage.edge_capacity = {};  // servers come from the shared farm
   fc.vantage.server_noise_salt = salt;
   fc.browser = config.browser;
+  fc.link_mix = config.link_mix;
+  fc.sampling = config.sampling;
 
   Fleet fleet(sim, workload, config.sites, farm, std::move(fc), root.fork("fleet"));
   FleetOutcome out = fleet.run();
@@ -60,8 +62,14 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
   row.h3 = h3;
   row.arrivals = out.arrivals;
   row.clients = out.clients_used;
+  row.population = out.population;
+  row.sampled = out.plan.active ? out.plan.chosen.size() : 0;
+  row.est_arrivals = out.weight_sum;
+  row.sim_events = sim.events_executed();
   std::vector<double> plt_ms;
   std::vector<double> ttfb_ms;
+  std::vector<std::pair<double, double>> plt_w;   // (value, weight)
+  std::vector<std::pair<double, double>> ttfb_w;
   for (const VisitRecord& v : out.visits) {
     ++row.visits;
     row.connections_created += v.connections_created;
@@ -74,14 +82,34 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
     }
     plt_ms.push_back(to_ms(v.plt));
     ttfb_ms.push_back(to_ms(v.ttfb));
+    plt_w.emplace_back(to_ms(v.plt), v.weight);
+    ttfb_w.emplace_back(to_ms(v.ttfb), v.weight);
   }
-  std::sort(plt_ms.begin(), plt_ms.end());
-  std::sort(ttfb_ms.begin(), ttfb_ms.end());
-  row.plt_p50_ms = util::quantile_sorted(plt_ms, 0.50);
-  row.plt_p95_ms = util::quantile_sorted(plt_ms, 0.95);
-  row.plt_p99_ms = util::quantile_sorted(plt_ms, 0.99);
-  row.ttfb_p50_ms = util::quantile_sorted(ttfb_ms, 0.50);
-  row.ttfb_p95_ms = util::quantile_sorted(ttfb_ms, 0.95);
+  if (out.plan.active) {
+    // Weighted estimators extrapolate the coreset to the population; the p95
+    // rank-CI is the reported error bound (docs/SCALING.md §4).
+    const double z = config.sampling.confidence_z;
+    row.plt_p50_ms = weighted_quantile(plt_w, 0.50, z).value;
+    const QuantileEstimate p95 = weighted_quantile(plt_w, 0.95, z);
+    row.plt_p95_ms = p95.value;
+    row.plt_p95_lo_ms = p95.lo;
+    row.plt_p95_hi_ms = p95.hi;
+    row.n_eff = p95.n_eff;
+    row.plt_p99_ms = weighted_quantile(plt_w, 0.99, z).value;
+    row.ttfb_p50_ms = weighted_quantile(ttfb_w, 0.50, z).value;
+    row.ttfb_p95_ms = weighted_quantile(ttfb_w, 0.95, z).value;
+  } else {
+    std::sort(plt_ms.begin(), plt_ms.end());
+    std::sort(ttfb_ms.begin(), ttfb_ms.end());
+    row.plt_p50_ms = util::quantile_sorted(plt_ms, 0.50);
+    row.plt_p95_ms = util::quantile_sorted(plt_ms, 0.95);
+    row.plt_p95_lo_ms = row.plt_p95_ms;
+    row.plt_p95_hi_ms = row.plt_p95_ms;
+    row.n_eff = static_cast<double>(plt_ms.size());
+    row.plt_p99_ms = util::quantile_sorted(plt_ms, 0.99);
+    row.ttfb_p50_ms = util::quantile_sorted(ttfb_ms, 0.50);
+    row.ttfb_p95_ms = util::quantile_sorted(ttfb_ms, 0.95);
+  }
   row.refusal_rate = row.connections_created == 0
                          ? 0.0
                          : static_cast<double>(row.connections_refused) /
@@ -99,8 +127,10 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
     row.mean_queue_depth = backlog_sum / static_cast<double>(out.queue_series.size());
     row.mean_busy_cores = busy_sum / static_cast<double>(out.queue_series.size());
   }
+  // Weight-summed phases over weight_sum = extrapolated per-visit mean (in
+  // full runs every weight is 1.0, so this is exactly the plain mean).
   row.mean_phases = out.phase_sum;
-  if (row.visits > 0) row.mean_phases /= static_cast<double>(row.visits);
+  if (out.weight_sum > 0.0) row.mean_phases /= out.weight_sum;
   row.queue_series = std::move(out.queue_series);
   return row;
 }
@@ -161,6 +191,22 @@ void print_load_result(std::ostream& os, const LoadResult& result) {
   }
   os << t.to_string();
 
+  bool any_sampled = false;
+  for (const LoadCellRow& r : result.rows) any_sampled |= r.sampled > 0;
+  if (any_sampled) {
+    os << "\ncoreset sampling (weighted estimates; p95 bound is the rank-CI):\n";
+    util::AsciiTable s({"rate", "proto", "population", "sampled", "n_eff", "est visits",
+                        "plt p95", "p95 lo", "p95 hi"});
+    for (const LoadCellRow& r : result.rows) {
+      s.add_row({util::fmt(r.offered_rate, 1), r.h3 ? "h3" : "h2",
+                 std::to_string(r.population), std::to_string(r.sampled),
+                 util::fmt(r.n_eff, 1), util::fmt(r.est_arrivals, 1),
+                 util::fmt(r.plt_p95_ms, 1), util::fmt(r.plt_p95_lo_ms, 1),
+                 util::fmt(r.plt_p95_hi_ms, 1)});
+    }
+    os << s.to_string();
+  }
+
   os << "\nper-cell critical-path attribution (mean ms per visit):\n";
   std::vector<std::string> header = {"rate", "proto"};
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
@@ -177,12 +223,35 @@ void print_load_result(std::ostream& os, const LoadResult& result) {
   os << a.to_string();
 }
 
+bool verify_sampling_accuracy(const LoadResult& sampled, const LoadResult& full,
+                              std::ostream& os) {
+  H3CDN_EXPECTS(sampled.rows.size() == full.rows.size());
+  bool ok = true;
+  util::AsciiTable t({"rate", "proto", "sampled", "population", "p95 lo", "p95 est",
+                      "p95 hi", "full p95", "verdict"});
+  for (std::size_t i = 0; i < sampled.rows.size(); ++i) {
+    const LoadCellRow& s = sampled.rows[i];
+    const LoadCellRow& f = full.rows[i];
+    const bool inside = f.plt_p95_ms >= s.plt_p95_lo_ms && f.plt_p95_ms <= s.plt_p95_hi_ms;
+    ok &= inside;
+    t.add_row({util::fmt(s.offered_rate, 1), s.h3 ? "h3" : "h2",
+               std::to_string(s.sampled), std::to_string(s.population),
+               util::fmt(s.plt_p95_lo_ms, 1), util::fmt(s.plt_p95_ms, 1),
+               util::fmt(s.plt_p95_hi_ms, 1), util::fmt(f.plt_p95_ms, 1),
+               inside ? "within bound" : "OUTSIDE BOUND"});
+  }
+  os << "coreset accuracy vs full population (p95 PLT must sit in the rank-CI):\n"
+     << t.to_string();
+  return ok;
+}
+
 std::string load_result_to_csv(const LoadResult& result) {
   std::ostringstream os;
-  os << "rate,proto,arrivals,visits,failed_visits,clients,plt_p50_ms,plt_p95_ms,"
+  os << "rate,proto,arrivals,visits,failed_visits,clients,population,sampled,"
+        "est_arrivals,n_eff,plt_p50_ms,plt_p95_ms,plt_p95_lo_ms,plt_p95_hi_ms,"
         "plt_p99_ms,ttfb_p50_ms,ttfb_p95_ms,connections_created,connections_refused,"
         "refusal_retries,requests_failed,refusal_rate,mean_queue_depth,max_queue_depth,"
-        "mean_busy_cores,max_concurrent";
+        "mean_busy_cores,max_concurrent,sim_events";
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
     os << ",cp_" << obs::to_string(static_cast<obs::Phase>(i)) << "_ms";
   }
@@ -190,13 +259,16 @@ std::string load_result_to_csv(const LoadResult& result) {
   for (const LoadCellRow& r : result.rows) {
     os << util::fmt(r.offered_rate, 3) << ',' << (r.h3 ? "h3" : "h2") << ',' << r.arrivals
        << ',' << r.visits << ',' << r.failed_visits << ',' << r.clients << ','
+       << r.population << ',' << r.sampled << ',' << util::fmt(r.est_arrivals, 1) << ','
+       << util::fmt(r.n_eff, 1) << ','
        << util::fmt(r.plt_p50_ms, 3) << ',' << util::fmt(r.plt_p95_ms, 3) << ','
+       << util::fmt(r.plt_p95_lo_ms, 3) << ',' << util::fmt(r.plt_p95_hi_ms, 3) << ','
        << util::fmt(r.plt_p99_ms, 3) << ',' << util::fmt(r.ttfb_p50_ms, 3) << ','
        << util::fmt(r.ttfb_p95_ms, 3) << ',' << r.connections_created << ','
        << r.connections_refused << ',' << r.refusal_retries << ',' << r.requests_failed
        << ',' << util::fmt(r.refusal_rate, 4) << ',' << util::fmt(r.mean_queue_depth, 3)
        << ',' << r.max_queue_depth << ',' << util::fmt(r.mean_busy_cores, 3) << ','
-       << r.max_concurrent;
+       << r.max_concurrent << ',' << r.sim_events;
     for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
       os << ',' << util::fmt(r.mean_phases[static_cast<obs::Phase>(i)], 3);
     }

@@ -45,6 +45,12 @@ struct LoadStudyConfig {
 
   browser::VantageConfig vantage;
   browser::BrowserConfig browser;
+  // Heterogeneous access links per population member (load/fleet.h). Empty =
+  // homogeneous `vantage`.
+  std::vector<LinkMixEntry> link_mix;
+  // Coreset mode: every cell simulates a stratified sample of its population
+  // with extrapolation weights (docs/SCALING.md §4). target 0 = full runs.
+  SamplingConfig sampling;
   std::uint64_t seed = 20221010;
   int jobs = 1;  // 0 = hardware concurrency
 };
@@ -56,8 +62,14 @@ struct LoadCellRow {
   std::size_t visits = 0;
   std::size_t failed_visits = 0;  // root document never loaded
   std::size_t clients = 0;        // distinct virtual clients the cell needed
+  std::size_t population = 0;  // planned members before sampling
+  std::size_t sampled = 0;     // coreset size (0 when the full population ran)
+  double est_arrivals = 0.0;   // Σ weight: extrapolated completed-visit count
+  double n_eff = 0.0;          // Kish effective sample size of the PLT sample
   double plt_p50_ms = 0.0;
   double plt_p95_ms = 0.0;
+  double plt_p95_lo_ms = 0.0;  // rank-CI bound (== p95 in full runs)
+  double plt_p95_hi_ms = 0.0;
   double plt_p99_ms = 0.0;
   double ttfb_p50_ms = 0.0;
   double ttfb_p95_ms = 0.0;
@@ -70,6 +82,7 @@ struct LoadCellRow {
   std::size_t max_queue_depth = 0;
   double mean_busy_cores = 0.0;
   std::size_t max_concurrent = 0;  // peak concurrent connections sampled
+  std::uint64_t sim_events = 0;    // simulator events the cell executed
   obs::PhaseVector mean_phases;    // critical-path attribution per visit
   std::vector<QueueSample> queue_series;
 };
@@ -88,6 +101,13 @@ LoadResult run_load_study(const LoadStudyConfig& config,
                           core::RunObservability* observability = nullptr);
 
 void print_load_result(std::ostream& os, const LoadResult& result);
+
+/// Accuracy check for coreset mode: every cell's full-population p95 PLT must
+/// fall inside the paired sampled cell's reported [lo, hi] rank-CI. Writes a
+/// per-cell comparison to `os`; returns false on any violation (CI smoke and
+/// --fleet-sample-verify hook this).
+bool verify_sampling_accuracy(const LoadResult& sampled, const LoadResult& full,
+                              std::ostream& os);
 
 /// Machine-readable form (one row per cell + compact queue time series);
 /// also the byte-identity surface for the --jobs determinism tests.

@@ -10,10 +10,17 @@ namespace h3cdn::obs {
 
 namespace {
 
-bool is_wall_metric(const std::string& name) {
-  static constexpr const char* kSuffix = "wall_ms";
-  const std::size_t n = std::char_traits<char>::length(kSuffix);
-  return name.size() >= n && name.compare(name.size() - n, n, kSuffix) == 0;
+// Host metrics measure the machine the bench ran on, not the simulation:
+// wall clocks ("*wall*" — wall_ms suffixes and the per-jobs wall_jobsN
+// family), wall-derived throughput (unit "per_sec"), wall-clock speedup
+// ratios, and resident-set sizes. They are never comparable across hosts,
+// so the gate skips them unless --include-wall asks otherwise.
+bool is_host_metric(const std::string& name, const std::string& unit) {
+  if (name.find("wall") != std::string::npos) return true;
+  if (name.find("speedup") != std::string::npos) return true;
+  const std::size_t n = std::char_traits<char>::length("rss_mb");
+  if (name.size() >= n && name.compare(name.size() - n, n, "rss_mb") == 0) return true;
+  return unit == "per_sec";
 }
 
 }  // namespace
@@ -100,7 +107,7 @@ BenchDiffReport diff_bench_records(const std::vector<BenchRecordInfo>& base,
         report.skipped.push_back(name + "/" + m.metric + ": new metric");
         continue;
       }
-      if (options.skip_wall_metrics && is_wall_metric(m.metric)) continue;
+      if (options.skip_wall_metrics && is_host_metric(m.metric, m.unit)) continue;
       BenchMetricDelta d;
       d.bench = name;
       d.metric = m.metric;

@@ -39,8 +39,9 @@ struct BenchDiffOptions {
   /// Absolute movement tolerated regardless of the relative band (absorbs
   /// jitter on near-zero metrics like failure counts).
   double abs_floor = 1e-9;
-  /// Skip wall-clock metrics ("*wall_ms"): they measure the host machine,
-  /// not the simulation, and are never comparable across runs.
+  /// Skip host metrics ("*wall*", "*rss_mb", unit "per_sec" throughput,
+  /// "*speedup*" ratios): they measure the host machine, not the
+  /// simulation, and are never comparable across runs.
   bool skip_wall_metrics = true;
   /// Refuse to compare records whose config hashes differ (different sites/
   /// probes scale => different expected values). Disabled, mismatches are

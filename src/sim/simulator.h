@@ -4,39 +4,65 @@
 // ordered by (time, insertion sequence), so simultaneous events fire in the
 // order they were scheduled — this total order is what makes whole-study runs
 // bit-reproducible.
+//
+// Two interchangeable scheduler cores implement that contract
+// (docs/SCALING.md):
+//
+//  * Calendar (default): a calendar queue — a ring of time buckets whose
+//    width adapts to the observed event density — over a slab/free-list
+//    event arena. Buckets are intrusive chains threaded through the arena
+//    slots; the callback lives inline in its slot via SmallFn, so
+//    steady-state scheduling performs no per-event heap allocation and pops
+//    are O(1) amortized instead of O(log n).
+//  * Heap: the reference binary-heap scheduler (the pre-calendar
+//    implementation, kept verbatim in spirit: priority queue plus
+//    pending/cancelled id sets). Selected with the H3CDN_SIM_HEAP_SCHEDULER=1
+//    environment variable or an explicit constructor argument; used for A/B
+//    verification — both cores fire events in the identical total order —
+//    and as the baseline for the scheduler microbench.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "util/types.h"
 
 namespace h3cdn::sim {
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Calendar core: packs (generation << 32 | arena slot); never zero.
 using EventId = std::uint64_t;
 
 /// Deterministic event-queue simulator with a microsecond virtual clock.
 class Simulator {
  public:
-  Simulator() = default;
+  enum class Backend { Calendar, Heap };
+
+  /// Backend from the environment: Heap when H3CDN_SIM_HEAP_SCHEDULER is set
+  /// to a non-empty, non-"0" value, Calendar otherwise.
+  Simulator();
+  explicit Simulator(Backend backend);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Backend backend() const { return backend_; }
 
   /// Current virtual time.
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (>= now()).
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  /// Accepts any void() callable (stored inline for captures <= 48 bytes).
+  EventId schedule_at(TimePoint at, SmallFn fn);
 
   /// Schedules `fn` to run `delay` (>= 0) after now().
-  EventId schedule_in(Duration delay, std::function<void()> fn);
+  EventId schedule_in(Duration delay, SmallFn fn);
 
   /// Cancels a pending event. Returns false if it already fired or was
-  /// cancelled. Cancelling is O(1); cancelled entries are skipped on pop.
+  /// cancelled. Calendar core: removes the entry and recycles its arena slot
+  /// immediately, so pending() stays exact with no shadow bookkeeping.
   bool cancel(EventId id);
 
   /// Runs until the queue drains. Returns the number of events executed.
@@ -51,29 +77,79 @@ class Simulator {
   /// Number of events executed since construction.
   [[nodiscard]] std::size_t events_executed() const { return executed_; }
 
-  /// Number of currently pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of currently pending (non-cancelled) events. Exact under
+  /// arbitrary schedule/cancel/pop interleavings.
+  [[nodiscard]] std::size_t pending() const;
 
  private:
-  struct Event {
-    TimePoint at;
-    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
-    EventId id;
-    std::function<void()> fn;
+  // --- calendar core: event arena -----------------------------------------
+  // One slot per live event. Slots are recycled through a free list; the
+  // generation counter in the EventId makes stale handles (fired or
+  // cancelled events) fail cancel() without any side table. Each bucket of
+  // the calendar is an intrusive singly-linked chain threaded through the
+  // slots (`next`), so steady-state schedule/cancel/pop never allocates.
+  struct Slot {
+    TimePoint at{0};
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 1;
+    std::uint32_t next = kNilSlot;  // next slot in this event's bucket chain
+    bool live = false;
+    SmallFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void calendar_link(std::uint32_t slot);
+  /// Unlinks and returns the earliest (at, seq) live slot with at <= bound;
+  /// kNilSlot if none qualifies.
+  std::uint32_t calendar_pop(TimePoint bound);
+  void calendar_resize(std::size_t nbuckets);
+  /// Re-derives the bucket width from the live event spread (Brown's
+  /// calendar-queue heuristic) and redistributes all entries.
+  void calendar_recalibrate();
+  [[nodiscard]] std::uint64_t virtual_index(TimePoint at) const {
+    return static_cast<std::uint64_t>(at.count()) / width_us_;
+  }
+
+  EventId calendar_schedule(TimePoint at, SmallFn fn);
+  bool calendar_cancel(EventId id);
+  std::size_t calendar_run(TimePoint until);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> buckets_;  // chain head per bucket (kNilSlot = empty)
+  std::uint64_t width_us_ = 1024;  // bucket width, microseconds
+  std::uint64_t base_vi_ = 0;      // virtual bucket index of the current time
+  std::size_t live_ = 0;           // pending (non-cancelled) events
+
+  // --- heap core (reference) ----------------------------------------------
+  struct HeapEvent {
+    TimePoint at{0};
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    SmallFn fn;
+  };
+  struct HeapLater {
+    bool operator()(const HeapEvent& a, const HeapEvent& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventId heap_schedule(TimePoint at, SmallFn fn);
+  bool heap_cancel(EventId id);
+  std::size_t heap_run(TimePoint until);
+
+  std::priority_queue<HeapEvent, std::vector<HeapEvent>, HeapLater> heap_;
   std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
+  EventId next_heap_id_ = 1;
+
+  // --- shared --------------------------------------------------------------
+  Backend backend_ = Backend::Calendar;
   TimePoint now_{0};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::size_t executed_ = 0;
 };
 

@@ -116,6 +116,27 @@ TEST(BenchDiff, WallClockMetricsAreSkippedByDefault) {
   EXPECT_FALSE(diff_bench_records({base}, {cur}, include_wall).clean(include_wall));
 }
 
+TEST(BenchDiff, HostThroughputAndSpeedupMetricsAreSkippedByDefault) {
+  // Wall-derived throughput (unit per_sec) and speedup ratios measure the
+  // host, exactly like *wall_ms — a committed baseline must not flag them
+  // on a differently-provisioned runner.
+  const auto base = record("a", "h1",
+                           {{"events_per_second", 1.0e6, "per_sec"},
+                            {"sched_calendar_speedup", 3.8, "ratio"},
+                            {"peak_rss_mb", 180.0, "mb"}});
+  const auto cur = record("a", "h1",
+                          {{"events_per_second", 2.0e5, "per_sec"},
+                           {"sched_calendar_speedup", 1.9, "ratio"},
+                           {"peak_rss_mb", 420.0, "mb"}});
+  const BenchDiffOptions options;
+  const auto report = diff_bench_records({base}, {cur}, options);
+  EXPECT_TRUE(report.deltas.empty());
+  EXPECT_TRUE(report.clean(options));
+  BenchDiffOptions include_wall;
+  include_wall.skip_wall_metrics = false;
+  EXPECT_EQ(diff_bench_records({base}, {cur}, include_wall).flagged_count(), 3u);
+}
+
 TEST(BenchDiff, ConfigHashMismatchBlocksComparison) {
   const auto base = record("a", "h1", {{"plt_ms", 100.0, "ms"}});
   const auto cur = record("a", "h2", {{"plt_ms", 500.0, "ms"}});

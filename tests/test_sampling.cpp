@@ -1,0 +1,150 @@
+#include "load/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "load/study.h"
+#include "util/rng.h"
+
+namespace h3cdn::load {
+namespace {
+
+TEST(SamplePlan, InactiveWhenTargetCoversPopulation) {
+  util::Rng rng(1);
+  const std::vector<std::uint32_t> strata(40, 0);
+  EXPECT_FALSE(plan_stratified_sample(strata, 0, rng).active);
+  EXPECT_FALSE(plan_stratified_sample(strata, 40, rng).active);
+  EXPECT_FALSE(plan_stratified_sample(strata, 100, rng).active);
+}
+
+TEST(SamplePlan, ProportionalAllocationAcrossStrata) {
+  // 300 members of stratum 0, 100 of stratum 1; a 40-member coreset should
+  // split ~30/10.
+  std::vector<std::uint32_t> strata;
+  for (int i = 0; i < 300; ++i) strata.push_back(0);
+  for (int i = 0; i < 100; ++i) strata.push_back(1);
+  util::Rng rng(7);
+  const SamplePlan plan = plan_stratified_sample(strata, 40, rng);
+  ASSERT_TRUE(plan.active);
+  EXPECT_EQ(plan.population, 400u);
+  EXPECT_EQ(plan.chosen.size(), 40u);
+  ASSERT_EQ(plan.strata.size(), 2u);
+  EXPECT_EQ(plan.strata[0].population, 300u);
+  EXPECT_EQ(plan.strata[0].sampled, 30u);
+  EXPECT_DOUBLE_EQ(plan.strata[0].weight, 10.0);
+  EXPECT_EQ(plan.strata[1].population, 100u);
+  EXPECT_EQ(plan.strata[1].sampled, 10u);
+  EXPECT_DOUBLE_EQ(plan.strata[1].weight, 10.0);
+}
+
+TEST(SamplePlan, WeightsExtrapolateToThePopulation) {
+  // Uneven strata: Σ chosen weights must reconstruct the population size.
+  std::vector<std::uint32_t> strata;
+  for (int i = 0; i < 17; ++i) strata.push_back(2);
+  for (int i = 0; i < 211; ++i) strata.push_back(5);
+  for (int i = 0; i < 72; ++i) strata.push_back(9);
+  util::Rng rng(42);
+  const SamplePlan plan = plan_stratified_sample(strata, 30, rng);
+  ASSERT_TRUE(plan.active);
+  double total = 0.0;
+  for (double w : plan.weights) total += w;
+  EXPECT_NEAR(total, 300.0, 1e-9);
+  // Every chosen member's weight matches its stratum summary.
+  std::map<std::uint32_t, double> weight_of;
+  for (const StratumSummary& s : plan.strata) weight_of[s.id] = s.weight;
+  for (std::size_t k = 0; k < plan.chosen.size(); ++k) {
+    EXPECT_DOUBLE_EQ(plan.weights[k], weight_of[strata[plan.chosen[k]]]);
+  }
+}
+
+TEST(SamplePlan, EveryNonEmptyStratumGetsAtLeastOneMember) {
+  // 64 singleton strata and a tiny budget: each must still be represented.
+  std::vector<std::uint32_t> strata;
+  for (std::uint32_t s = 0; s < 64; ++s) strata.push_back(s);
+  util::Rng rng(3);
+  const SamplePlan plan = plan_stratified_sample(strata, 8, rng);
+  ASSERT_TRUE(plan.active);
+  EXPECT_EQ(plan.chosen.size(), 64u);  // min-one dominates the target
+  for (const StratumSummary& s : plan.strata) EXPECT_EQ(s.sampled, 1u);
+}
+
+TEST(SamplePlan, ChosenAscendingUniqueAndDeterministic) {
+  std::vector<std::uint32_t> strata;
+  for (int i = 0; i < 500; ++i) strata.push_back(static_cast<std::uint32_t>(i % 3));
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  const SamplePlan a = plan_stratified_sample(strata, 50, rng_a);
+  const SamplePlan b = plan_stratified_sample(strata, 50, rng_b);
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_EQ(a.weights, b.weights);
+  ASSERT_TRUE(std::is_sorted(a.chosen.begin(), a.chosen.end()));
+  EXPECT_TRUE(std::adjacent_find(a.chosen.begin(), a.chosen.end()) == a.chosen.end());
+}
+
+TEST(WeightedQuantile, UnitWeightsMatchTypeOneQuantile) {
+  std::vector<std::pair<double, double>> vw;
+  for (int i = 1; i <= 100; ++i) vw.emplace_back(static_cast<double>(i), 1.0);
+  const QuantileEstimate q50 = weighted_quantile(vw, 0.50, 1.96);
+  const QuantileEstimate q95 = weighted_quantile(vw, 0.95, 1.96);
+  EXPECT_DOUBLE_EQ(q50.value, 50.0);
+  EXPECT_DOUBLE_EQ(q95.value, 95.0);
+  EXPECT_DOUBLE_EQ(q50.n_eff, 100.0);
+  // The CI brackets the point estimate and is ordered.
+  EXPECT_LE(q95.lo, q95.value);
+  EXPECT_GE(q95.hi, q95.value);
+}
+
+TEST(WeightedQuantile, WeightsShiftTheEstimate) {
+  // One heavy upper value dominates half the mass: the weighted median must
+  // land on it.
+  std::vector<std::pair<double, double>> vw = {{1.0, 1.0}, {2.0, 1.0}, {100.0, 10.0}};
+  EXPECT_DOUBLE_EQ(weighted_quantile(vw, 0.50, 1.96).value, 100.0);
+  // Kish n_eff collapses toward 1 when one weight dominates.
+  EXPECT_LT(weighted_quantile(vw, 0.50, 1.96).n_eff, 2.0);
+}
+
+TEST(WeightedQuantile, EmptyInputYieldsZeros) {
+  const QuantileEstimate est = weighted_quantile({}, 0.95, 1.96);
+  EXPECT_DOUBLE_EQ(est.value, 0.0);
+  EXPECT_DOUBLE_EQ(est.n_eff, 0.0);
+}
+
+// End-to-end accuracy: a ~10% coreset of an uncontended load cell must
+// reproduce the full-population p95 PLT within its own reported rank-CI.
+// (Small scale here; CI smoke runs the bigger version via
+// `h3cdn_study --experiment load --fleet-sample N --fleet-sample-verify`.)
+TEST(SamplingAccuracy, CoresetP95WithinReportedBound) {
+  LoadStudyConfig cfg;
+  cfg.workload.site_count = 16;
+  cfg.sites = 4;
+  cfg.offered_rates = {6.0};
+  cfg.window = sec(40);
+  cfg.jobs = 0;
+  cfg.capacity.enabled = false;  // uncontended: sampling's validity domain
+
+  LoadStudyConfig sampled_cfg = cfg;
+  sampled_cfg.sampling.target = 24;
+  const LoadResult sampled = run_load_study(sampled_cfg);
+  const LoadResult full = run_load_study(cfg);
+
+  std::ostringstream report;
+  EXPECT_TRUE(verify_sampling_accuracy(sampled, full, report)) << report.str();
+  for (const LoadCellRow& row : sampled.rows) {
+    EXPECT_EQ(row.population, full.rows.front().population);
+    EXPECT_EQ(row.sampled, 24u);
+    EXPECT_GT(row.n_eff, 0.0);
+    EXPECT_LE(row.plt_p95_lo_ms, row.plt_p95_ms);
+    EXPECT_GE(row.plt_p95_hi_ms, row.plt_p95_ms);
+    // The extrapolated visit count reconstructs the population scale.
+    EXPECT_NEAR(row.est_arrivals, static_cast<double>(row.population),
+                static_cast<double>(row.population) * 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace h3cdn::load

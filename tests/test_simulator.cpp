@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace h3cdn::sim {
@@ -133,6 +135,158 @@ TEST(SimulatorDeath, PastSchedulingAborts) {
   sim.schedule_at(msec(10), [] {});
   sim.run();
   EXPECT_DEATH(sim.schedule_at(msec(5), [] {}), "precondition");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-core contract, checked against BOTH backends: the calendar queue
+// and the reference heap must be observably interchangeable.
+// ---------------------------------------------------------------------------
+
+class SchedulerBackendTest : public ::testing::TestWithParam<Simulator::Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, SchedulerBackendTest,
+                         ::testing::Values(Simulator::Backend::Calendar,
+                                           Simulator::Backend::Heap),
+                         [](const auto& info) {
+                           return info.param == Simulator::Backend::Calendar
+                                      ? "Calendar"
+                                      : "Heap";
+                         });
+
+TEST_P(SchedulerBackendTest, SameTimestampFifo) {
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  // Interleave two timestamps so same-time FIFO must hold per timestamp even
+  // when insertions alternate.
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(msec(10), [&order, i] { order.push_back(i); });
+    sim.schedule_at(msec(5), [&order, i] { order.push_back(1000 + i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[i], 1000 + i);       // all msec(5) events first, FIFO
+    EXPECT_EQ(order[50 + i], i);         // then the msec(10) events, FIFO
+  }
+}
+
+TEST_P(SchedulerBackendTest, CancelLastScheduledEvent) {
+  Simulator sim(GetParam());
+  bool fired = false;
+  sim.schedule_at(msec(1), [] {});
+  const EventId last = sim.schedule_at(msec(2), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(last));
+  EXPECT_FALSE(sim.cancel(last));
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), msec(1));  // the cancelled tail never advanced the clock
+}
+
+TEST_P(SchedulerBackendTest, RunUntilIncludesEventExactlyAtBound) {
+  Simulator sim(GetParam());
+  std::vector<int> fired;
+  sim.schedule_at(msec(10), [&] { fired.push_back(10); });
+  sim.schedule_at(msec(20), [&] { fired.push_back(20); });  // exactly at bound
+  sim.schedule_at(msec(20) + usec(1), [&] { fired.push_back(21); });
+  EXPECT_EQ(sim.run_until(msec(20)), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), msec(20));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 21}));
+}
+
+TEST_P(SchedulerBackendTest, RescheduleFromInsideCallback) {
+  Simulator sim(GetParam());
+  std::vector<std::int64_t> fired_at;
+  EventId victim = 0;
+  sim.schedule_at(msec(5), [&] {
+    // Cancel a pending event and replace it with an earlier AND a later one,
+    // all from inside a running callback.
+    EXPECT_TRUE(sim.cancel(victim));
+    sim.schedule_at(msec(7), [&] { fired_at.push_back(sim.now().count()); });
+    sim.schedule_at(msec(30), [&] { fired_at.push_back(sim.now().count()); });
+    sim.schedule_in(Duration::zero(), [&] { fired_at.push_back(-1); });  // now
+  });
+  victim = sim.schedule_at(msec(20), [&] { fired_at.push_back(sim.now().count()); });
+  sim.run();
+  EXPECT_EQ(fired_at, (std::vector<std::int64_t>{-1, msec(7).count(), msec(30).count()}));
+}
+
+// Regression for the pending() double-bookkeeping bug: under interleaved
+// schedule/cancel/run the old shadow-set accounting could drift from the
+// queue's true live count. pending() must stay exact at every step.
+TEST_P(SchedulerBackendTest, PendingExactUnderInterleaving) {
+  Simulator sim(GetParam());
+  std::vector<EventId> ids;
+  std::size_t expected = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(sim.schedule_at(msec(100 + round * 10 + i), [] {}));
+      ++expected;
+      ASSERT_EQ(sim.pending(), expected);
+    }
+    // Cancel every other id from this round, newest first.
+    for (const std::size_t back : {1u, 3u, 5u, 7u, 9u}) {
+      ASSERT_TRUE(sim.cancel(ids[ids.size() - back]));
+      --expected;
+      ASSERT_EQ(sim.pending(), expected);
+    }
+    // Double-cancel is a no-op on the count.
+    ASSERT_FALSE(sim.cancel(ids.back()));
+    ASSERT_EQ(sim.pending(), expected);
+  }
+  // Drain a prefix; pending() tracks executions too.
+  const std::size_t ran = sim.run_until(msec(150));
+  expected -= ran;
+  ASSERT_EQ(sim.pending(), expected);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+// Differential fuzz: drive both cores through the same pseudo-random 10k-op
+// schedule/cancel/run_until script and require the identical firing order.
+TEST(SchedulerDifferential, TenThousandOpFuzz) {
+  Simulator cal(Simulator::Backend::Calendar);
+  Simulator heap(Simulator::Backend::Heap);
+  std::vector<std::uint32_t> cal_fired;
+  std::vector<std::uint32_t> heap_fired;
+  std::vector<EventId> cal_ids;
+  std::vector<EventId> heap_ids;
+
+  std::uint64_t lcg = 0xdeadbeefcafef00dull;
+  auto rnd = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+
+  for (std::uint32_t op = 0; op < 10'000; ++op) {
+    const std::uint64_t kind = rnd() % 100;
+    if (kind < 70) {
+      // Schedule at a horizon that clusters events (same-time collisions are
+      // the interesting case for FIFO order).
+      const Duration delay = usec(static_cast<std::int64_t>(rnd() % 5'000));
+      cal_ids.push_back(cal.schedule_in(delay, [&cal_fired, op] { cal_fired.push_back(op); }));
+      heap_ids.push_back(
+          heap.schedule_in(delay, [&heap_fired, op] { heap_fired.push_back(op); }));
+    } else if (kind < 90 && !cal_ids.empty()) {
+      // Cancel a random previously issued id; outcomes must agree even for
+      // already-fired or already-cancelled handles.
+      const std::size_t pick = rnd() % cal_ids.size();
+      EXPECT_EQ(cal.cancel(cal_ids[pick]), heap.cancel(heap_ids[pick])) << "op " << op;
+    } else {
+      // Advance both clocks through a bounded run.
+      const TimePoint until = cal.now() + usec(static_cast<std::int64_t>(rnd() % 2'000));
+      EXPECT_EQ(cal.run_until(until), heap.run_until(until)) << "op " << op;
+      ASSERT_EQ(cal.now(), heap.now()) << "op " << op;
+    }
+    ASSERT_EQ(cal.pending(), heap.pending()) << "op " << op;
+  }
+  EXPECT_EQ(cal.run(), heap.run());
+  EXPECT_EQ(cal.now(), heap.now());
+  ASSERT_EQ(cal_fired, heap_fired);
+  EXPECT_EQ(cal.events_executed(), heap.events_executed());
 }
 
 }  // namespace

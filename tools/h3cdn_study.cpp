@@ -61,6 +61,9 @@ struct Options {
   std::vector<double> load_rates = {2.0, 8.0, 32.0};
   double load_window_s = 10.0;
   load::ArrivalKind load_arrival = load::ArrivalKind::Poisson;
+  std::size_t fleet_sample = 0;      // coreset target per cell; 0 = full run
+  bool fleet_sample_verify = false;  // also run full, check the p95 rank-CI
+  std::vector<load::LinkMixEntry> link_mix;  // heterogeneous access links
   bool sites_set = false;  // load defaults to a small rotation unless --sites
   bool no_resilience = false;  // chaos: disable the engine under test
 };
@@ -70,6 +73,7 @@ struct Options {
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
                "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|chaos|all]\n"
                "       [--load-rates R1,R2,...] [--load-window SEC] [--load-arrival fixed|poisson|ramp|closed]\n"
+               "       [--fleet-sample N] [--fleet-sample-verify] [--link-mix NAME:W,NAME:W,...]\n"
                "       [--link-profile wired|cellular] [--no-resilience]\n"
                "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
@@ -116,6 +120,26 @@ Options parse(int argc, char** argv) {
       bool ok = true;
       o.load_arrival = load::arrival_kind_from_string(next(), &ok);
       if (!ok) usage(argv[0]);
+    } else if (arg == "--fleet-sample") {
+      o.fleet_sample = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--fleet-sample-verify") {
+      o.fleet_sample_verify = true;
+    } else if (arg == "--link-mix") {
+      // NAME:WEIGHT pairs, e.g. wired:0.7,cellular:0.3
+      std::stringstream list(next());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        if (item.empty()) continue;
+        const std::size_t colon = item.find(':');
+        load::LinkMixEntry entry;
+        entry.profile = item.substr(0, colon);
+        if (colon != std::string::npos) entry.weight = std::stod(item.substr(colon + 1));
+        if (!net::LinkProfile::from_name(entry.profile) || entry.weight <= 0) {
+          usage(argv[0]);
+        }
+        o.link_mix.push_back(entry);
+      }
+      if (o.link_mix.empty()) usage(argv[0]);
     } else if (arg == "--link-profile") {
       o.study.link_profile = next();
       if (!net::LinkProfile::from_name(o.study.link_profile)) usage(argv[0]);
@@ -184,11 +208,28 @@ int emit(const Options& o, std::ostream& os) {
     cfg.arrival = o.load_arrival;
     cfg.offered_rates = o.load_rates;
     cfg.window = from_ms(o.load_window_s * 1000.0);
+    cfg.link_mix = o.link_mix;
+    cfg.sampling.target = o.fleet_sample;
     const load::LoadResult result = load::run_load_study(cfg, o.study.observability);
     if (csv) {
       os << load::load_result_to_csv(result);
     } else {
       load::print_load_result(os, result);
+    }
+    if (o.fleet_sample_verify) {
+      if (o.fleet_sample == 0) {
+        std::cerr << "--fleet-sample-verify requires --fleet-sample N\n";
+        return 2;
+      }
+      // Re-run the identical sweep with sampling off; the sampled run's p95
+      // rank-CI must cover every full-population cell.
+      load::LoadStudyConfig full_cfg = cfg;
+      full_cfg.sampling.target = 0;
+      const load::LoadResult full = load::run_load_study(full_cfg, nullptr);
+      if (!load::verify_sampling_accuracy(result, full, std::cerr)) {
+        std::cerr << "fleet-sample: full-population p95 outside the reported bound\n";
+        return 1;
+      }
     }
     return 0;
   }
