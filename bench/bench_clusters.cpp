@@ -1,0 +1,63 @@
+// bench_clusters — workload-archetype discovery (docs/OBSERVABILITY.md
+// "Archetypes & QoE"): clusters the full study's per-page attribution
+// vectors, reports clustering throughput and the archetype census, and
+// records the global-vs-conditioned selector A/B headline so CI tracks
+// whether archetype-conditioned protocol selection keeps paying for itself.
+#include "bench_common.h"
+#include "core/clusters.h"
+
+namespace {
+
+using namespace h3cdn;
+
+void bm_compute_clusters(benchmark::State& state) {
+  const auto study = core::MeasurementStudy(bench::micro_config()).run();
+  core::ClustersConfig cfg;
+  cfg.run_ab = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_clusters(study, cfg));
+  }
+}
+BENCHMARK(bm_compute_clusters)->Unit(benchmark::kMillisecond);
+
+void reproduce(std::ostream& os, bench::BenchReport& report) {
+  core::StudyConfig study_cfg = bench::standard_config();
+  study_cfg.jobs = 0;
+  const auto study = core::MeasurementStudy(study_cfg).run();
+
+  const auto start = std::chrono::steady_clock::now();
+  const core::ClustersResult result = core::compute_clusters(study);
+  const double cluster_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  core::print_clusters(os, result);
+
+  report.add("pages", static_cast<double>(result.pages.size()), "count");
+  if (cluster_s > 0.0) {
+    report.add("pages_per_second", static_cast<double>(result.pages.size()) / cluster_s,
+               "per_sec");
+  }
+  report.add("archetype_count", static_cast<double>(result.cluster_count), "count");
+  report.add("eps_used", result.eps_used, "share_distance");
+  std::size_t noise_pages = 0;
+  for (const auto& a : result.archetypes) {
+    if (a.id == -1) noise_pages = a.pages;
+  }
+  report.add("noise_pages", static_cast<double>(noise_pages), "count");
+
+  // The A/B headline: a conditioned selector that loses to the global one
+  // means the archetype split is not carrying signal — CI asserts delta >= 0.
+  report.add("ab_global_mean_plt_ms", result.ab.global_mean_plt_ms, "ms");
+  report.add("ab_conditioned_mean_plt_ms", result.ab.conditioned_mean_plt_ms, "ms");
+  report.add("ab_mean_plt_delta_ms", result.ab.mean_delta_ms(), "ms");
+  report.add("ab_oracle_mean_plt_ms", result.ab.oracle_mean_plt_ms, "ms");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv,
+      "Workload archetypes: attribution-vector clustering and the "
+      "global-vs-conditioned selector A/B",
+      reproduce);
+}

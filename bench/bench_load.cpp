@@ -61,6 +61,11 @@ void reproduce(std::ostream& os, bench::BenchReport& report) {
     report.add(prefix + "plt_p50_ms", row.plt_p50_ms, "ms");
     report.add(prefix + "plt_p95_ms", row.plt_p95_ms, "ms");
     report.add(prefix + "ttfb_p95_ms", row.ttfb_p95_ms, "ms");
+    // count:0-only convention: the p95 is only meaningful (and only emitted)
+    // when at least one visit produced a QoE sample.
+    if (row.qoe_samples > 0) {
+      report.add(prefix + "qoe_fcp_p95_ms", row.qoe_fcp_p95_ms, "ms");
+    }
     report.add(prefix + "refusal_rate", row.refusal_rate, "ratio");
     report.add(prefix + "mean_queue_depth", row.mean_queue_depth, "count");
     report.add(prefix + "requests_failed", static_cast<double>(row.requests_failed),

@@ -1,0 +1,110 @@
+#include "analysis/archetype.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/vector_math.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace h3cdn::analysis {
+
+std::string archetype_name(const std::vector<double>& centroid,
+                           const std::vector<double>& population_mean,
+                           const std::vector<std::string>& dim_names,
+                           double min_deviation) {
+  H3CDN_EXPECTS(centroid.size() >= dim_names.size());
+  H3CDN_EXPECTS(population_mean.size() >= dim_names.size());
+  if (dim_names.empty()) return "archetype";
+  std::size_t best_dev = 0;
+  std::size_t best_abs = 0;
+  for (std::size_t d = 1; d < dim_names.size(); ++d) {
+    if (centroid[d] - population_mean[d] > centroid[best_dev] - population_mean[best_dev]) {
+      best_dev = d;
+    }
+    if (centroid[d] > centroid[best_abs]) best_abs = d;
+  }
+  if (centroid[best_dev] - population_mean[best_dev] >= min_deviation) {
+    return dim_names[best_dev] + "-bound";
+  }
+  return dim_names[best_abs] + "-heavy";
+}
+
+namespace {
+
+// Compacts raw labels into ascending 0-based ids (noise stays -1) in order
+// of first appearance by *smallest member index*, so ids are canonical.
+std::vector<int> canonicalize_labels(const std::vector<int>& raw, std::size_t* cluster_count) {
+  std::map<int, int> remap;  // raw id -> canonical id, assigned in scan order
+  int next = 0;
+  for (int label : raw) {
+    if (label < 0) continue;
+    if (remap.emplace(label, next).second) ++next;
+  }
+  std::vector<int> out(raw.size(), -1);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] >= 0) out[i] = remap[raw[i]];
+  }
+  *cluster_count = static_cast<std::size_t>(next);
+  return out;
+}
+
+}  // namespace
+
+ArchetypeResult discover_archetypes(const std::vector<std::vector<double>>& features,
+                                    const std::vector<std::string>& dim_names,
+                                    const ArchetypeConfig& config) {
+  H3CDN_EXPECTS(!features.empty());
+  for (const auto& row : features) H3CDN_EXPECTS(row.size() == features[0].size());
+
+  ArchetypeResult r;
+  std::vector<int> raw(features.size(), 0);
+  if (config.algo == ArchetypeAlgo::Dbscan) {
+    const DbscanResult d = dbscan(features, config.dbscan);
+    raw = d.labels;
+    r.eps_used = d.eps_used;
+  } else if (features.size() >= 2) {
+    const KMeansSweepResult sweep = kmeans_select_k(features, config.k_min, config.k_max,
+                                                    config.kmeans, util::Rng(config.seed));
+    r.chosen_k = sweep.best_k;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      raw[i] = static_cast<int>(sweep.best.assignment[i]);
+    }
+  }
+  r.labels = canonicalize_labels(raw, &r.cluster_count);
+
+  // Silhouette over clustered (non-noise) points only.
+  {
+    std::vector<std::vector<double>> clustered;
+    std::vector<std::size_t> assignment;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (r.labels[i] < 0) continue;
+      clustered.push_back(features[i]);
+      assignment.push_back(static_cast<std::size_t>(r.labels[i]));
+    }
+    r.silhouette = silhouette_score(clustered, assignment);
+  }
+
+  const std::vector<double> population_mean = mean_row(features);
+  std::map<int, Archetype> by_id;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    Archetype& a = by_id[r.labels[i]];
+    a.id = r.labels[i];
+    a.members.push_back(i);
+  }
+  for (auto& [id, a] : by_id) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(a.members.size());
+    for (std::size_t m : a.members) rows.push_back(features[m]);
+    a.centroid = mean_row(rows);
+    a.name = id < 0 ? "noise" : archetype_name(a.centroid, population_mean, dim_names);
+  }
+  // Ascending by id with the noise bucket (-1) moved last.
+  for (auto& [id, a] : by_id) {
+    if (id >= 0) r.archetypes.push_back(std::move(a));
+  }
+  if (auto it = by_id.find(-1); it != by_id.end()) r.archetypes.push_back(std::move(it->second));
+  return r;
+}
+
+}  // namespace h3cdn::analysis

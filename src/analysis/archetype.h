@@ -1,0 +1,66 @@
+// Workload-archetype discovery: clusters normalized attribution vectors
+// (phase *shares*, optionally extended with QoE ratios) into named regimes
+// like "hol_stall-bound" or "tls_hs-bound". Density-based (DBSCAN) by
+// default so the number of regimes is discovered, with a silhouette-swept
+// k-means++ as the parametric alternative.
+//
+// This layer is generic over feature rows + dimension names; mapping study
+// pages into features (and back) lives in core, which depends on analysis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dbscan.h"
+#include "analysis/kmeans.h"
+
+namespace h3cdn::analysis {
+
+enum class ArchetypeAlgo { Dbscan, KMeans };
+
+struct ArchetypeConfig {
+  ArchetypeAlgo algo = ArchetypeAlgo::Dbscan;
+  /// DBSCAN parameters (eps 0 selects the median k-dist radius).
+  DbscanConfig dbscan;
+  /// k-means silhouette sweep range (clamped to the point count).
+  std::size_t k_min = 2;
+  std::size_t k_max = 6;
+  KMeansConfig kmeans;  // .k is overridden by the sweep
+  std::uint64_t seed = 7;
+};
+
+struct Archetype {
+  int id = -1;                       // -1 is the noise bucket (DBSCAN only)
+  std::string name;                  // e.g. "hol_stall-bound", or "noise"
+  std::vector<double> centroid;      // mean feature vector of the members
+  std::vector<std::size_t> members;  // point indices, ascending
+};
+
+struct ArchetypeResult {
+  std::vector<int> labels;           // point index -> archetype id (-1 noise)
+  std::vector<Archetype> archetypes; // ascending by id; noise bucket last
+  std::size_t cluster_count = 0;     // excludes the noise bucket
+  double eps_used = 0.0;             // DBSCAN radius actually used
+  std::size_t chosen_k = 0;          // k picked by the silhouette sweep
+  double silhouette = 0.0;           // silhouette of the final labeling
+};
+
+/// Names an archetype by the named dimension where its centroid most exceeds
+/// the population mean ("<dim>-bound"). When no dimension stands out by more
+/// than `min_deviation` the dominant absolute share names it instead, marked
+/// "-heavy" rather than "-bound". Only the first dim_names.size() centroid
+/// entries participate (QoE extras are never name-determining).
+std::string archetype_name(const std::vector<double>& centroid,
+                           const std::vector<double>& population_mean,
+                           const std::vector<std::string>& dim_names,
+                           double min_deviation = 0.01);
+
+/// Clusters `features` (all rows the same dimension; rows should already be
+/// normalized shares) and derives named archetypes. Deterministic.
+ArchetypeResult discover_archetypes(const std::vector<std::vector<double>>& features,
+                                    const std::vector<std::string>& dim_names,
+                                    const ArchetypeConfig& config);
+
+}  // namespace h3cdn::analysis

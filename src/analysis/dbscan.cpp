@@ -1,0 +1,107 @@
+#include "analysis/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "analysis/vector_math.h"
+#include "util/check.h"
+
+namespace h3cdn::analysis {
+
+RegionIndex::RegionIndex(const std::vector<std::vector<double>>& points) : points_(&points) {
+  order_.resize(points.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a][0] != points[b][0]) return points[a][0] < points[b][0];
+    return a < b;  // stable tie-break so the index itself is deterministic
+  });
+  coord0_.reserve(points.size());
+  for (std::size_t idx : order_) coord0_.push_back(points[idx][0]);
+}
+
+std::vector<std::size_t> RegionIndex::query(std::size_t center, double eps) const {
+  const auto& points = *points_;
+  const double x0 = points[center][0];
+  const double eps2 = eps * eps;
+  const auto lo = std::lower_bound(coord0_.begin(), coord0_.end(), x0 - eps);
+  const auto hi = std::upper_bound(coord0_.begin(), coord0_.end(), x0 + eps);
+  std::vector<std::size_t> hits;
+  for (auto it = lo; it != hi; ++it) {
+    const std::size_t idx = order_[static_cast<std::size_t>(it - coord0_.begin())];
+    if (squared_distance(points[center], points[idx]) <= eps2) hits.push_back(idx);
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+double median_k_distance(const std::vector<std::vector<double>>& points, std::size_t min_pts) {
+  const std::size_t n = points.size();
+  if (n < 2) return 0.0;
+  // k-th nearest neighbor with self excluded; clamp so tiny sets still work.
+  const std::size_t k = std::min(std::max<std::size_t>(1, min_pts), n - 1);
+  std::vector<double> kdist;
+  kdist.reserve(n);
+  std::vector<double> d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      d2[m++] = squared_distance(points[i], points[j]);
+    }
+    std::nth_element(d2.begin(), d2.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     d2.begin() + static_cast<std::ptrdiff_t>(m));
+    kdist.push_back(std::sqrt(d2[k - 1]));
+  }
+  std::sort(kdist.begin(), kdist.end());
+  const std::size_t mid = kdist.size() / 2;
+  if (kdist.size() % 2 == 1) return kdist[mid];
+  return 0.5 * (kdist[mid - 1] + kdist[mid]);
+}
+
+DbscanResult dbscan(const std::vector<std::vector<double>>& points, DbscanConfig config) {
+  H3CDN_EXPECTS(!points.empty());
+  for (const auto& p : points) H3CDN_EXPECTS(!p.empty() && p.size() == points[0].size());
+  H3CDN_EXPECTS(config.min_pts >= 1);
+
+  const std::size_t n = points.size();
+  DbscanResult r;
+  r.eps_used = config.eps > 0.0 ? config.eps : median_k_distance(points, config.min_pts);
+  r.core.assign(n, false);
+
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  r.labels.assign(n, kUnvisited);
+
+  const RegionIndex index(points);
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.labels[i] != kUnvisited) continue;
+    const auto neighbors = index.query(i, r.eps_used);
+    if (neighbors.size() < config.min_pts) {
+      r.labels[i] = kNoise;  // may be re-claimed as a border point later
+      continue;
+    }
+    r.core[i] = true;
+    const int cluster = next_cluster++;
+    r.labels[i] = cluster;
+    std::deque<std::size_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (r.labels[q] == kNoise) r.labels[q] = cluster;  // border point
+      if (r.labels[q] != kUnvisited) continue;
+      r.labels[q] = cluster;
+      const auto q_neighbors = index.query(q, r.eps_used);
+      if (q_neighbors.size() >= config.min_pts) {
+        r.core[q] = true;
+        frontier.insert(frontier.end(), q_neighbors.begin(), q_neighbors.end());
+      }
+    }
+  }
+  r.cluster_count = static_cast<std::size_t>(next_cluster);
+  return r;
+}
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,61 @@
+// Density-based clustering (DBSCAN) over small/medium point sets, used by the
+// archetype-discovery pass to find workload regimes without fixing k ahead of
+// time. The region query is indexed: points are sorted by their first
+// coordinate, a binary search narrows each epsilon-ball lookup to the
+// [x0 - eps, x0 + eps] window, and only that window is distance-filtered.
+//
+// Determinism: points are visited in ascending index order and cluster
+// expansion is breadth-first over neighbor lists that are themselves sorted
+// by point index. A border point reachable from several clusters therefore
+// always joins the cluster that reaches it first in this canonical order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace h3cdn::analysis {
+
+struct DbscanConfig {
+  /// Epsilon-ball radius (Euclidean). 0 selects a radius automatically from
+  /// the data: the median distance-to-min_pts-th-nearest-neighbor ("k-dist"
+  /// heuristic), so dense share-vector clouds still form clusters.
+  double eps = 0.0;
+  /// Minimum neighborhood size (including the point itself) for a core point.
+  std::size_t min_pts = 4;
+};
+
+struct DbscanResult {
+  /// point index -> cluster id (0-based, in order of discovery) or -1 = noise.
+  std::vector<int> labels;
+  std::size_t cluster_count = 0;
+  /// Per-point core flag (|N_eps(p)| >= min_pts), exposed for tests.
+  std::vector<bool> core;
+  /// The radius actually used (== config.eps unless auto-selected).
+  double eps_used = 0.0;
+};
+
+/// Sorted-coordinate index answering epsilon-ball queries without a full scan.
+class RegionIndex {
+ public:
+  explicit RegionIndex(const std::vector<std::vector<double>>& points);
+
+  /// All point indices within Euclidean distance `eps` of `points[center]`
+  /// (including `center` itself), sorted ascending by point index.
+  std::vector<std::size_t> query(std::size_t center, double eps) const;
+
+ private:
+  const std::vector<std::vector<double>>* points_;
+  std::vector<std::size_t> order_;  // point indices sorted by coordinate 0
+  std::vector<double> coord0_;      // first coordinate, in `order_` order
+};
+
+/// Clusters `points` (all the same dimension, at least one point).
+/// Deterministic: identical input and config yield identical labels.
+DbscanResult dbscan(const std::vector<std::vector<double>>& points, DbscanConfig config);
+
+/// The auto-eps heuristic used when config.eps == 0: median over points of
+/// the distance to the min_pts-th nearest neighbor (self excluded). Exposed
+/// for tests and for reporting the chosen radius.
+double median_k_distance(const std::vector<std::vector<double>>& points, std::size_t min_pts);
+
+}  // namespace h3cdn::analysis

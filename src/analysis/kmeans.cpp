@@ -1,18 +1,12 @@
 #include "analysis/kmeans.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/check.h"
 
 namespace h3cdn::analysis {
-
-double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
-  H3CDN_EXPECTS(a.size() == b.size());
-  double d = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
-  return d;
-}
 
 namespace {
 
@@ -117,6 +111,69 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points, KMeansConfig
     if (r.inertia < best.inertia) best = std::move(r);
   }
   return best;
+}
+
+double silhouette_score(const std::vector<std::vector<double>>& points,
+                        const std::vector<std::size_t>& assignment) {
+  H3CDN_EXPECTS(points.size() == assignment.size());
+  const std::size_t n = points.size();
+  if (n == 0) return 0.0;
+  std::size_t k = 0;
+  for (std::size_t c : assignment) k = std::max(k, c + 1);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t c : assignment) ++counts[c];
+  std::size_t populated = 0;
+  for (std::size_t c : counts)
+    if (c > 0) ++populated;
+  if (populated < 2) return 0.0;
+
+  double total = 0.0;
+  std::vector<double> mean_to(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t own = assignment[i];
+    if (counts[own] <= 1) continue;  // singleton scores 0
+    std::fill(mean_to.begin(), mean_to.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_to[assignment[j]] += euclidean_distance(points[i], points[j]);
+    }
+    const double a = mean_to[own] / static_cast<double>(counts[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_to[c] / static_cast<double>(counts[c]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+KMeansSweepResult kmeans_select_k(const std::vector<std::vector<double>>& points,
+                                  std::size_t k_min, std::size_t k_max, KMeansConfig base,
+                                  util::Rng rng) {
+  H3CDN_EXPECTS(!points.empty());
+  H3CDN_EXPECTS(k_min >= 1 && k_min <= k_max);
+  k_max = std::min(k_max, points.size());
+  k_min = std::min(k_min, k_max);
+
+  KMeansSweepResult sweep;
+  double best_silhouette = -std::numeric_limits<double>::max();
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansConfig config = base;
+    config.k = k;
+    KMeansResult r = kmeans(points, config, rng.fork(k));
+    const double s = silhouette_score(points, r.assignment);
+    sweep.ks.push_back(k);
+    sweep.silhouettes.push_back(s);
+    sweep.inertias.push_back(r.inertia);
+    if (s > best_silhouette) {  // strict '>' prefers the smaller k on ties
+      best_silhouette = s;
+      sweep.best_k = k;
+      sweep.best = std::move(r);
+    }
+  }
+  return sweep;
 }
 
 }  // namespace h3cdn::analysis

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "analysis/vector_math.h"  // squared_distance shared with DBSCAN
 #include "util/rng.h"
 
 namespace h3cdn::analysis {
@@ -29,7 +30,27 @@ struct KMeansConfig {
 KMeansResult kmeans(const std::vector<std::vector<double>>& points, KMeansConfig config,
                     util::Rng rng);
 
-/// Squared Euclidean distance (exposed for tests).
-double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+/// Mean silhouette coefficient of a clustering: for each point, a = mean
+/// distance to its own cluster, b = min over other clusters of the mean
+/// distance to that cluster, s = (b - a) / max(a, b). Singleton clusters
+/// score 0, as does any clustering with fewer than two populated clusters.
+/// Range [-1, 1]; higher is better-separated.
+double silhouette_score(const std::vector<std::vector<double>>& points,
+                        const std::vector<std::size_t>& assignment);
+
+struct KMeansSweepResult {
+  std::size_t best_k = 0;
+  KMeansResult best;               // the kmeans run at best_k
+  std::vector<std::size_t> ks;     // the k values swept, ascending
+  std::vector<double> silhouettes; // silhouette per swept k
+  std::vector<double> inertias;    // inertia per swept k (elbow diagnostics)
+};
+
+/// Sweeps k in [k_min, k_max] (clamped to points.size()) and keeps the k with
+/// the highest silhouette score, preferring the smaller k on ties.
+/// Deterministic given `rng`; each k runs on an independent fork.
+KMeansSweepResult kmeans_select_k(const std::vector<std::vector<double>>& points,
+                                  std::size_t k_min, std::size_t k_max, KMeansConfig base,
+                                  util::Rng rng);
 
 }  // namespace h3cdn::analysis

@@ -1,0 +1,43 @@
+#include "analysis/vector_math.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace h3cdn::analysis {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  H3CDN_EXPECTS(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return d;
+}
+
+double euclidean_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+std::vector<std::vector<double>> normalize_rows(const std::vector<std::vector<double>>& rows) {
+  std::vector<std::vector<double>> out = rows;
+  for (auto& row : out) {
+    H3CDN_EXPECTS(row.size() == out[0].size());
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    if (sum <= 0.0) continue;
+    for (double& v : row) v /= sum;
+  }
+  return out;
+}
+
+std::vector<double> mean_row(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  std::vector<double> mean(rows[0].size(), 0.0);
+  for (const auto& row : rows) {
+    H3CDN_EXPECTS(row.size() == mean.size());
+    for (std::size_t d = 0; d < mean.size(); ++d) mean[d] += row[d];
+  }
+  for (double& v : mean) v /= static_cast<double>(rows.size());
+  return mean;
+}
+
+}  // namespace h3cdn::analysis

@@ -1,0 +1,26 @@
+// Shared vector math for the clustering passes (k-means, DBSCAN, archetype
+// discovery). Kept dependency-free so any analysis component can use it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace h3cdn::analysis {
+
+/// Squared Euclidean distance. Requires a.size() == b.size().
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance.
+double euclidean_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Normalizes each row to unit L1 mass (row / sum(row)), turning additive
+/// phase vectors into scale-free *shares*. Rows whose sum is <= 0 are left
+/// untouched (an all-zero attribution carries no shape information).
+/// All rows must have the same dimension.
+std::vector<std::vector<double>> normalize_rows(const std::vector<std::vector<double>>& rows);
+
+/// Element-wise mean of `rows` (all the same dimension). Empty input yields
+/// an empty vector.
+std::vector<double> mean_row(const std::vector<std::vector<double>>& rows);
+
+}  // namespace h3cdn::analysis

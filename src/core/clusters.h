@@ -1,0 +1,115 @@
+// Workload-archetype discovery over a completed study (`--experiment
+// clusters`): every H2/H3 visit pair becomes one point in normalized
+// phase-share space (optionally extended with QoE ratios), the archetype
+// pass (analysis/archetype.h) clusters the points, and each discovered
+// archetype gets its own H2-vs-H3 phase-diff summary — the global dissection
+// split by *regime* instead of by vantage or provider. A built-in A/B
+// replay then pits an archetype-conditioned AdaptiveProtocolSelector against
+// the global one over the same measured pairs.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/archetype.h"
+#include "core/selector.h"
+#include "core/study.h"
+#include "obs/critical_path.h"
+
+namespace h3cdn::core {
+
+struct ClustersConfig {
+  analysis::ArchetypeConfig archetype;  // algorithm, eps/min_pts, k sweep, seed
+  /// Append QoE ratio features (FCP/PLT, SpeedIndex/PLT) to the phase shares.
+  bool include_qoe = false;
+  /// Run the global-vs-conditioned selector A/B replay.
+  bool run_ab = true;
+  SelectorConfig selector;  // base config for both A/B arms
+};
+
+/// One clustered point: an H2/H3 visit pair of one site from one vantage.
+struct ClusterPage {
+  std::size_t site_index = 0;
+  std::string site;
+  std::string vantage;
+  std::size_t probe = 0;
+  std::string provider;  // dominant CDN provider ("none" when uncached)
+  int archetype = -1;    // assigned archetype id, -1 = noise
+  double h2_plt_ms = 0.0;
+  double h3_plt_ms = 0.0;
+  double h2_fcp_ms = 0.0;
+  double h3_fcp_ms = 0.0;
+  double h2_si_ms = 0.0;
+  double h3_si_ms = 0.0;
+  std::vector<double> features;  // the clustered feature row
+};
+
+/// Per-archetype H2/H3 diff summary (same shape as a dissection row).
+struct ClusterArchetypeRow {
+  int id = -1;  // -1 = noise bucket; the global row uses id -2
+  std::string name;
+  std::size_t pages = 0;
+  std::vector<double> centroid;  // first obs::kPhaseCount dims sum to 1
+  double mean_h2_plt_ms = 0.0;
+  double mean_h3_plt_ms = 0.0;
+  obs::PhaseVector mean_h2;
+  obs::PhaseVector mean_h3;
+  obs::PhaseVector mean_delta;  // mean_h2 - mean_h3
+  double mean_h2_fcp_ms = 0.0;
+  double mean_h3_fcp_ms = 0.0;
+  double mean_h2_si_ms = 0.0;
+  double mean_h3_si_ms = 0.0;
+
+  [[nodiscard]] double mean_plt_delta_ms() const { return mean_h2_plt_ms - mean_h3_plt_ms; }
+};
+
+/// Result of the built-in selector A/B replay: both arms are trained on the
+/// full pair set (explore_rate forced to 0 for determinism), then evaluated
+/// on the same pairs; a pair's realized PLT is the measured PLT of whichever
+/// protocol the arm recommends (H3 when an arm defers to the pool default).
+struct SelectorAbResult {
+  std::size_t pairs = 0;
+  double global_mean_plt_ms = 0.0;       // arm A: one global selector state
+  double conditioned_mean_plt_ms = 0.0;  // arm B: conditioned per archetype
+  double oracle_mean_plt_ms = 0.0;       // per-pair best arm (lower bound)
+  std::size_t global_h2_picks = 0;
+  std::size_t conditioned_h2_picks = 0;
+
+  /// Positive when conditioning helps (global minus conditioned).
+  [[nodiscard]] double mean_delta_ms() const {
+    return global_mean_plt_ms - conditioned_mean_plt_ms;
+  }
+};
+
+struct ClustersResult {
+  std::string algo;  // "dbscan" or "kmeans"
+  bool qoe_features = false;
+  std::vector<std::string> feature_names;
+  std::size_t cluster_count = 0;  // excludes the noise bucket
+  double eps_used = 0.0;          // DBSCAN radius actually used
+  std::size_t chosen_k = 0;       // k-means silhouette-sweep pick
+  double silhouette = 0.0;
+  std::vector<ClusterPage> pages;               // canonical pairs() order
+  std::vector<ClusterArchetypeRow> archetypes;  // ascending id, noise last
+  ClusterArchetypeRow global;                   // the "all pages" row
+  SelectorAbResult ab;
+};
+
+/// Clusters a completed study's pairs into archetypes. Deterministic: the
+/// pair order is the study engine's canonical merge order, so the result
+/// (and its serializations) are byte-identical at any --jobs.
+[[nodiscard]] ClustersResult compute_clusters(const StudyResult& study,
+                                              const ClustersConfig& config = {});
+
+/// The clusters.json artifact (schema in docs/OBSERVABILITY.md).
+[[nodiscard]] std::string clusters_to_json(const ClustersResult& r);
+
+/// Per-archetype diff rows as CSV (global row first, noise last).
+[[nodiscard]] std::string clusters_to_csv(const ClustersResult& r);
+
+/// ASCII archetype table plus the A/B summary.
+void print_clusters(std::ostream& os, const ClustersResult& r);
+
+}  // namespace h3cdn::core

@@ -1,6 +1,8 @@
 #include "core/export.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "util/json.h"
 
@@ -150,7 +152,14 @@ std::string dissection_to_csv(const PltDissectionResult& r) {
   };
   row(r.overall);
   for (const auto& g : r.by_vantage) row(g);
-  for (const auto& g : r.by_provider) row(g);
+  // Provider rows in canonical (sorted-by-name) order regardless of how the
+  // producing container iterates, so the CSV is stable across builds.
+  std::vector<const PltDissectionRow*> providers;
+  providers.reserve(r.by_provider.size());
+  for (const auto& g : r.by_provider) providers.push_back(&g);
+  std::sort(providers.begin(), providers.end(),
+            [](const PltDissectionRow* a, const PltDissectionRow* b) { return a->group < b->group; });
+  for (const PltDissectionRow* g : providers) row(*g);
   return os.str();
 }
 

@@ -23,20 +23,24 @@ const AdaptiveProtocolSelector::Arm& AdaptiveProtocolSelector::arm(const OriginS
 
 void AdaptiveProtocolSelector::observe(const std::string& origin, http::HttpVersion version,
                                        double total_ms) {
-  if (version == http::HttpVersion::H1_1) return;  // no H1/H3 arbitrage
-  Arm& a = arm(origins_[origin], version);
-  a.ewma_ms = a.n == 0 ? total_ms
-                       : config_.ewma_alpha * total_ms + (1.0 - config_.ewma_alpha) * a.ewma_ms;
-  ++a.n;
+  observe(kGlobalContext, origin, version, total_ms);
 }
 
-std::optional<http::HttpVersion> AdaptiveProtocolSelector::recommend(
-    const std::string& origin) {
-  auto it = origins_.find(origin);
-  if (it == origins_.end()) return std::nullopt;
-  const OriginState& s = it->second;
-  ++decisions_;
+void AdaptiveProtocolSelector::observe(int context, const std::string& origin,
+                                       http::HttpVersion version, double total_ms) {
+  if (version == http::HttpVersion::H1_1) return;  // no H1/H3 arbitrage
+  const auto feed = [&](OriginState& s) {
+    Arm& a = arm(s, version);
+    a.ewma_ms = a.n == 0
+                    ? total_ms
+                    : config_.ewma_alpha * total_ms + (1.0 - config_.ewma_alpha) * a.ewma_ms;
+    ++a.n;
+  };
+  feed(contexts_[context][origin]);
+  if (context != kGlobalContext) feed(contexts_[kGlobalContext][origin]);
+}
 
+std::optional<http::HttpVersion> AdaptiveProtocolSelector::recommend_in(const OriginState& s) {
   // Not enough evidence on one arm: explore it (bounded by explore_rate once
   // both arms have some data, unconditionally while one arm is empty).
   if (s.h3.n < config_.min_observations && s.h2.n >= config_.min_observations) {
@@ -62,17 +66,47 @@ std::optional<http::HttpVersion> AdaptiveProtocolSelector::recommend(
   return http::HttpVersion::H3;
 }
 
+std::optional<http::HttpVersion> AdaptiveProtocolSelector::recommend(
+    const std::string& origin) {
+  return recommend(kGlobalContext, origin);
+}
+
+std::optional<http::HttpVersion> AdaptiveProtocolSelector::recommend(int context,
+                                                                     const std::string& origin) {
+  ++decisions_;
+  if (auto ctx = contexts_.find(context); ctx != contexts_.end()) {
+    if (auto it = ctx->second.find(origin); it != ctx->second.end()) {
+      if (auto pick = recommend_in(it->second)) return pick;
+    }
+  }
+  if (context == kGlobalContext) return std::nullopt;
+  // Fall back to the pooled marginal when this archetype lacks evidence.
+  if (auto ctx = contexts_.find(kGlobalContext); ctx != contexts_.end()) {
+    if (auto it = ctx->second.find(origin); it != ctx->second.end()) {
+      return recommend_in(it->second);
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<double> AdaptiveProtocolSelector::estimate(const std::string& origin,
                                                          http::HttpVersion version) const {
-  auto it = origins_.find(origin);
-  if (it == origins_.end()) return std::nullopt;
+  return estimate(kGlobalContext, origin, version);
+}
+
+std::optional<double> AdaptiveProtocolSelector::estimate(int context, const std::string& origin,
+                                                         http::HttpVersion version) const {
+  auto ctx = contexts_.find(context);
+  if (ctx == contexts_.end()) return std::nullopt;
+  auto it = ctx->second.find(origin);
+  if (it == ctx->second.end()) return std::nullopt;
   const Arm& a = arm(it->second, version);
   if (a.n == 0) return std::nullopt;
   return a.ewma_ms;
 }
 
 void AdaptiveProtocolSelector::reset() {
-  origins_.clear();
+  contexts_.clear();
   decisions_ = 0;
   explorations_ = 0;
 }

@@ -28,18 +28,39 @@ struct SelectorConfig {
 
 class AdaptiveProtocolSelector {
  public:
+  /// Context id for archetype-conditioned selection. The global context pools
+  /// every observation regardless of workload archetype — the pre-archetype
+  /// behavior, and the fallback when a context has no evidence of its own.
+  static constexpr int kGlobalContext = -1;
+
   explicit AdaptiveProtocolSelector(SelectorConfig config, util::Rng rng);
   AdaptiveProtocolSelector() : AdaptiveProtocolSelector({}, util::Rng(1)) {}
 
-  /// Feeds one completed entry's total latency.
+  /// Feeds one completed entry's total latency (global context).
   void observe(const std::string& origin, http::HttpVersion version, double total_ms);
+
+  /// Context-conditioned observation: updates the named context's estimate
+  /// and (when context != kGlobalContext) the global marginal too, so global
+  /// recommendations stay consistent with everything observed.
+  void observe(int context, const std::string& origin, http::HttpVersion version,
+               double total_ms);
 
   /// The protocol the selector would use for this origin right now, or
   /// nullopt to defer to the pool's default policy (insufficient data).
   [[nodiscard]] std::optional<http::HttpVersion> recommend(const std::string& origin);
 
+  /// Archetype-conditioned recommendation: decides on the context's own
+  /// estimates when they are mature, otherwise falls back to the global
+  /// context (and to nullopt when even that is immature).
+  [[nodiscard]] std::optional<http::HttpVersion> recommend(int context,
+                                                           const std::string& origin);
+
   /// Current latency estimate (EWMA ms) for one arm; nullopt if unobserved.
   [[nodiscard]] std::optional<double> estimate(const std::string& origin,
+                                               http::HttpVersion version) const;
+
+  /// Context-conditioned estimate; does not fall back to the global context.
+  [[nodiscard]] std::optional<double> estimate(int context, const std::string& origin,
                                                http::HttpVersion version) const;
 
   [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
@@ -60,9 +81,13 @@ class AdaptiveProtocolSelector {
   static Arm& arm(OriginState& s, http::HttpVersion v);
   static const Arm& arm(const OriginState& s, http::HttpVersion v);
 
+  /// Recommendation over one context's state only; nullopt when immature.
+  std::optional<http::HttpVersion> recommend_in(const OriginState& s);
+
   SelectorConfig config_;
   util::Rng rng_;
-  std::map<std::string, OriginState> origins_;
+  /// context id (kGlobalContext = pooled) -> origin -> per-arm estimates.
+  std::map<int, std::map<std::string, OriginState>> contexts_;
   std::uint64_t decisions_ = 0;
   std::uint64_t explorations_ = 0;
 };

@@ -185,10 +185,15 @@ void ConnectionPool::fetch(const Request& request, FetchDone done) {
   auto& state = origin_state(request.domain);
   HttpVersion version = protocol_for(*state.info);
   if (config_.protocol_hint && state.info->supports_h2) {
+    const HttpVersion default_pick = version;
     const auto hint = config_.protocol_hint(request.domain);
     if (hint == HttpVersion::H2) version = HttpVersion::H2;
     if (hint == HttpVersion::H3 && config_.h3_enabled && state.info->supports_h3) {
       version = HttpVersion::H3;
+    }
+    if (version != default_pick) {
+      ++stats_.hint_overrides;
+      obs::count("http.hint_overrides");
     }
   }
   // Alt-Svc brokenness: a host whose H3 died routes to H2 until the timed

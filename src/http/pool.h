@@ -129,6 +129,9 @@ struct PoolStats {
   std::uint64_t hedges_launched = 0;     // duplicate copies dispatched
   std::uint64_t deadline_failures = 0;   // typed DeadlineExceeded failures
   std::uint64_t breaker_demotions = 0;   // H3 dials demoted to H2 by a breaker
+  // Adaptive protocol selection (core::AdaptiveProtocolSelector via
+  // PoolConfig::protocol_hint, optionally archetype-conditioned).
+  std::uint64_t hint_overrides = 0;      // fetches where the hint changed the pick
 };
 
 class ConnectionPool {

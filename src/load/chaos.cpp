@@ -200,6 +200,7 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
   row.h3 = sc.h3;
   row.arrivals = out.arrivals;
   std::vector<double> plt_ms;
+  std::vector<double> fcp_ms;
   double plt_sum_ms = 0.0;
   for (const load::VisitRecord& v : out.visits) {
     ++row.visits;
@@ -209,10 +210,16 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
       continue;
     }
     plt_ms.push_back(to_ms(v.plt));
+    fcp_ms.push_back(v.fcp_ms);
   }
   std::sort(plt_ms.begin(), plt_ms.end());
   row.plt_p50_ms = util::quantile_sorted(plt_ms, 0.50);
   row.plt_p95_ms = util::quantile_sorted(plt_ms, 0.95);
+  row.qoe_samples = fcp_ms.size();
+  if (row.qoe_samples > 0) {
+    std::sort(fcp_ms.begin(), fcp_ms.end());
+    row.qoe_fcp_p95_ms = util::quantile_sorted(fcp_ms, 0.95);
+  }
 
   auto cval = [&](const char* name) { return metrics->counter(name).value(); };
   row.entries_submitted = cval("http.entries_submitted");
@@ -378,6 +385,7 @@ void print_chaos_result(std::ostream& os, const ChaosResult& result) {
 std::string chaos_result_to_csv(const ChaosResult& result) {
   std::ostringstream os;
   os << "scenario,proto,arrivals,visits,failed_visits,plt_p50_ms,plt_p95_ms,"
+        "qoe_samples,qoe_fcp_p95_ms,"
         "entries_submitted,entries_completed,entries_failed,retries,hedges_launched,"
         "hedges_won,hedges_lost,hedges_cancelled,resumed_requests,resumed_bytes,"
         "breaker_opened,breaker_demotions,failover_switches,connection_deaths,"
@@ -386,7 +394,9 @@ std::string chaos_result_to_csv(const ChaosResult& result) {
   for (const ChaosCellRow& r : result.rows) {
     os << r.scenario << ',' << (r.h3 ? "h3" : "h2") << ',' << r.arrivals << ','
        << r.visits << ',' << r.failed_visits << ',' << util::fmt(r.plt_p50_ms, 3) << ','
-       << util::fmt(r.plt_p95_ms, 3) << ',' << r.entries_submitted << ','
+       << util::fmt(r.plt_p95_ms, 3) << ',' << r.qoe_samples << ','
+       << util::fmt(r.qoe_samples > 0 ? r.qoe_fcp_p95_ms : 0.0, 3) << ','
+       << r.entries_submitted << ','
        << r.entries_completed << ',' << r.entries_failed << ',' << r.retries << ','
        << r.hedges_launched << ',' << r.hedges_won << ',' << r.hedges_lost << ','
        << r.hedges_cancelled << ',' << r.resumed_requests << ',' << r.resumed_bytes << ','

@@ -110,6 +110,9 @@ struct ChaosCellRow {
   std::size_t failed_visits = 0;  // root document never loaded
   double plt_p50_ms = 0.0;
   double plt_p95_ms = 0.0;
+  // QoE beyond PLT (count:0-only convention: p95 prints 0 when no samples).
+  std::size_t qoe_samples = 0;
+  double qoe_fcp_p95_ms = 0.0;
   std::uint64_t entries_submitted = 0;
   std::uint64_t entries_completed = 0;
   std::uint64_t entries_failed = 0;

@@ -255,7 +255,10 @@ void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id,
 
   // Weight-scaled phase accumulation: dividing phase_sum by weight_sum yields
   // the extrapolated per-visit mean (exactly the plain mean in full runs).
-  obs::PhaseVector phases = obs::analyze_critical_path(browser::make_waterfall(result.har)).phases;
+  const obs::CriticalPathResult cp =
+      obs::analyze_critical_path(browser::make_waterfall(result.har));
+  rec.fcp_ms = cp.qoe.fcp_ms;
+  obs::PhaseVector phases = cp.phases;
   for (double& v : phases.ms) v *= weight;
   outcome_.phase_sum += phases;
   outcome_.weight_sum += weight;
@@ -269,6 +272,7 @@ void Fleet::finish_visit(std::size_t client_index, std::uint32_t root_id,
   } else {
     obs::observe("load.plt_ms", to_ms(rec.plt));
     obs::observe("load.ttfb_ms", to_ms(rec.ttfb));
+    obs::observe("load.qoe_fcp_ms", rec.fcp_ms);
     // Timeline samples land at the visit's ARRIVAL window: the latency of a
     // page is a property of when its load started, which is what lines a PLT
     // spike up against the fault window that caused it.

@@ -55,6 +55,7 @@ struct VisitRecord {
   TimePoint arrived{0};
   Duration plt{0};
   Duration ttfb{0};  // root entry blocked+dns+connect+send+wait
+  double fcp_ms = 0.0;  // first-contentful-resource time (obs::compute_qoe)
   bool root_failed = false;
   std::uint64_t connections_created = 0;
   std::uint64_t connections_refused = 0;

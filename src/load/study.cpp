@@ -68,8 +68,10 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
   row.sim_events = sim.events_executed();
   std::vector<double> plt_ms;
   std::vector<double> ttfb_ms;
+  std::vector<double> fcp_ms;
   std::vector<std::pair<double, double>> plt_w;   // (value, weight)
   std::vector<std::pair<double, double>> ttfb_w;
+  std::vector<std::pair<double, double>> fcp_w;
   for (const VisitRecord& v : out.visits) {
     ++row.visits;
     row.connections_created += v.connections_created;
@@ -82,9 +84,12 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
     }
     plt_ms.push_back(to_ms(v.plt));
     ttfb_ms.push_back(to_ms(v.ttfb));
+    fcp_ms.push_back(v.fcp_ms);
     plt_w.emplace_back(to_ms(v.plt), v.weight);
     ttfb_w.emplace_back(to_ms(v.ttfb), v.weight);
+    fcp_w.emplace_back(v.fcp_ms, v.weight);
   }
+  row.qoe_samples = fcp_ms.size();
   if (out.plan.active) {
     // Weighted estimators extrapolate the coreset to the population; the p95
     // rank-CI is the reported error bound (docs/SCALING.md §4).
@@ -98,6 +103,7 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
     row.plt_p99_ms = weighted_quantile(plt_w, 0.99, z).value;
     row.ttfb_p50_ms = weighted_quantile(ttfb_w, 0.50, z).value;
     row.ttfb_p95_ms = weighted_quantile(ttfb_w, 0.95, z).value;
+    if (row.qoe_samples > 0) row.qoe_fcp_p95_ms = weighted_quantile(fcp_w, 0.95, z).value;
   } else {
     std::sort(plt_ms.begin(), plt_ms.end());
     std::sort(ttfb_ms.begin(), ttfb_ms.end());
@@ -109,6 +115,10 @@ LoadCellRow run_cell(const web::Workload& workload, const LoadStudyConfig& confi
     row.plt_p99_ms = util::quantile_sorted(plt_ms, 0.99);
     row.ttfb_p50_ms = util::quantile_sorted(ttfb_ms, 0.50);
     row.ttfb_p95_ms = util::quantile_sorted(ttfb_ms, 0.95);
+    if (row.qoe_samples > 0) {
+      std::sort(fcp_ms.begin(), fcp_ms.end());
+      row.qoe_fcp_p95_ms = util::quantile_sorted(fcp_ms, 0.95);
+    }
   }
   row.refusal_rate = row.connections_created == 0
                          ? 0.0
@@ -178,13 +188,14 @@ void print_load_result(std::ostream& os, const LoadResult& result) {
   os << "== load sweep: " << to_string(result.arrival) << " arrivals, " << result.sites
      << " sites, window " << util::fmt(to_ms(result.window) / 1000.0, 1) << " s ==\n";
   util::AsciiTable t({"rate", "proto", "visits", "plt p50", "plt p95", "plt p99",
-                      "ttfb p50", "ttfb p95", "refused", "retries", "failed", "refuse%",
-                      "q mean", "q max", "conc max"});
+                      "ttfb p50", "ttfb p95", "fcp p95", "refused", "retries", "failed",
+                      "refuse%", "q mean", "q max", "conc max"});
   for (const LoadCellRow& r : result.rows) {
     t.add_row({util::fmt(r.offered_rate, 1), r.h3 ? "h3" : "h2", std::to_string(r.visits),
                util::fmt(r.plt_p50_ms, 1), util::fmt(r.plt_p95_ms, 1),
                util::fmt(r.plt_p99_ms, 1), util::fmt(r.ttfb_p50_ms, 1),
-               util::fmt(r.ttfb_p95_ms, 1), std::to_string(r.connections_refused),
+               util::fmt(r.ttfb_p95_ms, 1), util::fmt(r.qoe_fcp_p95_ms, 1),
+               std::to_string(r.connections_refused),
                std::to_string(r.refusal_retries), std::to_string(r.requests_failed),
                util::fmt_pct(r.refusal_rate), util::fmt(r.mean_queue_depth, 2),
                std::to_string(r.max_queue_depth), std::to_string(r.max_concurrent)});
@@ -249,7 +260,8 @@ std::string load_result_to_csv(const LoadResult& result) {
   std::ostringstream os;
   os << "rate,proto,arrivals,visits,failed_visits,clients,population,sampled,"
         "est_arrivals,n_eff,plt_p50_ms,plt_p95_ms,plt_p95_lo_ms,plt_p95_hi_ms,"
-        "plt_p99_ms,ttfb_p50_ms,ttfb_p95_ms,connections_created,connections_refused,"
+        "plt_p99_ms,ttfb_p50_ms,ttfb_p95_ms,qoe_samples,qoe_fcp_p95_ms,"
+        "connections_created,connections_refused,"
         "refusal_retries,requests_failed,refusal_rate,mean_queue_depth,max_queue_depth,"
         "mean_busy_cores,max_concurrent,sim_events";
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
@@ -264,7 +276,9 @@ std::string load_result_to_csv(const LoadResult& result) {
        << util::fmt(r.plt_p50_ms, 3) << ',' << util::fmt(r.plt_p95_ms, 3) << ','
        << util::fmt(r.plt_p95_lo_ms, 3) << ',' << util::fmt(r.plt_p95_hi_ms, 3) << ','
        << util::fmt(r.plt_p99_ms, 3) << ',' << util::fmt(r.ttfb_p50_ms, 3) << ','
-       << util::fmt(r.ttfb_p95_ms, 3) << ',' << r.connections_created << ','
+       << util::fmt(r.ttfb_p95_ms, 3) << ',' << r.qoe_samples << ','
+       << util::fmt(r.qoe_samples > 0 ? r.qoe_fcp_p95_ms : 0.0, 3) << ','
+       << r.connections_created << ','
        << r.connections_refused << ',' << r.refusal_retries << ',' << r.requests_failed
        << ',' << util::fmt(r.refusal_rate, 4) << ',' << util::fmt(r.mean_queue_depth, 3)
        << ',' << r.max_queue_depth << ',' << util::fmt(r.mean_busy_cores, 3) << ','

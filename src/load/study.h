@@ -73,6 +73,10 @@ struct LoadCellRow {
   double plt_p99_ms = 0.0;
   double ttfb_p50_ms = 0.0;
   double ttfb_p95_ms = 0.0;
+  // QoE beyond PLT (obs::compute_qoe; count:0-only convention — when no
+  // visit produced a waterfall the sample count is 0 and the p95 prints 0).
+  std::size_t qoe_samples = 0;
+  double qoe_fcp_p95_ms = 0.0;
   std::uint64_t connections_created = 0;
   std::uint64_t connections_refused = 0;
   std::uint64_t refusal_retries = 0;

@@ -118,6 +118,7 @@ double attribute_entry(const WaterfallEntry& entry, double cursor, double plt,
 CriticalPathResult analyze_critical_path(const Waterfall& waterfall) {
   CriticalPathResult result;
   result.plt_ms = std::max(waterfall.page_load_time_ms, 0.0);
+  result.qoe = compute_qoe(waterfall);
   const double plt = result.plt_ms;
   if (waterfall.entries.empty()) {
     result.phases[Phase::IdleGap] = plt;

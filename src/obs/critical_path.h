@@ -55,10 +55,13 @@ struct PhaseVector {
   [[nodiscard]] PhaseVector operator-(const PhaseVector& o) const;
 };
 
-/// One page's attribution: the phase vector plus the walked path.
+/// One page's attribution: the phase vector plus the walked path, with the
+/// waterfall's QoE metrics (FCP, Speed-Index) alongside so one analysis pass
+/// yields the full per-page feature set.
 struct CriticalPathResult {
   double plt_ms = 0.0;
   PhaseVector phases;                // sums to plt_ms (±1 µs)
+  QoeMetrics qoe;                    // compute_qoe(waterfall)
   std::vector<std::size_t> path;     // entry indices, root -> terminal
 };
 

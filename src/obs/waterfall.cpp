@@ -50,6 +50,13 @@ void write_waterfall(util::JsonWriter& w, const Waterfall& wf) {
   if (!wf.vantage.empty()) w.kv("vantage", wf.vantage);
   w.kv("h3_enabled", wf.h3_enabled);
   w.kv("page_load_time_ms", wf.page_load_time_ms);
+  const QoeMetrics qoe = compute_qoe(wf);
+  w.key("qoe").begin_object();
+  w.kv("fcp_ms", qoe.fcp_ms);
+  w.kv("speed_index_ms", qoe.speed_index_ms);
+  w.kv("render_blocking_count", static_cast<std::uint64_t>(qoe.render_blocking_count));
+  w.kv("bytes_total", qoe.bytes_total);
+  w.end_object();
   w.key("pool").begin_object();
   w.kv("connections_created", wf.connections_created);
   w.kv("connection_deaths", wf.connection_deaths);
@@ -64,6 +71,41 @@ void write_waterfall(util::JsonWriter& w, const Waterfall& wf) {
 }
 
 }  // namespace
+
+QoeMetrics compute_qoe(const Waterfall& waterfall) {
+  QoeMetrics q;
+  if (waterfall.entries.empty()) return q;
+
+  // Root document: the first entry with no initiator.
+  std::int64_t root_index = -1;
+  for (std::size_t i = 0; i < waterfall.entries.size(); ++i) {
+    if (waterfall.entries[i].initiator_index < 0) {
+      root_index = static_cast<std::int64_t>(i);
+      break;
+    }
+  }
+  if (root_index < 0) root_index = 0;
+  const WaterfallEntry& root = waterfall.entries[static_cast<std::size_t>(root_index)];
+
+  // FCP: the root plus every render-blocking subresource it discovered.
+  q.fcp_ms = root.end_ms();
+  for (const auto& e : waterfall.entries) {
+    if (e.failed || e.initiator_index != root_index) continue;
+    if (e.type != "css" && e.type != "script") continue;
+    ++q.render_blocking_count;
+    q.fcp_ms = std::max(q.fcp_ms, e.end_ms());
+  }
+
+  // Speed index: byte-weighted mean completion time.
+  double weighted = 0.0;
+  for (const auto& e : waterfall.entries) {
+    if (e.failed || e.response_bytes == 0) continue;
+    q.bytes_total += e.response_bytes;
+    weighted += static_cast<double>(e.response_bytes) * e.end_ms();
+  }
+  q.speed_index_ms = q.bytes_total > 0 ? weighted / static_cast<double>(q.bytes_total) : q.fcp_ms;
+  return q;
+}
 
 std::string waterfall_to_json(const Waterfall& waterfall) {
   util::JsonWriter w;

@@ -78,7 +78,30 @@ struct Waterfall {
   std::vector<WaterfallEntry> entries;
 };
 
-/// One waterfall as a JSON object.
+/// QoE metrics beyond PLT, computable from the waterfall alone (after the
+/// Lighthouse-style targets): PLT hides *when* content became useful, so a
+/// page that trickles bytes for seconds scores the same as one that renders
+/// instantly and fetches a straggler analytics beacon.
+struct QoeMetrics {
+  /// First-contentful-resource time: when the root document and every
+  /// render-blocking subresource it discovered (non-failed css/script
+  /// initiated directly by the root) have finished. A page with zero
+  /// render-blocking subresources paints at the root document's end.
+  double fcp_ms = 0.0;
+  /// Speed-Index-like byte-progress integral: the byte-weighted mean
+  /// completion time sum_e (bytes_e / total_bytes) * end_ms_e over non-failed
+  /// byte-carrying entries. Equals the area above the byte-progress curve,
+  /// so it is monotone under added idle gaps and rewards early delivery.
+  double speed_index_ms = 0.0;
+  std::size_t render_blocking_count = 0;  // blocking subresources behind FCP
+  std::uint64_t bytes_total = 0;          // bytes integrated by speed_index
+};
+
+/// Computes QoE metrics for one page load. Deterministic; an empty waterfall
+/// yields all-zero metrics.
+[[nodiscard]] QoeMetrics compute_qoe(const Waterfall& waterfall);
+
+/// One waterfall as a JSON object (includes a "qoe" sub-object).
 [[nodiscard]] std::string waterfall_to_json(const Waterfall& waterfall);
 
 /// Many waterfalls: {"waterfalls": [...]}.

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/experiments.h"
 #include "core/export.h"
@@ -112,8 +114,22 @@ TEST(ParallelStudy, TimelineArtifactsAreIdenticalAcrossJobCounts) {
 TEST(ParallelStudy, DissectionIsIdenticalAcrossJobCounts) {
   const auto one = MeasurementStudy(parallel_config(1)).run();
   const auto four = MeasurementStudy(parallel_config(4)).run();
-  EXPECT_EQ(dissection_to_csv(compute_plt_dissection(one)),
-            dissection_to_csv(compute_plt_dissection(four)));
+  const auto d_one = compute_plt_dissection(one);
+  const std::string csv = dissection_to_csv(d_one);
+  EXPECT_EQ(csv, dissection_to_csv(compute_plt_dissection(four)));
+
+  // The provider rows are the CSV's only container-ordered section; the
+  // export contract pins them to canonical sorted-by-name order so the file
+  // is stable across library versions, not just across --jobs.
+  std::vector<std::string> groups;
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) groups.push_back(line.substr(0, line.find(',')));
+  ASSERT_EQ(groups.size(), 1 + d_one.by_vantage.size() + d_one.by_provider.size());
+  for (std::size_t i = groups.size() - d_one.by_provider.size() + 1; i < groups.size(); ++i) {
+    EXPECT_LT(groups[i - 1], groups[i]) << "provider rows not in canonical sorted order";
+  }
 }
 
 TEST(ParallelStudy, MergedMetricsCoverEveryShard) {

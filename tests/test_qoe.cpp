@@ -1,0 +1,114 @@
+// QoE metrics beyond PLT (obs::compute_qoe, docs/OBSERVABILITY.md
+// "Archetypes & QoE"): first-contentful-resource time and the Speed-Index
+// style byte-progress integral.
+#include "obs/waterfall.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/critical_path.h"
+
+namespace h3cdn::obs {
+namespace {
+
+WaterfallEntry entry(const std::string& type, double start_ms, double receive_ms,
+                     std::int64_t initiator, std::uint64_t bytes) {
+  WaterfallEntry e;
+  e.url = "https://example.org/" + type;
+  e.type = type;
+  e.start_ms = start_ms;
+  e.receive_ms = receive_ms;
+  e.initiator_index = initiator;
+  e.response_bytes = bytes;
+  return e;
+}
+
+TEST(Qoe, FcpIsRootEndWithoutRenderBlockingResources) {
+  Waterfall wf;
+  wf.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));
+  wf.entries.push_back(entry("image", 100.0, 400.0, 0, 4000));  // images never block
+  const QoeMetrics q = compute_qoe(wf);
+  EXPECT_DOUBLE_EQ(q.fcp_ms, 100.0);
+  EXPECT_EQ(q.render_blocking_count, 0u);
+}
+
+TEST(Qoe, RenderBlockingCssAndScriptPushFcpOut) {
+  Waterfall wf;
+  wf.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));
+  wf.entries.push_back(entry("css", 100.0, 50.0, 0, 500));      // ends at 150
+  wf.entries.push_back(entry("script", 100.0, 120.0, 0, 800));  // ends at 220
+  wf.entries.push_back(entry("image", 100.0, 900.0, 0, 4000));  // ends at 1000, no FCP effect
+  wf.entries.push_back(entry("script", 220.0, 300.0, 2, 800));  // initiated by a script, not root
+  const QoeMetrics q = compute_qoe(wf);
+  EXPECT_DOUBLE_EQ(q.fcp_ms, 220.0);
+  EXPECT_EQ(q.render_blocking_count, 2u);
+}
+
+TEST(Qoe, FailedBlockersDoNotGateFcp) {
+  Waterfall wf;
+  wf.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));
+  WaterfallEntry failed_css = entry("css", 100.0, 5000.0, 0, 0);
+  failed_css.failed = true;
+  wf.entries.push_back(failed_css);
+  const QoeMetrics q = compute_qoe(wf);
+  EXPECT_DOUBLE_EQ(q.fcp_ms, 100.0);
+  EXPECT_EQ(q.render_blocking_count, 0u);
+}
+
+TEST(Qoe, SpeedIndexIsByteWeightedMeanCompletion) {
+  Waterfall wf;
+  wf.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));  // 1000 B at 100 ms
+  wf.entries.push_back(entry("image", 100.0, 200.0, 0, 3000));    // 3000 B at 300 ms
+  const QoeMetrics q = compute_qoe(wf);
+  EXPECT_EQ(q.bytes_total, 4000u);
+  EXPECT_DOUBLE_EQ(q.speed_index_ms, (1000.0 * 100.0 + 3000.0 * 300.0) / 4000.0);
+}
+
+TEST(Qoe, SpeedIndexIsMonotoneUnderAddedIdleGap) {
+  // Delaying one resource's start (an idle gap on its critical path) can only
+  // push byte delivery later, so the integral must not decrease.
+  Waterfall base;
+  base.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));
+  base.entries.push_back(entry("image", 100.0, 200.0, 0, 3000));
+  Waterfall delayed = base;
+  delayed.entries[1].start_ms += 250.0;  // same phases, later start
+  const double without_gap = compute_qoe(base).speed_index_ms;
+  const double with_gap = compute_qoe(delayed).speed_index_ms;
+  EXPECT_GT(with_gap, without_gap);
+  EXPECT_DOUBLE_EQ(with_gap - without_gap, 250.0 * 3000.0 / 4000.0);
+}
+
+TEST(Qoe, EmptyAndZeroByteWaterfallsDegradeGracefully) {
+  const QoeMetrics empty = compute_qoe(Waterfall{});
+  EXPECT_DOUBLE_EQ(empty.fcp_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.speed_index_ms, 0.0);
+  // A waterfall that carried no bytes falls back to fcp rather than 0/0.
+  Waterfall wf;
+  wf.entries.push_back(entry("document", 0.0, 80.0, -1, 0));
+  const QoeMetrics q = compute_qoe(wf);
+  EXPECT_DOUBLE_EQ(q.fcp_ms, 80.0);
+  EXPECT_DOUBLE_EQ(q.speed_index_ms, 80.0);
+  EXPECT_EQ(q.bytes_total, 0u);
+}
+
+TEST(Qoe, WaterfallJsonCarriesTheQoeObject) {
+  Waterfall wf;
+  wf.site = "example.org";
+  wf.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));
+  const std::string json = waterfall_to_json(wf);
+  EXPECT_NE(json.find("\"qoe\":{\"fcp_ms\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"speed_index_ms\":100"), std::string::npos) << json;
+}
+
+TEST(Qoe, CriticalPathResultExposesQoe) {
+  Waterfall wf;
+  wf.entries.push_back(entry("document", 0.0, 100.0, -1, 1000));
+  wf.entries.push_back(entry("css", 100.0, 60.0, 0, 500));
+  const CriticalPathResult cp = analyze_critical_path(wf);
+  EXPECT_DOUBLE_EQ(cp.qoe.fcp_ms, 160.0);
+  EXPECT_EQ(cp.qoe.render_blocking_count, 1u);
+}
+
+}  // namespace
+}  // namespace h3cdn::obs

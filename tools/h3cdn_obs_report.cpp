@@ -8,6 +8,10 @@
 //                                        bars; add --json for the JSON form)
 //   h3cdn_obs_report DIR --timeline      sim-time sparklines per series, with
 //                                        fault/detection/recovery markers
+//   h3cdn_obs_report DIR --archetypes    workload-archetype table from
+//                                        clusters.json (--experiment clusters);
+//                                        with --check, validates the clustering
+//                                        invariants instead of rendering
 //   h3cdn_obs_report DIR --check         validate artifacts; exit 1 on failure
 //     --waterfalls N    number of page waterfalls to render (default 3)
 //     --width N         waterfall terminal width (default 100)
@@ -21,6 +25,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -40,6 +45,7 @@ struct Options {
   bool check = false;
   bool attribution = false;
   bool timeline = false;
+  bool archetypes = false;
   bool json = false;
   bool slo_strict = false;
   std::size_t waterfalls = 3;
@@ -51,6 +57,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " DIR [--check [--slo-strict]] [--attribution [--json]] [--timeline]\n"
+               "       [--archetypes]\n"
                "       [--waterfalls N] [--width N] [--min-series N] [--min-layers N]\n";
   std::exit(2);
 }
@@ -69,6 +76,8 @@ Options parse_args(int argc, char** argv) {
       o.attribution = true;
     } else if (arg == "--timeline") {
       o.timeline = true;
+    } else if (arg == "--archetypes") {
+      o.archetypes = true;
     } else if (arg == "--slo-strict") {
       o.slo_strict = true;
     } else if (arg == "--json") {
@@ -631,6 +640,251 @@ void check_fault_recovery(const util::JsonValue& doc, Checker& check) {
   }
 }
 
+// --- clusters.json (--archetypes) -------------------------------------------
+
+/// The clustering contract (docs/OBSERVABILITY.md "Archetypes & QoE"):
+/// assignments cover every page exactly once; every assignment points at an
+/// exported archetype row whose `pages` equals its member count; centroid
+/// phase shares sum to 1 +- 1e-9; each centroid is the mean of its members'
+/// embedded feature vectors; the per-archetype H2/H3 phase diffs re-aggregate
+/// (pages-weighted) to the global dissection row; and the A/B summary's delta
+/// matches its own means.
+void check_clusters(const util::JsonValue& doc, Checker& check) {
+  const util::JsonValue* archetypes = doc.find("archetypes");
+  const util::JsonValue* assignments = doc.find("assignments");
+  const util::JsonValue* global = doc.find("global");
+  if (archetypes == nullptr || !archetypes->is_array()) {
+    check.fail("clusters.json: missing \"archetypes\" array");
+    return;
+  }
+  if (assignments == nullptr || !assignments->is_array()) {
+    check.fail("clusters.json: missing \"assignments\" array");
+    return;
+  }
+  if (global == nullptr || !global->is_object()) {
+    check.fail("clusters.json: missing \"global\" object");
+    return;
+  }
+
+  // Coverage: every (vantage, probe, site) page appears exactly once and the
+  // declared page count matches the assignment list.
+  const std::size_t n = assignments->as_array().size();
+  if (doc.number_or("pages", -1.0) != static_cast<double>(n)) {
+    check.fail("clusters.json: pages=" + std::to_string(doc.number_or("pages", -1.0)) +
+               " disagrees with " + std::to_string(n) + " assignments");
+  }
+  std::set<std::string> seen;
+  std::map<long long, std::size_t> member_counts;
+  std::map<long long, std::vector<double>> feature_sums;
+  for (const auto& a : assignments->as_array()) {
+    const std::string key = a.string_or("vantage", "?") + "/p" +
+                            std::to_string(static_cast<long long>(a.number_or("probe", -1.0))) +
+                            "/" + std::to_string(static_cast<long long>(a.number_or("site_index", -1.0)));
+    if (!seen.insert(key).second) {
+      check.fail("clusters.json: page " + key + " assigned more than once");
+    }
+    const long long id = static_cast<long long>(a.number_or("archetype", -999.0));
+    ++member_counts[id];
+    if (const util::JsonValue* features = a.find("features");
+        features != nullptr && features->is_array()) {
+      auto& sums = feature_sums[id];
+      if (sums.size() < features->as_array().size()) {
+        sums.resize(features->as_array().size(), 0.0);
+      }
+      std::size_t i = 0;
+      for (const auto& f : features->as_array()) {
+        sums[i++] += f.is_number() ? f.as_number() : 0.0;
+      }
+    }
+  }
+
+  auto centroid_of = [](const util::JsonValue& row) {
+    std::vector<double> c;
+    if (const util::JsonValue* arr = row.find("centroid"); arr != nullptr && arr->is_array()) {
+      for (const auto& v : arr->as_array()) c.push_back(v.is_number() ? v.as_number() : 0.0);
+    }
+    return c;
+  };
+  // Only the first kPhaseCount dims are normalized shares; optional QoE
+  // ratios appended behind --cluster-qoe ride after them unnormalized.
+  auto check_share_sum = [&](const std::string& where, const std::vector<double>& c,
+                             double pages) {
+    if (pages <= 0.0 || c.size() < obs::kPhaseCount) return;
+    double sum = 0.0;
+    double mass = 0.0;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      sum += c[i];
+      mass += std::fabs(c[i]);
+    }
+    if (mass == 0.0) return;  // degenerate all-zero rows are left unnormalized
+    if (std::fabs(sum - 1.0) > 1e-9) {
+      check.fail("clusters.json: " + where + " centroid shares sum to " + std::to_string(sum) +
+                 " (need 1 +- 1e-9)");
+    }
+  };
+
+  std::set<long long> row_ids;
+  std::size_t pages_total = 0;
+  for (const auto& row : archetypes->as_array()) {
+    const long long id = static_cast<long long>(row.number_or("id", -999.0));
+    const std::string where =
+        "archetype " + std::to_string(id) + " (" + row.string_or("name", "?") + ")";
+    if (!row_ids.insert(id).second) {
+      check.fail("clusters.json: duplicate archetype id " + std::to_string(id));
+      continue;
+    }
+    const double pages = row.number_or("pages", -1.0);
+    if (pages > 0.0) pages_total += static_cast<std::size_t>(pages);
+    const auto mc = member_counts.find(id);
+    const double assigned = mc == member_counts.end() ? 0.0 : static_cast<double>(mc->second);
+    if (pages != assigned) {
+      check.fail("clusters.json: " + where + " declares pages=" + std::to_string(pages) +
+                 " but " + std::to_string(assigned) + " assignments point at it");
+    }
+    const auto c = centroid_of(row);
+    check_share_sum(where, c, pages);
+    if (const auto fs = feature_sums.find(id); fs != feature_sums.end() && pages > 0.0) {
+      if (fs->second.size() != c.size()) {
+        check.fail("clusters.json: " + where + " centroid has " + std::to_string(c.size()) +
+                   " dims but member features have " + std::to_string(fs->second.size()));
+      } else {
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          if (std::fabs(c[i] - fs->second[i] / pages) > 1e-9) {
+            check.fail("clusters.json: " + where + " centroid dim " + std::to_string(i) + " is " +
+                       std::to_string(c[i]) + " but its members' mean is " +
+                       std::to_string(fs->second[i] / pages));
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [id, count] : member_counts) {
+    if (row_ids.find(id) == row_ids.end()) {
+      check.fail("clusters.json: " + std::to_string(count) +
+                 " assignments reference archetype " + std::to_string(id) +
+                 " but no such row exists");
+    }
+  }
+  if (pages_total != n) {
+    check.fail("clusters.json: archetype rows cover " + std::to_string(pages_total) +
+               " pages but there are " + std::to_string(n) + " assignments");
+  }
+  const double global_pages = global->number_or("pages", -1.0);
+  if (global_pages != static_cast<double>(n)) {
+    check.fail("clusters.json: global.pages=" + std::to_string(global_pages) +
+               " disagrees with " + std::to_string(n) + " assignments");
+  }
+  check_share_sum("global", centroid_of(*global), global_pages);
+
+  // Re-aggregation: the pages-weighted per-archetype phase diffs must equal
+  // the global dissection (the archetype split loses no PLT-delta mass).
+  const auto agg_tol = [](double want) { return 1e-6 * std::max(1.0, std::fabs(want)); };
+  const util::JsonValue* global_delta = global->find("mean_delta_ms");
+  if (global_delta == nullptr || !global_delta->is_object()) {
+    check.fail("clusters.json: global row has no mean_delta_ms object");
+  } else {
+    for (const auto& [phase, gv] : global_delta->as_object()) {
+      double sum = 0.0;
+      for (const auto& row : archetypes->as_array()) {
+        const util::JsonValue* d = row.find("mean_delta_ms");
+        sum += row.number_or("pages", 0.0) * (d != nullptr ? d->number_or(phase.c_str(), 0.0) : 0.0);
+      }
+      const double want = global_pages * (gv.is_number() ? gv.as_number() : 0.0);
+      if (std::fabs(sum - want) > agg_tol(want)) {
+        check.fail("clusters.json: phase \"" + phase + "\" diffs re-aggregate to " +
+                   std::to_string(sum) + " page-ms but the global dissection carries " +
+                   std::to_string(want));
+      }
+    }
+  }
+  double plt_sum = 0.0;
+  for (const auto& row : archetypes->as_array()) {
+    plt_sum += row.number_or("pages", 0.0) * row.number_or("mean_plt_delta_ms", 0.0);
+  }
+  const double plt_want = global_pages * global->number_or("mean_plt_delta_ms", 0.0);
+  if (std::fabs(plt_sum - plt_want) > agg_tol(plt_want)) {
+    check.fail("clusters.json: PLT diffs re-aggregate to " + std::to_string(plt_sum) +
+               " page-ms but the global dissection carries " + std::to_string(plt_want));
+  }
+
+  // A/B summary consistency (present whenever the sub-experiment ran).
+  if (const util::JsonValue* ab = doc.find("ab"); ab != nullptr && ab->is_object()) {
+    const double pairs = ab->number_or("pairs", 0.0);
+    if (pairs > 0.0) {
+      if (pairs != static_cast<double>(n)) {
+        check.fail("clusters.json: ab.pairs=" + std::to_string(pairs) + " but " +
+                   std::to_string(n) + " pages were clustered");
+      }
+      const double delta =
+          ab->number_or("global_mean_plt_ms", 0.0) - ab->number_or("conditioned_mean_plt_ms", 0.0);
+      if (std::fabs(delta - ab->number_or("mean_delta_ms", 0.0)) > 1e-6) {
+        check.fail("clusters.json: ab.mean_delta_ms=" +
+                   std::to_string(ab->number_or("mean_delta_ms", 0.0)) +
+                   " disagrees with global - conditioned = " + std::to_string(delta));
+      }
+    }
+  }
+}
+
+void print_archetypes(std::ostream& os, const util::JsonValue& doc) {
+  os << "--- Workload archetypes ---\n";
+  os << "algo " << doc.string_or("algo", "?");
+  if (doc.string_or("algo", "") == "dbscan") {
+    os << " (eps " << doc.number_or("eps_used", 0.0) << ")";
+  } else {
+    os << " (k " << doc.number_or("chosen_k", 0.0) << ", silhouette "
+       << doc.number_or("silhouette", 0.0) << ")";
+  }
+  os << ": " << doc.number_or("cluster_count", 0.0) << " clusters over "
+     << doc.number_or("pages", 0.0) << " pages\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%4s %-18s %6s %10s %10s %9s %10s %10s  %s\n", "id", "name",
+                "pages", "h2 plt", "h3 plt", "dPLT", "h2 fcp", "h3 fcp", "dominant delta");
+  os << line;
+  const auto row_line = [&](const util::JsonValue& row) {
+    std::string dominant = "-";
+    if (const util::JsonValue* d = row.find("mean_delta_ms"); d != nullptr && d->is_object()) {
+      double best = 0.0;
+      for (const auto& [phase, v] : d->as_object()) {
+        const double value = v.is_number() ? v.as_number() : 0.0;
+        if (std::fabs(value) > std::fabs(best)) {
+          best = value;
+          dominant = phase;
+        }
+      }
+      if (dominant != "-") {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s %+.1f ms", dominant.c_str(), best);
+        dominant = buf;
+      }
+    }
+    std::snprintf(line, sizeof line, "%4.0f %-18s %6.0f %10.2f %10.2f %9.2f %10.2f %10.2f  %s\n",
+                  row.number_or("id", -1.0), row.string_or("name", "?").c_str(),
+                  row.number_or("pages", 0.0), row.number_or("mean_h2_plt_ms", 0.0),
+                  row.number_or("mean_h3_plt_ms", 0.0), row.number_or("mean_plt_delta_ms", 0.0),
+                  row.number_or("mean_h2_fcp_ms", 0.0), row.number_or("mean_h3_fcp_ms", 0.0),
+                  dominant.c_str());
+    os << line;
+  };
+  if (const util::JsonValue* global = doc.find("global"); global != nullptr && global->is_object()) {
+    row_line(*global);
+  }
+  if (const util::JsonValue* rows = doc.find("archetypes"); rows != nullptr && rows->is_array()) {
+    for (const auto& row : rows->as_array()) row_line(row);
+  }
+  if (const util::JsonValue* ab = doc.find("ab");
+      ab != nullptr && ab->is_object() && ab->number_or("pairs", 0.0) > 0.0) {
+    std::snprintf(line, sizeof line,
+                  "\nSelector A/B over %.0f pairs: global %.2f ms, archetype-conditioned %.2f ms "
+                  "(delta %+.2f ms, oracle %.2f ms)\n",
+                  ab->number_or("pairs", 0.0), ab->number_or("global_mean_plt_ms", 0.0),
+                  ab->number_or("conditioned_mean_plt_ms", 0.0), ab->number_or("mean_delta_ms", 0.0),
+                  ab->number_or("oracle_mean_plt_ms", 0.0));
+    os << line;
+  }
+}
+
 // --- --timeline rendering ---------------------------------------------------
 
 /// Ten-level ASCII sparkline of one window series, scaled to its own max.
@@ -772,6 +1026,27 @@ void print_profile(std::ostream& os, const util::JsonValue& doc) {
 int main(int argc, char** argv) {
   const Options o = parse_args(argc, argv);
   Checker check;
+
+  if (o.archetypes) {
+    // Archetype mode: clusters.json is written only by --experiment clusters,
+    // so it is loaded and validated here rather than joining the default
+    // artifact list (a plain --check on a non-clusters run stays unaffected).
+    const auto clusters_doc = load_json(o, "clusters.json", check);
+    if (clusters_doc) check_clusters(*clusters_doc, check);
+    if (!check.problems.empty()) {
+      for (const auto& p : check.problems) std::cerr << "FAIL: " << p << "\n";
+      return 1;
+    }
+    if (o.check) {
+      std::cout << "OK: clusters.json: " << clusters_doc->number_or("pages", 0.0)
+                << " pages across " << clusters_doc->number_or("cluster_count", 0.0)
+                << " archetypes (algo " << clusters_doc->string_or("algo", "?")
+                << "); coverage, centroid, re-aggregation, and A/B invariants hold\n";
+    } else {
+      print_archetypes(std::cout, *clusters_doc);
+    }
+    return 0;
+  }
 
   if (o.timeline && !o.check) {
     // Timeline mode: sparklines straight from the artifacts; the fault

@@ -14,10 +14,12 @@
 //     --experiment NAME  table1|table2|table3|fig2..fig9|dissection|summary|all
 //                        (default all; dissection = critical-path PLT
 //                        attribution of the H2-vs-H3 delta) — plus `load`,
-//                        the fleet-scale capacity sweep, and `chaos`, the
+//                        the fleet-scale capacity sweep, `chaos`, the
 //                        scripted fault-scenario suite with invariant
-//                        checking (neither is part of `all`; see
-//                        docs/LOAD.md and docs/RESILIENCE.md)
+//                        checking, and `clusters`, workload-archetype
+//                        discovery over the attribution vectors (none of
+//                        the three is part of `all`; see docs/LOAD.md,
+//                        docs/RESILIENCE.md, docs/OBSERVABILITY.md)
 //     --link-profile P   last-mile preset for every vantage (wired|cellular)
 //     --no-resilience    run the chaos suite with the resilience engine off
 //     --load-rates LIST  comma-separated offered rates, pages/sec (open
@@ -30,6 +32,7 @@
 //                        (metrics.{json,csv,prom}, qlog.json, waterfalls.json,
 //                        profile.json — inspect with h3cdn_obs_report)
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/clusters.h"
 #include "core/export.h"
 #include "core/observability.h"
 #include "core/report.h"
@@ -66,15 +70,25 @@ struct Options {
   std::vector<load::LinkMixEntry> link_mix;  // heterogeneous access links
   bool sites_set = false;  // load defaults to a small rotation unless --sites
   bool no_resilience = false;  // chaos: disable the engine under test
+  // --experiment clusters knobs.
+  std::string cluster_algo = "dbscan";  // dbscan|kmeans
+  double cluster_eps = 0.0;             // 0 = auto (median k-dist)
+  std::size_t cluster_min_pts = 4;
+  std::size_t cluster_k_min = 2;  // kmeans silhouette sweep range
+  std::size_t cluster_k_max = 6;
+  bool cluster_qoe = false;    // append QoE ratio features
+  bool cluster_no_ab = false;  // skip the selector A/B replay
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
-               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|chaos|all]\n"
+               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|chaos|clusters|all]\n"
                "       [--load-rates R1,R2,...] [--load-window SEC] [--load-arrival fixed|poisson|ramp|closed]\n"
                "       [--fleet-sample N] [--fleet-sample-verify] [--link-mix NAME:W,NAME:W,...]\n"
                "       [--link-profile wired|cellular] [--no-resilience]\n"
+               "       [--cluster-algo dbscan|kmeans] [--cluster-eps E] [--cluster-min-pts N]\n"
+               "       [--cluster-k-min K] [--cluster-k-max K] [--cluster-qoe] [--cluster-no-ab]\n"
                "       [--format text|csv] [--out PATH] [--obs DIR]\n"
                "       [--workload-in FILE.json] [--workload-out FILE.json]\n";
   std::exit(2);
@@ -145,6 +159,23 @@ Options parse(int argc, char** argv) {
       if (!net::LinkProfile::from_name(o.study.link_profile)) usage(argv[0]);
     } else if (arg == "--no-resilience") {
       o.no_resilience = true;
+    } else if (arg == "--cluster-algo") {
+      o.cluster_algo = next();
+      if (o.cluster_algo != "dbscan" && o.cluster_algo != "kmeans") usage(argv[0]);
+    } else if (arg == "--cluster-eps") {
+      o.cluster_eps = std::stod(next());
+      if (o.cluster_eps < 0) usage(argv[0]);
+    } else if (arg == "--cluster-min-pts") {
+      o.cluster_min_pts = static_cast<std::size_t>(std::stoul(next()));
+      if (o.cluster_min_pts < 1) usage(argv[0]);
+    } else if (arg == "--cluster-k-min") {
+      o.cluster_k_min = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--cluster-k-max") {
+      o.cluster_k_max = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--cluster-qoe") {
+      o.cluster_qoe = true;
+    } else if (arg == "--cluster-no-ab") {
+      o.cluster_no_ab = true;
     } else if (arg == "--format") {
       o.format = next();
     } else if (arg == "--out") {
@@ -265,6 +296,47 @@ int emit(const Options& o, std::ostream& os) {
       std::exit(1);
     }
     external = std::make_shared<web::Workload>(std::move(*loaded));
+  }
+
+  // Workload-archetype discovery (docs/OBSERVABILITY.md "Archetypes & QoE").
+  // Not part of "all": it runs its own standard study, clusters the per-pair
+  // attribution vectors, replays the selector A/B, and — when --obs is set —
+  // writes the clusters.json artifact next to the other run artifacts.
+  if (o.experiment == "clusters") {
+    core::StudyConfig cfg = o.study;
+    cfg.consecutive = false;
+    const core::StudyResult study = external ? core::MeasurementStudy(cfg).run(external)
+                                             : core::MeasurementStudy(cfg).run();
+    core::ClustersConfig ccfg;
+    ccfg.archetype.algo = o.cluster_algo == "kmeans" ? analysis::ArchetypeAlgo::KMeans
+                                                     : analysis::ArchetypeAlgo::Dbscan;
+    ccfg.archetype.dbscan.eps = o.cluster_eps;
+    ccfg.archetype.dbscan.min_pts = o.cluster_min_pts;
+    ccfg.archetype.k_min = o.cluster_k_min;
+    ccfg.archetype.k_max = o.cluster_k_max;
+    ccfg.archetype.seed = o.study.seed;
+    ccfg.include_qoe = o.cluster_qoe;
+    ccfg.run_ab = !o.cluster_no_ab;
+    const core::ClustersResult result = core::compute_clusters(study, ccfg);
+    if (csv) {
+      os << core::clusters_to_csv(result);
+    } else {
+      core::print_clusters(os, result);
+    }
+    if (!o.obs_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(o.obs_dir, ec);
+      const std::string path = o.obs_dir + "/clusters.json";
+      std::ofstream file(path);
+      if (!file) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return 1;
+      }
+      file << core::clusters_to_json(result) << '\n';
+      std::cerr << "wrote " << result.archetypes.size() << " archetype(s) over "
+                << result.pages.size() << " pages to " << path << "\n";
+    }
+    return 0;
   }
 
   std::optional<core::StudyResult> standard;
