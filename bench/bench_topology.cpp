@@ -1,0 +1,115 @@
+// Multi-hop topology sweep (docs/TOPOLOGY.md) — beyond the paper's direct
+// client->edge model: chained delivery paths (client -> forward proxy ->
+// mid-tier cache -> edge) with an independent protocol choice per hop.
+//
+// Headline: the p95 PLT premium a proxied path pays over the direct baseline
+// with the same client-facing protocol, per plan and loss rate. The relay
+// terminates the client connection, so the client-side handshake/loss
+// recovery is isolated from the upstream hop — the per-hop dissection (which
+// re-aggregates exactly to the end-to-end phases; pinned as a metric here and
+// as an invariant in the harness) shows where the premium lands.
+#include <cstdint>
+#include <iomanip>
+#include <string>
+
+#include "bench_common.h"
+#include "core/topology_study.h"
+#include "topology/path_plan.h"
+
+namespace {
+
+using namespace h3cdn;
+
+core::TopologyConfig bench_config(std::size_t sites) {
+  core::TopologyConfig cfg;
+  cfg.sites = sites;
+  cfg.workload.site_count = std::max<std::size_t>(sites, 2);
+  return cfg;
+}
+
+void BM_TopologyCell(benchmark::State& state) {
+  auto cfg = bench_config(2);
+  cfg.plans = {state.range(0) != 0 ? "h3-h3" : "h2-h3"};
+  cfg.include_direct = false;
+  cfg.loss_rates = {0.0};
+  cfg.jobs = 1;
+  for (auto _ : state) {
+    auto result = core::run_topology(cfg);
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+}
+BENCHMARK(BM_TopologyCell)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+std::string loss_tag(double rate) {
+  return "loss" + std::to_string(static_cast<int>(rate * 1000.0 + 0.5)) + "permille";
+}
+
+std::string plan_tag(const std::string& plan) {
+  std::string tag = plan;
+  for (char& c : tag) {
+    if (c == '-') c = '_';
+  }
+  return tag;
+}
+
+/// The direct baseline a chained plan compares against: the single-hop plan
+/// with the same client-facing protocol ("h3-h2" -> "h3").
+std::string direct_peer(const std::string& plan) {
+  const auto parsed = topology::PathPlan::parse(plan);
+  return (parsed.has_value() && parsed->hop_h3(0)) ? "h3" : "h2";
+}
+
+const core::TopologyHopRow* e2e_row(const core::TopologyResult& result,
+                                    const std::string& plan, double loss) {
+  for (const auto& row : result.rows) {
+    if (row.plan == plan && row.loss_rate == loss && row.hop == "e2e") return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return h3cdn::bench::run_bench_main(
+      argc, argv, "Multi-hop topology (proxied vs direct PLT, per-hop attribution)",
+      [](std::ostream& os, h3cdn::bench::BenchReport& report) {
+        const std::size_t sites = h3cdn::bench::env_size("H3CDN_BENCH_SITES", 16);
+        const core::TopologyConfig cfg = bench_config(sites);
+        const core::TopologyResult result = core::run_topology(cfg);
+        core::print_topology_result(os, result);
+
+        os << "\n--- Proxied vs direct: p95 PLT premium per plan ---\n";
+        os << std::left << std::setw(10) << "plan" << std::right << std::setw(8) << "loss%"
+           << std::setw(12) << "p95 chain" << std::setw(12) << "p95 direct" << std::setw(12)
+           << "delta ms" << "\n";
+        os << std::fixed << std::setprecision(1);
+        double worst_residual_us = 0.0;
+        for (const std::string& plan : cfg.plans) {
+          for (const double loss : cfg.loss_rates) {
+            const auto* chained = e2e_row(result, plan, loss);
+            const auto* direct = e2e_row(result, direct_peer(plan), loss);
+            if (chained == nullptr || direct == nullptr) continue;
+            const double delta = chained->p95_plt_ms - direct->p95_plt_ms;
+            os << std::left << std::setw(10) << plan << std::right << std::setw(8)
+               << loss * 100.0 << std::setw(12) << chained->p95_plt_ms << std::setw(12)
+               << direct->p95_plt_ms << std::setw(12) << delta << "\n";
+            const std::string tag = plan_tag(plan) + "_" + loss_tag(loss);
+            report.add("p95_plt_delta_" + tag, delta, "ms");
+            report.add("p95_plt_" + tag, chained->p95_plt_ms, "ms");
+            worst_residual_us = std::max(worst_residual_us, chained->reagg_residual_us);
+          }
+        }
+        // Per-hop bookkeeping quality: the worst re-aggregation residual over
+        // every chained cell (invariant: <= 1 us) and the whole-sweep pass
+        // bit, so a silent attribution drift shows up in the trajectory.
+        report.add("worst_reagg_residual_us", worst_residual_us, "us");
+        report.add("all_invariants_passed", result.all_passed() ? 1.0 : 0.0, "ratio");
+        // The mid-tier starts cold by design; its measured hit ratio on the
+        // zero-loss h3-h3 cell is a workload-shape fingerprint worth pinning.
+        if (const auto* row = e2e_row(result, "h3-h3", 0.0); row != nullptr) {
+          report.add("tier_hit_ratio_h3_h3_loss0", row->tier_hit_ratio, "ratio");
+          report.add("relayed_requests_h3_h3_loss0",
+                     static_cast<double>(row->relayed_requests), "count");
+        }
+      });
+}

@@ -60,6 +60,7 @@ void Browser::visit(const web::WebPage& page, std::function<void(PageLoadResult)
   pc.session = config_.session;
   pc.transport = config_.transport;
   pc.think_time = env_.think_fn();
+  pc.server_hold = env_.hold_fn();
   pc.connection_trace_factory = config_.connection_trace_factory;
   if (config_.resilience.enabled) pc.resilience = &engine_;
   visit->pool = std::make_unique<http::ConnectionPool>(sim_, pc, env_.resolver(), tickets_,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "topology/chain.h"
 #include "util/check.h"
 
 namespace h3cdn::browser {
@@ -159,6 +160,22 @@ Environment::Host& Environment::host(const std::string& domain) {
 
 http::OriginInfo Environment::resolve(const std::string& domain) {
   Host& h = host(domain);
+  if (chain_ != nullptr && chain_->handles(domain)) {
+    if (!chain_->fallen_back()) {
+      // Chained: the client dials the first relay over the domain's normal
+      // edge path (the relay sits at the POP); the hop protocol is whatever
+      // the PathPlan's client-facing token says. The failure hook is what
+      // makes fallback work: a typed relay death invalidates the pool's
+      // cached OriginInfo, and the re-resolve lands in the branch below.
+      http::OriginInfo info = h.info;
+      info.supports_h2 = true;
+      info.supports_h3 = chain_->client_h3();
+      info.connection_failed = [](TimePoint) { /* re-resolve on next dial */ };
+      return info;
+    }
+    // Mid-tier dead: fall back to the direct path (the pristine h.info).
+    chain_->note_direct_resolution();
+  }
   if (vantage_.dns.addresses_per_record <= 1) return h.info;
   // Multi-record answers: dial the resolver's currently-preferred address
   // and let the pool report connection failures back into the per-record
@@ -174,6 +191,12 @@ http::OriginInfo Environment::resolve(const std::string& domain) {
 }
 
 Duration Environment::think(const http::Request& request, http::HttpVersion version) {
+  if (chain_ != nullptr && chain_->active_for(request.domain)) {
+    // The relay charges its own processing when it resumes the response
+    // (ChainConfig::relay_proc_think / tier_hit_think); the client-facing
+    // connection carries no synchronous think of its own.
+    return Duration::zero();
+  }
   Host& h = host(request.domain);
   const std::string key = request.domain + request.path;
   if (h.edge_ref != nullptr) return h.edge_ref->think_time(key, version, sim_.now());
@@ -185,8 +208,14 @@ void Environment::warm_page(const web::WebPage& page) {
   for (const auto& r : page.resources) {
     resolver_->prewarm(r.domain);
     if (!r.is_cdn) continue;
+    // The direct edge is warmed even in chain mode: it is the fallback
+    // server after a mid-tier outage. The chain warms only its terminal
+    // tier's edge; the TierCache stays cold by design.
     Host& h = host(r.domain);
     if (h.edge_ref != nullptr) h.edge_ref->warm(r.domain + r.path);
+    if (chain_ != nullptr && chain_->handles(r.domain)) {
+      chain_->warm(r.domain, r.domain + r.path);
+    }
   }
 }
 
@@ -206,6 +235,17 @@ http::Resolver Environment::resolver() {
 http::ThinkTimeFn Environment::think_fn() {
   return [this](const http::Request& request, http::HttpVersion version) {
     return think(request, version);
+  };
+}
+
+http::ServerHoldFactory Environment::hold_fn() {
+  if (chain_ == nullptr) return nullptr;  // direct runs stay hold-free
+  return [this](const http::Request& request,
+                http::HttpVersion version) -> transport::ServerHold {
+    if (chain_ != nullptr && chain_->active_for(request.domain)) {
+      return chain_->make_client_hold(request, version);
+    }
+    return nullptr;  // non-CDN domain, or fallen back to the direct path
   };
 }
 

@@ -22,6 +22,10 @@
 #include "web/domains.h"
 #include "web/resource.h"
 
+namespace h3cdn::topology {
+class Chain;
+}  // namespace h3cdn::topology
+
 namespace h3cdn::browser {
 
 /// One of the paper's three CloudLab sites.
@@ -132,9 +136,19 @@ class Environment {
   [[nodiscard]] const VantageConfig& vantage() const { return vantage_; }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
 
+  /// Routes CDN domains through a relay chain (src/topology/). Non-owning;
+  /// the chain must outlive the environment and share its Simulator. Must be
+  /// set before the first resolve. Null (the default) keeps every domain on
+  /// the classic direct path, bit-for-bit.
+  void set_topology(topology::Chain* chain) { chain_ = chain; }
+  [[nodiscard]] topology::Chain* topology_chain() const { return chain_; }
+
   /// Adapters for http::ConnectionPool.
   [[nodiscard]] http::Resolver resolver();
   [[nodiscard]] http::ThinkTimeFn think_fn();
+  /// Server-hold factory for the pool: relays chained CDN requests through
+  /// the topology chain; empty holds (direct path) otherwise.
+  [[nodiscard]] http::ServerHoldFactory hold_fn();
 
  private:
   struct Host {
@@ -161,6 +175,7 @@ class Environment {
   std::unique_ptr<net::Link> access_down_;  // shared probe NIC, net->client
   std::unique_ptr<dns::Resolver> resolver_;
   ServerDirectory* servers_ = nullptr;  // non-owning; null => private servers
+  topology::Chain* chain_ = nullptr;    // non-owning; null => direct paths
   std::unordered_map<std::string, Host> hosts_;
 };
 

@@ -72,6 +72,39 @@ obs::Waterfall make_waterfall(const HarPage& page, const std::string& vantage) {
                                          out.wait_ms - out.receive_ms);
     }
 
+    // Relay-chain provenance: flatten the nested UpstreamRecord chain into
+    // hop rows, outermost tier first. Each hop gets the same stall-clamp /
+    // blocked-residual treatment as the entry itself, so a hop's phases sum
+    // to its wall total exactly. A cache-hit hop stays all-zero.
+    for (auto rec = e.timings.upstream; rec != nullptr; rec = rec->timings.upstream) {
+      obs::UpstreamHop hop;
+      hop.tier = rec->tier;
+      hop.cache_hit = rec->cache_hit;
+      if (!rec->cache_hit) {
+        const http::EntryTimings& t = rec->timings;
+        hop.protocol = http::to_string(t.version);
+        hop.reused_connection = t.reused_connection;
+        hop.resumed = t.resumed;
+        hop.failed = t.failed;
+        if (t.failed) {
+          hop.blocked_ms = to_ms(t.total());
+        } else {
+          hop.connect_ms = to_ms(t.connect);
+          hop.send_ms = to_ms(t.send);
+          hop.wait_ms = to_ms(t.wait);
+          hop.receive_ms = to_ms(t.receive);
+          const double hop_envelope = hop.wait_ms + hop.receive_ms;
+          hop.hol_stall_ms = std::min(to_ms(t.hol_stall), hop_envelope);
+          hop.retx_wait_ms =
+              std::min(to_ms(t.retx_wait), hop_envelope - hop.hol_stall_ms);
+          hop.blocked_ms = std::max(0.0, to_ms(t.total()) - hop.connect_ms - hop.send_ms -
+                                             hop.wait_ms - hop.receive_ms);
+        }
+      }
+      out.upstream_hops.push_back(std::move(hop));
+      if (rec->cache_hit) break;  // a hit terminates the chain
+    }
+
     if (e.from_cache) {
       out.annotation = "cache";
     } else if (e.timings.failed) {

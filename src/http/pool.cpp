@@ -218,6 +218,7 @@ void ConnectionPool::fetch(const Request& request, FetchDone done) {
   std::shared_ptr<Session> session = session_for(request.domain, state, version);
   Request routed = request;
   if (config_.think_time) routed.server_think = config_.think_time(routed, version);
+  if (config_.server_hold) routed.server_hold = config_.server_hold(routed, version);
   if (eng != nullptr) {
     FetchDone wrapped = with_resilience(routed, version, std::move(done));
     session->submit(routed, std::move(wrapped));
@@ -525,6 +526,11 @@ void ConnectionPool::route_rescue(Session::Orphan orphan, HttpVersion preferred)
   // The protocol may have changed; the server-side cost model is per-protocol.
   if (config_.think_time) {
     orphan.request.server_think = config_.think_time(orphan.request, version);
+  }
+  // Re-derive the response gate too: after a mid-tier kill the rescue dials
+  // the direct path, and the factory then returns an empty hold.
+  if (config_.server_hold) {
+    orphan.request.server_hold = config_.server_hold(orphan.request, version);
   }
   session->submit_rescued(std::move(orphan));
 }

@@ -64,6 +64,12 @@ using Resolver = std::function<OriginInfo(const std::string& domain)>;
 /// Wired to the CDN edge-server model; may be empty (use Request's value).
 using ThinkTimeFn = std::function<Duration(const Request&, HttpVersion)>;
 
+/// Produces the server-side response gate for a request once the protocol is
+/// known (transport/server_hold.h). Wired to the relay chain for domains
+/// routed through topology hops; returning an empty ServerHold keeps the
+/// direct synchronous-think path.
+using ServerHoldFactory = std::function<transport::ServerHold(const Request&, HttpVersion)>;
+
 struct PoolConfig {
   bool h3_enabled = true;  // Chrome's --enable-quic switch
   // Optional per-origin protocol override (e.g. core::AdaptiveProtocolSelector).
@@ -76,6 +82,9 @@ struct PoolConfig {
   SessionConfig session;
   transport::TransportConfig transport;
   ThinkTimeFn think_time;
+  // Applied wherever think_time is (initial dispatch and rescue re-routes),
+  // so a rescued request re-routed to the direct path sheds its stale hold.
+  ServerHoldFactory server_hold;
   // Graceful degradation (docs/FAULTS.md §3). When an H3 connection dies the
   // pool marks the host "H3 broken" for h3_broken_ttl (Chrome's Alt-Svc
   // brokenness window is ~5 minutes), re-submits the stranded requests over

@@ -93,6 +93,7 @@ void Session::dispatch(PendingEntry pending) {
   cbs.on_request_sent = [entry](TimePoint t) { entry->request_sent = t; };
   cbs.on_first_byte = [entry](TimePoint t) { entry->first_byte = t; };
   cbs.on_complete = [self, entry](TimePoint t) { self->finalize(entry, t); };
+  cbs.on_server_request = entry->request.server_hold;
 
   const std::size_t wire_request =
       entry->request.request_bytes + config_.per_stream_header_overhead;
@@ -136,6 +137,9 @@ void Session::finalize(std::shared_ptr<ActiveEntry> entry, TimePoint completed) 
   const auto stalls = conn_->stall_totals(entry->stream_id);
   t.hol_stall = stalls.hol_stall;
   t.retx_wait = stalls.retx_wait;
+  if (auto note = conn_->stream_annotation(entry->stream_id)) {
+    t.upstream = std::static_pointer_cast<const UpstreamRecord>(note);
+  }
   // Whatever is not handshake or data movement was queueing.
   t.blocked = clamp_nonneg((t.finished - t.started) - t.connect - t.send - t.wait - t.receive);
 

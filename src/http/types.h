@@ -4,9 +4,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "tls/handshake.h"
+#include "transport/server_hold.h"
 #include "util/types.h"
 
 namespace h3cdn::http {
@@ -35,7 +37,12 @@ struct Request {
   std::size_t response_bytes = 10'000;    // response body + headers on the wire
   Duration server_think{0};               // server processing time (cdn model)
   int priority = 3;                       // 0 = most urgent (browser sets by type)
+  // Server-side response gate (src/topology/): set by PoolConfig::server_hold
+  // for domains routed through a relay chain; empty for the direct path.
+  transport::ServerHold server_hold;
 };
+
+struct UpstreamRecord;
 
 /// HAR-equivalent per-entry phase timings (the paper's §III-C metrics:
 /// Connection, Wait, Receive; plus the rest of the HAR phases for
@@ -70,9 +77,23 @@ struct EntryTimings {
   // resilience engine resumed the transfer with an HTTP Range request after a
   // connection death (0 = full body fetched). See docs/RESILIENCE.md.
   std::size_t resumed_from_bytes = 0;
+  // Per-hop provenance for entries served through a relay chain
+  // (src/topology/): the first relay's upstream fetch, with deeper tiers
+  // nested via timings.upstream. nullptr for direct fetches.
+  std::shared_ptr<const UpstreamRecord> upstream;
 
   /// Total entry latency.
   [[nodiscard]] Duration total() const { return finished - started; }
+};
+
+/// One relay's view of fetching a resource from the next tier up. Produced by
+/// topology::HopRelay, attached to the downstream stream as its annotation,
+/// and surfaced on EntryTimings::upstream; tiers deeper than the first nest
+/// via `timings.upstream`.
+struct UpstreamRecord {
+  std::string tier;        // relay name ("proxy", "mid-tier", ...)
+  bool cache_hit = false;  // served from the tier's cache; timings are empty
+  EntryTimings timings;    // the relay's own pool-level fetch timings
 };
 
 using FetchDone = std::function<void(const EntryTimings&)>;

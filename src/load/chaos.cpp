@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "sim/simulator.h"
+#include "topology/chain.h"
 #include "util/check.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -77,6 +78,16 @@ std::vector<ChaosScenario> default_chaos_scenarios() {
   }
   {
     ChaosScenario sc;
+    sc.name = "midtier-outage";
+    sc.description = "mid-tier relay killed mid-page; clients fall back to the direct path";
+    sc.path_plan = "h3-h3";
+    sc.kill_midtier_at = msec(1200);
+    sc.expect_faults = true;
+    sc.expect_midtier_fallback = true;
+    s.push_back(std::move(sc));
+  }
+  {
+    ChaosScenario sc;
     sc.name = "dns-failover";
     sc.description = "record-0 front end hard down; health scoring reroutes";
     sc.addresses_per_record = 2;
@@ -123,6 +134,12 @@ obs::FaultWindowSpec scripted_fault_window(const ChaosScenario& scenario) {
     spec.faulted = true;
     spec.start_ms = 0.0;
     spec.end_ms = to_ms(scenario.window);
+  } else if (scenario.kill_midtier_at.count() > 0) {
+    // The kill is instantaneous but the chain stays dead (refusing traffic
+    // until clients fall back), so the condition spans kill -> window end.
+    spec.faulted = true;
+    spec.start_ms = to_ms(scenario.kill_midtier_at);
+    spec.end_ms = std::max(spec.start_ms, to_ms(scenario.window));
   }
   return spec;
 }
@@ -192,8 +209,31 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
     fc.browser.transport.max_handshake_retries = sc.handshake_retry_cap;
   }
 
+  // Multi-hop relay chain (docs/TOPOLOGY.md), shared by every fleet client.
+  std::unique_ptr<topology::Chain> chain;
+  if (!sc.path_plan.empty()) {
+    auto plan = topology::PathPlan::parse(sc.path_plan);
+    H3CDN_EXPECTS(plan.has_value() && plan->relay_count() >= 1);
+    topology::ChainConfig cc;
+    cc.plan = *plan;
+    chain = std::make_unique<topology::Chain>(sim, workload.universe, cc, root.fork("chain"));
+    fc.h3 = chain->client_h3();
+    fc.chain = chain.get();
+    // Warm the chain's terminal tier like Fleet::run warms the farm edges.
+    for (std::size_t i = 0; i < config.sites && i < workload.sites.size(); ++i) {
+      for (const auto& r : workload.sites[i].page.resources) {
+        if (r.is_cdn && chain->handles(r.domain)) chain->warm(r.domain, r.domain + r.path);
+      }
+    }
+    if (sc.kill_midtier_at.count() > 0) {
+      topology::Chain* raw = chain.get();
+      sim.schedule_in(sc.kill_midtier_at, [raw] { raw->kill_midtier(); });
+    }
+  }
+
   load::Fleet fleet(sim, workload, config.sites, farm, std::move(fc), root.fork("fleet"));
   load::FleetOutcome out = fleet.run();
+  if (chain != nullptr) chain->close();
 
   ChaosCellRow row;
   row.scenario = sc.name;
@@ -238,6 +278,11 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
   row.connection_deaths = cval("http.pool.connection_deaths");
   row.connections_refused = cval("http.pool.connections_refused");
   row.h3_broken_marks = cval("http.pool.h3_fallbacks");
+  if (chain != nullptr) {
+    row.relayed_requests = chain->relayed_requests();
+    row.midtier_holds_killed = chain->holds_killed();
+    row.direct_fallbacks = chain->direct_resolutions();
+  }
   row.phase_residual_ms = std::abs(out.phase_sum.sum() - plt_sum_ms);
 
   // Fault->recovery annotation: measured against the scripted fault window.
@@ -299,6 +344,21 @@ ChaosCellRow run_chaos_cell(const web::Workload& workload, const ChaosConfig& co
   }
   if (sc.expect_no_h3_broken && row.h3_broken_marks != 0) {
     violate("refusal-marked-h3-broken: " + std::to_string(row.h3_broken_marks) + " marks");
+  }
+  // Mid-tier outage signature: the chain actually routed traffic, the kill
+  // severed at least one held response, and at least one later resolve fell
+  // back to the direct path (the typed-termination check above already pins
+  // that every severed page still completed).
+  if (sc.expect_midtier_fallback) {
+    if (row.relayed_requests == 0) {
+      violate("inert-chain: no requests traversed the relays");
+    }
+    if (row.midtier_holds_killed == 0) {
+      violate("no-midtier-kill: outage severed no held responses");
+    }
+    if (row.direct_fallbacks == 0) {
+      violate("no-fallback: no resolve fell back to the direct path");
+    }
   }
   if (config.resilience.enabled) {
     if (sc.expect_resumption && row.resumed_bytes == 0) {
@@ -362,7 +422,7 @@ void print_chaos_result(std::ostream& os, const ChaosResult& result) {
      << " sites, resilience " << (result.resilience_enabled ? "on" : "off") << " ==\n";
   util::AsciiTable t({"scenario", "proto", "visits", "failed", "plt p50", "plt p95",
                       "retries", "hedges", "won", "resumed KB", "demoted", "switches",
-                      "deaths", "refused", "mttr ms", "invariants"});
+                      "deaths", "refused", "relayed", "mttr ms", "invariants"});
   for (const ChaosCellRow& r : result.rows) {
     t.add_row({r.scenario, r.h3 ? "h3" : "h2",
                std::to_string(r.visits) + "/" + std::to_string(r.arrivals),
@@ -372,6 +432,7 @@ void print_chaos_result(std::ostream& os, const ChaosResult& result) {
                util::fmt(static_cast<double>(r.resumed_bytes) / 1024.0, 1),
                std::to_string(r.breaker_demotions), std::to_string(r.failover_switches),
                std::to_string(r.connection_deaths), std::to_string(r.connections_refused),
+               std::to_string(r.relayed_requests),
                util::fmt(r.mttr_ms, 1), r.violations.empty() ? "pass" : "FAIL"});
   }
   os << t.to_string();
@@ -389,7 +450,8 @@ std::string chaos_result_to_csv(const ChaosResult& result) {
         "entries_submitted,entries_completed,entries_failed,retries,hedges_launched,"
         "hedges_won,hedges_lost,hedges_cancelled,resumed_requests,resumed_bytes,"
         "breaker_opened,breaker_demotions,failover_switches,connection_deaths,"
-        "connections_refused,h3_broken_marks,phase_residual_ms,degraded_windows,"
+        "connections_refused,h3_broken_marks,relayed_requests,midtier_holds_killed,"
+        "direct_fallbacks,phase_residual_ms,degraded_windows,"
         "detection_ms,recovery_ms,mttr_ms,breaker_open_ms,breaker_close_ms,violations\n";
   for (const ChaosCellRow& r : result.rows) {
     os << r.scenario << ',' << (r.h3 ? "h3" : "h2") << ',' << r.arrivals << ','
@@ -402,7 +464,8 @@ std::string chaos_result_to_csv(const ChaosResult& result) {
        << r.hedges_cancelled << ',' << r.resumed_requests << ',' << r.resumed_bytes << ','
        << r.breaker_opened << ',' << r.breaker_demotions << ',' << r.failover_switches
        << ',' << r.connection_deaths << ',' << r.connections_refused << ','
-       << r.h3_broken_marks << ',' << util::fmt(r.phase_residual_ms, 6) << ','
+       << r.h3_broken_marks << ',' << r.relayed_requests << ',' << r.midtier_holds_killed
+       << ',' << r.direct_fallbacks << ',' << util::fmt(r.phase_residual_ms, 6) << ','
        << r.degraded_windows << ',' << util::fmt(r.detection_ms, 3) << ','
        << util::fmt(r.recovery_ms, 3) << ',' << util::fmt(r.mttr_ms, 3) << ','
        << util::fmt(r.time_to_breaker_open_ms, 3) << ','

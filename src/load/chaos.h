@@ -3,8 +3,9 @@
 //
 // Each scenario is a scripted fault schedule — edge outage mid-page, UDP
 // blackhole during the handshake window, capacity refusal storm, mid-transfer
-// connection kill at byte offset N, bursty cellular last mile, DNS-record
-// failover — executed against a load::Fleet on a private Simulator, with the
+// connection kill at byte offset N, mid-tier relay outage with direct-path
+// fallback, bursty cellular last mile, DNS-record failover — executed against
+// a load::Fleet on a private Simulator, with the
 // request-lifecycle resilience engine (src/resilience/) enabled. After every
 // cell the harness checks the run's invariants: every page terminated in a
 // typed success/failure, the pool's entry accounting conserves (submitted <=
@@ -60,6 +61,14 @@ struct ChaosScenario {
   // Refusal storm: undersized shared farm (tiny accept queue + connection
   // cap) so most dials are refused at admission.
   bool capacity_storm = false;
+  // Multi-hop relay path for the cell's CDN traffic (docs/TOPOLOGY.md
+  // PathPlan grammar, e.g. "h3-h3"); "" = direct, no chain.
+  std::string path_plan;
+  // Mid-tier outage: kill the chain at this sim instant — every response
+  // held at the mid-tier dies with a typed ConnectionError::Killed and all
+  // later chain traffic is refused until clients fall back to the direct
+  // path. Duration{0} = never. Requires a non-empty path_plan.
+  Duration kill_midtier_at{0};
 
   // Scenario-specific expectations, checked on top of the universal
   // invariants. Each one pins that the scripted fault actually produced its
@@ -68,6 +77,10 @@ struct ChaosScenario {
   bool expect_failover = false;     // dns.failover.switches > 0
   bool expect_no_h3_broken = false; // refusals never mark the pool H3-broken
   bool expect_faults = false;       // >= 1 connection death or refusal seen
+  // Mid-tier outage signature: the kill actually severed held responses
+  // (chain holds_killed > 0) AND at least one later resolve fell back to
+  // the direct path (chain direct_resolutions > 0).
+  bool expect_midtier_fallback = false;
 };
 
 /// The scripted fault interval of a scenario, derived from its schedule:
@@ -77,7 +90,7 @@ struct ChaosScenario {
 /// reference window MTTR is measured against.
 obs::FaultWindowSpec scripted_fault_window(const ChaosScenario& scenario);
 
-/// The shipped suite: a fault-free baseline plus six fault scenarios.
+/// The shipped suite: a fault-free baseline plus seven fault scenarios.
 std::vector<ChaosScenario> default_chaos_scenarios();
 
 struct ChaosConfig {
@@ -129,6 +142,10 @@ struct ChaosCellRow {
   std::uint64_t connection_deaths = 0;
   std::uint64_t connections_refused = 0;
   std::uint64_t h3_broken_marks = 0;
+  // Multi-hop chain accounting (zero for direct cells).
+  std::uint64_t relayed_requests = 0;
+  std::uint64_t midtier_holds_killed = 0;
+  std::uint64_t direct_fallbacks = 0;  // resolves after the chain fell back
   double phase_residual_ms = 0.0;  // |sum over visits of (phase sum - PLT)|
   // Fault->recovery annotation from the cell's timeline (obs/fault_window.h).
   // MTTR is finite for every scenario: a cell whose fault never degraded a

@@ -73,6 +73,7 @@ std::size_t Fleet::checkout_client(std::uint32_t profile) {
   clients_.env.push_back(std::make_unique<browser::Environment>(
       sim_, workload_.universe, profile_vantages_[profile], client_rng.fork("env"),
       &farm_));
+  if (config_.chain != nullptr) clients_.env.back()->set_topology(config_.chain);
   clients_.tickets.push_back(std::make_unique<tls::SessionTicketStore>());
   clients_.browser.push_back(std::make_unique<browser::Browser>(
       sim_, *clients_.env.back(), clients_.tickets.back().get(), config_.browser,

@@ -33,6 +33,10 @@
 #include "util/types.h"
 #include "web/workload.h"
 
+namespace h3cdn::topology {
+class Chain;
+}
+
 namespace h3cdn::load {
 
 struct FleetConfig {
@@ -49,6 +53,11 @@ struct FleetConfig {
   // Coreset mode: simulate a stratified sample of the population with
   // extrapolation weights instead of everyone. target == 0 = full run.
   SamplingConfig sampling;
+  // Optional multi-hop relay chain (docs/TOPOLOGY.md). Shared by every
+  // client environment of the fleet — the relays' upstream pools persist
+  // across clients, which is the mid-tier connection-reuse effect under
+  // load. Must outlive the fleet; null = every client fetches directly.
+  topology::Chain* chain = nullptr;
 };
 
 struct VisitRecord {

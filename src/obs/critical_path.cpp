@@ -43,17 +43,104 @@ PhaseVector PhaseVector::operator-(const PhaseVector& o) const {
 
 namespace {
 
+// Double-entry bookkeeper: every charged amount lands in the end-to-end
+// vector AND in exactly one hop's vector, which is what makes the per-hop
+// dissections re-aggregate to the end-to-end dissection exactly.
+struct Charger {
+  PhaseVector& out;
+  std::vector<PhaseVector>& by_hop;
+
+  void charge(Phase p, double amount, std::size_t hop) {
+    if (amount <= 0.0) return;
+    out[p] += amount;
+    if (by_hop.size() <= hop) by_hop.resize(hop + 1);
+    by_hop[hop][p] += amount;
+  }
+};
+
+// Splits a handshake interval into attribution phases by hop protocol.
+void charge_handshake(Charger& ch, double hs, const std::string& protocol, bool resumed,
+                      std::size_t hop) {
+  if (hs <= 0.0) return;
+  if (protocol == "h3") {
+    // QUIC folds transport + crypto into one handshake.
+    ch.charge(Phase::QuicHs, hs, hop);
+  } else if (resumed) {
+    // TLS 1.3 resumption piggybacks on the TCP round trip; the observed
+    // 1-RTT handshake is all TCP.
+    ch.charge(Phase::TcpConnect, hs, hop);
+  } else {
+    // Fresh TCP+TLS 1.3: 1 RTT TCP + 1 RTT TLS — split evenly.
+    ch.charge(Phase::TcpConnect, hs / 2.0, hop);
+    ch.charge(Phase::TlsHs, hs / 2.0, hop);
+  }
+}
+
+// Re-distributes the client-visible wait (`eff_wait`) of a chained entry
+// across its relay hops. Hop k+1's wall total nests inside hop k's wait, so
+// each hop's OWN wait is its send+wait minus the next hop's total; the rest
+// of a hop's budget maps phase-for-phase (blocked -> idle, connect -> the
+// protocol's handshake phase, receive -> transfer, stalls carved like the
+// entry's). Amounts are capped by the remaining unattributed wait so the
+// total charged is exactly `eff_wait`; whatever the hop records cannot
+// explain (the client's own send, propagation, relay processing) stays on
+// hop 0 as TtfbWait.
+void distribute_wait(Charger& ch, const WaterfallEntry& entry, double eff_wait) {
+  double remaining = eff_wait;
+  for (std::size_t h = 0; h < entry.upstream_hops.size() && remaining > 0.0; ++h) {
+    const UpstreamHop& hop = entry.upstream_hops[h];
+    const std::size_t hop_idx = h + 1;
+    const double child_total =
+        h + 1 < entry.upstream_hops.size() ? entry.upstream_hops[h + 1].total_ms() : 0.0;
+    double own_wait = std::max(0.0, hop.send_ms + hop.wait_ms - child_total);
+
+    // Carve this hop's transport stalls out of its receive-then-wait time,
+    // mirroring the entry-level carve below.
+    double receive = hop.receive_ms;
+    double hol = std::min(hop.hol_stall_ms, receive);
+    receive -= hol;
+    double retx = std::min(hop.retx_wait_ms, receive);
+    receive -= retx;
+    const double hol_over = std::min(hop.hol_stall_ms - hol, own_wait);
+    own_wait -= hol_over;
+    hol += hol_over;
+    const double retx_over = std::min(hop.retx_wait_ms - retx, own_wait);
+    own_wait -= retx_over;
+    retx += retx_over;
+
+    const auto take = [&](Phase p, double amount) {
+      const double eff = std::min(amount, remaining);
+      if (eff <= 0.0) return;
+      ch.charge(p, eff, hop_idx);
+      remaining -= eff;
+    };
+    take(Phase::IdleGap, hop.blocked_ms);  // relay-side queueing reads as idle
+    take(Phase::Dns, hop.dns_ms);
+    const double hs = std::min(hop.connect_ms, remaining);
+    if (hs > 0.0) {
+      charge_handshake(ch, hs, hop.protocol, hop.resumed, hop_idx);
+      remaining -= hs;
+    }
+    take(Phase::HolStall, hol);
+    take(Phase::RetxWait, retx);
+    take(Phase::Transfer, receive);
+    take(Phase::TtfbWait, own_wait);
+  }
+  // Client send + first-byte propagation + relay processing: the client hop.
+  ch.charge(Phase::TtfbWait, remaining, 0);
+}
+
 // Charges `entry`'s HAR phases to attribution phases over [cursor, plt],
 // clipping each phase interval to the still-unattributed suffix. Returns the
 // advanced cursor. Every advance adds the identical amount to exactly one
 // phase, which is what makes the final sum exact.
 double attribute_entry(const WaterfallEntry& entry, double cursor, double plt,
-                       PhaseVector& out) {
+                       Charger& ch) {
   // Discovery gap between the previous path element finishing and this entry
   // starting (parser stagger, wave-1 reveal delay).
   const double start = std::min(entry.start_ms, plt);
   if (start > cursor) {
-    out[Phase::IdleGap] += start - cursor;
+    ch.charge(Phase::IdleGap, start - cursor, 0);
     cursor = start;
   }
 
@@ -70,24 +157,10 @@ double attribute_entry(const WaterfallEntry& entry, double cursor, double plt,
     return eff;
   };
 
-  out[Phase::Dns] += clip(entry.dns_ms);
+  ch.charge(Phase::Dns, clip(entry.dns_ms), 0);
   // Queueing for a dispatch slot is not network work; it reads as idle.
-  out[Phase::IdleGap] += clip(entry.blocked_ms);
-  const double hs = clip(entry.connect_ms);
-  if (hs > 0.0) {
-    if (entry.protocol == "h3") {
-      // QUIC folds transport + crypto into one handshake.
-      out[Phase::QuicHs] += hs;
-    } else if (entry.resumed) {
-      // TLS 1.3 resumption piggybacks on the TCP round trip; the observed
-      // 1-RTT handshake is all TCP.
-      out[Phase::TcpConnect] += hs;
-    } else {
-      // Fresh TCP+TLS 1.3: 1 RTT TCP + 1 RTT TLS — split evenly.
-      out[Phase::TcpConnect] += hs / 2.0;
-      out[Phase::TlsHs] += hs / 2.0;
-    }
-  }
+  ch.charge(Phase::IdleGap, clip(entry.blocked_ms), 0);
+  charge_handshake(ch, clip(entry.connect_ms), entry.protocol, entry.resumed, 0);
   eff_wait += clip(entry.send_ms);
   eff_wait += clip(entry.wait_ms);
   eff_receive += clip(entry.receive_ms);
@@ -106,10 +179,16 @@ double attribute_entry(const WaterfallEntry& entry, double cursor, double plt,
   eff_wait -= retx_over;
   retx += retx_over;
 
-  out[Phase::TtfbWait] += eff_wait;
-  out[Phase::Transfer] += eff_receive;
-  out[Phase::HolStall] += hol;
-  out[Phase::RetxWait] += retx;
+  // The client's wait envelope contains every upstream hop's work; chained
+  // entries re-distribute it per hop, direct entries keep it on hop 0.
+  if (entry.upstream_hops.empty()) {
+    ch.charge(Phase::TtfbWait, eff_wait, 0);
+  } else {
+    distribute_wait(ch, entry, eff_wait);
+  }
+  ch.charge(Phase::Transfer, eff_receive, 0);
+  ch.charge(Phase::HolStall, hol, 0);
+  ch.charge(Phase::RetxWait, retx, 0);
   return cursor;
 }
 
@@ -147,13 +226,17 @@ CriticalPathResult analyze_critical_path(const Waterfall& waterfall) {
   }
   std::reverse(result.path.begin(), result.path.end());
 
+  Charger ch{result.phases, result.by_hop};
   double cursor = 0.0;
   for (std::size_t idx : result.path) {
-    cursor = attribute_entry(waterfall.entries[idx], cursor, plt, result.phases);
+    cursor = attribute_entry(waterfall.entries[idx], cursor, plt, ch);
   }
   // Residual between the path's last covered instant and onLoad (straggler
   // entries off the critical chain, final scheduling).
-  if (cursor < plt) result.phases[Phase::IdleGap] += plt - cursor;
+  if (cursor < plt) ch.charge(Phase::IdleGap, plt - cursor, 0);
+  // A page that never traversed a relay has everything on hop 0; drop the
+  // vector so direct runs keep their pre-topology artifact shape.
+  if (result.by_hop.size() <= 1) result.by_hop.clear();
   return result;
 }
 

@@ -63,6 +63,14 @@ struct CriticalPathResult {
   PhaseVector phases;                // sums to plt_ms (±1 µs)
   QoeMetrics qoe;                    // compute_qoe(waterfall)
   std::vector<std::size_t> path;     // entry indices, root -> terminal
+  // Per-hop decomposition for pages served through a relay chain
+  // (src/topology/): by_hop[0] is the client-facing hop, by_hop[k] the k-th
+  // relay's upstream fetch. Every attributed millisecond is charged to
+  // exactly one hop AND to `phases`, so sum_h by_hop[h][p] == phases[p] for
+  // every phase p, exactly — the per-hop dissections re-aggregate to the
+  // end-to-end dissection by construction. Empty when the page never
+  // traversed a relay (direct runs pay nothing).
+  std::vector<PhaseVector> by_hop;
 };
 
 /// Decomposes one waterfall's PLT along its critical path. The chain is the

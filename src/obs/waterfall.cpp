@@ -41,6 +41,35 @@ void write_entry(util::JsonWriter& w, const WaterfallEntry& e) {
   w.kv("total_ms", e.total_ms());
   w.kv("response_bytes", e.response_bytes);
   if (!e.annotation.empty()) w.kv("annotation", e.annotation);
+  if (!e.upstream_hops.empty()) {
+    w.key("upstream_hops").begin_array();
+    for (const auto& h : e.upstream_hops) {
+      w.begin_object();
+      w.kv("tier", h.tier);
+      w.kv("protocol", h.protocol);
+      w.kv("cache_hit", h.cache_hit);
+      w.kv("reused_connection", h.reused_connection);
+      w.kv("resumed", h.resumed);
+      w.kv("failed", h.failed);
+      w.key("phases_ms").begin_object();
+      w.kv("dns", h.dns_ms);
+      w.kv("blocked", h.blocked_ms);
+      w.kv("connect", h.connect_ms);
+      w.kv("send", h.send_ms);
+      w.kv("wait", h.wait_ms);
+      w.kv("receive", h.receive_ms);
+      w.end_object();
+      if (h.hol_stall_ms > 0.0 || h.retx_wait_ms > 0.0) {
+        w.key("stalls_ms").begin_object();
+        w.kv("hol_stall", h.hol_stall_ms);
+        w.kv("retx_wait", h.retx_wait_ms);
+        w.end_object();
+      }
+      w.kv("total_ms", h.total_ms());
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 

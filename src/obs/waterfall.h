@@ -15,6 +15,36 @@
 
 namespace h3cdn::obs {
 
+/// One relay tier's own fetch of a resource from the next tier up, flattened
+/// from the http::UpstreamRecord chain a topology::Chain attaches to entries
+/// it serves. Hop numbering in attribution: the client-facing hop is hop 0,
+/// `upstream_hops[k]` is hop k+1. A cache-hit hop served the resource from
+/// its TierCache: all phase fields are zero and no deeper hops follow.
+struct UpstreamHop {
+  std::string tier;      // relay name ("proxy", "mid-tier", ...)
+  std::string protocol;  // h1 / h2 / h3 on this hop ("" on a cache hit)
+  bool cache_hit = false;
+  bool reused_connection = false;  // relay reused a pooled upstream connection
+  bool resumed = false;
+  bool failed = false;
+
+  // Same HAR phase semantics as WaterfallEntry (dns is always 0: relays dial
+  // by upstream identity, not names). blocked is the residual that makes the
+  // phases sum to the relay fetch's wall time exactly.
+  double dns_ms = 0.0;
+  double blocked_ms = 0.0;
+  double connect_ms = 0.0;
+  double send_ms = 0.0;
+  double wait_ms = 0.0;
+  double receive_ms = 0.0;
+  double hol_stall_ms = 0.0;  // sub-intervals of wait+receive, like the entry's
+  double retx_wait_ms = 0.0;
+
+  [[nodiscard]] double total_ms() const {
+    return dns_ms + blocked_ms + connect_ms + send_ms + wait_ms + receive_ms;
+  }
+};
+
 /// One resource fetch. All times are fractional milliseconds; `start_ms` is
 /// relative to the page's navigation start. Phases follow HAR semantics:
 /// dns -> blocked (queued waiting for dispatch) -> connect (TCP+TLS or QUIC
@@ -54,6 +84,12 @@ struct WaterfallEntry {
 
   std::uint64_t response_bytes = 0;
   std::string annotation;  // "rescued", "failed", "cache", ... ("" = none)
+
+  // Relay-chain provenance, outermost tier first (empty for direct fetches).
+  // The hops nest inside this entry's wait phase: hop k+1's wall total is a
+  // sub-interval of hop k's wait, which is what lets critical-path
+  // attribution re-distribute TtfbWait per hop without double counting.
+  std::vector<UpstreamHop> upstream_hops;
 
   [[nodiscard]] double total_ms() const {
     return dns_ms + blocked_ms + connect_ms + send_ms + wait_ms + receive_ms;

@@ -1,0 +1,129 @@
+#include "topology/chain.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace h3cdn::topology {
+
+Chain::Chain(sim::Simulator& sim, const web::DomainUniverse& universe, ChainConfig config,
+             util::Rng rng)
+    : sim_(sim), universe_(universe), config_(std::move(config)), rng_(rng) {
+  H3CDN_EXPECTS(config_.plan.relay_count() >= 1);
+  const std::size_t relays = config_.plan.relay_count();
+  for (std::size_t level = 0; level < relays; ++level) {
+    HopRelay::Config rc;
+    rc.level = level;
+    rc.terminal = level + 1 == relays;
+    rc.name = rc.terminal ? "mid-tier" : (relays == 2 ? "proxy" : "proxy" + std::to_string(level));
+    rc.upstream_h3 = config_.plan.hop_h3(level + 1);
+    rc.link = level < config_.links.size() ? config_.links[level] : RelayLinkConfig{};
+    rc.tier_cache_capacity = config_.tier_cache_capacity;
+    rc.nic_bandwidth_bps = config_.relay_nic_bandwidth_bps;
+    rc.nic_latency = config_.relay_nic_latency;
+    relays_.push_back(std::make_unique<HopRelay>(sim_, universe_, std::move(rc),
+                                                 rng_.fork("relay").fork(level)));
+  }
+  // Chain the tiers: relay r's upstream requests are gated by relay r+1's
+  // hold. The closures only dereference relays_ at fetch time, so wiring
+  // before traffic starts is safe.
+  for (std::size_t level = 0; level + 1 < relays; ++level) {
+    relays_[level]->set_upstream_hold(hold_factory(level + 1));
+  }
+}
+
+Chain::~Chain() = default;
+
+bool Chain::handles(const std::string& domain) const {
+  return universe_.contains(domain) && universe_.get(domain).is_cdn;
+}
+
+http::ServerHoldFactory Chain::hold_factory(std::size_t level) {
+  return [this, level](const http::Request& request,
+                       http::HttpVersion /*version*/) -> transport::ServerHold {
+    return [this, level, request](TimePoint /*now*/,
+                                  const transport::ServerHoldControls& controls) {
+      on_request_at(level, request, controls);
+    };
+  };
+}
+
+transport::ServerHold Chain::make_client_hold(const http::Request& request,
+                                              http::HttpVersion /*version*/) {
+  return [this, request](TimePoint /*now*/, const transport::ServerHoldControls& controls) {
+    on_request_at(0, request, controls);
+  };
+}
+
+void Chain::on_request_at(std::size_t level, const http::Request& request,
+                          const transport::ServerHoldControls& controls) {
+  HopRelay& relay = *relays_.at(level);
+  const std::size_t midtier = relays_.size() - 1;
+  if (killed_ && level == midtier) {
+    // The mid-tier process is gone: the downstream connection dies with a
+    // typed Killed, and the client pool's failure hook routes the rescue to
+    // the direct path.
+    ++holds_killed_;
+    controls.kill();
+    return;
+  }
+  ++relayed_requests_;
+  const std::string key = request.domain + request.path;
+  if (relay.terminal() && relay.cache_lookup(key)) {
+    auto record = std::make_shared<http::UpstreamRecord>();
+    record->tier = relay.name();
+    record->cache_hit = true;
+    controls.resume(config_.tier_hit_think, std::move(record));
+    return;
+  }
+
+  const std::uint64_t token = next_pending_++;
+  pending_.emplace(token, Pending{level, controls});
+  http::Request upstream = request;
+  upstream.server_hold = nullptr;  // the relay pool re-derives gates per hop
+  relay.fetch(upstream, [this, level, key, token](const http::EntryTimings& t) {
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;  // killed while the fill was in flight
+    transport::ServerHoldControls held = std::move(it->second.controls);
+    pending_.erase(it);
+    HopRelay& r = *relays_.at(level);
+    if (r.terminal() && !t.failed) r.cache_fill(key);
+    auto record = std::make_shared<http::UpstreamRecord>();
+    record->tier = r.name();
+    record->timings = t;
+    // A failed upstream still resumes the downstream response (the relay
+    // serves an error body of the same wire size); the failure is visible in
+    // the record for attribution and tests.
+    held.resume(config_.relay_proc_think, std::move(record));
+  });
+}
+
+void Chain::warm(const std::string& domain, const std::string& key) {
+  relays_.back()->warm_edge(domain, key);
+}
+
+void Chain::kill_midtier() {
+  if (killed_) return;
+  killed_ = true;
+  const std::size_t midtier = relays_.size() - 1;
+  // Kill every response currently held at the mid-tier; holds at proxy
+  // levels stay pending and settle when their (now-doomed) upstream fetch
+  // returns.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.level == midtier) {
+      ++holds_killed_;
+      it->second.controls.kill();
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const TierCache* Chain::tier_cache() const { return relays_.back()->cache(); }
+
+void Chain::close() {
+  for (auto& relay : relays_) relay->close();
+}
+
+}  // namespace h3cdn::topology

@@ -1,0 +1,124 @@
+// The chained-path subsystem tying relays together (docs/TOPOLOGY.md).
+//
+// A Chain owns the relay tiers of one PathPlan and wires them recursively
+// through the transport ServerHold mechanism: when a downstream request
+// fully arrives at relay r's server side, the hold fires, relay r fetches
+// the resource from tier r+1 (or serves its TierCache on the terminal
+// relay), and only then resumes the downstream response — attaching an
+// http::UpstreamRecord so every hop's own HAR-style timings ride back to
+// the client for per-hop PLT attribution (obs/critical_path.h).
+//
+// One Chain is shared by every client Environment of a cell (fleet or
+// probe): the relays' upstream pools persist across pages and clients,
+// which is exactly the mid-tier connection-reuse/HoL-coupling effect the
+// proxy-integration literature measures.
+//
+// Fault model: kill_midtier() marks the chain dead and kills every response
+// currently held at the mid-tier with a typed ConnectionError::Killed. The
+// client pool's connection_failed hook then invalidates the cached origin
+// and the next resolve falls back to the direct path (browser::Environment
+// consults fallen_back()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topology/hop_relay.h"
+#include "topology/path_plan.h"
+#include "transport/server_hold.h"
+#include "util/rng.h"
+#include "web/domains.h"
+
+namespace h3cdn::topology {
+
+struct ChainConfig {
+  PathPlan plan;  // must have >= 2 hops (use no Chain at all for direct)
+  // Per-relay upstream link parameters, index = relay level. Missing entries
+  // take RelayLinkConfig defaults; the terminal relay's entry describes the
+  // mid-tier -> edge hop.
+  std::vector<RelayLinkConfig> links;
+  std::size_t tier_cache_capacity = 4096;
+  // Per-request relay CPU added when resuming a downstream response after an
+  // upstream fill; cache hits pay tier_hit_think instead.
+  Duration relay_proc_think = usec(250);
+  Duration tier_hit_think = usec(450);
+  double relay_nic_bandwidth_bps = 10e9;
+  Duration relay_nic_latency = usec(150);
+};
+
+class Chain {
+ public:
+  Chain(sim::Simulator& sim, const web::DomainUniverse& universe, ChainConfig config,
+        util::Rng rng);
+  ~Chain();
+  Chain(const Chain&) = delete;
+  Chain& operator=(const Chain&) = delete;
+
+  /// Whether this domain is routed through the relay chain. Only CDN-hosted
+  /// domains ride it; first-party origins stay direct.
+  [[nodiscard]] bool handles(const std::string& domain) const;
+
+  /// handles() AND the chain has not fallen back to the direct path.
+  [[nodiscard]] bool active_for(const std::string& domain) const {
+    return !killed_ && handles(domain);
+  }
+
+  /// Protocol of the client-facing hop (drives browser h3_enabled and the
+  /// resolved OriginInfo's capability bits).
+  [[nodiscard]] bool client_h3() const { return config_.plan.hop_h3(0); }
+
+  /// The response gate for a client request entering the chain at relay 0.
+  [[nodiscard]] transport::ServerHold make_client_hold(const http::Request& request,
+                                                       http::HttpVersion version);
+
+  /// Pre-warms the terminal tier's edge cache for one resource.
+  void warm(const std::string& domain, const std::string& key);
+
+  /// Kills the mid-tier: every response currently held there dies with a
+  /// typed ConnectionError::Killed, and all later chain traffic is refused
+  /// the same way until clients fall back to the direct path. Idempotent.
+  void kill_midtier();
+  [[nodiscard]] bool fallen_back() const { return killed_; }
+
+  /// Records one resolve that fell back to the direct path (Environment).
+  void note_direct_resolution() { ++direct_resolutions_; }
+
+  [[nodiscard]] const ChainConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t relay_count() const { return relays_.size(); }
+  [[nodiscard]] const HopRelay& relay(std::size_t level) const { return *relays_.at(level); }
+  [[nodiscard]] const TierCache* tier_cache() const;
+  [[nodiscard]] std::uint64_t holds_killed() const { return holds_killed_; }
+  [[nodiscard]] std::uint64_t direct_resolutions() const { return direct_resolutions_; }
+  [[nodiscard]] std::uint64_t relayed_requests() const { return relayed_requests_; }
+
+  /// Tears down every relay's upstream connections (end of a cell).
+  void close();
+
+ private:
+  void on_request_at(std::size_t level, const http::Request& request,
+                     const transport::ServerHoldControls& controls);
+  [[nodiscard]] http::ServerHoldFactory hold_factory(std::size_t level);
+
+  struct Pending {
+    std::size_t level = 0;
+    transport::ServerHoldControls controls;
+  };
+
+  sim::Simulator& sim_;
+  const web::DomainUniverse& universe_;
+  ChainConfig config_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<HopRelay>> relays_;
+  std::map<std::uint64_t, Pending> pending_;  // held downstream responses
+  std::uint64_t next_pending_ = 0;
+  bool killed_ = false;
+  std::uint64_t holds_killed_ = 0;
+  std::uint64_t direct_resolutions_ = 0;
+  std::uint64_t relayed_requests_ = 0;
+};
+
+}  // namespace h3cdn::topology

@@ -1,0 +1,36 @@
+#include "topology/path_plan.h"
+
+namespace h3cdn::topology {
+
+std::optional<PathPlan> PathPlan::parse(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  PathPlan plan;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('-', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    if (token == "h2") {
+      plan.hops_.push_back(http::HttpVersion::H2);
+    } else if (token == "h3") {
+      plan.hops_.push_back(http::HttpVersion::H3);
+    } else {
+      return std::nullopt;
+    }
+    begin = end + 1;
+    if (end == text.size()) break;
+  }
+  return plan;
+}
+
+std::string PathPlan::name() const {
+  if (hops_.empty()) return "direct";
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0) out += '-';
+    out += hops_[i] == http::HttpVersion::H3 ? "h3" : "h2";
+  }
+  return out;
+}
+
+}  // namespace h3cdn::topology

@@ -1,0 +1,50 @@
+// PathPlan: the per-hop protocol choice of a chained delivery path, written
+// as hyphen-separated tokens from the client outward, e.g.
+//
+//   "h3"        client ---------------------------> edge   (direct, 1 hop)
+//   "h3-h2"     client --h3--> mid-tier --h2--> edge       (2 hops)
+//   "h2-h3-h3"  client --h2--> proxy --h3--> mid-tier --h3--> edge
+//
+// A plan with k tokens has k hops and k-1 relays; the LAST relay is always
+// the caching mid-tier (topology::TierCache), earlier relays are cacheless
+// forward proxies. See docs/TOPOLOGY.md for the grammar and invariants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/types.h"
+
+namespace h3cdn::topology {
+
+class PathPlan {
+ public:
+  PathPlan() = default;
+
+  /// Parses "h2"/"h3" tokens joined by '-'. Returns nullopt on an empty
+  /// string, unknown token, or empty token ("h3--h2").
+  static std::optional<PathPlan> parse(const std::string& text);
+
+  /// Canonical round-trip form ("h3-h2"); "direct" for an empty plan.
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }
+  /// Relays interposed on the path (hop_count - 1); 0 = the classic direct
+  /// client->edge model.
+  [[nodiscard]] std::size_t relay_count() const {
+    return hops_.empty() ? 0 : hops_.size() - 1;
+  }
+  [[nodiscard]] bool direct() const { return hops_.size() <= 1; }
+
+  /// Protocol of hop `i` (0 = client-facing hop).
+  [[nodiscard]] http::HttpVersion hop(std::size_t i) const { return hops_.at(i); }
+  [[nodiscard]] bool hop_h3(std::size_t i) const {
+    return hops_.at(i) == http::HttpVersion::H3;
+  }
+
+ private:
+  std::vector<http::HttpVersion> hops_;
+};
+
+}  // namespace h3cdn::topology

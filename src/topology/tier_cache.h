@@ -1,0 +1,41 @@
+// Mid-tier cache: an LRU over resource keys (cdn::LruCache) plus fill
+// accounting. Unlike the edge caches — which the study pre-warms to match
+// the paper's warm-visit methodology — a TierCache starts COLD: the first
+// request for a key pays the full upstream fetch and fills the cache, later
+// requests are served after ChainConfig::tier_hit_think. The hit ratio of a
+// topology run is therefore a measured output, not a configured input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cdn/lru_cache.h"
+
+namespace h3cdn::topology {
+
+class TierCache {
+ public:
+  explicit TierCache(std::size_t capacity) : cache_(capacity) {}
+
+  /// True if the key is cached (refreshes recency and counts a hit);
+  /// otherwise counts a miss.
+  bool lookup(const std::string& key) { return cache_.touch(key); }
+
+  /// Records a completed upstream fill.
+  void fill(const std::string& key) {
+    cache_.insert(key);
+    ++fills_;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const { return cache_.hits(); }
+  [[nodiscard]] std::uint64_t misses() const { return cache_.misses(); }
+  [[nodiscard]] std::uint64_t fills() const { return fills_; }
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return cache_.capacity(); }
+
+ private:
+  cdn::LruCache cache_;
+  std::uint64_t fills_ = 0;
+};
+
+}  // namespace h3cdn::topology

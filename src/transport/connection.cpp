@@ -671,6 +671,51 @@ std::size_t Connection::stream_bytes_received(StreamId sid) const {
   return it->second.resp_delivered;
 }
 
+std::shared_ptr<void> Connection::stream_annotation(StreamId sid) const {
+  auto it = streams_.find(sid);
+  if (it == streams_.end()) return nullptr;
+  return it->second.annotation;
+}
+
+void Connection::start_server_hold(StreamId sid) {
+  auto& st = streams_.at(sid);
+  auto self = shared_from_this();
+  // One-shot latch shared by both controls: whichever fires first wins and
+  // later invocations (e.g. an upstream completion racing a scripted kill)
+  // are ignored.
+  auto fired = std::make_shared<bool>(false);
+  const Duration base_think = st.server_think;
+  ServerHoldControls controls;
+  controls.resume = [self, sid, fired, base_think](Duration extra,
+                                                   std::shared_ptr<void> annotation) {
+    if (*fired) return;
+    *fired = true;
+    if (self->closed_) return;
+    auto it = self->streams_.find(sid);
+    if (it == self->streams_.end()) return;
+    it->second.annotation = std::move(annotation);
+    const Duration think = base_think + std::max(extra, Duration::zero());
+    self->sim_.schedule_in(think, [self, sid] {
+      if (self->closed_) return;
+      self->activate_response(sid);
+    });
+  };
+  controls.kill = [self, fired] {
+    if (*fired) return;
+    *fired = true;
+    if (self->closed_) return;
+    // Tear down via the event loop, mirroring kill_response_at_bytes.
+    self->sim_.schedule_in(Duration::zero(), [self] {
+      if (!self->closed_) self->die(ConnectionError::Killed);
+    });
+  };
+  // Copy the hold out of the stream before invoking: it may re-enter the
+  // simulator and mutate streams_ (e.g. a mid-tier cache hit resuming
+  // synchronously).
+  ServerHold hold = st.cb.on_server_request;
+  hold(sim_.now(), controls);
+}
+
 void Connection::maybe_grant_credit(Dir d, StreamId sid) {
   // Receiver-side autotuning: once half of the advertised credit has been
   // consumed, advertise another half-window (connection and stream scope).
@@ -730,12 +775,17 @@ void Connection::credit_stream(Dir d, StreamId sid, std::size_t /*offset*/, std:
     st.req_delivered += len;
     H3CDN_ASSERT(st.req_delivered <= st.req_size);
     if (st.req_delivered == st.req_size) {
-      // Full request at the server: think, then start the response.
-      auto self = shared_from_this();
-      sim_.schedule_in(st.server_think, [self, sid] {
-        if (self->closed_) return;
-        self->activate_response(sid);
-      });
+      if (st.cb.on_server_request) {
+        // Gated response: the hold decides when (or whether) to start it.
+        start_server_hold(sid);
+      } else {
+        // Full request at the server: think, then start the response.
+        auto self = shared_from_this();
+        sim_.schedule_in(st.server_think, [self, sid] {
+          if (self->closed_) return;
+          self->activate_response(sid);
+        });
+      }
     }
   } else {
     if (!st.first_byte_reported) {

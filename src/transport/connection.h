@@ -34,6 +34,7 @@
 #include "trace/trace.h"
 #include "transport/congestion.h"
 #include "transport/rtt_estimator.h"
+#include "transport/server_hold.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -179,6 +180,11 @@ struct FetchCallbacks {
   std::function<void(TimePoint)> on_request_sent;  // last request byte written
   std::function<void(TimePoint)> on_first_byte;    // first in-order response byte
   std::function<void(TimePoint)> on_complete;      // response fully delivered
+  // Server-side response gate (transport/server_hold.h). When set, the full
+  // request arriving at the server invokes the hold instead of starting the
+  // think timer; the hold's resume() adds its extra think on top of the
+  // stream's server_think. Unset => the classic synchronous path.
+  ServerHold on_server_request;
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {
@@ -246,6 +252,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// read this AFTER the connection died to compute an HTTP Range resume
   /// offset for the orphaned request (src/resilience/, docs/RESILIENCE.md).
   [[nodiscard]] std::size_t stream_bytes_received(StreamId sid) const;
+
+  /// The annotation attached by a ServerHold's resume() (nullptr for unknown
+  /// ids or un-held streams). Stream state persists past completion, so the
+  /// owning session reads this at finalize time — the relay chain delivers
+  /// per-hop upstream timings through it (src/topology/).
+  [[nodiscard]] std::shared_ptr<void> stream_annotation(StreamId sid) const;
 
  private:
   Connection(sim::Simulator& sim, net::NetPath& path, tls::TransportKind kind,
@@ -339,6 +351,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
     std::size_t stalled_bytes = 0;  // bytes parked while the span was open
     Duration hol_stall_total{0};
     Duration retx_wait_total{0};
+    // Attached by a ServerHold resume(); surfaced via stream_annotation().
+    std::shared_ptr<void> annotation;
   };
 
   DirState& dir(Dir d) { return *dirs_[static_cast<std::size_t>(d)]; }
@@ -353,6 +367,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   int scheduling_bucket(const StreamState& st) const;
   void activate_request(StreamId sid);
   void activate_response(StreamId sid);
+  void start_server_hold(StreamId sid);
   void pump(Dir d);
   std::optional<Chunk> next_chunk(Dir d);
   void send_chunk(Dir d, const Chunk& chunk, bool is_retx);

@@ -1,0 +1,36 @@
+// Asynchronous server-side response gate (used by src/topology/).
+//
+// Normally a stream's response activates a fixed `server_think` after the
+// full request is delivered. A fetch that carries a ServerHold instead hands
+// control to the hold when the request lands at the server: the hold runs
+// arbitrary simulation work (e.g. a relay fetching the resource upstream)
+// and then either resumes the response or kills the connection.
+//
+// This header is deliberately tiny (util/types.h only) so http/types.h can
+// carry a hold on every Request without pulling in the transport machinery.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/types.h"
+
+namespace h3cdn::transport {
+
+/// Handed to a ServerHold when the full request reaches the server. Exactly
+/// one of the two controls may fire, once; later calls are ignored.
+struct ServerHoldControls {
+  /// Starts the response after `extra_think` (added on top of the stream's
+  /// own server_think). `annotation` is attached to the stream and readable
+  /// via Connection::stream_annotation() after completion — the relay chain
+  /// uses it to hand per-hop timings back to the downstream session.
+  std::function<void(Duration extra_think, std::shared_ptr<void> annotation)> resume;
+  /// Kills the connection with a typed ConnectionError::Killed death (the
+  /// mid-tier-outage path). Scheduled at now+0 like kill_response_at_bytes.
+  std::function<void()> kill;
+};
+
+/// The gate itself: invoked at request arrival with the simulation time.
+using ServerHold = std::function<void(TimePoint now, const ServerHoldControls& controls)>;
+
+}  // namespace h3cdn::transport

@@ -121,6 +121,14 @@ const DomainInfo& DomainUniverse::add_domain(DomainInfo info) {
   return it->second;
 }
 
+const DomainInfo& DomainUniverse::add_shard_domain(DomainInfo info) {
+  H3CDN_EXPECTS(info.is_cdn);
+  const std::string name = info.name;
+  auto [it, inserted] = domains_.emplace(name, std::move(info));
+  H3CDN_EXPECTS(inserted);
+  return it->second;
+}
+
 const DomainInfo& DomainUniverse::get(const std::string& name) const {
   auto it = domains_.find(name);
   H3CDN_EXPECTS(it != domains_.end());

@@ -44,6 +44,12 @@ class DomainUniverse {
   /// by workload import). CDN domains join their provider's list.
   const DomainInfo& add_domain(DomainInfo info);
 
+  /// Registers a sharded alias of a CDN hostname (workload domain-sharding,
+  /// WorkloadConfig::domain_shards): stored like any CDN domain but NOT added
+  /// to its provider's selection list — generation never picks shards, pages
+  /// are rewritten onto them.
+  const DomainInfo& add_shard_domain(DomainInfo info);
+
   [[nodiscard]] const DomainInfo& get(const std::string& name) const;
   [[nodiscard]] bool contains(const std::string& name) const;
 

@@ -175,11 +175,30 @@ Workload generate_workload(const WorkloadConfig& config) {
 
       std::vector<double> cw;
       for (const auto& d : chosen) cw.push_back(w.universe.get(d).popularity);
+
+      // Domain sharding: register N aliases per chosen hostname (once,
+      // globally) and spread this page's resources across them round-robin.
+      // No extra rng draws, so shards == 1 is byte-identical to no sharding.
+      const std::size_t shards = std::max<std::size_t>(config.domain_shards, 1);
+      if (shards > 1) {
+        for (const auto& d : chosen) {
+          for (std::size_t k = 0; k < shards; ++k) {
+            const std::string shard_name = "shard" + std::to_string(k) + "." + d;
+            if (!w.universe.contains(shard_name)) {
+              DomainInfo shard = w.universe.get(d);
+              shard.name = shard_name;
+              w.universe.add_shard_domain(std::move(shard));
+            }
+          }
+        }
+      }
+
       for (std::size_t i = 0; i < count; ++i) {
         Resource r;
         r.id = next_resource_id++;
         const std::size_t domain_idx = cw.size() == 1 ? 0 : rng.weighted_index(cw);
         r.domain = chosen[domain_idx];
+        if (shards > 1) r.domain = "shard" + std::to_string(i % shards) + "." + r.domain;
         r.type = draw_type(rng);
         char path[96];
         std::snprintf(path, sizeof path, "/assets/%s/r%u.%s", site.name.c_str(), r.id,

@@ -41,6 +41,15 @@ struct WorkloadConfig {
   double cdn_count_scale = 1.0;
   std::size_t max_resources_per_provider = 150;
 
+  // Domain sharding (the H1-era optimization the paper's §VI-C reuse
+  // discussion makes obsolete): when > 1, every page's CDN resources are
+  // split across N sharded aliases ("shard0.<host>" ... "shardN-1.<host>")
+  // of each hostname the page would have used, same provider and protocol
+  // support. More hostnames = more handshakes for H3 but more coalescing
+  // candidates for H2 — the ablation knob for that trade-off. 1 (the
+  // default) leaves the workload byte-identical to the unsharded generator.
+  std::size_t domain_shards = 1;
+
   // Resource sizes (KB).
   double cdn_size_median_kb = 8.0;
   double cdn_size_sigma = 1.0;

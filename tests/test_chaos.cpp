@@ -143,7 +143,8 @@ TEST(Chaos, EveryCellYieldsAFiniteMttrConsistentWithItsScriptedWindow) {
     SCOPED_TRACE(sc.name);
     const bool scripted = !sc.access_fault.outages.empty() ||
                           !sc.primary_path_fault.outages.empty() ||
-                          sc.kill_response_at_bytes > 0 || sc.capacity_storm;
+                          sc.kill_response_at_bytes > 0 || sc.capacity_storm ||
+                          sc.kill_midtier_at.count() > 0;
     EXPECT_EQ(spec.faulted, scripted);
     if (scripted) {
       EXPECT_GE(spec.start_ms, 0.0);

@@ -1,0 +1,256 @@
+// Multi-hop topology subsystem tests (docs/TOPOLOGY.md): PathPlan grammar,
+// the TierCache, chained single-probe visits with per-hop PLT attribution
+// (hop slices re-aggregate exactly to the end-to-end dissection), mid-tier
+// outage fallback to the direct path, domain sharding, and --jobs
+// byte-identity of the topology experiment.
+#include "core/topology_study.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "browser/browser.h"
+#include "browser/environment.h"
+#include "browser/waterfall.h"
+#include "obs/critical_path.h"
+#include "sim/simulator.h"
+#include "topology/chain.h"
+#include "topology/path_plan.h"
+#include "topology/tier_cache.h"
+#include "util/rng.h"
+#include "web/workload.h"
+#include "web/workload_io.h"
+
+namespace h3cdn {
+namespace {
+
+TEST(PathPlan, ParseAndNameRoundTrip) {
+  for (const char* name : {"h3", "h2", "h3-h3", "h3-h2", "h2-h3", "h2-h2-h3"}) {
+    const auto plan = topology::PathPlan::parse(name);
+    ASSERT_TRUE(plan.has_value()) << name;
+    EXPECT_EQ(plan->name(), name);
+  }
+  const auto chained = topology::PathPlan::parse("h3-h2");
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained->hop_count(), 2u);
+  EXPECT_EQ(chained->relay_count(), 1u);
+  EXPECT_FALSE(chained->direct());
+  EXPECT_TRUE(chained->hop_h3(0));
+  EXPECT_FALSE(chained->hop_h3(1));
+
+  const auto direct = topology::PathPlan::parse("h2");
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_TRUE(direct->direct());
+  EXPECT_EQ(direct->relay_count(), 0u);
+}
+
+TEST(PathPlan, RejectsBadTokens) {
+  for (const char* bad : {"", "h1", "h3--h2", "h3-", "-h3", "spdy", "h3-h4"}) {
+    EXPECT_FALSE(topology::PathPlan::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(TierCache, HitMissFillAccounting) {
+  topology::TierCache cache(2);
+  EXPECT_FALSE(cache.lookup("a"));
+  cache.fill("a");
+  EXPECT_TRUE(cache.lookup("a"));
+  cache.fill("b");
+  cache.fill("c");  // evicts "a" (capacity 2, LRU)
+  EXPECT_FALSE(cache.lookup("a"));
+  EXPECT_TRUE(cache.lookup("b"));
+  EXPECT_EQ(cache.fills(), 3u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+web::Workload tiny_workload() {
+  web::WorkloadConfig wc;
+  wc.site_count = 2;
+  return web::generate_workload(wc);
+}
+
+struct ProbeRig {
+  sim::Simulator sim;
+  web::Workload workload = tiny_workload();
+  util::Rng root{1234};
+  std::unique_ptr<topology::Chain> chain;
+  std::unique_ptr<browser::Environment> env;
+  std::unique_ptr<browser::Browser> browser;
+
+  explicit ProbeRig(const std::string& plan_name) {
+    const auto plan = topology::PathPlan::parse(plan_name);
+    EXPECT_TRUE(plan.has_value());
+    browser::VantageConfig vantage;
+    env = std::make_unique<browser::Environment>(sim, workload.universe, vantage,
+                                                 root.fork("env"));
+    if (!plan->direct()) {
+      topology::ChainConfig cc;
+      cc.plan = *plan;
+      chain = std::make_unique<topology::Chain>(sim, workload.universe, cc,
+                                                root.fork("chain"));
+      env->set_topology(chain.get());
+    }
+    browser::BrowserConfig bc;
+    bc.h3_enabled = plan->hop_h3(0);
+    browser = std::make_unique<browser::Browser>(sim, *env, nullptr, bc,
+                                                 root.fork("browser"));
+  }
+};
+
+TEST(Topology, ChainedVisitCarriesUpstreamRecords) {
+  ProbeRig rig("h3-h2");
+  const web::WebPage& page = rig.workload.sites[0].page;
+  rig.env->warm_page(page);
+  const browser::PageLoadResult load = rig.browser->visit_and_run(page);
+
+  // Every CDN entry that rode the chain carries the relay's own timings.
+  std::size_t chained = 0;
+  for (const auto& e : load.har.entries) {
+    if (e.timings.upstream == nullptr) continue;
+    ++chained;
+    EXPECT_EQ(e.timings.upstream->tier, "mid-tier");
+    if (!e.timings.upstream->cache_hit) {
+      // The upstream fetch nests inside the downstream wait envelope.
+      EXPECT_LE(e.timings.upstream->timings.total(), e.timings.total() + usec(1));
+    }
+  }
+  EXPECT_GT(chained, 0u) << "no entry traversed the relay chain";
+  EXPECT_GT(rig.chain->relayed_requests(), 0u);
+}
+
+TEST(Topology, PerHopAttributionReAggregatesExactly) {
+  for (const char* plan : {"h3-h3", "h3-h2", "h2-h3"}) {
+    ProbeRig rig(plan);
+    const web::WebPage& page = rig.workload.sites[0].page;
+    rig.env->warm_page(page);
+    const browser::PageLoadResult load = rig.browser->visit_and_run(page);
+
+    const obs::Waterfall wf = browser::make_waterfall(load.har, "test");
+    const obs::CriticalPathResult cp = obs::analyze_critical_path(wf);
+    EXPECT_NEAR(cp.phases.sum(), cp.plt_ms, 1e-3) << plan;
+    ASSERT_GE(cp.by_hop.size(), 2u) << plan << ": no per-hop slices";
+    // Double-entry bookkeeping: hop slices re-aggregate to the e2e
+    // dissection phase-for-phase, with zero residual by construction.
+    obs::PhaseVector reagg;
+    for (const auto& hop : cp.by_hop) reagg += hop;
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      EXPECT_NEAR(reagg.ms[p], cp.phases.ms[p], 1e-3)
+          << plan << " phase " << p << " residual over 1 us";
+    }
+  }
+}
+
+TEST(Topology, DirectVisitHasNoHopSlices) {
+  ProbeRig rig("h3");
+  const web::WebPage& page = rig.workload.sites[0].page;
+  rig.env->warm_page(page);
+  const browser::PageLoadResult load = rig.browser->visit_and_run(page);
+  const obs::CriticalPathResult cp =
+      obs::analyze_critical_path(browser::make_waterfall(load.har, "test"));
+  EXPECT_TRUE(cp.by_hop.empty());
+  for (const auto& e : load.har.entries) EXPECT_EQ(e.timings.upstream, nullptr);
+}
+
+TEST(Topology, MidtierOutageFallsBackToDirectPath) {
+  ProbeRig rig("h3-h3");
+  const web::WebPage& page = rig.workload.sites[0].page;
+  rig.env->warm_page(page);
+
+  bool loaded = false;
+  browser::PageLoadResult load;
+  rig.browser->visit(page, [&](browser::PageLoadResult r) {
+    loaded = true;
+    load = std::move(r);
+  });
+  // Relay traffic for this page flows roughly 300-750 ms into the visit;
+  // 400 ms lands the kill squarely mid-transfer with responses held.
+  topology::Chain* chain = rig.chain.get();
+  rig.sim.schedule_in(msec(400), [chain] { chain->kill_midtier(); });
+  rig.sim.run();
+
+  // The kill severed held responses, the page still terminated, and later
+  // resolutions went direct.
+  ASSERT_TRUE(loaded) << "page never reached onLoad after the mid-tier kill";
+  EXPECT_TRUE(chain->fallen_back());
+  EXPECT_GT(chain->holds_killed(), 0u);
+  EXPECT_GT(chain->direct_resolutions(), 0u);
+  EXPECT_EQ(load.har.entries.size(), page.total_requests());
+}
+
+TEST(Sharding, ShardedWorkloadSplitsAcrossAliases) {
+  web::WorkloadConfig wc;
+  wc.site_count = 2;
+  wc.domain_shards = 4;
+  const web::Workload sharded = web::generate_workload(wc);
+
+  std::size_t shard_resources = 0;
+  for (const auto& site : sharded.sites) {
+    for (const auto& r : site.page.resources) {
+      if (r.domain.rfind("shard", 0) != 0) continue;
+      ++shard_resources;
+      ASSERT_TRUE(sharded.universe.contains(r.domain)) << r.domain;
+      const web::DomainInfo& alias = sharded.universe.get(r.domain);
+      // "shardK." prefix strips back to a registered parent of the same
+      // provider with identical protocol support.
+      const std::string parent = r.domain.substr(r.domain.find('.') + 1);
+      const web::DomainInfo& base = sharded.universe.get(parent);
+      EXPECT_TRUE(alias.is_cdn);
+      EXPECT_EQ(alias.provider, base.provider);
+      EXPECT_EQ(alias.supports_h3, base.supports_h3);
+    }
+  }
+  EXPECT_GT(shard_resources, 0u) << "no resource landed on a sharded hostname";
+}
+
+TEST(Sharding, ShardsOneIsByteIdenticalToDefault) {
+  web::WorkloadConfig base;
+  base.site_count = 2;
+  web::WorkloadConfig one = base;
+  one.domain_shards = 1;
+  EXPECT_EQ(web::workload_to_json(web::generate_workload(base)),
+            web::workload_to_json(web::generate_workload(one)));
+}
+
+core::TopologyConfig small_topology_config() {
+  core::TopologyConfig cfg;
+  cfg.workload.site_count = 2;
+  cfg.sites = 2;
+  cfg.plans = {"h3-h3", "h2-h3"};
+  cfg.loss_rates = {0.0};
+  return cfg;
+}
+
+TEST(TopologyStudy, SweepPassesAndAppendsDirectBaselines) {
+  core::TopologyConfig cfg = small_topology_config();
+  cfg.jobs = 1;
+  const core::TopologyResult result = core::run_topology(cfg);
+  EXPECT_TRUE(result.all_passed());
+  // Configured plans plus one direct baseline per distinct client protocol.
+  ASSERT_EQ(result.plans.size(), 4u);
+  EXPECT_EQ(result.plans[2], "h3");
+  EXPECT_EQ(result.plans[3], "h2");
+  // Chained cells report e2e + one row per hop; direct cells e2e only.
+  bool saw_hop_row = false;
+  for (const auto& row : result.rows) {
+    if (row.hop != "e2e") {
+      saw_hop_row = true;
+    } else {
+      EXPECT_LE(row.reagg_residual_us, 1.0) << row.plan;
+    }
+  }
+  EXPECT_TRUE(saw_hop_row);
+}
+
+TEST(TopologyStudy, CsvByteIdenticalAcrossJobCounts) {
+  core::TopologyConfig cfg = small_topology_config();
+  cfg.jobs = 1;
+  const std::string csv1 = core::topology_result_to_csv(core::run_topology(cfg));
+  cfg.jobs = 4;
+  const std::string csv4 = core::topology_result_to_csv(core::run_topology(cfg));
+  EXPECT_EQ(csv1, csv4);
+}
+
+}  // namespace
+}  // namespace h3cdn

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/attribution.h"
+#include "obs/critical_path.h"
 #include "obs/waterfall.h"
 #include "util/json_parse.h"
 
@@ -280,6 +281,30 @@ obs::WaterfallEntry entry_from_json(const util::JsonValue& e) {
   }
   out.response_bytes = static_cast<std::uint64_t>(e.number_or("response_bytes", 0));
   out.annotation = e.string_or("annotation", "");
+  if (const util::JsonValue* hops = e.find("upstream_hops"); hops != nullptr && hops->is_array()) {
+    for (const auto& h : hops->as_array()) {
+      obs::UpstreamHop hop;
+      hop.tier = h.string_or("tier", "");
+      hop.protocol = h.string_or("protocol", "");
+      hop.cache_hit = h.bool_or("cache_hit", false);
+      hop.reused_connection = h.bool_or("reused_connection", false);
+      hop.resumed = h.bool_or("resumed", false);
+      hop.failed = h.bool_or("failed", false);
+      if (const util::JsonValue* phases = h.find("phases_ms"); phases != nullptr) {
+        hop.dns_ms = phases->number_or("dns", 0.0);
+        hop.blocked_ms = phases->number_or("blocked", 0.0);
+        hop.connect_ms = phases->number_or("connect", 0.0);
+        hop.send_ms = phases->number_or("send", 0.0);
+        hop.wait_ms = phases->number_or("wait", 0.0);
+        hop.receive_ms = phases->number_or("receive", 0.0);
+      }
+      if (const util::JsonValue* stalls = h.find("stalls_ms"); stalls != nullptr) {
+        hop.hol_stall_ms = stalls->number_or("hol_stall", 0.0);
+        hop.retx_wait_ms = stalls->number_or("retx_wait", 0.0);
+      }
+      out.upstream_hops.push_back(std::move(hop));
+    }
+  }
   return out;
 }
 
@@ -337,10 +362,66 @@ void check_waterfalls(const util::JsonValue& doc, Checker& check) {
                    std::to_string(entry.total_ms()) + " ms but total_ms=" +
                    std::to_string(declared));
       }
+      // Chained entries repeat the contract per relay hop: each exported
+      // hop's total equals its own phase sum.
+      if (const util::JsonValue* hops = e.find("upstream_hops");
+          hops != nullptr && hops->is_array()) {
+        std::size_t hi = 0;
+        for (const auto& h : hops->as_array()) {
+          if (hi >= entry.upstream_hops.size()) break;
+          const obs::UpstreamHop& hop = entry.upstream_hops[hi];
+          const double hop_declared = h.number_or("total_ms", -1.0);
+          if (std::fabs(hop_declared - hop.total_ms()) > 1e-6) {
+            check.fail("waterfalls.json: page " + std::to_string(index) + " entry " +
+                       std::to_string(ei) + " hop " + std::to_string(hi) + " (" + hop.tier +
+                       "): hop phases sum to " + std::to_string(hop.total_ms()) +
+                       " ms but total_ms=" + std::to_string(hop_declared));
+          }
+          ++hi;
+        }
+      }
       ++ei;
     }
     ++index;
   }
+}
+
+// --- per-hop attribution (multi-hop topology, docs/TOPOLOGY.md) -------------
+
+/// Recomputes the critical-path dissection from the waterfall artifact and
+/// validates the per-hop contract: for every page whose entries carry
+/// upstream_hops, the hop-sliced phase vectors must re-aggregate to the
+/// end-to-end dissection phase-for-phase within 1 µs, and the end-to-end
+/// dissection itself must still sum to the PLT.
+void check_hop_attribution(const std::vector<obs::Waterfall>& pages, Checker& check) {
+  std::size_t chained_pages = 0;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    bool chained = false;
+    for (const auto& e : pages[i].entries) chained |= !e.upstream_hops.empty();
+    if (!chained) continue;
+    ++chained_pages;
+    const obs::CriticalPathResult cp = obs::analyze_critical_path(pages[i]);
+    const std::string where =
+        "waterfalls.json: page " + std::to_string(i) + " (" + pages[i].site + ")";
+    if (std::fabs(cp.phases.sum() - cp.plt_ms) > 1e-3) {
+      check.fail(where + ": chained dissection sums to " + std::to_string(cp.phases.sum()) +
+                 " ms but PLT is " + std::to_string(cp.plt_ms));
+    }
+    if (cp.by_hop.empty()) continue;  // chain never on the critical path
+    obs::PhaseVector reagg;
+    for (const auto& hop : cp.by_hop) reagg += hop;
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      const double residual_us = std::fabs(reagg.ms[p] - cp.phases.ms[p]) * 1e3;
+      if (residual_us > 1.0) {
+        check.fail(where + ": hop slices of phase " + std::to_string(p) + " re-aggregate to " +
+                   std::to_string(reagg.ms[p]) + " ms but the e2e dissection carries " +
+                   std::to_string(cp.phases.ms[p]) + " ms (residual " +
+                   std::to_string(residual_us) + " us > 1)");
+        break;
+      }
+    }
+  }
+  (void)chained_pages;
 }
 
 // --- attribution.json -------------------------------------------------------
@@ -1114,6 +1195,10 @@ int main(int argc, char** argv) {
   if (metrics) check_metrics(*metrics, o, check, &layers);
   if (metrics) check_resilience(*metrics, check);
   if (waterfalls_doc) check_waterfalls(*waterfalls_doc, check);
+  if (waterfalls_doc) {
+    Checker ignored;  // structural problems already reported by check_waterfalls
+    check_hop_attribution(waterfalls_from_json(*waterfalls_doc, ignored), check);
+  }
   if (attribution_doc) check_attribution(*attribution_doc, check);
   if (qlog) check_qlog(*qlog, check, &qlog_events);
   if (timeline_doc) check_timeline(*timeline_doc, check);

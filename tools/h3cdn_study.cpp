@@ -16,16 +16,25 @@
 //                        attribution of the H2-vs-H3 delta) — plus `load`,
 //                        the fleet-scale capacity sweep, `chaos`, the
 //                        scripted fault-scenario suite with invariant
-//                        checking, and `clusters`, workload-archetype
-//                        discovery over the attribution vectors (none of
-//                        the three is part of `all`; see docs/LOAD.md,
-//                        docs/RESILIENCE.md, docs/OBSERVABILITY.md)
+//                        checking, `clusters`, workload-archetype
+//                        discovery over the attribution vectors, and
+//                        `topology`, the multi-hop path-plan sweep with
+//                        per-hop PLT attribution (none of the four is part
+//                        of `all`; see docs/LOAD.md, docs/RESILIENCE.md,
+//                        docs/OBSERVABILITY.md, docs/TOPOLOGY.md)
 //     --link-profile P   last-mile preset for every vantage (wired|cellular)
 //     --no-resilience    run the chaos suite with the resilience engine off
 //     --load-rates LIST  comma-separated offered rates, pages/sec (open
 //                        loop) or users (closed loop); default 2,8,32
 //     --load-window SEC  arrival window in seconds (default 10)
 //     --load-arrival K   fixed|poisson|ramp|closed (default poisson)
+//     --plans LIST       topology: comma-separated PathPlans to sweep
+//                        (hyphen-joined h2/h3 hop tokens; default
+//                        h3-h3,h3-h2,h2-h3; direct baselines are appended)
+//     --topo-loss LIST   topology: comma-separated loss rates (default 0,0.01)
+//     --shards N         split each page's CDN resources across N sharded
+//                        hostnames per domain (H1-era domain sharding; 1 =
+//                        off, byte-identical to the unsharded workload)
 //     --format FMT       text|csv (default text; summary is always JSON)
 //     --out PATH         write to a file instead of stdout
 //     --obs DIR          record run-wide observability artifacts into DIR
@@ -44,6 +53,7 @@
 #include "core/export.h"
 #include "core/observability.h"
 #include "core/report.h"
+#include "core/topology_study.h"
 #include "load/chaos.h"
 #include "load/study.h"
 #include "net/link_profile.h"
@@ -70,6 +80,9 @@ struct Options {
   std::vector<load::LinkMixEntry> link_mix;  // heterogeneous access links
   bool sites_set = false;  // load defaults to a small rotation unless --sites
   bool no_resilience = false;  // chaos: disable the engine under test
+  // --experiment topology knobs.
+  std::vector<std::string> topo_plans = {"h3-h3", "h3-h2", "h2-h3"};
+  std::vector<double> topo_loss = {0.0, 0.01};
   // --experiment clusters knobs.
   std::string cluster_algo = "dbscan";  // dbscan|kmeans
   double cluster_eps = 0.0;             // 0 = auto (median k-dist)
@@ -83,7 +96,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sites N] [--probes N] [--loss RATE] [--consecutive] [--seed N] [--jobs N]\n"
-               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|chaos|clusters|all]\n"
+               "       [--experiment table1|table2|table3|fig2|...|fig9|dissection|summary|load|chaos|clusters|topology|all]\n"
+               "       [--plans P1,P2,...] [--topo-loss R1,R2,...] [--shards N]\n"
                "       [--load-rates R1,R2,...] [--load-window SEC] [--load-arrival fixed|poisson|ramp|closed]\n"
                "       [--fleet-sample N] [--fleet-sample-verify] [--link-mix NAME:W,NAME:W,...]\n"
                "       [--link-profile wired|cellular] [--no-resilience]\n"
@@ -134,6 +148,27 @@ Options parse(int argc, char** argv) {
       bool ok = true;
       o.load_arrival = load::arrival_kind_from_string(next(), &ok);
       if (!ok) usage(argv[0]);
+    } else if (arg == "--plans") {
+      o.topo_plans.clear();
+      std::stringstream list(next());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        if (item.empty()) continue;
+        if (!topology::PathPlan::parse(item)) usage(argv[0]);
+        o.topo_plans.push_back(item);
+      }
+      if (o.topo_plans.empty()) usage(argv[0]);
+    } else if (arg == "--topo-loss") {
+      o.topo_loss.clear();
+      std::stringstream list(next());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        if (!item.empty()) o.topo_loss.push_back(std::stod(item));
+      }
+      if (o.topo_loss.empty()) usage(argv[0]);
+    } else if (arg == "--shards") {
+      o.study.workload.domain_shards = static_cast<std::size_t>(std::stoul(next()));
+      if (o.study.workload.domain_shards < 1) usage(argv[0]);
     } else if (arg == "--fleet-sample") {
       o.fleet_sample = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--fleet-sample-verify") {
@@ -264,6 +299,34 @@ int emit(const Options& o, std::ostream& os) {
     }
     return 0;
   }
+  // The multi-hop topology sweep (docs/TOPOLOGY.md): chained relay paths with
+  // per-hop protocol choice, reported as end-to-end + per-hop PLT dissections.
+  // Not part of "all"; a violated additivity invariant fails the invocation.
+  if (o.experiment == "topology") {
+    core::TopologyConfig cfg;
+    cfg.workload = o.study.workload;
+    if (o.sites_set) cfg.sites = o.study.max_sites;
+    cfg.plans = o.topo_plans;
+    cfg.loss_rates = o.topo_loss;
+    cfg.seed = o.study.seed;
+    cfg.jobs = o.study.jobs;
+    if (!o.study.link_profile.empty()) {
+      const auto profile = net::LinkProfile::from_name(o.study.link_profile);
+      browser::apply_link_profile(cfg.vantage, *profile);
+    }
+    const core::TopologyResult result = core::run_topology(cfg, o.study.observability);
+    if (csv) {
+      os << core::topology_result_to_csv(result);
+    } else {
+      core::print_topology_result(os, result);
+    }
+    if (!result.all_passed()) {
+      std::cerr << "topology: per-hop attribution invariant violations detected\n";
+      return 1;
+    }
+    return 0;
+  }
+
   const bool needs_consecutive =
       wants(o, "fig8") || wants(o, "table3") || o.experiment == "all";
 
